@@ -1,0 +1,375 @@
+//! The naïve enumeration baseline (§2 "A Naïve Approach").
+//!
+//! Retraining `DTrace` on every element of
+//! `Δn(T) = { T' ⊆ T : |T \ T'| ≤ n }` decides robustness *exactly* — the
+//! point of the paper is that `|Δn(T)|` makes this hopeless at scale
+//! (≈10²³ for 1000 rows at `n = 10`). On small instances, though, it is
+//! the ground truth the abstract interpreter is property-tested against,
+//! and its cost model produces the paper's headline dataset counts.
+
+use antidote_data::{ClassId, Dataset, RowId, Subset};
+use antidote_tree::dtrace::dtrace_label;
+
+/// Result of an exact enumeration.
+#[derive(Debug, Clone, PartialEq)]
+pub enum EnumVerdict {
+    /// Every dataset in `Δn(T)` yields the reference label.
+    Robust {
+        /// Number of models retrained.
+        models: u64,
+    },
+    /// Some removal set flips the prediction.
+    Broken {
+        /// The rows whose removal changes the label.
+        removed: Vec<RowId>,
+        /// The label the poisoned model produces instead.
+        flipped_to: ClassId,
+        /// Models retrained before the counterexample was found.
+        models: u64,
+    },
+    /// `|Δn(T)|` exceeds the caller's budget; nothing was enumerated.
+    TooLarge {
+        /// `log10 |Δn(T)|` for reporting.
+        log10_datasets: f64,
+    },
+}
+
+impl EnumVerdict {
+    /// Whether enumeration proved robustness.
+    pub fn is_robust(&self) -> bool {
+        matches!(self, EnumVerdict::Robust { .. })
+    }
+}
+
+/// Exactly decides `n`-poisoning robustness of `x` by enumerating removal
+/// sets, in increasing size order (so minimal counterexamples are found
+/// first).
+///
+/// Gives up (returning [`EnumVerdict::TooLarge`]) if `|Δn(T)| >
+/// max_models`, since the whole point of Antidote is that this number
+/// explodes.
+///
+/// # Panics
+///
+/// Panics if `ds` is empty (the learner is undefined there).
+pub fn enumerate_robustness(
+    ds: &Dataset,
+    x: &[f64],
+    depth: usize,
+    n: usize,
+    max_models: u64,
+) -> EnumVerdict {
+    let n = n.min(ds.len().saturating_sub(1)); // keep at least one row
+    let log10 = log10_count(ds.len(), n);
+    if log10 > (max_models as f64).log10() {
+        return EnumVerdict::TooLarge { log10_datasets: log10 };
+    }
+    let full = Subset::full(ds);
+    let reference = dtrace_label(ds, &full, x, depth);
+    let mut models: u64 = 1; // the unpoisoned model itself
+    let rows: Vec<RowId> = (0..ds.len() as RowId).collect();
+    let mut removal: Vec<RowId> = Vec::new();
+    for size in 1..=n {
+        if let Some(v) =
+            search_removals(ds, x, depth, reference, &rows, &mut removal, size, 0, &mut models)
+        {
+            return v;
+        }
+    }
+    EnumVerdict::Robust { models }
+}
+
+/// Depth-first enumeration of removal sets of exactly `remaining` more
+/// rows, starting from row index `from`.
+#[allow(clippy::too_many_arguments)]
+fn search_removals(
+    ds: &Dataset,
+    x: &[f64],
+    depth: usize,
+    reference: ClassId,
+    rows: &[RowId],
+    removal: &mut Vec<RowId>,
+    remaining: usize,
+    from: usize,
+    models: &mut u64,
+) -> Option<EnumVerdict> {
+    if remaining == 0 {
+        let keep: Vec<RowId> =
+            rows.iter().copied().filter(|r| !removal.contains(r)).collect();
+        let subset = Subset::from_indices(ds, keep);
+        *models += 1;
+        let label = dtrace_label(ds, &subset, x, depth);
+        if label != reference {
+            return Some(EnumVerdict::Broken {
+                removed: removal.clone(),
+                flipped_to: label,
+                models: *models,
+            });
+        }
+        return None;
+    }
+    for i in from..rows.len() {
+        removal.push(rows[i]);
+        let hit = search_removals(ds, x, depth, reference, rows, removal, remaining - 1, i + 1, models);
+        removal.pop();
+        if hit.is_some() {
+            return hit;
+        }
+    }
+    None
+}
+
+/// Exactly decides robustness under the **label-flip** model (the
+/// extension in `antidote-core::flip`): every relabeling of `ds` that
+/// differs in at most `n` rows is retrained and compared against the
+/// reference label. There are `Σᵢ C(|T|, i)(k−1)ⁱ` such relabelings.
+///
+/// # Panics
+///
+/// Panics if `ds` is empty.
+pub fn enumerate_flip_robustness(
+    ds: &Dataset,
+    x: &[f64],
+    depth: usize,
+    n: usize,
+    max_models: u64,
+) -> EnumVerdict {
+    let n = n.min(ds.len());
+    let k = ds.n_classes();
+    let log10 = log10_flip_count(ds.len(), n, k);
+    if log10 > (max_models as f64).log10() {
+        return EnumVerdict::TooLarge { log10_datasets: log10 };
+    }
+    let reference = dtrace_label(ds, &Subset::full(ds), x, depth);
+    let mut labels: Vec<ClassId> = ds.labels().to_vec();
+    let mut models: u64 = 1;
+    for size in 1..=n {
+        if let Some(v) =
+            search_flips(ds, x, depth, reference, &mut labels, size, 0, &mut models)
+        {
+            return v;
+        }
+    }
+    EnumVerdict::Robust { models }
+}
+
+/// Depth-first enumeration of exactly `remaining` more flips starting at
+/// row `from`; `labels` holds the current relabeling.
+#[allow(clippy::too_many_arguments)]
+fn search_flips(
+    ds: &Dataset,
+    x: &[f64],
+    depth: usize,
+    reference: ClassId,
+    labels: &mut Vec<ClassId>,
+    remaining: usize,
+    from: usize,
+    models: &mut u64,
+) -> Option<EnumVerdict> {
+    if remaining == 0 {
+        *models += 1;
+        let rows: Vec<(Vec<f64>, ClassId)> =
+            (0..ds.len() as RowId).map(|r| (ds.row_values(r), labels[r as usize])).collect();
+        let flipped =
+            Dataset::from_rows(ds.schema().clone(), &rows).expect("relabeling stays valid");
+        let label = dtrace_label(&flipped, &Subset::full(&flipped), x, depth);
+        if label != reference {
+            let removed: Vec<RowId> = (0..ds.len() as RowId)
+                .filter(|&r| labels[r as usize] != ds.label(r))
+                .collect();
+            return Some(EnumVerdict::Broken { removed, flipped_to: label, models: *models });
+        }
+        return None;
+    }
+    for row in from..ds.len() {
+        let original = labels[row];
+        for new_label in 0..ds.n_classes() as ClassId {
+            if new_label == original {
+                continue;
+            }
+            labels[row] = new_label;
+            let hit =
+                search_flips(ds, x, depth, reference, labels, remaining - 1, row + 1, models);
+            labels[row] = original;
+            if hit.is_some() {
+                return hit;
+            }
+        }
+    }
+    None
+}
+
+/// `log10 Σᵢ₌₀ⁿ C(len, i)(k−1)ⁱ` — the flip-model family size.
+pub fn log10_flip_count(len: usize, n: usize, k: usize) -> f64 {
+    let n = n.min(len);
+    let per_row = (k.saturating_sub(1)).max(1) as f64;
+    let mut ln_fact = vec![0.0f64; len + 1];
+    for i in 1..=len {
+        ln_fact[i] = ln_fact[i - 1] + (i as f64).ln();
+    }
+    let ln_term =
+        |i: usize| ln_fact[len] - ln_fact[i] - ln_fact[len - i] + i as f64 * per_row.ln();
+    let max_ln = (0..=n).map(ln_term).fold(f64::MIN, f64::max);
+    let sum: f64 = (0..=n).map(|i| (ln_term(i) - max_ln).exp()).sum();
+    (max_ln + sum.ln()) / std::f64::consts::LN_10
+}
+
+/// `log10 |Δn(T)| = log10 Σᵢ₌₀ⁿ C(len, i)` computed in log space, exactly
+/// the quantity behind the paper's "10⁴³² datasets" headline.
+pub fn log10_count(len: usize, n: usize) -> f64 {
+    let n = n.min(len);
+    // Prefix sums of ln(i!) make ln C(len, i) O(1) per term.
+    let mut ln_fact = vec![0.0f64; len + 1];
+    for i in 1..=len {
+        ln_fact[i] = ln_fact[i - 1] + (i as f64).ln();
+    }
+    let ln_choose = |k: usize| ln_fact[len] - ln_fact[k] - ln_fact[len - k];
+    // log-sum-exp over i = 0..=n.
+    let max_ln = (0..=n).map(ln_choose).fold(f64::MIN, f64::max);
+    let sum: f64 = (0..=n).map(|i| (ln_choose(i) - max_ln).exp()).sum();
+    (max_ln + sum.ln()) / std::f64::consts::LN_10
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use antidote_data::synth;
+
+    #[test]
+    fn figure2_model_count_is_92() {
+        // §2: proving the example needs (13 choose 2) + (13 choose 1) + 1
+        // = 92 retrained models.
+        let ds = synth::figure2();
+        match enumerate_robustness(&ds, &[5.0], 1, 2, 10_000) {
+            EnumVerdict::Robust { models } => assert_eq!(models, 92),
+            other => panic!("expected robust with 92 models, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn figure2_input5_is_concretely_robust_at_n2() {
+        // The paper's §2 claim: removing any ≤2 elements never flips 5.
+        let ds = synth::figure2();
+        assert!(enumerate_robustness(&ds, &[5.0], 1, 2, 10_000).is_robust());
+    }
+
+    #[test]
+    fn counterexamples_are_found_and_minimal_first() {
+        // Input 18 sits in the black branch {11,12,13,14}; at depth 1 its
+        // label flips only when enough structure is removed. Verify that
+        // whenever enumeration reports Broken, the removal really flips
+        // the label, and that sizes below it are robust.
+        let ds = synth::figure2();
+        let mut first_break = None;
+        for n in 1..=4 {
+            match enumerate_robustness(&ds, &[18.0], 1, n, 1_000_000) {
+                EnumVerdict::Broken { removed, flipped_to, .. } => {
+                    assert!(removed.len() <= n);
+                    // Replay the counterexample.
+                    let keep: Vec<u32> =
+                        (0..13u32).filter(|r| !removed.contains(r)).collect();
+                    let sub = Subset::from_indices(&ds, keep);
+                    assert_eq!(dtrace_label(&ds, &sub, &[18.0], 1), flipped_to);
+                    assert_ne!(flipped_to, 1);
+                    first_break = Some(n);
+                    break;
+                }
+                EnumVerdict::Robust { .. } => {}
+                EnumVerdict::TooLarge { .. } => panic!("budget should suffice"),
+            }
+        }
+        // Whatever the first breaking n is, n−1 must be robust.
+        if let Some(nb) = first_break {
+            if nb > 1 {
+                assert!(enumerate_robustness(&ds, &[18.0], 1, nb - 1, 1_000_000).is_robust());
+            }
+        }
+    }
+
+    #[test]
+    fn too_large_reports_log_count() {
+        let ds = synth::iris_like(0);
+        match enumerate_robustness(&ds, &ds.row_values(0), 1, 40, 1_000) {
+            EnumVerdict::TooLarge { log10_datasets } => {
+                assert!(log10_datasets > 3.0);
+            }
+            other => panic!("expected TooLarge, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn log10_count_matches_small_cases() {
+        // Σ C(13, i) for i ≤ 2 = 92.
+        assert!((log10_count(13, 2) - 92f64.log10()).abs() < 1e-9);
+        // n = 0 → exactly 1 dataset.
+        assert_eq!(log10_count(100, 0), 0.0);
+        // Full powerset: Σᵢ C(len, i) = 2^len.
+        assert!((log10_count(20, 20) - (2f64.powi(20)).log10()).abs() < 1e-9);
+    }
+
+    #[test]
+    fn flip_enumeration_on_figure2() {
+        let ds = synth::figure2();
+        // 2-class: Σ C(13,i) for i ≤ 1 = 14 relabelings.
+        match enumerate_flip_robustness(&ds, &[5.0], 1, 1, 10_000) {
+            EnumVerdict::Robust { models } => assert_eq!(models, 14),
+            EnumVerdict::Broken { removed, .. } => {
+                assert_eq!(removed.len(), 1, "counterexamples are found smallest-first");
+            }
+            EnumVerdict::TooLarge { .. } => panic!("14 models is not too large"),
+        }
+        // Flipping every label certainly breaks something.
+        assert!(!enumerate_flip_robustness(&ds, &[18.0], 1, 13, 1 << 30).is_robust());
+    }
+
+    #[test]
+    fn flip_counterexamples_replay() {
+        let ds = synth::figure2();
+        for x in [[10.0], [11.0], [18.0]] {
+            if let EnumVerdict::Broken { removed, flipped_to, .. } =
+                enumerate_flip_robustness(&ds, &x, 1, 2, 1 << 24)
+            {
+                // Rebuild the flipped dataset and verify the label.
+                let rows: Vec<(Vec<f64>, ClassId)> = (0..13u32)
+                    .map(|r| {
+                        let mut l = ds.label(r);
+                        if removed.contains(&r) {
+                            l ^= 1;
+                        }
+                        (ds.row_values(r), l)
+                    })
+                    .collect();
+                let flipped =
+                    Dataset::from_rows(ds.schema().clone(), &rows).unwrap();
+                assert_eq!(
+                    dtrace_label(&flipped, &Subset::full(&flipped), &x, 1),
+                    flipped_to
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn log10_flip_count_formula() {
+        // k = 2: same as the removal count formula.
+        assert!((log10_flip_count(13, 2, 2) - 92f64.log10()).abs() < 1e-9);
+        // k = 3: Σ C(4,i)·2^i for i ≤ 1 = 1 + 8 = 9.
+        assert!((log10_flip_count(4, 1, 3) - 9f64.log10()).abs() < 1e-9);
+        assert_eq!(log10_flip_count(100, 0, 5), 0.0);
+    }
+
+    #[test]
+    fn log10_count_reproduces_paper_headlines() {
+        // §4.1: MNIST-1-7 (13 007 rows) at n = 50 → ≈10¹⁴¹ datasets.
+        let l50 = log10_count(13_007, 50);
+        assert!((l50 - 141.0).abs() < 2.0, "got 10^{l50:.1}");
+        // §2/§6: n = 192 → ≈10⁴³²; §6.2: n = 64 → >10¹⁷⁴.
+        let l192 = log10_count(13_007, 192);
+        assert!((l192 - 432.0).abs() < 5.0, "got 10^{l192:.1}");
+        let l64 = log10_count(13_007, 64);
+        assert!(l64 > 174.0 && l64 < 180.0, "got 10^{l64:.1}");
+        // §2: 1000 rows at n = 10 → ≈10²³ possibilities.
+        let l10 = log10_count(1_000, 10);
+        assert!((l10 - 23.0).abs() < 1.0, "got 10^{l10:.1}");
+    }
+}

@@ -1,0 +1,60 @@
+//! End-to-end certification cost: Box versus Disjuncts versus Hybrid —
+//! the Criterion counterpart of the paper's Figure 7 time panels.
+
+use antidote_core::{Certifier, DomainKind};
+use antidote_data::{Benchmark, Scale};
+use criterion::{criterion_group, criterion_main, Criterion};
+use std::hint::black_box;
+use std::time::Duration;
+
+fn bench_certify_domains(c: &mut Criterion) {
+    let cases = [
+        (Benchmark::Iris, 2usize, 2usize),
+        (Benchmark::Mammographic, 2, 4),
+        (Benchmark::Mnist17Binary, 2, 16),
+    ];
+    for (bench, depth, n) in cases {
+        let (train, test) = bench.load(Scale::Small, 0);
+        let x = test.row_values(0);
+        let mut g = c.benchmark_group(format!("certify/{}_d{depth}_n{n}", bench.id()));
+        for domain in [
+            DomainKind::Box,
+            DomainKind::Hybrid { max_disjuncts: 16 },
+            DomainKind::Disjuncts,
+        ] {
+            let certifier = Certifier::new(&train).depth(depth).domain(domain);
+            g.bench_function(domain.id(), |b| {
+                b.iter(|| black_box(certifier.certify(black_box(&x), n)))
+            });
+        }
+        g.finish();
+    }
+}
+
+fn bench_certify_depth_scaling(c: &mut Criterion) {
+    let (train, test) = Benchmark::Mnist17Binary.load(Scale::Small, 0);
+    let x = test.row_values(1);
+    let mut g = c.benchmark_group("certify/mnist_bin_depth_scaling_n8");
+    g.sample_size(10);
+    for depth in 1..=3usize {
+        let certifier = Certifier::new(&train).depth(depth).domain(DomainKind::Disjuncts);
+        g.bench_function(format!("depth{depth}"), |b| {
+            b.iter(|| black_box(certifier.certify(black_box(&x), 8)))
+        });
+    }
+    g.finish();
+}
+
+fn config() -> Criterion {
+    Criterion::default()
+        .sample_size(10)
+        .warm_up_time(Duration::from_millis(300))
+        .measurement_time(Duration::from_secs(2))
+}
+
+criterion_group! {
+    name = benches;
+    config = config();
+    targets = bench_certify_domains, bench_certify_depth_scaling
+}
+criterion_main!(benches);

@@ -1,0 +1,54 @@
+//! Naïve enumeration versus Antidote as the poisoning budget grows — the
+//! quantitative version of §2's intractability argument. Enumeration cost
+//! rises combinatorially with `n` while the abstract interpreter's cost is
+//! essentially flat; the crossover sits at tiny budgets even for a
+//! 24-point training set.
+
+use antidote_baselines::enumerate_robustness;
+use antidote_core::{Certifier, DomainKind};
+use antidote_data::synth::{gaussian_blobs, BlobSpec};
+use criterion::{criterion_group, criterion_main, Criterion};
+use std::hint::black_box;
+use std::time::Duration;
+
+fn tiny_dataset() -> antidote_data::Dataset {
+    gaussian_blobs(
+        &BlobSpec {
+            means: vec![vec![0.0], vec![8.0]],
+            stds: vec![vec![1.0], vec![1.0]],
+            per_class: 12,
+            quantum: Some(0.5),
+        },
+        11,
+    )
+}
+
+fn bench_crossover(c: &mut Criterion) {
+    let ds = tiny_dataset();
+    let x = vec![0.5];
+    for n in [1usize, 2, 3] {
+        let mut g = c.benchmark_group(format!("crossover/24pts_n{n}"));
+        g.bench_function("enumeration", |b| {
+            b.iter(|| black_box(enumerate_robustness(&ds, &x, 1, n, u64::MAX)))
+        });
+        let certifier = Certifier::new(&ds).depth(1).domain(DomainKind::Disjuncts);
+        g.bench_function("antidote", |b| {
+            b.iter(|| black_box(certifier.certify(&x, n)))
+        });
+        g.finish();
+    }
+}
+
+fn config() -> Criterion {
+    Criterion::default()
+        .sample_size(10)
+        .warm_up_time(Duration::from_millis(200))
+        .measurement_time(Duration::from_secs(1))
+}
+
+criterion_group! {
+    name = benches;
+    config = config();
+    targets = bench_crossover
+}
+criterion_main!(benches);

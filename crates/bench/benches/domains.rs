@@ -1,0 +1,74 @@
+//! Micro-benchmarks of the abstract-domain primitives: the operations
+//! `DTrace#` executes millions of times per certification.
+
+use antidote_data::{synth, Subset};
+use antidote_domains::trainset::{cprob_intervals_from_counts, ent_interval_from_counts};
+use antidote_domains::{AbstractSet, CprobTransformer, Interval};
+use criterion::{criterion_group, criterion_main, Criterion};
+use std::hint::black_box;
+use std::time::Duration;
+
+fn bench_interval_ops(c: &mut Criterion) {
+    let a = Interval::new(0.1, 0.4);
+    let b = Interval::new(0.2, 0.9);
+    c.bench_function("interval/mul_add_join", |bench| {
+        bench.iter(|| {
+            let m = black_box(a) * black_box(b);
+            let s = m + black_box(a);
+            black_box(s.join(&b))
+        })
+    });
+}
+
+fn bench_cprob_transformers(c: &mut Criterion) {
+    let counts = [4321u32, 8686];
+    let mut g = c.benchmark_group("cprob#");
+    for (name, t) in
+        [("natural", CprobTransformer::Natural), ("optimal", CprobTransformer::Optimal)]
+    {
+        g.bench_function(name, |bench| {
+            bench.iter(|| {
+                black_box(cprob_intervals_from_counts(black_box(&counts), 64, t));
+                black_box(ent_interval_from_counts(black_box(&counts), 64, t))
+            })
+        });
+    }
+    g.finish();
+}
+
+fn bench_trainset_ops(c: &mut Criterion) {
+    let ds = synth::mnist17_like(synth::MnistVariant::Binary, 2_000, 0);
+    let a = AbstractSet::full(&ds, 32);
+    let evens = a.restrict_where(&ds, |r| r % 2 == 0);
+    let lows = a.restrict_where(&ds, |r| r < 1_200);
+    let mut g = c.benchmark_group("trainset");
+    g.measurement_time(Duration::from_secs(2));
+    g.bench_function("restrict_2000", |bench| {
+        bench.iter(|| black_box(a.restrict_where(&ds, |r| ds.value(r, 406) > 0.5)))
+    });
+    g.bench_function("join_2000", |bench| {
+        bench.iter(|| black_box(evens.join(&ds, &lows)))
+    });
+    g.bench_function("concretizes_2000", |bench| {
+        bench.iter(|| black_box(a.concretizes(lows.base())))
+    });
+    g.bench_function("subset_difference_len", |bench| {
+        let x = Subset::full(&ds);
+        bench.iter(|| black_box(x.difference_len(evens.base())))
+    });
+    g.finish();
+}
+
+fn config() -> Criterion {
+    Criterion::default()
+        .sample_size(20)
+        .warm_up_time(Duration::from_millis(300))
+        .measurement_time(Duration::from_secs(1))
+}
+
+criterion_group! {
+    name = benches;
+    config = config();
+    targets = bench_interval_ops, bench_cprob_transformers, bench_trainset_ops
+}
+criterion_main!(benches);

@@ -1,0 +1,58 @@
+//! `bestSplit` versus `bestSplit#`: the cost of abstraction in the
+//! learner's hot loop, across dataset scale and feature type.
+
+use antidote_core::best_split_abs;
+use antidote_data::{synth, Benchmark, Scale, Subset};
+use antidote_domains::{AbstractSet, CprobTransformer};
+use antidote_tree::best_split;
+use criterion::{criterion_group, criterion_main, Criterion};
+use std::hint::black_box;
+use std::time::Duration;
+
+fn bench_best_split(c: &mut Criterion) {
+    let cases: Vec<(&str, antidote_data::Dataset)> = vec![
+        ("iris_150x4", synth::iris_like(0)),
+        ("wdbc_569x30", synth::wdbc_like(0)),
+        ("mnist_bin_1000x784", synth::mnist17_like(synth::MnistVariant::Binary, 1_000, 0)),
+    ];
+    for (name, ds) in cases {
+        let full = Subset::full(&ds);
+        let abs = AbstractSet::full(&ds, 8);
+        let mut g = c.benchmark_group(format!("best_split/{name}"));
+        g.bench_function("concrete", |b| {
+            b.iter(|| black_box(best_split(&ds, black_box(&full))))
+        });
+        g.bench_function("abstract_n8", |b| {
+            b.iter(|| {
+                black_box(best_split_abs(&ds, black_box(&abs), CprobTransformer::Optimal))
+            })
+        });
+        g.finish();
+    }
+}
+
+fn bench_full_learning(c: &mut Criterion) {
+    let (train, _) = Benchmark::Mammographic.load(Scale::Small, 0);
+    let full = Subset::full(&train);
+    c.bench_function("learn_tree/mammo_depth3", |b| {
+        b.iter(|| black_box(antidote_tree::learn_tree(&train, &full, 3)))
+    });
+    c.bench_function("dtrace/mammo_depth3", |b| {
+        let x = train.row_values(0);
+        b.iter(|| black_box(antidote_tree::dtrace(&train, &full, &x, 3)))
+    });
+}
+
+fn config() -> Criterion {
+    Criterion::default()
+        .sample_size(15)
+        .warm_up_time(Duration::from_millis(300))
+        .measurement_time(Duration::from_secs(2))
+}
+
+criterion_group! {
+    name = benches;
+    config = config();
+    targets = bench_best_split, bench_full_learning
+}
+criterion_main!(benches);

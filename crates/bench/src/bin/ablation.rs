@@ -1,0 +1,80 @@
+//! Ablations of the design choices DESIGN.md calls out (not in the paper):
+//!
+//! 1. **`cprob#` transformer** — the paper's footnote 6 notes its
+//!    implementation uses an optimal transformer instead of the natural
+//!    interval lifting. How much proving power does that buy?
+//! 2. **Hybrid disjunct budgets** — the §6.3 future-work direction: how
+//!    does the provable fraction and cost move between Box (k = 1) and
+//!    unbounded Disjuncts as the budget k grows?
+//!
+//! ```text
+//! cargo run -p antidote-bench --release --bin ablation [-- --dataset id --points K --timeout S]
+//! ```
+
+use antidote_bench::{fmt_time, HarnessOptions};
+use antidote_core::{Certifier, DomainKind};
+use antidote_data::Benchmark;
+use antidote_domains::CprobTransformer;
+use std::time::{Duration, Instant};
+
+fn main() {
+    let opts = HarnessOptions::parse(std::env::args().skip(1));
+    let bench = opts.dataset.unwrap_or(Benchmark::Mammographic);
+    let (train, xs) = opts.load(bench);
+    let depth = 2;
+    let ladder: Vec<usize> = [1usize, 2, 4, 8, 16, 32]
+        .into_iter()
+        .filter(|&n| n < train.len())
+        .collect();
+
+    println!("== ablation 1: cprob# transformer ({}, depth {depth}, Disjuncts) ==", bench.name());
+    println!("{:>5} {:>18} {:>18}", "n", "natural verified", "optimal verified");
+    for &n in &ladder {
+        let count = |t: CprobTransformer| {
+            let c = Certifier::new(&train)
+                .depth(depth)
+                .domain(DomainKind::Disjuncts)
+                .transformer(t)
+                .timeout(opts.timeout);
+            xs.iter().filter(|x| c.certify(x, n).is_robust()).count()
+        };
+        println!(
+            "{n:>5} {:>15}/{:<2} {:>15}/{:<2}",
+            count(CprobTransformer::Natural),
+            xs.len(),
+            count(CprobTransformer::Optimal),
+            xs.len()
+        );
+    }
+
+    println!();
+    println!("== ablation 2: hybrid disjunct budget ({}, depth {depth}, n = 4) ==", bench.name());
+    println!("{:>12} {:>10} {:>12} {:>12}", "domain", "verified", "total_time", "peak_disj");
+    let domains: Vec<(String, DomainKind)> = [1usize, 2, 8, 32, 128]
+        .into_iter()
+        .map(|k| (format!("hybrid{k}"), DomainKind::Hybrid { max_disjuncts: k }))
+        .chain([
+            ("box".to_string(), DomainKind::Box),
+            ("disjuncts".to_string(), DomainKind::Disjuncts),
+        ])
+        .collect();
+    for (name, domain) in domains {
+        let c = Certifier::new(&train).depth(depth).domain(domain).timeout(opts.timeout);
+        let t0 = Instant::now();
+        let mut verified = 0usize;
+        let mut peak = 0usize;
+        for x in &xs {
+            let out = c.certify(x, 4);
+            verified += out.is_robust() as usize;
+            peak = peak.max(out.stats.peak_disjuncts);
+        }
+        let elapsed: Duration = t0.elapsed();
+        println!(
+            "{name:>12} {:>7}/{:<2} {:>12} {:>12}",
+            verified,
+            xs.len(),
+            fmt_time(elapsed),
+            peak
+        );
+    }
+}

@@ -1,0 +1,40 @@
+//! Regenerates **Figure 6**: fraction of test instances proven robust
+//! versus poisoning parameter `n` (log-scale x), one panel per dataset,
+//! one series per depth. As in the paper (§6.2), an instance counts as
+//! verified if *either* the Box or the Disjuncts domain proves it.
+//!
+//! ```text
+//! cargo run -p antidote-bench --release --bin fig6 [-- --points K --timeout S --depths 1,2 --dataset id --full]
+//! ```
+
+use antidote_bench::{run_series, union_series, HarnessOptions};
+use antidote_core::DomainKind;
+use antidote_data::Benchmark;
+
+fn main() {
+    let opts = HarnessOptions::parse(std::env::args().skip(1));
+    let benches: Vec<Benchmark> =
+        opts.dataset.map_or_else(|| Benchmark::ALL.to_vec(), |b| vec![b]);
+    for bench in benches {
+        let (train, xs) = opts.load(bench);
+        println!(
+            "== Figure 6 panel: {} (|T| = {}, {} test points; 1% of train = {}) ==",
+            bench.name(),
+            train.len(),
+            xs.len(),
+            train.len() / 100
+        );
+        println!("{:>6} {:>5} {:>10} {:>10}", "depth", "n", "verified", "fraction");
+        for &depth in &opts.depths {
+            let a = run_series(&train, &xs, depth, DomainKind::Box, opts.timeout);
+            let b = run_series(&train, &xs, depth, DomainKind::Disjuncts, opts.timeout);
+            for (n, verified, total) in union_series(&a.points, &b.points) {
+                println!(
+                    "{depth:>6} {n:>5} {verified:>10} {:>10.3}",
+                    verified as f64 / total.max(1) as f64
+                );
+            }
+        }
+        println!();
+    }
+}

@@ -1,0 +1,54 @@
+//! Regenerates the per-dataset detail figures — **Figure 7**
+//! (MNIST-1-7-Binary), **Figure 8** (Iris), **Figure 9** (Mammographic
+//! Masses), **Figure 10** (WDBC), **Figure 11** (MNIST-1-7-Real): number
+//! verified, average time, and average peak memory, per depth, for the
+//! Box and Disjuncts domains separately.
+//!
+//! ```text
+//! cargo run -p antidote-bench --release --bin figure -- --dataset mnist17-binary [--points K --timeout S --depths 1,2,3,4 --full]
+//! ```
+
+use antidote_bench::{fmt_mem, fmt_time, run_series, HarnessOptions};
+use antidote_core::DomainKind;
+use antidote_data::Benchmark;
+
+fn main() {
+    let opts = HarnessOptions::parse(std::env::args().skip(1));
+    let bench = opts.dataset.unwrap_or(Benchmark::Mnist17Binary);
+    let figure = match bench {
+        Benchmark::Mnist17Binary => "Figure 7",
+        Benchmark::Iris => "Figure 8",
+        Benchmark::Mammographic => "Figure 9",
+        Benchmark::Wdbc => "Figure 10",
+        Benchmark::Mnist17Real => "Figure 11",
+    };
+    let (train, xs) = opts.load(bench);
+    println!(
+        "== {figure}: {} (|T| = {}, {} test points) ==",
+        bench.name(),
+        train.len(),
+        xs.len()
+    );
+    println!(
+        "{:>10} {:>6} {:>5} {:>9} {:>10} {:>10} {:>9} {:>8}",
+        "domain", "depth", "n", "verified", "avg_time", "avg_mem", "timeouts", "budget"
+    );
+    for &depth in &opts.depths {
+        for domain in [DomainKind::Box, DomainKind::Disjuncts] {
+            let series = run_series(&train, &xs, depth, domain, opts.timeout);
+            for p in &series.points {
+                println!(
+                    "{:>10} {:>6} {:>5} {:>9} {:>10} {:>10} {:>9} {:>8}",
+                    domain.id(),
+                    depth,
+                    p.n,
+                    format!("{}/{}", p.verified, p.attempted),
+                    fmt_time(p.avg_time),
+                    fmt_mem(p.avg_peak_bytes),
+                    p.timeouts,
+                    p.budget_exhausted
+                );
+            }
+        }
+    }
+}

@@ -1,0 +1,68 @@
+//! Extension figure: certified budgets under the **removal** model
+//! (`Δn(T)`, the paper's) versus the **label-flip** model (`Δflip_n(T)`,
+//! our extension), side by side per dataset and depth.
+//!
+//! ```text
+//! cargo run -p antidote-bench --release --bin flipfig [-- --dataset id --points K --timeout S --depths 1,2]
+//! ```
+
+use antidote_bench::{fmt_time, HarnessOptions};
+use antidote_core::flip::certify_label_flips;
+use antidote_core::learner::Limits;
+use antidote_core::{Certifier, DomainKind};
+use antidote_data::Benchmark;
+use std::time::Instant;
+
+fn main() {
+    let mut opts = HarnessOptions::parse(std::env::args().skip(1));
+    if opts.depths == vec![1, 2, 3, 4] {
+        opts.depths = vec![1, 2];
+    }
+    let bench = opts.dataset.unwrap_or(Benchmark::Mammographic);
+    let (train, xs) = opts.load(bench);
+    println!(
+        "== removal vs label-flip certificates: {} (|T| = {}, {} test points) ==",
+        bench.name(),
+        train.len(),
+        xs.len()
+    );
+    println!(
+        "{:>6} {:>5} {:>17} {:>17}",
+        "depth", "n", "removal verified", "flip verified"
+    );
+    for &depth in &opts.depths {
+        let removal = Certifier::new(&train)
+            .depth(depth)
+            .domain(DomainKind::Disjuncts)
+            .timeout(opts.timeout);
+        for n in [1usize, 2, 4, 8, 16, 32] {
+            if n >= train.len() {
+                break;
+            }
+            let t0 = Instant::now();
+            let removal_ok = xs.iter().filter(|x| removal.certify(x, n).is_robust()).count();
+            let removal_t = t0.elapsed();
+            let t0 = Instant::now();
+            let flip_ok = xs
+                .iter()
+                .filter(|x| {
+                    let limits = Limits {
+                        deadline: Some(Instant::now() + opts.timeout),
+                        max_live_disjuncts: None,
+                    };
+                    certify_label_flips(&train, x, depth, n, limits).is_robust()
+                })
+                .count();
+            let flip_t = t0.elapsed();
+            println!(
+                "{depth:>6} {n:>5} {:>12}/{:<2} ({:>6}) {:>10}/{:<2} ({:>6})",
+                removal_ok,
+                xs.len(),
+                fmt_time(removal_t),
+                flip_ok,
+                xs.len(),
+                fmt_time(flip_t)
+            );
+        }
+    }
+}

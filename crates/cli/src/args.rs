@@ -1,0 +1,177 @@
+//! Minimal hand-rolled argument parsing (no external CLI crates in the
+//! approved dependency set).
+
+use antidote_core::DomainKind;
+use antidote_data::{Benchmark, Scale};
+use std::collections::BTreeMap;
+
+/// Parsed command line: a subcommand plus `--key value` options.
+#[derive(Debug, Clone, Default)]
+pub struct Args {
+    /// The subcommand (first positional argument).
+    pub command: String,
+    /// `--key value` pairs, last occurrence wins.
+    pub options: BTreeMap<String, String>,
+}
+
+/// A user-facing CLI error.
+#[derive(Debug)]
+pub struct CliError(pub String);
+
+impl std::fmt::Display for CliError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(&self.0)
+    }
+}
+
+impl std::error::Error for CliError {}
+
+impl Args {
+    /// Parses `argv` (without the program name).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`CliError`] on a missing subcommand, an option without a
+    /// value, or a stray positional argument.
+    pub fn parse<I: IntoIterator<Item = String>>(argv: I) -> Result<Args, CliError> {
+        let mut it = argv.into_iter();
+        let command = it.next().ok_or_else(|| CliError("missing subcommand".into()))?;
+        let mut options = BTreeMap::new();
+        while let Some(arg) = it.next() {
+            let Some(key) = arg.strip_prefix("--") else {
+                return Err(CliError(format!("unexpected positional argument '{arg}'")));
+            };
+            let value =
+                it.next().ok_or_else(|| CliError(format!("option --{key} needs a value")))?;
+            options.insert(key.to_string(), value);
+        }
+        Ok(Args { command, options })
+    }
+
+    /// String option with a default.
+    pub fn get_or<'a>(&'a self, key: &str, default: &'a str) -> &'a str {
+        self.options.get(key).map(String::as_str).unwrap_or(default)
+    }
+
+    /// Parsed numeric option with a default.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`CliError`] when the value does not parse.
+    pub fn get_num<T: std::str::FromStr>(&self, key: &str, default: T) -> Result<T, CliError> {
+        match self.options.get(key) {
+            None => Ok(default),
+            Some(v) => {
+                v.parse().map_err(|_| CliError(format!("--{key}: cannot parse '{v}'")))
+            }
+        }
+    }
+
+    /// The benchmark named by `--dataset` (default `iris`).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`CliError`] for an unknown dataset id.
+    pub fn benchmark(&self) -> Result<Benchmark, CliError> {
+        let id = self.get_or("dataset", "iris");
+        Benchmark::from_id(id).ok_or_else(|| {
+            let ids: Vec<&str> = Benchmark::ALL.iter().map(|b| b.id()).collect();
+            CliError(format!("unknown dataset '{id}'; expected one of {}", ids.join(", ")))
+        })
+    }
+
+    /// The scale named by `--scale` (default `small`).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`CliError`] for an unknown scale.
+    pub fn scale(&self) -> Result<Scale, CliError> {
+        match self.get_or("scale", "small") {
+            "small" => Ok(Scale::Small),
+            "paper" => Ok(Scale::Paper),
+            other => Err(CliError(format!("unknown scale '{other}'; expected small|paper"))),
+        }
+    }
+
+    /// The domain named by `--domain` (default `box`): `box`, `disjuncts`,
+    /// or `hybridK` (e.g. `hybrid64`).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`CliError`] for an unknown domain.
+    pub fn domain(&self) -> Result<DomainKind, CliError> {
+        parse_domain(self.get_or("domain", "box"))
+    }
+}
+
+/// Parses a domain identifier.
+///
+/// # Errors
+///
+/// Returns [`CliError`] for an unknown identifier.
+pub fn parse_domain(s: &str) -> Result<DomainKind, CliError> {
+    match s {
+        "box" => Ok(DomainKind::Box),
+        "disjuncts" => Ok(DomainKind::Disjuncts),
+        other => {
+            if let Some(k) = other.strip_prefix("hybrid") {
+                let k: usize = k
+                    .parse()
+                    .map_err(|_| CliError(format!("bad hybrid budget in '{other}'")))?;
+                Ok(DomainKind::Hybrid { max_disjuncts: k.max(1) })
+            } else {
+                Err(CliError(format!(
+                    "unknown domain '{other}'; expected box|disjuncts|hybridK"
+                )))
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn argv(s: &str) -> Vec<String> {
+        s.split_whitespace().map(String::from).collect()
+    }
+
+    #[test]
+    fn parses_subcommand_and_options() {
+        let a = Args::parse(argv("certify --dataset wdbc --n 4 --depth 2")).unwrap();
+        assert_eq!(a.command, "certify");
+        assert_eq!(a.get_or("dataset", "iris"), "wdbc");
+        assert_eq!(a.get_num("n", 0usize).unwrap(), 4);
+        assert_eq!(a.get_num("depth", 1usize).unwrap(), 2);
+        assert_eq!(a.get_num("missing", 7usize).unwrap(), 7);
+    }
+
+    #[test]
+    fn rejects_malformed() {
+        assert!(Args::parse(argv("")).is_err());
+        assert!(Args::parse(argv("certify stray")).is_err());
+        assert!(Args::parse(argv("certify --n")).is_err());
+        let a = Args::parse(argv("certify --n abc")).unwrap();
+        assert!(a.get_num("n", 0usize).is_err());
+    }
+
+    #[test]
+    fn dataset_and_scale_and_domain() {
+        let a = Args::parse(argv("x --dataset mnist17-binary --scale paper --domain hybrid32"))
+            .unwrap();
+        assert_eq!(a.benchmark().unwrap(), Benchmark::Mnist17Binary);
+        assert_eq!(a.scale().unwrap(), Scale::Paper);
+        assert_eq!(a.domain().unwrap(), DomainKind::Hybrid { max_disjuncts: 32 });
+        assert!(parse_domain("disjuncts").is_ok());
+        assert!(parse_domain("boxy").is_err());
+        assert!(parse_domain("hybrid").is_err());
+    }
+
+    #[test]
+    fn defaults() {
+        let a = Args::parse(argv("sweep")).unwrap();
+        assert_eq!(a.benchmark().unwrap(), Benchmark::Iris);
+        assert_eq!(a.scale().unwrap(), Scale::Small);
+        assert_eq!(a.domain().unwrap(), DomainKind::Box);
+    }
+}

@@ -1,0 +1,397 @@
+//! `antidote` — command-line front-end for the poisoning-robustness
+//! prover.
+//!
+//! ```text
+//! antidote certify  --dataset wdbc --depth 2 --n 8 --domain disjuncts [--index 0]
+//! antidote sweep    --dataset iris --depth 2 --domain box [--points 30] [--timeout 10]
+//! antidote accuracy --dataset mnist17-binary [--scale paper]
+//! antidote attack   --dataset mammo --depth 2 --budget 16 [--index 0]
+//! antidote stats    --dataset wdbc
+//! antidote headline [--scale paper]
+//! ```
+//!
+//! Datasets may also be CSV files: pass `--csv path` instead of
+//! `--dataset` (the file's last column must be named `label`; an 80/20
+//! split is applied).
+
+mod args;
+
+use antidote_baselines::{enumerate_robustness, greedy_attack, log10_count, EnumVerdict};
+use antidote_core::{sweep, Certifier, SweepConfig, Verdict};
+use antidote_data::{train_test_split, Dataset, DatasetStats, Subset};
+use antidote_tree::eval::accuracy;
+use antidote_tree::learn_tree;
+use args::{Args, CliError};
+use std::time::Duration;
+
+fn main() {
+    let argv: Vec<String> = std::env::args().skip(1).collect();
+    match run(argv) {
+        Ok(()) => {}
+        Err(e) => {
+            eprintln!("error: {e}");
+            eprintln!();
+            eprintln!("{USAGE}");
+            std::process::exit(2);
+        }
+    }
+}
+
+const USAGE: &str = "usage:
+  antidote certify  --dataset <id> --depth <d> --n <n> [--domain box|disjuncts|hybridK] [--index i] [--timeout secs]
+  antidote flip     --dataset <id> --depth <d> --n <n> [--index i] [--timeout secs]
+  antidote forest   --dataset <id> --depth <d> --n <n> [--trees t] [--features f] [--index i]
+  antidote tree     --dataset <id> --depth <d> [--dot true]
+  antidote sweep    --dataset <id> --depth <d> [--domain ...] [--points k] [--timeout secs]
+  antidote accuracy --dataset <id> [--scale small|paper]
+  antidote attack   --dataset <id> --depth <d> --budget <n> [--index i]
+  antidote stats    --dataset <id>
+  antidote headline [--scale small|paper]
+datasets: iris, mammo, wdbc, mnist17-binary, mnist17-real (or --csv <path>)";
+
+fn run(argv: Vec<String>) -> Result<(), CliError> {
+    let args = Args::parse(argv)?;
+    match args.command.as_str() {
+        "certify" => cmd_certify(&args),
+        "flip" => cmd_flip(&args),
+        "forest" => cmd_forest(&args),
+        "tree" => cmd_tree(&args),
+        "sweep" => cmd_sweep(&args),
+        "accuracy" => cmd_accuracy(&args),
+        "attack" => cmd_attack(&args),
+        "stats" => cmd_stats(&args),
+        "headline" => cmd_headline(&args),
+        "help" | "--help" | "-h" => {
+            println!("{USAGE}");
+            Ok(())
+        }
+        other => Err(CliError(format!("unknown subcommand '{other}'"))),
+    }
+}
+
+/// Loads the `(train, test)` pair from `--csv` or `--dataset`.
+fn load(args: &Args) -> Result<(Dataset, Dataset), CliError> {
+    if let Some(path) = args.options.get("csv") {
+        let ds = antidote_data::csv::load_csv(path)
+            .map_err(|e| CliError(format!("loading {path}: {e}")))?;
+        let seed = args.get_num("seed", 0u64)?;
+        Ok(train_test_split(&ds, 0.2, seed))
+    } else {
+        let bench = args.benchmark()?;
+        let scale = args.scale()?;
+        let seed = args.get_num("seed", 0u64)?;
+        Ok(bench.load(scale, seed))
+    }
+}
+
+fn cmd_certify(args: &Args) -> Result<(), CliError> {
+    let (train, test) = load(args)?;
+    let depth = args.get_num("depth", 2usize)?;
+    let n = args.get_num("n", 1usize)?;
+    let index = args.get_num("index", 0u32)?;
+    if index as usize >= test.len() {
+        return Err(CliError(format!("--index {index} out of range (test set has {})", test.len())));
+    }
+    let mut certifier = Certifier::new(&train).depth(depth).domain(args.domain()?);
+    let timeout = args.get_num("timeout", 0u64)?;
+    if timeout > 0 {
+        certifier = certifier.timeout(Duration::from_secs(timeout));
+    }
+    let x = test.row_values(index);
+    let out = certifier.certify(&x, n);
+    let label_name = &train.schema().classes()[out.label as usize];
+    println!(
+        "test element {index}: reference label = {label_name} (true label = {})",
+        test.schema().classes()[test.label(index) as usize]
+    );
+    println!(
+        "verdict at n = {n}, depth = {depth}, domain = {}: {:?}",
+        args.domain()?.id(),
+        out.verdict
+    );
+    println!(
+        "  time {:?}, peak disjuncts {}, memory proxy {:.1} MB, {} terminal states",
+        out.stats.elapsed,
+        out.stats.peak_disjuncts,
+        out.stats.peak_bytes as f64 / 1e6,
+        out.stats.terminals
+    );
+    if out.verdict == Verdict::Robust {
+        println!(
+            "  proof covers ~10^{:.0} poisoned training sets",
+            log10_count(train.len(), n)
+        );
+    } else if out.verdict == Verdict::Unknown {
+        // Attribute the failure: which terminal state blocked dominance?
+        let e = antidote_core::explain(
+            &train,
+            &x,
+            depth,
+            n,
+            args.domain()?,
+            antidote_domains::CprobTransformer::Optimal,
+        );
+        if let Some(worst) = e.worst_blocker() {
+            println!(
+                "  blocked by a terminal fragment of {} rows (budget {}) where \
+                 no class dominates: {:?}",
+                worst.fragment_size, worst.remaining_budget, worst.intervals
+            );
+        }
+    }
+    Ok(())
+}
+
+fn cmd_flip(args: &Args) -> Result<(), CliError> {
+    use antidote_core::flip::certify_label_flips;
+    use antidote_core::learner::Limits;
+
+    let (train, test) = load(args)?;
+    let depth = args.get_num("depth", 2usize)?;
+    let n = args.get_num("n", 1usize)?;
+    let index = args.get_num("index", 0u32)?;
+    if index as usize >= test.len() {
+        return Err(CliError(format!("--index {index} out of range (test set has {})", test.len())));
+    }
+    let timeout = args.get_num("timeout", 0u64)?;
+    let limits = Limits {
+        deadline: (timeout > 0)
+            .then(|| std::time::Instant::now() + Duration::from_secs(timeout)),
+        max_live_disjuncts: None,
+    };
+    let x = test.row_values(index);
+    let out = certify_label_flips(&train, &x, depth, n, limits);
+    println!(
+        "label-flip robustness of test element {index} (label {}):",
+        train.schema().classes()[out.label as usize]
+    );
+    println!("verdict at {n} flips, depth {depth}: {:?} in {:?}", out.verdict, out.stats.elapsed);
+    Ok(())
+}
+
+fn cmd_forest(args: &Args) -> Result<(), CliError> {
+    use antidote_core::ensemble::{certify_forest, EnsembleConfig};
+    use antidote_tree::forest::{learn_forest, ForestConfig};
+
+    let (train, test) = load(args)?;
+    let depth = args.get_num("depth", 1usize)?;
+    let n = args.get_num("n", 1usize)?;
+    let index = args.get_num("index", 0u32)?;
+    if index as usize >= test.len() {
+        return Err(CliError(format!("--index {index} out of range (test set has {})", test.len())));
+    }
+    let fcfg = ForestConfig {
+        n_trees: args.get_num("trees", 7usize)?,
+        features_per_tree: args.get_num("features", (train.n_features() / 3).max(1))?,
+        max_depth: depth,
+        seed: args.get_num("seed", 0u64)?,
+    };
+    let forest = learn_forest(&train, &fcfg);
+    let cfg = EnsembleConfig { depth, ..EnsembleConfig::default() };
+    let out = certify_forest(&train, &forest, &test.row_values(index), n, &cfg);
+    println!(
+        "forest of {} trees (depth {depth}, {} features each), accuracy {:.1}%",
+        forest.len(),
+        fcfg.features_per_tree,
+        100.0 * forest.accuracy(&test)
+    );
+    println!(
+        "test element {index}: label {}, certified votes {}/{}, robust at n = {n}: {}",
+        train.schema().classes()[out.label as usize],
+        out.certified_votes,
+        out.total_trees,
+        out.robust
+    );
+    Ok(())
+}
+
+fn cmd_tree(args: &Args) -> Result<(), CliError> {
+    let (train, test) = load(args)?;
+    let depth = args.get_num("depth", 2usize)?;
+    let tree = learn_tree(&train, &Subset::full(&train), depth);
+    if args.get_or("dot", "false") == "true" {
+        print!("{}", antidote_tree::viz::render_dot(&tree, train.schema()));
+    } else {
+        print!("{}", antidote_tree::viz::render_text(&tree, train.schema()));
+        println!(
+            "({} nodes, {} leaves, test accuracy {:.1}%)",
+            tree.n_nodes(),
+            tree.n_leaves(),
+            100.0 * accuracy(&tree, &test)
+        );
+    }
+    Ok(())
+}
+
+fn cmd_sweep(args: &Args) -> Result<(), CliError> {
+    let (train, test) = load(args)?;
+    let depth = args.get_num("depth", 2usize)?;
+    let points = args.get_num("points", test.len())?.min(test.len());
+    let timeout = args.get_num("timeout", 10u64)?;
+    let cfg = SweepConfig {
+        depth,
+        domain: args.domain()?,
+        timeout: (timeout > 0).then(|| Duration::from_secs(timeout)),
+        ..SweepConfig::default()
+    };
+    let xs: Vec<Vec<f64>> = (0..points as u32).map(|r| test.row_values(r)).collect();
+    println!(
+        "# sweep: dataset |T|={}, {} test points, depth {depth}, domain {}",
+        train.len(),
+        points,
+        cfg.domain.id()
+    );
+    println!("{:>8} {:>9} {:>9} {:>10} {:>12} {:>9}", "n", "attempted", "verified", "fraction", "avg_time_ms", "mem_MB");
+    for p in sweep(&train, &xs, &cfg) {
+        println!(
+            "{:>8} {:>9} {:>9} {:>10.3} {:>12.2} {:>9.1}",
+            p.n,
+            p.attempted,
+            p.verified,
+            p.fraction_verified(),
+            p.avg_time.as_secs_f64() * 1e3,
+            p.avg_peak_bytes as f64 / 1e6
+        );
+    }
+    Ok(())
+}
+
+fn cmd_accuracy(args: &Args) -> Result<(), CliError> {
+    let (train, test) = load(args)?;
+    println!(
+        "# {} train / {} test, {} features, {} classes",
+        train.len(),
+        test.len(),
+        train.n_features(),
+        train.n_classes()
+    );
+    let full = Subset::full(&train);
+    for depth in 1..=4 {
+        let tree = learn_tree(&train, &full, depth);
+        println!(
+            "depth {depth}: test accuracy {:.1}%  ({} leaves)",
+            100.0 * accuracy(&tree, &test),
+            tree.n_leaves()
+        );
+    }
+    Ok(())
+}
+
+fn cmd_attack(args: &Args) -> Result<(), CliError> {
+    let (train, test) = load(args)?;
+    let depth = args.get_num("depth", 2usize)?;
+    let budget = args.get_num("budget", 8usize)?;
+    let index = args.get_num("index", 0u32)?;
+    if index as usize >= test.len() {
+        return Err(CliError(format!("--index {index} out of range (test set has {})", test.len())));
+    }
+    let x = test.row_values(index);
+    let r = greedy_attack(&train, &x, depth, budget);
+    println!(
+        "greedy attack on test element {index} (label {}), budget {budget}:",
+        train.schema().classes()[r.reference_label as usize]
+    );
+    if r.succeeded() {
+        println!(
+            "  SUCCESS with {} removals -> label {} ({} retrainings)",
+            r.removals(),
+            train.schema().classes()[r.final_label as usize],
+            r.retrainings
+        );
+        println!("  removed rows: {:?}", r.removed);
+        // Verify against exact enumeration when affordable.
+        if let EnumVerdict::Broken { removed, .. } =
+            enumerate_robustness(&train, &x, depth, r.removals(), 100_000)
+        {
+            println!("  exact enumeration confirms a minimal break of size <= {}", removed.len());
+        }
+    } else {
+        println!("  no flip found within budget ({} retrainings)", r.retrainings);
+    }
+    Ok(())
+}
+
+fn cmd_stats(args: &Args) -> Result<(), CliError> {
+    let (train, test) = load(args)?;
+    println!("train: {}", DatasetStats::compute(&train));
+    println!("test:  {}", DatasetStats::compute(&test));
+    Ok(())
+}
+
+fn cmd_headline(args: &Args) -> Result<(), CliError> {
+    // The §2 headline: proving MNIST-1-7 robust at n = 192 covers ~10^432
+    // datasets; naïve enumeration is hopeless.
+    let (train, _) = {
+        let bench = antidote_data::Benchmark::Mnist17Binary;
+        bench.load(args.scale()?, args.get_num("seed", 0u64)?)
+    };
+    for n in [50usize, 64, 128, 192] {
+        println!(
+            "|Δn(T)| for |T| = {:>6}, n = {:>3}:  ~10^{:.0} training sets",
+            train.len(),
+            n,
+            log10_count(train.len(), n)
+        );
+    }
+    Ok(())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn argv(s: &str) -> Vec<String> {
+        s.split_whitespace().map(String::from).collect()
+    }
+
+    #[test]
+    fn help_and_errors() {
+        assert!(run(argv("help")).is_ok());
+        assert!(run(argv("bogus")).is_err());
+        assert!(run(argv("certify --dataset nope")).is_err());
+    }
+
+    #[test]
+    fn certify_and_stats_run_end_to_end() {
+        assert!(run(argv("certify --dataset iris --depth 1 --n 1 --index 0")).is_ok());
+        assert!(run(argv("stats --dataset iris")).is_ok());
+        assert!(run(argv("headline")).is_ok());
+    }
+
+    #[test]
+    fn accuracy_runs() {
+        assert!(run(argv("accuracy --dataset iris")).is_ok());
+    }
+
+    #[test]
+    fn attack_runs() {
+        assert!(run(argv("attack --dataset iris --depth 1 --budget 2 --index 0")).is_ok());
+    }
+
+    #[test]
+    fn flip_forest_and_tree_run() {
+        assert!(run(argv("flip --dataset iris --depth 1 --n 1 --index 0")).is_ok());
+        assert!(run(argv("forest --dataset iris --depth 1 --n 1 --trees 3 --features 2")).is_ok());
+        assert!(run(argv("tree --dataset iris --depth 2")).is_ok());
+        assert!(run(argv("tree --dataset iris --depth 1 --dot true")).is_ok());
+        assert!(run(argv("flip --dataset iris --index 999")).is_err());
+        assert!(run(argv("forest --dataset iris --index 999")).is_err());
+    }
+
+    #[test]
+    fn index_bounds_checked() {
+        assert!(run(argv("certify --dataset iris --index 999")).is_err());
+        assert!(run(argv("attack --dataset iris --index 999")).is_err());
+    }
+
+    #[test]
+    fn csv_path_is_loaded() {
+        let ds = antidote_data::synth::iris_like(0);
+        let dir = std::env::temp_dir().join("antidote-cli-test");
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("iris.csv");
+        antidote_data::csv::save_csv(&ds, &path).unwrap();
+        let cmd = format!("stats --csv {}", path.display());
+        assert!(run(argv(&cmd)).is_ok());
+    }
+}

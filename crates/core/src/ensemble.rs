@@ -1,0 +1,249 @@
+//! Extension: poisoning-robustness certification for **tree ensembles**.
+//!
+//! The paper suggests its technique matters because decision trees
+//! underlie random forests (§1); this module composes per-tree Antidote
+//! certificates into an ensemble certificate.
+//!
+//! # Soundness argument
+//!
+//! A random-subspace forest (see `antidote_tree::forest`) trains every
+//! tree on the *same* row set `T` (each over its own feature subset), so
+//! an attacker's removal set `R` (|R| ≤ n) acts on all trees
+//! simultaneously: the poisoned forest is exactly
+//! `{ Lᵢ(T \ R) }ᵢ`, and each `T \ R` lies in the `Δn(T)` of tree `i`'s
+//! projected dataset. Hence if tree `i` is certified at budget `n`, its
+//! vote is fixed for **every** removal the attacker can make.
+//!
+//! Let `V` be the trees certified to vote the reference class `y*` under
+//! any ≤ n removals. Votes of uncertified trees are unknown, so assume
+//! adversarially that they all land on `y*`'s strongest rival: the
+//! ensemble's majority vote is invariant iff `|V| > (#trees − |V|)` —
+//! strictly, because vote ties resolve arbitrarily. (For the deterministic
+//! smallest-class tie-break, `y* = class 0` would also win ties, but the
+//! certificate does not rely on that.)
+//!
+//! This is conservative in the usual abstract-interpretation sense:
+//! correlated vote *flips* that cancel each other are not exploited, and
+//! a forest can be robust without a majority of individually robust
+//! trees.
+
+use crate::certify::{Certifier, Verdict};
+use crate::learner::DomainKind;
+use antidote_data::{ClassId, Dataset};
+use antidote_domains::CprobTransformer;
+use antidote_tree::forest::Forest;
+use std::time::{Duration, Instant};
+
+/// Per-tree detail of an ensemble certification.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct MemberOutcome {
+    /// The member's vote on the unpoisoned training set.
+    pub vote: ClassId,
+    /// The member's certification verdict at the ensemble's budget.
+    pub verdict: Verdict,
+}
+
+/// The result of certifying a forest prediction.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct EnsembleOutcome {
+    /// Whether the ensemble's majority vote is provably invariant.
+    pub robust: bool,
+    /// The forest's reference prediction `y*`.
+    pub label: ClassId,
+    /// Trees certified to keep voting `y*`.
+    pub certified_votes: usize,
+    /// Total trees.
+    pub total_trees: usize,
+    /// Per-tree breakdown, in member order.
+    pub members: Vec<MemberOutcome>,
+    /// Total wall-clock time.
+    pub elapsed: Duration,
+}
+
+/// Configuration for [`certify_forest`].
+#[derive(Debug, Clone)]
+pub struct EnsembleConfig {
+    /// Abstract domain for the per-tree certifications.
+    pub domain: DomainKind,
+    /// `cprob#` transformer.
+    pub transformer: CprobTransformer,
+    /// Per-tree timeout.
+    pub timeout: Option<Duration>,
+    /// Per-tree depth used for certification (must match the depth the
+    /// forest was trained with to certify the deployed model).
+    pub depth: usize,
+}
+
+impl Default for EnsembleConfig {
+    fn default() -> Self {
+        EnsembleConfig {
+            domain: DomainKind::Disjuncts,
+            transformer: CprobTransformer::Optimal,
+            timeout: Some(Duration::from_secs(5)),
+            depth: 2,
+        }
+    }
+}
+
+/// Attempts to prove that the forest's majority vote for `x` survives any
+/// `n`-element poisoning of the shared training set.
+///
+/// # Panics
+///
+/// Panics if the forest is empty or `ds` is empty.
+pub fn certify_forest(
+    ds: &Dataset,
+    forest: &Forest,
+    x: &[f64],
+    n: usize,
+    cfg: &EnsembleConfig,
+) -> EnsembleOutcome {
+    assert!(!forest.is_empty(), "cannot certify an empty forest");
+    let start = Instant::now();
+    let label = forest.predict(x);
+    let mut members = Vec::with_capacity(forest.len());
+    let mut certified_votes = 0usize;
+    for m in forest.members() {
+        let projected_ds = ds.select_features(&m.features);
+        let projected_x = m.project(x);
+        let mut certifier = Certifier::new(&projected_ds)
+            .depth(cfg.depth)
+            .domain(cfg.domain)
+            .transformer(cfg.transformer);
+        if let Some(t) = cfg.timeout {
+            certifier = certifier.timeout(t);
+        }
+        let vote = m.vote(x);
+        // Only a certificate for a tree that votes the reference class
+        // contributes to the invariant majority.
+        let out = certifier.certify(&projected_x, n);
+        if out.is_robust() && vote == label {
+            certified_votes += 1;
+        }
+        members.push(MemberOutcome { vote, verdict: out.verdict });
+    }
+    let robust = certified_votes * 2 > forest.len();
+    EnsembleOutcome {
+        robust,
+        label,
+        certified_votes,
+        total_trees: forest.len(),
+        members,
+        elapsed: start.elapsed(),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use antidote_data::synth::{self, BlobSpec};
+    use antidote_tree::forest::{learn_forest, ForestConfig};
+
+    fn blob_ds() -> Dataset {
+        // 4 redundant informative features so random subspaces all carry
+        // signal.
+        synth::gaussian_blobs(
+            &BlobSpec {
+                means: vec![vec![0.0; 4], vec![10.0; 4]],
+                stds: vec![vec![1.0; 4], vec![1.0; 4]],
+                per_class: 60,
+                quantum: Some(0.1),
+            },
+            3,
+        )
+    }
+
+    #[test]
+    fn redundant_blobs_certify_as_an_ensemble() {
+        let ds = blob_ds();
+        let forest = learn_forest(
+            &ds,
+            &ForestConfig { n_trees: 5, features_per_tree: 2, max_depth: 1, seed: 0 },
+        );
+        let cfg = EnsembleConfig { depth: 1, ..EnsembleConfig::default() };
+        let x = vec![0.3; 4];
+        let out = certify_forest(&ds, &forest, &x, 6, &cfg);
+        assert!(out.robust, "certified {} of {}", out.certified_votes, out.total_trees);
+        assert_eq!(out.label, 0);
+        assert_eq!(out.members.len(), 5);
+        assert!(out.certified_votes * 2 > out.total_trees);
+    }
+
+    #[test]
+    fn ensemble_certificate_requires_majority() {
+        let ds = blob_ds();
+        let forest = learn_forest(
+            &ds,
+            &ForestConfig { n_trees: 5, features_per_tree: 2, max_depth: 1, seed: 0 },
+        );
+        let cfg = EnsembleConfig { depth: 1, ..EnsembleConfig::default() };
+        // A budget that can erase an entire class certifies no tree.
+        let out = certify_forest(&ds, &forest, &[0.3; 4], 120, &cfg);
+        assert!(!out.robust);
+        assert_eq!(out.certified_votes, 0);
+    }
+
+    #[test]
+    fn member_votes_match_forest_prediction() {
+        let ds = blob_ds();
+        let forest = learn_forest(
+            &ds,
+            &ForestConfig { n_trees: 7, features_per_tree: 3, max_depth: 2, seed: 1 },
+        );
+        let cfg = EnsembleConfig::default();
+        let x = ds.row_values(10);
+        let out = certify_forest(&ds, &forest, &x, 2, &cfg);
+        // Reconstruct the majority from the reported member votes.
+        let mut counts = vec![0u32; ds.n_classes()];
+        for m in &out.members {
+            counts[m.vote as usize] += 1;
+        }
+        let majority = counts
+            .iter()
+            .enumerate()
+            .max_by_key(|&(i, &c)| (c, std::cmp::Reverse(i)))
+            .map(|(i, _)| i as ClassId)
+            .unwrap();
+        assert_eq!(majority, out.label);
+    }
+
+    #[test]
+    fn ensemble_soundness_against_enumeration() {
+        // Small forest + small dataset: if the ensemble certifies at n,
+        // enumerating every ≤ n-removal and retraining the whole forest
+        // must never flip the majority vote.
+        let spec = BlobSpec {
+            means: vec![vec![0.0, 0.0], vec![8.0, 8.0]],
+            stds: vec![vec![1.0, 1.0], vec![1.0, 1.0]],
+            per_class: 7,
+            quantum: Some(0.5),
+        };
+        let ds = synth::gaussian_blobs(&spec, 5);
+        let fcfg = ForestConfig { n_trees: 3, features_per_tree: 1, max_depth: 1, seed: 2 };
+        let forest = learn_forest(&ds, &fcfg);
+        let cfg = EnsembleConfig { depth: 1, ..EnsembleConfig::default() };
+        let x = vec![0.4, 0.1];
+        for n in 1..=2usize {
+            let out = certify_forest(&ds, &forest, &x, n, &cfg);
+            if !out.robust {
+                continue;
+            }
+            // Enumerate removals, retrain projected trees on kept rows.
+            let len = ds.len();
+            for mask in 0u32..(1 << len) {
+                let kept: Vec<u32> =
+                    (0..len as u32).filter(|i| mask & (1 << i) != 0).collect();
+                if len - kept.len() > n || kept.is_empty() {
+                    continue;
+                }
+                let sub = antidote_data::split::take_rows(&ds, &kept);
+                let poisoned = learn_forest(&sub, &fcfg);
+                assert_eq!(
+                    poisoned.predict(&x),
+                    out.label,
+                    "certified at n={n} but removal {kept:?} flips the forest"
+                );
+            }
+        }
+    }
+}

@@ -1,0 +1,438 @@
+//! The abstract learner `DTrace#` (§4.3, §4.7, §5.2).
+//!
+//! `DTrace#` abstractly interprets the loop of `DTrace` (Fig. 4) on an
+//! abstract training set. Its state is a set of *disjuncts*, each an
+//! [`AbstractSet`]; how that set is managed is the only difference between
+//! the paper's two domains and our extension:
+//!
+//! * [`DomainKind::Box`] — a single disjunct; `filter#` joins all predicate
+//!   branches into it (§4.5). Fast, memory-light, imprecise.
+//! * [`DomainKind::Disjuncts`] — one disjunct per (predicate, polarity)
+//!   branch, never joined (§5.2). Precise, exponential in depth.
+//! * [`DomainKind::Hybrid`] — disjuncts capped at `max_disjuncts`; when
+//!   exceeded, the smallest disjuncts are joined pairwise. This implements
+//!   the future-work direction the paper sketches in §6.3 ("capitalize on
+//!   the precision of tracking many disjuncts while incorporating the
+//!   efficiency of allowing some to be joined").
+//!
+//! Control flow follows §4.7. At the top of each iteration the conditional
+//! `ent(T) = 0` forks: the *then* branch terminates with the state
+//! restricted by `pure` to single-class concretizations; the *else* branch
+//! continues with the original state (soundly imprecise), except when the
+//! base set itself is pure — then no concretization can continue and the
+//! else branch is infeasible. After `bestSplit#`, the `φ = ⋄` conditional
+//! forks again: the ⋄ branch terminates with the current state, the other
+//! continues into `filter#`. Every terminal abstract set is collected;
+//! Corollary 4.12's dominance check must succeed on each one.
+//!
+//! The per-iteration predicate set Ψ is consumed by `filter#` within the
+//! same iteration (Fig. 4 reassigns φ before reading it), so disjuncts
+//! store only their abstract training set.
+
+use antidote_data::{ClassId, Dataset};
+use antidote_domains::{AbstractSet, CprobTransformer, Truth};
+use std::collections::HashSet;
+use std::time::Instant;
+
+use crate::score::best_split_abs;
+
+/// Which abstract state domain `DTrace#` runs in.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum DomainKind {
+    /// The paper's non-disjunctive product domain (§4.3): one abstract
+    /// state, joins at every branch point.
+    Box,
+    /// The paper's disjunctive domain (§5.2): unbounded disjunct set, join
+    /// is set union.
+    Disjuncts,
+    /// Extension: disjuncts capped at the given budget; overflowing
+    /// disjuncts are merged smallest-first with the domain join.
+    Hybrid {
+        /// Maximum number of simultaneously active disjuncts.
+        max_disjuncts: usize,
+    },
+}
+
+impl DomainKind {
+    /// Short identifier used by the CLI and the experiment harness.
+    pub fn id(&self) -> String {
+        match self {
+            DomainKind::Box => "box".into(),
+            DomainKind::Disjuncts => "disjuncts".into(),
+            DomainKind::Hybrid { max_disjuncts } => format!("hybrid{max_disjuncts}"),
+        }
+    }
+}
+
+/// Why a run stopped early.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Abort {
+    /// The configured deadline passed (§6.1's one-hour timeout).
+    Timeout,
+    /// The disjunct budget was exhausted (stands in for the paper's
+    /// out-of-memory failures).
+    DisjunctLimit,
+}
+
+/// Resource limits for one run.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct Limits {
+    /// Absolute deadline; checked once per processed disjunct.
+    pub deadline: Option<Instant>,
+    /// Maximum live disjuncts (active + terminal); `None` = unlimited.
+    pub max_live_disjuncts: Option<usize>,
+}
+
+/// Raw result of one abstract interpretation run.
+#[derive(Debug, Clone)]
+pub struct RunOutput {
+    /// Terminal abstract sets (one per return point reached).
+    pub terminals: Vec<AbstractSet>,
+    /// Why the run aborted, if it did (terminals are then incomplete).
+    pub aborted: Option<Abort>,
+    /// Peak number of simultaneous disjuncts (active + terminal).
+    pub peak_disjuncts: usize,
+    /// Peak memory proxy in bytes (Σ disjunct footprints, see DESIGN.md).
+    pub peak_bytes: usize,
+    /// Iterations of the depth loop fully completed.
+    pub iterations_completed: usize,
+}
+
+/// Runs `DTrace#(⟨T, n⟩, x)` to depth `depth`.
+///
+/// `initial` is usually [`AbstractSet::full`]`(ds, n)` — the precise
+/// abstraction `α(Δn(T))`.
+pub fn run_abstract(
+    ds: &Dataset,
+    initial: AbstractSet,
+    x: &[f64],
+    depth: usize,
+    domain: DomainKind,
+    transformer: CprobTransformer,
+    limits: Limits,
+) -> RunOutput {
+    let mut active: Vec<AbstractSet> = vec![initial];
+    let mut terminals: Vec<AbstractSet> = Vec::new();
+    let mut peak_disjuncts = 1usize;
+    let mut peak_bytes = 0usize;
+    let mut iterations_completed = 0usize;
+
+    for _ in 0..depth {
+        if active.is_empty() {
+            break;
+        }
+        let mut next: Vec<AbstractSet> = Vec::new();
+        for a in active.drain(..) {
+            if let Some(deadline) = limits.deadline {
+                if Instant::now() >= deadline {
+                    return RunOutput {
+                        terminals,
+                        aborted: Some(Abort::Timeout),
+                        peak_disjuncts,
+                        peak_bytes,
+                        iterations_completed,
+                    };
+                }
+            }
+
+            // --- conditional ent(T) = 0 (§4.7) ---
+            let pures: Vec<AbstractSet> = (0..ds.n_classes() as ClassId)
+                .filter_map(|c| a.pure(ds, c))
+                .collect();
+            if !pures.is_empty() {
+                match domain {
+                    DomainKind::Box => {
+                        let joined = pures
+                            .into_iter()
+                            .reduce(|x, y| x.join(ds, &y))
+                            .expect("non-empty");
+                        terminals.push(joined);
+                    }
+                    _ => terminals.extend(pures),
+                }
+            }
+            if a.base().is_pure() {
+                // Every concretization is pure: the else branch of the
+                // conditional is infeasible.
+                continue;
+            }
+
+            // --- φ ← bestSplit#(⟨T,n⟩) and the φ = ⋄ conditional ---
+            let bs = best_split_abs(ds, &a, transformer);
+            if bs.diamond {
+                terminals.push(a.clone());
+            }
+            if bs.preds.is_empty() {
+                continue;
+            }
+
+            // --- filter#(⟨T,n⟩, Ψ, x) ---
+            let mut branches: Vec<AbstractSet> = Vec::new();
+            for p in &bs.preds {
+                match p.eval3(x) {
+                    Truth::True => branches.push(p.restrict(ds, &a)),
+                    Truth::False => branches.push(p.restrict_neg(ds, &a)),
+                    Truth::Maybe => {
+                        branches.push(p.restrict(ds, &a));
+                        branches.push(p.restrict_neg(ds, &a));
+                    }
+                }
+            }
+            branches.retain(|b| !b.is_empty());
+            match domain {
+                DomainKind::Box => {
+                    if let Some(joined) = branches.into_iter().reduce(|x, y| x.join(ds, &y)) {
+                        next.push(joined);
+                    }
+                }
+                DomainKind::Disjuncts | DomainKind::Hybrid { .. } => {
+                    next.extend(branches);
+                }
+            }
+        }
+
+        // Disjunct-set hygiene: duplicates arise whenever several predicates
+        // induce the same restriction (common for binary features); the
+        // disjunctive join is set union, so deduplication is exact.
+        dedup_disjuncts(&mut next);
+        if let DomainKind::Hybrid { max_disjuncts } = domain {
+            merge_down_to(ds, &mut next, max_disjuncts.max(1));
+        }
+
+        active = next;
+        iterations_completed += 1;
+        let live = active.len() + terminals.len();
+        peak_disjuncts = peak_disjuncts.max(live);
+        let bytes: usize =
+            active.iter().chain(&terminals).map(AbstractSet::approx_bytes).sum();
+        peak_bytes = peak_bytes.max(bytes);
+        if let Some(max) = limits.max_live_disjuncts {
+            if live > max {
+                return RunOutput {
+                    terminals,
+                    aborted: Some(Abort::DisjunctLimit),
+                    peak_disjuncts,
+                    peak_bytes,
+                    iterations_completed,
+                };
+            }
+        }
+    }
+
+    // States that survive all d iterations reach the learner's output.
+    terminals.extend(active);
+    peak_disjuncts = peak_disjuncts.max(terminals.len());
+    RunOutput {
+        terminals,
+        aborted: None,
+        peak_disjuncts,
+        peak_bytes,
+        iterations_completed,
+    }
+}
+
+/// Removes exact duplicate disjuncts (same base indices and budget).
+fn dedup_disjuncts(disjuncts: &mut Vec<AbstractSet>) {
+    if disjuncts.len() < 2 {
+        return;
+    }
+    let mut seen: HashSet<(usize, Vec<u32>)> = HashSet::with_capacity(disjuncts.len());
+    disjuncts.retain(|d| seen.insert((d.n(), d.base().indices().to_vec())));
+}
+
+/// Joins the smallest disjuncts pairwise until at most `k` remain (the
+/// Hybrid domain's widening step).
+fn merge_down_to(ds: &Dataset, disjuncts: &mut Vec<AbstractSet>, k: usize) {
+    while disjuncts.len() > k {
+        // Keep largest-first so the two smallest are at the tail.
+        disjuncts.sort_by_key(|d| std::cmp::Reverse(d.len()));
+        let x = disjuncts.pop().expect("len > k >= 1");
+        let y = disjuncts.pop().expect("len > k >= 1");
+        disjuncts.push(x.join(ds, &y));
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use antidote_data::{synth, Subset};
+
+    fn run_fig2(n: usize, depth: usize, domain: DomainKind) -> RunOutput {
+        let ds = synth::figure2();
+        run_abstract(
+            &ds,
+            AbstractSet::full(&ds, n),
+            &[5.0],
+            depth,
+            domain,
+            CprobTransformer::Optimal,
+            Limits::default(),
+        )
+    }
+
+    #[test]
+    fn zero_depth_passes_initial_through() {
+        let out = run_fig2(2, 0, DomainKind::Box);
+        assert_eq!(out.terminals.len(), 1);
+        assert_eq!(out.terminals[0].len(), 13);
+        assert_eq!(out.terminals[0].n(), 2);
+        assert!(out.aborted.is_none());
+    }
+
+    #[test]
+    fn figure2_depth1_n0_keeps_left_side_exactly() {
+        // With n = 0 the abstraction is exact: bestSplit# keeps only
+        // x ≤ 10 and filter# retains its left side for input 5.
+        let out = run_fig2(0, 1, DomainKind::Box);
+        assert!(out.aborted.is_none());
+        assert_eq!(out.iterations_completed, 1);
+        assert_eq!(out.terminals.len(), 1);
+        let t = &out.terminals[0];
+        assert_eq!(t.len(), 9);
+        assert_eq!(t.n(), 0);
+        assert_eq!(t.base().class_counts(), &[7, 2]);
+    }
+
+    #[test]
+    fn figure2_depth1_n2_is_sound_for_every_branch() {
+        // At n = 2 on a 13-point set the score intervals are wide, so many
+        // predicates are kept and the Box join is imprecise — but it must
+        // still cover the concrete filter outcome T↓x≤10 under any ≤2
+        // removals (Example 4.8's state ⟨T↓x≤10, 2⟩).
+        let ds = synth::figure2();
+        let out = run_fig2(2, 1, DomainKind::Box);
+        assert_eq!(out.terminals.len(), 1);
+        let left = Subset::from_indices(&ds, (0..9).collect());
+        assert!(out.terminals[0].concretizes(&left));
+        let left_minus2 = Subset::from_indices(&ds, (2..9).collect());
+        assert!(out.terminals[0].concretizes(&left_minus2));
+    }
+
+    #[test]
+    fn disjuncts_match_box_when_split_is_unique() {
+        let b = run_fig2(0, 1, DomainKind::Box);
+        let d = run_fig2(0, 1, DomainKind::Disjuncts);
+        assert_eq!(b.terminals.len(), d.terminals.len());
+        assert_eq!(b.terminals[0], d.terminals[0]);
+    }
+
+    #[test]
+    fn pure_terminals_appear_when_budget_allows() {
+        // n = 7 lets the attacker erase all white points: pure(black) and
+        // pure(white) both become feasible terminals at iteration 1.
+        let out = run_fig2(7, 1, DomainKind::Disjuncts);
+        assert!(out.terminals.len() >= 3, "two pure terminals + continuation");
+        let pure_count = out.terminals.iter().filter(|t| t.base().is_pure()).count();
+        assert!(pure_count >= 2);
+    }
+
+    #[test]
+    fn timeout_aborts() {
+        let ds = synth::mnist17_like(synth::MnistVariant::Binary, 200, 0);
+        let out = run_abstract(
+            &ds,
+            AbstractSet::full(&ds, 8),
+            &ds.row_values(0),
+            4,
+            DomainKind::Disjuncts,
+            CprobTransformer::Optimal,
+            Limits { deadline: Some(Instant::now()), max_live_disjuncts: None },
+        );
+        assert_eq!(out.aborted, Some(Abort::Timeout));
+    }
+
+    #[test]
+    fn disjunct_budget_aborts() {
+        let ds = synth::iris_like(0);
+        let out = run_abstract(
+            &ds,
+            AbstractSet::full(&ds, 8),
+            &ds.row_values(0),
+            4,
+            DomainKind::Disjuncts,
+            CprobTransformer::Optimal,
+            Limits { deadline: None, max_live_disjuncts: Some(2) },
+        );
+        assert_eq!(out.aborted, Some(Abort::DisjunctLimit));
+    }
+
+    #[test]
+    fn hybrid_caps_active_disjuncts() {
+        let ds = synth::iris_like(0);
+        let cap = 4;
+        let out = run_abstract(
+            &ds,
+            AbstractSet::full(&ds, 4),
+            &ds.row_values(3),
+            3,
+            DomainKind::Hybrid { max_disjuncts: cap },
+            CprobTransformer::Optimal,
+            Limits::default(),
+        );
+        assert!(out.aborted.is_none());
+        // Each iteration, each of ≤ cap active disjuncts can emit at most
+        // k pure terminals and one ⋄ terminal; the final states add ≤ cap.
+        let k = ds.n_classes();
+        assert!(
+            out.terminals.len() <= 3 * cap * (k + 1) + cap,
+            "got {} terminals",
+            out.terminals.len()
+        );
+    }
+
+    #[test]
+    fn box_active_state_is_always_single() {
+        // Box never forks: with depth 3 and generous n the terminal count
+        // is at most one per return point per iteration (pure + diamond)
+        // plus the final state.
+        let out = run_fig2(3, 3, DomainKind::Box);
+        assert!(out.terminals.len() <= 3 * 2 + 1, "got {}", out.terminals.len());
+    }
+
+    #[test]
+    fn pure_base_stops_iteration() {
+        let ds = synth::figure2();
+        let blacks = Subset::from_indices(&ds, vec![9, 10, 11, 12]);
+        let out = run_abstract(
+            &ds,
+            AbstractSet::new(blacks, 1),
+            &[12.0],
+            3,
+            DomainKind::Disjuncts,
+            CprobTransformer::Optimal,
+            Limits::default(),
+        );
+        // The only terminal is the pure restriction of the initial state.
+        assert_eq!(out.terminals.len(), 1);
+        assert!(out.terminals[0].base().is_pure());
+    }
+
+    #[test]
+    fn dedup_removes_exact_duplicates() {
+        let ds = synth::figure2();
+        let a = AbstractSet::full(&ds, 1);
+        let mut v = vec![a.clone(), a.clone(), AbstractSet::full(&ds, 2)];
+        dedup_disjuncts(&mut v);
+        assert_eq!(v.len(), 2);
+    }
+
+    #[test]
+    fn merge_down_bounds_count_and_stays_sound() {
+        let ds = synth::figure2();
+        let full = AbstractSet::full(&ds, 0);
+        let mut parts: Vec<AbstractSet> = vec![
+            full.restrict_where(&ds, |r| r < 4),
+            full.restrict_where(&ds, |r| (4..8).contains(&r)),
+            full.restrict_where(&ds, |r| r >= 8),
+        ];
+        let samples: Vec<Subset> = parts.iter().map(|p| p.base().clone()).collect();
+        merge_down_to(&ds, &mut parts, 2);
+        assert_eq!(parts.len(), 2);
+        for s in &samples {
+            assert!(
+                parts.iter().any(|p| p.concretizes(s)),
+                "every original sample remains covered by some merged disjunct"
+            );
+        }
+    }
+}

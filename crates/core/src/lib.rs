@@ -1,0 +1,63 @@
+#![warn(missing_docs)]
+
+//! Antidote's abstract learner `DTrace#` and the certification front-end.
+//!
+//! This crate is the paper's primary contribution: a sound abstract
+//! interpretation of the trace-based decision-tree learner `DTrace`
+//! (Fig. 4) over the training-set abstraction `⟨T, n⟩`, which proves
+//! *n-poisoning robustness* — that no attacker who contributed up to `n`
+//! training elements could change a given test input's prediction
+//! (Definition 3.1, Corollary 4.12).
+//!
+//! Modules:
+//!
+//! * [`score`] — `score#` intervals and `bestSplit#` with the Φ∀/Φ∃
+//!   trivial-split analysis and minimal-interval selection (§4.6), using
+//!   symbolic real-valued predicates (§5.1, Appendix B);
+//! * [`learner`] — the abstract interpretation loop with the conditional
+//!   abstractions of §4.7, over three state domains: the paper's
+//!   non-disjunctive *Box* (§4.3), the unbounded *Disjuncts* (§5.2), and a
+//!   *Hybrid* k-limited domain (the future-work direction of §6.3);
+//! * [`verdict`] — interval dominance and the robustness verdict;
+//! * [`certify`] — the [`Certifier`] builder API;
+//! * [`sweep`](mod@sweep) — the evaluation protocol of §6.1 (n-doubling ladder with
+//!   binary-search refinement, timeouts, and resource accounting).
+//!
+//! # Example
+//!
+//! ```
+//! use antidote_core::{Certifier, DomainKind};
+//! use antidote_data::synth::{gaussian_blobs, BlobSpec};
+//!
+//! // Two separated 1-D classes, 100 training rows each. Could an attacker
+//! // who contributed 16 of the 200 rows flip the prediction for x = 0.5?
+//! let ds = gaussian_blobs(&BlobSpec {
+//!     means: vec![vec![0.0], vec![10.0]],
+//!     stds: vec![vec![1.0], vec![1.0]],
+//!     per_class: 100,
+//!     quantum: Some(0.1),
+//! }, 7);
+//! let outcome = Certifier::new(&ds)
+//!     .depth(1)
+//!     .domain(DomainKind::Box)
+//!     .certify(&[0.5], 16);
+//! assert!(outcome.is_robust()); // proven: no 16-element attack exists
+//! assert_eq!(outcome.label, 0);
+//! ```
+
+pub mod certify;
+pub mod ensemble;
+pub mod flip;
+pub mod learner;
+pub mod report;
+pub mod score;
+pub mod sweep;
+pub mod verdict;
+
+pub use certify::{Certifier, Outcome, RunStats, Verdict};
+pub use ensemble::{certify_forest, EnsembleConfig, EnsembleOutcome};
+pub use flip::certify_label_flips;
+pub use learner::DomainKind;
+pub use report::{explain, Explanation};
+pub use score::{best_split_abs, AbsSplitResult};
+pub use sweep::{sweep, SweepConfig, SweepPoint};

@@ -1,0 +1,295 @@
+//! The evaluation protocol of §6.1: an n-doubling ladder with
+//! binary-search refinement.
+//!
+//! For each test element the paper starts at `n = 1`, proves what it can,
+//! doubles `n` for the surviving elements, and — once everything fails —
+//! binary-searches between the last all-failing and last partially-passing
+//! budgets to localise the frontier. [`sweep`] implements that protocol for
+//! a whole test set at once and records, per probed `n`, the quantities the
+//! paper plots: the number verified, average certification time, and
+//! average peak memory (Figures 6–11).
+
+use crate::certify::{Certifier, Verdict};
+use crate::learner::DomainKind;
+use antidote_data::Dataset;
+use antidote_domains::CprobTransformer;
+use std::time::Duration;
+
+/// Configuration for one sweep (one dataset × depth × domain series).
+#[derive(Debug, Clone)]
+pub struct SweepConfig {
+    /// Maximum trace depth `d`.
+    pub depth: usize,
+    /// Abstract state domain.
+    pub domain: DomainKind,
+    /// `cprob#` transformer.
+    pub transformer: CprobTransformer,
+    /// Per-instance timeout (the paper uses one hour; the harness default
+    /// is much smaller so full sweeps finish on a laptop).
+    pub timeout: Option<Duration>,
+    /// Disjunct budget per instance (out-of-memory stand-in).
+    pub max_live_disjuncts: Option<usize>,
+    /// First probed budget (paper: 1).
+    pub start_n: usize,
+    /// Upper bound on probed budgets (defaults to `|T|`).
+    pub max_n: Option<usize>,
+    /// Whether to binary-search between the last success and the first
+    /// total failure (§6.1 step 3).
+    pub binary_search: bool,
+}
+
+impl Default for SweepConfig {
+    fn default() -> Self {
+        SweepConfig {
+            depth: 2,
+            domain: DomainKind::Box,
+            transformer: CprobTransformer::Optimal,
+            timeout: Some(Duration::from_secs(10)),
+            max_live_disjuncts: Some(1 << 22),
+            start_n: 1,
+            max_n: None,
+            binary_search: true,
+        }
+    }
+}
+
+/// Aggregated results of probing one poisoning budget `n`.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct SweepPoint {
+    /// The probed poisoning budget.
+    pub n: usize,
+    /// Instances attempted at this budget (the survivors of smaller
+    /// budgets, per the paper's incremental protocol).
+    pub attempted: usize,
+    /// Instances proven robust.
+    pub verified: usize,
+    /// Size of the full test set (denominator for Figure 6's fractions).
+    pub total_points: usize,
+    /// Mean certification wall-clock time over attempted instances.
+    pub avg_time: Duration,
+    /// Mean peak memory proxy in bytes over attempted instances.
+    pub avg_peak_bytes: usize,
+    /// Instances that hit the timeout.
+    pub timeouts: usize,
+    /// Instances that exhausted the disjunct budget.
+    pub budget_exhausted: usize,
+}
+
+impl SweepPoint {
+    /// `verified / total_points`, the y-axis of Figure 6.
+    pub fn fraction_verified(&self) -> f64 {
+        if self.total_points == 0 {
+            0.0
+        } else {
+            self.verified as f64 / self.total_points as f64
+        }
+    }
+}
+
+/// Runs the §6.1 protocol over `test_points` and returns one
+/// [`SweepPoint`] per probed budget, in increasing-`n` order.
+pub fn sweep(ds: &Dataset, test_points: &[Vec<f64>], cfg: &SweepConfig) -> Vec<SweepPoint> {
+    let mut certifier = Certifier::new(ds)
+        .depth(cfg.depth)
+        .domain(cfg.domain)
+        .transformer(cfg.transformer);
+    if let Some(t) = cfg.timeout {
+        certifier = certifier.timeout(t);
+    }
+    if let Some(m) = cfg.max_live_disjuncts {
+        certifier = certifier.max_live_disjuncts(m);
+    }
+    let max_n = cfg.max_n.unwrap_or(ds.len()).min(ds.len());
+    let total_points = test_points.len();
+
+    let mut points: Vec<SweepPoint> = Vec::new();
+    // Survivors: indices of test points verified at every probed budget so
+    // far.
+    let mut survivors: Vec<usize> = (0..test_points.len()).collect();
+    let mut n = cfg.start_n.max(1);
+    let mut last_success_n: Option<usize> = None;
+
+    while !survivors.is_empty() && n <= max_n {
+        let (point, verified_idx) = probe(&certifier, test_points, &survivors, n, total_points);
+        points.push(point);
+        if verified_idx.is_empty() {
+            // §6.1 step 3: binary search in (n/2, n) for budgets where some
+            // survivor still verifies.
+            if cfg.binary_search {
+                if let Some(lo0) = last_success_n {
+                    let mut lo = lo0;
+                    let mut hi = n;
+                    let mut pool = survivors.clone();
+                    while hi - lo > 1 {
+                        let mid = lo + (hi - lo) / 2;
+                        let (p, v) = probe(&certifier, test_points, &pool, mid, total_points);
+                        points.push(p);
+                        if v.is_empty() {
+                            hi = mid;
+                        } else {
+                            lo = mid;
+                            pool = v;
+                        }
+                    }
+                }
+            }
+            break;
+        }
+        last_success_n = Some(n);
+        survivors = verified_idx;
+        if n >= max_n {
+            break;
+        }
+        n = (n * 2).min(max_n);
+    }
+    points.sort_by_key(|p| p.n);
+    points.dedup_by_key(|p| p.n);
+    points
+}
+
+/// Runs all `pool` instances at budget `n`, returning the aggregate point
+/// and the indices that verified.
+fn probe(
+    certifier: &Certifier<'_>,
+    test_points: &[Vec<f64>],
+    pool: &[usize],
+    n: usize,
+    total_points: usize,
+) -> (SweepPoint, Vec<usize>) {
+    let mut verified = Vec::new();
+    let mut total_time = Duration::ZERO;
+    let mut total_bytes = 0usize;
+    let mut timeouts = 0usize;
+    let mut budget_exhausted = 0usize;
+    for &i in pool {
+        let out = certifier.certify(&test_points[i], n);
+        total_time += out.stats.elapsed;
+        total_bytes += out.stats.peak_bytes;
+        match out.verdict {
+            Verdict::Robust => verified.push(i),
+            Verdict::Timeout => timeouts += 1,
+            Verdict::DisjunctBudget => budget_exhausted += 1,
+            Verdict::Unknown => {}
+        }
+    }
+    let attempted = pool.len().max(1);
+    let point = SweepPoint {
+        n,
+        attempted: pool.len(),
+        verified: verified.len(),
+        total_points,
+        avg_time: total_time / attempted as u32,
+        avg_peak_bytes: total_bytes / attempted,
+        timeouts,
+        budget_exhausted,
+    };
+    (point, verified)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use antidote_data::synth;
+
+    /// Two separated 1-D Gaussian classes, 100 rows each.
+    fn blobs() -> antidote_data::Dataset {
+        let spec = synth::BlobSpec {
+            means: vec![vec![0.0], vec![10.0]],
+            stds: vec![vec![1.0], vec![1.0]],
+            per_class: 100,
+            quantum: Some(0.1),
+        };
+        synth::gaussian_blobs(&spec, 7)
+    }
+
+    /// Two deep-in-class points and one near the decision boundary.
+    fn blob_points() -> Vec<Vec<f64>> {
+        vec![vec![0.5], vec![9.5], vec![5.1]]
+    }
+
+    fn cfg(domain: DomainKind, binary_search: bool) -> SweepConfig {
+        SweepConfig {
+            depth: 1,
+            domain,
+            timeout: None,
+            binary_search,
+            ..SweepConfig::default()
+        }
+    }
+
+    #[test]
+    fn ladder_shape_on_blobs() {
+        let ds = blobs();
+        let pts = sweep(&ds, &blob_points(), &cfg(DomainKind::Disjuncts, true));
+        assert!(!pts.is_empty());
+        // n values strictly increase and start at 1.
+        assert_eq!(pts[0].n, 1);
+        for w in pts.windows(2) {
+            assert!(w[0].n < w[1].n);
+            // Verified counts are non-increasing (survivor protocol).
+            assert!(w[0].verified >= w[1].verified);
+        }
+        // The deep-in-class points verify at n = 1.
+        assert!(pts[0].verified >= 2);
+        assert_eq!(pts[0].total_points, 3);
+        assert!(pts[0].fraction_verified() > 0.5);
+    }
+
+    #[test]
+    fn survivors_shrink_monotonically() {
+        let ds = blobs();
+        let pts = sweep(&ds, &blob_points(), &cfg(DomainKind::Box, false));
+        for w in pts.windows(2) {
+            assert!(w[1].attempted <= w[0].verified.max(1));
+        }
+    }
+
+    #[test]
+    fn empty_test_set_is_empty_sweep() {
+        let ds = blobs();
+        let pts = sweep(&ds, &[], &SweepConfig::default());
+        assert!(pts.is_empty());
+    }
+
+    #[test]
+    fn max_n_caps_the_ladder() {
+        let ds = blobs();
+        let mut c = cfg(DomainKind::Disjuncts, false);
+        c.max_n = Some(2);
+        let pts = sweep(&ds, &blob_points(), &c);
+        assert!(!pts.is_empty());
+        assert!(pts.iter().all(|p| p.n <= 2));
+    }
+
+    #[test]
+    fn binary_search_localises_frontier() {
+        // The largest n with a verified instance in the sweep must equal
+        // the true frontier (largest n where any point is provable).
+        let ds = blobs();
+        let pts = sweep(&ds, &blob_points(), &cfg(DomainKind::Disjuncts, true));
+        let best_verified = pts.iter().filter(|p| p.verified > 0).map(|p| p.n).max().unwrap();
+        let c = Certifier::new(&ds).depth(1).domain(DomainKind::Disjuncts);
+        let truth = (1..=64)
+            .filter(|&n| blob_points().iter().any(|x| c.certify(x, n).is_robust()))
+            .max()
+            .unwrap();
+        assert_eq!(best_verified, truth, "binary search should find the frontier");
+    }
+
+    #[test]
+    fn timeout_instances_are_counted() {
+        let ds = synth::mnist17_like(synth::MnistVariant::Binary, 300, 1);
+        let cfg = SweepConfig {
+            depth: 3,
+            domain: DomainKind::Disjuncts,
+            timeout: Some(Duration::ZERO),
+            binary_search: false,
+            max_n: Some(1),
+            ..SweepConfig::default()
+        };
+        let pts = sweep(&ds, &[ds.row_values(0)], &cfg);
+        assert_eq!(pts.len(), 1);
+        assert_eq!(pts[0].timeouts, 1);
+        assert_eq!(pts[0].verified, 0);
+    }
+}

@@ -1,0 +1,104 @@
+//! Interval dominance and the robustness verdict (Corollary 4.12).
+//!
+//! After `DTrace#` finishes, every terminal abstract set yields a vector of
+//! `cprob#` probability intervals. An interval `[lᵢ, uᵢ]` *dominates* the
+//! vector iff `lᵢ > uⱼ` for every `j ≠ i` — then class `i` is the argmax
+//! for every concretization reaching that terminal. The input is proven
+//! robust when the *reference class* (the concrete prediction on the
+//! unpoisoned training set, Definition 3.1) dominates in **every** terminal
+//! state.
+
+use antidote_data::ClassId;
+use antidote_domains::{AbstractSet, CprobTransformer, Interval};
+
+/// Returns the class whose interval dominates `intervals`, if any.
+///
+/// Dominance is strict (`lᵢ > uⱼ`), so at most one class qualifies. Ties in
+/// the concrete semantics (equal probabilities) are resolved
+/// nondeterministically by the paper's learner, and strict dominance is
+/// exactly what rules them out.
+pub fn dominant_class(intervals: &[Interval]) -> Option<ClassId> {
+    'outer: for (i, ci) in intervals.iter().enumerate() {
+        for (j, cj) in intervals.iter().enumerate() {
+            if i != j && !ci.strictly_above(cj) {
+                continue 'outer;
+            }
+        }
+        return Some(i as ClassId);
+    }
+    None
+}
+
+/// Checks Corollary 4.12 across all terminal states: every terminal's
+/// `cprob#` must be dominated by the reference class.
+pub fn all_terminals_dominated_by(
+    terminals: &[AbstractSet],
+    reference: ClassId,
+    transformer: CprobTransformer,
+) -> bool {
+    terminals.iter().all(|t| {
+        dominant_class(&t.cprob_intervals(transformer)) == Some(reference)
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use antidote_data::{synth, Subset};
+
+    #[test]
+    fn single_class_dominates_trivially() {
+        assert_eq!(dominant_class(&[Interval::new(0.0, 1.0)]), Some(0));
+    }
+
+    #[test]
+    fn clear_dominance() {
+        let ivs = [Interval::new(0.7, 0.9), Interval::new(0.1, 0.3)];
+        assert_eq!(dominant_class(&ivs), Some(0));
+        let ivs = [Interval::new(0.1, 0.3), Interval::new(0.7, 0.9), Interval::new(0.0, 0.2)];
+        assert_eq!(dominant_class(&ivs), Some(1));
+    }
+
+    #[test]
+    fn overlap_blocks_dominance() {
+        let ivs = [Interval::new(0.4, 0.6), Interval::new(0.5, 0.7)];
+        assert_eq!(dominant_class(&ivs), None);
+        // Touching bounds are not strict dominance.
+        let ivs = [Interval::new(0.5, 0.9), Interval::new(0.1, 0.5)];
+        assert_eq!(dominant_class(&ivs), None);
+    }
+
+    #[test]
+    fn paper_left_branch_example() {
+        // §2: the left branch of Figure 2's tree under 2 removals has a
+        // white probability interval [5/7, 1] (optimal transformer) and a
+        // black interval [0, 2/7]: white dominates.
+        let ds = synth::figure2();
+        let left = Subset::from_indices(&ds, (0..9).collect());
+        let a = AbstractSet::new(left, 2);
+        let ivs = a.cprob_intervals(CprobTransformer::Optimal);
+        assert_eq!(dominant_class(&ivs), Some(0));
+        // Under the natural transformer the white lower bound degrades to
+        // 5/9, which still dominates [0, 2/7]: 5/9 > 2/7.
+        let ivs = a.cprob_intervals(CprobTransformer::Natural);
+        assert_eq!(dominant_class(&ivs), Some(0));
+    }
+
+    #[test]
+    fn n_equals_t_blocks_dominance() {
+        let ds = synth::figure2();
+        let a = AbstractSet::full(&ds, 13);
+        assert_eq!(dominant_class(&a.cprob_intervals(CprobTransformer::Optimal)), None);
+    }
+
+    #[test]
+    fn all_terminals_must_agree() {
+        let ds = synth::figure2();
+        let white_leaning = AbstractSet::new(Subset::from_indices(&ds, (1..4).collect()), 0);
+        let black_leaning = AbstractSet::new(Subset::from_indices(&ds, vec![9, 10, 11]), 0);
+        let t = CprobTransformer::Optimal;
+        assert!(all_terminals_dominated_by(&[white_leaning.clone()], 0, t));
+        assert!(all_terminals_dominated_by(&[black_leaning.clone()], 1, t));
+        assert!(!all_terminals_dominated_by(&[white_leaning, black_leaning], 0, t));
+    }
+}

@@ -1,0 +1,131 @@
+//! Property tests for the remaining abstract-semantics propositions:
+//! `filter#` (Proposition 4.7 / B.4) and lattice laws of the `⟨T,n⟩`
+//! domain that the learner's joins rely on.
+
+use antidote_core::score::best_split_abs;
+use antidote_data::{ClassId, Dataset, Schema, Subset};
+use antidote_domains::{AbstractSet, CprobTransformer, Truth};
+use antidote_tree::split::best_split;
+use proptest::prelude::*;
+use rand::rngs::StdRng;
+use rand::seq::SliceRandom;
+use rand::{Rng, SeedableRng};
+
+fn random_instance(seed: u64) -> (Dataset, AbstractSet, Subset, Vec<f64>) {
+    let mut rng = StdRng::seed_from_u64(seed);
+    let len = rng.random_range(2..=14usize);
+    let d = rng.random_range(1..=2usize);
+    let k = rng.random_range(2..=3usize);
+    let rows: Vec<(Vec<f64>, ClassId)> = (0..len)
+        .map(|_| {
+            (
+                (0..d).map(|_| rng.random_range(0..5) as f64).collect(),
+                rng.random_range(0..k) as ClassId,
+            )
+        })
+        .collect();
+    let ds = Dataset::from_rows(Schema::real(d, k), &rows).unwrap();
+    let n = rng.random_range(0..len);
+    let abs = AbstractSet::full(&ds, n);
+    let drop = rng.random_range(0..=n);
+    let mut idx: Vec<u32> = (0..len as u32).collect();
+    idx.shuffle(&mut rng);
+    idx.truncate(len - drop);
+    let t_prime = Subset::from_indices(&ds, idx);
+    let x: Vec<f64> = (0..d).map(|_| rng.random_range(0..5) as f64).collect();
+    (ds, abs, t_prime, x)
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(128))]
+
+    /// Proposition 4.7/B.4 along the reachable path: for T' ∈ γ(⟨T,n⟩)
+    /// with φ' = bestSplit(T'), the concrete filter outcome is covered by
+    /// the abstract branch of a covering predicate — hence by the Box join
+    /// of all branches.
+    #[test]
+    fn filter_sharp_soundness(seed in 0u64..1_000_000) {
+        let (ds, abs, t_prime, x) = random_instance(seed);
+        if t_prime.is_empty() {
+            return Ok(());
+        }
+        let Some(choice) = best_split(&ds, &t_prime) else { return Ok(()) };
+        let sat = choice.predicate.eval(&x);
+        let conc_filtered =
+            t_prime.filter(&ds, |r| choice.predicate.eval_row(&ds, r) == sat);
+
+        let bs = best_split_abs(&ds, &abs, CprobTransformer::Optimal);
+        let cover: Vec<_> =
+            bs.preds.iter().filter(|p| p.concretizes(&choice.predicate)).collect();
+        prop_assert!(!cover.is_empty(), "bestSplit# must cover {}", choice.predicate);
+
+        // Per-branch coverage (the Disjuncts domain's branches).
+        let mut branch_sets = Vec::new();
+        for p in &cover {
+            match p.eval3(&x) {
+                Truth::True => branch_sets.push(p.restrict(&ds, &abs)),
+                Truth::False => branch_sets.push(p.restrict_neg(&ds, &abs)),
+                Truth::Maybe => {
+                    branch_sets.push(p.restrict(&ds, &abs));
+                    branch_sets.push(p.restrict_neg(&ds, &abs));
+                }
+            }
+        }
+        prop_assert!(
+            branch_sets.iter().any(|b| b.concretizes(&conc_filtered)),
+            "no branch covers the concrete filter outcome {:?}",
+            conc_filtered.indices()
+        );
+
+        // The Box join of all branches also covers it (join soundness).
+        let joined = branch_sets
+            .iter()
+            .cloned()
+            .reduce(|a, b| a.join(&ds, &b))
+            .expect("non-empty");
+        prop_assert!(joined.concretizes(&conc_filtered));
+    }
+
+    /// Lattice laws used implicitly by the learner's folds: ⊔ is
+    /// commutative, idempotent, monotone, and an upper bound; ⊓ is a lower
+    /// bound; ⊑ is reflexive and transitive on a chain.
+    #[test]
+    fn lattice_laws(seed in 0u64..1_000_000) {
+        let (ds, abs, _, _) = random_instance(seed);
+        let a = abs.restrict_where(&ds, |r| r % 2 == 0);
+        let b = abs.restrict_where(&ds, |r| r % 3 == 0);
+        let c = abs.restrict_where(&ds, |r| r < 5);
+
+        prop_assert_eq!(a.join(&ds, &b), b.join(&ds, &a));
+        prop_assert_eq!(a.join(&ds, &a), a.clone());
+        prop_assert!(a.le(&a));
+        if !a.is_empty() && !b.is_empty() {
+            let j = a.join(&ds, &b);
+            prop_assert!(a.le(&j) && b.le(&j));
+            // Monotonicity: joining in more can only go up.
+            if !c.is_empty() {
+                let jc = j.join(&ds, &c);
+                prop_assert!(j.le(&jc));
+                // Transitivity along the chain a ⊑ j ⊑ jc.
+                prop_assert!(a.le(&jc));
+            }
+        }
+        if let Some(m) = a.meet(&ds, &b) {
+            prop_assert!(m.le(&a) && m.le(&b));
+        }
+    }
+
+    /// γ-monotonicity of ⊑: a ⊑ b implies γ(a) ⊆ γ(b) (checked on the
+    /// sampled concretization).
+    #[test]
+    fn order_implies_containment(seed in 0u64..1_000_000) {
+        let (ds, abs, t_prime, _) = random_instance(seed);
+        // abs ⊑ widened: same base, larger budget.
+        let widened = AbstractSet::new(abs.base().clone(), abs.n() + 1);
+        prop_assert!(abs.le(&widened));
+        if abs.concretizes(&t_prime) {
+            prop_assert!(widened.concretizes(&t_prime));
+        }
+        let _ = ds;
+    }
+}

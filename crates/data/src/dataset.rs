@@ -1,0 +1,525 @@
+//! Immutable, columnar labelled datasets.
+//!
+//! A [`Dataset`] stores features column-major so that split-search sweeps
+//! (the hot loop of both the concrete and the abstract learner) touch one
+//! contiguous column at a time. Datasets are immutable after construction;
+//! every later stage of the pipeline works with [`crate::Subset`] index
+//! views instead of copying rows.
+
+use crate::error::DataError;
+use crate::{ClassId, RowId};
+
+/// The kind of values a feature column holds.
+///
+/// The paper distinguishes Boolean predicates (MNIST-1-7-Binary) from
+/// real-valued features with dynamically chosen thresholds (§5.1); the
+/// distinction lives here, on the column, and the predicate generator in
+/// `antidote-tree` consults it.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum FeatureKind {
+    /// Boolean feature: predicates test the bit directly.
+    Bool,
+    /// Real-valued feature: predicates are thresholds `x_i ≤ τ` with τ chosen
+    /// between adjacent observed values.
+    Real,
+}
+
+/// Description of one feature column.
+#[derive(Debug, Clone, PartialEq, Eq, Hash)]
+pub struct Feature {
+    /// Human-readable feature name (used by CSV I/O and diagnostics).
+    pub name: String,
+    /// Kind of values this feature holds.
+    pub kind: FeatureKind,
+}
+
+/// Dataset schema: feature descriptions plus class names.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Schema {
+    features: Vec<Feature>,
+    classes: Vec<String>,
+}
+
+impl Schema {
+    /// Creates a schema from feature descriptions and class names.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`DataError::EmptySchema`] if either list is empty.
+    pub fn new(features: Vec<Feature>, classes: Vec<String>) -> Result<Self, DataError> {
+        if features.is_empty() || classes.is_empty() {
+            return Err(DataError::EmptySchema);
+        }
+        Ok(Schema { features, classes })
+    }
+
+    /// Convenience constructor: `n` real-valued features named `x0..` and
+    /// classes named `c0..`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `n_features` or `n_classes` is zero.
+    pub fn real(n_features: usize, n_classes: usize) -> Self {
+        Self::homogeneous(n_features, n_classes, FeatureKind::Real)
+    }
+
+    /// Convenience constructor: `n` boolean features named `x0..` and classes
+    /// named `c0..`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `n_features` or `n_classes` is zero.
+    pub fn boolean(n_features: usize, n_classes: usize) -> Self {
+        Self::homogeneous(n_features, n_classes, FeatureKind::Bool)
+    }
+
+    fn homogeneous(n_features: usize, n_classes: usize, kind: FeatureKind) -> Self {
+        assert!(n_features > 0 && n_classes > 0, "schema must be non-empty");
+        Schema {
+            features: (0..n_features)
+                .map(|i| Feature { name: format!("x{i}"), kind })
+                .collect(),
+            classes: (0..n_classes).map(|i| format!("c{i}")).collect(),
+        }
+    }
+
+    /// The feature descriptions, in column order.
+    pub fn features(&self) -> &[Feature] {
+        &self.features
+    }
+
+    /// The class names, indexed by [`ClassId`].
+    pub fn classes(&self) -> &[String] {
+        &self.classes
+    }
+
+    /// Number of feature columns.
+    pub fn n_features(&self) -> usize {
+        self.features.len()
+    }
+
+    /// Number of classes.
+    pub fn n_classes(&self) -> usize {
+        self.classes.len()
+    }
+
+    /// Renames the classes (e.g. `["white", "black"]`). Extra names are
+    /// ignored; missing names keep their defaults.
+    pub fn with_class_names<I: IntoIterator<Item = S>, S: Into<String>>(mut self, names: I) -> Self {
+        for (slot, name) in self.classes.iter_mut().zip(names) {
+            *slot = name.into();
+        }
+        self
+    }
+}
+
+/// One feature column of a dataset.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Column {
+    /// A boolean column.
+    Bool(Vec<bool>),
+    /// A real-valued column (always finite).
+    Real(Vec<f64>),
+}
+
+impl Column {
+    /// Value at `row`, as `f64` (`false → 0.0`, `true → 1.0`).
+    #[inline]
+    pub fn value(&self, row: RowId) -> f64 {
+        match self {
+            Column::Bool(v) => {
+                if v[row as usize] {
+                    1.0
+                } else {
+                    0.0
+                }
+            }
+            Column::Real(v) => v[row as usize],
+        }
+    }
+
+    /// Number of rows in the column.
+    pub fn len(&self) -> usize {
+        match self {
+            Column::Bool(v) => v.len(),
+            Column::Real(v) => v.len(),
+        }
+    }
+
+    /// Whether the column has no rows.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// The kind of this column.
+    pub fn kind(&self) -> FeatureKind {
+        match self {
+            Column::Bool(_) => FeatureKind::Bool,
+            Column::Real(_) => FeatureKind::Real,
+        }
+    }
+}
+
+/// An immutable labelled dataset.
+///
+/// Construct with [`DatasetBuilder`] (row-at-a-time, validated) or
+/// [`Dataset::from_rows`] (bulk). All values are finite; labels are dense in
+/// `0..n_classes`.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Dataset {
+    schema: Schema,
+    columns: Vec<Column>,
+    labels: Vec<ClassId>,
+}
+
+impl Dataset {
+    /// Builds a dataset from rows of `f64` values (booleans as 0/1).
+    ///
+    /// # Errors
+    ///
+    /// Propagates validation failures from [`DatasetBuilder::push_row`].
+    pub fn from_rows(
+        schema: Schema,
+        rows: &[(Vec<f64>, ClassId)],
+    ) -> Result<Self, DataError> {
+        let mut b = DatasetBuilder::new(schema);
+        for (values, label) in rows {
+            b.push_row(values, *label)?;
+        }
+        Ok(b.finish())
+    }
+
+    /// The dataset schema.
+    pub fn schema(&self) -> &Schema {
+        &self.schema
+    }
+
+    /// Number of rows.
+    pub fn len(&self) -> usize {
+        self.labels.len()
+    }
+
+    /// Whether the dataset has no rows.
+    pub fn is_empty(&self) -> bool {
+        self.labels.is_empty()
+    }
+
+    /// Number of feature columns.
+    pub fn n_features(&self) -> usize {
+        self.schema.n_features()
+    }
+
+    /// Number of classes (`k` in the paper).
+    pub fn n_classes(&self) -> usize {
+        self.schema.n_classes()
+    }
+
+    /// Feature value of `row` in column `feature`, as `f64`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `row` or `feature` is out of bounds.
+    #[inline]
+    pub fn value(&self, row: RowId, feature: usize) -> f64 {
+        self.columns[feature].value(row)
+    }
+
+    /// Class label of `row`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `row` is out of bounds.
+    #[inline]
+    pub fn label(&self, row: RowId) -> ClassId {
+        self.labels[row as usize]
+    }
+
+    /// All labels, indexed by row.
+    pub fn labels(&self) -> &[ClassId] {
+        &self.labels
+    }
+
+    /// The feature columns, in schema order.
+    pub fn columns(&self) -> &[Column] {
+        &self.columns
+    }
+
+    /// Copies out the feature vector of one row (handy for using dataset rows
+    /// as test inputs).
+    pub fn row_values(&self, row: RowId) -> Vec<f64> {
+        (0..self.n_features()).map(|f| self.value(row, f)).collect()
+    }
+
+    /// Per-class row counts for the whole dataset.
+    pub fn class_counts(&self) -> Vec<u32> {
+        let mut counts = vec![0u32; self.n_classes()];
+        for &l in &self.labels {
+            counts[l as usize] += 1;
+        }
+        counts
+    }
+
+    /// Projects the dataset onto a subset of its feature columns (labels
+    /// unchanged). Used by the random-subspace forest learner, where each
+    /// tree sees its own feature subset.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `features` is empty or contains an out-of-range index.
+    pub fn select_features(&self, features: &[usize]) -> Dataset {
+        assert!(!features.is_empty(), "a projection needs at least one feature");
+        let columns: Vec<Column> =
+            features.iter().map(|&f| self.columns[f].clone()).collect();
+        let schema = Schema::new(
+            features.iter().map(|&f| self.schema.features()[f].clone()).collect(),
+            self.schema.classes().to_vec(),
+        )
+        .expect("projection of a valid schema is valid");
+        Dataset { schema, columns, labels: self.labels.clone() }
+    }
+
+    /// Approximate in-memory footprint in bytes (used by the benchmark
+    /// harness's memory-proxy accounting).
+    pub fn approx_bytes(&self) -> usize {
+        let cols: usize = self
+            .columns
+            .iter()
+            .map(|c| match c {
+                Column::Bool(v) => v.len(),
+                Column::Real(v) => v.len() * 8,
+            })
+            .sum();
+        cols + self.labels.len() * 2
+    }
+}
+
+/// Validating row-at-a-time builder for [`Dataset`].
+///
+/// ```
+/// use antidote_data::{DatasetBuilder, Schema};
+///
+/// # fn main() -> Result<(), antidote_data::DataError> {
+/// let mut b = DatasetBuilder::new(Schema::real(2, 2));
+/// b.push_row(&[0.5, 1.0], 0)?;
+/// b.push_row(&[1.5, -1.0], 1)?;
+/// let ds = b.finish();
+/// assert_eq!(ds.len(), 2);
+/// # Ok(())
+/// # }
+/// ```
+#[derive(Debug)]
+pub struct DatasetBuilder {
+    schema: Schema,
+    columns: Vec<Column>,
+    labels: Vec<ClassId>,
+}
+
+impl DatasetBuilder {
+    /// Creates an empty builder for the given schema.
+    pub fn new(schema: Schema) -> Self {
+        let columns = schema
+            .features()
+            .iter()
+            .map(|f| match f.kind {
+                FeatureKind::Bool => Column::Bool(Vec::new()),
+                FeatureKind::Real => Column::Real(Vec::new()),
+            })
+            .collect();
+        DatasetBuilder { schema, columns, labels: Vec::new() }
+    }
+
+    /// Appends one row.
+    ///
+    /// # Errors
+    ///
+    /// * [`DataError::ArityMismatch`] — wrong number of values;
+    /// * [`DataError::LabelOutOfRange`] — label ≥ number of classes;
+    /// * [`DataError::NonFiniteValue`] — NaN/∞ in a real column;
+    /// * [`DataError::NotBoolean`] — value other than 0/1 in a bool column;
+    /// * [`DataError::TooManyRows`] — more than `u32::MAX` rows.
+    pub fn push_row(&mut self, values: &[f64], label: ClassId) -> Result<(), DataError> {
+        let row = self.labels.len();
+        if values.len() != self.schema.n_features() {
+            return Err(DataError::ArityMismatch {
+                row,
+                got: values.len(),
+                expected: self.schema.n_features(),
+            });
+        }
+        if (label as usize) >= self.schema.n_classes() {
+            return Err(DataError::LabelOutOfRange {
+                row,
+                label,
+                n_classes: self.schema.n_classes(),
+            });
+        }
+        if row >= u32::MAX as usize {
+            return Err(DataError::TooManyRows);
+        }
+        // Validate all values before mutating any column, so a failed push
+        // leaves the builder unchanged.
+        for (feature, (&v, col)) in values.iter().zip(&self.columns).enumerate() {
+            match col {
+                Column::Real(_) if !v.is_finite() => {
+                    return Err(DataError::NonFiniteValue { row, feature });
+                }
+                Column::Bool(_) if v != 0.0 && v != 1.0 => {
+                    return Err(DataError::NotBoolean { row, feature, value: v });
+                }
+                _ => {}
+            }
+        }
+        for (&v, col) in values.iter().zip(&mut self.columns) {
+            match col {
+                Column::Bool(c) => c.push(v == 1.0),
+                Column::Real(c) => c.push(v),
+            }
+        }
+        self.labels.push(label);
+        Ok(())
+    }
+
+    /// Number of rows pushed so far.
+    pub fn len(&self) -> usize {
+        self.labels.len()
+    }
+
+    /// Whether no rows have been pushed yet.
+    pub fn is_empty(&self) -> bool {
+        self.labels.is_empty()
+    }
+
+    /// Finalises the dataset.
+    pub fn finish(self) -> Dataset {
+        Dataset { schema: self.schema, columns: self.columns, labels: self.labels }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn schema2x2() -> Schema {
+        Schema::real(2, 2)
+    }
+
+    #[test]
+    fn build_and_access() {
+        let ds = Dataset::from_rows(
+            schema2x2(),
+            &[(vec![1.0, 2.0], 0), (vec![3.0, 4.0], 1), (vec![5.0, 6.0], 0)],
+        )
+        .unwrap();
+        assert_eq!(ds.len(), 3);
+        assert_eq!(ds.n_features(), 2);
+        assert_eq!(ds.n_classes(), 2);
+        assert_eq!(ds.value(1, 0), 3.0);
+        assert_eq!(ds.value(2, 1), 6.0);
+        assert_eq!(ds.label(1), 1);
+        assert_eq!(ds.class_counts(), vec![2, 1]);
+        assert_eq!(ds.row_values(0), vec![1.0, 2.0]);
+    }
+
+    #[test]
+    fn arity_mismatch_rejected() {
+        let mut b = DatasetBuilder::new(schema2x2());
+        let err = b.push_row(&[1.0], 0).unwrap_err();
+        assert!(matches!(err, DataError::ArityMismatch { got: 1, expected: 2, .. }));
+        assert!(b.is_empty(), "failed push must not mutate the builder");
+    }
+
+    #[test]
+    fn label_out_of_range_rejected() {
+        let mut b = DatasetBuilder::new(schema2x2());
+        let err = b.push_row(&[1.0, 2.0], 2).unwrap_err();
+        assert!(matches!(err, DataError::LabelOutOfRange { label: 2, n_classes: 2, .. }));
+    }
+
+    #[test]
+    fn non_finite_rejected() {
+        let mut b = DatasetBuilder::new(schema2x2());
+        assert!(matches!(
+            b.push_row(&[f64::NAN, 0.0], 0).unwrap_err(),
+            DataError::NonFiniteValue { feature: 0, .. }
+        ));
+        assert!(matches!(
+            b.push_row(&[0.0, f64::INFINITY], 0).unwrap_err(),
+            DataError::NonFiniteValue { feature: 1, .. }
+        ));
+        assert_eq!(b.len(), 0);
+    }
+
+    #[test]
+    fn boolean_column_accepts_only_bits() {
+        let mut b = DatasetBuilder::new(Schema::boolean(1, 2));
+        b.push_row(&[0.0], 0).unwrap();
+        b.push_row(&[1.0], 1).unwrap();
+        let err = b.push_row(&[0.5], 0).unwrap_err();
+        assert!(matches!(err, DataError::NotBoolean { value, .. } if value == 0.5));
+        let ds = b.finish();
+        assert_eq!(ds.value(0, 0), 0.0);
+        assert_eq!(ds.value(1, 0), 1.0);
+        assert_eq!(ds.columns()[0].kind(), FeatureKind::Bool);
+    }
+
+    #[test]
+    fn failed_push_keeps_columns_aligned() {
+        // A row that fails validation on the *second* column must not leave a
+        // value behind in the first.
+        let schema = Schema::new(
+            vec![
+                Feature { name: "a".into(), kind: FeatureKind::Real },
+                Feature { name: "b".into(), kind: FeatureKind::Bool },
+            ],
+            vec!["c0".into(), "c1".into()],
+        )
+        .unwrap();
+        let mut b = DatasetBuilder::new(schema);
+        assert!(b.push_row(&[1.0, 0.7], 0).is_err());
+        b.push_row(&[2.0, 1.0], 1).unwrap();
+        let ds = b.finish();
+        assert_eq!(ds.len(), 1);
+        assert_eq!(ds.value(0, 0), 2.0);
+        assert_eq!(ds.value(0, 1), 1.0);
+    }
+
+    #[test]
+    fn schema_helpers() {
+        let s = Schema::boolean(3, 2).with_class_names(["one", "seven"]);
+        assert_eq!(s.classes(), &["one".to_string(), "seven".to_string()]);
+        assert_eq!(s.n_features(), 3);
+        assert!(s.features().iter().all(|f| f.kind == FeatureKind::Bool));
+        assert!(Schema::new(vec![], vec!["a".into()]).is_err());
+    }
+
+    #[test]
+    fn select_features_projects_columns() {
+        let ds = Dataset::from_rows(
+            Schema::real(3, 2),
+            &[(vec![1.0, 2.0, 3.0], 0), (vec![4.0, 5.0, 6.0], 1)],
+        )
+        .unwrap();
+        let p = ds.select_features(&[2, 0]);
+        assert_eq!(p.n_features(), 2);
+        assert_eq!(p.value(0, 0), 3.0);
+        assert_eq!(p.value(0, 1), 1.0);
+        assert_eq!(p.value(1, 0), 6.0);
+        assert_eq!(p.label(1), 1);
+        assert_eq!(p.schema().features()[0].name, "x2");
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one feature")]
+    fn select_features_rejects_empty() {
+        let ds = Dataset::from_rows(schema2x2(), &[(vec![0.0, 0.0], 0)]).unwrap();
+        let _ = ds.select_features(&[]);
+    }
+
+    #[test]
+    fn approx_bytes_scales_with_size() {
+        let small = Dataset::from_rows(schema2x2(), &[(vec![0.0, 0.0], 0)]).unwrap();
+        let rows: Vec<_> = (0..100).map(|i| (vec![i as f64, 0.0], 0)).collect();
+        let big = Dataset::from_rows(schema2x2(), &rows).unwrap();
+        assert!(big.approx_bytes() > small.approx_bytes());
+    }
+}

@@ -1,0 +1,136 @@
+//! Train/test splitting.
+
+use crate::dataset::{Dataset, DatasetBuilder};
+use crate::RowId;
+use rand::rngs::StdRng;
+use rand::seq::SliceRandom;
+use rand::SeedableRng;
+
+/// Splits `ds` into `(train, test)` with `test_fraction` of rows (rounded
+/// down, at least one row in each side when possible) moved to the test set.
+///
+/// The split is a seeded uniform shuffle — the paper's "random 80%–20%
+/// split" for the UCI datasets (§6.1, footnote 9).
+///
+/// # Panics
+///
+/// Panics if `test_fraction` is outside `(0, 1)` or `ds` has fewer than two
+/// rows.
+pub fn train_test_split(ds: &Dataset, test_fraction: f64, seed: u64) -> (Dataset, Dataset) {
+    assert!(
+        test_fraction > 0.0 && test_fraction < 1.0,
+        "test_fraction must be in (0, 1), got {test_fraction}"
+    );
+    assert!(ds.len() >= 2, "need at least two rows to split");
+    let mut order: Vec<RowId> = (0..ds.len() as RowId).collect();
+    let mut rng = StdRng::seed_from_u64(seed);
+    order.shuffle(&mut rng);
+    let n_test = ((ds.len() as f64 * test_fraction) as usize).clamp(1, ds.len() - 1);
+    let (test_rows, train_rows) = order.split_at(n_test);
+    (take_rows(ds, train_rows), take_rows(ds, test_rows))
+}
+
+/// Stratified train/test split: samples `test_fraction` of each class
+/// independently, so per-class counts are preserved as exactly as
+/// rounding allows.
+///
+/// Used for the Iris benchmark, where the paper's depth-1 behaviour
+/// (footnote 10) hinges on the non-Setosa leaf being an *even* split of
+/// the two remaining classes — which only survives a class-balanced split.
+///
+/// # Panics
+///
+/// Panics if `test_fraction` is outside `(0, 1)` or `ds` has fewer than
+/// two rows.
+pub fn stratified_split(ds: &Dataset, test_fraction: f64, seed: u64) -> (Dataset, Dataset) {
+    assert!(
+        test_fraction > 0.0 && test_fraction < 1.0,
+        "test_fraction must be in (0, 1), got {test_fraction}"
+    );
+    assert!(ds.len() >= 2, "need at least two rows to split");
+    let mut rng = StdRng::seed_from_u64(seed);
+    let mut train_rows: Vec<RowId> = Vec::new();
+    let mut test_rows: Vec<RowId> = Vec::new();
+    for class in 0..ds.n_classes() as u16 {
+        let mut rows: Vec<RowId> =
+            (0..ds.len() as RowId).filter(|&r| ds.label(r) == class).collect();
+        rows.shuffle(&mut rng);
+        let n_test = ((rows.len() as f64 * test_fraction).round() as usize).min(rows.len());
+        test_rows.extend(&rows[..n_test]);
+        train_rows.extend(&rows[n_test..]);
+    }
+    train_rows.sort_unstable();
+    test_rows.sort_unstable();
+    (take_rows(ds, &train_rows), take_rows(ds, &test_rows))
+}
+
+/// Builds a new dataset from the given rows of `ds`, in the given order.
+pub fn take_rows(ds: &Dataset, rows: &[RowId]) -> Dataset {
+    let mut b = DatasetBuilder::new(ds.schema().clone());
+    for &r in rows {
+        b.push_row(&ds.row_values(r), ds.label(r)).expect("source rows are valid");
+    }
+    b.finish()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::synth;
+
+    #[test]
+    fn split_sizes_and_determinism() {
+        let ds = synth::iris_like(0);
+        let (train, test) = train_test_split(&ds, 0.2, 42);
+        assert_eq!(train.len() + test.len(), 150);
+        assert_eq!(test.len(), 30);
+        let (train2, test2) = train_test_split(&ds, 0.2, 42);
+        assert_eq!(train, train2);
+        assert_eq!(test, test2);
+        let (_, test3) = train_test_split(&ds, 0.2, 43);
+        assert_ne!(test, test3, "different seeds give different splits");
+    }
+
+    #[test]
+    fn split_partitions_rows() {
+        let ds = synth::figure2();
+        let (train, test) = train_test_split(&ds, 0.25, 1);
+        // Every original feature value appears exactly once across the two
+        // sides (figure2 has distinct values).
+        let mut values: Vec<f64> = (0..train.len() as RowId)
+            .map(|r| train.value(r, 0))
+            .chain((0..test.len() as RowId).map(|r| test.value(r, 0)))
+            .collect();
+        values.sort_by(f64::total_cmp);
+        assert_eq!(values.len(), 13);
+        let mut orig: Vec<f64> = (0..13u32).map(|r| ds.value(r, 0)).collect();
+        orig.sort_by(f64::total_cmp);
+        assert_eq!(values, orig);
+    }
+
+    #[test]
+    #[should_panic(expected = "test_fraction")]
+    fn bad_fraction_panics() {
+        let ds = synth::figure2();
+        let _ = train_test_split(&ds, 1.5, 0);
+    }
+
+    #[test]
+    fn extreme_fraction_keeps_both_sides_nonempty() {
+        let ds = synth::figure2();
+        let (train, test) = train_test_split(&ds, 0.01, 0);
+        assert!(!train.is_empty() && !test.is_empty());
+        let (train, test) = train_test_split(&ds, 0.99, 0);
+        assert!(!train.is_empty() && !test.is_empty());
+    }
+
+    #[test]
+    fn take_rows_preserves_order_and_content() {
+        let ds = synth::figure2();
+        let sub = take_rows(&ds, &[5, 0, 12]);
+        assert_eq!(sub.len(), 3);
+        assert_eq!(sub.value(0, 0), ds.value(5, 0));
+        assert_eq!(sub.value(1, 0), ds.value(0, 0));
+        assert_eq!(sub.label(2), ds.label(12));
+    }
+}

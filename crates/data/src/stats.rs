@@ -1,0 +1,150 @@
+//! Dataset summary statistics (Table 1's "detailed metrics" columns).
+
+use crate::dataset::{Column, Dataset};
+use std::fmt;
+
+/// Per-feature summary.
+#[derive(Debug, Clone, PartialEq)]
+pub struct FeatureStats {
+    /// Feature name from the schema.
+    pub name: String,
+    /// Minimum observed value.
+    pub min: f64,
+    /// Maximum observed value.
+    pub max: f64,
+    /// Mean value.
+    pub mean: f64,
+    /// Number of distinct values (drives the candidate-predicate count for
+    /// real features, §5.1).
+    pub distinct: usize,
+}
+
+/// Whole-dataset summary.
+#[derive(Debug, Clone, PartialEq)]
+pub struct DatasetStats {
+    /// Number of rows.
+    pub rows: usize,
+    /// Number of feature columns.
+    pub features: usize,
+    /// Number of boolean feature columns.
+    pub boolean_features: usize,
+    /// Per-class row counts.
+    pub class_counts: Vec<u32>,
+    /// Class names.
+    pub class_names: Vec<String>,
+    /// Per-feature summaries.
+    pub per_feature: Vec<FeatureStats>,
+    /// Total distinct (feature, threshold) split candidates a real-valued
+    /// learner would consider on the full set: Σ_f (distinct_f − 1).
+    pub candidate_predicates: usize,
+}
+
+impl DatasetStats {
+    /// Computes statistics for `ds`.
+    pub fn compute(ds: &Dataset) -> Self {
+        let mut per_feature = Vec::with_capacity(ds.n_features());
+        let mut boolean_features = 0;
+        let mut candidate_predicates = 0;
+        for (f, col) in ds.columns().iter().enumerate() {
+            if matches!(col, Column::Bool(_)) {
+                boolean_features += 1;
+            }
+            let mut values: Vec<f64> = (0..ds.len() as u32).map(|r| ds.value(r, f)).collect();
+            values.sort_by(f64::total_cmp);
+            let distinct = count_distinct(&values);
+            candidate_predicates += distinct.saturating_sub(1);
+            let (min, max) = match (values.first(), values.last()) {
+                (Some(&a), Some(&b)) => (a, b),
+                _ => (f64::NAN, f64::NAN),
+            };
+            let mean = if values.is_empty() {
+                f64::NAN
+            } else {
+                values.iter().sum::<f64>() / values.len() as f64
+            };
+            per_feature.push(FeatureStats {
+                name: ds.schema().features()[f].name.clone(),
+                min,
+                max,
+                mean,
+                distinct,
+            });
+        }
+        DatasetStats {
+            rows: ds.len(),
+            features: ds.n_features(),
+            boolean_features,
+            class_counts: ds.class_counts(),
+            class_names: ds.schema().classes().to_vec(),
+            per_feature,
+            candidate_predicates,
+        }
+    }
+}
+
+fn count_distinct(sorted: &[f64]) -> usize {
+    let mut n = 0;
+    let mut last = f64::NAN;
+    for &v in sorted {
+        if n == 0 || v != last {
+            n += 1;
+            last = v;
+        }
+    }
+    n
+}
+
+impl fmt::Display for DatasetStats {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        writeln!(
+            f,
+            "{} rows x {} features ({} boolean), {} classes, {} candidate predicates",
+            self.rows,
+            self.features,
+            self.boolean_features,
+            self.class_counts.len(),
+            self.candidate_predicates
+        )?;
+        for (name, count) in self.class_names.iter().zip(&self.class_counts) {
+            writeln!(f, "  class {name}: {count}")?;
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::synth;
+
+    #[test]
+    fn figure2_stats() {
+        let s = DatasetStats::compute(&synth::figure2());
+        assert_eq!(s.rows, 13);
+        assert_eq!(s.features, 1);
+        assert_eq!(s.boolean_features, 0);
+        assert_eq!(s.class_counts, vec![7, 6]);
+        assert_eq!(s.per_feature[0].distinct, 13);
+        assert_eq!(s.per_feature[0].min, 0.0);
+        assert_eq!(s.per_feature[0].max, 14.0);
+        // 13 distinct values → 12 adjacent-pair thresholds (Example 5.1).
+        assert_eq!(s.candidate_predicates, 12);
+        assert!(!s.to_string().is_empty());
+    }
+
+    #[test]
+    fn boolean_features_counted() {
+        let ds = synth::mnist17_like(synth::MnistVariant::Binary, 10, 0);
+        let s = DatasetStats::compute(&ds);
+        assert_eq!(s.boolean_features, 784);
+        // A boolean feature has at most 2 distinct values → ≤1 candidate.
+        assert!(s.candidate_predicates <= 784);
+    }
+
+    #[test]
+    fn distinct_counting() {
+        assert_eq!(count_distinct(&[]), 0);
+        assert_eq!(count_distinct(&[1.0]), 1);
+        assert_eq!(count_distinct(&[1.0, 1.0, 2.0, 3.0, 3.0]), 3);
+    }
+}

@@ -1,0 +1,349 @@
+//! Sorted-index views into a [`Dataset`].
+//!
+//! Every training-set fragment in the pipeline — the shrinking set held by
+//! the concrete learner `DTrace`, the base set `T` of an abstract element
+//! `⟨T,n⟩`, each disjunct of the disjunctive domain — is a [`Subset`]: a
+//! strictly increasing vector of row ids plus cached per-class counts.
+//!
+//! Keeping indices sorted makes the set algebra the abstract domain needs
+//! (`|T₁ \ T₂|` for joins, `∩` for meets, `∪` for joins) a linear merge, and
+//! caching class counts makes `cprob`/`ent` (and their abstract versions)
+//! O(k) instead of O(|T|).
+
+use crate::{ClassId, Dataset, RowId};
+
+/// A subset of a dataset's rows: sorted unique row ids + per-class counts.
+///
+/// A `Subset` does not borrow the [`Dataset`]; callers pass the dataset to
+/// operations that need values or labels. All subsets flowing through one
+/// prover run refer to the same dataset.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Subset {
+    indices: Vec<RowId>,
+    class_counts: Vec<u32>,
+}
+
+impl Subset {
+    /// The subset containing every row of `ds`.
+    pub fn full(ds: &Dataset) -> Self {
+        Subset {
+            indices: (0..ds.len() as RowId).collect(),
+            class_counts: ds.class_counts(),
+        }
+    }
+
+    /// An empty subset shaped for `n_classes` classes.
+    pub fn empty(n_classes: usize) -> Self {
+        Subset { indices: Vec::new(), class_counts: vec![0; n_classes] }
+    }
+
+    /// Builds a subset from arbitrary row ids (sorted and deduplicated here).
+    ///
+    /// # Panics
+    ///
+    /// Panics if any index is out of bounds for `ds`.
+    pub fn from_indices(ds: &Dataset, mut indices: Vec<RowId>) -> Self {
+        indices.sort_unstable();
+        indices.dedup();
+        if let Some(&last) = indices.last() {
+            assert!((last as usize) < ds.len(), "row id {last} out of bounds");
+        }
+        let mut class_counts = vec![0u32; ds.n_classes()];
+        for &i in &indices {
+            class_counts[ds.label(i) as usize] += 1;
+        }
+        Subset { indices, class_counts }
+    }
+
+    /// Number of rows in the subset (`|T|`).
+    #[inline]
+    pub fn len(&self) -> usize {
+        self.indices.len()
+    }
+
+    /// Whether the subset is empty.
+    #[inline]
+    pub fn is_empty(&self) -> bool {
+        self.indices.is_empty()
+    }
+
+    /// The sorted row ids.
+    #[inline]
+    pub fn indices(&self) -> &[RowId] {
+        &self.indices
+    }
+
+    /// Per-class row counts (`cᵢ` in the paper's `cprob#`).
+    #[inline]
+    pub fn class_counts(&self) -> &[u32] {
+        &self.class_counts
+    }
+
+    /// Count of rows labelled `class`.
+    #[inline]
+    pub fn count_of(&self, class: ClassId) -> u32 {
+        self.class_counts[class as usize]
+    }
+
+    /// Number of classes this subset is shaped for.
+    #[inline]
+    pub fn n_classes(&self) -> usize {
+        self.class_counts.len()
+    }
+
+    /// Whether every row in the subset has the same label (vacuously true
+    /// when empty). This is the concrete `ent(T) = 0` test.
+    pub fn is_pure(&self) -> bool {
+        self.class_counts.iter().filter(|&&c| c > 0).count() <= 1
+    }
+
+    /// Iterator over the row ids.
+    pub fn iter(&self) -> impl Iterator<Item = RowId> + '_ {
+        self.indices.iter().copied()
+    }
+
+    /// Whether `row` is in the subset.
+    pub fn contains(&self, row: RowId) -> bool {
+        self.indices.binary_search(&row).is_ok()
+    }
+
+    /// Splits the subset by a row predicate: rows satisfying `keep` go left,
+    /// the rest go right. This is the concrete `T↓φ / T↓¬φ` split.
+    pub fn partition<F: FnMut(RowId) -> bool>(&self, ds: &Dataset, mut keep: F) -> (Subset, Subset) {
+        let k = self.n_classes();
+        let mut yes = Subset::empty(k);
+        let mut no = Subset::empty(k);
+        for &i in &self.indices {
+            let target = if keep(i) { &mut yes } else { &mut no };
+            target.indices.push(i);
+            target.class_counts[ds.label(i) as usize] += 1;
+        }
+        (yes, no)
+    }
+
+    /// Keeps only rows satisfying `keep` (the `T↓φ` half of
+    /// [`Subset::partition`]).
+    pub fn filter<F: FnMut(RowId) -> bool>(&self, ds: &Dataset, keep: F) -> Subset {
+        self.partition(ds, keep).0
+    }
+
+    /// Keeps only rows labelled `class` — the set `T'` of the paper's
+    /// `pure(⟨T,n⟩, i)` operation (§4.7).
+    pub fn filter_class(&self, ds: &Dataset, class: ClassId) -> Subset {
+        let mut out = Subset::empty(self.n_classes());
+        for &i in &self.indices {
+            if ds.label(i) == class {
+                out.indices.push(i);
+            }
+        }
+        out.class_counts[class as usize] = out.indices.len() as u32;
+        out
+    }
+
+    /// Removes the rows of `other` from `self` (set difference), used by the
+    /// enumeration baseline to materialise elements of `Δn(T)`.
+    pub fn difference(&self, ds: &Dataset, other: &Subset) -> Subset {
+        let mut out = Subset::empty(self.n_classes());
+        for &i in &self.indices {
+            if !other.contains(i) {
+                out.indices.push(i);
+                out.class_counts[ds.label(i) as usize] += 1;
+            }
+        }
+        out
+    }
+
+    /// `|self \ other|`, computed by a linear merge without allocation. This
+    /// is the `|T₁ \ T₂|` quantity in the abstract join (Definition 4.1) and
+    /// the partial order (footnote 4).
+    pub fn difference_len(&self, other: &Subset) -> usize {
+        let (a, b) = (&self.indices, &other.indices);
+        let (mut i, mut j, mut only_a) = (0usize, 0usize, 0usize);
+        while i < a.len() && j < b.len() {
+            match a[i].cmp(&b[j]) {
+                std::cmp::Ordering::Less => {
+                    only_a += 1;
+                    i += 1;
+                }
+                std::cmp::Ordering::Greater => j += 1,
+                std::cmp::Ordering::Equal => {
+                    i += 1;
+                    j += 1;
+                }
+            }
+        }
+        only_a + (a.len() - i)
+    }
+
+    /// Whether `self ⊆ other`.
+    pub fn is_subset_of(&self, other: &Subset) -> bool {
+        self.difference_len(other) == 0
+    }
+
+    /// Set union (`T₁ ∪ T₂` in the abstract join), recomputing counts for
+    /// merged elements via the dataset's labels.
+    pub fn union(&self, ds: &Dataset, other: &Subset) -> Subset {
+        let mut out = Subset::empty(self.n_classes());
+        let (a, b) = (&self.indices, &other.indices);
+        let (mut i, mut j) = (0usize, 0usize);
+        while i < a.len() || j < b.len() {
+            let next = match (a.get(i), b.get(j)) {
+                (Some(&x), Some(&y)) => {
+                    if x == y {
+                        i += 1;
+                        j += 1;
+                        x
+                    } else if x < y {
+                        i += 1;
+                        x
+                    } else {
+                        j += 1;
+                        y
+                    }
+                }
+                (Some(&x), None) => {
+                    i += 1;
+                    x
+                }
+                (None, Some(&y)) => {
+                    j += 1;
+                    y
+                }
+                (None, None) => unreachable!(),
+            };
+            out.indices.push(next);
+            out.class_counts[ds.label(next) as usize] += 1;
+        }
+        out
+    }
+
+    /// Set intersection (`T₁ ∩ T₂` in the abstract meet, footnote 4).
+    pub fn intersect(&self, ds: &Dataset, other: &Subset) -> Subset {
+        let mut out = Subset::empty(self.n_classes());
+        let (a, b) = (&self.indices, &other.indices);
+        let (mut i, mut j) = (0usize, 0usize);
+        while i < a.len() && j < b.len() {
+            match a[i].cmp(&b[j]) {
+                std::cmp::Ordering::Less => i += 1,
+                std::cmp::Ordering::Greater => j += 1,
+                std::cmp::Ordering::Equal => {
+                    out.indices.push(a[i]);
+                    out.class_counts[ds.label(a[i]) as usize] += 1;
+                    i += 1;
+                    j += 1;
+                }
+            }
+        }
+        out
+    }
+
+    /// Approximate in-memory footprint in bytes (index vector + counts),
+    /// used by the harness's memory-proxy accounting.
+    pub fn approx_bytes(&self) -> usize {
+        self.indices.len() * std::mem::size_of::<RowId>()
+            + self.class_counts.len() * std::mem::size_of::<u32>()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::Schema;
+
+    /// 6 rows, 1 feature (= row value), labels 0,0,1,1,0,1.
+    fn tiny() -> Dataset {
+        let rows: Vec<(Vec<f64>, ClassId)> = [0, 0, 1, 1, 0, 1]
+            .iter()
+            .enumerate()
+            .map(|(i, &l)| (vec![i as f64], l as ClassId))
+            .collect();
+        Dataset::from_rows(Schema::real(1, 2), &rows).unwrap()
+    }
+
+    #[test]
+    fn full_and_counts() {
+        let ds = tiny();
+        let s = Subset::full(&ds);
+        assert_eq!(s.len(), 6);
+        assert_eq!(s.class_counts(), &[3, 3]);
+        assert!(!s.is_pure());
+        assert!(Subset::empty(2).is_pure());
+    }
+
+    #[test]
+    fn from_indices_sorts_and_dedups() {
+        let ds = tiny();
+        let s = Subset::from_indices(&ds, vec![4, 1, 4, 0]);
+        assert_eq!(s.indices(), &[0, 1, 4]);
+        assert_eq!(s.class_counts(), &[3, 0]);
+        assert!(s.is_pure());
+    }
+
+    #[test]
+    #[should_panic(expected = "out of bounds")]
+    fn from_indices_rejects_out_of_bounds() {
+        let ds = tiny();
+        let _ = Subset::from_indices(&ds, vec![99]);
+    }
+
+    #[test]
+    fn partition_splits_counts() {
+        let ds = tiny();
+        let s = Subset::full(&ds);
+        let (lo, hi) = s.partition(&ds, |r| ds.value(r, 0) <= 2.0);
+        assert_eq!(lo.indices(), &[0, 1, 2]);
+        assert_eq!(hi.indices(), &[3, 4, 5]);
+        assert_eq!(lo.class_counts(), &[2, 1]);
+        assert_eq!(hi.class_counts(), &[1, 2]);
+    }
+
+    #[test]
+    fn filter_class_is_pure() {
+        let ds = tiny();
+        let s = Subset::full(&ds);
+        let zeros = s.filter_class(&ds, 0);
+        assert_eq!(zeros.indices(), &[0, 1, 4]);
+        assert!(zeros.is_pure());
+        assert_eq!(zeros.count_of(0), 3);
+        assert_eq!(zeros.count_of(1), 0);
+    }
+
+    #[test]
+    fn set_algebra() {
+        let ds = tiny();
+        let a = Subset::from_indices(&ds, vec![0, 1, 2, 3]);
+        let b = Subset::from_indices(&ds, vec![2, 3, 4, 5]);
+        assert_eq!(a.difference_len(&b), 2);
+        assert_eq!(b.difference_len(&a), 2);
+        assert_eq!(a.union(&ds, &b).indices(), &[0, 1, 2, 3, 4, 5]);
+        assert_eq!(a.intersect(&ds, &b).indices(), &[2, 3]);
+        assert_eq!(a.difference(&ds, &b).indices(), &[0, 1]);
+        assert!(a.intersect(&ds, &b).is_subset_of(&a));
+        assert!(!a.is_subset_of(&b));
+        assert!(a.is_subset_of(&Subset::full(&ds)));
+        // Counts stay consistent through the algebra.
+        assert_eq!(a.union(&ds, &b).class_counts(), &[3, 3]);
+        assert_eq!(a.intersect(&ds, &b).class_counts(), &[0, 2]);
+    }
+
+    #[test]
+    fn contains_and_iter() {
+        let ds = tiny();
+        let s = Subset::from_indices(&ds, vec![1, 3, 5]);
+        assert!(s.contains(3));
+        assert!(!s.contains(2));
+        assert_eq!(s.iter().collect::<Vec<_>>(), vec![1, 3, 5]);
+    }
+
+    #[test]
+    fn empty_edge_cases() {
+        let ds = tiny();
+        let e = Subset::empty(2);
+        let f = Subset::full(&ds);
+        assert_eq!(e.difference_len(&f), 0);
+        assert_eq!(f.difference_len(&e), 6);
+        assert!(e.is_subset_of(&f));
+        assert_eq!(e.union(&ds, &f), f);
+        assert_eq!(e.intersect(&ds, &f), e);
+    }
+}

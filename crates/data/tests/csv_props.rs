@@ -1,0 +1,55 @@
+//! Property tests for CSV round trips over randomly generated datasets.
+
+use antidote_data::csv::{read_csv, write_csv};
+use antidote_data::{ClassId, Dataset, Schema};
+use proptest::prelude::*;
+
+/// Arbitrary small dataset: random finite values (shrunk to a printable
+/// range) and random labels.
+fn dataset_strategy() -> impl Strategy<Value = Dataset> {
+    let row = (prop::collection::vec(-1e6..1e6f64, 3), 0u16..3);
+    prop::collection::vec(row, 1..40).prop_map(|rows| {
+        let rows: Vec<(Vec<f64>, ClassId)> =
+            rows.into_iter().map(|(v, l)| (v, l as ClassId)).collect();
+        Dataset::from_rows(Schema::real(3, 3), &rows).expect("rows are valid")
+    })
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    /// write → read preserves every value and every label (modulo class
+    /// re-enumeration, compared through names).
+    #[test]
+    fn csv_round_trip(ds in dataset_strategy()) {
+        let mut buf = Vec::new();
+        write_csv(&ds, &mut buf).unwrap();
+        let back = read_csv(buf.as_slice()).unwrap();
+        prop_assert_eq!(back.len(), ds.len());
+        prop_assert_eq!(back.n_features(), ds.n_features());
+        for r in 0..ds.len() as u32 {
+            for f in 0..ds.n_features() {
+                prop_assert_eq!(back.value(r, f), ds.value(r, f));
+            }
+            prop_assert_eq!(
+                &back.schema().classes()[back.label(r) as usize],
+                &ds.schema().classes()[ds.label(r) as usize]
+            );
+        }
+    }
+
+    /// Round-tripped datasets produce byte-identical CSV on the second
+    /// write (the format is canonical).
+    #[test]
+    fn csv_is_canonical_after_first_trip(ds in dataset_strategy()) {
+        let mut first = Vec::new();
+        write_csv(&ds, &mut first).unwrap();
+        let back = read_csv(first.as_slice()).unwrap();
+        let mut second = Vec::new();
+        write_csv(&back, &mut second).unwrap();
+        let third = read_csv(second.as_slice()).unwrap();
+        let mut fourth = Vec::new();
+        write_csv(&third, &mut fourth).unwrap();
+        prop_assert_eq!(second, fourth);
+    }
+}

@@ -1,0 +1,281 @@
+//! The interval abstract domain `[l, u]` (§4.2).
+//!
+//! All numeric quantities the abstract learner manipulates — entropies,
+//! split scores, set sizes, class probabilities — are tracked as closed
+//! intervals over `f64`. Arithmetic is the standard sound lifting; the loop
+//! structure of `DTrace#` is bounded by the tree depth, so no widening is
+//! needed.
+
+use std::fmt;
+use std::ops::{Add, Mul, Sub};
+
+/// A closed interval `[lo, hi]` with `lo ≤ hi`.
+///
+/// Intervals are produced by sound transformers, so both endpoints stay
+/// finite in practice; construction only checks ordering.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct Interval {
+    lo: f64,
+    hi: f64,
+}
+
+impl Interval {
+    /// The interval `[0, 0]`.
+    pub const ZERO: Interval = Interval { lo: 0.0, hi: 0.0 };
+    /// The interval `[1, 1]`.
+    pub const ONE: Interval = Interval { lo: 1.0, hi: 1.0 };
+    /// The probability range `[0, 1]` (the `n = |T|` corner case of
+    /// `cprob#`).
+    pub const UNIT: Interval = Interval { lo: 0.0, hi: 1.0 };
+
+    /// Creates `[lo, hi]`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `lo > hi` or either bound is NaN.
+    pub fn new(lo: f64, hi: f64) -> Self {
+        assert!(!lo.is_nan() && !hi.is_nan(), "interval bounds must not be NaN");
+        assert!(lo <= hi, "malformed interval [{lo}, {hi}]");
+        Interval { lo, hi }
+    }
+
+    /// The singleton interval `[v, v]` (the abstraction of one number).
+    pub fn point(v: f64) -> Self {
+        Interval::new(v, v)
+    }
+
+    /// Lower bound (the paper's `lb`).
+    #[inline]
+    pub fn lb(&self) -> f64 {
+        self.lo
+    }
+
+    /// Upper bound (the paper's `ub`).
+    #[inline]
+    pub fn ub(&self) -> f64 {
+        self.hi
+    }
+
+    /// Whether the interval is a single point.
+    pub fn is_point(&self) -> bool {
+        self.lo == self.hi
+    }
+
+    /// Whether `v ∈ [lo, hi]`.
+    pub fn contains(&self, v: f64) -> bool {
+        self.lo <= v && v <= self.hi
+    }
+
+    /// Whether `other ⊆ self`.
+    pub fn encloses(&self, other: &Interval) -> bool {
+        self.lo <= other.lo && other.hi <= self.hi
+    }
+
+    /// Whether the two intervals share at least one point.
+    pub fn overlaps(&self, other: &Interval) -> bool {
+        self.lo <= other.hi && other.lo <= self.hi
+    }
+
+    /// Join: the smallest interval containing both (⊔ in §4.2).
+    pub fn join(&self, other: &Interval) -> Interval {
+        Interval { lo: self.lo.min(other.lo), hi: self.hi.max(other.hi) }
+    }
+
+    /// Meet: the intersection, or `None` when disjoint.
+    pub fn meet(&self, other: &Interval) -> Option<Interval> {
+        if self.overlaps(other) {
+            Some(Interval { lo: self.lo.max(other.lo), hi: self.hi.min(other.hi) })
+        } else {
+            None
+        }
+    }
+
+    /// Whether every value of `self` is strictly greater than every value
+    /// of `other` — the comparison the dominance check of Corollary 4.12
+    /// performs pairwise (`lᵢ > uⱼ`).
+    pub fn strictly_above(&self, other: &Interval) -> bool {
+        self.lo > other.hi
+    }
+
+    /// Clamps the interval into `[0, 1]` (useful for displaying probability
+    /// intervals produced by the non-optimal `cprob#`, which the paper
+    /// notes may leak outside the unit range).
+    pub fn clamp_unit(&self) -> Interval {
+        Interval {
+            lo: self.lo.clamp(0.0, 1.0),
+            hi: self.hi.clamp(0.0, 1.0),
+        }
+    }
+
+    /// Width `hi − lo` (a precision metric used by the harness).
+    pub fn width(&self) -> f64 {
+        self.hi - self.lo
+    }
+}
+
+impl Add for Interval {
+    type Output = Interval;
+
+    fn add(self, rhs: Interval) -> Interval {
+        Interval { lo: self.lo + rhs.lo, hi: self.hi + rhs.hi }
+    }
+}
+
+impl Sub for Interval {
+    type Output = Interval;
+
+    fn sub(self, rhs: Interval) -> Interval {
+        Interval { lo: self.lo - rhs.hi, hi: self.hi - rhs.lo }
+    }
+}
+
+impl Mul for Interval {
+    type Output = Interval;
+
+    fn mul(self, rhs: Interval) -> Interval {
+        let products = [self.lo * rhs.lo, self.lo * rhs.hi, self.hi * rhs.lo, self.hi * rhs.hi];
+        let mut lo = products[0];
+        let mut hi = products[0];
+        for &p in &products[1..] {
+            lo = lo.min(p);
+            hi = hi.max(p);
+        }
+        Interval { lo, hi }
+    }
+}
+
+impl fmt::Display for Interval {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        if self.is_point() {
+            write!(f, "{{{}}}", self.lo)
+        } else {
+            write!(f, "[{}, {}]", self.lo, self.hi)
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use proptest::prelude::*;
+
+    #[test]
+    fn construction_and_accessors() {
+        let i = Interval::new(1.0, 2.5);
+        assert_eq!(i.lb(), 1.0);
+        assert_eq!(i.ub(), 2.5);
+        assert!(!i.is_point());
+        assert!(Interval::point(3.0).is_point());
+        assert_eq!(i.width(), 1.5);
+    }
+
+    #[test]
+    #[should_panic(expected = "malformed")]
+    fn reversed_bounds_panic() {
+        let _ = Interval::new(2.0, 1.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "NaN")]
+    fn nan_bounds_panic() {
+        let _ = Interval::new(f64::NAN, 1.0);
+    }
+
+    #[test]
+    fn membership_and_lattice() {
+        let a = Interval::new(0.0, 2.0);
+        let b = Interval::new(1.0, 3.0);
+        assert!(a.contains(0.0) && a.contains(2.0) && !a.contains(2.1));
+        assert!(a.overlaps(&b));
+        assert_eq!(a.join(&b), Interval::new(0.0, 3.0));
+        assert_eq!(a.meet(&b), Some(Interval::new(1.0, 2.0)));
+        let c = Interval::new(5.0, 6.0);
+        assert!(!a.overlaps(&c));
+        assert_eq!(a.meet(&c), None);
+        assert!(Interval::new(0.0, 3.0).encloses(&a));
+        assert!(!a.encloses(&b));
+    }
+
+    #[test]
+    fn strictly_above_matches_dominance_comparison() {
+        assert!(Interval::new(0.6, 0.9).strictly_above(&Interval::new(0.1, 0.5)));
+        // Touching endpoints: lᵢ > uⱼ must be strict.
+        assert!(!Interval::new(0.5, 0.9).strictly_above(&Interval::new(0.1, 0.5)));
+    }
+
+    #[test]
+    fn paper_example_4_2_alpha() {
+        // α({0.2, 0.4, 0.6}) = [0.2, 0.6]: the join of the points.
+        let joined = [0.2, 0.4, 0.6]
+            .into_iter()
+            .map(Interval::point)
+            .reduce(|a, b| a.join(&b))
+            .unwrap();
+        assert_eq!(joined, Interval::new(0.2, 0.6));
+    }
+
+    #[test]
+    fn clamp_unit() {
+        assert_eq!(Interval::new(-0.5, 1.7).clamp_unit(), Interval::UNIT);
+        assert_eq!(Interval::new(0.2, 0.4).clamp_unit(), Interval::new(0.2, 0.4));
+    }
+
+    #[test]
+    fn display() {
+        assert_eq!(Interval::new(0.0, 1.0).to_string(), "[0, 1]");
+        assert_eq!(Interval::point(2.0).to_string(), "{2}");
+    }
+
+    /// Strategy producing an interval plus a member point.
+    fn interval_with_member() -> impl Strategy<Value = (Interval, f64)> {
+        (-1e3..1e3f64, 0.0..1e3f64, 0.0..1.0f64).prop_map(|(lo, w, t)| {
+            let iv = Interval::new(lo, lo + w);
+            (iv, lo + t * w)
+        })
+    }
+
+    proptest! {
+        #![proptest_config(ProptestConfig::with_cases(256))]
+
+        /// Soundness of interval arithmetic: x ∈ a, y ∈ b ⇒ x∘y ∈ a∘b.
+        #[test]
+        fn arithmetic_is_sound(
+            (a, x) in interval_with_member(),
+            (b, y) in interval_with_member(),
+        ) {
+            prop_assert!((a + b).contains(x + y));
+            prop_assert!((a - b).contains(x - y));
+            // Multiplication may round; allow a tiny epsilon inflation.
+            let m = a * b;
+            let prod = x * y;
+            prop_assert!(m.lb() - 1e-6 <= prod && prod <= m.ub() + 1e-6);
+        }
+
+        /// Join soundness and commutativity.
+        #[test]
+        fn join_is_sound(
+            (a, x) in interval_with_member(),
+            (b, y) in interval_with_member(),
+        ) {
+            let j = a.join(&b);
+            prop_assert!(j.contains(x));
+            prop_assert!(j.contains(y));
+            prop_assert_eq!(j, b.join(&a));
+            prop_assert!(j.encloses(&a) && j.encloses(&b));
+        }
+
+        /// Meet is the exact intersection.
+        #[test]
+        fn meet_is_exact(
+            (a, x) in interval_with_member(),
+            b in interval_with_member().prop_map(|(iv, _)| iv),
+        ) {
+            match a.meet(&b) {
+                Some(m) => {
+                    prop_assert_eq!(b.contains(x), m.contains(x));
+                }
+                None => prop_assert!(!b.contains(x)),
+            }
+        }
+    }
+}

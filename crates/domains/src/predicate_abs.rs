@@ -1,0 +1,481 @@
+//! Abstract predicates and predicate sets (§4.2, §5.1, Appendix B).
+//!
+//! The abstract learner tracks *sets* of possible most-recent predicates Ψ
+//! (including the null predicate ⋄). Predicates come in two forms:
+//!
+//! * [`AbsPredicate::Concrete`] — an ordinary threshold `x_i ≤ τ`, used for
+//!   boolean features and wherever a single threshold is exact;
+//! * [`AbsPredicate::Symbolic`] — the real-valued symbolic form
+//!   `x_i ≤ [a, b)` (Definition B.2) standing for *every* threshold in
+//!   `[a, b)`, which keeps the candidate set linear in `|T|` instead of
+//!   `≈ |T|·n` under poisoning (§5.1).
+
+use crate::trainset::AbstractSet;
+use antidote_data::Dataset;
+use antidote_tree::Predicate;
+use std::cmp::Ordering;
+use std::collections::BTreeSet;
+use std::fmt;
+
+/// Three-valued truth for symbolic predicate evaluation (Definition B.2).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum Truth {
+    /// Every concretization of the predicate is satisfied.
+    True,
+    /// Some concretizations are satisfied and some are not.
+    Maybe,
+    /// No concretization is satisfied.
+    False,
+}
+
+/// An abstract predicate: a concrete threshold or a symbolic threshold
+/// range.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum AbsPredicate {
+    /// `x_feature ≤ threshold` — γ is the singleton predicate.
+    Concrete(Predicate),
+    /// `x_feature ≤ [lo, hi)` — γ is `{ x_f ≤ τ | τ ∈ [lo, hi) }`.
+    Symbolic {
+        /// Feature index tested.
+        feature: usize,
+        /// Inclusive lower end of the threshold range.
+        lo: f64,
+        /// Exclusive upper end of the threshold range.
+        hi: f64,
+    },
+}
+
+impl AbsPredicate {
+    /// Three-valued evaluation on an input vector.
+    ///
+    /// A concrete predicate never returns [`Truth::Maybe`]. For the
+    /// symbolic form: `True` if `x_f ≤ lo`, `Maybe` if `lo < x_f < hi`,
+    /// `False` if `x_f ≥ hi`.
+    pub fn eval3(&self, x: &[f64]) -> Truth {
+        match *self {
+            AbsPredicate::Concrete(p) => {
+                if p.eval(x) {
+                    Truth::True
+                } else {
+                    Truth::False
+                }
+            }
+            AbsPredicate::Symbolic { feature, lo, hi } => {
+                let v = x[feature];
+                if v <= lo {
+                    Truth::True
+                } else if v < hi {
+                    Truth::Maybe
+                } else {
+                    Truth::False
+                }
+            }
+        }
+    }
+
+    /// γ-membership: does the concrete predicate `p` belong to this
+    /// abstract predicate's concretization?
+    pub fn concretizes(&self, p: &Predicate) -> bool {
+        match *self {
+            AbsPredicate::Concrete(q) => q == *p,
+            AbsPredicate::Symbolic { feature, lo, hi } => {
+                p.feature == feature && lo <= p.threshold && p.threshold < hi
+            }
+        }
+    }
+
+    /// The feature this predicate tests.
+    pub fn feature(&self) -> usize {
+        match *self {
+            AbsPredicate::Concrete(p) => p.feature,
+            AbsPredicate::Symbolic { feature, .. } => feature,
+        }
+    }
+
+    /// `⟨T,n⟩↓#ρ` (Appendix B.1): for a concrete predicate this is
+    /// Equation 1; for a symbolic `x_i ≤ [a,b)` it is
+    /// `⟨T,n⟩↓#(x≤a) ⊔ ⟨T,n⟩↓#(x<b)`.
+    pub fn restrict(&self, ds: &Dataset, a: &AbstractSet) -> AbstractSet {
+        match *self {
+            AbsPredicate::Concrete(p) => a.restrict_where(ds, |r| p.eval_row(ds, r)),
+            AbsPredicate::Symbolic { feature, lo, hi } => {
+                let at_a = a.restrict_where(ds, |r| ds.value(r, feature) <= lo);
+                let at_b = a.restrict_where(ds, |r| ds.value(r, feature) < hi);
+                at_a.join(ds, &at_b)
+            }
+        }
+    }
+
+    /// `⟨T,n⟩↓#¬ρ`: the complementary restriction
+    /// (`⟨T,n⟩↓#(x>a) ⊔ ⟨T,n⟩↓#(x≥b)` in the symbolic case).
+    pub fn restrict_neg(&self, ds: &Dataset, a: &AbstractSet) -> AbstractSet {
+        match *self {
+            AbsPredicate::Concrete(p) => a.restrict_where(ds, |r| !p.eval_row(ds, r)),
+            AbsPredicate::Symbolic { feature, lo, hi } => {
+                let gt_a = a.restrict_where(ds, |r| ds.value(r, feature) > lo);
+                let ge_b = a.restrict_where(ds, |r| ds.value(r, feature) >= hi);
+                gt_a.join(ds, &ge_b)
+            }
+        }
+    }
+}
+
+impl Eq for AbsPredicate {}
+
+impl PartialOrd for AbsPredicate {
+    fn partial_cmp(&self, other: &Self) -> Option<Ordering> {
+        Some(self.cmp(other))
+    }
+}
+
+impl Ord for AbsPredicate {
+    fn cmp(&self, other: &Self) -> Ordering {
+        fn key(p: &AbsPredicate) -> (usize, u8, f64, f64) {
+            match *p {
+                AbsPredicate::Concrete(q) => (q.feature, 0, q.threshold, q.threshold),
+                AbsPredicate::Symbolic { feature, lo, hi } => (feature, 1, lo, hi),
+            }
+        }
+        let (fa, va, la, ha) = key(self);
+        let (fb, vb, lb, hb) = key(other);
+        fa.cmp(&fb)
+            .then(va.cmp(&vb))
+            .then(la.total_cmp(&lb))
+            .then(ha.total_cmp(&hb))
+    }
+}
+
+impl std::hash::Hash for AbsPredicate {
+    fn hash<H: std::hash::Hasher>(&self, state: &mut H) {
+        match *self {
+            AbsPredicate::Concrete(p) => {
+                0u8.hash(state);
+                p.hash(state);
+            }
+            AbsPredicate::Symbolic { feature, lo, hi } => {
+                1u8.hash(state);
+                feature.hash(state);
+                lo.to_bits().hash(state);
+                hi.to_bits().hash(state);
+            }
+        }
+    }
+}
+
+impl fmt::Display for AbsPredicate {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match *self {
+            AbsPredicate::Concrete(p) => write!(f, "{p}"),
+            AbsPredicate::Symbolic { feature, lo, hi } => {
+                write!(f, "x{feature} <= [{lo}, {hi})")
+            }
+        }
+    }
+}
+
+/// The predicate-set abstraction Ψ (§4.2): a finite set of abstract
+/// predicates, possibly containing the special null predicate ⋄.
+#[derive(Debug, Clone, PartialEq, Eq, Default)]
+pub struct PredSet {
+    preds: BTreeSet<AbsPredicate>,
+    diamond: bool,
+}
+
+impl PredSet {
+    /// The empty set.
+    pub fn new() -> Self {
+        PredSet::default()
+    }
+
+    /// The initial learner state `{⋄}` (§4.3).
+    pub fn diamond_only() -> Self {
+        PredSet { preds: BTreeSet::new(), diamond: true }
+    }
+
+    /// Builds a set from abstract predicates (no ⋄).
+    pub fn from_preds<I: IntoIterator<Item = AbsPredicate>>(preds: I) -> Self {
+        PredSet { preds: preds.into_iter().collect(), diamond: false }
+    }
+
+    /// Inserts a predicate.
+    pub fn insert(&mut self, p: AbsPredicate) {
+        self.preds.insert(p);
+    }
+
+    /// Adds ⋄ to the set.
+    pub fn insert_diamond(&mut self) {
+        self.diamond = true;
+    }
+
+    /// Removes ⋄ (the `φ ≠ ⋄` branch restriction, §4.7).
+    pub fn without_diamond(&self) -> PredSet {
+        PredSet { preds: self.preds.clone(), diamond: false }
+    }
+
+    /// Whether ⋄ ∈ Ψ.
+    pub fn has_diamond(&self) -> bool {
+        self.diamond
+    }
+
+    /// Whether the set is empty (no predicates and no ⋄).
+    pub fn is_empty(&self) -> bool {
+        self.preds.is_empty() && !self.diamond
+    }
+
+    /// Number of non-⋄ predicates.
+    pub fn len(&self) -> usize {
+        self.preds.len()
+    }
+
+    /// Iterates over the non-⋄ predicates.
+    pub fn iter(&self) -> impl Iterator<Item = &AbsPredicate> {
+        self.preds.iter()
+    }
+
+    /// Join: plain set union (§4.2).
+    pub fn join(&self, other: &PredSet) -> PredSet {
+        PredSet {
+            preds: self.preds.union(&other.preds).copied().collect(),
+            diamond: self.diamond || other.diamond,
+        }
+    }
+
+    /// γ-membership for a concrete choice: either `p` is covered by some
+    /// abstract predicate, or `p` is `None` (⋄) and ⋄ ∈ Ψ.
+    pub fn concretizes(&self, p: Option<&Predicate>) -> bool {
+        match p {
+            None => self.diamond,
+            Some(p) => self.preds.iter().any(|ap| ap.concretizes(p)),
+        }
+    }
+
+    /// Approximate footprint in bytes (memory-proxy accounting).
+    pub fn approx_bytes(&self) -> usize {
+        self.preds.len() * std::mem::size_of::<AbsPredicate>() + 1
+    }
+}
+
+impl FromIterator<AbsPredicate> for PredSet {
+    fn from_iter<I: IntoIterator<Item = AbsPredicate>>(iter: I) -> Self {
+        PredSet::from_preds(iter)
+    }
+}
+
+impl fmt::Display for PredSet {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{{")?;
+        let mut first = true;
+        if self.diamond {
+            write!(f, "<>")?;
+            first = false;
+        }
+        for p in &self.preds {
+            if !first {
+                write!(f, ", ")?;
+            }
+            write!(f, "{p}")?;
+            first = false;
+        }
+        write!(f, "}}")
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::trainset::AbstractSet;
+    use antidote_data::{synth, Subset};
+
+    fn sym(feature: usize, lo: f64, hi: f64) -> AbsPredicate {
+        AbsPredicate::Symbolic { feature, lo, hi }
+    }
+
+    fn conc(feature: usize, t: f64) -> AbsPredicate {
+        AbsPredicate::Concrete(Predicate { feature, threshold: t })
+    }
+
+    #[test]
+    fn three_valued_semantics_definition_b2() {
+        let rho = sym(0, 3.0, 7.0);
+        assert_eq!(rho.eval3(&[3.0]), Truth::True);
+        assert_eq!(rho.eval3(&[2.0]), Truth::True);
+        assert_eq!(rho.eval3(&[5.0]), Truth::Maybe);
+        assert_eq!(rho.eval3(&[7.0]), Truth::False);
+        assert_eq!(rho.eval3(&[9.0]), Truth::False);
+        let c = conc(0, 4.0);
+        assert_eq!(c.eval3(&[4.0]), Truth::True);
+        assert_eq!(c.eval3(&[4.1]), Truth::False);
+    }
+
+    #[test]
+    fn concretization_membership() {
+        let rho = sym(1, 3.0, 7.0);
+        assert!(rho.concretizes(&Predicate { feature: 1, threshold: 3.0 }));
+        assert!(rho.concretizes(&Predicate { feature: 1, threshold: 6.9 }));
+        assert!(!rho.concretizes(&Predicate { feature: 1, threshold: 7.0 }), "hi is exclusive");
+        assert!(!rho.concretizes(&Predicate { feature: 0, threshold: 5.0 }));
+        let c = conc(1, 5.0);
+        assert!(c.concretizes(&Predicate { feature: 1, threshold: 5.0 }));
+        assert!(!c.concretizes(&Predicate { feature: 1, threshold: 5.1 }));
+    }
+
+    #[test]
+    fn symbolic_restrict_is_join_of_endpoints() {
+        // Proposition B.3 shape: ⟨T,n⟩↓#ρ = ↓#(x≤a) ⊔ ↓#(x<b).
+        let ds = synth::figure2();
+        let a = AbstractSet::full(&ds, 1);
+        // ρ = x ≤ [4, 7): on figure2 no value lies strictly between 4 and
+        // 7, so both endpoint restrictions keep {0..4} and the join is
+        // exact.
+        let rho = sym(0, 4.0, 7.0);
+        let r = rho.restrict(&ds, &a);
+        assert_eq!(r.len(), 5);
+        assert_eq!(r.n(), 1);
+        // Negation keeps {7..14}.
+        let rn = rho.restrict_neg(&ds, &a);
+        assert_eq!(rn.len(), 8);
+        // ρ = x ≤ [3, 8): now value 4 and 7 are in the gap; the join must
+        // cover both the tight (x ≤ 3) and loose (x < 8) outcome.
+        let rho = sym(0, 3.0, 8.0);
+        let r = rho.restrict(&ds, &a);
+        // x < 8 keeps {0,1,2,3,4,7} (6 rows); the join base is that set.
+        assert_eq!(r.len(), 6);
+        // Concrete restriction by any τ ∈ [3, 8) must be covered.
+        for tau in [3.0, 4.5, 5.5, 7.5] {
+            let conc_r = Subset::full(&ds).filter(&ds, |row| ds.value(row, 0) <= tau);
+            let abs_conc = a
+                .restrict_where(&ds, |row| ds.value(row, 0) <= tau);
+            let _ = abs_conc;
+            assert!(
+                r.concretizes(&conc_r) || conc_r.len() + a.n() < r.len(),
+                "τ = {tau} not covered"
+            );
+        }
+    }
+
+    #[test]
+    fn predset_basics() {
+        let mut s = PredSet::new();
+        assert!(s.is_empty());
+        s.insert(conc(0, 1.0));
+        s.insert(conc(0, 1.0));
+        s.insert(sym(0, 1.0, 2.0));
+        assert_eq!(s.len(), 2);
+        assert!(!s.has_diamond());
+        s.insert_diamond();
+        assert!(s.has_diamond());
+        assert!(!s.without_diamond().has_diamond());
+        assert_eq!(s.without_diamond().len(), 2);
+        let d = PredSet::diamond_only();
+        assert!(d.has_diamond());
+        assert_eq!(d.len(), 0);
+        assert!(!d.is_empty());
+    }
+
+    #[test]
+    fn predset_join_is_union() {
+        let a = PredSet::from_preds([conc(0, 1.0), conc(1, 2.0)]);
+        let mut b = PredSet::from_preds([conc(1, 2.0), conc(2, 3.0)]);
+        b.insert_diamond();
+        let j = a.join(&b);
+        assert_eq!(j.len(), 3);
+        assert!(j.has_diamond());
+    }
+
+    #[test]
+    fn predset_concretizes() {
+        let mut s = PredSet::from_preds([sym(0, 3.0, 7.0)]);
+        assert!(s.concretizes(Some(&Predicate { feature: 0, threshold: 5.0 })));
+        assert!(!s.concretizes(Some(&Predicate { feature: 0, threshold: 8.0 })));
+        assert!(!s.concretizes(None));
+        s.insert_diamond();
+        assert!(s.concretizes(None));
+    }
+
+    #[test]
+    fn proposition_b3_symbolic_restrict_soundness() {
+        // Randomized check of Proposition B.3: for T' ∈ γ(⟨T,n⟩) and
+        // φ' ∈ γ(ρ), T'↓φ' ∈ γ(⟨T,n⟩↓#ρ) — and the complementary claim
+        // for ¬ρ.
+        use rand::rngs::StdRng;
+        use rand::seq::SliceRandom;
+        use rand::{Rng, SeedableRng};
+        for seed in 0..200u64 {
+            let mut rng = StdRng::seed_from_u64(seed);
+            let len = rng.random_range(2..20usize);
+            let rows: Vec<(Vec<f64>, u16)> = (0..len)
+                .map(|_| (vec![rng.random_range(0..10) as f64], rng.random_range(0..2)))
+                .collect();
+            let ds = antidote_data::Dataset::from_rows(
+                antidote_data::Schema::real(1, 2),
+                &rows,
+            )
+            .unwrap();
+            let n = rng.random_range(0..=len);
+            let a = AbstractSet::full(&ds, n);
+            // Sample T' ∈ γ.
+            let drop = rng.random_range(0..=n);
+            let mut idx: Vec<u32> = (0..len as u32).collect();
+            idx.shuffle(&mut rng);
+            idx.truncate(len - drop);
+            let t_prime = Subset::from_indices(&ds, idx);
+            // A symbolic predicate as bestSplit#R constructs them: an
+            // adjacent pair of observed values (Appendix B.2). With an
+            // empty ≤lo side, the implementation's ⊔-identity shortcut
+            // deviates from the literal Definition 4.1 (see
+            // AbstractSet::join docs), but such ρ are never generated.
+            let mut values: Vec<f64> = (0..len as u32).map(|r| ds.value(r, 0)).collect();
+            values.sort_by(f64::total_cmp);
+            values.dedup();
+            if values.len() < 2 {
+                continue;
+            }
+            let pair = rng.random_range(0..values.len() - 1);
+            let (lo, hi) = (values[pair], values[pair + 1]);
+            let rho = sym(0, lo, hi);
+            let tau = lo + rng.random::<f64>() * (hi - lo) * 0.999;
+            let phi = Predicate { feature: 0, threshold: tau };
+            assert!(rho.concretizes(&phi));
+            let conc_pos = t_prime.filter(&ds, |r| phi.eval_row(&ds, r));
+            let conc_neg = t_prime.filter(&ds, |r| !phi.eval_row(&ds, r));
+            assert!(
+                rho.restrict(&ds, &a).concretizes(&conc_pos),
+                "seed {seed}: positive restriction unsound (τ={tau}, ρ={rho})"
+            );
+            assert!(
+                rho.restrict_neg(&ds, &a).concretizes(&conc_neg),
+                "seed {seed}: negative restriction unsound (τ={tau}, ρ={rho})"
+            );
+        }
+    }
+
+    #[test]
+    fn ordering_is_total_and_deterministic() {
+        let mut v = vec![sym(1, 0.0, 1.0), conc(1, 0.5), conc(0, 9.0), sym(0, 2.0, 3.0)];
+        v.sort();
+        assert_eq!(v[0].feature(), 0);
+        assert_eq!(v[3], sym(1, 0.0, 1.0));
+    }
+
+    #[test]
+    fn restrict_neg_complements_restrict() {
+        // On any concrete dataset, for a concrete predicate the positive
+        // and negative restrictions partition the base set.
+        let ds = synth::figure2();
+        let a = AbstractSet::full(&ds, 3);
+        let p = conc(0, 8.5);
+        let pos = p.restrict(&ds, &a);
+        let neg = p.restrict_neg(&ds, &a);
+        assert_eq!(pos.len() + neg.len(), a.len());
+        assert!(pos.base().intersect(&ds, neg.base()).is_empty());
+    }
+
+    #[test]
+    fn display_forms() {
+        assert_eq!(conc(0, 2.5).to_string(), "x0 <= 2.5");
+        assert_eq!(sym(1, 2.0, 3.0).to_string(), "x1 <= [2, 3)");
+        let mut s = PredSet::from_preds([conc(0, 1.0)]);
+        s.insert_diamond();
+        assert_eq!(s.to_string(), "{<>, x0 <= 1}");
+    }
+}

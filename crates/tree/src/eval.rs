@@ -1,0 +1,78 @@
+//! Model evaluation metrics (Table 1's accuracy columns).
+
+use crate::learner::DecisionTree;
+use antidote_data::Dataset;
+
+/// Fraction of `test` rows the tree labels correctly.
+///
+/// Returns `NaN` for an empty test set.
+pub fn accuracy(tree: &DecisionTree, test: &Dataset) -> f64 {
+    if test.is_empty() {
+        return f64::NAN;
+    }
+    let hits = (0..test.len() as u32)
+        .filter(|&r| tree.predict(&test.row_values(r)) == test.label(r))
+        .count();
+    hits as f64 / test.len() as f64
+}
+
+/// Confusion matrix: `m[actual][predicted]` counts.
+pub fn confusion_matrix(tree: &DecisionTree, test: &Dataset) -> Vec<Vec<u32>> {
+    let k = test.n_classes();
+    let mut m = vec![vec![0u32; k]; k];
+    for r in 0..test.len() as u32 {
+        let pred = tree.predict(&test.row_values(r));
+        m[test.label(r) as usize][pred as usize] += 1;
+    }
+    m
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::learner::learn_tree;
+    use antidote_data::{synth, Benchmark, Scale, Subset};
+
+    #[test]
+    fn accuracy_on_training_data_is_high_for_figure2() {
+        let ds = synth::figure2();
+        let tree = learn_tree(&ds, &Subset::full(&ds), 2);
+        let acc = accuracy(&tree, &ds);
+        assert!(acc >= 11.0 / 13.0, "depth-2 figure2 accuracy was {acc}");
+    }
+
+    #[test]
+    fn confusion_matrix_sums_to_len() {
+        let ds = synth::iris_like(0);
+        let tree = learn_tree(&ds, &Subset::full(&ds), 2);
+        let m = confusion_matrix(&tree, &ds);
+        let total: u32 = m.iter().flatten().sum();
+        assert_eq!(total as usize, ds.len());
+        // Diagonal fraction equals accuracy.
+        let diag: u32 = (0..3).map(|i| m[i][i]).sum();
+        assert!((diag as f64 / 150.0 - accuracy(&tree, &ds)).abs() < 1e-12);
+    }
+
+    #[test]
+    fn empty_test_set_gives_nan() {
+        let ds = synth::figure2();
+        let tree = learn_tree(&ds, &Subset::full(&ds), 1);
+        let empty = antidote_data::split::take_rows(&ds, &[]);
+        assert!(accuracy(&tree, &empty).is_nan());
+    }
+
+    #[test]
+    fn benchmark_accuracies_are_reasonable() {
+        // Shape check against Table 1: the UCI-like benchmarks should be
+        // learnable to roughly the published accuracy bands at depth ≤ 4.
+        for (bench, floor) in [
+            (Benchmark::Mammographic, 0.70),
+            (Benchmark::Wdbc, 0.85),
+        ] {
+            let (train, test) = bench.load(Scale::Small, 0);
+            let tree = learn_tree(&train, &Subset::full(&train), 3);
+            let acc = accuracy(&tree, &test);
+            assert!(acc > floor, "{bench}: depth-3 accuracy {acc} below {floor}");
+        }
+    }
+}

@@ -1,0 +1,277 @@
+//! A full CART-style decision-tree learner.
+//!
+//! `DTrace` (the paper's Fig. 4) materialises one trace; this module builds
+//! the whole tree using the same `bestSplit`, which is what the Table 1
+//! test-set accuracies are measured on (§6.1) and what the greedy attack in
+//! `antidote-baselines` retrains. By construction, for every input `x`,
+//! `DecisionTree::predict(x) == dtrace(…, x).label` — a property the test
+//! suite checks.
+
+use crate::dtrace::argmax_label;
+use crate::predicate::Predicate;
+use crate::split::{best_split, cprob};
+use antidote_data::{ClassId, Dataset, Subset};
+
+/// A node of a learned tree, stored in a [`DecisionTree`] arena.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Node {
+    /// A leaf with its class distribution and (deterministic) label.
+    Leaf {
+        /// `cprob` of the training fragment at this leaf.
+        probs: Vec<f64>,
+        /// `argmax` of `probs` (ties toward the smallest class id).
+        label: ClassId,
+        /// Number of training rows that reached the leaf.
+        count: usize,
+    },
+    /// An internal split node.
+    Split {
+        /// The branching predicate.
+        predicate: Predicate,
+        /// Child index followed when `x |= φ`.
+        then_child: usize,
+        /// Child index followed when `x |= ¬φ`.
+        else_child: usize,
+    },
+}
+
+/// A learned decision tree (root at node 0).
+#[derive(Debug, Clone, PartialEq)]
+pub struct DecisionTree {
+    nodes: Vec<Node>,
+    n_classes: usize,
+}
+
+/// One root-to-leaf trace of a tree: the paper's trace-based view of an
+/// already-learned tree (§3.2). `predicates[i].1` is the polarity (true =
+/// the `≤` side).
+#[derive(Debug, Clone, PartialEq)]
+pub struct Trace {
+    /// The predicate sequence σ with polarities.
+    pub predicates: Vec<(Predicate, bool)>,
+    /// The classification y of this trace.
+    pub label: ClassId,
+}
+
+impl DecisionTree {
+    /// Number of nodes.
+    pub fn n_nodes(&self) -> usize {
+        self.nodes.len()
+    }
+
+    /// Number of leaves.
+    pub fn n_leaves(&self) -> usize {
+        self.nodes.iter().filter(|n| matches!(n, Node::Leaf { .. })).count()
+    }
+
+    /// Number of classes the tree predicts over.
+    pub fn n_classes(&self) -> usize {
+        self.n_classes
+    }
+
+    /// The node arena (root at index 0).
+    pub fn nodes(&self) -> &[Node] {
+        &self.nodes
+    }
+
+    /// Predicts the label for `x`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `x` is shorter than the features the tree tests.
+    pub fn predict(&self, x: &[f64]) -> ClassId {
+        match self.leaf_for(x) {
+            Node::Leaf { label, .. } => *label,
+            Node::Split { .. } => unreachable!("leaf_for returns a leaf"),
+        }
+    }
+
+    /// Predicts the class distribution for `x`.
+    pub fn predict_probs(&self, x: &[f64]) -> &[f64] {
+        match self.leaf_for(x) {
+            Node::Leaf { probs, .. } => probs,
+            Node::Split { .. } => unreachable!("leaf_for returns a leaf"),
+        }
+    }
+
+    fn leaf_for(&self, x: &[f64]) -> &Node {
+        let mut i = 0usize;
+        loop {
+            match &self.nodes[i] {
+                leaf @ Node::Leaf { .. } => return leaf,
+                Node::Split { predicate, then_child, else_child } => {
+                    i = if predicate.eval(x) { *then_child } else { *else_child };
+                }
+            }
+        }
+    }
+
+    /// Enumerates the tree as its set of traces — the paper's
+    /// well-formed-tree representation `R` (§3.2): every input satisfies
+    /// exactly one trace's predicate sequence.
+    pub fn traces(&self) -> Vec<Trace> {
+        let mut out = Vec::new();
+        let mut stack: Vec<(usize, Vec<(Predicate, bool)>)> = vec![(0, Vec::new())];
+        while let Some((i, path)) = stack.pop() {
+            match &self.nodes[i] {
+                Node::Leaf { label, .. } => out.push(Trace { predicates: path, label: *label }),
+                Node::Split { predicate, then_child, else_child } => {
+                    let mut then_path = path.clone();
+                    then_path.push((*predicate, true));
+                    stack.push((*then_child, then_path));
+                    let mut else_path = path;
+                    else_path.push((*predicate, false));
+                    stack.push((*else_child, else_path));
+                }
+            }
+        }
+        out
+    }
+
+    /// Maximum number of predicates on any root-to-leaf path.
+    pub fn depth(&self) -> usize {
+        self.traces().iter().map(|t| t.predicates.len()).max().unwrap_or(0)
+    }
+}
+
+/// Learns a decision tree of depth at most `max_depth` on the given
+/// training fragment, using the same `bestSplit`/stopping rules as
+/// `DTrace`.
+///
+/// # Panics
+///
+/// Panics if `initial` is empty.
+pub fn learn_tree(ds: &Dataset, initial: &Subset, max_depth: usize) -> DecisionTree {
+    assert!(!initial.is_empty(), "cannot learn from an empty training set");
+    let mut tree = DecisionTree { nodes: Vec::new(), n_classes: ds.n_classes() };
+    build(ds, initial, max_depth, &mut tree);
+    tree
+}
+
+/// Recursively builds the subtree for `t`, returning its node index.
+fn build(ds: &Dataset, t: &Subset, depth_left: usize, tree: &mut DecisionTree) -> usize {
+    let make_leaf = |tree: &mut DecisionTree| {
+        let probs = cprob(t.class_counts());
+        let label = argmax_label(&probs);
+        tree.nodes.push(Node::Leaf { probs, label, count: t.len() });
+        tree.nodes.len() - 1
+    };
+    if depth_left == 0 || t.is_pure() {
+        return make_leaf(tree);
+    }
+    let Some(choice) = best_split(ds, t) else {
+        return make_leaf(tree);
+    };
+    let (yes, no) = t.partition(ds, |r| choice.predicate.eval_row(ds, r));
+    // Reserve this node's slot so the root stays at index 0.
+    let slot = tree.nodes.len();
+    tree.nodes.push(Node::Leaf { probs: Vec::new(), label: 0, count: 0 });
+    let then_child = build(ds, &yes, depth_left - 1, tree);
+    let else_child = build(ds, &no, depth_left - 1, tree);
+    tree.nodes[slot] = Node::Split { predicate: choice.predicate, then_child, else_child };
+    slot
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::dtrace::dtrace;
+    use antidote_data::synth;
+
+    #[test]
+    fn figure2_depth1_tree() {
+        let ds = synth::figure2();
+        let tree = learn_tree(&ds, &Subset::full(&ds), 1);
+        assert_eq!(tree.n_leaves(), 2);
+        assert_eq!(tree.depth(), 1);
+        assert_eq!(tree.predict(&[5.0]), 0);
+        assert_eq!(tree.predict(&[18.0]), 1);
+        // Left-leaf probabilities are ⟨7/9, 2/9⟩ (§2).
+        let probs = tree.predict_probs(&[5.0]);
+        assert!((probs[0] - 7.0 / 9.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn traces_match_example_3_3() {
+        // The depth-1 Figure 2 tree has exactly two traces:
+        // ([x ≤ 10], white) and ([x > 10], black).
+        let ds = synth::figure2();
+        let tree = learn_tree(&ds, &Subset::full(&ds), 1);
+        let mut traces = tree.traces();
+        traces.sort_by_key(|t| t.label);
+        assert_eq!(traces.len(), 2);
+        assert_eq!(traces[0].label, 0);
+        assert_eq!(traces[0].predicates, vec![(Predicate { feature: 0, threshold: 10.5 }, true)]);
+        assert_eq!(traces[1].label, 1);
+        assert_eq!(traces[1].predicates, vec![(Predicate { feature: 0, threshold: 10.5 }, false)]);
+    }
+
+    #[test]
+    fn tree_is_well_formed() {
+        // Every input satisfies exactly one trace (§3.2 well-formedness).
+        let ds = synth::iris_like(2);
+        let tree = learn_tree(&ds, &Subset::full(&ds), 3);
+        let traces = tree.traces();
+        for r in 0..ds.len() as u32 {
+            let x = ds.row_values(r);
+            let matching = traces
+                .iter()
+                .filter(|t| t.predicates.iter().all(|(p, pol)| p.eval(&x) == *pol))
+                .count();
+            assert_eq!(matching, 1, "input must satisfy exactly one trace");
+        }
+    }
+
+    #[test]
+    fn predict_agrees_with_dtrace() {
+        // The trace-based learner computes exactly the trace predict takes.
+        let ds = synth::iris_like(5);
+        let full = Subset::full(&ds);
+        for depth in 0..4 {
+            let tree = learn_tree(&ds, &full, depth);
+            for r in (0..150u32).step_by(7) {
+                let x = ds.row_values(r);
+                assert_eq!(
+                    tree.predict(&x),
+                    dtrace(&ds, &full, &x, depth).label,
+                    "depth {depth}, row {r}"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn deeper_trees_fit_better_on_train() {
+        let ds = synth::wdbc_like(1);
+        let full = Subset::full(&ds);
+        let acc = |d: usize| {
+            let tree = learn_tree(&ds, &full, d);
+            let hits = (0..ds.len() as u32)
+                .filter(|&r| tree.predict(&ds.row_values(r)) == ds.label(r))
+                .count();
+            hits as f64 / ds.len() as f64
+        };
+        assert!(acc(2) >= acc(1) - 1e-12);
+        assert!(acc(1) >= acc(0) - 1e-12);
+        assert!(acc(3) > 0.8, "wdbc-like should be fairly separable");
+    }
+
+    #[test]
+    fn depth_zero_is_single_leaf() {
+        let ds = synth::figure2();
+        let tree = learn_tree(&ds, &Subset::full(&ds), 0);
+        assert_eq!(tree.n_nodes(), 1);
+        assert_eq!(tree.n_leaves(), 1);
+        assert_eq!(tree.depth(), 0);
+        assert_eq!(tree.predict(&[999.0]), 0);
+    }
+
+    #[test]
+    fn pure_fragment_stops_splitting() {
+        let ds = synth::figure2();
+        let blacks = Subset::from_indices(&ds, vec![9, 10, 11, 12]);
+        let tree = learn_tree(&ds, &blacks, 4);
+        assert_eq!(tree.n_nodes(), 1);
+        assert_eq!(tree.predict(&[0.0]), 1);
+    }
+}

@@ -1,0 +1,139 @@
+//! Tree visualisation: indented text and Graphviz DOT rendering.
+//!
+//! Interpretability is one of the paper's stated reasons for targeting
+//! decision trees (§1); these renderers make learned models and
+//! counterexample trees inspectable in terminals and papers.
+
+use crate::learner::{DecisionTree, Node};
+use antidote_data::Schema;
+use std::fmt::Write as _;
+
+/// Renders a tree as indented text, e.g.
+///
+/// ```text
+/// x0 <= 10.5
+/// ├─ yes: white (p=0.78, 9 rows)
+/// └─ no:  black (p=1.00, 4 rows)
+/// ```
+pub fn render_text(tree: &DecisionTree, schema: &Schema) -> String {
+    let mut out = String::new();
+    render_node(tree, schema, 0, &mut Vec::new(), &mut out);
+    out
+}
+
+fn render_node(
+    tree: &DecisionTree,
+    schema: &Schema,
+    idx: usize,
+    prefix: &mut Vec<bool>,
+    out: &mut String,
+) {
+    match &tree.nodes()[idx] {
+        Node::Leaf { probs, label, count } => {
+            let _ = writeln!(
+                out,
+                "{} (p={:.2}, {count} rows)",
+                schema.classes()[*label as usize],
+                probs.get(*label as usize).copied().unwrap_or(f64::NAN),
+            );
+        }
+        Node::Split { predicate, then_child, else_child } => {
+            let name = &schema.features()[predicate.feature].name;
+            let _ = writeln!(out, "{name} <= {}", predicate.threshold);
+            for (last, (tag, child)) in
+                [(false, ("yes", *then_child)), (true, ("no", *else_child))]
+            {
+                for &bar in prefix.iter() {
+                    out.push_str(if bar { "│  " } else { "   " });
+                }
+                out.push_str(if last { "└─ " } else { "├─ " });
+                let _ = write!(out, "{tag}: ");
+                prefix.push(!last);
+                render_node(tree, schema, child, prefix, out);
+                prefix.pop();
+            }
+        }
+    }
+}
+
+/// Renders a tree in Graphviz DOT format (`dot -Tpng` turns it into the
+/// usual figure).
+pub fn render_dot(tree: &DecisionTree, schema: &Schema) -> String {
+    let mut out = String::from("digraph decision_tree {\n  node [shape=box];\n");
+    for (i, node) in tree.nodes().iter().enumerate() {
+        match node {
+            Node::Leaf { probs, label, count } => {
+                let _ = writeln!(
+                    out,
+                    "  n{i} [label=\"{} ({:.2}, {count})\", style=filled, fillcolor=lightgray];",
+                    schema.classes()[*label as usize],
+                    probs.get(*label as usize).copied().unwrap_or(f64::NAN),
+                );
+            }
+            Node::Split { predicate, then_child, else_child } => {
+                let name = &schema.features()[predicate.feature].name;
+                let _ = writeln!(out, "  n{i} [label=\"{name} <= {}\"];", predicate.threshold);
+                let _ = writeln!(out, "  n{i} -> n{then_child} [label=\"yes\"];");
+                let _ = writeln!(out, "  n{i} -> n{else_child} [label=\"no\"];");
+            }
+        }
+    }
+    out.push_str("}\n");
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::learner::learn_tree;
+    use antidote_data::{synth, Subset};
+
+    #[test]
+    fn text_render_shows_figure2_structure() {
+        let ds = synth::figure2();
+        let tree = learn_tree(&ds, &Subset::full(&ds), 1);
+        let text = render_text(&tree, ds.schema());
+        assert!(text.contains("x0 <= 10.5"), "{text}");
+        assert!(text.contains("white (p=0.78, 9 rows)"), "{text}");
+        assert!(text.contains("black (p=1.00, 4 rows)"), "{text}");
+        assert!(text.contains("├─ yes"));
+        assert!(text.contains("└─ no"));
+    }
+
+    #[test]
+    fn text_render_single_leaf() {
+        let ds = synth::figure2();
+        let tree = learn_tree(&ds, &Subset::full(&ds), 0);
+        let text = render_text(&tree, ds.schema());
+        assert!(text.trim().starts_with("white"));
+        assert!(!text.contains("<="));
+    }
+
+    #[test]
+    fn dot_render_is_valid_shape() {
+        let ds = synth::iris_like(0);
+        let tree = learn_tree(&ds, &Subset::full(&ds), 2);
+        let dot = render_dot(&tree, ds.schema());
+        assert!(dot.starts_with("digraph decision_tree {"));
+        assert!(dot.trim_end().ends_with('}'));
+        // One node line per arena node; two edges per split.
+        let nodes = dot.matches("n0 ").count();
+        assert!(nodes >= 1);
+        let yes_edges = dot.matches("[label=\"yes\"]").count();
+        let no_edges = dot.matches("[label=\"no\"]").count();
+        assert_eq!(yes_edges, no_edges);
+        assert_eq!(yes_edges, tree.n_nodes() - tree.n_leaves());
+        // Class names appear in leaves.
+        assert!(dot.contains("Setosa") || dot.contains("Versicolour") || dot.contains("Virginica"));
+    }
+
+    #[test]
+    fn deeper_trees_nest() {
+        let ds = synth::figure2();
+        let tree = learn_tree(&ds, &Subset::full(&ds), 3);
+        let text = render_text(&tree, ds.schema());
+        // Depth-3 tree has nested branch bars.
+        assert!(text.contains("│"), "{text}");
+        assert_eq!(text.lines().count(), tree.n_nodes());
+    }
+}

@@ -1,0 +1,75 @@
+//! Decision trees really are brittle: find concrete poisoning attacks.
+//!
+//! ```text
+//! cargo run --release --example poisoning_attack
+//! ```
+//!
+//! Certification only matters because attacks exist. This example plays
+//! the attacker on the Mammographic-Masses-like benchmark: for each test
+//! patient it greedily removes training records until the prediction
+//! flips, reporting how few "malicious contributions" suffice. It then
+//! cross-checks the sandwich: inputs the prover certifies at budget `n`
+//! are exactly the ones no ≤ n-removal attack can touch.
+
+use antidote::prelude::*;
+
+fn main() {
+    let (train, test) = Benchmark::Mammographic.load(Scale::Small, 0);
+    let depth = 2;
+    let budget = 24;
+
+    println!(
+        "Mammographic-like dataset: {} train / {} test, depth {depth}, attack budget {budget}",
+        train.len(),
+        test.len()
+    );
+
+    let patients = 15.min(test.len());
+    let certifier = Certifier::new(&train)
+        .depth(depth)
+        .domain(DomainKind::Disjuncts)
+        .timeout(std::time::Duration::from_secs(5));
+
+    let mut attacked = 0;
+    let mut sandwich_ok = true;
+    println!("\n{:>8} {:>10} {:>14} {:>18}", "patient", "label", "attack", "certified_at");
+    for i in 0..patients as u32 {
+        let x = test.row_values(i);
+        let attack = greedy_attack(&train, &x, depth, budget);
+        let attack_str = if attack.succeeded() {
+            attacked += 1;
+            format!("{} removals", attack.removals())
+        } else {
+            "resisted".to_string()
+        };
+        // Largest doubling-ladder budget the prover certifies.
+        let mut certified_at = None;
+        for n in [1usize, 2, 4, 8, 16, 32] {
+            if certifier.certify(&x, n).is_robust() {
+                certified_at = Some(n);
+            }
+        }
+        // Sandwich: a successful k-attack forbids certification at ≥ k.
+        if let (true, Some(c)) = (attack.succeeded(), certified_at) {
+            if c >= attack.removals() {
+                sandwich_ok = false;
+            }
+        }
+        println!(
+            "{:>8} {:>10} {:>14} {:>18}",
+            i,
+            train.schema().classes()[attack.reference_label as usize],
+            attack_str,
+            certified_at.map_or("never".into(), |n| format!("n = {n}")),
+        );
+    }
+    println!(
+        "\n{attacked}/{patients} patients attackable with <= {budget} removals \
+         ({:.0}% of the training set)",
+        100.0 * budget as f64 / train.len() as f64
+    );
+    println!(
+        "soundness sandwich (attack success at k ⇒ no certificate at n >= k): {}",
+        if sandwich_ok { "holds" } else { "VIOLATED — this would be a bug" }
+    );
+}

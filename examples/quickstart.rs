@@ -1,0 +1,69 @@
+//! Quickstart: learn a tree, classify, and *prove* the classification
+//! robust to data poisoning.
+//!
+//! ```text
+//! cargo run --release --example quickstart
+//! ```
+//!
+//! Walks the paper's Figure 2 running example first (concrete semantics),
+//! then certifies robustness on a larger synthetic dataset where the
+//! abstraction has room to work.
+
+use antidote::data::synth::{figure2, gaussian_blobs, BlobSpec};
+use antidote::prelude::*;
+
+fn main() {
+    // ----- Part 1: the paper's Figure 2 example, concretely -----
+    let ds = figure2();
+    let full = Subset::full(&ds);
+
+    let tree = learn_tree(&ds, &full, 1);
+    println!("Figure 2 dataset: 13 points, depth-1 tree:");
+    for trace in tree.traces() {
+        let path: Vec<String> = trace
+            .predicates
+            .iter()
+            .map(|(p, pol)| if *pol { format!("{p}") } else { format!("!({p})") })
+            .collect();
+        println!(
+            "  trace [{}] -> {}",
+            path.join(" & "),
+            ds.schema().classes()[trace.label as usize]
+        );
+    }
+
+    // DTrace builds only the trace an input actually takes (§3.3).
+    let r = dtrace(&ds, &full, &[5.0], 1);
+    println!(
+        "DTrace(T, 5): label = {} with cprob = {:?}",
+        ds.schema().classes()[r.label as usize],
+        r.probs
+    );
+
+    // ----- Part 2: certification on a dataset with real margins -----
+    let blobs = gaussian_blobs(
+        &BlobSpec {
+            means: vec![vec![0.0], vec![10.0]],
+            stds: vec![vec![1.0], vec![1.0]],
+            per_class: 100,
+            quantum: Some(0.1),
+        },
+        7,
+    );
+    println!("\nTwo-class blobs, 200 training rows. Certifying x = 0.5:");
+    let certifier = Certifier::new(&blobs).depth(1).domain(DomainKind::Disjuncts);
+    for n in [1usize, 4, 16, 32, 64] {
+        let out = certifier.certify(&[0.5], n);
+        println!(
+            "  n = {n:>3} ({:>4.1}% of training set): {:?} in {:?}",
+            100.0 * n as f64 / blobs.len() as f64,
+            out.verdict,
+            out.stats.elapsed
+        );
+    }
+
+    // The proof at n = 16 covers every one of the Σ C(200, i) poisoned
+    // training sets — about 10^24 of them — without enumerating any.
+    let covered = antidote::baselines::log10_count(blobs.len(), 16);
+    println!("a proof at n = 16 covers ~10^{covered:.0} possible training sets");
+}

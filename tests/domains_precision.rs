@@ -1,0 +1,148 @@
+//! Relative precision of the abstract domains (§5.2, §6.3).
+//!
+//! The paper's claims, checked empirically: the disjunctive domain is at
+//! least as precise as Box by construction; the Hybrid extension sits
+//! between them; the optimal `cprob#` transformer is at least as precise
+//! as the natural one.
+
+use antidote::data::synth::{self, BlobSpec};
+use antidote::domains::CprobTransformer;
+use antidote::prelude::*;
+
+fn blobs(sep: f64, per_class: usize, seed: u64) -> antidote::data::Dataset {
+    synth::gaussian_blobs(
+        &BlobSpec {
+            means: vec![vec![0.0, 0.0], vec![sep, sep * 0.5]],
+            stds: vec![vec![1.0, 1.5], vec![1.0, 1.5]],
+            per_class,
+            quantum: Some(0.1),
+        },
+        seed,
+    )
+}
+
+/// Probe grid: a few inputs at varying distance from the boundary.
+fn probes(sep: f64) -> Vec<Vec<f64>> {
+    vec![
+        vec![0.0, 0.0],
+        vec![sep, sep * 0.5],
+        vec![sep * 0.4, sep * 0.2],
+        vec![-1.0, 2.0],
+        vec![sep + 1.0, 0.0],
+    ]
+}
+
+#[test]
+fn disjuncts_prove_everything_box_proves() {
+    for seed in 0..4u64 {
+        let ds = blobs(8.0, 60, seed);
+        for depth in 1..=2 {
+            for n in [1usize, 4, 8, 16] {
+                for x in probes(8.0) {
+                    let box_out =
+                        Certifier::new(&ds).depth(depth).domain(DomainKind::Box).certify(&x, n);
+                    if box_out.is_robust() {
+                        let dis = Certifier::new(&ds)
+                            .depth(depth)
+                            .domain(DomainKind::Disjuncts)
+                            .certify(&x, n);
+                        assert!(
+                            dis.is_robust(),
+                            "Box proved but Disjuncts failed (seed {seed}, depth \
+                             {depth}, n {n}, x {x:?})"
+                        );
+                    }
+                }
+            }
+        }
+    }
+}
+
+#[test]
+fn hybrid_interpolates_between_box_and_disjuncts() {
+    // A large hybrid budget behaves like Disjuncts; on instances Box
+    // proves, every hybrid budget must prove too (hybrid joins strictly
+    // less than Box does).
+    let ds = blobs(8.0, 60, 1);
+    for n in [1usize, 4, 8] {
+        for x in probes(8.0) {
+            let box_ok =
+                Certifier::new(&ds).depth(2).domain(DomainKind::Box).certify(&x, n).is_robust();
+            let dis_ok = Certifier::new(&ds)
+                .depth(2)
+                .domain(DomainKind::Disjuncts)
+                .certify(&x, n)
+                .is_robust();
+            for k in [1usize, 4, 1 << 20] {
+                let hy = Certifier::new(&ds)
+                    .depth(2)
+                    .domain(DomainKind::Hybrid { max_disjuncts: k })
+                    .certify(&x, n)
+                    .is_robust();
+                if box_ok {
+                    assert!(hy, "hybrid({k}) lost a Box-provable instance (n {n}, x {x:?})");
+                }
+                if k >= 1 << 20 {
+                    assert_eq!(
+                        hy, dis_ok,
+                        "an unconstrained hybrid must match Disjuncts (n {n}, x {x:?})"
+                    );
+                }
+            }
+        }
+    }
+}
+
+#[test]
+fn optimal_transformer_is_at_least_as_strong() {
+    let ds = blobs(6.0, 60, 2);
+    let mut nat_proven = 0usize;
+    let mut opt_proven = 0usize;
+    for n in [1usize, 2, 4, 8, 16] {
+        for x in probes(6.0) {
+            let base = Certifier::new(&ds).depth(2).domain(DomainKind::Disjuncts);
+            let nat = base
+                .clone()
+                .transformer(CprobTransformer::Natural)
+                .certify(&x, n)
+                .is_robust();
+            let opt = base
+                .transformer(CprobTransformer::Optimal)
+                .certify(&x, n)
+                .is_robust();
+            nat_proven += nat as usize;
+            opt_proven += opt as usize;
+            assert!(
+                !nat || opt,
+                "natural proved but optimal failed (n {n}, x {x:?}) — optimal \
+                 intervals are subsets, so this must be impossible"
+            );
+        }
+    }
+    assert!(opt_proven >= nat_proven);
+    assert!(opt_proven > 0, "the comparison is vacuous if nothing proves");
+}
+
+#[test]
+fn certified_budgets_grow_with_margin() {
+    // Wider class separation → provable at larger n (the shape underlying
+    // all of the paper's figures: robustness certificates track margins).
+    let probe = vec![0.0, 0.0];
+    let mut last = 0usize;
+    for (sep, floor) in [(3.0, 0usize), (8.0, 2), (16.0, 4)] {
+        let ds = blobs(sep, 60, 3);
+        let c = Certifier::new(&ds).depth(1).domain(DomainKind::Disjuncts);
+        let mut best = 0usize;
+        for n in 1..=24 {
+            if c.certify(&probe, n).is_robust() {
+                best = n;
+            }
+        }
+        assert!(
+            best >= floor.max(last),
+            "separation {sep}: certified {best}, expected >= {}",
+            floor.max(last)
+        );
+        last = best;
+    }
+}

@@ -1,0 +1,184 @@
+//! Cross-crate checks of every worked example printed in the paper.
+//!
+//! Each test cites the example it reproduces; together they pin the
+//! implementation to the paper's concrete and abstract semantics.
+
+use antidote::data::{synth, Subset};
+use antidote::domains::{AbstractSet, CprobTransformer, Interval};
+use antidote::prelude::*;
+use antidote::tree::predicate::candidate_predicates;
+use antidote::tree::split::{best_split, gini, score_split};
+use antidote::tree::Predicate;
+
+const EPS: f64 = 1e-9;
+
+/// Example 3.4: scores and probabilities of the x ≤ 10 split.
+#[test]
+fn example_3_4_scores() {
+    let ds = synth::figure2();
+    let full = Subset::full(&ds);
+    let phi = Predicate { feature: 0, threshold: 10.5 };
+    let (le, gt) = full.partition(&ds, |r| phi.eval_row(&ds, r));
+    assert_eq!(le.len(), 9);
+    assert_eq!(gt.len(), 4);
+    assert_eq!(antidote::tree::cprob(le.class_counts()), vec![7.0 / 9.0, 2.0 / 9.0]);
+    assert_eq!(antidote::tree::cprob(gt.class_counts()), vec![0.0, 1.0]);
+    assert!((gini(le.class_counts()) - 0.35).abs() < 0.01);
+    assert_eq!(gini(gt.class_counts()), 0.0);
+    assert!((score_split(&ds, &full, &phi) - 3.1).abs() < 0.02);
+}
+
+/// Example 3.5: DTrace(T, 18) ends in (T↓x>10, x ≤ 10, [x > 10]) and
+/// classifies black.
+#[test]
+fn example_3_5_dtrace() {
+    let ds = synth::figure2();
+    let r = dtrace(&ds, &Subset::full(&ds), &[18.0], 1);
+    assert_eq!(r.label, 1);
+    assert_eq!(r.probs, vec![0.0, 1.0]);
+    assert_eq!(r.final_set.len(), 4);
+    assert_eq!(r.steps.len(), 1);
+    assert_eq!(r.steps[0].predicate.threshold, 10.5);
+    assert!(!r.steps[0].satisfied);
+}
+
+/// Example 4.3: joins of abstract training sets.
+#[test]
+fn example_4_3_joins() {
+    let ds = synth::figure2();
+    let t1 = Subset::from_indices(&ds, vec![0, 1, 2, 3, 4]);
+    let a = AbstractSet::new(t1.clone(), 2).join(&ds, &AbstractSet::new(t1, 3));
+    assert_eq!((a.len(), a.n()), (5, 3));
+}
+
+/// Example 4.6: cprob# on the left branch — the natural transformer loses
+/// the 5/7 lower bound to 5/9; the optimal transformer recovers it.
+#[test]
+fn example_4_6_cprob() {
+    let ds = synth::figure2();
+    let left = AbstractSet::new(Subset::from_indices(&ds, (0..9).collect()), 2);
+    let nat = left.cprob_intervals(CprobTransformer::Natural);
+    assert!((nat[0].lb() - 5.0 / 9.0).abs() < EPS);
+    assert_eq!(nat[0].ub(), 1.0);
+    let opt = left.cprob_intervals(CprobTransformer::Optimal);
+    assert!((opt[0].lb() - 5.0 / 7.0).abs() < EPS);
+    // §2 quotes the left-branch white probability as [0.71, 1].
+    assert!((opt[0].lb() - 0.71).abs() < 0.01);
+}
+
+/// Example 4.8: filter#(⟨T, 2⟩, {x ≤ 10}, 4) = ⟨T↓x≤10, 2⟩.
+#[test]
+fn example_4_8_filter() {
+    let ds = synth::figure2();
+    let a = AbstractSet::full(&ds, 2);
+    let phi = antidote::domains::AbsPredicate::Concrete(Predicate {
+        feature: 0,
+        threshold: 10.5,
+    });
+    // Input 4 satisfies x ≤ 10, so Ψ¬x is empty and the result is the
+    // positive restriction alone.
+    let r = phi.restrict(&ds, &a);
+    assert_eq!((r.len(), r.n()), (9, 2));
+}
+
+/// Example 5.1: the dynamically-constructed threshold set ΦR.
+#[test]
+fn example_5_1_candidate_thresholds() {
+    let ds = synth::figure2();
+    let preds = candidate_predicates(&ds, &Subset::full(&ds));
+    let taus: Vec<f64> = preds.iter().map(|p| p.threshold).collect();
+    // τ ∈ {1/2, 3/2, 5/2, 7/2, 11/2, 15/2, 17/2, 19/2, 21/2, 23/2, 25/2, 27/2}.
+    let expected: Vec<f64> =
+        [1.0, 3.0, 5.0, 7.0, 11.0, 15.0, 17.0, 19.0, 21.0, 23.0, 25.0, 27.0]
+            .iter()
+            .map(|v| v / 2.0)
+            .collect();
+    assert_eq!(taus, expected);
+}
+
+/// Example 5.2: with n = 1 the threshold (3+7)/2 = 5 (for the case where
+/// the value-4 element is dropped) must be representable; the symbolic
+/// predicate x ≤ [4, 7) covers it.
+#[test]
+fn example_5_2_symbolic_coverage() {
+    let ds = synth::figure2();
+    let a = AbstractSet::full(&ds, 1);
+    let cands = antidote::core::score::scored_candidates(&ds, &a, CprobTransformer::Optimal);
+    let tau5 = Predicate { feature: 0, threshold: 5.0 };
+    assert!(
+        cands.iter().any(|c| c.pred.concretizes(&tau5)),
+        "x ≤ 5 must be covered by some symbolic candidate"
+    );
+}
+
+/// Example 5.3: the disjunctive domain's motivation — joining the two
+/// filter branches T≤4 and T>3 loses massive precision (n jumps to 5).
+#[test]
+fn example_5_3_imprecise_join() {
+    let ds = synth::figure2();
+    let t = Subset::from_indices(&ds, (0..9).collect()); // {0..4, 7..10}
+    let a = AbstractSet::new(t, 1);
+    let le4 = a.restrict_where(&ds, |r| ds.value(r, 0) <= 4.0);
+    let gt3 = a.restrict_where(&ds, |r| ds.value(r, 0) > 3.0);
+    assert_eq!(le4.len(), 5);
+    assert_eq!(gt3.len(), 5);
+    let joined = le4.join(&ds, &gt3);
+    // T' = T (the set we began with) and n' = 5.
+    assert_eq!(joined.len(), 9);
+    assert_eq!(joined.n(), 5);
+}
+
+/// Corollary 4.12's dominance definition, and the §2 narrative: the left
+/// branch's white interval [0.71, 1] dominates black's [0, 2/7].
+#[test]
+fn corollary_4_12_dominance() {
+    let white = Interval::new(5.0 / 7.0, 1.0);
+    let black = Interval::new(0.0, 2.0 / 7.0);
+    assert!(white.strictly_above(&black));
+    assert!(!black.strictly_above(&white));
+    let ds = synth::figure2();
+    let left = AbstractSet::new(Subset::from_indices(&ds, (0..9).collect()), 2);
+    assert_eq!(
+        antidote::core::verdict::dominant_class(
+            &left.cprob_intervals(CprobTransformer::Optimal)
+        ),
+        Some(0)
+    );
+}
+
+/// §2's naive-enumeration count: proving the figure-2 example at n = 2
+/// takes 92 = C(13,2) + C(13,1) + 1 retrained models, and the input really
+/// is robust.
+#[test]
+fn section_2_naive_enumeration() {
+    let ds = synth::figure2();
+    match enumerate_robustness(&ds, &[5.0], 1, 2, 1_000) {
+        antidote::baselines::EnumVerdict::Robust { models } => assert_eq!(models, 92),
+        other => panic!("expected robust via 92 models, got {other:?}"),
+    }
+}
+
+/// Footnote 1: predicates x ≤ 4 and x ≤ 5 split figure2 identically.
+#[test]
+fn footnote_1_equivalent_predicates() {
+    let ds = synth::figure2();
+    let full = Subset::full(&ds);
+    let s4 = full.filter(&ds, |r| ds.value(r, 0) <= 4.0);
+    let s5 = full.filter(&ds, |r| ds.value(r, 0) <= 5.0);
+    assert_eq!(s4, s5);
+}
+
+/// The depth-1 learner on figure2 picks x ≤ 10 (the §2 narrative) — and
+/// it is the unique best split.
+#[test]
+fn section_2_best_split() {
+    let ds = synth::figure2();
+    let full = Subset::full(&ds);
+    let best = best_split(&ds, &full).unwrap();
+    assert_eq!(best.predicate, Predicate { feature: 0, threshold: 10.5 });
+    for p in candidate_predicates(&ds, &full) {
+        if p != best.predicate {
+            assert!(score_split(&ds, &full, &p) > best.score - EPS);
+        }
+    }
+}
