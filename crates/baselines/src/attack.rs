@@ -113,7 +113,12 @@ pub fn greedy_attack(ds: &Dataset, x: &[f64], depth: usize, budget: usize) -> At
 
     retrainings += 1;
     let final_label = dtrace_label(ds, &current, x, depth);
-    AttackResult { removed, final_label, reference_label: reference, retrainings }
+    AttackResult {
+        removed,
+        final_label,
+        reference_label: reference,
+        retrainings,
+    }
 }
 
 /// How far the reference class's probability is above the best rival
@@ -160,7 +165,10 @@ mod tests {
         let flipped = [[5.0], [10.0], [11.0], [18.0]]
             .iter()
             .any(|x| greedy_attack(&ds, x, 1, 6).succeeded());
-        assert!(flipped, "a 6-removal attack should break some figure2 input");
+        assert!(
+            flipped,
+            "a 6-removal attack should break some figure2 input"
+        );
     }
 
     #[test]
@@ -172,8 +180,13 @@ mod tests {
         for x in [[10.0], [11.0], [12.0]] {
             let r = greedy_attack(&ds, &x, 1, 3);
             if r.succeeded() {
-                let v = crate::enumerate::enumerate_robustness(&ds, &x, 1, r.removals(), 10_000_000);
-                assert!(!v.is_robust(), "attack found {:?} but enumeration says robust", r.removed);
+                let v =
+                    crate::enumerate::enumerate_robustness(&ds, &x, 1, r.removals(), 10_000_000);
+                assert!(
+                    !v.is_robust(),
+                    "attack found {:?} but enumeration says robust",
+                    r.removed
+                );
             }
         }
     }
@@ -199,6 +212,9 @@ mod tests {
         };
         let ds = synth::gaussian_blobs(&spec, 3);
         let r = greedy_attack(&ds, &[0.0], 1, 5);
-        assert!(!r.succeeded(), "5 removals out of 100 must not flip a deep point");
+        assert!(
+            !r.succeeded(),
+            "5 removals out of 100 must not flip a deep point"
+        );
     }
 }

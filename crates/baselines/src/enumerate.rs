@@ -7,8 +7,10 @@
 //! the ground truth the abstract interpreter is property-tested against,
 //! and its cost model produces the paper's headline dataset counts.
 
+use antidote_core::engine::ExecContext;
 use antidote_data::{ClassId, Dataset, RowId, Subset};
 use antidote_tree::dtrace::dtrace_label;
+use std::sync::atomic::{AtomicU64, AtomicUsize, Ordering};
 
 /// Result of an exact enumeration.
 #[derive(Debug, Clone, PartialEq)]
@@ -43,7 +45,8 @@ impl EnumVerdict {
 
 /// Exactly decides `n`-poisoning robustness of `x` by enumerating removal
 /// sets, in increasing size order (so minimal counterexamples are found
-/// first).
+/// first), fanning the search across all available cores (see
+/// [`enumerate_robustness_in`]).
 ///
 /// Gives up (returning [`EnumVerdict::TooLarge`]) if `|Δn(T)| >
 /// max_models`, since the whole point of Antidote is that this number
@@ -59,28 +62,131 @@ pub fn enumerate_robustness(
     n: usize,
     max_models: u64,
 ) -> EnumVerdict {
+    enumerate_robustness_in(ds, x, depth, n, max_models, &ExecContext::new())
+}
+
+/// Shared per-size driver for both enumeration models: fans the DFS's
+/// top-level subtrees (`roots`, in the sequential search's order) across
+/// the context's workers. A root is abandoned only when a strictly
+/// smaller-index root has already found a counterexample — or when the
+/// context is cancelled / past its deadline — so the smallest-index hit
+/// is exactly the sequential DFS's first counterexample. `subtree` runs
+/// one root's sequential DFS, adding its retrain count to its `&mut u64`
+/// and polling the supplied give-up predicate at every node.
+fn parallel_size_search<R: Sync>(
+    ctx: &ExecContext,
+    roots: &[R],
+    models: &AtomicU64,
+    subtree: impl Fn(&R, &mut u64, &dyn Fn() -> bool) -> Option<EnumVerdict> + Sync,
+) -> Option<EnumVerdict> {
+    let best = AtomicUsize::new(usize::MAX);
+    let hits: Vec<Option<EnumVerdict>> = ctx.par_map(roots, |idx, root| {
+        let give_up = || best.load(Ordering::Relaxed) < idx || ctx.should_stop();
+        if give_up() {
+            return None;
+        }
+        let mut local_models = 0u64;
+        let hit = subtree(root, &mut local_models, &give_up);
+        models.fetch_add(local_models, Ordering::Relaxed);
+        if hit.is_some() {
+            best.fetch_min(idx, Ordering::Relaxed);
+        }
+        hit
+    });
+    hits.into_iter().flatten().next().map(|hit| match hit {
+        EnumVerdict::Broken {
+            removed,
+            flipped_to,
+            ..
+        } => EnumVerdict::Broken {
+            removed,
+            flipped_to,
+            // The global count: every retrain actually performed by the
+            // time the fan-out drained.
+            models: models.load(Ordering::Relaxed),
+        },
+        other => unreachable!("subtree searches only return Broken, got {other:?}"),
+    })
+}
+
+/// [`enumerate_robustness`] under a caller-provided [`ExecContext`].
+///
+/// For each removal-set size, the subtrees rooted at each choice of
+/// *smallest removed row* are independent and fan out across the
+/// context's workers. The verdict is identical to the sequential search
+/// at every thread count — including *which* counterexample is reported
+/// (the depth-first-minimal one): a subtree is only abandoned when a
+/// strictly smaller-index subtree has already found a break, and the
+/// smallest-index hit is the one returned. The `models` count inside a
+/// [`EnumVerdict::Broken`] may differ between thread counts (workers in
+/// flight when the counterexample lands still count their retrainings);
+/// the `Robust` count is exact and thread-invariant.
+///
+/// Cooperative cancellation — or the context's deadline expiring —
+/// makes the search give up and report [`EnumVerdict::TooLarge`] —
+/// "nothing was decided", never an unsound `Robust`.
+///
+/// # Panics
+///
+/// Panics if `ds` is empty (the learner is undefined there).
+pub fn enumerate_robustness_in(
+    ds: &Dataset,
+    x: &[f64],
+    depth: usize,
+    n: usize,
+    max_models: u64,
+    ctx: &ExecContext,
+) -> EnumVerdict {
     let n = n.min(ds.len().saturating_sub(1)); // keep at least one row
     let log10 = log10_count(ds.len(), n);
     if log10 > (max_models as f64).log10() {
-        return EnumVerdict::TooLarge { log10_datasets: log10 };
+        return EnumVerdict::TooLarge {
+            log10_datasets: log10,
+        };
     }
     let full = Subset::full(ds);
     let reference = dtrace_label(ds, &full, x, depth);
-    let mut models: u64 = 1; // the unpoisoned model itself
+    let models = AtomicU64::new(1); // the unpoisoned model itself
     let rows: Vec<RowId> = (0..ds.len() as RowId).collect();
-    let mut removal: Vec<RowId> = Vec::new();
+    let subtrees: Vec<usize> = (0..rows.len()).collect();
     for size in 1..=n {
-        if let Some(v) =
-            search_removals(ds, x, depth, reference, &rows, &mut removal, size, 0, &mut models)
-        {
+        // Fan out over the first (smallest) removed row; the rest of the
+        // subtree is a sequential DFS identical to the old code's.
+        let hit = parallel_size_search(ctx, &subtrees, &models, |&i, local_models, give_up| {
+            if rows.len() - i < size {
+                return None; // not enough rows after i for this size
+            }
+            let mut removal = vec![rows[i]];
+            search_removals(
+                ds,
+                x,
+                depth,
+                reference,
+                &rows,
+                &mut removal,
+                size - 1,
+                i + 1,
+                local_models,
+                give_up,
+            )
+        });
+        if let Some(v) = hit {
             return v;
         }
+        if ctx.should_stop() {
+            return EnumVerdict::TooLarge {
+                log10_datasets: log10,
+            };
+        }
     }
-    EnumVerdict::Robust { models }
+    EnumVerdict::Robust {
+        models: models.load(Ordering::Relaxed),
+    }
 }
 
 /// Depth-first enumeration of removal sets of exactly `remaining` more
-/// rows, starting from row index `from`.
+/// rows, starting from row index `from`. `give_up` is polled at every
+/// node; a `true` abandons the subtree (its result is then unused).
 #[allow(clippy::too_many_arguments)]
 fn search_removals(
     ds: &Dataset,
@@ -92,10 +198,14 @@ fn search_removals(
     remaining: usize,
     from: usize,
     models: &mut u64,
+    give_up: &dyn Fn() -> bool,
 ) -> Option<EnumVerdict> {
     if remaining == 0 {
-        let keep: Vec<RowId> =
-            rows.iter().copied().filter(|r| !removal.contains(r)).collect();
+        let keep: Vec<RowId> = rows
+            .iter()
+            .copied()
+            .filter(|r| !removal.contains(r))
+            .collect();
         let subset = Subset::from_indices(ds, keep);
         *models += 1;
         let label = dtrace_label(ds, &subset, x, depth);
@@ -108,9 +218,23 @@ fn search_removals(
         }
         return None;
     }
+    if give_up() {
+        return None;
+    }
     for i in from..rows.len() {
         removal.push(rows[i]);
-        let hit = search_removals(ds, x, depth, reference, rows, removal, remaining - 1, i + 1, models);
+        let hit = search_removals(
+            ds,
+            x,
+            depth,
+            reference,
+            rows,
+            removal,
+            remaining - 1,
+            i + 1,
+            models,
+            give_up,
+        );
         removal.pop();
         if hit.is_some() {
             return hit;
@@ -134,27 +258,88 @@ pub fn enumerate_flip_robustness(
     n: usize,
     max_models: u64,
 ) -> EnumVerdict {
+    enumerate_flip_robustness_in(ds, x, depth, n, max_models, &ExecContext::new())
+}
+
+/// [`enumerate_flip_robustness`] under a caller-provided [`ExecContext`],
+/// with the same parallel-search contract as
+/// [`enumerate_robustness_in`]: subtrees (here rooted at the first
+/// flipped row and its new label) fan out across workers, verdicts are
+/// thread-invariant, and cancellation reports [`EnumVerdict::TooLarge`].
+///
+/// # Panics
+///
+/// Panics if `ds` is empty.
+pub fn enumerate_flip_robustness_in(
+    ds: &Dataset,
+    x: &[f64],
+    depth: usize,
+    n: usize,
+    max_models: u64,
+    ctx: &ExecContext,
+) -> EnumVerdict {
     let n = n.min(ds.len());
     let k = ds.n_classes();
     let log10 = log10_flip_count(ds.len(), n, k);
     if log10 > (max_models as f64).log10() {
-        return EnumVerdict::TooLarge { log10_datasets: log10 };
+        return EnumVerdict::TooLarge {
+            log10_datasets: log10,
+        };
     }
     let reference = dtrace_label(ds, &Subset::full(ds), x, depth);
-    let mut labels: Vec<ClassId> = ds.labels().to_vec();
-    let mut models: u64 = 1;
+    let base_labels: Vec<ClassId> = ds.labels().to_vec();
+    let models = AtomicU64::new(1);
+    // Top-level choices in the sequential DFS's order: first flipped row
+    // ascending, then its replacement label ascending.
+    let roots: Vec<(usize, ClassId)> = (0..ds.len())
+        .flat_map(|row| {
+            let original = base_labels[row];
+            (0..k as ClassId)
+                .filter(move |&c| c != original)
+                .map(move |c| (row, c))
+        })
+        .collect();
     for size in 1..=n {
-        if let Some(v) =
-            search_flips(ds, x, depth, reference, &mut labels, size, 0, &mut models)
-        {
+        let hit = parallel_size_search(
+            ctx,
+            &roots,
+            &models,
+            |&(row, new_label), local_models, give_up| {
+                if ds.len() - row < size {
+                    return None; // not enough rows after `row` for this size
+                }
+                let mut labels = base_labels.clone();
+                labels[row] = new_label;
+                search_flips(
+                    ds,
+                    x,
+                    depth,
+                    reference,
+                    &mut labels,
+                    size - 1,
+                    row + 1,
+                    local_models,
+                    give_up,
+                )
+            },
+        );
+        if let Some(v) = hit {
             return v;
         }
+        if ctx.should_stop() {
+            return EnumVerdict::TooLarge {
+                log10_datasets: log10,
+            };
+        }
     }
-    EnumVerdict::Robust { models }
+    EnumVerdict::Robust {
+        models: models.load(Ordering::Relaxed),
+    }
 }
 
 /// Depth-first enumeration of exactly `remaining` more flips starting at
-/// row `from`; `labels` holds the current relabeling.
+/// row `from`; `labels` holds the current relabeling. `give_up` is
+/// polled at every node; a `true` abandons the subtree.
 #[allow(clippy::too_many_arguments)]
 fn search_flips(
     ds: &Dataset,
@@ -165,11 +350,13 @@ fn search_flips(
     remaining: usize,
     from: usize,
     models: &mut u64,
+    give_up: &dyn Fn() -> bool,
 ) -> Option<EnumVerdict> {
     if remaining == 0 {
         *models += 1;
-        let rows: Vec<(Vec<f64>, ClassId)> =
-            (0..ds.len() as RowId).map(|r| (ds.row_values(r), labels[r as usize])).collect();
+        let rows: Vec<(Vec<f64>, ClassId)> = (0..ds.len() as RowId)
+            .map(|r| (ds.row_values(r), labels[r as usize]))
+            .collect();
         let flipped =
             Dataset::from_rows(ds.schema().clone(), &rows).expect("relabeling stays valid");
         let label = dtrace_label(&flipped, &Subset::full(&flipped), x, depth);
@@ -177,8 +364,15 @@ fn search_flips(
             let removed: Vec<RowId> = (0..ds.len() as RowId)
                 .filter(|&r| labels[r as usize] != ds.label(r))
                 .collect();
-            return Some(EnumVerdict::Broken { removed, flipped_to: label, models: *models });
+            return Some(EnumVerdict::Broken {
+                removed,
+                flipped_to: label,
+                models: *models,
+            });
         }
+        return None;
+    }
+    if give_up() {
         return None;
     }
     for row in from..ds.len() {
@@ -188,8 +382,17 @@ fn search_flips(
                 continue;
             }
             labels[row] = new_label;
-            let hit =
-                search_flips(ds, x, depth, reference, labels, remaining - 1, row + 1, models);
+            let hit = search_flips(
+                ds,
+                x,
+                depth,
+                reference,
+                labels,
+                remaining - 1,
+                row + 1,
+                models,
+                give_up,
+            );
             labels[row] = original;
             if hit.is_some() {
                 return hit;
@@ -207,8 +410,7 @@ pub fn log10_flip_count(len: usize, n: usize, k: usize) -> f64 {
     for i in 1..=len {
         ln_fact[i] = ln_fact[i - 1] + (i as f64).ln();
     }
-    let ln_term =
-        |i: usize| ln_fact[len] - ln_fact[i] - ln_fact[len - i] + i as f64 * per_row.ln();
+    let ln_term = |i: usize| ln_fact[len] - ln_fact[i] - ln_fact[len - i] + i as f64 * per_row.ln();
     let max_ln = (0..=n).map(ln_term).fold(f64::MIN, f64::max);
     let sum: f64 = (0..=n).map(|i| (ln_term(i) - max_ln).exp()).sum();
     (max_ln + sum.ln()) / std::f64::consts::LN_10
@@ -263,11 +465,14 @@ mod tests {
         let mut first_break = None;
         for n in 1..=4 {
             match enumerate_robustness(&ds, &[18.0], 1, n, 1_000_000) {
-                EnumVerdict::Broken { removed, flipped_to, .. } => {
+                EnumVerdict::Broken {
+                    removed,
+                    flipped_to,
+                    ..
+                } => {
                     assert!(removed.len() <= n);
                     // Replay the counterexample.
-                    let keep: Vec<u32> =
-                        (0..13u32).filter(|r| !removed.contains(r)).collect();
+                    let keep: Vec<u32> = (0..13u32).filter(|r| !removed.contains(r)).collect();
                     let sub = Subset::from_indices(&ds, keep);
                     assert_eq!(dtrace_label(&ds, &sub, &[18.0], 1), flipped_to);
                     assert_ne!(flipped_to, 1);
@@ -326,8 +531,11 @@ mod tests {
     fn flip_counterexamples_replay() {
         let ds = synth::figure2();
         for x in [[10.0], [11.0], [18.0]] {
-            if let EnumVerdict::Broken { removed, flipped_to, .. } =
-                enumerate_flip_robustness(&ds, &x, 1, 2, 1 << 24)
+            if let EnumVerdict::Broken {
+                removed,
+                flipped_to,
+                ..
+            } = enumerate_flip_robustness(&ds, &x, 1, 2, 1 << 24)
             {
                 // Rebuild the flipped dataset and verify the label.
                 let rows: Vec<(Vec<f64>, ClassId)> = (0..13u32)
@@ -339,8 +547,7 @@ mod tests {
                         (ds.row_values(r), l)
                     })
                     .collect();
-                let flipped =
-                    Dataset::from_rows(ds.schema().clone(), &rows).unwrap();
+                let flipped = Dataset::from_rows(ds.schema().clone(), &rows).unwrap();
                 assert_eq!(
                     dtrace_label(&flipped, &Subset::full(&flipped), &x, 1),
                     flipped_to

@@ -17,4 +17,7 @@ pub mod attack;
 pub mod enumerate;
 
 pub use attack::{greedy_attack, AttackResult};
-pub use enumerate::{enumerate_flip_robustness, enumerate_robustness, log10_count, log10_flip_count, EnumVerdict};
+pub use enumerate::{
+    enumerate_flip_robustness, enumerate_flip_robustness_in, enumerate_robustness,
+    enumerate_robustness_in, log10_count, log10_flip_count, EnumVerdict,
+};

@@ -1,0 +1,125 @@
+//! Thread-count invariance of the exact-enumeration baseline: the
+//! parallel subtree fan-out must report the same verdict — and the same
+//! depth-first-minimal counterexample — as the sequential search.
+
+use antidote_baselines::{enumerate_flip_robustness_in, enumerate_robustness_in, EnumVerdict};
+use antidote_core::engine::ExecContext;
+use antidote_data::synth;
+
+#[test]
+fn robust_verdicts_and_model_counts_match() {
+    let ds = synth::figure2();
+    for threads in [1usize, 2, 8] {
+        let ctx = ExecContext::new().threads(threads);
+        match enumerate_robustness_in(&ds, &[5.0], 1, 2, 10_000, &ctx) {
+            // §2's count: every one of the 92 models is retrained exactly
+            // once at every thread count.
+            EnumVerdict::Robust { models } => assert_eq!(models, 92, "threads = {threads}"),
+            other => panic!("expected Robust at {threads} threads, got {other:?}"),
+        }
+    }
+}
+
+#[test]
+fn counterexamples_are_identical_across_thread_counts() {
+    let ds = synth::figure2();
+    for n in 1..=4usize {
+        let seq =
+            enumerate_robustness_in(&ds, &[18.0], 1, n, 1_000_000, &ExecContext::sequential());
+        let par = enumerate_robustness_in(
+            &ds,
+            &[18.0],
+            1,
+            n,
+            1_000_000,
+            &ExecContext::new().threads(6),
+        );
+        match (&seq, &par) {
+            (EnumVerdict::Robust { models: a }, EnumVerdict::Robust { models: b }) => {
+                assert_eq!(a, b, "full enumerations count identically");
+            }
+            (
+                EnumVerdict::Broken {
+                    removed: ra,
+                    flipped_to: fa,
+                    ..
+                },
+                EnumVerdict::Broken {
+                    removed: rb,
+                    flipped_to: fb,
+                    ..
+                },
+            ) => {
+                // The DFS-minimal counterexample, not just *a* counterexample.
+                assert_eq!(ra, rb, "n = {n}");
+                assert_eq!(fa, fb, "n = {n}");
+            }
+            (a, b) => panic!("verdict category diverged at n = {n}: {a:?} vs {b:?}"),
+        }
+    }
+}
+
+#[test]
+fn flip_enumeration_matches_across_thread_counts() {
+    let ds = synth::figure2();
+    for x in [[5.0], [10.0], [18.0]] {
+        for n in 1..=2usize {
+            let seq =
+                enumerate_flip_robustness_in(&ds, &x, 1, n, 1 << 24, &ExecContext::sequential());
+            let par = enumerate_flip_robustness_in(
+                &ds,
+                &x,
+                1,
+                n,
+                1 << 24,
+                &ExecContext::new().threads(5),
+            );
+            match (&seq, &par) {
+                (EnumVerdict::Robust { models: a }, EnumVerdict::Robust { models: b }) => {
+                    assert_eq!(a, b, "x = {x:?}, n = {n}");
+                }
+                (
+                    EnumVerdict::Broken {
+                        removed: ra,
+                        flipped_to: fa,
+                        ..
+                    },
+                    EnumVerdict::Broken {
+                        removed: rb,
+                        flipped_to: fb,
+                        ..
+                    },
+                ) => {
+                    assert_eq!((ra, fa), (rb, fb), "x = {x:?}, n = {n}");
+                }
+                (a, b) => panic!("diverged for x = {x:?}, n = {n}: {a:?} vs {b:?}"),
+            }
+        }
+    }
+}
+
+#[test]
+fn cancelled_enumeration_gives_up_soundly() {
+    let ds = synth::iris_like(0);
+    let ctx = ExecContext::new().threads(2);
+    ctx.cancel();
+    // A cancelled search must never claim Robust; it reports TooLarge
+    // ("nothing was decided").
+    match enumerate_robustness_in(&ds, &ds.row_values(0), 1, 3, u64::MAX, &ctx) {
+        EnumVerdict::TooLarge { .. } => {}
+        other => panic!("cancelled enumeration must give up, got {other:?}"),
+    }
+}
+
+#[test]
+fn expired_deadline_gives_up_soundly() {
+    use std::time::Duration;
+    let ds = synth::iris_like(0);
+    // An already-expired deadline must make the search give up (TooLarge),
+    // not run unbounded and not claim Robust.
+    let ctx = ExecContext::new().threads(2).timeout(Duration::ZERO);
+    match enumerate_robustness_in(&ds, &ds.row_values(0), 1, 3, u64::MAX, &ctx) {
+        EnumVerdict::TooLarge { .. } => {}
+        other => panic!("deadline-expired enumeration must give up, got {other:?}"),
+    }
+}

@@ -37,7 +37,9 @@ fn bench_certify_depth_scaling(c: &mut Criterion) {
     let mut g = c.benchmark_group("certify/mnist_bin_depth_scaling_n8");
     g.sample_size(10);
     for depth in 1..=3usize {
-        let certifier = Certifier::new(&train).depth(depth).domain(DomainKind::Disjuncts);
+        let certifier = Certifier::new(&train)
+            .depth(depth)
+            .domain(DomainKind::Disjuncts);
         g.bench_function(format!("depth{depth}"), |b| {
             b.iter(|| black_box(certifier.certify(black_box(&x), 8)))
         });

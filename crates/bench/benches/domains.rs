@@ -23,9 +23,10 @@ fn bench_interval_ops(c: &mut Criterion) {
 fn bench_cprob_transformers(c: &mut Criterion) {
     let counts = [4321u32, 8686];
     let mut g = c.benchmark_group("cprob#");
-    for (name, t) in
-        [("natural", CprobTransformer::Natural), ("optimal", CprobTransformer::Optimal)]
-    {
+    for (name, t) in [
+        ("natural", CprobTransformer::Natural),
+        ("optimal", CprobTransformer::Optimal),
+    ] {
         g.bench_function(name, |bench| {
             bench.iter(|| {
                 black_box(cprob_intervals_from_counts(black_box(&counts), 64, t));

@@ -13,7 +13,10 @@ fn bench_best_split(c: &mut Criterion) {
     let cases: Vec<(&str, antidote_data::Dataset)> = vec![
         ("iris_150x4", synth::iris_like(0)),
         ("wdbc_569x30", synth::wdbc_like(0)),
-        ("mnist_bin_1000x784", synth::mnist17_like(synth::MnistVariant::Binary, 1_000, 0)),
+        (
+            "mnist_bin_1000x784",
+            synth::mnist17_like(synth::MnistVariant::Binary, 1_000, 0),
+        ),
     ];
     for (name, ds) in cases {
         let full = Subset::full(&ds);
@@ -24,7 +27,11 @@ fn bench_best_split(c: &mut Criterion) {
         });
         g.bench_function("abstract_n8", |b| {
             b.iter(|| {
-                black_box(best_split_abs(&ds, black_box(&abs), CprobTransformer::Optimal))
+                black_box(best_split_abs(
+                    &ds,
+                    black_box(&abs),
+                    CprobTransformer::Optimal,
+                ))
             })
         });
         g.finish();

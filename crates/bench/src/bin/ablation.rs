@@ -27,8 +27,14 @@ fn main() {
         .filter(|&n| n < train.len())
         .collect();
 
-    println!("== ablation 1: cprob# transformer ({}, depth {depth}, Disjuncts) ==", bench.name());
-    println!("{:>5} {:>18} {:>18}", "n", "natural verified", "optimal verified");
+    println!(
+        "== ablation 1: cprob# transformer ({}, depth {depth}, Disjuncts) ==",
+        bench.name()
+    );
+    println!(
+        "{:>5} {:>18} {:>18}",
+        "n", "natural verified", "optimal verified"
+    );
     for &n in &ladder {
         let count = |t: CprobTransformer| {
             let c = Certifier::new(&train)
@@ -48,18 +54,32 @@ fn main() {
     }
 
     println!();
-    println!("== ablation 2: hybrid disjunct budget ({}, depth {depth}, n = 4) ==", bench.name());
-    println!("{:>12} {:>10} {:>12} {:>12}", "domain", "verified", "total_time", "peak_disj");
+    println!(
+        "== ablation 2: hybrid disjunct budget ({}, depth {depth}, n = 4) ==",
+        bench.name()
+    );
+    println!(
+        "{:>12} {:>10} {:>12} {:>12}",
+        "domain", "verified", "total_time", "peak_disj"
+    );
     let domains: Vec<(String, DomainKind)> = [1usize, 2, 8, 32, 128]
         .into_iter()
-        .map(|k| (format!("hybrid{k}"), DomainKind::Hybrid { max_disjuncts: k }))
+        .map(|k| {
+            (
+                format!("hybrid{k}"),
+                DomainKind::Hybrid { max_disjuncts: k },
+            )
+        })
         .chain([
             ("box".to_string(), DomainKind::Box),
             ("disjuncts".to_string(), DomainKind::Disjuncts),
         ])
         .collect();
     for (name, domain) in domains {
-        let c = Certifier::new(&train).depth(depth).domain(domain).timeout(opts.timeout);
+        let c = Certifier::new(&train)
+            .depth(depth)
+            .domain(domain)
+            .timeout(opts.timeout);
         let t0 = Instant::now();
         let mut verified = 0usize;
         let mut peak = 0usize;

@@ -13,8 +13,9 @@ use antidote_data::Benchmark;
 
 fn main() {
     let opts = HarnessOptions::parse(std::env::args().skip(1));
-    let benches: Vec<Benchmark> =
-        opts.dataset.map_or_else(|| Benchmark::ALL.to_vec(), |b| vec![b]);
+    let benches: Vec<Benchmark> = opts
+        .dataset
+        .map_or_else(|| Benchmark::ALL.to_vec(), |b| vec![b]);
     for bench in benches {
         let (train, xs) = opts.load(bench);
         println!(
@@ -24,7 +25,10 @@ fn main() {
             xs.len(),
             train.len() / 100
         );
-        println!("{:>6} {:>5} {:>10} {:>10}", "depth", "n", "verified", "fraction");
+        println!(
+            "{:>6} {:>5} {:>10} {:>10}",
+            "depth", "n", "verified", "fraction"
+        );
         for &depth in &opts.depths {
             let a = run_series(&train, &xs, depth, DomainKind::Box, opts.timeout);
             let b = run_series(&train, &xs, depth, DomainKind::Disjuncts, opts.timeout);

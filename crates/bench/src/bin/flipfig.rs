@@ -7,8 +7,8 @@
 //! ```
 
 use antidote_bench::{fmt_time, HarnessOptions};
+use antidote_core::engine::ExecContext;
 use antidote_core::flip::certify_label_flips;
-use antidote_core::learner::Limits;
 use antidote_core::{Certifier, DomainKind};
 use antidote_data::Benchmark;
 use std::time::Instant;
@@ -40,17 +40,17 @@ fn main() {
                 break;
             }
             let t0 = Instant::now();
-            let removal_ok = xs.iter().filter(|x| removal.certify(x, n).is_robust()).count();
+            let removal_ok = xs
+                .iter()
+                .filter(|x| removal.certify(x, n).is_robust())
+                .count();
             let removal_t = t0.elapsed();
             let t0 = Instant::now();
             let flip_ok = xs
                 .iter()
                 .filter(|x| {
-                    let limits = Limits {
-                        deadline: Some(Instant::now() + opts.timeout),
-                        max_live_disjuncts: None,
-                    };
-                    certify_label_flips(&train, x, depth, n, limits).is_robust()
+                    let ctx = ExecContext::new().timeout(opts.timeout);
+                    certify_label_flips(&train, x, depth, n, &ctx).is_robust()
                 })
                 .count();
             let flip_t = t0.elapsed();

@@ -3,9 +3,10 @@
 //! Shared harness code for regenerating the paper's tables and figures.
 //!
 //! The binaries in `src/bin/` print the same rows/series the paper
-//! reports; see `DESIGN.md` §3 for the experiment index and
-//! `EXPERIMENTS.md` for recorded paper-vs-measured results. Criterion
-//! micro-benchmarks live in `benches/`.
+//! reports; see `DESIGN.md` §3 for the experiment index. Criterion-style
+//! micro-benchmarks live in `benches/`; `benches/parallel_sweep.rs`
+//! additionally snapshots 1-vs-N-thread sweep wall-clock to
+//! `BENCH_sweep.json` for the performance trajectory.
 
 use antidote_core::{sweep, DomainKind, SweepConfig, SweepPoint};
 use antidote_data::{Benchmark, Dataset, Scale};
@@ -55,7 +56,8 @@ impl HarnessOptions {
         let mut it = argv.into_iter();
         while let Some(arg) = it.next() {
             let mut value = |name: &str| {
-                it.next().unwrap_or_else(|| panic!("{name} requires a value"))
+                it.next()
+                    .unwrap_or_else(|| panic!("{name} requires a value"))
             };
             match arg.as_str() {
                 "--full" => {
@@ -77,8 +79,7 @@ impl HarnessOptions {
                 "--dataset" => {
                     let id = value("--dataset");
                     opts.dataset = Some(
-                        Benchmark::from_id(&id)
-                            .unwrap_or_else(|| panic!("unknown dataset '{id}'")),
+                        Benchmark::from_id(&id).unwrap_or_else(|| panic!("unknown dataset '{id}'")),
                     );
                 }
                 "--seed" => opts.seed = value("--seed").parse().expect("--seed: integer"),
@@ -101,8 +102,9 @@ impl HarnessOptions {
     /// and truncates the test side to `points` rows.
     pub fn load(&self, bench: Benchmark) -> (Dataset, Vec<Vec<f64>>) {
         let (train, test) = bench.load(self.scale(), self.seed);
-        let points: Vec<Vec<f64>> =
-            (0..test.len().min(self.points) as u32).map(|r| test.row_values(r)).collect();
+        let points: Vec<Vec<f64>> = (0..test.len().min(self.points) as u32)
+            .map(|r| test.row_values(r))
+            .collect();
         (train, points)
     }
 }
@@ -133,7 +135,11 @@ pub fn run_series(
         binary_search: true,
         ..SweepConfig::default()
     };
-    FigureSeries { domain, depth, points: sweep(train, xs, &cfg) }
+    FigureSeries {
+        domain,
+        depth,
+        points: sweep(train, xs, &cfg),
+    }
 }
 
 /// Merges two ladders by taking, at each probed `n`, the union success
@@ -142,8 +148,7 @@ pub fn run_series(
 /// approximated by the max of the two (the disjunctive domain's successes
 /// are a superset of Box's in practice).
 pub fn union_series(a: &[SweepPoint], b: &[SweepPoint]) -> Vec<(usize, usize, usize)> {
-    let mut ns: Vec<usize> =
-        a.iter().map(|p| p.n).chain(b.iter().map(|p| p.n)).collect();
+    let mut ns: Vec<usize> = a.iter().map(|p| p.n).chain(b.iter().map(|p| p.n)).collect();
     ns.sort_unstable();
     ns.dedup();
     ns.into_iter()
@@ -212,7 +217,10 @@ mod tests {
 
     #[test]
     fn run_series_smoke() {
-        let o = HarnessOptions { points: 3, ..HarnessOptions::default() };
+        let o = HarnessOptions {
+            points: 3,
+            ..HarnessOptions::default()
+        };
         let (train, xs) = o.load(Benchmark::Iris);
         let s = run_series(&train, &xs, 2, DomainKind::Box, Duration::from_secs(2));
         assert_eq!(s.depth, 2);

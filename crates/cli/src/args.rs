@@ -35,14 +35,17 @@ impl Args {
     /// value, or a stray positional argument.
     pub fn parse<I: IntoIterator<Item = String>>(argv: I) -> Result<Args, CliError> {
         let mut it = argv.into_iter();
-        let command = it.next().ok_or_else(|| CliError("missing subcommand".into()))?;
+        let command = it
+            .next()
+            .ok_or_else(|| CliError("missing subcommand".into()))?;
         let mut options = BTreeMap::new();
         while let Some(arg) = it.next() {
             let Some(key) = arg.strip_prefix("--") else {
                 return Err(CliError(format!("unexpected positional argument '{arg}'")));
             };
-            let value =
-                it.next().ok_or_else(|| CliError(format!("option --{key} needs a value")))?;
+            let value = it
+                .next()
+                .ok_or_else(|| CliError(format!("option --{key} needs a value")))?;
             options.insert(key.to_string(), value);
         }
         Ok(Args { command, options })
@@ -61,9 +64,9 @@ impl Args {
     pub fn get_num<T: std::str::FromStr>(&self, key: &str, default: T) -> Result<T, CliError> {
         match self.options.get(key) {
             None => Ok(default),
-            Some(v) => {
-                v.parse().map_err(|_| CliError(format!("--{key}: cannot parse '{v}'")))
-            }
+            Some(v) => v
+                .parse()
+                .map_err(|_| CliError(format!("--{key}: cannot parse '{v}'"))),
         }
     }
 
@@ -76,7 +79,10 @@ impl Args {
         let id = self.get_or("dataset", "iris");
         Benchmark::from_id(id).ok_or_else(|| {
             let ids: Vec<&str> = Benchmark::ALL.iter().map(|b| b.id()).collect();
-            CliError(format!("unknown dataset '{id}'; expected one of {}", ids.join(", ")))
+            CliError(format!(
+                "unknown dataset '{id}'; expected one of {}",
+                ids.join(", ")
+            ))
         })
     }
 
@@ -89,7 +95,9 @@ impl Args {
         match self.get_or("scale", "small") {
             "small" => Ok(Scale::Small),
             "paper" => Ok(Scale::Paper),
-            other => Err(CliError(format!("unknown scale '{other}'; expected small|paper"))),
+            other => Err(CliError(format!(
+                "unknown scale '{other}'; expected small|paper"
+            ))),
         }
     }
 
@@ -101,6 +109,16 @@ impl Args {
     /// Returns [`CliError`] for an unknown domain.
     pub fn domain(&self) -> Result<DomainKind, CliError> {
         parse_domain(self.get_or("domain", "box"))
+    }
+
+    /// The engine worker count named by `--threads` (default 0 = all
+    /// available cores; 1 = strictly sequential).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`CliError`] when the value does not parse.
+    pub fn threads(&self) -> Result<usize, CliError> {
+        self.get_num("threads", 0usize)
     }
 }
 
@@ -118,7 +136,9 @@ pub fn parse_domain(s: &str) -> Result<DomainKind, CliError> {
                 let k: usize = k
                     .parse()
                     .map_err(|_| CliError(format!("bad hybrid budget in '{other}'")))?;
-                Ok(DomainKind::Hybrid { max_disjuncts: k.max(1) })
+                Ok(DomainKind::Hybrid {
+                    max_disjuncts: k.max(1),
+                })
             } else {
                 Err(CliError(format!(
                     "unknown domain '{other}'; expected box|disjuncts|hybridK"
@@ -157,11 +177,16 @@ mod tests {
 
     #[test]
     fn dataset_and_scale_and_domain() {
-        let a = Args::parse(argv("x --dataset mnist17-binary --scale paper --domain hybrid32"))
-            .unwrap();
+        let a = Args::parse(argv(
+            "x --dataset mnist17-binary --scale paper --domain hybrid32",
+        ))
+        .unwrap();
         assert_eq!(a.benchmark().unwrap(), Benchmark::Mnist17Binary);
         assert_eq!(a.scale().unwrap(), Scale::Paper);
-        assert_eq!(a.domain().unwrap(), DomainKind::Hybrid { max_disjuncts: 32 });
+        assert_eq!(
+            a.domain().unwrap(),
+            DomainKind::Hybrid { max_disjuncts: 32 }
+        );
         assert!(parse_domain("disjuncts").is_ok());
         assert!(parse_domain("boxy").is_err());
         assert!(parse_domain("hybrid").is_err());
@@ -173,5 +198,16 @@ mod tests {
         assert_eq!(a.benchmark().unwrap(), Benchmark::Iris);
         assert_eq!(a.scale().unwrap(), Scale::Small);
         assert_eq!(a.domain().unwrap(), DomainKind::Box);
+        assert_eq!(a.threads().unwrap(), 0, "default = all cores");
+    }
+
+    #[test]
+    fn threads_flag() {
+        let a = Args::parse(argv("sweep --threads 4")).unwrap();
+        assert_eq!(a.threads().unwrap(), 4);
+        let a = Args::parse(argv("sweep --threads 1")).unwrap();
+        assert_eq!(a.threads().unwrap(), 1);
+        let a = Args::parse(argv("sweep --threads nope")).unwrap();
+        assert!(a.threads().is_err());
     }
 }

@@ -16,7 +16,7 @@
 
 mod args;
 
-use antidote_baselines::{enumerate_robustness, greedy_attack, log10_count, EnumVerdict};
+use antidote_baselines::{greedy_attack, log10_count, EnumVerdict};
 use antidote_core::{sweep, Certifier, SweepConfig, Verdict};
 use antidote_data::{train_test_split, Dataset, DatasetStats, Subset};
 use antidote_tree::eval::accuracy;
@@ -47,7 +47,9 @@ const USAGE: &str = "usage:
   antidote attack   --dataset <id> --depth <d> --budget <n> [--index i]
   antidote stats    --dataset <id>
   antidote headline [--scale small|paper]
-datasets: iris, mammo, wdbc, mnist17-binary, mnist17-real (or --csv <path>)";
+certify/flip/forest/sweep/attack also accept --threads <k> (default: all
+cores; 1 = sequential); datasets: iris, mammo, wdbc, mnist17-binary,
+mnist17-real (or --csv <path>)";
 
 fn run(argv: Vec<String>) -> Result<(), CliError> {
     let args = Args::parse(argv)?;
@@ -90,9 +92,15 @@ fn cmd_certify(args: &Args) -> Result<(), CliError> {
     let n = args.get_num("n", 1usize)?;
     let index = args.get_num("index", 0u32)?;
     if index as usize >= test.len() {
-        return Err(CliError(format!("--index {index} out of range (test set has {})", test.len())));
+        return Err(CliError(format!(
+            "--index {index} out of range (test set has {})",
+            test.len()
+        )));
     }
-    let mut certifier = Certifier::new(&train).depth(depth).domain(args.domain()?);
+    let mut certifier = Certifier::new(&train)
+        .depth(depth)
+        .domain(args.domain()?)
+        .threads(args.threads()?);
     let timeout = args.get_num("timeout", 0u64)?;
     if timeout > 0 {
         certifier = certifier.timeout(Duration::from_secs(timeout));
@@ -143,29 +151,33 @@ fn cmd_certify(args: &Args) -> Result<(), CliError> {
 }
 
 fn cmd_flip(args: &Args) -> Result<(), CliError> {
+    use antidote_core::engine::ExecContext;
     use antidote_core::flip::certify_label_flips;
-    use antidote_core::learner::Limits;
 
     let (train, test) = load(args)?;
     let depth = args.get_num("depth", 2usize)?;
     let n = args.get_num("n", 1usize)?;
     let index = args.get_num("index", 0u32)?;
     if index as usize >= test.len() {
-        return Err(CliError(format!("--index {index} out of range (test set has {})", test.len())));
+        return Err(CliError(format!(
+            "--index {index} out of range (test set has {})",
+            test.len()
+        )));
     }
     let timeout = args.get_num("timeout", 0u64)?;
-    let limits = Limits {
-        deadline: (timeout > 0)
-            .then(|| std::time::Instant::now() + Duration::from_secs(timeout)),
-        max_live_disjuncts: None,
-    };
+    let ctx = ExecContext::new()
+        .threads(args.threads()?)
+        .maybe_timeout((timeout > 0).then(|| Duration::from_secs(timeout)));
     let x = test.row_values(index);
-    let out = certify_label_flips(&train, &x, depth, n, limits);
+    let out = certify_label_flips(&train, &x, depth, n, &ctx);
     println!(
         "label-flip robustness of test element {index} (label {}):",
         train.schema().classes()[out.label as usize]
     );
-    println!("verdict at {n} flips, depth {depth}: {:?} in {:?}", out.verdict, out.stats.elapsed);
+    println!(
+        "verdict at {n} flips, depth {depth}: {:?} in {:?}",
+        out.verdict, out.stats.elapsed
+    );
     Ok(())
 }
 
@@ -178,7 +190,10 @@ fn cmd_forest(args: &Args) -> Result<(), CliError> {
     let n = args.get_num("n", 1usize)?;
     let index = args.get_num("index", 0u32)?;
     if index as usize >= test.len() {
-        return Err(CliError(format!("--index {index} out of range (test set has {})", test.len())));
+        return Err(CliError(format!(
+            "--index {index} out of range (test set has {})",
+            test.len()
+        )));
     }
     let fcfg = ForestConfig {
         n_trees: args.get_num("trees", 7usize)?,
@@ -187,7 +202,11 @@ fn cmd_forest(args: &Args) -> Result<(), CliError> {
         seed: args.get_num("seed", 0u64)?,
     };
     let forest = learn_forest(&train, &fcfg);
-    let cfg = EnsembleConfig { depth, ..EnsembleConfig::default() };
+    let cfg = EnsembleConfig {
+        depth,
+        threads: args.threads()?,
+        ..EnsembleConfig::default()
+    };
     let out = certify_forest(&train, &forest, &test.row_values(index), n, &cfg);
     println!(
         "forest of {} trees (depth {depth}, {} features each), accuracy {:.1}%",
@@ -232,16 +251,23 @@ fn cmd_sweep(args: &Args) -> Result<(), CliError> {
         depth,
         domain: args.domain()?,
         timeout: (timeout > 0).then(|| Duration::from_secs(timeout)),
+        threads: args.threads()?,
         ..SweepConfig::default()
     };
     let xs: Vec<Vec<f64>> = (0..points as u32).map(|r| test.row_values(r)).collect();
     println!(
-        "# sweep: dataset |T|={}, {} test points, depth {depth}, domain {}",
+        "# sweep: dataset |T|={}, {} test points, depth {depth}, domain {}, {} worker(s)",
         train.len(),
         points,
-        cfg.domain.id()
+        cfg.domain.id(),
+        antidote_core::ExecContext::new()
+            .threads(cfg.threads)
+            .effective_threads()
     );
-    println!("{:>8} {:>9} {:>9} {:>10} {:>12} {:>9}", "n", "attempted", "verified", "fraction", "avg_time_ms", "mem_MB");
+    println!(
+        "{:>8} {:>9} {:>9} {:>10} {:>12} {:>9}",
+        "n", "attempted", "verified", "fraction", "avg_time_ms", "mem_MB"
+    );
     for p in sweep(&train, &xs, &cfg) {
         println!(
             "{:>8} {:>9} {:>9} {:>10.3} {:>12.2} {:>9.1}",
@@ -283,7 +309,10 @@ fn cmd_attack(args: &Args) -> Result<(), CliError> {
     let budget = args.get_num("budget", 8usize)?;
     let index = args.get_num("index", 0u32)?;
     if index as usize >= test.len() {
-        return Err(CliError(format!("--index {index} out of range (test set has {})", test.len())));
+        return Err(CliError(format!(
+            "--index {index} out of range (test set has {})",
+            test.len()
+        )));
     }
     let x = test.row_values(index);
     let r = greedy_attack(&train, &x, depth, budget);
@@ -300,13 +329,24 @@ fn cmd_attack(args: &Args) -> Result<(), CliError> {
         );
         println!("  removed rows: {:?}", r.removed);
         // Verify against exact enumeration when affordable.
-        if let EnumVerdict::Broken { removed, .. } =
-            enumerate_robustness(&train, &x, depth, r.removals(), 100_000)
-        {
-            println!("  exact enumeration confirms a minimal break of size <= {}", removed.len());
+        if let EnumVerdict::Broken { removed, .. } = antidote_baselines::enumerate_robustness_in(
+            &train,
+            &x,
+            depth,
+            r.removals(),
+            100_000,
+            &antidote_core::ExecContext::new().threads(args.threads()?),
+        ) {
+            println!(
+                "  exact enumeration confirms a minimal break of size <= {}",
+                removed.len()
+            );
         }
     } else {
-        println!("  no flip found within budget ({} retrainings)", r.retrainings);
+        println!(
+            "  no flip found within budget ({} retrainings)",
+            r.retrainings
+        );
     }
     Ok(())
 }
@@ -359,6 +399,17 @@ mod tests {
     }
 
     #[test]
+    fn threads_flag_reaches_the_engine() {
+        assert!(run(argv("certify --dataset iris --depth 1 --n 1 --threads 2")).is_ok());
+        assert!(run(argv(
+            "sweep --dataset iris --depth 1 --points 4 --threads 2 --timeout 0"
+        ))
+        .is_ok());
+        assert!(run(argv("flip --dataset iris --depth 1 --n 1 --threads 2")).is_ok());
+        assert!(run(argv("certify --dataset iris --threads nope")).is_err());
+    }
+
+    #[test]
     fn accuracy_runs() {
         assert!(run(argv("accuracy --dataset iris")).is_ok());
     }
@@ -371,7 +422,10 @@ mod tests {
     #[test]
     fn flip_forest_and_tree_run() {
         assert!(run(argv("flip --dataset iris --depth 1 --n 1 --index 0")).is_ok());
-        assert!(run(argv("forest --dataset iris --depth 1 --n 1 --trees 3 --features 2")).is_ok());
+        assert!(run(argv(
+            "forest --dataset iris --depth 1 --n 1 --trees 3 --features 2"
+        ))
+        .is_ok());
         assert!(run(argv("tree --dataset iris --depth 2")).is_ok());
         assert!(run(argv("tree --dataset iris --depth 1 --dot true")).is_ok());
         assert!(run(argv("flip --dataset iris --index 999")).is_err());

@@ -1,6 +1,7 @@
 //! The certification front-end: [`Certifier`] and [`Outcome`].
 
-use crate::learner::{run_abstract, Abort, DomainKind, Limits};
+use crate::engine::ExecContext;
+use crate::learner::{run_abstract, Abort, DomainKind};
 use crate::verdict::all_terminals_dominated_by;
 use antidote_data::{ClassId, Dataset, Subset};
 use antidote_domains::{AbstractSet, CprobTransformer};
@@ -19,6 +20,9 @@ pub enum Verdict {
     /// The disjunct budget was exhausted (failure case ii, standing in for
     /// out-of-memory).
     DisjunctBudget,
+    /// The run was cooperatively cancelled through its
+    /// [`ExecContext`](crate::engine::ExecContext).
+    Cancelled,
 }
 
 /// Resource metrics of one run.
@@ -81,11 +85,13 @@ pub struct Certifier<'a> {
     transformer: CprobTransformer,
     timeout: Option<Duration>,
     max_live_disjuncts: Option<usize>,
+    threads: usize,
 }
 
 impl<'a> Certifier<'a> {
     /// Creates a certifier for `ds` with the defaults the paper's harness
-    /// uses most: depth 2, Box domain, optimal `cprob#`, no limits.
+    /// uses most: depth 2, Box domain, optimal `cprob#`, no limits,
+    /// sequential execution (see [`Certifier::threads`]).
     pub fn new(ds: &'a Dataset) -> Self {
         Certifier {
             ds,
@@ -94,6 +100,7 @@ impl<'a> Certifier<'a> {
             transformer: CprobTransformer::Optimal,
             timeout: None,
             max_live_disjuncts: None,
+            threads: 1,
         }
     }
 
@@ -127,6 +134,17 @@ impl<'a> Certifier<'a> {
         self
     }
 
+    /// Sets the worker count for the abstract run's disjunct frontier
+    /// (0 = all available cores). The default is 1 — strictly
+    /// sequential. Without a timeout or disjunct budget, parallel and
+    /// sequential runs return identical verdicts; under a wall-clock
+    /// timeout, instances near the deadline can tip either way as core
+    /// contention shifts timings.
+    pub fn threads(mut self, threads: usize) -> Self {
+        self.threads = threads;
+        self
+    }
+
     /// The dataset this certifier reasons about.
     pub fn dataset(&self) -> &Dataset {
         self.ds
@@ -138,6 +156,15 @@ impl<'a> Certifier<'a> {
         dtrace_label(self.ds, &Subset::full(self.ds), x, self.depth)
     }
 
+    /// The execution context `certify` would run under, with the
+    /// deadline clock starting now.
+    pub fn exec_context(&self) -> ExecContext {
+        ExecContext::new()
+            .threads(self.threads)
+            .maybe_timeout(self.timeout)
+            .maybe_disjunct_budget(self.max_live_disjuncts)
+    }
+
     /// Attempts to prove that `x`'s prediction is robust to `n`-poisoning
     /// of the training set.
     ///
@@ -146,12 +173,46 @@ impl<'a> Certifier<'a> {
     /// Panics if the dataset is empty or `x` has fewer features than the
     /// dataset (the concrete semantics is undefined there).
     pub fn certify(&self, x: &[f64], n: usize) -> Outcome {
+        self.certify_in(x, n, &self.exec_context())
+    }
+
+    /// [`certify`](Certifier::certify) under a caller-provided
+    /// [`ExecContext`] — the engine entry point sweeps and ensembles use
+    /// to give every instance its own deadline, cancellation scope, and
+    /// metrics while sharing a thread configuration.
+    ///
+    /// The context's deadline and disjunct budget take precedence over
+    /// this certifier's `timeout`/`max_live_disjuncts` settings; when the
+    /// context leaves either unset, the certifier's own limit fills in,
+    /// so configured limits are never silently dropped.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the dataset is empty or `x` has fewer features than the
+    /// dataset (the concrete semantics is undefined there).
+    pub fn certify_in(&self, x: &[f64], n: usize, ctx: &ExecContext) -> Outcome {
+        let filled;
+        let ctx = if (ctx.deadline_at().is_none() && self.timeout.is_some())
+            || (ctx.disjunct_budget_limit().is_none() && self.max_live_disjuncts.is_some())
+        {
+            filled = ctx
+                .clone()
+                .maybe_timeout(if ctx.deadline_at().is_none() {
+                    self.timeout
+                } else {
+                    None
+                })
+                .maybe_disjunct_budget(if ctx.disjunct_budget_limit().is_none() {
+                    self.max_live_disjuncts
+                } else {
+                    None
+                });
+            &filled
+        } else {
+            ctx
+        };
         let start = Instant::now();
         let label = self.reference_label(x);
-        let limits = Limits {
-            deadline: self.timeout.map(|t| start + t),
-            max_live_disjuncts: self.max_live_disjuncts,
-        };
         let out = run_abstract(
             self.ds,
             AbstractSet::full(self.ds, n),
@@ -159,7 +220,7 @@ impl<'a> Certifier<'a> {
             self.depth,
             self.domain,
             self.transformer,
-            limits,
+            ctx,
         );
         let stats = RunStats {
             elapsed: start.elapsed(),
@@ -171,6 +232,7 @@ impl<'a> Certifier<'a> {
         let verdict = match out.aborted {
             Some(Abort::Timeout) => Verdict::Timeout,
             Some(Abort::DisjunctLimit) => Verdict::DisjunctBudget,
+            Some(Abort::Cancelled) => Verdict::Cancelled,
             None => {
                 if all_terminals_dominated_by(&out.terminals, label, self.transformer) {
                     Verdict::Robust
@@ -179,7 +241,11 @@ impl<'a> Certifier<'a> {
                 }
             }
         };
-        Outcome { verdict, label, stats }
+        Outcome {
+            verdict,
+            label,
+            stats,
+        }
     }
 }
 
@@ -204,14 +270,25 @@ mod tests {
     #[test]
     fn separated_blobs_prove_at_8_percent_poisoning() {
         let ds = blobs();
-        for domain in
-            [DomainKind::Box, DomainKind::Disjuncts, DomainKind::Hybrid { max_disjuncts: 8 }]
-        {
-            let out = Certifier::new(&ds).depth(1).domain(domain).certify(&[0.5], 16);
-            assert!(out.is_robust(), "{domain:?} should prove the blob example at n=16");
+        for domain in [
+            DomainKind::Box,
+            DomainKind::Disjuncts,
+            DomainKind::Hybrid { max_disjuncts: 8 },
+        ] {
+            let out = Certifier::new(&ds)
+                .depth(1)
+                .domain(domain)
+                .certify(&[0.5], 16);
+            assert!(
+                out.is_robust(),
+                "{domain:?} should prove the blob example at n=16"
+            );
             assert_eq!(out.label, 0);
             assert!(out.stats.terminals >= 1);
-            let out = Certifier::new(&ds).depth(1).domain(domain).certify(&[9.5], 16);
+            let out = Certifier::new(&ds)
+                .depth(1)
+                .domain(domain)
+                .certify(&[9.5], 16);
             assert!(out.is_robust());
             assert_eq!(out.label, 1);
         }
@@ -222,7 +299,10 @@ mod tests {
         let ds = blobs();
         let c = Certifier::new(&ds).depth(1).domain(DomainKind::Disjuncts);
         assert!(c.certify(&[0.5], 8).is_robust());
-        assert!(!c.certify(&[0.5], 200).is_robust(), "the whole set can be erased");
+        assert!(
+            !c.certify(&[0.5], 200).is_robust(),
+            "the whole set can be erased"
+        );
     }
 
     #[test]
@@ -248,7 +328,10 @@ mod tests {
     #[test]
     fn n_equal_dataset_size_is_never_provable() {
         let ds = synth::figure2();
-        let out = Certifier::new(&ds).depth(1).domain(DomainKind::Disjuncts).certify(&[5.0], 13);
+        let out = Certifier::new(&ds)
+            .depth(1)
+            .domain(DomainKind::Disjuncts)
+            .certify(&[5.0], 13);
         assert_eq!(out.verdict, Verdict::Unknown);
     }
 
@@ -296,11 +379,9 @@ mod tests {
     fn single_row_dataset_edge_case() {
         // A one-row training set is pure; with n = 0 every domain proves
         // trivially, with n = 1 the corner case [0,1] blocks dominance.
-        let ds = antidote_data::Dataset::from_rows(
-            antidote_data::Schema::real(1, 2),
-            &[(vec![3.0], 1)],
-        )
-        .unwrap();
+        let ds =
+            antidote_data::Dataset::from_rows(antidote_data::Schema::real(1, 2), &[(vec![3.0], 1)])
+                .unwrap();
         for domain in [DomainKind::Box, DomainKind::Disjuncts] {
             let c = Certifier::new(&ds).depth(2).domain(domain);
             let ok = c.certify(&[3.0], 0);

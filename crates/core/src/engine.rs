@@ -1,0 +1,553 @@
+//! The parallel, cancellation-aware execution engine (DESIGN.md §5).
+//!
+//! Every certification entry point used to thread an ad-hoc `Limits`
+//! struct (deadline + disjunct budget) and a scatter of `Instant::now()`
+//! calls through the abstract interpreter. This module replaces that
+//! plumbing with one value, [`ExecContext`], which owns:
+//!
+//! * the **deadline** (absolute; checked cooperatively),
+//! * the **disjunct budget** (the paper's out-of-memory stand-in),
+//! * a **cooperative cancellation flag**, chained from parent to child so
+//!   cancelling a sweep cancels every in-flight certification, while a
+//!   child timing out never stalls its siblings,
+//! * shared [`RunMetrics`], and
+//! * the **thread count** used by [`ExecContext::par_map`].
+//!
+//! Parallelism is built on `std::thread::scope` — the build environment
+//! vendors no external crates (see `shims/README.md`), so the engine
+//! provides the rayon-like primitive itself: an order-preserving,
+//! chunked, work-stealing `par_map` over a shared atomic cursor.
+//! `threads(1)` is the escape hatch that restores the exact sequential
+//! behavior: `par_map` then runs inline, in index order, on the calling
+//! thread.
+//!
+//! # Determinism contract
+//!
+//! `par_map` returns results in **input order** regardless of which
+//! worker computed them, so any caller that folds the results in order
+//! observes output identical to a sequential run. All engine users
+//! (`sweep`, `run_abstract`'s disjunct frontier, `certify_forest`,
+//! `baselines::enumerate`) rely on this: parallel and sequential runs
+//! return identical verdicts (timings aside).
+
+use std::sync::atomic::{AtomicBool, AtomicU64, AtomicUsize, Ordering};
+use std::sync::Arc;
+use std::time::{Duration, Instant};
+
+/// Live metrics of one engine run; shared with child contexts' parents
+/// and updated atomically from worker threads.
+#[derive(Debug, Default)]
+pub struct RunMetrics {
+    peak_disjuncts: AtomicUsize,
+    peak_bytes: AtomicUsize,
+    disjuncts_processed: AtomicU64,
+    parallel_tasks: AtomicU64,
+}
+
+impl RunMetrics {
+    /// Raises the peak-disjunct watermark to at least `v`.
+    pub fn record_peak_disjuncts(&self, v: usize) {
+        self.peak_disjuncts.fetch_max(v, Ordering::Relaxed);
+    }
+
+    /// Raises the peak-memory watermark (bytes) to at least `v`.
+    pub fn record_peak_bytes(&self, v: usize) {
+        self.peak_bytes.fetch_max(v, Ordering::Relaxed);
+    }
+
+    /// Adds to the processed-disjunct counter.
+    pub fn add_disjuncts_processed(&self, v: u64) {
+        self.disjuncts_processed.fetch_add(v, Ordering::Relaxed);
+    }
+
+    /// Peak simultaneous disjuncts observed so far.
+    pub fn peak_disjuncts(&self) -> usize {
+        self.peak_disjuncts.load(Ordering::Relaxed)
+    }
+
+    /// Peak memory proxy (bytes) observed so far (DESIGN.md §4).
+    pub fn peak_bytes(&self) -> usize {
+        self.peak_bytes.load(Ordering::Relaxed)
+    }
+
+    /// Total disjuncts processed.
+    pub fn disjuncts_processed(&self) -> u64 {
+        self.disjuncts_processed.load(Ordering::Relaxed)
+    }
+
+    /// Total items executed through [`ExecContext::par_map`].
+    pub fn parallel_tasks(&self) -> u64 {
+        self.parallel_tasks.load(Ordering::Relaxed)
+    }
+}
+
+/// The earlier of two optional deadlines.
+fn min_deadline(a: Option<Instant>, b: Option<Instant>) -> Option<Instant> {
+    match (a, b) {
+        (Some(x), Some(y)) => Some(x.min(y)),
+        (x, y) => x.or(y),
+    }
+}
+
+/// Execution context for one certification run (or a whole sweep).
+///
+/// Cheap to clone: limits are `Copy`, the cancellation flag and metrics
+/// are shared `Arc`s. Construct with [`ExecContext::new`] (all cores) or
+/// [`ExecContext::sequential`], then refine with the builder methods.
+///
+/// ```
+/// use antidote_core::engine::ExecContext;
+/// use std::time::Duration;
+///
+/// let ctx = ExecContext::new()
+///     .threads(4)
+///     .timeout(Duration::from_secs(10))
+///     .disjunct_budget(1 << 20);
+/// assert_eq!(ctx.effective_threads(), 4);
+/// assert!(!ctx.should_stop());
+/// ```
+#[derive(Debug, Clone)]
+pub struct ExecContext {
+    deadline: Option<Instant>,
+    /// Earliest deadline anywhere up the ancestor chain: a parent's
+    /// deadline bounds every descendant, even though each child starts
+    /// its own clock.
+    ancestor_deadline: Option<Instant>,
+    disjunct_budget: Option<usize>,
+    /// Requested worker count; 0 = all available cores.
+    threads: usize,
+    cancel: Arc<AtomicBool>,
+    /// Cancellation flags of every ancestor, nearest-first; a raised flag
+    /// anywhere in the chain cancels this context.
+    ancestor_cancels: Vec<Arc<AtomicBool>>,
+    metrics: Arc<RunMetrics>,
+}
+
+impl Default for ExecContext {
+    fn default() -> Self {
+        ExecContext::new()
+    }
+}
+
+impl ExecContext {
+    /// A context with no limits, using every available core.
+    pub fn new() -> Self {
+        ExecContext {
+            deadline: None,
+            ancestor_deadline: None,
+            disjunct_budget: None,
+            threads: 0,
+            cancel: Arc::new(AtomicBool::new(false)),
+            ancestor_cancels: Vec::new(),
+            metrics: Arc::new(RunMetrics::default()),
+        }
+    }
+
+    /// A context with no limits, running strictly sequentially — the
+    /// escape hatch restoring pre-engine behavior.
+    pub fn sequential() -> Self {
+        ExecContext::new().threads(1)
+    }
+
+    /// Sets the worker count (0 = all available cores).
+    pub fn threads(mut self, threads: usize) -> Self {
+        self.threads = threads;
+        self
+    }
+
+    /// Sets an absolute deadline.
+    pub fn deadline(mut self, at: Instant) -> Self {
+        self.deadline = Some(at);
+        self
+    }
+
+    /// Sets the deadline `timeout` from now.
+    pub fn timeout(self, timeout: Duration) -> Self {
+        self.deadline(Instant::now() + timeout)
+    }
+
+    /// Sets the deadline `timeout` from now, when given.
+    pub fn maybe_timeout(self, timeout: Option<Duration>) -> Self {
+        match timeout {
+            Some(t) => self.timeout(t),
+            None => self,
+        }
+    }
+
+    /// Sets the maximum live disjuncts (active + terminal) per run.
+    pub fn disjunct_budget(mut self, max: usize) -> Self {
+        self.disjunct_budget = Some(max);
+        self
+    }
+
+    /// Sets the disjunct budget, when given.
+    pub fn maybe_disjunct_budget(mut self, max: Option<usize>) -> Self {
+        self.disjunct_budget = max.or(self.disjunct_budget);
+        self
+    }
+
+    /// A child context: a fresh cancellation flag (so the child's timeout
+    /// or cancellation never stalls its siblings) with the whole ancestor
+    /// chain retained — cancelling *any* ancestor, however deep the
+    /// nesting, cancels the child. The parent's thread count, disjunct
+    /// budget, and metrics are shared (metrics aggregate run-wide:
+    /// watermarks max, counters sum). The child's *own* deadline starts
+    /// unset — each child runs its own clock — but every ancestor
+    /// deadline still bounds the child: a sweep given one second stops
+    /// its in-flight instances at one second no matter what per-instance
+    /// timeouts they carry.
+    pub fn child(&self) -> ExecContext {
+        let mut ancestor_cancels = Vec::with_capacity(self.ancestor_cancels.len() + 1);
+        ancestor_cancels.push(self.cancel.clone());
+        ancestor_cancels.extend(self.ancestor_cancels.iter().cloned());
+        ExecContext {
+            deadline: None,
+            ancestor_deadline: min_deadline(self.deadline, self.ancestor_deadline),
+            disjunct_budget: self.disjunct_budget,
+            threads: self.threads,
+            cancel: Arc::new(AtomicBool::new(false)),
+            ancestor_cancels,
+            metrics: self.metrics.clone(),
+        }
+    }
+
+    /// Requests cooperative cancellation of this context and its children.
+    pub fn cancel(&self) {
+        self.cancel.store(true, Ordering::Release);
+    }
+
+    /// Whether this context (or any ancestor) was cancelled.
+    pub fn is_cancelled(&self) -> bool {
+        self.cancel.load(Ordering::Acquire)
+            || self
+                .ancestor_cancels
+                .iter()
+                .any(|p| p.load(Ordering::Acquire))
+    }
+
+    /// Whether this context's deadline — or any ancestor's — has passed.
+    pub fn deadline_exceeded(&self) -> bool {
+        match min_deadline(self.deadline, self.ancestor_deadline) {
+            Some(d) => Instant::now() >= d,
+            None => false,
+        }
+    }
+
+    /// Whether work should stop now (cancelled or past the deadline).
+    pub fn should_stop(&self) -> bool {
+        self.is_cancelled() || self.deadline_exceeded()
+    }
+
+    /// Whether `live` disjuncts exceed the budget.
+    pub fn over_disjunct_budget(&self, live: usize) -> bool {
+        self.disjunct_budget.is_some_and(|max| live > max)
+    }
+
+    /// The configured disjunct budget, if any.
+    pub fn disjunct_budget_limit(&self) -> Option<usize> {
+        self.disjunct_budget
+    }
+
+    /// The configured absolute deadline, if any.
+    pub fn deadline_at(&self) -> Option<Instant> {
+        self.deadline
+    }
+
+    /// Worker count to hand each child of a `fan_out`-wide parallel
+    /// fan-out: when the fan-out saturates this context's workers each
+    /// child steps sequentially; leftover workers are split evenly when
+    /// the fan-out is narrower (so the last surviving instance of a
+    /// ladder gets the whole machine for its disjunct frontier).
+    pub fn child_threads_for(&self, fan_out: usize) -> usize {
+        (self.effective_threads() / fan_out.max(1)).max(1)
+    }
+
+    /// The resolved worker count (≥ 1).
+    pub fn effective_threads(&self) -> usize {
+        if self.threads == 0 {
+            std::thread::available_parallelism().map_or(1, |n| n.get())
+        } else {
+            self.threads
+        }
+    }
+
+    /// The raw requested thread count (0 = all cores).
+    pub fn requested_threads(&self) -> usize {
+        self.threads
+    }
+
+    /// This run's metrics.
+    pub fn metrics(&self) -> &RunMetrics {
+        &self.metrics
+    }
+
+    /// Applies `f` to every item, in parallel across this context's
+    /// workers, returning results in **input order**.
+    ///
+    /// Work distribution is a chunked atomic cursor (idle workers steal
+    /// the next chunk), so imbalanced items do not serialize the tail.
+    /// With one effective thread (or one item) it runs inline on the
+    /// calling thread, in index order — the `threads(1)` escape hatch.
+    ///
+    /// Cancellation is cooperative: `f` is still invoked for every index
+    /// (the result length always equals `items.len()`), so `f` should
+    /// consult [`ExecContext::should_stop`] early when it can be
+    /// expensive.
+    ///
+    /// # Panics
+    ///
+    /// Propagates panics from `f`.
+    pub fn par_map<T, R, F>(&self, items: &[T], f: F) -> Vec<R>
+    where
+        T: Sync,
+        R: Send,
+        F: Fn(usize, &T) -> R + Sync,
+    {
+        self.metrics
+            .parallel_tasks
+            .fetch_add(items.len() as u64, Ordering::Relaxed);
+        let threads = self.effective_threads().min(items.len());
+        if threads <= 1 {
+            return items.iter().enumerate().map(|(i, t)| f(i, t)).collect();
+        }
+        // ~4 chunks per worker balances stealing granularity against
+        // cursor contention.
+        let chunk = (items.len() / (threads * 4)).max(1);
+        let cursor = AtomicUsize::new(0);
+        let mut indexed: Vec<(usize, R)> = Vec::with_capacity(items.len());
+        std::thread::scope(|scope| {
+            let handles: Vec<_> = (0..threads)
+                .map(|_| {
+                    let cursor = &cursor;
+                    let f = &f;
+                    scope.spawn(move || {
+                        let mut out: Vec<(usize, R)> = Vec::new();
+                        loop {
+                            let start = cursor.fetch_add(chunk, Ordering::Relaxed);
+                            if start >= items.len() {
+                                break;
+                            }
+                            let end = (start + chunk).min(items.len());
+                            for (i, item) in items.iter().enumerate().take(end).skip(start) {
+                                out.push((i, f(i, item)));
+                            }
+                        }
+                        out
+                    })
+                })
+                .collect();
+            for h in handles {
+                indexed.extend(h.join().expect("engine worker panicked"));
+            }
+        });
+        indexed.sort_unstable_by_key(|&(i, _)| i);
+        debug_assert_eq!(indexed.len(), items.len());
+        indexed.into_iter().map(|(_, r)| r).collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn par_map_preserves_input_order() {
+        let ctx = ExecContext::new().threads(8);
+        let items: Vec<usize> = (0..500).collect();
+        let out = ctx.par_map(&items, |i, &v| {
+            assert_eq!(i, v);
+            v * 2
+        });
+        assert_eq!(out, (0..500).map(|v| v * 2).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn sequential_escape_hatch_runs_inline() {
+        let ctx = ExecContext::sequential();
+        assert_eq!(ctx.effective_threads(), 1);
+        let caller = std::thread::current().id();
+        let out = ctx.par_map(&[1, 2, 3], |_, &v| {
+            assert_eq!(std::thread::current().id(), caller);
+            v + 1
+        });
+        assert_eq!(out, vec![2, 3, 4]);
+    }
+
+    #[test]
+    fn parallel_equals_sequential() {
+        let items: Vec<u64> = (0..237).collect();
+        let f = |_: usize, &v: &u64| v.wrapping_mul(0x9E37).rotate_left(7);
+        let seq = ExecContext::sequential().par_map(&items, f);
+        let par = ExecContext::new().threads(7).par_map(&items, f);
+        assert_eq!(seq, par);
+    }
+
+    #[test]
+    fn empty_and_single_inputs() {
+        let ctx = ExecContext::new().threads(4);
+        let empty: Vec<u32> = Vec::new();
+        assert!(ctx.par_map(&empty, |_, &v| v).is_empty());
+        assert_eq!(ctx.par_map(&[9], |_, &v| v), vec![9]);
+    }
+
+    #[test]
+    fn cancellation_propagates_to_children_not_siblings() {
+        let parent = ExecContext::new();
+        let a = parent.child();
+        let b = parent.child();
+        assert!(!a.is_cancelled() && !b.is_cancelled());
+        // A child cancelling itself does not affect its sibling…
+        a.cancel();
+        assert!(a.is_cancelled());
+        assert!(!b.is_cancelled());
+        assert!(!parent.is_cancelled());
+        // …while the parent cancelling reaches every child.
+        parent.cancel();
+        assert!(b.is_cancelled());
+        assert!(parent.child().is_cancelled());
+    }
+
+    #[test]
+    fn cancellation_crosses_generations() {
+        // A root cancel must reach arbitrarily deep descendants (sweeps
+        // nested under caller-provided contexts spawn grandchildren).
+        let root = ExecContext::new();
+        let grandchild = root.child().child();
+        let great = grandchild.child();
+        assert!(!great.is_cancelled());
+        root.cancel();
+        assert!(grandchild.is_cancelled());
+        assert!(great.is_cancelled());
+        // A mid-chain cancel reaches down but never up.
+        let root = ExecContext::new();
+        let mid = root.child();
+        let leaf = mid.child();
+        mid.cancel();
+        assert!(leaf.is_cancelled());
+        assert!(!root.is_cancelled());
+    }
+
+    #[test]
+    fn children_share_run_metrics() {
+        // Metrics aggregate run-wide: a child's watermarks and counters
+        // land on the parent's RunMetrics.
+        let parent = ExecContext::new();
+        let child = parent.child().child();
+        child.metrics().record_peak_disjuncts(42);
+        child.metrics().add_disjuncts_processed(7);
+        assert_eq!(parent.metrics().peak_disjuncts(), 42);
+        assert_eq!(parent.metrics().disjuncts_processed(), 7);
+    }
+
+    #[test]
+    fn deadline_and_budget_checks() {
+        let ctx = ExecContext::new().timeout(Duration::ZERO);
+        assert!(ctx.deadline_exceeded());
+        assert!(ctx.should_stop());
+        let ctx = ExecContext::new().disjunct_budget(4);
+        assert!(!ctx.over_disjunct_budget(4));
+        assert!(ctx.over_disjunct_budget(5));
+        assert!(!ExecContext::new().over_disjunct_budget(usize::MAX));
+        // Children inherit the budget; their own deadline clock starts
+        // unset, but every ancestor deadline still bounds them.
+        let parent = ExecContext::new()
+            .timeout(Duration::ZERO)
+            .disjunct_budget(7);
+        let child = parent.child();
+        assert_eq!(child.disjunct_budget_limit(), Some(7));
+        assert!(child.deadline_at().is_none());
+        assert!(
+            child.deadline_exceeded(),
+            "an expired ancestor deadline must stop the child"
+        );
+        assert!(child.child().deadline_exceeded(), "…at any depth");
+        // A generous ancestor deadline does not trip children; the
+        // earliest deadline along the chain is the binding one.
+        let parent = ExecContext::new().timeout(Duration::from_secs(3600));
+        let child = parent.child().timeout(Duration::ZERO);
+        assert!(!parent.deadline_exceeded());
+        assert!(child.deadline_exceeded(), "own clock still applies");
+        assert!(!parent.child().deadline_exceeded());
+    }
+
+    #[test]
+    fn certifier_limits_survive_a_plain_context() {
+        // certify_in must fall back to the builder's limits when the
+        // supplied context carries none (sharing only cancellation and
+        // metrics must not drop a configured timeout/budget).
+        let ds = antidote_data::synth::figure2();
+        let out = crate::Certifier::new(&ds)
+            .depth(3)
+            .domain(crate::DomainKind::Disjuncts)
+            .timeout(Duration::ZERO)
+            .certify_in(&[5.0], 2, &ExecContext::new());
+        assert_eq!(out.verdict, crate::Verdict::Timeout);
+        let out = crate::Certifier::new(&ds)
+            .depth(4)
+            .domain(crate::DomainKind::Disjuncts)
+            .max_live_disjuncts(1)
+            .certify_in(&[5.0], 4, &ExecContext::new());
+        assert_eq!(out.verdict, crate::Verdict::DisjunctBudget);
+        // A context-carried limit still wins over the builder's.
+        let out = crate::Certifier::new(&ds)
+            .depth(1)
+            .timeout(Duration::ZERO)
+            .certify_in(
+                &[5.0],
+                0,
+                &ExecContext::new().timeout(Duration::from_secs(3600)),
+            );
+        assert_eq!(out.verdict, crate::Verdict::Robust);
+    }
+
+    #[test]
+    fn maybe_builders() {
+        let ctx = ExecContext::new()
+            .maybe_timeout(None)
+            .maybe_disjunct_budget(None);
+        assert!(ctx.deadline_at().is_none());
+        assert!(ctx.disjunct_budget_limit().is_none());
+        let ctx = ctx
+            .maybe_timeout(Some(Duration::from_secs(3600)))
+            .maybe_disjunct_budget(Some(10));
+        assert!(ctx.deadline_at().is_some());
+        assert_eq!(ctx.disjunct_budget_limit(), Some(10));
+        assert!(!ctx.should_stop());
+    }
+
+    #[test]
+    fn metrics_watermarks_and_counters() {
+        let ctx = ExecContext::new().threads(3);
+        ctx.metrics().record_peak_disjuncts(5);
+        ctx.metrics().record_peak_disjuncts(3);
+        ctx.metrics().record_peak_bytes(100);
+        ctx.metrics().add_disjuncts_processed(17);
+        assert_eq!(ctx.metrics().peak_disjuncts(), 5);
+        assert_eq!(ctx.metrics().peak_bytes(), 100);
+        assert_eq!(ctx.metrics().disjuncts_processed(), 17);
+        let items = vec![(); 12];
+        ctx.par_map(&items, |_, _| ());
+        assert_eq!(ctx.metrics().parallel_tasks(), 12);
+    }
+
+    #[test]
+    fn cancellation_is_cooperative_mid_par_map() {
+        let ctx = ExecContext::new().threads(4);
+        let items: Vec<usize> = (0..100).collect();
+        let seen = AtomicUsize::new(0);
+        // f observes should_stop() after the first item cancels; results
+        // still come back for every index.
+        let out = ctx.par_map(&items, |i, _| {
+            if i == 0 {
+                ctx.cancel();
+            }
+            if ctx.should_stop() {
+                return 0usize;
+            }
+            seen.fetch_add(1, Ordering::Relaxed);
+            1
+        });
+        assert_eq!(out.len(), 100);
+        assert!(ctx.is_cancelled());
+    }
+}

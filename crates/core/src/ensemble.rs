@@ -28,6 +28,7 @@
 //! trees.
 
 use crate::certify::{Certifier, Verdict};
+use crate::engine::ExecContext;
 use crate::learner::DomainKind;
 use antidote_data::{ClassId, Dataset};
 use antidote_domains::CprobTransformer;
@@ -72,6 +73,12 @@ pub struct EnsembleConfig {
     /// Per-tree depth used for certification (must match the depth the
     /// forest was trained with to certify the deployed model).
     pub depth: usize,
+    /// Worker count for certifying members in parallel (0 = all
+    /// available cores, 1 = sequential). Member certifications are
+    /// independent, so without a timeout the outcome is identical at
+    /// every thread count (near-deadline members can tip either way
+    /// under contention when one is set).
+    pub threads: usize,
 }
 
 impl Default for EnsembleConfig {
@@ -81,6 +88,7 @@ impl Default for EnsembleConfig {
             transformer: CprobTransformer::Optimal,
             timeout: Some(Duration::from_secs(5)),
             depth: 2,
+            threads: 0,
         }
     }
 }
@@ -98,30 +106,58 @@ pub fn certify_forest(
     n: usize,
     cfg: &EnsembleConfig,
 ) -> EnsembleOutcome {
+    certify_forest_in(
+        ds,
+        forest,
+        x,
+        n,
+        cfg,
+        &ExecContext::new().threads(cfg.threads),
+    )
+}
+
+/// [`certify_forest`] under a caller-provided parent context: per-tree
+/// certifications fan out across the parent's workers, each under its
+/// own child context (own deadline clock, shared cancellation).
+///
+/// # Panics
+///
+/// Panics if the forest is empty or `ds` is empty.
+pub fn certify_forest_in(
+    ds: &Dataset,
+    forest: &Forest,
+    x: &[f64],
+    n: usize,
+    cfg: &EnsembleConfig,
+    parent: &ExecContext,
+) -> EnsembleOutcome {
     assert!(!forest.is_empty(), "cannot certify an empty forest");
     let start = Instant::now();
     let label = forest.predict(x);
-    let mut members = Vec::with_capacity(forest.len());
-    let mut certified_votes = 0usize;
-    for m in forest.members() {
+    let inner_threads = parent.child_threads_for(forest.len());
+    let members: Vec<MemberOutcome> = parent.par_map(forest.members(), |_, m| {
         let projected_ds = ds.select_features(&m.features);
         let projected_x = m.project(x);
-        let mut certifier = Certifier::new(&projected_ds)
+        let certifier = Certifier::new(&projected_ds)
             .depth(cfg.depth)
             .domain(cfg.domain)
             .transformer(cfg.transformer);
-        if let Some(t) = cfg.timeout {
-            certifier = certifier.timeout(t);
+        let ctx = parent
+            .child()
+            .threads(inner_threads)
+            .maybe_timeout(cfg.timeout);
+        let out = certifier.certify_in(&projected_x, n, &ctx);
+        MemberOutcome {
+            vote: m.vote(x),
+            verdict: out.verdict,
         }
-        let vote = m.vote(x);
-        // Only a certificate for a tree that votes the reference class
-        // contributes to the invariant majority.
-        let out = certifier.certify(&projected_x, n);
-        if out.is_robust() && vote == label {
-            certified_votes += 1;
-        }
-        members.push(MemberOutcome { vote, verdict: out.verdict });
-    }
+    });
+    // Only a certificate for a tree that votes the reference class
+    // contributes to the invariant majority.
+    let certified_votes = members
+        .iter()
+        .filter(|m| m.verdict == Verdict::Robust && m.vote == label)
+        .count();
     let robust = certified_votes * 2 > forest.len();
     EnsembleOutcome {
         robust,
@@ -158,12 +194,24 @@ mod tests {
         let ds = blob_ds();
         let forest = learn_forest(
             &ds,
-            &ForestConfig { n_trees: 5, features_per_tree: 2, max_depth: 1, seed: 0 },
+            &ForestConfig {
+                n_trees: 5,
+                features_per_tree: 2,
+                max_depth: 1,
+                seed: 0,
+            },
         );
-        let cfg = EnsembleConfig { depth: 1, ..EnsembleConfig::default() };
+        let cfg = EnsembleConfig {
+            depth: 1,
+            ..EnsembleConfig::default()
+        };
         let x = vec![0.3; 4];
         let out = certify_forest(&ds, &forest, &x, 6, &cfg);
-        assert!(out.robust, "certified {} of {}", out.certified_votes, out.total_trees);
+        assert!(
+            out.robust,
+            "certified {} of {}",
+            out.certified_votes, out.total_trees
+        );
         assert_eq!(out.label, 0);
         assert_eq!(out.members.len(), 5);
         assert!(out.certified_votes * 2 > out.total_trees);
@@ -174,9 +222,17 @@ mod tests {
         let ds = blob_ds();
         let forest = learn_forest(
             &ds,
-            &ForestConfig { n_trees: 5, features_per_tree: 2, max_depth: 1, seed: 0 },
+            &ForestConfig {
+                n_trees: 5,
+                features_per_tree: 2,
+                max_depth: 1,
+                seed: 0,
+            },
         );
-        let cfg = EnsembleConfig { depth: 1, ..EnsembleConfig::default() };
+        let cfg = EnsembleConfig {
+            depth: 1,
+            ..EnsembleConfig::default()
+        };
         // A budget that can erase an entire class certifies no tree.
         let out = certify_forest(&ds, &forest, &[0.3; 4], 120, &cfg);
         assert!(!out.robust);
@@ -188,7 +244,12 @@ mod tests {
         let ds = blob_ds();
         let forest = learn_forest(
             &ds,
-            &ForestConfig { n_trees: 7, features_per_tree: 3, max_depth: 2, seed: 1 },
+            &ForestConfig {
+                n_trees: 7,
+                features_per_tree: 3,
+                max_depth: 2,
+                seed: 1,
+            },
         );
         let cfg = EnsembleConfig::default();
         let x = ds.row_values(10);
@@ -219,9 +280,17 @@ mod tests {
             quantum: Some(0.5),
         };
         let ds = synth::gaussian_blobs(&spec, 5);
-        let fcfg = ForestConfig { n_trees: 3, features_per_tree: 1, max_depth: 1, seed: 2 };
+        let fcfg = ForestConfig {
+            n_trees: 3,
+            features_per_tree: 1,
+            max_depth: 1,
+            seed: 2,
+        };
         let forest = learn_forest(&ds, &fcfg);
-        let cfg = EnsembleConfig { depth: 1, ..EnsembleConfig::default() };
+        let cfg = EnsembleConfig {
+            depth: 1,
+            ..EnsembleConfig::default()
+        };
         let x = vec![0.4, 0.1];
         for n in 1..=2usize {
             let out = certify_forest(&ds, &forest, &x, n, &cfg);
@@ -231,8 +300,7 @@ mod tests {
             // Enumerate removals, retrain projected trees on kept rows.
             let len = ds.len();
             for mask in 0u32..(1 << len) {
-                let kept: Vec<u32> =
-                    (0..len as u32).filter(|i| mask & (1 << i) != 0).collect();
+                let kept: Vec<u32> = (0..len as u32).filter(|i| mask & (1 << i) != 0).collect();
                 if len - kept.len() > n || kept.is_empty() {
                     continue;
                 }

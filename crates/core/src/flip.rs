@@ -16,7 +16,8 @@
 //! Box variant).
 
 use crate::certify::{Outcome, RunStats, Verdict};
-use crate::learner::{Abort, Limits};
+use crate::engine::ExecContext;
+use crate::learner::Abort;
 use crate::verdict::dominant_class;
 use antidote_data::{ClassId, Dataset, Subset};
 use antidote_domains::flipset::{score_interval_flip, FlipSet};
@@ -86,13 +87,69 @@ pub fn best_split_flip(ds: &Dataset, f: &FlipSet) -> (Vec<Predicate>, bool) {
     (kept, false)
 }
 
-/// Runs the abstract flip learner to depth `depth`.
+/// The per-disjunct outcome of one flip-learner iteration (the flip
+/// counterpart of the removal learner's step; see `learner::StepOut`).
+enum FlipStepOut {
+    /// The disjunct was not processed because the run should stop.
+    Aborted,
+    /// Terminals emitted and successor disjuncts produced.
+    Done {
+        terminals: Vec<FlipTerminal>,
+        branches: Vec<FlipSet>,
+    },
+}
+
+/// One iteration of the flip learner for a single disjunct.
+fn step_flipset(ds: &Dataset, f: &FlipSet, x: &[f64], ctx: &ExecContext) -> FlipStepOut {
+    if ctx.should_stop() {
+        return FlipStepOut::Aborted;
+    }
+    let mut terminals: Vec<FlipTerminal> = Vec::new();
+    // ent(T) = 0 conditional: pure-feasible classes terminate with
+    // an exact label.
+    for class in 0..ds.n_classes() as ClassId {
+        if f.pure_feasible(class) {
+            terminals.push(FlipTerminal::Pure(class));
+        }
+    }
+    if f.all_concretizations_pure() {
+        return FlipStepOut::Done {
+            terminals,
+            branches: Vec::new(),
+        };
+    }
+    // bestSplit# and the ⋄ conditional.
+    let (preds, diamond) = best_split_flip(ds, f);
+    if diamond {
+        terminals.push(FlipTerminal::Fragment(f.clone()));
+        return FlipStepOut::Done {
+            terminals,
+            branches: Vec::new(),
+        };
+    }
+    // filter#: one branch per kept predicate, on x's side.
+    let branches = preds
+        .into_iter()
+        .map(|p| {
+            let sat = p.eval(x);
+            f.restrict_where(ds, |r| p.eval_row(ds, r) == sat)
+        })
+        .collect();
+    FlipStepOut::Done {
+        terminals,
+        branches,
+    }
+}
+
+/// Runs the abstract flip learner to depth `depth` under `ctx`, fanning
+/// each iteration's disjunct frontier across the context's workers
+/// (in-order fold: parallel and sequential runs are identical).
 pub fn run_flip(
     ds: &Dataset,
     initial: FlipSet,
     x: &[f64],
     depth: usize,
-    limits: Limits,
+    ctx: &ExecContext,
 ) -> FlipRunOutput {
     let mut active: Vec<FlipSet> = vec![initial];
     let mut terminals: Vec<FlipTerminal> = Vec::new();
@@ -103,38 +160,42 @@ pub fn run_flip(
         if active.is_empty() {
             break;
         }
+        // Same inline threshold as the removal learner's frontier.
+        let stepped: Vec<FlipStepOut> = if active.len() >= crate::learner::MIN_PARALLEL_FRONTIER
+            && ctx.effective_threads() > 1
+        {
+            ctx.par_map(&active, |_, f| step_flipset(ds, f, x, ctx))
+        } else {
+            active.iter().map(|f| step_flipset(ds, f, x, ctx)).collect()
+        };
+        let processed = stepped
+            .iter()
+            .filter(|s| !matches!(s, FlipStepOut::Aborted))
+            .count();
+        ctx.metrics().add_disjuncts_processed(processed as u64);
         let mut next: Vec<FlipSet> = Vec::new();
-        for f in active.drain(..) {
-            if let Some(deadline) = limits.deadline {
-                if Instant::now() >= deadline {
+        for out in stepped {
+            match out {
+                FlipStepOut::Aborted => {
+                    let why = if ctx.is_cancelled() {
+                        Abort::Cancelled
+                    } else {
+                        Abort::Timeout
+                    };
                     return FlipRunOutput {
                         terminals,
-                        aborted: Some(Abort::Timeout),
+                        aborted: Some(why),
                         peak_disjuncts,
                         peak_bytes,
                     };
                 }
-            }
-            // ent(T) = 0 conditional: pure-feasible classes terminate with
-            // an exact label.
-            for class in 0..ds.n_classes() as ClassId {
-                if f.pure_feasible(class) {
-                    terminals.push(FlipTerminal::Pure(class));
+                FlipStepOut::Done {
+                    terminals: t,
+                    branches,
+                } => {
+                    terminals.extend(t);
+                    next.extend(branches);
                 }
-            }
-            if f.all_concretizations_pure() {
-                continue;
-            }
-            // bestSplit# and the ⋄ conditional.
-            let (preds, diamond) = best_split_flip(ds, &f);
-            if diamond {
-                terminals.push(FlipTerminal::Fragment(f));
-                continue;
-            }
-            // filter#: one branch per kept predicate, on x's side.
-            for p in preds {
-                let sat = p.eval(x);
-                next.push(f.restrict_where(ds, |r| p.eval_row(ds, r) == sat));
             }
         }
         dedup_flipsets(&mut next);
@@ -150,20 +211,25 @@ pub fn run_flip(
             }))
             .sum();
         peak_bytes = peak_bytes.max(bytes);
-        if let Some(max) = limits.max_live_disjuncts {
-            if live > max {
-                return FlipRunOutput {
-                    terminals,
-                    aborted: Some(Abort::DisjunctLimit),
-                    peak_disjuncts,
-                    peak_bytes,
-                };
-            }
+        ctx.metrics().record_peak_disjuncts(peak_disjuncts);
+        ctx.metrics().record_peak_bytes(peak_bytes);
+        if ctx.over_disjunct_budget(live) {
+            return FlipRunOutput {
+                terminals,
+                aborted: Some(Abort::DisjunctLimit),
+                peak_disjuncts,
+                peak_bytes,
+            };
         }
     }
     terminals.extend(active.into_iter().map(FlipTerminal::Fragment));
     peak_disjuncts = peak_disjuncts.max(terminals.len());
-    FlipRunOutput { terminals, aborted: None, peak_disjuncts, peak_bytes }
+    FlipRunOutput {
+        terminals,
+        aborted: None,
+        peak_disjuncts,
+        peak_bytes,
+    }
 }
 
 fn dedup_flipsets(sets: &mut Vec<FlipSet>) {
@@ -185,20 +251,19 @@ pub fn certify_label_flips(
     x: &[f64],
     depth: usize,
     n: usize,
-    limits: Limits,
+    ctx: &ExecContext,
 ) -> Outcome {
     let start = Instant::now();
     let label = dtrace_label(ds, &Subset::full(ds), x, depth);
-    let out = run_flip(ds, FlipSet::full(ds, n), x, depth, limits);
+    let out = run_flip(ds, FlipSet::full(ds, n), x, depth, ctx);
     let verdict = match out.aborted {
         Some(Abort::Timeout) => Verdict::Timeout,
+        Some(Abort::Cancelled) => Verdict::Cancelled,
         Some(Abort::DisjunctLimit) => Verdict::DisjunctBudget,
         None => {
             let all_ok = out.terminals.iter().all(|t| match t {
                 FlipTerminal::Pure(c) => *c == label,
-                FlipTerminal::Fragment(f) => {
-                    dominant_class(&f.cprob_intervals()) == Some(label)
-                }
+                FlipTerminal::Fragment(f) => dominant_class(&f.cprob_intervals()) == Some(label),
             });
             if all_ok {
                 Verdict::Robust
@@ -240,7 +305,7 @@ mod tests {
     #[test]
     fn zero_flips_proves_strict_predictions() {
         let ds = synth::figure2();
-        let out = certify_label_flips(&ds, &[5.0], 1, 0, Limits::default());
+        let out = certify_label_flips(&ds, &[5.0], 1, 0, &ExecContext::sequential());
         assert!(out.is_robust());
         assert_eq!(out.label, 0);
     }
@@ -252,23 +317,28 @@ mod tests {
         // intervals (and hence kept predicate sets) are wider. 3% of the
         // training labels is still provable on well-separated data.
         let ds = blobs();
-        let out = certify_label_flips(&ds, &[0.5], 1, 6, Limits::default());
+        let out = certify_label_flips(&ds, &[0.5], 1, 6, &ExecContext::sequential());
         assert!(out.is_robust(), "6 flips of 200 must not flip a deep point");
-        let out = certify_label_flips(&ds, &[0.5], 1, 120, Limits::default());
-        assert!(!out.is_robust(), "flipping over half the data is never provable");
+        let out = certify_label_flips(&ds, &[0.5], 1, 120, &ExecContext::sequential());
+        assert!(
+            !out.is_robust(),
+            "flipping over half the data is never provable"
+        );
     }
 
     #[test]
     fn flip_budget_ladder_is_contiguous() {
         let ds = blobs();
         let max_proven = (0..=64)
-            .filter(|&n| certify_label_flips(&ds, &[0.5], 1, n, Limits::default()).is_robust())
+            .filter(|&n| {
+                certify_label_flips(&ds, &[0.5], 1, n, &ExecContext::sequential()).is_robust()
+            })
             .max()
             .expect("n = 0 proves");
         assert!(max_proven >= 4);
         for n in 0..=max_proven {
             assert!(
-                certify_label_flips(&ds, &[0.5], 1, n, Limits::default()).is_robust(),
+                certify_label_flips(&ds, &[0.5], 1, n, &ExecContext::sequential()).is_robust(),
                 "gap at {n}"
             );
         }
@@ -282,8 +352,8 @@ mod tests {
         // (see certify::tests). n = 0 is exact and proves.
         let ds = synth::figure2();
         for x in [5.0, 18.0] {
-            assert!(certify_label_flips(&ds, &[x], 1, 0, Limits::default()).is_robust());
-            assert!(!certify_label_flips(&ds, &[x], 1, 2, Limits::default()).is_robust());
+            assert!(certify_label_flips(&ds, &[x], 1, 0, &ExecContext::sequential()).is_robust());
+            assert!(!certify_label_flips(&ds, &[x], 1, 2, &ExecContext::sequential()).is_robust());
         }
     }
 
@@ -293,13 +363,10 @@ mod tests {
         // at n = 4 a pure-white relabeling of that branch exists, so a
         // black-classified input can never certify.
         let ds = synth::figure2();
-        let bad = certify_label_flips(&ds, &[18.0], 4, 4, Limits::default());
+        let bad = certify_label_flips(&ds, &[18.0], 4, 4, &ExecContext::sequential());
         assert!(!bad.is_robust());
         // And the Pure terminal machinery reports the right feasibility.
-        let branch = FlipSet::new(
-            Subset::from_indices(&ds, vec![9, 10, 11, 12]),
-            4,
-        );
+        let branch = FlipSet::new(Subset::from_indices(&ds, vec![9, 10, 11, 12]), 4);
         assert!(branch.pure_feasible(0));
         assert!(branch.pure_feasible(1));
     }
@@ -312,7 +379,7 @@ mod tests {
             &[0.5],
             3,
             8,
-            Limits { deadline: Some(Instant::now()), max_live_disjuncts: None },
+            &ExecContext::sequential().timeout(std::time::Duration::ZERO),
         );
         assert_eq!(out.verdict, Verdict::Timeout);
         let out = certify_label_flips(
@@ -320,9 +387,12 @@ mod tests {
             &[0.5],
             3,
             8,
-            Limits { deadline: None, max_live_disjuncts: Some(1) },
+            &ExecContext::sequential().disjunct_budget(1),
         );
-        assert!(matches!(out.verdict, Verdict::DisjunctBudget | Verdict::Robust));
+        assert!(matches!(
+            out.verdict,
+            Verdict::DisjunctBudget | Verdict::Robust
+        ));
     }
 
     #[test]
@@ -331,11 +401,20 @@ mod tests {
         let f = FlipSet::full(&ds, 0);
         let (preds, diamond) = best_split_flip(&ds, &f);
         assert!(!diamond);
-        assert_eq!(preds, vec![Predicate { feature: 0, threshold: 10.5 }]);
+        assert_eq!(
+            preds,
+            vec![Predicate {
+                feature: 0,
+                threshold: 10.5
+            }]
+        );
         // Larger budgets keep supersets.
         let f2 = FlipSet::full(&ds, 2);
         let (preds2, _) = best_split_flip(&ds, &f2);
-        assert!(preds2.contains(&Predicate { feature: 0, threshold: 10.5 }));
+        assert!(preds2.contains(&Predicate {
+            feature: 0,
+            threshold: 10.5
+        }));
         assert!(preds2.len() >= preds.len());
     }
 

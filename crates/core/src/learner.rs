@@ -32,8 +32,8 @@
 use antidote_data::{ClassId, Dataset};
 use antidote_domains::{AbstractSet, CprobTransformer, Truth};
 use std::collections::HashSet;
-use std::time::Instant;
 
+use crate::engine::ExecContext;
 use crate::score::best_split_abs;
 
 /// Which abstract state domain `DTrace#` runs in.
@@ -72,15 +72,9 @@ pub enum Abort {
     /// The disjunct budget was exhausted (stands in for the paper's
     /// out-of-memory failures).
     DisjunctLimit,
-}
-
-/// Resource limits for one run.
-#[derive(Debug, Clone, Copy, Default)]
-pub struct Limits {
-    /// Absolute deadline; checked once per processed disjunct.
-    pub deadline: Option<Instant>,
-    /// Maximum live disjuncts (active + terminal); `None` = unlimited.
-    pub max_live_disjuncts: Option<usize>,
+    /// The run was cooperatively cancelled through its [`ExecContext`]
+    /// (or an ancestor context).
+    Cancelled,
 }
 
 /// Raw result of one abstract interpretation run.
@@ -98,10 +92,112 @@ pub struct RunOutput {
     pub iterations_completed: usize,
 }
 
-/// Runs `DTrace#(⟨T, n⟩, x)` to depth `depth`.
+/// The outcome of abstractly interpreting one disjunct for one iteration
+/// of the depth loop — a pure function of the disjunct, so the frontier
+/// can be mapped in parallel and folded back in input order.
+#[derive(Debug, Clone)]
+enum StepOut {
+    /// The disjunct was not processed because the run should stop.
+    Aborted,
+    /// Terminals emitted and successor disjuncts produced.
+    Done {
+        terminals: Vec<AbstractSet>,
+        branches: Vec<AbstractSet>,
+    },
+}
+
+/// One §4.7 iteration for a single disjunct: the `ent(T) = 0` fork, the
+/// `φ = ⋄` fork after `bestSplit#`, and `filter#`.
+fn step_disjunct(
+    ds: &Dataset,
+    a: &AbstractSet,
+    x: &[f64],
+    domain: DomainKind,
+    transformer: CprobTransformer,
+    ctx: &ExecContext,
+) -> StepOut {
+    if ctx.should_stop() {
+        return StepOut::Aborted;
+    }
+    let mut terminals: Vec<AbstractSet> = Vec::new();
+
+    // --- conditional ent(T) = 0 (§4.7) ---
+    let pures: Vec<AbstractSet> = (0..ds.n_classes() as ClassId)
+        .filter_map(|c| a.pure(ds, c))
+        .collect();
+    if !pures.is_empty() {
+        match domain {
+            DomainKind::Box => {
+                let joined = pures
+                    .into_iter()
+                    .reduce(|x, y| x.join(ds, &y))
+                    .expect("non-empty");
+                terminals.push(joined);
+            }
+            _ => terminals.extend(pures),
+        }
+    }
+    if a.base().is_pure() {
+        // Every concretization is pure: the else branch of the
+        // conditional is infeasible.
+        return StepOut::Done {
+            terminals,
+            branches: Vec::new(),
+        };
+    }
+
+    // --- φ ← bestSplit#(⟨T,n⟩) and the φ = ⋄ conditional ---
+    let bs = best_split_abs(ds, a, transformer);
+    if bs.diamond {
+        terminals.push(a.clone());
+    }
+    if bs.preds.is_empty() {
+        return StepOut::Done {
+            terminals,
+            branches: Vec::new(),
+        };
+    }
+
+    // --- filter#(⟨T,n⟩, Ψ, x) ---
+    let mut branches: Vec<AbstractSet> = Vec::new();
+    for p in &bs.preds {
+        match p.eval3(x) {
+            Truth::True => branches.push(p.restrict(ds, a)),
+            Truth::False => branches.push(p.restrict_neg(ds, a)),
+            Truth::Maybe => {
+                branches.push(p.restrict(ds, a));
+                branches.push(p.restrict_neg(ds, a));
+            }
+        }
+    }
+    branches.retain(|b| !b.is_empty());
+    if domain == DomainKind::Box {
+        branches = branches
+            .into_iter()
+            .reduce(|x, y| x.join(ds, &y))
+            .into_iter()
+            .collect();
+    }
+    StepOut::Done {
+        terminals,
+        branches,
+    }
+}
+
+/// Frontiers below this size are stepped inline: scoped-thread spawn
+/// costs more than a couple of `bestSplit#` calls on small sets.
+pub(crate) const MIN_PARALLEL_FRONTIER: usize = 4;
+
+/// Runs `DTrace#(⟨T, n⟩, x)` to depth `depth` under `ctx`.
 ///
 /// `initial` is usually [`AbstractSet::full`]`(ds, n)` — the precise
 /// abstraction `α(Δn(T))`.
+///
+/// For the `Disjuncts` and `Hybrid` domains the per-iteration frontier
+/// is mapped across `ctx`'s workers ([`ExecContext::par_map`]); results
+/// are folded back in input order, so parallel and sequential runs
+/// produce identical terminal sets and verdicts (the `Box` domain's
+/// frontier is a single state and always steps inline).
 pub fn run_abstract(
     ds: &Dataset,
     initial: AbstractSet,
@@ -109,7 +205,7 @@ pub fn run_abstract(
     depth: usize,
     domain: DomainKind,
     transformer: CprobTransformer,
-    limits: Limits,
+    ctx: &ExecContext,
 ) -> RunOutput {
     let mut active: Vec<AbstractSet> = vec![initial];
     let mut terminals: Vec<AbstractSet> = Vec::new();
@@ -117,75 +213,62 @@ pub fn run_abstract(
     let mut peak_bytes = 0usize;
     let mut iterations_completed = 0usize;
 
+    let abort = |terminals: Vec<AbstractSet>, why, peak_disjuncts, peak_bytes, iters| RunOutput {
+        terminals,
+        aborted: Some(why),
+        peak_disjuncts,
+        peak_bytes,
+        iterations_completed: iters,
+    };
+
     for _ in 0..depth {
         if active.is_empty() {
             break;
         }
+        // Fan the frontier out across the engine's workers. A deadline
+        // hit inside any step cancels nothing by itself — each step
+        // checks `should_stop` on entry, so once the deadline passes the
+        // remaining steps return `Aborted` markers that the in-order
+        // fold below turns into the sequential abort semantics.
+        let use_par = active.len() >= MIN_PARALLEL_FRONTIER && ctx.effective_threads() > 1;
+        let stepped: Vec<StepOut> = if use_par {
+            ctx.par_map(&active, |_, a| {
+                step_disjunct(ds, a, x, domain, transformer, ctx)
+            })
+        } else {
+            active
+                .iter()
+                .map(|a| step_disjunct(ds, a, x, domain, transformer, ctx))
+                .collect()
+        };
+        let processed = stepped
+            .iter()
+            .filter(|s| !matches!(s, StepOut::Aborted))
+            .count();
+        ctx.metrics().add_disjuncts_processed(processed as u64);
+
         let mut next: Vec<AbstractSet> = Vec::new();
-        for a in active.drain(..) {
-            if let Some(deadline) = limits.deadline {
-                if Instant::now() >= deadline {
-                    return RunOutput {
+        for out in stepped {
+            match out {
+                StepOut::Aborted => {
+                    let why = if ctx.is_cancelled() {
+                        Abort::Cancelled
+                    } else {
+                        Abort::Timeout
+                    };
+                    return abort(
                         terminals,
-                        aborted: Some(Abort::Timeout),
+                        why,
                         peak_disjuncts,
                         peak_bytes,
                         iterations_completed,
-                    };
+                    );
                 }
-            }
-
-            // --- conditional ent(T) = 0 (§4.7) ---
-            let pures: Vec<AbstractSet> = (0..ds.n_classes() as ClassId)
-                .filter_map(|c| a.pure(ds, c))
-                .collect();
-            if !pures.is_empty() {
-                match domain {
-                    DomainKind::Box => {
-                        let joined = pures
-                            .into_iter()
-                            .reduce(|x, y| x.join(ds, &y))
-                            .expect("non-empty");
-                        terminals.push(joined);
-                    }
-                    _ => terminals.extend(pures),
-                }
-            }
-            if a.base().is_pure() {
-                // Every concretization is pure: the else branch of the
-                // conditional is infeasible.
-                continue;
-            }
-
-            // --- φ ← bestSplit#(⟨T,n⟩) and the φ = ⋄ conditional ---
-            let bs = best_split_abs(ds, &a, transformer);
-            if bs.diamond {
-                terminals.push(a.clone());
-            }
-            if bs.preds.is_empty() {
-                continue;
-            }
-
-            // --- filter#(⟨T,n⟩, Ψ, x) ---
-            let mut branches: Vec<AbstractSet> = Vec::new();
-            for p in &bs.preds {
-                match p.eval3(x) {
-                    Truth::True => branches.push(p.restrict(ds, &a)),
-                    Truth::False => branches.push(p.restrict_neg(ds, &a)),
-                    Truth::Maybe => {
-                        branches.push(p.restrict(ds, &a));
-                        branches.push(p.restrict_neg(ds, &a));
-                    }
-                }
-            }
-            branches.retain(|b| !b.is_empty());
-            match domain {
-                DomainKind::Box => {
-                    if let Some(joined) = branches.into_iter().reduce(|x, y| x.join(ds, &y)) {
-                        next.push(joined);
-                    }
-                }
-                DomainKind::Disjuncts | DomainKind::Hybrid { .. } => {
+                StepOut::Done {
+                    terminals: t,
+                    branches,
+                } => {
+                    terminals.extend(t);
                     next.extend(branches);
                 }
             }
@@ -203,25 +286,29 @@ pub fn run_abstract(
         iterations_completed += 1;
         let live = active.len() + terminals.len();
         peak_disjuncts = peak_disjuncts.max(live);
-        let bytes: usize =
-            active.iter().chain(&terminals).map(AbstractSet::approx_bytes).sum();
+        let bytes: usize = active
+            .iter()
+            .chain(&terminals)
+            .map(AbstractSet::approx_bytes)
+            .sum();
         peak_bytes = peak_bytes.max(bytes);
-        if let Some(max) = limits.max_live_disjuncts {
-            if live > max {
-                return RunOutput {
-                    terminals,
-                    aborted: Some(Abort::DisjunctLimit),
-                    peak_disjuncts,
-                    peak_bytes,
-                    iterations_completed,
-                };
-            }
+        ctx.metrics().record_peak_disjuncts(peak_disjuncts);
+        ctx.metrics().record_peak_bytes(peak_bytes);
+        if ctx.over_disjunct_budget(live) {
+            return abort(
+                terminals,
+                Abort::DisjunctLimit,
+                peak_disjuncts,
+                peak_bytes,
+                iterations_completed,
+            );
         }
     }
 
     // States that survive all d iterations reach the learner's output.
     terminals.extend(active);
     peak_disjuncts = peak_disjuncts.max(terminals.len());
+    ctx.metrics().record_peak_disjuncts(peak_disjuncts);
     RunOutput {
         terminals,
         aborted: None,
@@ -266,7 +353,7 @@ mod tests {
             depth,
             domain,
             CprobTransformer::Optimal,
-            Limits::default(),
+            &ExecContext::sequential(),
         )
     }
 
@@ -321,7 +408,10 @@ mod tests {
         // n = 7 lets the attacker erase all white points: pure(black) and
         // pure(white) both become feasible terminals at iteration 1.
         let out = run_fig2(7, 1, DomainKind::Disjuncts);
-        assert!(out.terminals.len() >= 3, "two pure terminals + continuation");
+        assert!(
+            out.terminals.len() >= 3,
+            "two pure terminals + continuation"
+        );
         let pure_count = out.terminals.iter().filter(|t| t.base().is_pure()).count();
         assert!(pure_count >= 2);
     }
@@ -336,7 +426,7 @@ mod tests {
             4,
             DomainKind::Disjuncts,
             CprobTransformer::Optimal,
-            Limits { deadline: Some(Instant::now()), max_live_disjuncts: None },
+            &ExecContext::sequential().timeout(std::time::Duration::ZERO),
         );
         assert_eq!(out.aborted, Some(Abort::Timeout));
     }
@@ -351,7 +441,7 @@ mod tests {
             4,
             DomainKind::Disjuncts,
             CprobTransformer::Optimal,
-            Limits { deadline: None, max_live_disjuncts: Some(2) },
+            &ExecContext::sequential().disjunct_budget(2),
         );
         assert_eq!(out.aborted, Some(Abort::DisjunctLimit));
     }
@@ -367,7 +457,7 @@ mod tests {
             3,
             DomainKind::Hybrid { max_disjuncts: cap },
             CprobTransformer::Optimal,
-            Limits::default(),
+            &ExecContext::sequential(),
         );
         assert!(out.aborted.is_none());
         // Each iteration, each of ≤ cap active disjuncts can emit at most
@@ -386,7 +476,11 @@ mod tests {
         // is at most one per return point per iteration (pure + diamond)
         // plus the final state.
         let out = run_fig2(3, 3, DomainKind::Box);
-        assert!(out.terminals.len() <= 3 * 2 + 1, "got {}", out.terminals.len());
+        assert!(
+            out.terminals.len() <= 3 * 2 + 1,
+            "got {}",
+            out.terminals.len()
+        );
     }
 
     #[test]
@@ -400,7 +494,7 @@ mod tests {
             3,
             DomainKind::Disjuncts,
             CprobTransformer::Optimal,
-            Limits::default(),
+            &ExecContext::sequential(),
         );
         // The only terminal is the pure restriction of the initial state.
         assert_eq!(out.terminals.len(), 1);

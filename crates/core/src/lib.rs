@@ -11,6 +11,9 @@
 //!
 //! Modules:
 //!
+//! * [`engine`] — the parallel, cancellation-aware execution engine:
+//!   [`ExecContext`] owns each run's deadline, disjunct budget,
+//!   cooperative cancellation flag, metrics, and thread pool;
 //! * [`score`] — `score#` intervals and `bestSplit#` with the Φ∀/Φ∃
 //!   trivial-split analysis and minimal-interval selection (§4.6), using
 //!   symbolic real-valued predicates (§5.1, Appendix B);
@@ -46,6 +49,7 @@
 //! ```
 
 pub mod certify;
+pub mod engine;
 pub mod ensemble;
 pub mod flip;
 pub mod learner;
@@ -55,9 +59,10 @@ pub mod sweep;
 pub mod verdict;
 
 pub use certify::{Certifier, Outcome, RunStats, Verdict};
-pub use ensemble::{certify_forest, EnsembleConfig, EnsembleOutcome};
+pub use engine::{ExecContext, RunMetrics};
+pub use ensemble::{certify_forest, certify_forest_in, EnsembleConfig, EnsembleOutcome};
 pub use flip::certify_label_flips;
 pub use learner::DomainKind;
 pub use report::{explain, Explanation};
 pub use score::{best_split_abs, AbsSplitResult};
-pub use sweep::{sweep, SweepConfig, SweepPoint};
+pub use sweep::{sweep, sweep_in, SweepConfig, SweepPoint};

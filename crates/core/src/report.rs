@@ -6,7 +6,8 @@
 //! [`explain`] re-runs the abstract learner and attributes the verdict to
 //! concrete evidence, which the CLI and examples can print.
 
-use crate::learner::{run_abstract, DomainKind, Limits};
+use crate::engine::ExecContext;
+use crate::learner::{run_abstract, DomainKind};
 use crate::verdict::dominant_class;
 use antidote_data::{ClassId, Dataset, Subset};
 use antidote_domains::{AbstractSet, CprobTransformer, Interval};
@@ -50,8 +51,7 @@ impl Explanation {
             .iter()
             .map(|&i| &self.terminals[i])
             .max_by(|a, b| {
-                overlap_margin(a, self.reference)
-                    .total_cmp(&overlap_margin(b, self.reference))
+                overlap_margin(a, self.reference).total_cmp(&overlap_margin(b, self.reference))
             })
     }
 }
@@ -92,7 +92,7 @@ pub fn explain(
         depth,
         domain,
         transformer,
-        Limits::default(),
+        &ExecContext::sequential(),
     );
     let terminals: Vec<TerminalReport> = out
         .terminals
@@ -105,7 +105,12 @@ pub fn explain(
         .filter(|(_, t)| !t.supports_reference)
         .map(|(i, _)| i)
         .collect();
-    Explanation { reference, robust: blockers.is_empty(), terminals, blockers }
+    Explanation {
+        reference,
+        robust: blockers.is_empty(),
+        terminals,
+        blockers,
+    }
 }
 
 fn terminal_report(
@@ -173,7 +178,14 @@ mod tests {
     #[test]
     fn robust_cases_have_no_blockers() {
         let ds = blobs();
-        let e = explain(&ds, &[0.5], 1, 8, DomainKind::Disjuncts, CprobTransformer::Optimal);
+        let e = explain(
+            &ds,
+            &[0.5],
+            1,
+            8,
+            DomainKind::Disjuncts,
+            CprobTransformer::Optimal,
+        );
         assert!(e.robust);
         assert!(e.blockers.is_empty());
         assert!(e.worst_blocker().is_none());
@@ -187,7 +199,14 @@ mod tests {
     #[test]
     fn unknown_cases_identify_blockers() {
         let ds = blobs();
-        let e = explain(&ds, &[0.5], 1, 150, DomainKind::Disjuncts, CprobTransformer::Optimal);
+        let e = explain(
+            &ds,
+            &[0.5],
+            1,
+            150,
+            DomainKind::Disjuncts,
+            CprobTransformer::Optimal,
+        );
         assert!(!e.robust);
         assert!(!e.blockers.is_empty());
         let worst = e.worst_blocker().expect("a blocker exists");
@@ -204,7 +223,10 @@ mod tests {
         let ds = blobs();
         for n in [0usize, 4, 16, 40, 150] {
             for domain in [DomainKind::Box, DomainKind::Disjuncts] {
-                let cert = Certifier::new(&ds).depth(1).domain(domain).certify(&[0.5], n);
+                let cert = Certifier::new(&ds)
+                    .depth(1)
+                    .domain(domain)
+                    .certify(&[0.5], n);
                 let e = explain(&ds, &[0.5], 1, n, domain, CprobTransformer::Optimal);
                 assert_eq!(cert.is_robust(), e.robust, "n={n} {domain:?}");
                 assert_eq!(cert.label, e.reference);
@@ -215,7 +237,14 @@ mod tests {
     #[test]
     fn terminal_reports_expose_interval_shapes() {
         let ds = synth::figure2();
-        let e = explain(&ds, &[5.0], 1, 0, DomainKind::Box, CprobTransformer::Optimal);
+        let e = explain(
+            &ds,
+            &[5.0],
+            1,
+            0,
+            DomainKind::Box,
+            CprobTransformer::Optimal,
+        );
         assert!(e.robust);
         assert_eq!(e.terminals.len(), 1);
         let t = &e.terminals[0];

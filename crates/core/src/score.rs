@@ -76,19 +76,23 @@ pub fn scored_candidates(
         rows.extend(a.base().iter().map(|r| (ds.value(r, feature), ds.label(r))));
         rows.sort_by(|x, y| x.0.total_cmp(&y.0));
         left.iter_mut().for_each(|c| *c = 0);
-        let mut left_len = 0usize;
         for i in 0..rows.len() {
+            // `i` rows strictly precede threshold candidate `i`.
+            let left_len = i;
             if i > 0 && rows[i].0 > rows[i - 1].0 {
                 let right_len = total_len - left_len;
                 for (r, (&t, &l)) in right.iter_mut().zip(total_counts.iter().zip(&left)) {
                     *r = t - l;
                 }
-                let score = score_interval_from_sides(&left, left_len, &right, right_len, n, transformer);
+                let score =
+                    score_interval_from_sides(&left, left_len, &right, right_len, n, transformer);
                 let pred = match feat.kind {
                     FeatureKind::Bool => AbsPredicate::Concrete(Predicate::boolean(feature)),
-                    FeatureKind::Real => {
-                        AbsPredicate::Symbolic { feature, lo: rows[i - 1].0, hi: rows[i].0 }
-                    }
+                    FeatureKind::Real => AbsPredicate::Symbolic {
+                        feature,
+                        lo: rows[i - 1].0,
+                        hi: rows[i].0,
+                    },
                 };
                 out.push(ScoredCandidate {
                     pred,
@@ -97,7 +101,6 @@ pub fn scored_candidates(
                 });
             }
             left[rows[i].1 as usize] += 1;
-            left_len += 1;
         }
     }
     out
@@ -214,8 +217,14 @@ mod tests {
         let ds = synth::figure2();
         let a = AbstractSet::full(&ds, 2);
         let r = best_split_abs(&ds, &a, CprobTransformer::Optimal);
-        assert!(!r.diamond, "with n=2 < sides, some predicate is always non-trivial");
-        let target = Predicate { feature: 0, threshold: 10.5 };
+        assert!(
+            !r.diamond,
+            "with n=2 < sides, some predicate is always non-trivial"
+        );
+        let target = Predicate {
+            feature: 0,
+            threshold: 10.5,
+        };
         assert!(
             r.preds.iter().any(|p| p.concretizes(&target)),
             "x <= 10 must be a candidate best split"
@@ -256,11 +265,19 @@ mod tests {
         // Four intervals as in Example 4.9: φ₁ has the lowest upper bound;
         // φ₁, φ₂, φ₃ overlap it; φ₄ lies strictly above.
         let mk = |lo: f64, hi: f64, i: usize| ScoredCandidate {
-            pred: AbsPredicate::Concrete(Predicate { feature: i, threshold: 0.0 }),
+            pred: AbsPredicate::Concrete(Predicate {
+                feature: i,
+                threshold: 0.0,
+            }),
             score: Interval::new(lo, hi),
             forall: true,
         };
-        let cands = vec![mk(1.0, 3.0, 1), mk(2.0, 5.0, 2), mk(2.5, 6.0, 3), mk(3.5, 7.0, 4)];
+        let cands = vec![
+            mk(1.0, 3.0, 1),
+            mk(2.0, 5.0, 2),
+            mk(2.5, 6.0, 3),
+            mk(3.5, 7.0, 4),
+        ];
         let r = select_from_candidates(&cands);
         assert!(!r.diamond);
         let kept: Vec<usize> = r.preds.iter().map(|p| p.feature()).collect();

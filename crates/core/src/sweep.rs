@@ -10,6 +10,7 @@
 //! average peak memory (Figures 6–11).
 
 use crate::certify::{Certifier, Verdict};
+use crate::engine::ExecContext;
 use crate::learner::DomainKind;
 use antidote_data::Dataset;
 use antidote_domains::CprobTransformer;
@@ -25,7 +26,9 @@ pub struct SweepConfig {
     /// `cprob#` transformer.
     pub transformer: CprobTransformer,
     /// Per-instance timeout (the paper uses one hour; the harness default
-    /// is much smaller so full sweeps finish on a laptop).
+    /// is much smaller so full sweeps finish on a laptop). Each instance
+    /// gets its own deadline, started when its certification starts, so
+    /// one timeout cannot stall the rest of the ladder.
     pub timeout: Option<Duration>,
     /// Disjunct budget per instance (out-of-memory stand-in).
     pub max_live_disjuncts: Option<usize>,
@@ -36,6 +39,13 @@ pub struct SweepConfig {
     /// Whether to binary-search between the last success and the first
     /// total failure (§6.1 step 3).
     pub binary_search: bool,
+    /// Worker count for fanning test points across the engine
+    /// (0 = all available cores, 1 = the sequential escape hatch).
+    /// With no timeout or disjunct budget configured, verified/attempted
+    /// counts are identical at every thread count; under a wall-clock
+    /// timeout, instances near the deadline can tip either way as core
+    /// contention shifts timings.
+    pub threads: usize,
 }
 
 impl Default for SweepConfig {
@@ -49,6 +59,7 @@ impl Default for SweepConfig {
             start_n: 1,
             max_n: None,
             binary_search: true,
+            threads: 0,
         }
     }
 }
@@ -88,17 +99,36 @@ impl SweepPoint {
 
 /// Runs the §6.1 protocol over `test_points` and returns one
 /// [`SweepPoint`] per probed budget, in increasing-`n` order.
+///
+/// Test points fan out across `cfg.threads` engine workers; every point
+/// is certified under its own child [`ExecContext`] whose deadline
+/// starts at that point's own certification, so a timing-out instance
+/// can never stall the ladder, and cancelling the sweep's context
+/// cancels every in-flight instance. The ladder itself (which budgets
+/// are probed, who survives) is inherently sequential and identical at
+/// every thread count.
 pub fn sweep(ds: &Dataset, test_points: &[Vec<f64>], cfg: &SweepConfig) -> Vec<SweepPoint> {
-    let mut certifier = Certifier::new(ds)
+    sweep_in(
+        ds,
+        test_points,
+        cfg,
+        &ExecContext::new().threads(cfg.threads),
+    )
+}
+
+/// [`sweep`] under a caller-provided parent context (cancellation scope
+/// and metrics). `parent`'s thread count is used as-is; its deadline, if
+/// any, bounds the whole sweep while `cfg.timeout` bounds each instance.
+pub fn sweep_in(
+    ds: &Dataset,
+    test_points: &[Vec<f64>],
+    cfg: &SweepConfig,
+    parent: &ExecContext,
+) -> Vec<SweepPoint> {
+    let certifier = Certifier::new(ds)
         .depth(cfg.depth)
         .domain(cfg.domain)
         .transformer(cfg.transformer);
-    if let Some(t) = cfg.timeout {
-        certifier = certifier.timeout(t);
-    }
-    if let Some(m) = cfg.max_live_disjuncts {
-        certifier = certifier.max_live_disjuncts(m);
-    }
     let max_n = cfg.max_n.unwrap_or(ds.len()).min(ds.len());
     let total_points = test_points.len();
 
@@ -110,7 +140,18 @@ pub fn sweep(ds: &Dataset, test_points: &[Vec<f64>], cfg: &SweepConfig) -> Vec<S
     let mut last_success_n: Option<usize> = None;
 
     while !survivors.is_empty() && n <= max_n {
-        let (point, verified_idx) = probe(&certifier, test_points, &survivors, n, total_points);
+        if parent.should_stop() {
+            break;
+        }
+        let (point, verified_idx) = probe(
+            &certifier,
+            test_points,
+            &survivors,
+            n,
+            total_points,
+            cfg,
+            parent,
+        );
         points.push(point);
         if verified_idx.is_empty() {
             // §6.1 step 3: binary search in (n/2, n) for budgets where some
@@ -120,9 +161,17 @@ pub fn sweep(ds: &Dataset, test_points: &[Vec<f64>], cfg: &SweepConfig) -> Vec<S
                     let mut lo = lo0;
                     let mut hi = n;
                     let mut pool = survivors.clone();
-                    while hi - lo > 1 {
+                    while hi - lo > 1 && !parent.should_stop() {
                         let mid = lo + (hi - lo) / 2;
-                        let (p, v) = probe(&certifier, test_points, &pool, mid, total_points);
+                        let (p, v) = probe(
+                            &certifier,
+                            test_points,
+                            &pool,
+                            mid,
+                            total_points,
+                            cfg,
+                            parent,
+                        );
                         points.push(p);
                         if v.is_empty() {
                             hi = mid;
@@ -147,27 +196,39 @@ pub fn sweep(ds: &Dataset, test_points: &[Vec<f64>], cfg: &SweepConfig) -> Vec<S
     points
 }
 
-/// Runs all `pool` instances at budget `n`, returning the aggregate point
-/// and the indices that verified.
+/// Runs all `pool` instances at budget `n` — fanned out across the
+/// parent context's workers, each under its own child context — and
+/// returns the aggregate point and the indices that verified.
 fn probe(
     certifier: &Certifier<'_>,
     test_points: &[Vec<f64>],
     pool: &[usize],
     n: usize,
     total_points: usize,
+    cfg: &SweepConfig,
+    parent: &ExecContext,
 ) -> (SweepPoint, Vec<usize>) {
+    let inner_threads = parent.child_threads_for(pool.len());
+    let outcomes = parent.par_map(pool, |_, &i| {
+        let ctx = parent
+            .child()
+            .threads(inner_threads)
+            .maybe_timeout(cfg.timeout)
+            .maybe_disjunct_budget(cfg.max_live_disjuncts);
+        certifier.certify_in(&test_points[i], n, &ctx)
+    });
+
     let mut verified = Vec::new();
     let mut total_time = Duration::ZERO;
     let mut total_bytes = 0usize;
     let mut timeouts = 0usize;
     let mut budget_exhausted = 0usize;
-    for &i in pool {
-        let out = certifier.certify(&test_points[i], n);
+    for (&i, out) in pool.iter().zip(&outcomes) {
         total_time += out.stats.elapsed;
         total_bytes += out.stats.peak_bytes;
         match out.verdict {
             Verdict::Robust => verified.push(i),
-            Verdict::Timeout => timeouts += 1,
+            Verdict::Timeout | Verdict::Cancelled => timeouts += 1,
             Verdict::DisjunctBudget => budget_exhausted += 1,
             Verdict::Unknown => {}
         }
@@ -267,13 +328,21 @@ mod tests {
         // the true frontier (largest n where any point is provable).
         let ds = blobs();
         let pts = sweep(&ds, &blob_points(), &cfg(DomainKind::Disjuncts, true));
-        let best_verified = pts.iter().filter(|p| p.verified > 0).map(|p| p.n).max().unwrap();
+        let best_verified = pts
+            .iter()
+            .filter(|p| p.verified > 0)
+            .map(|p| p.n)
+            .max()
+            .unwrap();
         let c = Certifier::new(&ds).depth(1).domain(DomainKind::Disjuncts);
         let truth = (1..=64)
             .filter(|&n| blob_points().iter().any(|x| c.certify(x, n).is_robust()))
             .max()
             .unwrap();
-        assert_eq!(best_verified, truth, "binary search should find the frontier");
+        assert_eq!(
+            best_verified, truth,
+            "binary search should find the frontier"
+        );
     }
 
     #[test]

@@ -36,9 +36,9 @@ pub fn all_terminals_dominated_by(
     reference: ClassId,
     transformer: CprobTransformer,
 ) -> bool {
-    terminals.iter().all(|t| {
-        dominant_class(&t.cprob_intervals(transformer)) == Some(reference)
-    })
+    terminals
+        .iter()
+        .all(|t| dominant_class(&t.cprob_intervals(transformer)) == Some(reference))
 }
 
 #[cfg(test)]
@@ -55,7 +55,11 @@ mod tests {
     fn clear_dominance() {
         let ivs = [Interval::new(0.7, 0.9), Interval::new(0.1, 0.3)];
         assert_eq!(dominant_class(&ivs), Some(0));
-        let ivs = [Interval::new(0.1, 0.3), Interval::new(0.7, 0.9), Interval::new(0.0, 0.2)];
+        let ivs = [
+            Interval::new(0.1, 0.3),
+            Interval::new(0.7, 0.9),
+            Interval::new(0.0, 0.2),
+        ];
         assert_eq!(dominant_class(&ivs), Some(1));
     }
 
@@ -88,7 +92,10 @@ mod tests {
     fn n_equals_t_blocks_dominance() {
         let ds = synth::figure2();
         let a = AbstractSet::full(&ds, 13);
-        assert_eq!(dominant_class(&a.cprob_intervals(CprobTransformer::Optimal)), None);
+        assert_eq!(
+            dominant_class(&a.cprob_intervals(CprobTransformer::Optimal)),
+            None
+        );
     }
 
     #[test]
@@ -97,8 +104,20 @@ mod tests {
         let white_leaning = AbstractSet::new(Subset::from_indices(&ds, (1..4).collect()), 0);
         let black_leaning = AbstractSet::new(Subset::from_indices(&ds, vec![9, 10, 11]), 0);
         let t = CprobTransformer::Optimal;
-        assert!(all_terminals_dominated_by(&[white_leaning.clone()], 0, t));
-        assert!(all_terminals_dominated_by(&[black_leaning.clone()], 1, t));
-        assert!(!all_terminals_dominated_by(&[white_leaning, black_leaning], 0, t));
+        assert!(all_terminals_dominated_by(
+            std::slice::from_ref(&white_leaning),
+            0,
+            t
+        ));
+        assert!(all_terminals_dominated_by(
+            std::slice::from_ref(&black_leaning),
+            1,
+            t
+        ));
+        assert!(!all_terminals_dominated_by(
+            &[white_leaning, black_leaning],
+            0,
+            t
+        ));
     }
 }

@@ -1,0 +1,189 @@
+//! Thread-count invariance: the engine's parallel fan-outs must be
+//! observationally identical to the sequential escape hatch.
+//!
+//! `threads(1)` and `threads(N)` runs share every verdict-relevant
+//! output — sweep ladders, terminal abstract states, ensemble votes —
+//! with only timings allowed to differ. These tests pin that contract
+//! for each parallel surface.
+
+use antidote_core::engine::ExecContext;
+use antidote_core::learner::run_abstract;
+use antidote_core::{sweep, Certifier, DomainKind, SweepConfig};
+use antidote_data::synth::{gaussian_blobs, BlobSpec};
+use antidote_data::Dataset;
+use antidote_domains::{AbstractSet, CprobTransformer};
+
+/// Two separated 1-D Gaussian classes.
+fn blobs(per_class: usize, seed: u64) -> Dataset {
+    gaussian_blobs(
+        &BlobSpec {
+            means: vec![vec![0.0], vec![10.0]],
+            stds: vec![vec![1.5], vec![1.5]],
+            per_class,
+            quantum: Some(0.1),
+        },
+        seed,
+    )
+}
+
+/// A ladder of test points spanning deep-in-class to boundary inputs.
+fn test_points(k: usize) -> Vec<Vec<f64>> {
+    (0..k)
+        .map(|i| vec![-1.0 + 12.0 * i as f64 / (k - 1) as f64])
+        .collect()
+}
+
+/// The verdict-relevant projection of a sweep point (timings excluded).
+fn key(points: &[antidote_core::SweepPoint]) -> Vec<(usize, usize, usize, usize, usize, usize)> {
+    points
+        .iter()
+        .map(|p| {
+            (
+                p.n,
+                p.attempted,
+                p.verified,
+                p.total_points,
+                p.timeouts,
+                p.budget_exhausted,
+            )
+        })
+        .collect()
+}
+
+#[test]
+fn sweep_ladder_is_thread_invariant() {
+    let ds = blobs(60, 7);
+    let xs = test_points(32);
+    for domain in [
+        DomainKind::Box,
+        DomainKind::Disjuncts,
+        DomainKind::Hybrid { max_disjuncts: 8 },
+    ] {
+        let cfg = |threads: usize| SweepConfig {
+            depth: 1,
+            domain,
+            timeout: None,
+            threads,
+            ..SweepConfig::default()
+        };
+        let seq = sweep(&ds, &xs, &cfg(1));
+        let par = sweep(&ds, &xs, &cfg(4));
+        assert_eq!(
+            key(&seq),
+            key(&par),
+            "{domain:?}: ladder diverged across thread counts"
+        );
+        assert!(!seq.is_empty());
+        assert!(seq[0].verified > 0, "sanity: some point verifies at n = 1");
+    }
+}
+
+#[test]
+fn disjunct_frontier_is_thread_invariant() {
+    // Multi-feature blobs at depth 3 grow a frontier wide enough that the
+    // engine actually fans it out (> MIN_PARALLEL_FRONTIER disjuncts).
+    let ds = gaussian_blobs(
+        &BlobSpec {
+            means: vec![vec![0.0; 3], vec![8.0; 3]],
+            stds: vec![vec![2.0; 3], vec![2.0; 3]],
+            per_class: 40,
+            quantum: Some(0.5),
+        },
+        11,
+    );
+    let x = vec![1.0, 2.0, 0.5];
+    for domain in [
+        DomainKind::Disjuncts,
+        DomainKind::Hybrid { max_disjuncts: 16 },
+    ] {
+        let run = |threads: usize| {
+            run_abstract(
+                &ds,
+                AbstractSet::full(&ds, 8),
+                &x,
+                3,
+                domain,
+                CprobTransformer::Optimal,
+                &ExecContext::new().threads(threads),
+            )
+        };
+        let seq = run(1);
+        let par = run(4);
+        assert_eq!(seq.aborted, par.aborted);
+        assert_eq!(
+            seq.terminals, par.terminals,
+            "{domain:?}: terminal states diverged"
+        );
+        assert_eq!(seq.peak_disjuncts, par.peak_disjuncts);
+        assert_eq!(seq.peak_bytes, par.peak_bytes);
+        assert_eq!(seq.iterations_completed, par.iterations_completed);
+        assert!(
+            seq.peak_disjuncts > 4,
+            "sanity: the frontier must be wide enough to exercise par_map"
+        );
+    }
+}
+
+#[test]
+fn certify_verdicts_thread_invariant_across_budgets() {
+    let ds = blobs(50, 3);
+    for n in [0usize, 4, 16, 64, 100] {
+        for x in [[0.5], [5.1], [9.5]] {
+            let verdict = |threads: usize| {
+                Certifier::new(&ds)
+                    .depth(2)
+                    .domain(DomainKind::Disjuncts)
+                    .threads(threads)
+                    .certify(&x, n)
+                    .verdict
+            };
+            assert_eq!(verdict(1), verdict(4), "x = {x:?}, n = {n}");
+        }
+    }
+}
+
+#[test]
+fn forest_certificate_thread_invariant() {
+    use antidote_core::ensemble::{certify_forest_in, EnsembleConfig};
+    use antidote_tree::forest::{learn_forest, ForestConfig};
+
+    let ds = gaussian_blobs(
+        &BlobSpec {
+            means: vec![vec![0.0; 4], vec![10.0; 4]],
+            stds: vec![vec![1.0; 4], vec![1.0; 4]],
+            per_class: 40,
+            quantum: Some(0.1),
+        },
+        3,
+    );
+    let forest = learn_forest(
+        &ds,
+        &ForestConfig {
+            n_trees: 5,
+            features_per_tree: 2,
+            max_depth: 1,
+            seed: 0,
+        },
+    );
+    let cfg = EnsembleConfig {
+        depth: 1,
+        ..EnsembleConfig::default()
+    };
+    let x = vec![0.3; 4];
+    let run = |threads: usize| {
+        certify_forest_in(
+            &ds,
+            &forest,
+            &x,
+            6,
+            &cfg,
+            &ExecContext::new().threads(threads),
+        )
+    };
+    let seq = run(1);
+    let par = run(4);
+    assert_eq!(seq.robust, par.robust);
+    assert_eq!(seq.label, par.label);
+    assert_eq!(seq.certified_votes, par.certified_votes);
+    assert_eq!(seq.members, par.members);
+}

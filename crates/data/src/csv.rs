@@ -26,7 +26,12 @@ pub fn read_csv<R: Read>(reader: R) -> Result<Dataset, DataError> {
     let mut lines = BufReader::new(reader).lines();
     let header = match lines.next() {
         Some(h) => h?,
-        None => return Err(DataError::Csv { line: 1, message: "empty input".into() }),
+        None => {
+            return Err(DataError::Csv {
+                line: 1,
+                message: "empty input".into(),
+            })
+        }
     };
     let mut names: Vec<String> = header.split(',').map(|s| s.trim().to_string()).collect();
     if names.len() < 2 {
@@ -69,7 +74,10 @@ pub fn read_csv<R: Read>(reader: R) -> Result<Dataset, DataError> {
         rows.push((values, fields[n_features].to_string()));
     }
     if rows.is_empty() {
-        return Err(DataError::Csv { line: 2, message: "no data rows".into() });
+        return Err(DataError::Csv {
+            line: 2,
+            message: "no data rows".into(),
+        });
     }
 
     // Enumerate classes by first appearance.
@@ -96,8 +104,11 @@ pub fn read_csv<R: Read>(reader: R) -> Result<Dataset, DataError> {
             }
         })
         .collect();
-    let features =
-        names.into_iter().zip(kinds).map(|(name, kind)| Feature { name, kind }).collect();
+    let features = names
+        .into_iter()
+        .zip(kinds)
+        .map(|(name, kind)| Feature { name, kind })
+        .collect();
     let schema = Schema::new(features, classes)?;
     let mut b = DatasetBuilder::new(schema);
     for ((values, _), label) in rows.iter().zip(labels) {
@@ -112,12 +123,18 @@ pub fn read_csv<R: Read>(reader: R) -> Result<Dataset, DataError> {
 ///
 /// Returns [`DataError::Io`] on write failures.
 pub fn write_csv<W: Write>(ds: &Dataset, mut writer: W) -> Result<(), DataError> {
-    let header: Vec<&str> =
-        ds.schema().features().iter().map(|f| f.name.as_str()).chain(["label"]).collect();
+    let header: Vec<&str> = ds
+        .schema()
+        .features()
+        .iter()
+        .map(|f| f.name.as_str())
+        .chain(["label"])
+        .collect();
     writeln!(writer, "{}", header.join(","))?;
     for r in 0..ds.len() as u32 {
-        let mut fields: Vec<String> =
-            (0..ds.n_features()).map(|f| format_value(ds.value(r, f))).collect();
+        let mut fields: Vec<String> = (0..ds.n_features())
+            .map(|f| format_value(ds.value(r, f)))
+            .collect();
         fields.push(ds.schema().classes()[ds.label(r) as usize].clone());
         writeln!(writer, "{}", fields.join(","))?;
     }
@@ -206,7 +223,10 @@ mod tests {
 
     #[test]
     fn rejects_malformed_input() {
-        assert!(matches!(read_csv("".as_bytes()), Err(DataError::Csv { line: 1, .. })));
+        assert!(matches!(
+            read_csv("".as_bytes()),
+            Err(DataError::Csv { line: 1, .. })
+        ));
         assert!(read_csv("label\n".as_bytes()).is_err());
         assert!(read_csv("x0,wrong\n1,a\n".as_bytes()).is_err());
         // Wrong field count.
@@ -224,7 +244,10 @@ mod tests {
         let src = "x0,label\n1,seven\n\n2,one\n3,seven\n";
         let ds = read_csv(src.as_bytes()).unwrap();
         assert_eq!(ds.len(), 3);
-        assert_eq!(ds.schema().classes(), &["seven".to_string(), "one".to_string()]);
+        assert_eq!(
+            ds.schema().classes(),
+            &["seven".to_string(), "one".to_string()]
+        );
         assert_eq!(ds.label(0), 0);
         assert_eq!(ds.label(1), 1);
     }

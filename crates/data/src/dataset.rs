@@ -77,7 +77,10 @@ impl Schema {
         assert!(n_features > 0 && n_classes > 0, "schema must be non-empty");
         Schema {
             features: (0..n_features)
-                .map(|i| Feature { name: format!("x{i}"), kind })
+                .map(|i| Feature {
+                    name: format!("x{i}"),
+                    kind,
+                })
                 .collect(),
             classes: (0..n_classes).map(|i| format!("c{i}")).collect(),
         }
@@ -105,7 +108,10 @@ impl Schema {
 
     /// Renames the classes (e.g. `["white", "black"]`). Extra names are
     /// ignored; missing names keep their defaults.
-    pub fn with_class_names<I: IntoIterator<Item = S>, S: Into<String>>(mut self, names: I) -> Self {
+    pub fn with_class_names<I: IntoIterator<Item = S>, S: Into<String>>(
+        mut self,
+        names: I,
+    ) -> Self {
         for (slot, name) in self.classes.iter_mut().zip(names) {
             *slot = name.into();
         }
@@ -178,10 +184,7 @@ impl Dataset {
     /// # Errors
     ///
     /// Propagates validation failures from [`DatasetBuilder::push_row`].
-    pub fn from_rows(
-        schema: Schema,
-        rows: &[(Vec<f64>, ClassId)],
-    ) -> Result<Self, DataError> {
+    pub fn from_rows(schema: Schema, rows: &[(Vec<f64>, ClassId)]) -> Result<Self, DataError> {
         let mut b = DatasetBuilder::new(schema);
         for (values, label) in rows {
             b.push_row(values, *label)?;
@@ -267,15 +270,24 @@ impl Dataset {
     ///
     /// Panics if `features` is empty or contains an out-of-range index.
     pub fn select_features(&self, features: &[usize]) -> Dataset {
-        assert!(!features.is_empty(), "a projection needs at least one feature");
-        let columns: Vec<Column> =
-            features.iter().map(|&f| self.columns[f].clone()).collect();
+        assert!(
+            !features.is_empty(),
+            "a projection needs at least one feature"
+        );
+        let columns: Vec<Column> = features.iter().map(|&f| self.columns[f].clone()).collect();
         let schema = Schema::new(
-            features.iter().map(|&f| self.schema.features()[f].clone()).collect(),
+            features
+                .iter()
+                .map(|&f| self.schema.features()[f].clone())
+                .collect(),
             self.schema.classes().to_vec(),
         )
         .expect("projection of a valid schema is valid");
-        Dataset { schema, columns, labels: self.labels.clone() }
+        Dataset {
+            schema,
+            columns,
+            labels: self.labels.clone(),
+        }
     }
 
     /// Approximate in-memory footprint in bytes (used by the benchmark
@@ -325,7 +337,11 @@ impl DatasetBuilder {
                 FeatureKind::Real => Column::Real(Vec::new()),
             })
             .collect();
-        DatasetBuilder { schema, columns, labels: Vec::new() }
+        DatasetBuilder {
+            schema,
+            columns,
+            labels: Vec::new(),
+        }
     }
 
     /// Appends one row.
@@ -364,7 +380,11 @@ impl DatasetBuilder {
                     return Err(DataError::NonFiniteValue { row, feature });
                 }
                 Column::Bool(_) if v != 0.0 && v != 1.0 => {
-                    return Err(DataError::NotBoolean { row, feature, value: v });
+                    return Err(DataError::NotBoolean {
+                        row,
+                        feature,
+                        value: v,
+                    });
                 }
                 _ => {}
             }
@@ -391,7 +411,11 @@ impl DatasetBuilder {
 
     /// Finalises the dataset.
     pub fn finish(self) -> Dataset {
-        Dataset { schema: self.schema, columns: self.columns, labels: self.labels }
+        Dataset {
+            schema: self.schema,
+            columns: self.columns,
+            labels: self.labels,
+        }
     }
 }
 
@@ -407,7 +431,11 @@ mod tests {
     fn build_and_access() {
         let ds = Dataset::from_rows(
             schema2x2(),
-            &[(vec![1.0, 2.0], 0), (vec![3.0, 4.0], 1), (vec![5.0, 6.0], 0)],
+            &[
+                (vec![1.0, 2.0], 0),
+                (vec![3.0, 4.0], 1),
+                (vec![5.0, 6.0], 0),
+            ],
         )
         .unwrap();
         assert_eq!(ds.len(), 3);
@@ -424,7 +452,14 @@ mod tests {
     fn arity_mismatch_rejected() {
         let mut b = DatasetBuilder::new(schema2x2());
         let err = b.push_row(&[1.0], 0).unwrap_err();
-        assert!(matches!(err, DataError::ArityMismatch { got: 1, expected: 2, .. }));
+        assert!(matches!(
+            err,
+            DataError::ArityMismatch {
+                got: 1,
+                expected: 2,
+                ..
+            }
+        ));
         assert!(b.is_empty(), "failed push must not mutate the builder");
     }
 
@@ -432,7 +467,14 @@ mod tests {
     fn label_out_of_range_rejected() {
         let mut b = DatasetBuilder::new(schema2x2());
         let err = b.push_row(&[1.0, 2.0], 2).unwrap_err();
-        assert!(matches!(err, DataError::LabelOutOfRange { label: 2, n_classes: 2, .. }));
+        assert!(matches!(
+            err,
+            DataError::LabelOutOfRange {
+                label: 2,
+                n_classes: 2,
+                ..
+            }
+        ));
     }
 
     #[test]
@@ -468,8 +510,14 @@ mod tests {
         // value behind in the first.
         let schema = Schema::new(
             vec![
-                Feature { name: "a".into(), kind: FeatureKind::Real },
-                Feature { name: "b".into(), kind: FeatureKind::Bool },
+                Feature {
+                    name: "a".into(),
+                    kind: FeatureKind::Real,
+                },
+                Feature {
+                    name: "b".into(),
+                    kind: FeatureKind::Bool,
+                },
             ],
             vec!["c0".into(), "c1".into()],
         )

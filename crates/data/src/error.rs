@@ -61,18 +61,36 @@ impl fmt::Display for DataError {
             DataError::ArityMismatch { row, got, expected } => {
                 write!(f, "row {row} has {got} features, schema expects {expected}")
             }
-            DataError::LabelOutOfRange { row, label, n_classes } => {
-                write!(f, "row {row} has label {label}, schema declares {n_classes} classes")
+            DataError::LabelOutOfRange {
+                row,
+                label,
+                n_classes,
+            } => {
+                write!(
+                    f,
+                    "row {row} has label {label}, schema declares {n_classes} classes"
+                )
             }
             DataError::NonFiniteValue { row, feature } => {
                 write!(f, "row {row}, feature {feature}: value is not finite")
             }
-            DataError::NotBoolean { row, feature, value } => {
-                write!(f, "row {row}, feature {feature}: {value} is not a boolean (0 or 1)")
+            DataError::NotBoolean {
+                row,
+                feature,
+                value,
+            } => {
+                write!(
+                    f,
+                    "row {row}, feature {feature}: {value} is not a boolean (0 or 1)"
+                )
             }
             DataError::TooManyRows => write!(f, "dataset exceeds u32::MAX rows"),
-            DataError::EmptySchema => write!(f, "schema must declare at least one feature and one class"),
-            DataError::Csv { line, message } => write!(f, "csv parse error at line {line}: {message}"),
+            DataError::EmptySchema => {
+                write!(f, "schema must declare at least one feature and one class")
+            }
+            DataError::Csv { line, message } => {
+                write!(f, "csv parse error at line {line}: {message}")
+            }
             DataError::Io(e) => write!(f, "i/o error: {e}"),
         }
     }
@@ -100,18 +118,36 @@ mod tests {
     #[test]
     fn display_is_nonempty_and_lowercase_style() {
         let errs: Vec<DataError> = vec![
-            DataError::ArityMismatch { row: 3, got: 2, expected: 4 },
-            DataError::LabelOutOfRange { row: 1, label: 9, n_classes: 3 },
+            DataError::ArityMismatch {
+                row: 3,
+                got: 2,
+                expected: 4,
+            },
+            DataError::LabelOutOfRange {
+                row: 1,
+                label: 9,
+                n_classes: 3,
+            },
             DataError::NonFiniteValue { row: 0, feature: 2 },
-            DataError::NotBoolean { row: 0, feature: 1, value: 0.5 },
+            DataError::NotBoolean {
+                row: 0,
+                feature: 1,
+                value: 0.5,
+            },
             DataError::TooManyRows,
             DataError::EmptySchema,
-            DataError::Csv { line: 7, message: "bad field".into() },
+            DataError::Csv {
+                line: 7,
+                message: "bad field".into(),
+            },
         ];
         for e in errs {
             let s = e.to_string();
             assert!(!s.is_empty());
-            assert!(!s.ends_with('.'), "error messages should not end with punctuation: {s}");
+            assert!(
+                !s.ends_with('.'),
+                "error messages should not end with punctuation: {s}"
+            );
         }
     }
 

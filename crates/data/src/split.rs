@@ -52,8 +52,9 @@ pub fn stratified_split(ds: &Dataset, test_fraction: f64, seed: u64) -> (Dataset
     let mut train_rows: Vec<RowId> = Vec::new();
     let mut test_rows: Vec<RowId> = Vec::new();
     for class in 0..ds.n_classes() as u16 {
-        let mut rows: Vec<RowId> =
-            (0..ds.len() as RowId).filter(|&r| ds.label(r) == class).collect();
+        let mut rows: Vec<RowId> = (0..ds.len() as RowId)
+            .filter(|&r| ds.label(r) == class)
+            .collect();
         rows.shuffle(&mut rng);
         let n_test = ((rows.len() as f64 * test_fraction).round() as usize).min(rows.len());
         test_rows.extend(&rows[..n_test]);
@@ -68,7 +69,8 @@ pub fn stratified_split(ds: &Dataset, test_fraction: f64, seed: u64) -> (Dataset
 pub fn take_rows(ds: &Dataset, rows: &[RowId]) -> Dataset {
     let mut b = DatasetBuilder::new(ds.schema().clone());
     for &r in rows {
-        b.push_row(&ds.row_values(r), ds.label(r)).expect("source rows are valid");
+        b.push_row(&ds.row_values(r), ds.label(r))
+            .expect("source rows are valid");
     }
     b.finish()
 }

@@ -34,7 +34,10 @@ impl Subset {
 
     /// An empty subset shaped for `n_classes` classes.
     pub fn empty(n_classes: usize) -> Self {
-        Subset { indices: Vec::new(), class_counts: vec![0; n_classes] }
+        Subset {
+            indices: Vec::new(),
+            class_counts: vec![0; n_classes],
+        }
     }
 
     /// Builds a subset from arbitrary row ids (sorted and deduplicated here).
@@ -52,7 +55,10 @@ impl Subset {
         for &i in &indices {
             class_counts[ds.label(i) as usize] += 1;
         }
-        Subset { indices, class_counts }
+        Subset {
+            indices,
+            class_counts,
+        }
     }
 
     /// Number of rows in the subset (`|T|`).
@@ -109,7 +115,11 @@ impl Subset {
 
     /// Splits the subset by a row predicate: rows satisfying `keep` go left,
     /// the rest go right. This is the concrete `T↓φ / T↓¬φ` split.
-    pub fn partition<F: FnMut(RowId) -> bool>(&self, ds: &Dataset, mut keep: F) -> (Subset, Subset) {
+    pub fn partition<F: FnMut(RowId) -> bool>(
+        &self,
+        ds: &Dataset,
+        mut keep: F,
+    ) -> (Subset, Subset) {
         let k = self.n_classes();
         let mut yes = Subset::empty(k);
         let mut no = Subset::empty(k);

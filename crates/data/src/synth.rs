@@ -83,11 +83,17 @@ pub struct BlobSpec {
 /// Panics if `means`/`stds` shapes disagree or are empty.
 pub fn gaussian_blobs(spec: &BlobSpec, seed: u64) -> Dataset {
     let k = spec.means.len();
-    assert!(k > 0 && spec.stds.len() == k, "means/stds class count mismatch");
+    assert!(
+        k > 0 && spec.stds.len() == k,
+        "means/stds class count mismatch"
+    );
     let d = spec.means[0].len();
     assert!(d > 0, "blobs need at least one feature");
     for (m, s) in spec.means.iter().zip(&spec.stds) {
-        assert!(m.len() == d && s.len() == d, "means/stds feature count mismatch");
+        assert!(
+            m.len() == d && s.len() == d,
+            "means/stds feature count mismatch"
+        );
     }
     let mut rng = StdRng::seed_from_u64(seed);
     let mut b = DatasetBuilder::new(Schema::real(d, k));
@@ -102,7 +108,8 @@ pub fn gaussian_blobs(spec: &BlobSpec, seed: u64) -> Dataset {
                 }
             })
             .collect();
-        b.push_row(&row, c as ClassId).expect("generated row is valid");
+        b.push_row(&row, c as ClassId)
+            .expect("generated row is valid");
     }
     b.finish()
 }
@@ -153,10 +160,19 @@ pub fn mammographic_like(seed: u64) -> Dataset {
         let (bshift, ashift) = if malignant { (1.5, 14.0) } else { (0.0, 0.0) };
         let birads = clampi(normal_ms(&mut rng, 3.0 + bshift, 0.9), 1.0, 5.0);
         let age = clampi(normal_ms(&mut rng, 50.0 + ashift, 12.0), 18.0, 96.0);
-        let shape = clampi(normal_ms(&mut rng, if malignant { 3.4 } else { 1.9 }, 1.0), 1.0, 4.0);
-        let margin = clampi(normal_ms(&mut rng, if malignant { 3.7 } else { 1.8 }, 1.1), 1.0, 5.0);
+        let shape = clampi(
+            normal_ms(&mut rng, if malignant { 3.4 } else { 1.9 }, 1.0),
+            1.0,
+            4.0,
+        );
+        let margin = clampi(
+            normal_ms(&mut rng, if malignant { 3.7 } else { 1.8 }, 1.1),
+            1.0,
+            5.0,
+        );
         let density = clampi(normal_ms(&mut rng, 2.9, 0.55), 1.0, 4.0);
-        b.push_row(&[birads, age, shape, margin, density], c).expect("generated row is valid");
+        b.push_row(&[birads, age, shape, margin, density], c)
+            .expect("generated row is valid");
     }
     b.finish()
 }
@@ -176,13 +192,21 @@ pub fn wdbc_like(seed: u64) -> Dataset {
     let mut b = DatasetBuilder::new(schema);
     // Base magnitudes loosely follow the real data (radius ~14, texture ~19,
     // perimeter ~92, area ~655, then unit-scale shape statistics).
-    const BASE: [f64; 10] = [14.0, 19.0, 92.0, 655.0, 0.096, 0.104, 0.089, 0.049, 0.181, 0.063];
-    const SPREAD: [f64; 10] = [3.5, 4.3, 24.0, 350.0, 0.014, 0.053, 0.080, 0.039, 0.027, 0.007];
+    const BASE: [f64; 10] = [
+        14.0, 19.0, 92.0, 655.0, 0.096, 0.104, 0.089, 0.049, 0.181, 0.063,
+    ];
+    const SPREAD: [f64; 10] = [
+        3.5, 4.3, 24.0, 350.0, 0.014, 0.053, 0.080, 0.039, 0.027, 0.007,
+    ];
     for i in 0..569 {
         let malignant = i % 569 < 212; // 212 malignant, 357 benign
         let c: ClassId = malignant as ClassId;
         let mut row = Vec::with_capacity(30);
-        let sev = if malignant { 1.3 + 0.45 * normal(&mut rng) } else { -0.9 + 0.45 * normal(&mut rng) };
+        let sev = if malignant {
+            1.3 + 0.45 * normal(&mut rng)
+        } else {
+            -0.9 + 0.45 * normal(&mut rng)
+        };
         let mut latent = [0.0f64; 10];
         for (j, l) in latent.iter_mut().enumerate() {
             *l = BASE[j] + SPREAD[j] * (0.75 * sev + 0.5 * normal(&mut rng));
@@ -192,7 +216,10 @@ pub fn wdbc_like(seed: u64) -> Dataset {
             row.push(l);
         }
         for (j, &l) in latent.iter().enumerate() {
-            row.push((l - BASE[j]).abs() * 0.12 + SPREAD[j] * 0.05 * (1.0 + 0.3 * normal(&mut rng).abs()));
+            row.push(
+                (l - BASE[j]).abs() * 0.12
+                    + SPREAD[j] * 0.05 * (1.0 + 0.3 * normal(&mut rng).abs()),
+            );
         }
         for (j, &l) in latent.iter().enumerate() {
             row.push(l + SPREAD[j] * (0.8 + 0.25 * normal(&mut rng).abs()));
@@ -235,13 +262,21 @@ pub fn mnist17_like(variant: MnistVariant, n_rows: usize, seed: u64) -> Dataset 
         // ~1% of real MNIST-1-7 digits are ambiguous enough to defeat a
         // shallow tree; model that as label noise so accuracies saturate
         // near the paper's 97–99% instead of at 100%.
-        let label = if rng.random::<f64>() < 0.01 { !seven } else { seven };
+        let label = if rng.random::<f64>() < 0.01 {
+            !seven
+        } else {
+            seven
+        };
         let img = render_digit(&mut rng, seven, SIDE);
         let row: Vec<f64> = match variant {
             MnistVariant::Real => img.iter().map(|&p| p as f64).collect(),
-            MnistVariant::Binary => img.iter().map(|&p| if p >= 128 { 1.0 } else { 0.0 }).collect(),
+            MnistVariant::Binary => img
+                .iter()
+                .map(|&p| if p >= 128 { 1.0 } else { 0.0 })
+                .collect(),
         };
-        b.push_row(&row, label as ClassId).expect("generated row is valid");
+        b.push_row(&row, label as ClassId)
+            .expect("generated row is valid");
     }
     b.finish()
 }
@@ -349,8 +384,9 @@ fn stroke(img: &mut [u8], side: usize, a: (f64, f64), b: (f64, f64), thickness: 
 /// paper's class labels).
 fn relabel_classes<const N: usize>(ds: Dataset, names: [&str; N]) -> Dataset {
     let schema = ds.schema().clone().with_class_names(names);
-    let rows: Vec<(Vec<f64>, ClassId)> =
-        (0..ds.len()).map(|i| (ds.row_values(i as u32), ds.label(i as u32))).collect();
+    let rows: Vec<(Vec<f64>, ClassId)> = (0..ds.len())
+        .map(|i| (ds.row_values(i as u32), ds.label(i as u32)))
+        .collect();
     Dataset::from_rows(schema, &rows).expect("relabel preserves validity")
 }
 
@@ -413,7 +449,10 @@ mod tests {
         for r in 0..ds.len() as u32 {
             for f in 0..4 {
                 let v = ds.value(r, f) * 10.0;
-                assert!((v - v.round()).abs() < 1e-6, "iris values are 0.1-quantised");
+                assert!(
+                    (v - v.round()).abs() < 1e-6,
+                    "iris values are 0.1-quantised"
+                );
             }
         }
         // Setosa petal length (feature 2) is well separated from the rest.
@@ -425,7 +464,10 @@ mod tests {
             .filter(|&r| ds.label(r) != 0)
             .map(|r| ds.value(r, 2))
             .fold(f64::MAX, f64::min);
-        assert!(max_setosa < min_other, "setosa should be separable on petal length");
+        assert!(
+            max_setosa < min_other,
+            "setosa should be separable on petal length"
+        );
     }
 
     #[test]
@@ -461,8 +503,15 @@ mod tests {
         assert_eq!(ds.n_features(), 784);
         // Classes alternate; ~1% label noise can nudge the exact counts.
         let counts = ds.class_counts();
-        assert!(counts.iter().all(|&c| (17..=23).contains(&c)), "counts {counts:?}");
-        assert!(ds.schema().features().iter().all(|f| f.kind == FeatureKind::Bool));
+        assert!(
+            counts.iter().all(|&c| (17..=23).contains(&c)),
+            "counts {counts:?}"
+        );
+        assert!(ds
+            .schema()
+            .features()
+            .iter()
+            .all(|f| f.kind == FeatureKind::Bool));
         // Images are not blank and not full.
         let on: usize = (0..40u32)
             .map(|r| (0..784).filter(|&f| ds.value(r, f) == 1.0).count())
@@ -488,8 +537,9 @@ mod tests {
         // The top bar of a 7 occupies pixels a 1 rarely touches: the average
         // ink in the top-left bar region should differ strongly by class.
         let ds = mnist17_like(MnistVariant::Binary, 200, 5);
-        let bar_region: Vec<usize> =
-            (6..8).flat_map(|y| (7..12).map(move |x| y * 28 + x)).collect();
+        let bar_region: Vec<usize> = (6..8)
+            .flat_map(|y| (7..12).map(move |x| y * 28 + x))
+            .collect();
         let mean_ink = |class: ClassId| -> f64 {
             let rows: Vec<u32> = (0..200u32).filter(|&r| ds.label(r) == class).collect();
             let total: f64 = rows

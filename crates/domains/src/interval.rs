@@ -34,7 +34,10 @@ impl Interval {
     ///
     /// Panics if `lo > hi` or either bound is NaN.
     pub fn new(lo: f64, hi: f64) -> Self {
-        assert!(!lo.is_nan() && !hi.is_nan(), "interval bounds must not be NaN");
+        assert!(
+            !lo.is_nan() && !hi.is_nan(),
+            "interval bounds must not be NaN"
+        );
         assert!(lo <= hi, "malformed interval [{lo}, {hi}]");
         Interval { lo, hi }
     }
@@ -78,13 +81,19 @@ impl Interval {
 
     /// Join: the smallest interval containing both (⊔ in §4.2).
     pub fn join(&self, other: &Interval) -> Interval {
-        Interval { lo: self.lo.min(other.lo), hi: self.hi.max(other.hi) }
+        Interval {
+            lo: self.lo.min(other.lo),
+            hi: self.hi.max(other.hi),
+        }
     }
 
     /// Meet: the intersection, or `None` when disjoint.
     pub fn meet(&self, other: &Interval) -> Option<Interval> {
         if self.overlaps(other) {
-            Some(Interval { lo: self.lo.max(other.lo), hi: self.hi.min(other.hi) })
+            Some(Interval {
+                lo: self.lo.max(other.lo),
+                hi: self.hi.min(other.hi),
+            })
         } else {
             None
         }
@@ -117,7 +126,10 @@ impl Add for Interval {
     type Output = Interval;
 
     fn add(self, rhs: Interval) -> Interval {
-        Interval { lo: self.lo + rhs.lo, hi: self.hi + rhs.hi }
+        Interval {
+            lo: self.lo + rhs.lo,
+            hi: self.hi + rhs.hi,
+        }
     }
 }
 
@@ -125,7 +137,10 @@ impl Sub for Interval {
     type Output = Interval;
 
     fn sub(self, rhs: Interval) -> Interval {
-        Interval { lo: self.lo - rhs.hi, hi: self.hi - rhs.lo }
+        Interval {
+            lo: self.lo - rhs.hi,
+            hi: self.hi - rhs.lo,
+        }
     }
 }
 
@@ -133,7 +148,12 @@ impl Mul for Interval {
     type Output = Interval;
 
     fn mul(self, rhs: Interval) -> Interval {
-        let products = [self.lo * rhs.lo, self.lo * rhs.hi, self.hi * rhs.lo, self.hi * rhs.hi];
+        let products = [
+            self.lo * rhs.lo,
+            self.lo * rhs.hi,
+            self.hi * rhs.lo,
+            self.hi * rhs.hi,
+        ];
         let mut lo = products[0];
         let mut hi = products[0];
         for &p in &products[1..] {
@@ -217,7 +237,10 @@ mod tests {
     #[test]
     fn clamp_unit() {
         assert_eq!(Interval::new(-0.5, 1.7).clamp_unit(), Interval::UNIT);
-        assert_eq!(Interval::new(0.2, 0.4).clamp_unit(), Interval::new(0.2, 0.4));
+        assert_eq!(
+            Interval::new(0.2, 0.4).clamp_unit(),
+            Interval::new(0.2, 0.4)
+        );
     }
 
     #[test]

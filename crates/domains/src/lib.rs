@@ -30,3 +30,18 @@ pub use flipset::FlipSet;
 pub use interval::Interval;
 pub use predicate_abs::{AbsPredicate, PredSet, Truth};
 pub use trainset::{AbstractSet, CprobTransformer};
+
+/// Compile-time guarantee that every abstract element can cross thread
+/// boundaries: `antidote-core`'s execution engine fans disjunct
+/// frontiers out across worker threads, which requires `Send + Sync`
+/// here. Keeping the assertion next to the types means any future
+/// `Rc`/`Cell`-style field shows up as a build error in this crate, not
+/// as an inference failure three crates downstream.
+const _: () = {
+    const fn assert_send_sync<T: Send + Sync>() {}
+    assert_send_sync::<AbstractSet>();
+    assert_send_sync::<FlipSet>();
+    assert_send_sync::<AbsPredicate>();
+    assert_send_sync::<Interval>();
+    assert_send_sync::<CprobTransformer>();
+};

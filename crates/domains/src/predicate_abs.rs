@@ -189,12 +189,18 @@ impl PredSet {
 
     /// The initial learner state `{⋄}` (§4.3).
     pub fn diamond_only() -> Self {
-        PredSet { preds: BTreeSet::new(), diamond: true }
+        PredSet {
+            preds: BTreeSet::new(),
+            diamond: true,
+        }
     }
 
     /// Builds a set from abstract predicates (no ⋄).
     pub fn from_preds<I: IntoIterator<Item = AbsPredicate>>(preds: I) -> Self {
-        PredSet { preds: preds.into_iter().collect(), diamond: false }
+        PredSet {
+            preds: preds.into_iter().collect(),
+            diamond: false,
+        }
     }
 
     /// Inserts a predicate.
@@ -209,7 +215,10 @@ impl PredSet {
 
     /// Removes ⋄ (the `φ ≠ ⋄` branch restriction, §4.7).
     pub fn without_diamond(&self) -> PredSet {
-        PredSet { preds: self.preds.clone(), diamond: false }
+        PredSet {
+            preds: self.preds.clone(),
+            diamond: false,
+        }
     }
 
     /// Whether ⋄ ∈ Ψ.
@@ -291,7 +300,10 @@ mod tests {
     }
 
     fn conc(feature: usize, t: f64) -> AbsPredicate {
-        AbsPredicate::Concrete(Predicate { feature, threshold: t })
+        AbsPredicate::Concrete(Predicate {
+            feature,
+            threshold: t,
+        })
     }
 
     #[test]
@@ -310,13 +322,34 @@ mod tests {
     #[test]
     fn concretization_membership() {
         let rho = sym(1, 3.0, 7.0);
-        assert!(rho.concretizes(&Predicate { feature: 1, threshold: 3.0 }));
-        assert!(rho.concretizes(&Predicate { feature: 1, threshold: 6.9 }));
-        assert!(!rho.concretizes(&Predicate { feature: 1, threshold: 7.0 }), "hi is exclusive");
-        assert!(!rho.concretizes(&Predicate { feature: 0, threshold: 5.0 }));
+        assert!(rho.concretizes(&Predicate {
+            feature: 1,
+            threshold: 3.0
+        }));
+        assert!(rho.concretizes(&Predicate {
+            feature: 1,
+            threshold: 6.9
+        }));
+        assert!(
+            !rho.concretizes(&Predicate {
+                feature: 1,
+                threshold: 7.0
+            }),
+            "hi is exclusive"
+        );
+        assert!(!rho.concretizes(&Predicate {
+            feature: 0,
+            threshold: 5.0
+        }));
         let c = conc(1, 5.0);
-        assert!(c.concretizes(&Predicate { feature: 1, threshold: 5.0 }));
-        assert!(!c.concretizes(&Predicate { feature: 1, threshold: 5.1 }));
+        assert!(c.concretizes(&Predicate {
+            feature: 1,
+            threshold: 5.0
+        }));
+        assert!(!c.concretizes(&Predicate {
+            feature: 1,
+            threshold: 5.1
+        }));
     }
 
     #[test]
@@ -343,8 +376,7 @@ mod tests {
         // Concrete restriction by any τ ∈ [3, 8) must be covered.
         for tau in [3.0, 4.5, 5.5, 7.5] {
             let conc_r = Subset::full(&ds).filter(&ds, |row| ds.value(row, 0) <= tau);
-            let abs_conc = a
-                .restrict_where(&ds, |row| ds.value(row, 0) <= tau);
+            let abs_conc = a.restrict_where(&ds, |row| ds.value(row, 0) <= tau);
             let _ = abs_conc;
             assert!(
                 r.concretizes(&conc_r) || conc_r.len() + a.n() < r.len(),
@@ -385,8 +417,14 @@ mod tests {
     #[test]
     fn predset_concretizes() {
         let mut s = PredSet::from_preds([sym(0, 3.0, 7.0)]);
-        assert!(s.concretizes(Some(&Predicate { feature: 0, threshold: 5.0 })));
-        assert!(!s.concretizes(Some(&Predicate { feature: 0, threshold: 8.0 })));
+        assert!(s.concretizes(Some(&Predicate {
+            feature: 0,
+            threshold: 5.0
+        })));
+        assert!(!s.concretizes(Some(&Predicate {
+            feature: 0,
+            threshold: 8.0
+        })));
         assert!(!s.concretizes(None));
         s.insert_diamond();
         assert!(s.concretizes(None));
@@ -406,11 +444,8 @@ mod tests {
             let rows: Vec<(Vec<f64>, u16)> = (0..len)
                 .map(|_| (vec![rng.random_range(0..10) as f64], rng.random_range(0..2)))
                 .collect();
-            let ds = antidote_data::Dataset::from_rows(
-                antidote_data::Schema::real(1, 2),
-                &rows,
-            )
-            .unwrap();
+            let ds = antidote_data::Dataset::from_rows(antidote_data::Schema::real(1, 2), &rows)
+                .unwrap();
             let n = rng.random_range(0..=len);
             let a = AbstractSet::full(&ds, n);
             // Sample T' ∈ γ.
@@ -434,7 +469,10 @@ mod tests {
             let (lo, hi) = (values[pair], values[pair + 1]);
             let rho = sym(0, lo, hi);
             let tau = lo + rng.random::<f64>() * (hi - lo) * 0.999;
-            let phi = Predicate { feature: 0, threshold: tau };
+            let phi = Predicate {
+                feature: 0,
+                threshold: tau,
+            };
             assert!(rho.concretizes(&phi));
             let conc_pos = t_prime.filter(&ds, |r| phi.eval_row(&ds, r));
             let conc_neg = t_prime.filter(&ds, |r| !phi.eval_row(&ds, r));
@@ -451,7 +489,12 @@ mod tests {
 
     #[test]
     fn ordering_is_total_and_deterministic() {
-        let mut v = vec![sym(1, 0.0, 1.0), conc(1, 0.5), conc(0, 9.0), sym(0, 2.0, 3.0)];
+        let mut v = [
+            sym(1, 0.0, 1.0),
+            conc(1, 0.5),
+            conc(0, 9.0),
+            sym(0, 2.0, 3.0),
+        ];
         v.sort();
         assert_eq!(v[0].feature(), 0);
         assert_eq!(v[3], sym(1, 0.0, 1.0));

@@ -54,7 +54,10 @@ impl AbstractSet {
     /// The bottom-like element `⟨∅, 0⟩` (identity of ⊔; concretizes to
     /// `{∅}`).
     pub fn empty(n_classes: usize) -> Self {
-        AbstractSet { base: Subset::empty(n_classes), n: 0 }
+        AbstractSet {
+            base: Subset::empty(n_classes),
+            n: 0,
+        }
     }
 
     /// The base set `T`.
@@ -483,7 +486,10 @@ mod tests {
         let k = rng.random_range(2..4usize);
         let rows: Vec<(Vec<f64>, ClassId)> = (0..len)
             .map(|_| {
-                (vec![rng.random_range(0..8) as f64], rng.random_range(0..k) as ClassId)
+                (
+                    vec![rng.random_range(0..8) as f64],
+                    rng.random_range(0..k) as ClassId,
+                )
             })
             .collect();
         let ds = Dataset::from_rows(Schema::real(1, k), &rows).unwrap();

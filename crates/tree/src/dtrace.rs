@@ -49,7 +49,10 @@ pub struct TraceResult {
 /// Panics if `initial` is empty (the concrete semantics is undefined there)
 /// or if `x` has fewer features than the dataset.
 pub fn dtrace(ds: &Dataset, initial: &Subset, x: &[f64], depth: usize) -> TraceResult {
-    assert!(!initial.is_empty(), "DTrace is undefined on an empty training set");
+    assert!(
+        !initial.is_empty(),
+        "DTrace is undefined on an empty training set"
+    );
     assert!(
         x.len() >= ds.n_features(),
         "input has {} features, dataset has {}",
@@ -68,11 +71,19 @@ pub fn dtrace(ds: &Dataset, initial: &Subset, x: &[f64], depth: usize) -> TraceR
         let satisfied = choice.predicate.eval(x);
         // filter(T, φ, x): keep rows that evaluate like x.
         t = t.filter(ds, |r| choice.predicate.eval_row(ds, r) == satisfied);
-        steps.push(TraceStep { predicate: choice.predicate, satisfied });
+        steps.push(TraceStep {
+            predicate: choice.predicate,
+            satisfied,
+        });
     }
     let probs = cprob(t.class_counts());
     let label = argmax_label(&probs);
-    TraceResult { label, probs, steps, final_set: t }
+    TraceResult {
+        label,
+        probs,
+        steps,
+        final_set: t,
+    }
 }
 
 /// Convenience wrapper returning only the predicted label.
@@ -106,7 +117,13 @@ mod tests {
         assert_eq!(r.label, 1);
         assert_eq!(r.probs, vec![0.0, 1.0]);
         assert_eq!(r.steps.len(), 1);
-        assert_eq!(r.steps[0].predicate, Predicate { feature: 0, threshold: 10.5 });
+        assert_eq!(
+            r.steps[0].predicate,
+            Predicate {
+                feature: 0,
+                threshold: 10.5
+            }
+        );
         assert!(!r.steps[0].satisfied);
         assert_eq!(r.final_set.len(), 4);
     }

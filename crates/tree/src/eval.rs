@@ -65,10 +65,7 @@ mod tests {
     fn benchmark_accuracies_are_reasonable() {
         // Shape check against Table 1: the UCI-like benchmarks should be
         // learnable to roughly the published accuracy bands at depth ≤ 4.
-        for (bench, floor) in [
-            (Benchmark::Mammographic, 0.70),
-            (Benchmark::Wdbc, 0.85),
-        ] {
+        for (bench, floor) in [(Benchmark::Mammographic, 0.70), (Benchmark::Wdbc, 0.85)] {
             let (train, test) = bench.load(Scale::Small, 0);
             let tree = learn_tree(&train, &Subset::full(&train), 3);
             let acc = accuracy(&tree, &test);

@@ -36,7 +36,12 @@ pub struct ForestConfig {
 
 impl Default for ForestConfig {
     fn default() -> Self {
-        ForestConfig { n_trees: 7, features_per_tree: 8, max_depth: 2, seed: 0 }
+        ForestConfig {
+            n_trees: 7,
+            features_per_tree: 8,
+            max_depth: 2,
+            seed: 0,
+        }
     }
 }
 
@@ -121,7 +126,10 @@ impl Forest {
 ///
 /// Panics if `ds` is empty or `cfg.n_trees` is zero.
 pub fn learn_forest(ds: &Dataset, cfg: &ForestConfig) -> Forest {
-    assert!(!ds.is_empty(), "cannot learn a forest from an empty dataset");
+    assert!(
+        !ds.is_empty(),
+        "cannot learn a forest from an empty dataset"
+    );
     assert!(cfg.n_trees > 0, "a forest needs at least one tree");
     let mut rng = StdRng::seed_from_u64(cfg.seed);
     let per_tree = cfg.features_per_tree.clamp(1, ds.n_features());
@@ -135,7 +143,10 @@ pub fn learn_forest(ds: &Dataset, cfg: &ForestConfig) -> Forest {
         let tree = learn_tree(&projected, &Subset::full(&projected), cfg.max_depth);
         members.push(ForestMember { tree, features });
     }
-    Forest { members, n_classes: ds.n_classes() }
+    Forest {
+        members,
+        n_classes: ds.n_classes(),
+    }
 }
 
 #[cfg(test)]
@@ -148,7 +159,12 @@ mod tests {
         let ds = synth::iris_like(0);
         let forest = learn_forest(
             &ds,
-            &ForestConfig { n_trees: 5, features_per_tree: 2, max_depth: 2, seed: 1 },
+            &ForestConfig {
+                n_trees: 5,
+                features_per_tree: 2,
+                max_depth: 2,
+                seed: 1,
+            },
         );
         assert_eq!(forest.len(), 5);
         assert!(!forest.is_empty());
@@ -164,7 +180,12 @@ mod tests {
     #[test]
     fn forest_is_deterministic_in_seed() {
         let ds = synth::wdbc_like(0);
-        let cfg = ForestConfig { n_trees: 3, features_per_tree: 5, max_depth: 2, seed: 9 };
+        let cfg = ForestConfig {
+            n_trees: 3,
+            features_per_tree: 5,
+            max_depth: 2,
+            seed: 9,
+        };
         assert_eq!(learn_forest(&ds, &cfg), learn_forest(&ds, &cfg));
         let other = ForestConfig { seed: 10, ..cfg };
         assert_ne!(learn_forest(&ds, &cfg), learn_forest(&ds, &other));
@@ -175,7 +196,12 @@ mod tests {
         let ds = synth::wdbc_like(0);
         let forest = learn_forest(
             &ds,
-            &ForestConfig { n_trees: 4, features_per_tree: 3, max_depth: 1, seed: 2 },
+            &ForestConfig {
+                n_trees: 4,
+                features_per_tree: 3,
+                max_depth: 1,
+                seed: 2,
+            },
         );
         for m in forest.members() {
             assert_eq!(m.features.len(), 3);
@@ -193,7 +219,12 @@ mod tests {
         let ds = synth::figure2();
         let forest = learn_forest(
             &ds,
-            &ForestConfig { n_trees: 3, features_per_tree: 99, max_depth: 1, seed: 0 },
+            &ForestConfig {
+                n_trees: 3,
+                features_per_tree: 99,
+                max_depth: 1,
+                seed: 0,
+            },
         );
         assert!(forest.members().iter().all(|m| m.features == vec![0]));
     }
@@ -205,7 +236,12 @@ mod tests {
         let ds = synth::wdbc_like(3);
         let forest = learn_forest(
             &ds,
-            &ForestConfig { n_trees: 9, features_per_tree: 2, max_depth: 2, seed: 4 },
+            &ForestConfig {
+                n_trees: 9,
+                features_per_tree: 2,
+                max_depth: 2,
+                seed: 4,
+            },
         );
         let worst = forest
             .members()

@@ -61,7 +61,10 @@ impl DecisionTree {
 
     /// Number of leaves.
     pub fn n_leaves(&self) -> usize {
-        self.nodes.iter().filter(|n| matches!(n, Node::Leaf { .. })).count()
+        self.nodes
+            .iter()
+            .filter(|n| matches!(n, Node::Leaf { .. }))
+            .count()
     }
 
     /// Number of classes the tree predicts over.
@@ -99,8 +102,16 @@ impl DecisionTree {
         loop {
             match &self.nodes[i] {
                 leaf @ Node::Leaf { .. } => return leaf,
-                Node::Split { predicate, then_child, else_child } => {
-                    i = if predicate.eval(x) { *then_child } else { *else_child };
+                Node::Split {
+                    predicate,
+                    then_child,
+                    else_child,
+                } => {
+                    i = if predicate.eval(x) {
+                        *then_child
+                    } else {
+                        *else_child
+                    };
                 }
             }
         }
@@ -114,8 +125,15 @@ impl DecisionTree {
         let mut stack: Vec<(usize, Vec<(Predicate, bool)>)> = vec![(0, Vec::new())];
         while let Some((i, path)) = stack.pop() {
             match &self.nodes[i] {
-                Node::Leaf { label, .. } => out.push(Trace { predicates: path, label: *label }),
-                Node::Split { predicate, then_child, else_child } => {
+                Node::Leaf { label, .. } => out.push(Trace {
+                    predicates: path,
+                    label: *label,
+                }),
+                Node::Split {
+                    predicate,
+                    then_child,
+                    else_child,
+                } => {
                     let mut then_path = path.clone();
                     then_path.push((*predicate, true));
                     stack.push((*then_child, then_path));
@@ -130,7 +148,11 @@ impl DecisionTree {
 
     /// Maximum number of predicates on any root-to-leaf path.
     pub fn depth(&self) -> usize {
-        self.traces().iter().map(|t| t.predicates.len()).max().unwrap_or(0)
+        self.traces()
+            .iter()
+            .map(|t| t.predicates.len())
+            .max()
+            .unwrap_or(0)
     }
 }
 
@@ -142,8 +164,14 @@ impl DecisionTree {
 ///
 /// Panics if `initial` is empty.
 pub fn learn_tree(ds: &Dataset, initial: &Subset, max_depth: usize) -> DecisionTree {
-    assert!(!initial.is_empty(), "cannot learn from an empty training set");
-    let mut tree = DecisionTree { nodes: Vec::new(), n_classes: ds.n_classes() };
+    assert!(
+        !initial.is_empty(),
+        "cannot learn from an empty training set"
+    );
+    let mut tree = DecisionTree {
+        nodes: Vec::new(),
+        n_classes: ds.n_classes(),
+    };
     build(ds, initial, max_depth, &mut tree);
     tree
 }
@@ -153,7 +181,11 @@ fn build(ds: &Dataset, t: &Subset, depth_left: usize, tree: &mut DecisionTree) -
     let make_leaf = |tree: &mut DecisionTree| {
         let probs = cprob(t.class_counts());
         let label = argmax_label(&probs);
-        tree.nodes.push(Node::Leaf { probs, label, count: t.len() });
+        tree.nodes.push(Node::Leaf {
+            probs,
+            label,
+            count: t.len(),
+        });
         tree.nodes.len() - 1
     };
     if depth_left == 0 || t.is_pure() {
@@ -165,10 +197,18 @@ fn build(ds: &Dataset, t: &Subset, depth_left: usize, tree: &mut DecisionTree) -
     let (yes, no) = t.partition(ds, |r| choice.predicate.eval_row(ds, r));
     // Reserve this node's slot so the root stays at index 0.
     let slot = tree.nodes.len();
-    tree.nodes.push(Node::Leaf { probs: Vec::new(), label: 0, count: 0 });
+    tree.nodes.push(Node::Leaf {
+        probs: Vec::new(),
+        label: 0,
+        count: 0,
+    });
     let then_child = build(ds, &yes, depth_left - 1, tree);
     let else_child = build(ds, &no, depth_left - 1, tree);
-    tree.nodes[slot] = Node::Split { predicate: choice.predicate, then_child, else_child };
+    tree.nodes[slot] = Node::Split {
+        predicate: choice.predicate,
+        then_child,
+        else_child,
+    };
     slot
 }
 
@@ -201,9 +241,27 @@ mod tests {
         traces.sort_by_key(|t| t.label);
         assert_eq!(traces.len(), 2);
         assert_eq!(traces[0].label, 0);
-        assert_eq!(traces[0].predicates, vec![(Predicate { feature: 0, threshold: 10.5 }, true)]);
+        assert_eq!(
+            traces[0].predicates,
+            vec![(
+                Predicate {
+                    feature: 0,
+                    threshold: 10.5
+                },
+                true
+            )]
+        );
         assert_eq!(traces[1].label, 1);
-        assert_eq!(traces[1].predicates, vec![(Predicate { feature: 0, threshold: 10.5 }, false)]);
+        assert_eq!(
+            traces[1].predicates,
+            vec![(
+                Predicate {
+                    feature: 0,
+                    threshold: 10.5
+                },
+                false
+            )]
+        );
     }
 
     #[test]

@@ -24,7 +24,10 @@ pub struct Predicate {
 impl Predicate {
     /// The canonical boolean-feature test `x_f ≤ 0.5` (true ⇔ the bit is 0).
     pub fn boolean(feature: usize) -> Self {
-        Predicate { feature, threshold: 0.5 }
+        Predicate {
+            feature,
+            threshold: 0.5,
+        }
     }
 
     /// Evaluates the predicate on a feature vector.
@@ -99,7 +102,10 @@ pub fn candidate_predicates(ds: &Dataset, subset: &Subset) -> Vec<Predicate> {
                 values.sort_by(f64::total_cmp);
                 values.dedup();
                 for pair in values.windows(2) {
-                    out.push(Predicate { feature: f, threshold: midpoint(pair[0], pair[1]) });
+                    out.push(Predicate {
+                        feature: f,
+                        threshold: midpoint(pair[0], pair[1]),
+                    });
                 }
             }
         }
@@ -121,14 +127,29 @@ mod tests {
 
     #[test]
     fn eval_and_order() {
-        let p = Predicate { feature: 1, threshold: 3.0 };
+        let p = Predicate {
+            feature: 1,
+            threshold: 3.0,
+        };
         assert!(p.eval(&[0.0, 3.0]));
         assert!(!p.eval(&[0.0, 3.5]));
-        let q = Predicate { feature: 1, threshold: 4.0 };
-        let r = Predicate { feature: 0, threshold: 100.0 };
+        let q = Predicate {
+            feature: 1,
+            threshold: 4.0,
+        };
+        let r = Predicate {
+            feature: 0,
+            threshold: 100.0,
+        };
         assert!(p < q);
         assert!(r < p);
-        assert_eq!(p, Predicate { feature: 1, threshold: 3.0 });
+        assert_eq!(
+            p,
+            Predicate {
+                feature: 1,
+                threshold: 3.0
+            }
+        );
     }
 
     #[test]
@@ -187,7 +208,10 @@ mod tests {
 
     #[test]
     fn display() {
-        let p = Predicate { feature: 3, threshold: 2.5 };
+        let p = Predicate {
+            feature: 3,
+            threshold: 2.5,
+        };
         assert_eq!(p.to_string(), "x3 <= 2.5");
     }
 

@@ -79,17 +79,18 @@ pub fn sweep_feature<F>(ds: &Dataset, subset: &Subset, feature: usize, mut visit
 where
     F: FnMut(f64, &[u32], usize),
 {
-    let mut rows: Vec<(f64, ClassId)> =
-        subset.iter().map(|r| (ds.value(r, feature), ds.label(r))).collect();
+    let mut rows: Vec<(f64, ClassId)> = subset
+        .iter()
+        .map(|r| (ds.value(r, feature), ds.label(r)))
+        .collect();
     rows.sort_by(|a, b| a.0.total_cmp(&b.0));
     let mut left_counts = vec![0u32; subset.n_classes()];
-    let mut left_len = 0usize;
     for i in 0..rows.len() {
+        // `i` rows strictly precede threshold candidate `i`.
         if i > 0 && rows[i].0 > rows[i - 1].0 {
-            visit(midpoint(rows[i - 1].0, rows[i].0), &left_counts, left_len);
+            visit(midpoint(rows[i - 1].0, rows[i].0), &left_counts, i);
         }
         left_counts[rows[i].1 as usize] += 1;
-        left_len += 1;
     }
 }
 
@@ -111,12 +112,13 @@ pub fn best_split(ds: &Dataset, subset: &Subset) -> Option<SplitChoice> {
             }
             let score = weighted_gini_with_len(left, left_len)
                 + weighted_gini_with_len(&right, total_len - left_len);
-            let cand = SplitChoice { predicate: Predicate { feature, threshold }, score };
+            let cand = SplitChoice {
+                predicate: Predicate { feature, threshold },
+                score,
+            };
             let better = match &best {
                 None => true,
-                Some(b) => {
-                    score < b.score || (score == b.score && cand.predicate < b.predicate)
-                }
+                Some(b) => score < b.score || (score == b.score && cand.predicate < b.predicate),
             };
             if better {
                 best = Some(cand);
@@ -183,14 +185,20 @@ mod tests {
         // score(T, x ≤ 10) = 9·ent(⟨7/9,2/9⟩) + 4·ent(⟨0,1⟩) = 28/9 ≈ 3.1.
         let ds = synth::figure2();
         let full = Subset::full(&ds);
-        let p10 = Predicate { feature: 0, threshold: 10.5 };
+        let p10 = Predicate {
+            feature: 0,
+            threshold: 10.5,
+        };
         let s10 = score_split(&ds, &full, &p10);
         assert!((s10 - 28.0 / 9.0).abs() < EPS);
         assert!((s10 - 3.1).abs() < 0.02);
         // x ≤ 11 generates a more diverse split and scores strictly worse.
         // (The paper's prose prints "∼3.2"; the formula as defined gives
         // 10·ent(⟨7/10,3/10⟩) = 4.2 — either way strictly worse than 28/9.)
-        let p11 = Predicate { feature: 0, threshold: 11.5 };
+        let p11 = Predicate {
+            feature: 0,
+            threshold: 11.5,
+        };
         let s11 = score_split(&ds, &full, &p11);
         assert!((s11 - 4.2).abs() < EPS);
         assert!(s11 > s10);
@@ -201,7 +209,13 @@ mod tests {
         let ds = synth::figure2();
         let full = Subset::full(&ds);
         let choice = best_split(&ds, &full).unwrap();
-        assert_eq!(choice.predicate, Predicate { feature: 0, threshold: 10.5 });
+        assert_eq!(
+            choice.predicate,
+            Predicate {
+                feature: 0,
+                threshold: 10.5
+            }
+        );
         assert!((choice.score - 28.0 / 9.0).abs() < EPS);
     }
 
@@ -213,9 +227,14 @@ mod tests {
         let sweep = best_split(&ds, &full).unwrap();
         let brute = crate::predicate::candidate_predicates(&ds, &full)
             .into_iter()
-            .map(|p| SplitChoice { predicate: p, score: score_split(&ds, &full, &p) })
+            .map(|p| SplitChoice {
+                predicate: p,
+                score: score_split(&ds, &full, &p),
+            })
             .min_by(|a, b| {
-                a.score.total_cmp(&b.score).then_with(|| a.predicate.cmp(&b.predicate))
+                a.score
+                    .total_cmp(&b.score)
+                    .then_with(|| a.predicate.cmp(&b.predicate))
             })
             .unwrap();
         assert_eq!(sweep.predicate, brute.predicate);

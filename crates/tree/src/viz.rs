@@ -29,7 +29,11 @@ fn render_node(
     out: &mut String,
 ) {
     match &tree.nodes()[idx] {
-        Node::Leaf { probs, label, count } => {
+        Node::Leaf {
+            probs,
+            label,
+            count,
+        } => {
             let _ = writeln!(
                 out,
                 "{} (p={:.2}, {count} rows)",
@@ -37,11 +41,14 @@ fn render_node(
                 probs.get(*label as usize).copied().unwrap_or(f64::NAN),
             );
         }
-        Node::Split { predicate, then_child, else_child } => {
+        Node::Split {
+            predicate,
+            then_child,
+            else_child,
+        } => {
             let name = &schema.features()[predicate.feature].name;
             let _ = writeln!(out, "{name} <= {}", predicate.threshold);
-            for (last, (tag, child)) in
-                [(false, ("yes", *then_child)), (true, ("no", *else_child))]
+            for (last, (tag, child)) in [(false, ("yes", *then_child)), (true, ("no", *else_child))]
             {
                 for &bar in prefix.iter() {
                     out.push_str(if bar { "│  " } else { "   " });
@@ -62,7 +69,11 @@ pub fn render_dot(tree: &DecisionTree, schema: &Schema) -> String {
     let mut out = String::from("digraph decision_tree {\n  node [shape=box];\n");
     for (i, node) in tree.nodes().iter().enumerate() {
         match node {
-            Node::Leaf { probs, label, count } => {
+            Node::Leaf {
+                probs,
+                label,
+                count,
+            } => {
                 let _ = writeln!(
                     out,
                     "  n{i} [label=\"{} ({:.2}, {count})\", style=filled, fillcolor=lightgray];",
@@ -70,7 +81,11 @@ pub fn render_dot(tree: &DecisionTree, schema: &Schema) -> String {
                     probs.get(*label as usize).copied().unwrap_or(f64::NAN),
                 );
             }
-            Node::Split { predicate, then_child, else_child } => {
+            Node::Split {
+                predicate,
+                then_child,
+                else_child,
+            } => {
                 let name = &schema.features()[predicate.feature].name;
                 let _ = writeln!(out, "  n{i} [label=\"{name} <= {}\"];", predicate.threshold);
                 let _ = writeln!(out, "  n{i} -> n{then_child} [label=\"yes\"];");

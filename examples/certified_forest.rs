@@ -19,7 +19,12 @@ use antidote::tree::viz::render_text;
 
 fn main() {
     let (train, test) = Benchmark::Wdbc.load(Scale::Small, 0);
-    let fcfg = ForestConfig { n_trees: 7, features_per_tree: 6, max_depth: 1, seed: 0 };
+    let fcfg = ForestConfig {
+        n_trees: 7,
+        features_per_tree: 6,
+        max_depth: 1,
+        seed: 0,
+    };
     let forest = learn_forest(&train, &fcfg);
     println!(
         "random-subspace forest: {} trees x depth {} over 6-of-30 features; accuracy {:.1}%",
@@ -33,10 +38,16 @@ fn main() {
     println!(
         "\nfirst member (features {:?}):\n{}",
         member.features,
-        render_text(&member.tree, train.select_features(&member.features).schema())
+        render_text(
+            &member.tree,
+            train.select_features(&member.features).schema()
+        )
     );
 
-    let cfg = EnsembleConfig { depth: fcfg.max_depth, ..EnsembleConfig::default() };
+    let cfg = EnsembleConfig {
+        depth: fcfg.max_depth,
+        ..EnsembleConfig::default()
+    };
     let patients = 10.min(test.len());
     for n in [1usize, 2, 4, 8] {
         let mut robust = 0;

@@ -32,7 +32,10 @@ fn main() {
 
     let mut attacked = 0;
     let mut sandwich_ok = true;
-    println!("\n{:>8} {:>10} {:>14} {:>18}", "patient", "label", "attack", "certified_at");
+    println!(
+        "\n{:>8} {:>10} {:>14} {:>18}",
+        "patient", "label", "attack", "certified_at"
+    );
     for i in 0..patients as u32 {
         let x = test.row_values(i);
         let attack = greedy_attack(&train, &x, depth, budget);
@@ -70,6 +73,10 @@ fn main() {
     );
     println!(
         "soundness sandwich (attack success at k ⇒ no certificate at n >= k): {}",
-        if sandwich_ok { "holds" } else { "VIOLATED — this would be a bug" }
+        if sandwich_ok {
+            "holds"
+        } else {
+            "VIOLATED — this would be a bug"
+        }
     );
 }

@@ -23,7 +23,13 @@ fn main() {
         let path: Vec<String> = trace
             .predicates
             .iter()
-            .map(|(p, pol)| if *pol { format!("{p}") } else { format!("!({p})") })
+            .map(|(p, pol)| {
+                if *pol {
+                    format!("{p}")
+                } else {
+                    format!("!({p})")
+                }
+            })
             .collect();
         println!(
             "  trace [{}] -> {}",
@@ -51,7 +57,9 @@ fn main() {
         7,
     );
     println!("\nTwo-class blobs, 200 training rows. Certifying x = 0.5:");
-    let certifier = Certifier::new(&blobs).depth(1).domain(DomainKind::Disjuncts);
+    let certifier = Certifier::new(&blobs)
+        .depth(1)
+        .domain(DomainKind::Disjuncts);
     for n in [1usize, 4, 16, 32, 64] {
         let out = certifier.certify(&[0.5], n);
         println!(

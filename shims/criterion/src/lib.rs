@@ -1,0 +1,197 @@
+//! Offline stand-in for the subset of `criterion` 0.5 used by this
+//! workspace's benches: `Criterion`, benchmark groups, `Bencher::iter`,
+//! and the `criterion_group!`/`criterion_main!` macros. Each benchmark
+//! is warmed up briefly, then timed for a bounded number of iterations,
+//! and the mean wall-clock per iteration is printed. There is no
+//! statistical analysis, HTML report, or baseline comparison. See
+//! `shims/README.md`.
+
+use std::time::{Duration, Instant};
+
+/// Top-level benchmark driver (subset of the real struct).
+#[derive(Debug, Clone)]
+pub struct Criterion {
+    sample_size: usize,
+    warm_up_time: Duration,
+    measurement_time: Duration,
+}
+
+impl Default for Criterion {
+    fn default() -> Self {
+        Criterion {
+            sample_size: 10,
+            warm_up_time: Duration::from_millis(100),
+            measurement_time: Duration::from_millis(500),
+        }
+    }
+}
+
+impl Criterion {
+    /// Sets the number of timed samples per benchmark.
+    pub fn sample_size(mut self, n: usize) -> Self {
+        self.sample_size = n.max(1);
+        self
+    }
+
+    /// Sets the warm-up duration.
+    pub fn warm_up_time(mut self, d: Duration) -> Self {
+        self.warm_up_time = d;
+        self
+    }
+
+    /// Sets the measurement budget.
+    pub fn measurement_time(mut self, d: Duration) -> Self {
+        self.measurement_time = d;
+        self
+    }
+
+    /// Runs one standalone benchmark.
+    pub fn bench_function<F: FnMut(&mut Bencher)>(&mut self, name: impl std::fmt::Display, f: F) {
+        run_one(self.clone(), name.to_string(), f);
+    }
+
+    /// Opens a named group of benchmarks.
+    pub fn benchmark_group(&mut self, name: impl Into<String>) -> BenchmarkGroup {
+        BenchmarkGroup {
+            name: name.into(),
+            config: self.clone(),
+        }
+    }
+}
+
+/// A named group of related benchmarks.
+#[derive(Debug)]
+pub struct BenchmarkGroup {
+    name: String,
+    config: Criterion,
+}
+
+impl BenchmarkGroup {
+    /// Sets the number of timed samples for benchmarks in this group.
+    pub fn sample_size(&mut self, n: usize) -> &mut Self {
+        self.config.sample_size = n.max(1);
+        self
+    }
+
+    /// Sets the measurement budget for benchmarks in this group.
+    pub fn measurement_time(&mut self, d: Duration) -> &mut Self {
+        self.config.measurement_time = d;
+        self
+    }
+
+    /// Runs one benchmark within the group.
+    pub fn bench_function<F: FnMut(&mut Bencher)>(
+        &mut self,
+        name: impl std::fmt::Display,
+        f: F,
+    ) -> &mut Self {
+        run_one(self.config.clone(), format!("{}/{name}", self.name), f);
+        self
+    }
+
+    /// Ends the group (no-op in the shim; kept for API parity).
+    pub fn finish(self) {}
+}
+
+/// Passed to the benchmark closure; its [`iter`](Bencher::iter) method
+/// times the routine.
+#[derive(Debug)]
+pub struct Bencher {
+    sample_size: usize,
+    warm_up_time: Duration,
+    measurement_time: Duration,
+    result: Option<(u64, Duration)>, // (iterations, total elapsed)
+}
+
+impl Bencher {
+    /// Times `routine`, first warming up, then measuring.
+    pub fn iter<R, F: FnMut() -> R>(&mut self, mut routine: F) {
+        // Warm-up: run until the warm-up budget elapses (at least once).
+        let warm_start = Instant::now();
+        let mut warm_iters: u64 = 0;
+        loop {
+            std::hint::black_box(routine());
+            warm_iters += 1;
+            if warm_start.elapsed() >= self.warm_up_time {
+                break;
+            }
+        }
+        // Estimate per-iteration cost to bound the measured batch.
+        let per_iter = warm_start.elapsed() / warm_iters as u32;
+        let budget_iters = if per_iter.is_zero() {
+            self.sample_size as u64
+        } else {
+            (self.measurement_time.as_nanos() / per_iter.as_nanos().max(1)).max(1) as u64
+        };
+        let iters = budget_iters.min(self.sample_size as u64 * 16).max(1);
+        let start = Instant::now();
+        for _ in 0..iters {
+            std::hint::black_box(routine());
+        }
+        self.result = Some((iters, start.elapsed()));
+    }
+}
+
+fn run_one<F: FnMut(&mut Bencher)>(config: Criterion, name: String, mut f: F) {
+    let mut b = Bencher {
+        sample_size: config.sample_size,
+        warm_up_time: config.warm_up_time,
+        measurement_time: config.measurement_time,
+        result: None,
+    };
+    f(&mut b);
+    match b.result {
+        Some((iters, total)) => {
+            let mean = total / iters.max(1) as u32;
+            println!("{name:<60} {mean:>12.2?}/iter  ({iters} iterations)");
+        }
+        None => println!("{name:<60} (no measurement: Bencher::iter never called)"),
+    }
+}
+
+/// Declares a group of benchmark targets (both the plain and the
+/// `name/config/targets` forms of the real macro).
+#[macro_export]
+macro_rules! criterion_group {
+    (name = $name:ident; config = $config:expr; targets = $($target:path),+ $(,)?) => {
+        pub fn $name() {
+            let mut criterion = $config;
+            $( $target(&mut criterion); )+
+        }
+    };
+    ($name:ident, $($target:path),+ $(,)?) => {
+        $crate::criterion_group! {
+            name = $name;
+            config = $crate::Criterion::default();
+            targets = $($target),+
+        }
+    };
+}
+
+/// Generates `main` running the given groups.
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            $( $group(); )+
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn bench_function_records_a_measurement() {
+        let mut c = Criterion::default()
+            .sample_size(5)
+            .warm_up_time(Duration::from_millis(1))
+            .measurement_time(Duration::from_millis(5));
+        c.bench_function("shim/self_test", |b| b.iter(|| (0..100u64).sum::<u64>()));
+        let mut g = c.benchmark_group("group");
+        g.sample_size(3).measurement_time(Duration::from_millis(2));
+        g.bench_function("inner", |b| b.iter(|| 1 + 1));
+        g.finish();
+    }
+}

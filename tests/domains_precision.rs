@@ -39,8 +39,10 @@ fn disjuncts_prove_everything_box_proves() {
         for depth in 1..=2 {
             for n in [1usize, 4, 8, 16] {
                 for x in probes(8.0) {
-                    let box_out =
-                        Certifier::new(&ds).depth(depth).domain(DomainKind::Box).certify(&x, n);
+                    let box_out = Certifier::new(&ds)
+                        .depth(depth)
+                        .domain(DomainKind::Box)
+                        .certify(&x, n);
                     if box_out.is_robust() {
                         let dis = Certifier::new(&ds)
                             .depth(depth)
@@ -66,8 +68,11 @@ fn hybrid_interpolates_between_box_and_disjuncts() {
     let ds = blobs(8.0, 60, 1);
     for n in [1usize, 4, 8] {
         for x in probes(8.0) {
-            let box_ok =
-                Certifier::new(&ds).depth(2).domain(DomainKind::Box).certify(&x, n).is_robust();
+            let box_ok = Certifier::new(&ds)
+                .depth(2)
+                .domain(DomainKind::Box)
+                .certify(&x, n)
+                .is_robust();
             let dis_ok = Certifier::new(&ds)
                 .depth(2)
                 .domain(DomainKind::Disjuncts)
@@ -80,7 +85,10 @@ fn hybrid_interpolates_between_box_and_disjuncts() {
                     .certify(&x, n)
                     .is_robust();
                 if box_ok {
-                    assert!(hy, "hybrid({k}) lost a Box-provable instance (n {n}, x {x:?})");
+                    assert!(
+                        hy,
+                        "hybrid({k}) lost a Box-provable instance (n {n}, x {x:?})"
+                    );
                 }
                 if k >= 1 << 20 {
                     assert_eq!(
@@ -120,7 +128,10 @@ fn optimal_transformer_is_at_least_as_strong() {
         }
     }
     assert!(opt_proven >= nat_proven);
-    assert!(opt_proven > 0, "the comparison is vacuous if nothing proves");
+    assert!(
+        opt_proven > 0,
+        "the comparison is vacuous if nothing proves"
+    );
 }
 
 #[test]

@@ -17,11 +17,17 @@ const EPS: f64 = 1e-9;
 fn example_3_4_scores() {
     let ds = synth::figure2();
     let full = Subset::full(&ds);
-    let phi = Predicate { feature: 0, threshold: 10.5 };
+    let phi = Predicate {
+        feature: 0,
+        threshold: 10.5,
+    };
     let (le, gt) = full.partition(&ds, |r| phi.eval_row(&ds, r));
     assert_eq!(le.len(), 9);
     assert_eq!(gt.len(), 4);
-    assert_eq!(antidote::tree::cprob(le.class_counts()), vec![7.0 / 9.0, 2.0 / 9.0]);
+    assert_eq!(
+        antidote::tree::cprob(le.class_counts()),
+        vec![7.0 / 9.0, 2.0 / 9.0]
+    );
     assert_eq!(antidote::tree::cprob(gt.class_counts()), vec![0.0, 1.0]);
     assert!((gini(le.class_counts()) - 0.35).abs() < 0.01);
     assert_eq!(gini(gt.class_counts()), 0.0);
@@ -88,11 +94,12 @@ fn example_5_1_candidate_thresholds() {
     let preds = candidate_predicates(&ds, &Subset::full(&ds));
     let taus: Vec<f64> = preds.iter().map(|p| p.threshold).collect();
     // τ ∈ {1/2, 3/2, 5/2, 7/2, 11/2, 15/2, 17/2, 19/2, 21/2, 23/2, 25/2, 27/2}.
-    let expected: Vec<f64> =
-        [1.0, 3.0, 5.0, 7.0, 11.0, 15.0, 17.0, 19.0, 21.0, 23.0, 25.0, 27.0]
-            .iter()
-            .map(|v| v / 2.0)
-            .collect();
+    let expected: Vec<f64> = [
+        1.0, 3.0, 5.0, 7.0, 11.0, 15.0, 17.0, 19.0, 21.0, 23.0, 25.0, 27.0,
+    ]
+    .iter()
+    .map(|v| v / 2.0)
+    .collect();
     assert_eq!(taus, expected);
 }
 
@@ -104,7 +111,10 @@ fn example_5_2_symbolic_coverage() {
     let ds = synth::figure2();
     let a = AbstractSet::full(&ds, 1);
     let cands = antidote::core::score::scored_candidates(&ds, &a, CprobTransformer::Optimal);
-    let tau5 = Predicate { feature: 0, threshold: 5.0 };
+    let tau5 = Predicate {
+        feature: 0,
+        threshold: 5.0,
+    };
     assert!(
         cands.iter().any(|c| c.pred.concretizes(&tau5)),
         "x ≤ 5 must be covered by some symbolic candidate"
@@ -139,9 +149,7 @@ fn corollary_4_12_dominance() {
     let ds = synth::figure2();
     let left = AbstractSet::new(Subset::from_indices(&ds, (0..9).collect()), 2);
     assert_eq!(
-        antidote::core::verdict::dominant_class(
-            &left.cprob_intervals(CprobTransformer::Optimal)
-        ),
+        antidote::core::verdict::dominant_class(&left.cprob_intervals(CprobTransformer::Optimal)),
         Some(0)
     );
 }
@@ -175,7 +183,13 @@ fn section_2_best_split() {
     let ds = synth::figure2();
     let full = Subset::full(&ds);
     let best = best_split(&ds, &full).unwrap();
-    assert_eq!(best.predicate, Predicate { feature: 0, threshold: 10.5 });
+    assert_eq!(
+        best.predicate,
+        Predicate {
+            feature: 0,
+            threshold: 10.5
+        }
+    );
     for p in candidate_predicates(&ds, &full) {
         if p != best.predicate {
             assert!(score_split(&ds, &full, &p) > best.score - EPS);

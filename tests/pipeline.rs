@@ -22,19 +22,16 @@ fn table1_accuracy_bands() {
         let (train, test) = bench.load(Scale::Small, 0);
         let tree = learn_tree(&train, &Subset::full(&train), 2);
         let acc = accuracy(&tree, &test);
-        assert!(acc >= floor, "{bench}: depth-2 accuracy {acc:.3} below {floor}");
+        assert!(
+            acc >= floor,
+            "{bench}: depth-2 accuracy {acc:.3} below {floor}"
+        );
     }
     // MNIST-like variants with a reduced training set for test speed.
-    let train = antidote::data::synth::mnist17_like(
-        antidote::data::synth::MnistVariant::Binary,
-        600,
-        0,
-    );
-    let test = antidote::data::synth::mnist17_like(
-        antidote::data::synth::MnistVariant::Binary,
-        200,
-        1,
-    );
+    let train =
+        antidote::data::synth::mnist17_like(antidote::data::synth::MnistVariant::Binary, 600, 0);
+    let test =
+        antidote::data::synth::mnist17_like(antidote::data::synth::MnistVariant::Binary, 200, 1);
     let tree = learn_tree(&train, &Subset::full(&train), 2);
     assert!(accuracy(&tree, &test) >= 0.93);
 }
@@ -63,19 +60,27 @@ fn iris_footnote_10_quirk() {
         .iter()
         .find(|p| p[0] < 0.05)
         .expect("a non-Setosa leaf exists");
-    assert!((mixed[1] - mixed[2]).abs() < 0.15, "leaf should be a near-even split: {mixed:?}");
+    assert!(
+        (mixed[1] - mixed[2]).abs() < 0.15,
+        "leaf should be a near-even split: {mixed:?}"
+    );
 
     // Certification at depth 2 proves strictly more test inputs than at
     // depth 1 for a small budget.
     let (train, test) = Benchmark::Iris.load(Scale::Small, 0);
     let count = |depth: usize| {
-        let c = Certifier::new(&train).depth(depth).domain(DomainKind::Disjuncts);
+        let c = Certifier::new(&train)
+            .depth(depth)
+            .domain(DomainKind::Disjuncts);
         (0..test.len() as u32)
             .filter(|&i| c.certify(&test.row_values(i), 1).is_robust())
             .count()
     };
     let (d1, d2) = (count(1), count(2));
-    assert!(d2 > d1, "depth 2 ({d2}) should certify more than depth 1 ({d1})");
+    assert!(
+        d2 > d1,
+        "depth 2 ({d2}) should certify more than depth 1 ({d1})"
+    );
 }
 
 /// An end-to-end sweep over a real benchmark produces the monotone ladder
@@ -92,7 +97,10 @@ fn sweep_over_mammographic() {
     };
     let pts = sweep(&train, &xs, &cfg);
     assert!(!pts.is_empty());
-    assert!(pts[0].verified > 0, "some mammographic input should certify at n = 1");
+    assert!(
+        pts[0].verified > 0,
+        "some mammographic input should certify at n = 1"
+    );
     for w in pts.windows(2) {
         assert!(w[0].n < w[1].n && w[0].verified >= w[1].verified);
     }
@@ -132,7 +140,9 @@ fn csv_round_trip_preserves_verdicts() {
 fn pipeline_is_deterministic() {
     let (train, test) = Benchmark::Iris.load(Scale::Small, 7);
     let run = || {
-        let c = Certifier::new(&train).depth(2).domain(DomainKind::Disjuncts);
+        let c = Certifier::new(&train)
+            .depth(2)
+            .domain(DomainKind::Disjuncts);
         (0..test.len() as u32)
             .map(|i| c.certify(&test.row_values(i), 2).verdict)
             .collect::<Vec<_>>()

@@ -12,7 +12,8 @@
 //!    a Robust verdict);
 //! 3. the greedy attack can never break a certified input.
 
-use antidote::core::learner::{run_abstract, DomainKind, Limits};
+use antidote::core::engine::ExecContext;
+use antidote::core::learner::{run_abstract, DomainKind};
 use antidote::data::{ClassId, Dataset, Schema, Subset};
 use antidote::domains::{AbstractSet, CprobTransformer};
 use antidote::prelude::*;
@@ -50,8 +51,11 @@ fn all_concretizations(len: usize, n: usize) -> Vec<Vec<u32>> {
     out
 }
 
-const DOMAINS: [DomainKind; 3] =
-    [DomainKind::Box, DomainKind::Disjuncts, DomainKind::Hybrid { max_disjuncts: 3 }];
+const DOMAINS: [DomainKind; 3] = [
+    DomainKind::Box,
+    DomainKind::Disjuncts,
+    DomainKind::Hybrid { max_disjuncts: 3 },
+];
 
 /// Theorem 4.11: for all T' ∈ γ(⟨T,n⟩), the final concrete fragment of
 /// DTrace(T', x) lies in γ of some terminal abstract state.
@@ -62,8 +66,9 @@ fn theorem_4_11_terminal_coverage() {
         let ds = random_dataset(&mut rng);
         let n = rng.random_range(0..ds.len());
         let depth = rng.random_range(0..=3usize);
-        let x: Vec<f64> =
-            (0..ds.n_features()).map(|_| rng.random_range(0..5) as f64).collect();
+        let x: Vec<f64> = (0..ds.n_features())
+            .map(|_| rng.random_range(0..5) as f64)
+            .collect();
         for domain in DOMAINS {
             let out = run_abstract(
                 &ds,
@@ -72,14 +77,13 @@ fn theorem_4_11_terminal_coverage() {
                 depth,
                 domain,
                 CprobTransformer::Optimal,
-                Limits::default(),
+                &ExecContext::sequential(),
             );
             assert!(out.aborted.is_none());
             for kept in all_concretizations(ds.len(), n) {
                 let t_prime = Subset::from_indices(&ds, kept);
                 let conc = dtrace(&ds, &t_prime, &x, depth);
-                let covered =
-                    out.terminals.iter().any(|t| t.concretizes(&conc.final_set));
+                let covered = out.terminals.iter().any(|t| t.concretizes(&conc.final_set));
                 assert!(
                     covered,
                     "trial {trial} {domain:?}: concrete final fragment {:?} \
@@ -101,11 +105,15 @@ fn robust_verdicts_match_enumeration() {
         let ds = random_dataset(&mut rng);
         let n = rng.random_range(0..ds.len());
         let depth = rng.random_range(0..=3usize);
-        let x: Vec<f64> =
-            (0..ds.n_features()).map(|_| rng.random_range(0..5) as f64).collect();
+        let x: Vec<f64> = (0..ds.n_features())
+            .map(|_| rng.random_range(0..5) as f64)
+            .collect();
         let truth = enumerate_robustness(&ds, &x, depth, n, 1 << 22);
         for domain in DOMAINS {
-            let out = Certifier::new(&ds).depth(depth).domain(domain).certify(&x, n);
+            let out = Certifier::new(&ds)
+                .depth(depth)
+                .domain(domain)
+                .certify(&x, n);
             if out.is_robust() {
                 proven += 1;
                 assert!(
@@ -119,7 +127,10 @@ fn robust_verdicts_match_enumeration() {
     }
     // The prover must actually prove something across 450 attempts,
     // otherwise this test is vacuous.
-    assert!(proven > 50, "only {proven} robust verdicts; prover too weak");
+    assert!(
+        proven > 50,
+        "only {proven} robust verdicts; prover too weak"
+    );
 }
 
 /// The greedy attack is a concrete counterexample generator: it can never
@@ -131,13 +142,16 @@ fn attacks_never_break_certificates() {
         let ds = random_dataset(&mut rng);
         let n = rng.random_range(1..ds.len());
         let depth = rng.random_range(1..=3usize);
-        let x: Vec<f64> =
-            (0..ds.n_features()).map(|_| rng.random_range(0..5) as f64).collect();
+        let x: Vec<f64> = (0..ds.n_features())
+            .map(|_| rng.random_range(0..5) as f64)
+            .collect();
         let attack = greedy_attack(&ds, &x, depth, n);
         if attack.succeeded() {
             for domain in DOMAINS {
-                let out =
-                    Certifier::new(&ds).depth(depth).domain(domain).certify(&x, attack.removals());
+                let out = Certifier::new(&ds)
+                    .depth(depth)
+                    .domain(domain)
+                    .certify(&x, attack.removals());
                 assert!(
                     !out.is_robust(),
                     "{domain:?} certified n={} but attack removed {:?}",
@@ -155,7 +169,6 @@ fn attacks_never_break_certificates() {
 fn flip_verdicts_match_flip_enumeration() {
     use antidote::baselines::enumerate_flip_robustness;
     use antidote::core::flip::certify_label_flips;
-    use antidote::core::learner::Limits as FlipLimits;
 
     let mut rng = StdRng::seed_from_u64(415);
     let mut proven = 0usize;
@@ -163,9 +176,10 @@ fn flip_verdicts_match_flip_enumeration() {
         let ds = random_dataset(&mut rng);
         let n = rng.random_range(0..=2usize.min(ds.len()));
         let depth = rng.random_range(0..=3usize);
-        let x: Vec<f64> =
-            (0..ds.n_features()).map(|_| rng.random_range(0..5) as f64).collect();
-        let out = certify_label_flips(&ds, &x, depth, n, FlipLimits::default());
+        let x: Vec<f64> = (0..ds.n_features())
+            .map(|_| rng.random_range(0..5) as f64)
+            .collect();
+        let out = certify_label_flips(&ds, &x, depth, n, &ExecContext::sequential());
         if out.is_robust() {
             proven += 1;
             let truth = enumerate_flip_robustness(&ds, &x, depth, n, 1 << 22);
@@ -177,7 +191,10 @@ fn flip_verdicts_match_flip_enumeration() {
             );
         }
     }
-    assert!(proven > 20, "only {proven} flip certificates; prover too weak");
+    assert!(
+        proven > 20,
+        "only {proven} flip certificates; prover too weak"
+    );
 }
 
 /// The reference label reported by the certifier always matches the
@@ -188,11 +205,15 @@ fn reference_labels_are_concrete() {
     for _ in 0..80 {
         let ds = random_dataset(&mut rng);
         let depth = rng.random_range(0..=3usize);
-        let x: Vec<f64> =
-            (0..ds.n_features()).map(|_| rng.random_range(0..5) as f64).collect();
+        let x: Vec<f64> = (0..ds.n_features())
+            .map(|_| rng.random_range(0..5) as f64)
+            .collect();
         let concrete = dtrace(&ds, &Subset::full(&ds), &x, depth).label;
         for domain in DOMAINS {
-            let out = Certifier::new(&ds).depth(depth).domain(domain).certify(&x, 1);
+            let out = Certifier::new(&ds)
+                .depth(depth)
+                .domain(domain)
+                .certify(&x, 1);
             assert_eq!(out.label, concrete);
         }
     }
