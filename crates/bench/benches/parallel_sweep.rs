@@ -1,5 +1,6 @@
 //! Parallel-sweep benchmark: 1-thread versus N-thread wall-clock for the
-//! §6.1 ladder over a synthetic blob dataset, with a machine-readable
+//! §6.1 ladder over a synthetic blob dataset, plus cached versus
+//! `--no-cache` certifier-invocation counts, with a machine-readable
 //! `BENCH_sweep.json` snapshot for the performance trajectory.
 //!
 //! Run with:
@@ -9,13 +10,14 @@
 //!   [-- --points K] [-- --per-class C] [-- --depth D] [-- --reps R]
 //! ```
 //!
-//! The two modes must produce bitwise-identical ladders
-//! (verified/attempted per probed `n`); the benchmark asserts this
-//! before reporting the speedup. The JSON snapshot is written to the
+//! All three modes (sequential cached, parallel cached, sequential
+//! fresh) must produce bitwise-identical ladders (verified/attempted per
+//! probed `n`); the benchmark asserts this before reporting the speedup
+//! and the cache hit rate. The JSON snapshot is written to the
 //! repository root (next to `Cargo.toml`'s workspace).
 
 use antidote_core::engine::ExecContext;
-use antidote_core::{sweep, DomainKind, SweepConfig, SweepPoint};
+use antidote_core::{sweep_in, DomainKind, SweepConfig, SweepPoint};
 use antidote_data::synth::{gaussian_blobs, BlobSpec};
 use antidote_data::Dataset;
 use std::path::PathBuf;
@@ -90,28 +92,56 @@ fn ladder_key(points: &[SweepPoint]) -> Vec<(usize, usize, usize)> {
         .collect()
 }
 
+/// Per-mode cache counters, read from the last rep's engine metrics
+/// (every rep is deterministic, so the counts are rep-invariant).
+#[derive(Debug, Clone, Copy)]
+struct ModeStats {
+    certify_calls: u64,
+    cache_hits: u64,
+    cache_shortcircuits: u64,
+    cache_hit_rate: f64,
+}
+
 fn run_mode(
     ds: &Dataset,
     xs: &[Vec<f64>],
     depth: usize,
     threads: usize,
+    cache: bool,
     reps: usize,
-) -> (Vec<SweepPoint>, Duration) {
+) -> (Vec<SweepPoint>, Duration, ModeStats) {
     let cfg = SweepConfig {
         depth,
         domain: DomainKind::Disjuncts,
         timeout: None,
         threads,
+        cache,
         ..SweepConfig::default()
     };
     let mut best = Duration::MAX;
     let mut out = Vec::new();
+    let mut stats = ModeStats {
+        certify_calls: 0,
+        cache_hits: 0,
+        cache_shortcircuits: 0,
+        cache_hit_rate: 0.0,
+    };
     for _ in 0..reps {
+        // A fresh parent context per rep: the cache (when enabled) lives
+        // inside the sweep, so every rep starts cold.
+        let parent = ExecContext::new().threads(threads);
         let t0 = Instant::now();
-        out = sweep(ds, xs, &cfg);
+        out = sweep_in(ds, xs, &cfg, &parent);
         best = best.min(t0.elapsed());
+        let m = parent.metrics();
+        stats = ModeStats {
+            certify_calls: m.certify_calls(),
+            cache_hits: m.cache_hits(),
+            cache_shortcircuits: m.cache_shortcircuits(),
+            cache_hit_rate: m.cache_hit_rate(),
+        };
     }
-    (out, best)
+    (out, best, stats)
 }
 
 fn main() {
@@ -128,18 +158,40 @@ fn main() {
         cores,
         opts.reps
     );
-    let (seq_ladder, t1) = run_mode(&ds, &xs, opts.depth, 1, opts.reps);
-    println!("threads=1: {t1:?}");
-    let (par_ladder, tn) = run_mode(&ds, &xs, opts.depth, 0, opts.reps);
-    println!("threads={cores}: {tn:?}");
+    let (seq_ladder, t1, cached_stats) = run_mode(&ds, &xs, opts.depth, 1, true, opts.reps);
+    println!("threads=1 (cached): {t1:?}");
+    let (par_ladder, tn, _) = run_mode(&ds, &xs, opts.depth, 0, true, opts.reps);
+    println!("threads={cores} (cached): {tn:?}");
+    let (fresh_ladder, t_fresh, fresh_stats) = run_mode(&ds, &xs, opts.depth, 1, false, opts.reps);
+    println!("threads=1 (no-cache): {t_fresh:?}");
 
     assert_eq!(
         ladder_key(&seq_ladder),
         ladder_key(&par_ladder),
         "parallel and sequential sweeps must agree on every verdict"
     );
+    assert_eq!(
+        ladder_key(&seq_ladder),
+        ladder_key(&fresh_ladder),
+        "cached and fresh sweeps must agree on every verdict"
+    );
+    assert!(
+        cached_stats.certify_calls < fresh_stats.certify_calls,
+        "the cache must cut full certifier invocations ({} vs {})",
+        cached_stats.certify_calls,
+        fresh_stats.certify_calls
+    );
+    assert!(cached_stats.cache_hit_rate > 0.0);
     let speedup = t1.as_secs_f64() / tn.as_secs_f64().max(1e-12);
     println!("speedup: {speedup:.2}x (identical ladders: yes)");
+    println!(
+        "certify calls: {} fresh -> {} cached ({} hit(s), {} short-circuit, hit rate {:.1}%)",
+        fresh_stats.certify_calls,
+        cached_stats.certify_calls,
+        cached_stats.cache_hits,
+        cached_stats.cache_shortcircuits,
+        100.0 * cached_stats.cache_hit_rate
+    );
 
     // Snapshot for the perf trajectory, at the workspace root.
     let ladder_json: Vec<String> = seq_ladder
@@ -163,8 +215,14 @@ fn main() {
   "reps": {},
   "threads1_ms": {:.3},
   "threadsN_ms": {:.3},
+  "no_cache_ms": {:.3},
   "speedup": {:.3},
   "identical_ladders": true,
+  "certify_calls_fresh": {},
+  "certify_calls_cached": {},
+  "cache_hits": {},
+  "cache_shortcircuits": {},
+  "cache_hit_rate": {:.3},
   "ladder": [
 {}
   ]
@@ -178,7 +236,13 @@ fn main() {
         opts.reps,
         t1.as_secs_f64() * 1e3,
         tn.as_secs_f64() * 1e3,
+        t_fresh.as_secs_f64() * 1e3,
         speedup,
+        fresh_stats.certify_calls,
+        cached_stats.certify_calls,
+        cached_stats.cache_hits,
+        cached_stats.cache_shortcircuits,
+        cached_stats.cache_hit_rate,
         ladder_json.join(",\n")
     );
     let path = PathBuf::from(env!("CARGO_MANIFEST_DIR")).join("../../BENCH_sweep.json");

@@ -27,6 +27,9 @@ impl std::fmt::Display for CliError {
 impl std::error::Error for CliError {}
 
 impl Args {
+    /// Boolean flags: present or absent, never followed by a value.
+    const BOOL_FLAGS: &'static [&'static str] = &["no-cache"];
+
     /// Parses `argv` (without the program name).
     ///
     /// # Errors
@@ -43,6 +46,10 @@ impl Args {
             let Some(key) = arg.strip_prefix("--") else {
                 return Err(CliError(format!("unexpected positional argument '{arg}'")));
             };
+            if Self::BOOL_FLAGS.contains(&key) {
+                options.insert(key.to_string(), "true".to_string());
+                continue;
+            }
             let value = it
                 .next()
                 .ok_or_else(|| CliError(format!("option --{key} needs a value")))?;
@@ -119,6 +126,12 @@ impl Args {
     /// Returns [`CliError`] when the value does not parse.
     pub fn threads(&self) -> Result<usize, CliError> {
         self.get_num("threads", 0usize)
+    }
+
+    /// Whether `--no-cache` was given: disables the cross-rung
+    /// certification cache and re-derives every probe from scratch.
+    pub fn no_cache(&self) -> bool {
+        self.options.contains_key("no-cache")
     }
 }
 
@@ -209,5 +222,21 @@ mod tests {
         assert_eq!(a.threads().unwrap(), 1);
         let a = Args::parse(argv("sweep --threads nope")).unwrap();
         assert!(a.threads().is_err());
+    }
+
+    #[test]
+    fn no_cache_flag_takes_no_value() {
+        let a = Args::parse(argv("sweep")).unwrap();
+        assert!(!a.no_cache(), "cache is on by default");
+        let a = Args::parse(argv("sweep --no-cache")).unwrap();
+        assert!(a.no_cache());
+        // The flag composes with value options on either side.
+        let a = Args::parse(argv("sweep --no-cache --threads 2")).unwrap();
+        assert!(a.no_cache());
+        assert_eq!(a.threads().unwrap(), 2);
+        let a = Args::parse(argv("sweep --threads 2 --no-cache")).unwrap();
+        assert!(a.no_cache());
+        // A stray value after the flag is still a positional error.
+        assert!(Args::parse(argv("sweep --no-cache true")).is_err());
     }
 }

@@ -17,7 +17,7 @@
 mod args;
 
 use antidote_baselines::{greedy_attack, log10_count, EnumVerdict};
-use antidote_core::{sweep, Certifier, SweepConfig, Verdict};
+use antidote_core::{Certifier, SweepConfig, Verdict};
 use antidote_data::{train_test_split, Dataset, DatasetStats, Subset};
 use antidote_tree::eval::accuracy;
 use antidote_tree::learn_tree;
@@ -42,14 +42,15 @@ const USAGE: &str = "usage:
   antidote flip     --dataset <id> --depth <d> --n <n> [--index i] [--timeout secs]
   antidote forest   --dataset <id> --depth <d> --n <n> [--trees t] [--features f] [--index i]
   antidote tree     --dataset <id> --depth <d> [--dot true]
-  antidote sweep    --dataset <id> --depth <d> [--domain ...] [--points k] [--timeout secs]
+  antidote sweep    --dataset <id> --depth <d> [--domain ...] [--points k] [--timeout secs] [--no-cache]
   antidote accuracy --dataset <id> [--scale small|paper]
   antidote attack   --dataset <id> --depth <d> --budget <n> [--index i]
   antidote stats    --dataset <id>
   antidote headline [--scale small|paper]
 certify/flip/forest/sweep/attack also accept --threads <k> (default: all
-cores; 1 = sequential); datasets: iris, mammo, wdbc, mnist17-binary,
-mnist17-real (or --csv <path>)";
+cores; 1 = sequential); sweep reuses certificates across ladder rungs
+unless --no-cache re-derives every probe from scratch; datasets: iris,
+mammo, wdbc, mnist17-binary, mnist17-real (or --csv <path>)";
 
 fn run(argv: Vec<String>) -> Result<(), CliError> {
     let args = Args::parse(argv)?;
@@ -252,23 +253,24 @@ fn cmd_sweep(args: &Args) -> Result<(), CliError> {
         domain: args.domain()?,
         timeout: (timeout > 0).then(|| Duration::from_secs(timeout)),
         threads: args.threads()?,
+        cache: !args.no_cache(),
         ..SweepConfig::default()
     };
     let xs: Vec<Vec<f64>> = (0..points as u32).map(|r| test.row_values(r)).collect();
+    let parent = antidote_core::ExecContext::new().threads(cfg.threads);
     println!(
-        "# sweep: dataset |T|={}, {} test points, depth {depth}, domain {}, {} worker(s)",
+        "# sweep: dataset |T|={}, {} test points, depth {depth}, domain {}, {} worker(s), cache {}",
         train.len(),
         points,
         cfg.domain.id(),
-        antidote_core::ExecContext::new()
-            .threads(cfg.threads)
-            .effective_threads()
+        parent.effective_threads(),
+        if cfg.cache { "on" } else { "off" }
     );
     println!(
         "{:>8} {:>9} {:>9} {:>10} {:>12} {:>9}",
         "n", "attempted", "verified", "fraction", "avg_time_ms", "mem_MB"
     );
-    for p in sweep(&train, &xs, &cfg) {
+    for p in antidote_core::sweep_in(&train, &xs, &cfg, &parent) {
         println!(
             "{:>8} {:>9} {:>9} {:>10.3} {:>12.2} {:>9.1}",
             p.n,
@@ -279,6 +281,14 @@ fn cmd_sweep(args: &Args) -> Result<(), CliError> {
             p.avg_peak_bytes as f64 / 1e6
         );
     }
+    let m = parent.metrics();
+    println!(
+        "# {} full certify call(s), {} cache hit(s) ({} short-circuit), hit rate {:.1}%",
+        m.certify_calls(),
+        m.cache_hits(),
+        m.cache_shortcircuits(),
+        100.0 * m.cache_hit_rate()
+    );
     Ok(())
 }
 
@@ -407,6 +417,15 @@ mod tests {
         .is_ok());
         assert!(run(argv("flip --dataset iris --depth 1 --n 1 --threads 2")).is_ok());
         assert!(run(argv("certify --dataset iris --threads nope")).is_err());
+    }
+
+    #[test]
+    fn no_cache_flag_reaches_the_sweep() {
+        assert!(run(argv(
+            "sweep --dataset iris --depth 1 --points 4 --threads 1 --timeout 0 --no-cache"
+        ))
+        .is_ok());
+        assert!(run(argv("certify --dataset iris --no-cache nope")).is_err());
     }
 
     #[test]

@@ -1,5 +1,6 @@
 //! The certification front-end: [`Certifier`] and [`Outcome`].
 
+use crate::cache::{CachedTrace, CertCache};
 use crate::engine::ExecContext;
 use crate::learner::{run_abstract, Abort, DomainKind};
 use crate::verdict::all_terminals_dominated_by;
@@ -191,6 +192,79 @@ impl<'a> Certifier<'a> {
     /// Panics if the dataset is empty or `x` has fewer features than the
     /// dataset (the concrete semantics is undefined there).
     pub fn certify_in(&self, x: &[f64], n: usize, ctx: &ExecContext) -> Outcome {
+        ctx.metrics().add_certify_call();
+        self.certify_inner(x, n, ctx, None)
+    }
+
+    /// [`certify_in`](Certifier::certify_in) through a cross-rung
+    /// [`CertCache`] — the incremental entry point the §6.1 sweep uses.
+    /// `point` indexes this input's entry in `cache`.
+    ///
+    /// The first probe of a point is a **miss**: the concrete trace is
+    /// derived, memoized, and a fresh abstract run decides the verdict.
+    /// Every later probe is a **hit** — either a full short-circuit (the
+    /// budget is answered by the cached verdict interval or a validated
+    /// counterexample witness; no abstract run at all) or an incremental
+    /// resume (cached trace + budget-widened seed; only the abstract run
+    /// executes). Hit/miss/short-circuit counts land on
+    /// [`ctx.metrics()`](ExecContext::metrics).
+    ///
+    /// Complete verdicts (`Robust`/`Unknown`) are recorded back into the
+    /// cache; transient ones (`Timeout`/`DisjunctBudget`/`Cancelled`) are
+    /// not. Absent per-instance timeouts, the answers are bit-identical
+    /// to [`certify_in`](Certifier::certify_in) (see `cache` module docs
+    /// for the argument).
+    ///
+    /// # Panics
+    ///
+    /// Panics under the same conditions as
+    /// [`certify_in`](Certifier::certify_in), or if `point` is out of
+    /// range for `cache`.
+    pub fn certify_cached(
+        &self,
+        x: &[f64],
+        n: usize,
+        point: usize,
+        cache: &CertCache,
+        ctx: &ExecContext,
+    ) -> Outcome {
+        if let Some(trace) = cache.cached_trace(point) {
+            cache.debug_check_key(point, x, self.depth);
+            if let Some(verdict) = cache.lookup(point, n) {
+                ctx.metrics().add_cache_hit();
+                ctx.metrics().add_cache_shortcircuit();
+                return Outcome {
+                    verdict,
+                    label: trace.label,
+                    stats: RunStats::default(),
+                };
+            }
+            ctx.metrics().add_cache_hit();
+            let out = self.certify_inner(x, n, ctx, Some(&trace));
+            cache.record(point, n, &out);
+            out
+        } else {
+            ctx.metrics().add_cache_miss();
+            ctx.metrics().add_certify_call();
+            let trace = cache.trace(point, self.ds, x, self.depth);
+            let out = self.certify_inner(x, n, ctx, Some(&trace));
+            cache.record(point, n, &out);
+            out
+        }
+    }
+
+    /// The shared certification body. `cached` supplies the memoized
+    /// concrete trace when resuming from a [`CertCache`]: the reference
+    /// label is reused verbatim and the abstract run re-seeds from the
+    /// cached root via `with_budget` — both bit-identical to the fresh
+    /// derivation.
+    fn certify_inner(
+        &self,
+        x: &[f64],
+        n: usize,
+        ctx: &ExecContext,
+        cached: Option<&CachedTrace>,
+    ) -> Outcome {
         let filled;
         let ctx = if (ctx.deadline_at().is_none() && self.timeout.is_some())
             || (ctx.disjunct_budget_limit().is_none() && self.max_live_disjuncts.is_some())
@@ -212,10 +286,12 @@ impl<'a> Certifier<'a> {
             ctx
         };
         let start = Instant::now();
-        let label = self.reference_label(x);
+        let label = cached.map_or_else(|| self.reference_label(x), |t| t.label);
+        let initial =
+            cached.map_or_else(|| AbstractSet::full(self.ds, n), |t| t.root.with_budget(n));
         let out = run_abstract(
             self.ds,
-            AbstractSet::full(self.ds, n),
+            initial,
             x,
             self.depth,
             self.domain,
@@ -400,6 +476,48 @@ mod tests {
         let c = Certifier::new(&ds).depth(0);
         assert!(c.certify(&[5.0], 0).is_robust());
         assert!(!c.certify(&[5.0], 1).is_robust());
+    }
+
+    #[test]
+    fn cached_certification_matches_fresh_and_counts_probes() {
+        let ds = blobs();
+        let c = Certifier::new(&ds).depth(1).domain(DomainKind::Disjuncts);
+        let cache = crate::CertCache::new(1);
+        let ctx = ExecContext::sequential();
+        // Ladder-order probes: each verdict and label must equal a fresh run.
+        for n in [1usize, 2, 4, 8, 16, 32, 200] {
+            let cached = c.certify_cached(&[0.5], n, 0, &cache, &ctx);
+            let fresh = c.certify(&[0.5], n);
+            assert_eq!(cached.verdict, fresh.verdict, "n = {n}");
+            assert_eq!(cached.label, fresh.label);
+        }
+        // One full derivation; every later ladder budget reuses the
+        // memoized trace (incrementally or via a monotone short-circuit).
+        assert_eq!(ctx.metrics().certify_calls(), 1);
+        assert_eq!(ctx.metrics().cache_misses(), 1);
+        assert_eq!(ctx.metrics().cache_hits(), 6);
+        // Re-probing and monotone-implied budgets are certifier-free.
+        let before = ctx.metrics().cache_shortcircuits();
+        assert!(c.certify_cached(&[0.5], 8, 0, &cache, &ctx).is_robust());
+        assert!(c.certify_cached(&[0.5], 3, 0, &cache, &ctx).is_robust());
+        assert!(!c.certify_cached(&[0.5], 250, 0, &cache, &ctx).is_robust());
+        assert_eq!(ctx.metrics().cache_shortcircuits(), before + 3);
+        assert_eq!(ctx.metrics().certify_calls(), 1, "still one derivation");
+    }
+
+    #[test]
+    fn cached_transient_verdicts_are_recomputed() {
+        let ds = synth::mnist17_like(synth::MnistVariant::Binary, 300, 1);
+        let c = Certifier::new(&ds).depth(3).domain(DomainKind::Disjuncts);
+        let cache = crate::CertCache::new(1);
+        // A timed-out probe must not poison the cache…
+        let ctx = ExecContext::sequential().timeout(Duration::ZERO);
+        let out = c.certify_cached(&ds.row_values(0), 16, 0, &cache, &ctx);
+        assert_eq!(out.verdict, Verdict::Timeout);
+        // …so an unlimited re-probe runs the certifier for real.
+        let ctx = ExecContext::sequential();
+        let out = c.certify_cached(&ds.row_values(0), 0, 0, &cache, &ctx);
+        assert_eq!(out.verdict, c.certify(&ds.row_values(0), 0).verdict);
     }
 
     #[test]

@@ -42,6 +42,10 @@ pub struct RunMetrics {
     peak_bytes: AtomicUsize,
     disjuncts_processed: AtomicU64,
     parallel_tasks: AtomicU64,
+    certify_calls: AtomicU64,
+    cache_hits: AtomicU64,
+    cache_shortcircuits: AtomicU64,
+    cache_misses: AtomicU64,
 }
 
 impl RunMetrics {
@@ -78,6 +82,66 @@ impl RunMetrics {
     /// Total items executed through [`ExecContext::par_map`].
     pub fn parallel_tasks(&self) -> u64 {
         self.parallel_tasks.load(Ordering::Relaxed)
+    }
+
+    /// Counts one *full* certifier invocation: a from-scratch derivation
+    /// of the concrete reference trace plus a fresh abstract run. The
+    /// incremental cache (`antidote_core::cache`) deliberately does not
+    /// count resumed or short-circuited probes here.
+    pub fn add_certify_call(&self) {
+        self.certify_calls.fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// Counts one cache hit: a probe answered with cached state, either
+    /// incrementally (cached trace + budget-widened seed, abstract run
+    /// only) or fully (no abstract run at all — also counted by
+    /// [`RunMetrics::add_cache_shortcircuit`]).
+    pub fn add_cache_hit(&self) {
+        self.cache_hits.fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// Counts one full short-circuit: a probe answered from the verdict
+    /// intervals or a counterexample witness without running the abstract
+    /// interpreter. Always paired with [`RunMetrics::add_cache_hit`].
+    pub fn add_cache_shortcircuit(&self) {
+        self.cache_shortcircuits.fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// Counts one cache miss: a probe for a point with no cached state
+    /// yet (always paired with [`RunMetrics::add_certify_call`]).
+    pub fn add_cache_miss(&self) {
+        self.cache_misses.fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// Total full certifier invocations (see [`RunMetrics::add_certify_call`]).
+    pub fn certify_calls(&self) -> u64 {
+        self.certify_calls.load(Ordering::Relaxed)
+    }
+
+    /// Total cache hits (incremental + short-circuit).
+    pub fn cache_hits(&self) -> u64 {
+        self.cache_hits.load(Ordering::Relaxed)
+    }
+
+    /// Total full short-circuits (no abstract run).
+    pub fn cache_shortcircuits(&self) -> u64 {
+        self.cache_shortcircuits.load(Ordering::Relaxed)
+    }
+
+    /// Total cache misses.
+    pub fn cache_misses(&self) -> u64 {
+        self.cache_misses.load(Ordering::Relaxed)
+    }
+
+    /// `hits / (hits + misses)`, or 0 when the cache saw no probes.
+    pub fn cache_hit_rate(&self) -> f64 {
+        let h = self.cache_hits() as f64;
+        let m = self.cache_misses() as f64;
+        if h + m == 0.0 {
+            0.0
+        } else {
+            h / (h + m)
+        }
     }
 }
 
@@ -528,6 +592,27 @@ mod tests {
         let items = vec![(); 12];
         ctx.par_map(&items, |_, _| ());
         assert_eq!(ctx.metrics().parallel_tasks(), 12);
+    }
+
+    #[test]
+    fn cache_counters_and_hit_rate() {
+        let ctx = ExecContext::new();
+        assert_eq!(ctx.metrics().cache_hit_rate(), 0.0, "no probes yet");
+        ctx.metrics().add_certify_call();
+        ctx.metrics().add_cache_miss();
+        for _ in 0..3 {
+            ctx.metrics().add_cache_hit();
+        }
+        ctx.metrics().add_cache_shortcircuit();
+        assert_eq!(ctx.metrics().certify_calls(), 1);
+        assert_eq!(ctx.metrics().cache_hits(), 3);
+        assert_eq!(ctx.metrics().cache_shortcircuits(), 1);
+        assert_eq!(ctx.metrics().cache_misses(), 1);
+        assert!((ctx.metrics().cache_hit_rate() - 0.75).abs() < 1e-12);
+        // Children aggregate into the same run-wide counters.
+        let child = ctx.child();
+        child.metrics().add_cache_hit();
+        assert_eq!(ctx.metrics().cache_hits(), 4);
     }
 
     #[test]

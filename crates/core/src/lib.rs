@@ -14,6 +14,9 @@
 //! * [`engine`] — the parallel, cancellation-aware execution engine:
 //!   [`ExecContext`] owns each run's deadline, disjunct budget,
 //!   cooperative cancellation flag, metrics, and thread pool;
+//! * [`cache`](mod@cache) — the incremental certification cache:
+//!   memoized concrete traces, monotone verdict intervals, and validated
+//!   counterexample witnesses reused across sweep rungs;
 //! * [`score`] — `score#` intervals and `bestSplit#` with the Φ∀/Φ∃
 //!   trivial-split analysis and minimal-interval selection (§4.6), using
 //!   symbolic real-valued predicates (§5.1, Appendix B);
@@ -48,6 +51,7 @@
 //! assert_eq!(outcome.label, 0);
 //! ```
 
+pub mod cache;
 pub mod certify;
 pub mod engine;
 pub mod ensemble;
@@ -58,6 +62,7 @@ pub mod score;
 pub mod sweep;
 pub mod verdict;
 
+pub use cache::{CachedTrace, CertCache};
 pub use certify::{Certifier, Outcome, RunStats, Verdict};
 pub use engine::{ExecContext, RunMetrics};
 pub use ensemble::{certify_forest, certify_forest_in, EnsembleConfig, EnsembleOutcome};

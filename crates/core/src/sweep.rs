@@ -9,11 +9,13 @@
 //! paper plots: the number verified, average certification time, and
 //! average peak memory (Figures 6–11).
 
+use crate::cache::CertCache;
 use crate::certify::{Certifier, Verdict};
 use crate::engine::ExecContext;
 use crate::learner::DomainKind;
 use antidote_data::Dataset;
 use antidote_domains::CprobTransformer;
+use std::collections::BTreeSet;
 use std::time::Duration;
 
 /// Configuration for one sweep (one dataset × depth × domain series).
@@ -46,6 +48,18 @@ pub struct SweepConfig {
     /// timeout, instances near the deadline can tip either way as core
     /// contention shifts timings.
     pub threads: usize,
+    /// Whether to thread a cross-rung [`CertCache`] through the ladder
+    /// (default: on; `false` is the `--no-cache` escape hatch restoring
+    /// from-scratch certification at every probe). Cached and fresh
+    /// sweeps produce bit-identical ladders — verified/attempted/
+    /// timeout/budget counts per rung — the cached ladder just invokes
+    /// the full certifier far fewer times. The sweep enables
+    /// certifier-free witness short-circuits only when no per-instance
+    /// resource limit is configured, so the identity holds under a
+    /// disjunct budget too; a wall-clock `timeout` retains the same
+    /// timing caveat as thread invariance (a faster cached probe can
+    /// finish where a fresh one times out).
+    pub cache: bool,
 }
 
 impl Default for SweepConfig {
@@ -60,6 +74,7 @@ impl Default for SweepConfig {
             max_n: None,
             binary_search: true,
             threads: 0,
+            cache: true,
         }
     }
 }
@@ -129,10 +144,16 @@ pub fn sweep_in(
         .depth(cfg.depth)
         .domain(cfg.domain)
         .transformer(cfg.transformer);
+    let cache = cfg.cache.then(|| CertCache::new(test_points.len()));
     let max_n = cfg.max_n.unwrap_or(ds.len()).min(ds.len());
     let total_points = test_points.len();
 
     let mut points: Vec<SweepPoint> = Vec::new();
+    // Every budget probed so far: each n is probed at most once per sweep
+    // (the doubling rungs are strictly increasing and the binary search
+    // only probes strictly inside its shrinking open interval; the guard
+    // keeps that true under any future protocol change).
+    let mut probed: BTreeSet<usize> = BTreeSet::new();
     // Survivors: indices of test points verified at every probed budget so
     // far.
     let mut survivors: Vec<usize> = (0..test_points.len()).collect();
@@ -143,6 +164,7 @@ pub fn sweep_in(
         if parent.should_stop() {
             break;
         }
+        probed.insert(n);
         let (point, verified_idx) = probe(
             &certifier,
             test_points,
@@ -150,6 +172,7 @@ pub fn sweep_in(
             n,
             total_points,
             cfg,
+            cache.as_ref(),
             parent,
         );
         points.push(point);
@@ -158,11 +181,31 @@ pub fn sweep_in(
             // survivor still verifies.
             if cfg.binary_search {
                 if let Some(lo0) = last_success_n {
+                    // Before refining, try once per survivor to extract a
+                    // concrete counterexample witness from the cached
+                    // trace: a witness of size w refutes every budget
+                    // ≥ w, so refinement probes above it become
+                    // certifier-free cache hits (soundly — the prover can
+                    // never certify a concretely broken budget). Only
+                    // when no per-instance resource limit is configured:
+                    // a short-circuit answers `Unknown` where a fresh
+                    // probe would deterministically report `Timeout` /
+                    // `DisjunctBudget`, and those rung counts must stay
+                    // bit-identical to the `--no-cache` path.
+                    let limits = cfg.timeout.is_some() || cfg.max_live_disjuncts.is_some();
+                    if let (Some(c), false) = (cache.as_ref(), limits) {
+                        for &i in &survivors {
+                            c.try_find_witness(i, ds, &test_points[i], cfg.depth, n);
+                        }
+                    }
                     let mut lo = lo0;
                     let mut hi = n;
                     let mut pool = survivors.clone();
                     while hi - lo > 1 && !parent.should_stop() {
                         let mid = lo + (hi - lo) / 2;
+                        if !probed.insert(mid) {
+                            break; // already probed: nothing new to learn
+                        }
                         let (p, v) = probe(
                             &certifier,
                             test_points,
@@ -170,6 +213,7 @@ pub fn sweep_in(
                             mid,
                             total_points,
                             cfg,
+                            cache.as_ref(),
                             parent,
                         );
                         points.push(p);
@@ -192,13 +236,17 @@ pub fn sweep_in(
         n = (n * 2).min(max_n);
     }
     points.sort_by_key(|p| p.n);
-    points.dedup_by_key(|p| p.n);
+    debug_assert!(
+        points.windows(2).all(|w| w[0].n < w[1].n),
+        "probe points are deduplicated by construction"
+    );
     points
 }
 
 /// Runs all `pool` instances at budget `n` — fanned out across the
 /// parent context's workers, each under its own child context — and
 /// returns the aggregate point and the indices that verified.
+#[allow(clippy::too_many_arguments)]
 fn probe(
     certifier: &Certifier<'_>,
     test_points: &[Vec<f64>],
@@ -206,6 +254,7 @@ fn probe(
     n: usize,
     total_points: usize,
     cfg: &SweepConfig,
+    cache: Option<&CertCache>,
     parent: &ExecContext,
 ) -> (SweepPoint, Vec<usize>) {
     let inner_threads = parent.child_threads_for(pool.len());
@@ -215,7 +264,10 @@ fn probe(
             .threads(inner_threads)
             .maybe_timeout(cfg.timeout)
             .maybe_disjunct_budget(cfg.max_live_disjuncts);
-        certifier.certify_in(&test_points[i], n, &ctx)
+        match cache {
+            Some(c) => certifier.certify_cached(&test_points[i], n, i, c, &ctx),
+            None => certifier.certify_in(&test_points[i], n, &ctx),
+        }
     });
 
     let mut verified = Vec::new();
@@ -343,6 +395,105 @@ mod tests {
             best_verified, truth,
             "binary search should find the frontier"
         );
+    }
+
+    /// The verdict-relevant projection of a ladder (timings excluded).
+    fn key(points: &[SweepPoint]) -> Vec<(usize, usize, usize, usize, usize)> {
+        points
+            .iter()
+            .map(|p| (p.n, p.attempted, p.verified, p.timeouts, p.budget_exhausted))
+            .collect()
+    }
+
+    #[test]
+    fn cached_sweep_is_bit_identical_and_cheaper() {
+        let ds = blobs();
+        let xs = blob_points();
+        let cached_cfg = cfg(DomainKind::Disjuncts, true);
+        let fresh_cfg = SweepConfig {
+            cache: false,
+            ..cached_cfg.clone()
+        };
+        let fresh_ctx = ExecContext::sequential();
+        let fresh = sweep_in(&ds, &xs, &fresh_cfg, &fresh_ctx);
+        let cached_ctx = ExecContext::sequential();
+        let cached = sweep_in(&ds, &xs, &cached_cfg, &cached_ctx);
+        assert_eq!(key(&fresh), key(&cached), "ladders must be bit-identical");
+        // Fresh mode derives everything per probe and never touches a cache.
+        let total_probes: u64 = fresh.iter().map(|p| p.attempted as u64).sum();
+        assert_eq!(fresh_ctx.metrics().certify_calls(), total_probes);
+        assert_eq!(fresh_ctx.metrics().cache_hits(), 0);
+        assert_eq!(fresh_ctx.metrics().cache_misses(), 0);
+        // Cached mode pays one full derivation per test point; every other
+        // probe is a hit.
+        assert_eq!(cached_ctx.metrics().certify_calls(), xs.len() as u64);
+        assert_eq!(cached_ctx.metrics().cache_misses(), xs.len() as u64);
+        assert_eq!(
+            cached_ctx.metrics().cache_hits(),
+            total_probes - xs.len() as u64
+        );
+        assert!(cached_ctx.metrics().certify_calls() < fresh_ctx.metrics().certify_calls());
+        assert!(cached_ctx.metrics().cache_hit_rate() > 0.0);
+    }
+
+    #[test]
+    fn probed_budget_sequence_is_pinned_and_duplicate_free() {
+        // Regression for the BENCH_sweep.json redundancy fix: the §6.1
+        // ladder (doubling rungs + binary-search refinement) must probe
+        // each budget at most once, and this exact protocol is pinned so
+        // a change to the probe sequence is a conscious decision.
+        let ds = blobs();
+        let pts = sweep(&ds, &blob_points(), &cfg(DomainKind::Disjuncts, true));
+        let ns: Vec<usize> = pts.iter().map(|p| p.n).collect();
+        let mut unique = ns.clone();
+        unique.dedup();
+        assert_eq!(ns, unique, "no budget is probed twice");
+        let expected = expected_probe_sequence(&ds);
+        assert_eq!(ns, expected, "probed-n sequence changed");
+        // Cached and fresh modes probe the same sequence.
+        let fresh = sweep(&ds, &blob_points(), &cfg_no_cache());
+        assert_eq!(fresh.iter().map(|p| p.n).collect::<Vec<_>>(), expected);
+    }
+
+    fn cfg_no_cache() -> SweepConfig {
+        SweepConfig {
+            cache: false,
+            ..cfg(DomainKind::Disjuncts, true)
+        }
+    }
+
+    /// The §6.1 probe sequence for `blob_points` on `blobs`: doubling
+    /// rungs up to the first all-fail budget, then the deterministic
+    /// binary-search refinement between the last success and it.
+    fn expected_probe_sequence(ds: &Dataset) -> Vec<usize> {
+        let c = Certifier::new(ds).depth(1).domain(DomainKind::Disjuncts);
+        // 64 bounds every frontier on this family (the seed's
+        // binary_search_localises_frontier test relies on the same bound).
+        let frontier = |x: &[f64]| (0..=64).filter(|&n| c.certify(x, n).is_robust()).max();
+        let best = blob_points()
+            .iter()
+            .filter_map(|x| frontier(x))
+            .max()
+            .expect("some point verifies");
+        let mut ns = Vec::new();
+        let mut n = 1;
+        while n <= best {
+            ns.push(n);
+            n *= 2;
+        }
+        ns.push(n); // the first all-fail rung
+        let (mut lo, mut hi) = (n / 2, n);
+        while hi - lo > 1 {
+            let mid = lo + (hi - lo) / 2;
+            ns.push(mid);
+            if mid <= best {
+                lo = mid;
+            } else {
+                hi = mid;
+            }
+        }
+        ns.sort_unstable();
+        ns
     }
 
     #[test]

@@ -79,6 +79,79 @@ fn sweep_ladder_is_thread_invariant() {
 }
 
 #[test]
+fn cached_and_fresh_sweeps_are_bit_identical() {
+    // The cross-rung certificate cache must be observationally invisible:
+    // cached and --no-cache sweeps agree on every verdict-relevant field
+    // of every rung, for every domain and thread count — while the cached
+    // mode invokes the full certifier strictly fewer times.
+    let ds = blobs(60, 7);
+    let xs = test_points(32);
+    for domain in [
+        DomainKind::Box,
+        DomainKind::Disjuncts,
+        DomainKind::Hybrid { max_disjuncts: 8 },
+    ] {
+        for threads in [1usize, 4] {
+            let cfg = |cache: bool| SweepConfig {
+                depth: 1,
+                domain,
+                timeout: None,
+                threads,
+                cache,
+                ..SweepConfig::default()
+            };
+            let fresh_ctx = ExecContext::new().threads(threads);
+            let fresh = antidote_core::sweep_in(&ds, &xs, &cfg(false), &fresh_ctx);
+            let cached_ctx = ExecContext::new().threads(threads);
+            let cached = antidote_core::sweep_in(&ds, &xs, &cfg(true), &cached_ctx);
+            assert_eq!(
+                key(&fresh),
+                key(&cached),
+                "{domain:?} @ {threads} thread(s): cached ladder diverged"
+            );
+            assert!(
+                cached_ctx.metrics().certify_calls() < fresh_ctx.metrics().certify_calls(),
+                "{domain:?} @ {threads} thread(s): cache saved no certifier calls"
+            );
+            assert_eq!(
+                cached_ctx.metrics().certify_calls(),
+                xs.len() as u64,
+                "one full derivation per test point"
+            );
+            assert!(cached_ctx.metrics().cache_hit_rate() > 0.0);
+            assert_eq!(fresh_ctx.metrics().cache_hits(), 0);
+        }
+    }
+}
+
+#[test]
+fn cached_sweep_is_bit_identical_under_a_binding_disjunct_budget() {
+    // With a small disjunct budget some probes deterministically abort
+    // with `DisjunctBudget`. The cached sweep must report the exact same
+    // per-rung budget_exhausted/verified counts as --no-cache: every
+    // probe still runs its (incremental) abstract interpretation, and
+    // witness short-circuits stay disarmed while a limit is configured.
+    let ds = blobs(60, 7);
+    let xs = test_points(16);
+    let cfg = |cache: bool| SweepConfig {
+        depth: 3,
+        domain: DomainKind::Disjuncts,
+        timeout: None,
+        max_live_disjuncts: Some(24),
+        threads: 1,
+        cache,
+        ..SweepConfig::default()
+    };
+    let fresh = antidote_core::sweep_in(&ds, &xs, &cfg(false), &ExecContext::sequential());
+    let cached = antidote_core::sweep_in(&ds, &xs, &cfg(true), &ExecContext::sequential());
+    assert_eq!(key(&fresh), key(&cached), "budget-limited ladder diverged");
+    assert!(
+        fresh.iter().any(|p| p.budget_exhausted > 0),
+        "sanity: the budget must actually bind somewhere"
+    );
+}
+
+#[test]
 fn disjunct_frontier_is_thread_invariant() {
     // Multi-feature blobs at depth 3 grow a frontier wide enough that the
     // engine actually fans it out (> MIN_PARALLEL_FRONTIER disjuncts).

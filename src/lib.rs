@@ -52,7 +52,7 @@ pub mod prelude {
     pub use antidote_baselines::attack::greedy_attack;
     pub use antidote_baselines::enumerate::{enumerate_flip_robustness, enumerate_robustness};
     pub use antidote_core::{
-        certify_forest, certify_label_flips, explain, Certifier, DomainKind, Outcome,
+        certify_forest, certify_label_flips, explain, CertCache, Certifier, DomainKind, Outcome,
     };
     pub use antidote_data::{Benchmark, Dataset, Scale, Subset};
     pub use antidote_tree::{dtrace, learn_forest, learn_tree, DecisionTree, Forest};

@@ -197,6 +197,155 @@ fn flip_verdicts_match_flip_enumeration() {
     );
 }
 
+/// Brute-force soundness oracle for the *cached* certification path: on
+/// tiny datasets (≤ 8 rows) and budgets `n ≤ 3`, every `Robust` verdict a
+/// [`CertCache`]-backed probe returns — whether freshly derived, resumed
+/// incrementally, or answered by a monotone/witness short-circuit — is
+/// checked against exhaustive enumeration of all ≤ n-row removals with
+/// concrete retraining. Probes run in a shuffled budget order so the
+/// interval short-circuits actually fire; every answer must also equal
+/// the fresh certifier's.
+#[test]
+fn cached_robust_verdicts_survive_the_brute_force_oracle() {
+    use antidote::core::CertCache;
+    use rand::seq::SliceRandom;
+
+    let mut rng = StdRng::seed_from_u64(416);
+    let mut proven = 0usize;
+    let mut shortcircuits = 0u64;
+    for trial in 0..120 {
+        let ds = {
+            // Cap at 8 rows so the oracle's 2^|T| enumeration stays tiny.
+            let mut ds = random_dataset(&mut rng);
+            while ds.len() > 8 {
+                ds = random_dataset(&mut rng);
+            }
+            ds
+        };
+        let depth = rng.random_range(0..=3usize);
+        let x: Vec<f64> = (0..ds.n_features())
+            .map(|_| rng.random_range(0..5) as f64)
+            .collect();
+        let mut budgets: Vec<usize> = (0..=3.min(ds.len() - 1)).collect();
+        budgets.shuffle(&mut rng);
+        for domain in DOMAINS {
+            // Hybrid merge order is not provably monotone in n, so its
+            // interval short-circuits are exercised by the in-order
+            // ladder only (matching how the sweep probes it).
+            let mut order = budgets.clone();
+            if matches!(domain, DomainKind::Hybrid { .. }) {
+                order.sort_unstable();
+            }
+            let certifier = Certifier::new(&ds).depth(depth).domain(domain);
+            let cache = CertCache::new(1);
+            let ctx = ExecContext::sequential();
+            for &n in &order {
+                let out = certifier.certify_cached(&x, n, 0, &cache, &ctx);
+                assert_eq!(
+                    out.verdict,
+                    certifier.certify(&x, n).verdict,
+                    "trial {trial} {domain:?}: cached diverged at n={n} (order {order:?})",
+                );
+                if !out.is_robust() {
+                    continue;
+                }
+                proven += 1;
+                let reference = dtrace(&ds, &Subset::full(&ds), &x, depth).label;
+                for kept in all_concretizations(ds.len(), n) {
+                    let poisoned = Subset::from_indices(&ds, kept);
+                    let retrained = dtrace(&ds, &poisoned, &x, depth).label;
+                    assert_eq!(
+                        retrained,
+                        reference,
+                        "trial {trial} {domain:?}: cached Robust at n={n} contradicted by \
+                         removing {:?} (|T|={}, depth={depth})",
+                        poisoned.indices(),
+                        ds.len(),
+                    );
+                }
+            }
+            shortcircuits += ctx.metrics().cache_shortcircuits();
+        }
+    }
+    assert!(
+        proven > 80,
+        "only {proven} robust verdicts; oracle is vacuous"
+    );
+    assert!(
+        shortcircuits > 50,
+        "only {shortcircuits} short-circuits; the cached path was barely exercised"
+    );
+}
+
+/// The cached sweep's per-rung `verified` counts agree with fresh
+/// per-point certification on tiny datasets — the ladder-level view of
+/// the oracle above, including the witness search the sweep triggers
+/// before binary-search refinement.
+#[test]
+fn cached_sweep_rungs_match_fresh_certification() {
+    use antidote::core::{sweep_in, SweepConfig};
+
+    let mut rng = StdRng::seed_from_u64(417);
+    for _ in 0..40 {
+        let ds = random_dataset(&mut rng);
+        let depth = rng.random_range(0..=2usize);
+        let xs: Vec<Vec<f64>> = (0..3)
+            .map(|_| {
+                (0..ds.n_features())
+                    .map(|_| rng.random_range(0..5) as f64)
+                    .collect()
+            })
+            .collect();
+        for domain in DOMAINS {
+            let cfg = SweepConfig {
+                depth,
+                domain,
+                timeout: None,
+                max_live_disjuncts: None,
+                threads: 1,
+                max_n: Some(3.min(ds.len())),
+                ..SweepConfig::default()
+            };
+            let ctx = ExecContext::sequential();
+            let ladder = sweep_in(&ds, &xs, &cfg, &ctx);
+            let certifier = Certifier::new(&ds).depth(depth).domain(domain);
+            // Survivor pools are implied by fresh per-point frontiers.
+            let mut survivors: Vec<usize> = (0..xs.len()).collect();
+            for p in &ladder {
+                let fresh_verified = survivors
+                    .iter()
+                    .filter(|&&i| certifier.certify(&xs[i], p.n).is_robust())
+                    .count();
+                assert!(
+                    p.verified <= p.attempted,
+                    "{domain:?}: malformed rung {p:?}"
+                );
+                if p.attempted == survivors.len() {
+                    // A full-pool rung: the cached count must equal fresh
+                    // per-point certification exactly.
+                    assert_eq!(
+                        p.verified, fresh_verified,
+                        "{domain:?} at n={}: cached sweep diverged from fresh \
+                         certification",
+                        p.n,
+                    );
+                    survivors.retain(|&i| certifier.certify(&xs[i], p.n).is_robust());
+                } else {
+                    // A binary-search probe over a sub-pool: its verified
+                    // count is bounded by the fresh count over the pool.
+                    assert!(
+                        p.verified <= fresh_verified,
+                        "{domain:?} at n={}: cached sweep verified {} but fresh \
+                         certification only verifies {fresh_verified}",
+                        p.n,
+                        p.verified,
+                    );
+                }
+            }
+        }
+    }
+}
+
 /// The reference label reported by the certifier always matches the
 /// concrete learner, for every domain and verdict.
 #[test]
