@@ -92,14 +92,16 @@ fn ladder_key(points: &[SweepPoint]) -> Vec<(usize, usize, usize)> {
         .collect()
 }
 
-/// Per-mode cache counters, read from the last rep's engine metrics
-/// (every rep is deterministic, so the counts are rep-invariant).
+/// Per-mode cache/frontier counters, read from the last rep's engine
+/// metrics (every rep is deterministic, so the counts are rep-invariant).
 #[derive(Debug, Clone, Copy)]
 struct ModeStats {
     certify_calls: u64,
     cache_hits: u64,
     cache_shortcircuits: u64,
     cache_hit_rate: f64,
+    subsumption_pruned: u64,
+    frontier_peak_disjuncts: usize,
 }
 
 fn run_mode(
@@ -125,6 +127,8 @@ fn run_mode(
         cache_hits: 0,
         cache_shortcircuits: 0,
         cache_hit_rate: 0.0,
+        subsumption_pruned: 0,
+        frontier_peak_disjuncts: 0,
     };
     for _ in 0..reps {
         // A fresh parent context per rep: the cache (when enabled) lives
@@ -139,6 +143,8 @@ fn run_mode(
             cache_hits: m.cache_hits(),
             cache_shortcircuits: m.cache_shortcircuits(),
             cache_hit_rate: m.cache_hit_rate(),
+            subsumption_pruned: m.disjuncts_subsumed(),
+            frontier_peak_disjuncts: m.peak_disjuncts(),
         };
     }
     (out, best, stats)
@@ -182,8 +188,25 @@ fn main() {
         fresh_stats.certify_calls
     );
     assert!(cached_stats.cache_hit_rate > 0.0);
+    assert!(
+        cached_stats.subsumption_pruned > 0,
+        "subsumption pruning must fire on the stock configuration"
+    );
+    let effective_threads = ExecContext::new().effective_threads();
+    // A lone core cannot exhibit a parallel speedup: whatever ratio the
+    // two timings produce there is pure scheduling noise, so the JSON
+    // reports `null` instead of a misleading number.
     let speedup = t1.as_secs_f64() / tn.as_secs_f64().max(1e-12);
-    println!("speedup: {speedup:.2}x (identical ladders: yes)");
+    let speedup_json = if effective_threads == 1 {
+        "null".to_string()
+    } else {
+        format!("{speedup:.3}")
+    };
+    if effective_threads == 1 {
+        println!("speedup: n/a (single core; identical ladders: yes)");
+    } else {
+        println!("speedup: {speedup:.2}x (identical ladders: yes)");
+    }
     println!(
         "certify calls: {} fresh -> {} cached ({} hit(s), {} short-circuit, hit rate {:.1}%)",
         fresh_stats.certify_calls,
@@ -191,6 +214,10 @@ fn main() {
         cached_stats.cache_hits,
         cached_stats.cache_shortcircuits,
         100.0 * cached_stats.cache_hit_rate
+    );
+    println!(
+        "frontier: {} disjunct(s) subsumption-pruned, peak {} live",
+        cached_stats.subsumption_pruned, cached_stats.frontier_peak_disjuncts
     );
 
     // Snapshot for the perf trajectory, at the workspace root.
@@ -216,13 +243,15 @@ fn main() {
   "threads1_ms": {:.3},
   "threadsN_ms": {:.3},
   "no_cache_ms": {:.3},
-  "speedup": {:.3},
+  "speedup": {},
   "identical_ladders": true,
   "certify_calls_fresh": {},
   "certify_calls_cached": {},
   "cache_hits": {},
   "cache_shortcircuits": {},
   "cache_hit_rate": {:.3},
+  "subsumption_pruned": {},
+  "frontier_peak_disjuncts": {},
   "ladder": [
 {}
   ]
@@ -232,17 +261,19 @@ fn main() {
         xs.len(),
         opts.depth,
         cores,
-        ExecContext::new().effective_threads(),
+        effective_threads,
         opts.reps,
         t1.as_secs_f64() * 1e3,
         tn.as_secs_f64() * 1e3,
         t_fresh.as_secs_f64() * 1e3,
-        speedup,
+        speedup_json,
         fresh_stats.certify_calls,
         cached_stats.certify_calls,
         cached_stats.cache_hits,
         cached_stats.cache_shortcircuits,
         cached_stats.cache_hit_rate,
+        cached_stats.subsumption_pruned,
+        cached_stats.frontier_peak_disjuncts,
         ladder_json.join(",\n")
     );
     let path = PathBuf::from(env!("CARGO_MANIFEST_DIR")).join("../../BENCH_sweep.json");

@@ -28,7 +28,7 @@ impl std::error::Error for CliError {}
 
 impl Args {
     /// Boolean flags: present or absent, never followed by a value.
-    const BOOL_FLAGS: &'static [&'static str] = &["no-cache"];
+    const BOOL_FLAGS: &'static [&'static str] = &["no-cache", "no-subsume"];
 
     /// Parses `argv` (without the program name).
     ///
@@ -132,6 +132,13 @@ impl Args {
     /// certification cache and re-derives every probe from scratch.
     pub fn no_cache(&self) -> bool {
         self.options.contains_key("no-cache")
+    }
+
+    /// Whether `--no-subsume` was given: disables frontier subsumption
+    /// pruning in the abstract runs (the escape hatch mirroring
+    /// `--no-cache`).
+    pub fn no_subsume(&self) -> bool {
+        self.options.contains_key("no-subsume")
     }
 }
 
@@ -238,5 +245,18 @@ mod tests {
         assert!(a.no_cache());
         // A stray value after the flag is still a positional error.
         assert!(Args::parse(argv("sweep --no-cache true")).is_err());
+    }
+
+    #[test]
+    fn no_subsume_flag_takes_no_value() {
+        let a = Args::parse(argv("sweep")).unwrap();
+        assert!(!a.no_subsume(), "subsumption pruning is on by default");
+        let a = Args::parse(argv("sweep --no-subsume")).unwrap();
+        assert!(a.no_subsume());
+        // Composes with the sibling escape hatch and value options.
+        let a = Args::parse(argv("sweep --no-cache --no-subsume --threads 2")).unwrap();
+        assert!(a.no_cache() && a.no_subsume());
+        assert_eq!(a.threads().unwrap(), 2);
+        assert!(Args::parse(argv("sweep --no-subsume true")).is_err());
     }
 }

@@ -38,19 +38,20 @@ fn main() {
 }
 
 const USAGE: &str = "usage:
-  antidote certify  --dataset <id> --depth <d> --n <n> [--domain box|disjuncts|hybridK] [--index i] [--timeout secs]
+  antidote certify  --dataset <id> --depth <d> --n <n> [--domain box|disjuncts|hybridK] [--index i] [--timeout secs] [--no-subsume]
   antidote flip     --dataset <id> --depth <d> --n <n> [--index i] [--timeout secs]
   antidote forest   --dataset <id> --depth <d> --n <n> [--trees t] [--features f] [--index i]
   antidote tree     --dataset <id> --depth <d> [--dot true]
-  antidote sweep    --dataset <id> --depth <d> [--domain ...] [--points k] [--timeout secs] [--no-cache]
+  antidote sweep    --dataset <id> --depth <d> [--domain ...] [--points k] [--timeout secs] [--no-cache] [--no-subsume]
   antidote accuracy --dataset <id> [--scale small|paper]
   antidote attack   --dataset <id> --depth <d> --budget <n> [--index i]
   antidote stats    --dataset <id>
   antidote headline [--scale small|paper]
 certify/flip/forest/sweep/attack also accept --threads <k> (default: all
 cores; 1 = sequential); sweep reuses certificates across ladder rungs
-unless --no-cache re-derives every probe from scratch; datasets: iris,
-mammo, wdbc, mnist17-binary, mnist17-real (or --csv <path>)";
+unless --no-cache re-derives every probe from scratch; certify/sweep prune
+subsumed frontier disjuncts unless --no-subsume; datasets: iris, mammo,
+wdbc, mnist17-binary, mnist17-real (or --csv <path>)";
 
 fn run(argv: Vec<String>) -> Result<(), CliError> {
     let args = Args::parse(argv)?;
@@ -101,7 +102,8 @@ fn cmd_certify(args: &Args) -> Result<(), CliError> {
     let mut certifier = Certifier::new(&train)
         .depth(depth)
         .domain(args.domain()?)
-        .threads(args.threads()?);
+        .threads(args.threads()?)
+        .subsume(!args.no_subsume());
     let timeout = args.get_num("timeout", 0u64)?;
     if timeout > 0 {
         certifier = certifier.timeout(Duration::from_secs(timeout));
@@ -139,6 +141,7 @@ fn cmd_certify(args: &Args) -> Result<(), CliError> {
             n,
             args.domain()?,
             antidote_domains::CprobTransformer::Optimal,
+            !args.no_subsume(),
         );
         if let Some(worst) = e.worst_blocker() {
             println!(
@@ -254,6 +257,7 @@ fn cmd_sweep(args: &Args) -> Result<(), CliError> {
         timeout: (timeout > 0).then(|| Duration::from_secs(timeout)),
         threads: args.threads()?,
         cache: !args.no_cache(),
+        subsume: !args.no_subsume(),
         ..SweepConfig::default()
     };
     let xs: Vec<Vec<f64>> = (0..points as u32).map(|r| test.row_values(r)).collect();
@@ -288,6 +292,11 @@ fn cmd_sweep(args: &Args) -> Result<(), CliError> {
         m.cache_hits(),
         m.cache_shortcircuits(),
         100.0 * m.cache_hit_rate()
+    );
+    println!(
+        "# {} disjunct(s) subsumption-pruned, frontier peak {}",
+        m.disjuncts_subsumed(),
+        m.peak_disjuncts()
     );
     Ok(())
 }
@@ -426,6 +435,16 @@ mod tests {
         ))
         .is_ok());
         assert!(run(argv("certify --dataset iris --no-cache nope")).is_err());
+    }
+
+    #[test]
+    fn no_subsume_flag_reaches_certifier_and_sweep() {
+        assert!(run(argv("certify --dataset iris --depth 1 --n 1 --no-subsume")).is_ok());
+        assert!(run(argv(
+            "sweep --dataset iris --depth 1 --points 4 --threads 1 --timeout 0 --no-subsume"
+        ))
+        .is_ok());
+        assert!(run(argv("sweep --dataset iris --no-subsume nope")).is_err());
     }
 
     #[test]

@@ -87,6 +87,7 @@ pub struct Certifier<'a> {
     timeout: Option<Duration>,
     max_live_disjuncts: Option<usize>,
     threads: usize,
+    subsume: bool,
 }
 
 impl<'a> Certifier<'a> {
@@ -102,6 +103,7 @@ impl<'a> Certifier<'a> {
             timeout: None,
             max_live_disjuncts: None,
             threads: 1,
+            subsume: true,
         }
     }
 
@@ -132,6 +134,15 @@ impl<'a> Certifier<'a> {
     /// Sets a disjunct budget (the out-of-memory stand-in).
     pub fn max_live_disjuncts(mut self, max: usize) -> Self {
         self.max_live_disjuncts = Some(max);
+        self
+    }
+
+    /// Enables or disables frontier subsumption pruning (default: on).
+    /// `false` is the `--no-subsume` escape hatch: the Disjuncts/Hybrid
+    /// frontier keeps dominated disjuncts exactly as before the pruning
+    /// pass existed. See DESIGN.md §7 for the soundness argument.
+    pub fn subsume(mut self, on: bool) -> Self {
+        self.subsume = on;
         self
     }
 
@@ -296,6 +307,7 @@ impl<'a> Certifier<'a> {
             self.depth,
             self.domain,
             self.transformer,
+            self.subsume,
             ctx,
         );
         let stats = RunStats {

@@ -41,6 +41,7 @@ pub struct RunMetrics {
     peak_disjuncts: AtomicUsize,
     peak_bytes: AtomicUsize,
     disjuncts_processed: AtomicU64,
+    disjuncts_subsumed: AtomicU64,
     parallel_tasks: AtomicU64,
     certify_calls: AtomicU64,
     cache_hits: AtomicU64,
@@ -77,6 +78,18 @@ impl RunMetrics {
     /// Total disjuncts processed.
     pub fn disjuncts_processed(&self) -> u64 {
         self.disjuncts_processed.load(Ordering::Relaxed)
+    }
+
+    /// Adds to the subsumption-pruned disjunct counter: frontier elements
+    /// dropped because another disjunct dominates them under the `⟨T,n⟩`
+    /// partial order (the learner's `--no-subsume`-gated pruning pass).
+    pub fn add_disjuncts_subsumed(&self, v: u64) {
+        self.disjuncts_subsumed.fetch_add(v, Ordering::Relaxed);
+    }
+
+    /// Total disjuncts dropped by frontier subsumption pruning.
+    pub fn disjuncts_subsumed(&self) -> u64 {
+        self.disjuncts_subsumed.load(Ordering::Relaxed)
     }
 
     /// Total items executed through [`ExecContext::par_map`].

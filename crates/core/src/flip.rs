@@ -19,7 +19,7 @@ use crate::certify::{Outcome, RunStats, Verdict};
 use crate::engine::ExecContext;
 use crate::learner::Abort;
 use crate::verdict::dominant_class;
-use antidote_data::{ClassId, Dataset, Subset};
+use antidote_data::{ClassId, Dataset, Subset, ThresholdCmp};
 use antidote_domains::flipset::{score_interval_flip, FlipSet};
 use antidote_tree::dtrace::dtrace_label;
 use antidote_tree::split::sweep_feature;
@@ -127,12 +127,17 @@ fn step_flipset(ds: &Dataset, f: &FlipSet, x: &[f64], ctx: &ExecContext) -> Flip
             branches: Vec::new(),
         };
     }
-    // filter#: one branch per kept predicate, on x's side.
+    // filter#: one branch per kept predicate, on x's side (a `≤` test or
+    // its complement, so the word-parallel threshold restriction applies).
     let branches = preds
         .into_iter()
         .map(|p| {
-            let sat = p.eval(x);
-            f.restrict_where(ds, |r| p.eval_row(ds, r) == sat)
+            let cmp = if p.eval(x) {
+                ThresholdCmp::Le
+            } else {
+                ThresholdCmp::Gt
+            };
+            f.restrict_cmp(ds, p.feature, p.threshold, cmp)
         })
         .collect();
     FlipStepOut::Done {
@@ -236,8 +241,8 @@ fn dedup_flipsets(sets: &mut Vec<FlipSet>) {
     if sets.len() < 2 {
         return;
     }
-    let mut seen: HashSet<(usize, Vec<u32>)> = HashSet::with_capacity(sets.len());
-    sets.retain(|s| seen.insert((s.n(), s.subset().indices().to_vec())));
+    let mut seen: HashSet<(usize, Vec<u64>)> = HashSet::with_capacity(sets.len());
+    sets.retain(|s| seen.insert((s.n(), s.subset().words().to_vec())));
 }
 
 /// Attempts to prove that `x`'s prediction is robust to up to `n` label

@@ -198,6 +198,14 @@ pub(crate) const MIN_PARALLEL_FRONTIER: usize = 4;
 /// are folded back in input order, so parallel and sequential runs
 /// produce identical terminal sets and verdicts (the `Box` domain's
 /// frontier is a single state and always steps inline).
+///
+/// `subsume` arms frontier subsumption pruning (DESIGN.md §7): after each
+/// iteration's dedup, disjuncts dominated under the `⟨T,n⟩` partial order
+/// by another frontier element are dropped before the Hybrid merge.
+/// Pruning is sound for every domain (see [`prune_subsumed`]) and is a
+/// no-op for `Box` (a single state cannot dominate itself); `false` is
+/// the `--no-subsume` escape hatch restoring the unpruned frontier.
+#[allow(clippy::too_many_arguments)]
 pub fn run_abstract(
     ds: &Dataset,
     initial: AbstractSet,
@@ -205,6 +213,7 @@ pub fn run_abstract(
     depth: usize,
     domain: DomainKind,
     transformer: CprobTransformer,
+    subsume: bool,
     ctx: &ExecContext,
 ) -> RunOutput {
     let mut active: Vec<AbstractSet> = vec![initial];
@@ -278,6 +287,12 @@ pub fn run_abstract(
         // induce the same restriction (common for binary features); the
         // disjunctive join is set union, so deduplication is exact.
         dedup_disjuncts(&mut next);
+        if subsume && domain != DomainKind::Box {
+            let pruned = prune_subsumed(&mut next);
+            if pruned > 0 {
+                ctx.metrics().add_disjuncts_subsumed(pruned as u64);
+            }
+        }
         if let DomainKind::Hybrid { max_disjuncts } = domain {
             merge_down_to(ds, &mut next, max_disjuncts.max(1));
         }
@@ -318,13 +333,48 @@ pub fn run_abstract(
     }
 }
 
-/// Removes exact duplicate disjuncts (same base indices and budget).
+/// Removes exact duplicate disjuncts (same base set and budget), keyed by
+/// the base's packed word representation (canonical, so word equality is
+/// set equality).
 fn dedup_disjuncts(disjuncts: &mut Vec<AbstractSet>) {
     if disjuncts.len() < 2 {
         return;
     }
-    let mut seen: HashSet<(usize, Vec<u32>)> = HashSet::with_capacity(disjuncts.len());
-    disjuncts.retain(|d| seen.insert((d.n(), d.base().indices().to_vec())));
+    let mut seen: HashSet<(usize, Vec<u64>)> = HashSet::with_capacity(disjuncts.len());
+    disjuncts.retain(|d| seen.insert((d.n(), d.base().words().to_vec())));
+}
+
+/// Drops every disjunct *subsumed* by another: `a ⊑ b` (footnote 4's
+/// partial order) gives `γ(a) ⊆ γ(b)`, so every concrete fragment `a`
+/// covers is already covered by `b`, and the soundness induction carries
+/// through `b`'s successors alone. Pruning is deterministic and
+/// order-preserving (kept disjuncts retain their frontier positions), so
+/// parallel and sequential runs stay identical; after [`dedup_disjuncts`]
+/// all elements are distinct, mutual domination is impossible, and every
+/// domination chain ends in a kept ⊑-maximal element, so dropping exactly
+/// the elements dominated by *some* other is well-defined. Returns the
+/// number pruned.
+fn prune_subsumed(disjuncts: &mut Vec<AbstractSet>) -> usize {
+    if disjuncts.len() < 2 {
+        return 0;
+    }
+    let before = disjuncts.len();
+    // A dominator of `d` never has a smaller base or budget, so after
+    // ranking by (|T|, n) descending each disjunct only needs to test the
+    // elements ranked before it — the kept set (elements dominated by
+    // nothing) is order-independent, and `retain` below preserves the
+    // frontier's original positions.
+    let mut ranked: Vec<usize> = (0..disjuncts.len()).collect();
+    ranked.sort_by_key(|&i| std::cmp::Reverse((disjuncts[i].len(), disjuncts[i].n())));
+    let mut keep = vec![true; disjuncts.len()];
+    for (pos, &i) in ranked.iter().enumerate() {
+        keep[i] = !ranked[..pos]
+            .iter()
+            .any(|&j| disjuncts[i].le(&disjuncts[j]));
+    }
+    let mut it = keep.iter();
+    disjuncts.retain(|_| *it.next().expect("keep mask covers every disjunct"));
+    before - disjuncts.len()
 }
 
 /// Joins the smallest disjuncts pairwise until at most `k` remain (the
@@ -353,6 +403,7 @@ mod tests {
             depth,
             domain,
             CprobTransformer::Optimal,
+            true,
             &ExecContext::sequential(),
         )
     }
@@ -426,6 +477,7 @@ mod tests {
             4,
             DomainKind::Disjuncts,
             CprobTransformer::Optimal,
+            true,
             &ExecContext::sequential().timeout(std::time::Duration::ZERO),
         );
         assert_eq!(out.aborted, Some(Abort::Timeout));
@@ -441,6 +493,7 @@ mod tests {
             4,
             DomainKind::Disjuncts,
             CprobTransformer::Optimal,
+            true,
             &ExecContext::sequential().disjunct_budget(2),
         );
         assert_eq!(out.aborted, Some(Abort::DisjunctLimit));
@@ -457,6 +510,7 @@ mod tests {
             3,
             DomainKind::Hybrid { max_disjuncts: cap },
             CprobTransformer::Optimal,
+            true,
             &ExecContext::sequential(),
         );
         assert!(out.aborted.is_none());
@@ -494,6 +548,7 @@ mod tests {
             3,
             DomainKind::Disjuncts,
             CprobTransformer::Optimal,
+            true,
             &ExecContext::sequential(),
         );
         // The only terminal is the pure restriction of the initial state.
@@ -508,6 +563,58 @@ mod tests {
         let mut v = vec![a.clone(), a.clone(), AbstractSet::full(&ds, 2)];
         dedup_disjuncts(&mut v);
         assert_eq!(v.len(), 2);
+    }
+
+    #[test]
+    fn prune_drops_dominated_disjuncts_and_keeps_order() {
+        let ds = synth::figure2();
+        let dominated = AbstractSet::new(Subset::from_indices(&ds, vec![0, 1]), 1);
+        let dominator = AbstractSet::new(Subset::from_indices(&ds, vec![0, 1, 2]), 2);
+        let unrelated = AbstractSet::new(Subset::from_indices(&ds, vec![5, 6]), 1);
+        assert!(dominated.le(&dominator));
+        assert!(!unrelated.le(&dominator));
+        let mut v = vec![dominated.clone(), unrelated.clone(), dominator.clone()];
+        assert_eq!(prune_subsumed(&mut v), 1);
+        // Survivors keep their relative frontier order.
+        assert_eq!(v, vec![unrelated.clone(), dominator.clone()]);
+        // Chains collapse to the maximal element in one pass.
+        let top = AbstractSet::new(Subset::from_indices(&ds, vec![0, 1, 2, 3]), 3);
+        let mut chain = vec![dominated, dominator, top.clone(), unrelated.clone()];
+        assert_eq!(prune_subsumed(&mut chain), 2);
+        assert_eq!(chain, vec![top, unrelated]);
+    }
+
+    #[test]
+    fn disabling_subsumption_restores_the_unpruned_frontier() {
+        // On a frontier wide enough to contain dominated disjuncts, the
+        // pruned and unpruned runs must still agree on coverage-relevant
+        // outputs (terminal coverage is property-tested end-to-end in
+        // tests/soundness.rs; here we pin that the escape hatch actually
+        // changes the processed-disjunct count when pruning fires).
+        let ds = synth::iris_like(0);
+        let run = |subsume: bool, ctx: &ExecContext| {
+            run_abstract(
+                &ds,
+                AbstractSet::full(&ds, 8),
+                &ds.row_values(3),
+                3,
+                DomainKind::Disjuncts,
+                CprobTransformer::Optimal,
+                subsume,
+                ctx,
+            )
+        };
+        let ctx_on = ExecContext::sequential();
+        let on = run(true, &ctx_on);
+        let ctx_off = ExecContext::sequential();
+        let off = run(false, &ctx_off);
+        assert!(on.aborted.is_none() && off.aborted.is_none());
+        assert!(
+            ctx_on.metrics().disjuncts_subsumed() > 0,
+            "pruning must fire on this frontier"
+        );
+        assert_eq!(ctx_off.metrics().disjuncts_subsumed(), 0);
+        assert!(on.peak_disjuncts <= off.peak_disjuncts);
     }
 
     #[test]

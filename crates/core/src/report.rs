@@ -73,6 +73,10 @@ fn overlap_margin(t: &TerminalReport, reference: ClassId) -> f64 {
 
 /// Re-runs `DTrace#` and produces a full [`Explanation`] of the verdict.
 ///
+/// `subsume` must match the run being explained (a `--no-subsume` verdict
+/// explained with pruning enabled could describe terminals the original
+/// run never produced, and vice versa).
+///
 /// # Panics
 ///
 /// Panics if `ds` is empty.
@@ -83,6 +87,7 @@ pub fn explain(
     n: usize,
     domain: DomainKind,
     transformer: CprobTransformer,
+    subsume: bool,
 ) -> Explanation {
     let reference = dtrace_label(ds, &Subset::full(ds), x, depth);
     let out = run_abstract(
@@ -92,6 +97,7 @@ pub fn explain(
         depth,
         domain,
         transformer,
+        subsume,
         &ExecContext::sequential(),
     );
     let terminals: Vec<TerminalReport> = out
@@ -185,6 +191,7 @@ mod tests {
             8,
             DomainKind::Disjuncts,
             CprobTransformer::Optimal,
+            true,
         );
         assert!(e.robust);
         assert!(e.blockers.is_empty());
@@ -206,6 +213,7 @@ mod tests {
             150,
             DomainKind::Disjuncts,
             CprobTransformer::Optimal,
+            true,
         );
         assert!(!e.robust);
         assert!(!e.blockers.is_empty());
@@ -227,7 +235,7 @@ mod tests {
                     .depth(1)
                     .domain(domain)
                     .certify(&[0.5], n);
-                let e = explain(&ds, &[0.5], 1, n, domain, CprobTransformer::Optimal);
+                let e = explain(&ds, &[0.5], 1, n, domain, CprobTransformer::Optimal, true);
                 assert_eq!(cert.is_robust(), e.robust, "n={n} {domain:?}");
                 assert_eq!(cert.label, e.reference);
             }
@@ -244,6 +252,7 @@ mod tests {
             0,
             DomainKind::Box,
             CprobTransformer::Optimal,
+            true,
         );
         assert!(e.robust);
         assert_eq!(e.terminals.len(), 1);

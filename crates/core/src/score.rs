@@ -28,6 +28,7 @@
 use antidote_data::{Dataset, FeatureKind};
 use antidote_domains::trainset::ent_interval_from_counts;
 use antidote_domains::{AbsPredicate, AbstractSet, CprobTransformer, Interval};
+use antidote_tree::split::dense_enough;
 use antidote_tree::Predicate;
 
 /// Slack used when comparing score-interval bounds: including a borderline
@@ -64,22 +65,30 @@ pub fn scored_candidates(
     transformer: CprobTransformer,
 ) -> Vec<ScoredCandidate> {
     let n = a.n();
-    let total_counts = a.base().class_counts();
+    let base = a.base();
+    let total_counts = base.class_counts();
     let total_len = a.len();
     let k = total_counts.len();
     let mut out = Vec::new();
-    let mut rows: Vec<(f64, u16)> = Vec::new();
     let mut left = vec![0u32; k];
     let mut right = vec![0u32; k];
+    let dense = dense_enough(base.len(), ds.len());
+    let mut sparse_rows: Vec<u32> = Vec::new();
     for (feature, feat) in ds.schema().features().iter().enumerate() {
-        rows.clear();
-        rows.extend(a.base().iter().map(|r| (ds.value(r, feature), ds.label(r))));
-        rows.sort_by(|x, y| x.0.total_cmp(&y.0));
+        // Dense base sets walk the dataset's precomputed value order
+        // restricted by the O(1) bit test — no per-disjunct gather + sort
+        // (this sweep runs once per feature per live disjunct and was the
+        // hottest loop of the abstract learner); sparse fragments gather
+        // and stably sort their own rows instead of scanning the whole
+        // order. Both equal a stable sort of the base's rows, so
+        // candidates are generated in the exact historical sequence.
         left.iter_mut().for_each(|c| *c = 0);
-        for i in 0..rows.len() {
-            // `i` rows strictly precede threshold candidate `i`.
-            let left_len = i;
-            if i > 0 && rows[i].0 > rows[i - 1].0 {
+        let mut left_len = 0usize;
+        let mut prev = f64::NAN;
+        let mut step = |row: u32, out: &mut Vec<ScoredCandidate>| {
+            let v = ds.value(row, feature);
+            // `left_len` rows strictly precede the threshold candidate.
+            if left_len > 0 && v > prev {
                 let right_len = total_len - left_len;
                 for (r, (&t, &l)) in right.iter_mut().zip(total_counts.iter().zip(&left)) {
                     *r = t - l;
@@ -90,8 +99,8 @@ pub fn scored_candidates(
                     FeatureKind::Bool => AbsPredicate::Concrete(Predicate::boolean(feature)),
                     FeatureKind::Real => AbsPredicate::Symbolic {
                         feature,
-                        lo: rows[i - 1].0,
-                        hi: rows[i].0,
+                        lo: prev,
+                        hi: v,
                     },
                 };
                 out.push(ScoredCandidate {
@@ -100,7 +109,23 @@ pub fn scored_candidates(
                     forall: left_len > n && right_len > n,
                 });
             }
-            left[rows[i].1 as usize] += 1;
+            left[ds.label(row) as usize] += 1;
+            prev = v;
+            left_len += 1;
+        };
+        if dense {
+            for &row in ds.feature_order(feature) {
+                if base.contains(row) {
+                    step(row, &mut out);
+                }
+            }
+        } else {
+            sparse_rows.clear();
+            sparse_rows.extend(base.iter());
+            sparse_rows.sort_by(|&a, &b| ds.value(a, feature).total_cmp(&ds.value(b, feature)));
+            for &row in &sparse_rows {
+                step(row, &mut out);
+            }
         }
     }
     out

@@ -60,6 +60,13 @@ pub struct SweepConfig {
     /// timing caveat as thread invariance (a faster cached probe can
     /// finish where a fresh one times out).
     pub cache: bool,
+    /// Whether the abstract runs prune subsumed frontier disjuncts
+    /// (default: on; `false` is the `--no-subsume` escape hatch mirroring
+    /// `--no-cache`). Pruning is sound — a dominated disjunct's
+    /// concretizations are already covered by its dominator — and on the
+    /// stock configurations produces ladders bit-identical to the
+    /// unpruned frontier (pinned in `tests/determinism.rs`).
+    pub subsume: bool,
 }
 
 impl Default for SweepConfig {
@@ -75,6 +82,7 @@ impl Default for SweepConfig {
             binary_search: true,
             threads: 0,
             cache: true,
+            subsume: true,
         }
     }
 }
@@ -143,7 +151,8 @@ pub fn sweep_in(
     let certifier = Certifier::new(ds)
         .depth(cfg.depth)
         .domain(cfg.domain)
-        .transformer(cfg.transformer);
+        .transformer(cfg.transformer)
+        .subsume(cfg.subsume);
     let cache = cfg.cache.then(|| CertCache::new(test_points.len()));
     let max_n = cfg.max_n.unwrap_or(ds.len()).min(ds.len());
     let total_points = test_points.len();
@@ -285,14 +294,24 @@ fn probe(
             Verdict::Unknown => {}
         }
     }
-    let attempted = pool.len().max(1);
+    // An empty rung (reachable from protocol changes that let a probe
+    // pool drain, e.g. binary-search refinement over an emptied survivor
+    // set) must aggregate to zeroed averages instead of relying on the
+    // caller to never pass an empty pool — dividing by `attempted`
+    // unguarded would panic.
+    let attempted = pool.len();
+    let (avg_time, avg_peak_bytes) = if attempted == 0 {
+        (Duration::ZERO, 0)
+    } else {
+        (total_time / attempted as u32, total_bytes / attempted)
+    };
     let point = SweepPoint {
         n,
-        attempted: pool.len(),
+        attempted,
         verified: verified.len(),
         total_points,
-        avg_time: total_time / attempted as u32,
-        avg_peak_bytes: total_bytes / attempted,
+        avg_time,
+        avg_peak_bytes,
         timeouts,
         budget_exhausted,
     };
@@ -494,6 +513,36 @@ mod tests {
         }
         ns.sort_unstable();
         ns
+    }
+
+    #[test]
+    fn empty_rung_aggregates_to_zeroes() {
+        // Regression: `probe` used to divide by `attempted` relying on the
+        // caller never passing an empty pool; an emptied probe set (as the
+        // binary-search refinement path can produce under future protocol
+        // changes) must yield a zeroed rung, not a division panic.
+        let ds = blobs();
+        let certifier = Certifier::new(&ds).depth(1).domain(DomainKind::Disjuncts);
+        let cfg = cfg(DomainKind::Disjuncts, true);
+        let (point, verified) = probe(
+            &certifier,
+            &blob_points(),
+            &[],
+            4,
+            3,
+            &cfg,
+            None,
+            &ExecContext::sequential(),
+        );
+        assert!(verified.is_empty());
+        assert_eq!(point.attempted, 0);
+        assert_eq!(point.verified, 0);
+        assert_eq!(point.avg_time, Duration::ZERO);
+        assert_eq!(point.avg_peak_bytes, 0);
+        assert_eq!(point.timeouts, 0);
+        assert_eq!(point.budget_exhausted, 0);
+        assert_eq!(point.n, 4);
+        assert_eq!(point.total_points, 3);
     }
 
     #[test]

@@ -125,6 +125,93 @@ fn cached_and_fresh_sweeps_are_bit_identical() {
 }
 
 #[test]
+fn subsumption_pruning_is_observationally_invisible() {
+    // The full-certifier differential for the frontier subsumption pass:
+    // Box/Disjuncts/Hybrid × subsume on/off × threads {1,4} must produce
+    // bit-identical ladders — a dominated disjunct's concretizations are
+    // covered by its dominator, so dropping it may only remove redundant
+    // work, never flip a rung count.
+    let ds = blobs(60, 7);
+    let xs = test_points(16);
+    for domain in [
+        DomainKind::Box,
+        DomainKind::Disjuncts,
+        DomainKind::Hybrid { max_disjuncts: 8 },
+    ] {
+        for threads in [1usize, 4] {
+            let cfg = |subsume: bool| SweepConfig {
+                depth: 2,
+                domain,
+                timeout: None,
+                threads,
+                subsume,
+                ..SweepConfig::default()
+            };
+            let pruned_ctx = ExecContext::new().threads(threads);
+            let pruned = antidote_core::sweep_in(&ds, &xs, &cfg(true), &pruned_ctx);
+            let plain_ctx = ExecContext::new().threads(threads);
+            let plain = antidote_core::sweep_in(&ds, &xs, &cfg(false), &plain_ctx);
+            assert_eq!(
+                key(&pruned),
+                key(&plain),
+                "{domain:?} @ {threads} thread(s): --no-subsume ladder diverged"
+            );
+            assert_eq!(
+                plain_ctx.metrics().disjuncts_subsumed(),
+                0,
+                "the escape hatch must fully disarm pruning"
+            );
+            if domain == DomainKind::Disjuncts {
+                assert!(
+                    pruned_ctx.metrics().disjuncts_subsumed() > 0,
+                    "sanity: pruning must fire on the disjunctive frontier"
+                );
+                assert!(
+                    pruned_ctx.metrics().disjuncts_processed()
+                        <= plain_ctx.metrics().disjuncts_processed(),
+                    "pruning may only shrink the processed frontier"
+                );
+            }
+        }
+    }
+}
+
+#[test]
+fn certify_verdicts_invariant_under_subsume_toggle() {
+    // Direct certifier differential (no sweep in the loop): identical
+    // verdicts and labels for every domain × budget × input, with and
+    // without pruning, at 1 and 4 threads.
+    let ds = blobs(50, 3);
+    for domain in [
+        DomainKind::Box,
+        DomainKind::Disjuncts,
+        DomainKind::Hybrid { max_disjuncts: 8 },
+    ] {
+        for n in [0usize, 4, 16, 64] {
+            for x in [[0.5], [5.1], [9.5]] {
+                let outcome = |subsume: bool, threads: usize| {
+                    Certifier::new(&ds)
+                        .depth(2)
+                        .domain(domain)
+                        .threads(threads)
+                        .subsume(subsume)
+                        .certify(&x, n)
+                };
+                let base = outcome(false, 1);
+                for (subsume, threads) in [(true, 1), (true, 4), (false, 4)] {
+                    let o = outcome(subsume, threads);
+                    assert_eq!(
+                        o.verdict, base.verdict,
+                        "{domain:?} x={x:?} n={n} subsume={subsume} threads={threads}"
+                    );
+                    assert_eq!(o.label, base.label);
+                }
+            }
+        }
+    }
+}
+
+#[test]
 fn cached_sweep_is_bit_identical_under_a_binding_disjunct_budget() {
     // With a small disjunct budget some probes deterministically abort
     // with `DisjunctBudget`. The cached sweep must report the exact same
@@ -177,6 +264,7 @@ fn disjunct_frontier_is_thread_invariant() {
                 3,
                 domain,
                 CprobTransformer::Optimal,
+                true,
                 &ExecContext::new().threads(threads),
             )
         };

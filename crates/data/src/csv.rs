@@ -69,6 +69,17 @@ pub fn read_csv<R: Read>(reader: R) -> Result<Dataset, DataError> {
                 line: lineno,
                 message: format!("field {i} ('{field}') is not a number"),
             })?;
+            // `parse::<f64>` happily accepts "NaN"/"inf"/"-inf"; letting
+            // them through would poison gini thresholds and predicate
+            // comparisons downstream (NaN breaks total orders silently),
+            // so reject them here with the offending line, not later with
+            // a row index the user cannot map back to the file.
+            if !v.is_finite() {
+                return Err(DataError::Csv {
+                    line: lineno,
+                    message: format!("field {i} ('{field}') is not finite"),
+                });
+            }
             values.push(v);
         }
         rows.push((values, fields[n_features].to_string()));
@@ -237,6 +248,36 @@ mod tests {
         assert!(matches!(err, DataError::Csv { line: 2, .. }));
         // Header only, no rows.
         assert!(read_csv("x0,label\n".as_bytes()).is_err());
+    }
+
+    #[test]
+    fn non_finite_values_rejected_with_line_numbers() {
+        // Rust's f64 parser accepts many spellings of the non-finite
+        // values; every one must be rejected as a typed CSV error carrying
+        // the 1-based file line, never silently admitted as a row.
+        for bad in ["NaN", "nan", "inf", "+inf", "-inf", "infinity", "-Infinity"] {
+            let src = format!("x0,x1,label\n1,2,a\n{bad},3,b\n");
+            let err = read_csv(src.as_bytes()).unwrap_err();
+            assert!(
+                matches!(err, DataError::Csv { line: 3, .. }),
+                "'{bad}' must be rejected at line 3, got {err:?}"
+            );
+        }
+        // …and in any column, not just the first.
+        let err = read_csv("x0,x1,label\n1,-inf,a\n".as_bytes()).unwrap_err();
+        assert!(matches!(err, DataError::Csv { line: 2, .. }));
+    }
+
+    #[test]
+    fn exponent_form_finite_values_accepted() {
+        // Finite scientific notation must keep parsing: the non-finite
+        // guard is about NaN/∞, not about exotic-but-finite spellings.
+        let src = "x0,x1,label\n1e3,-2.5E-2,a\n0.5e0,3,b\n";
+        let ds = read_csv(src.as_bytes()).unwrap();
+        assert_eq!(ds.len(), 2);
+        assert_eq!(ds.value(0, 0), 1000.0);
+        assert!((ds.value(0, 1) + 0.025).abs() < 1e-15);
+        assert_eq!(ds.value(1, 0), 0.5);
     }
 
     #[test]

@@ -8,6 +8,7 @@
 
 use crate::error::DataError;
 use crate::{ClassId, RowId};
+use std::sync::{Arc, OnceLock};
 
 /// The kind of values a feature column holds.
 ///
@@ -171,11 +172,116 @@ impl Column {
 /// Construct with [`DatasetBuilder`] (row-at-a-time, validated) or
 /// [`Dataset::from_rows`] (bulk). All values are finite; labels are dense in
 /// `0..n_classes`.
-#[derive(Debug, Clone, PartialEq)]
+#[derive(Debug, Clone)]
 pub struct Dataset {
     schema: Schema,
     columns: Vec<Column>,
     labels: Vec<ClassId>,
+    /// One row bitmask per class (`masks[c]` has bit `r` set iff
+    /// `labels[r] == c`), each `ceil(len / 64)` words long. Derived from
+    /// `labels` at construction; [`crate::Subset`]'s word-packed algebra
+    /// recomputes per-class counts by AND-popcount against these masks.
+    class_masks: Vec<Vec<u64>>,
+    /// Per feature: every row id, sorted ascending by that feature's value
+    /// (stable — ties stay in ascending row order). Split-candidate sweeps
+    /// walk this order filtered by a subset's O(1) bit test instead of
+    /// gathering and sorting the subset's rows per call, which was the
+    /// hottest loop of both the concrete and the abstract learner.
+    feature_order: Vec<Vec<RowId>>,
+    /// Per feature: the lazily-built threshold index backing word-parallel
+    /// `x ≤ τ` restrictions. Wrapped in `Arc<OnceLock<…>>` so commands
+    /// that never restrict (stats, accuracy) pay nothing, clones and
+    /// feature projections share the built masks, and the inner `None`
+    /// marks very-high-cardinality columns (see
+    /// [`MAX_THRESHOLD_INDEX_VALUES`]) where callers fall back to the
+    /// row-predicate filter.
+    threshold_index: Vec<Arc<OnceLock<Option<ThresholdIndex>>>>,
+}
+
+/// Two datasets are equal when their schema, feature values, and labels
+/// are — the bitmask/order/threshold caches are pure functions of those
+/// and deliberately excluded (a lazily-built index must not make a
+/// dataset unequal to its clone).
+impl PartialEq for Dataset {
+    fn eq(&self, other: &Self) -> bool {
+        self.schema == other.schema && self.columns == other.columns && self.labels == other.labels
+    }
+}
+
+/// Distinct-value cap above which a feature gets no [`ThresholdIndex`]:
+/// the prefix masks cost `distinct × ceil(rows/64)` words, so an
+/// effectively-continuous column on a huge dataset would dominate the
+/// dataset's own footprint. Every dataset in the evaluation (quantized
+/// synthetics, UCI-scale reals, binary pixels) sits far below the cap.
+const MAX_THRESHOLD_INDEX_VALUES: usize = 4096;
+
+/// Sorted distinct values of one column plus, per distinct value, the
+/// bitmask of rows with value ≤ it — one binary search + one AND pass
+/// answers any threshold restriction on the column.
+#[derive(Debug, Clone, PartialEq)]
+struct ThresholdIndex {
+    /// The column's distinct values, ascending (IEEE-distinct: `-0.0` and
+    /// `0.0` collapse).
+    values: Vec<f64>,
+    /// `masks[j]`: bitmask of rows whose value is ≤ `values[j]`.
+    masks: Vec<Vec<u64>>,
+}
+
+/// Builds one feature's [`ThresholdIndex`] from its value-sorted row
+/// order, or `None` when the column has too many distinct values.
+fn build_threshold_index(col: &Column, order: &[RowId]) -> Option<ThresholdIndex> {
+    let n_words = col.len().div_ceil(64);
+    let mut values: Vec<f64> = Vec::new();
+    let mut masks: Vec<Vec<u64>> = Vec::new();
+    let mut running = vec![0u64; n_words];
+    let mut prev: Option<f64> = None;
+    for &r in order {
+        let v = col.value(r);
+        if let Some(p) = prev {
+            if v > p {
+                if values.len() >= MAX_THRESHOLD_INDEX_VALUES {
+                    return None;
+                }
+                values.push(p);
+                masks.push(running.clone());
+            }
+        }
+        running[r as usize / 64] |= 1u64 << (r % 64);
+        prev = Some(v);
+    }
+    if let Some(p) = prev {
+        if values.len() >= MAX_THRESHOLD_INDEX_VALUES {
+            return None;
+        }
+        values.push(p);
+        masks.push(running);
+    }
+    Some(ThresholdIndex { values, masks })
+}
+
+/// Builds the per-class row bitmasks for [`Dataset::class_mask`].
+fn build_class_masks(labels: &[ClassId], n_classes: usize) -> Vec<Vec<u64>> {
+    let n_words = labels.len().div_ceil(64);
+    let mut masks = vec![vec![0u64; n_words]; n_classes];
+    for (row, &label) in labels.iter().enumerate() {
+        masks[label as usize][row / 64] |= 1u64 << (row % 64);
+    }
+    masks
+}
+
+/// Builds the per-feature value-sorted row orders for
+/// [`Dataset::feature_order`].
+fn build_feature_order(columns: &[Column]) -> Vec<Vec<RowId>> {
+    columns
+        .iter()
+        .map(|col| {
+            let mut order: Vec<RowId> = (0..col.len() as RowId).collect();
+            // Stable: equal values keep ascending row order, matching what
+            // a stable sort of any subset's rows would produce.
+            order.sort_by(|&a, &b| col.value(a).total_cmp(&col.value(b)));
+            order
+        })
+        .collect()
 }
 
 impl Dataset {
@@ -262,6 +368,52 @@ impl Dataset {
         counts
     }
 
+    /// The row bitmask of `class`: bit `r` is set iff row `r` carries that
+    /// label. `ceil(len / 64)` words long; the word-parallel backbone of
+    /// [`crate::Subset`]'s class-count maintenance.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `class` is out of range.
+    #[inline]
+    pub fn class_mask(&self, class: ClassId) -> &[u64] {
+        &self.class_masks[class as usize]
+    }
+
+    /// All row ids sorted ascending by `feature`'s value (stable: ties in
+    /// ascending row order). Computed once at construction; threshold
+    /// sweeps restrict it to a subset via [`crate::Subset::contains`]
+    /// instead of re-sorting the subset's rows on every call.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `feature` is out of bounds.
+    #[inline]
+    pub fn feature_order(&self, feature: usize) -> &[RowId] {
+        &self.feature_order[feature]
+    }
+
+    /// The bitmask of rows whose `feature` value is `≤ tau` (or `< tau`
+    /// when `strict`), from the feature's threshold index (built on first
+    /// use, then shared by clones and projections). `None` when the column
+    /// is too high-cardinality to be indexed (the caller falls back to a
+    /// row filter); `Some(&[])` when no row qualifies.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `feature` is out of bounds.
+    pub fn le_mask(&self, feature: usize, tau: f64, strict: bool) -> Option<&[u64]> {
+        let idx = self.threshold_index[feature]
+            .get_or_init(|| {
+                build_threshold_index(&self.columns[feature], &self.feature_order[feature])
+            })
+            .as_ref()?;
+        let j = idx
+            .values
+            .partition_point(|&v| if strict { v < tau } else { v <= tau });
+        Some(if j == 0 { &[] } else { &idx.masks[j - 1] })
+    }
+
     /// Projects the dataset onto a subset of its feature columns (labels
     /// unchanged). Used by the random-subspace forest learner, where each
     /// tree sees its own feature subset.
@@ -287,6 +439,18 @@ impl Dataset {
             schema,
             columns,
             labels: self.labels.clone(),
+            class_masks: self.class_masks.clone(),
+            feature_order: features
+                .iter()
+                .map(|&f| self.feature_order[f].clone())
+                .collect(),
+            // Arc-shared: a projected column equals its source column, so
+            // the (lazily built) threshold index is shared, not recomputed
+            // or deep-copied per projection.
+            threshold_index: features
+                .iter()
+                .map(|&f| Arc::clone(&self.threshold_index[f]))
+                .collect(),
         }
     }
 
@@ -411,10 +575,21 @@ impl DatasetBuilder {
 
     /// Finalises the dataset.
     pub fn finish(self) -> Dataset {
+        let class_masks = build_class_masks(&self.labels, self.schema.n_classes());
+        let feature_order = build_feature_order(&self.columns);
+        // Threshold indexes are built lazily on first restriction (see
+        // Dataset::le_mask), so loading a dataset for stats/accuracy-style
+        // commands pays nothing for them.
+        let threshold_index = (0..self.columns.len())
+            .map(|_| Arc::new(OnceLock::new()))
+            .collect();
         Dataset {
             schema: self.schema,
             columns: self.columns,
             labels: self.labels,
+            class_masks,
+            feature_order,
+            threshold_index,
         }
     }
 }
@@ -488,7 +663,21 @@ mod tests {
             b.push_row(&[0.0, f64::INFINITY], 0).unwrap_err(),
             DataError::NonFiniteValue { feature: 1, .. }
         ));
+        assert!(matches!(
+            b.push_row(&[f64::NEG_INFINITY, 0.0], 0).unwrap_err(),
+            DataError::NonFiniteValue { feature: 0, .. }
+        ));
         assert_eq!(b.len(), 0);
+        // The bulk path rejects identically (it shares the builder).
+        for bad in [f64::NAN, f64::INFINITY, f64::NEG_INFINITY] {
+            assert!(matches!(
+                Dataset::from_rows(schema2x2(), &[(vec![0.0, bad], 0)]),
+                Err(DataError::NonFiniteValue { row: 0, feature: 1 })
+            ));
+        }
+        // Extreme-but-finite magnitudes (exponent-form inputs) are fine.
+        let ds = Dataset::from_rows(schema2x2(), &[(vec![1e3, -2.5e-2], 0)]).unwrap();
+        assert_eq!(ds.value(0, 0), 1000.0);
     }
 
     #[test]
@@ -561,6 +750,75 @@ mod tests {
     fn select_features_rejects_empty() {
         let ds = Dataset::from_rows(schema2x2(), &[(vec![0.0, 0.0], 0)]).unwrap();
         let _ = ds.select_features(&[]);
+    }
+
+    #[test]
+    fn class_masks_mirror_labels() {
+        let rows: Vec<(Vec<f64>, ClassId)> = (0..70)
+            .map(|i| (vec![i as f64, 0.0], (i % 3 == 0) as ClassId))
+            .collect();
+        let ds = Dataset::from_rows(Schema::real(2, 2), &rows).unwrap();
+        for class in 0..2 {
+            let mask = ds.class_mask(class);
+            assert_eq!(mask.len(), 2, "70 rows pack into 2 words");
+            for row in 0..ds.len() {
+                let bit = mask[row / 64] >> (row % 64) & 1;
+                assert_eq!(bit == 1, ds.label(row as RowId) == class, "row {row}");
+            }
+        }
+        // Masks survive feature projection (labels are unchanged).
+        let p = ds.select_features(&[1]);
+        assert_eq!(p.class_mask(0), ds.class_mask(0));
+    }
+
+    #[test]
+    fn le_mask_boundaries_and_sharing() {
+        let ds = Dataset::from_rows(
+            schema2x2(),
+            &[
+                (vec![1.0, 0.0], 0),
+                (vec![2.0, 0.0], 1),
+                (vec![2.0, 0.0], 0),
+                (vec![4.0, 0.0], 1),
+            ],
+        )
+        .unwrap();
+        // Below / between / at / above the observed values.
+        assert_eq!(ds.le_mask(0, 0.5, false), Some(&[][..]));
+        assert_eq!(ds.le_mask(0, 1.0, false), Some(&[0b0001u64][..]));
+        assert_eq!(ds.le_mask(0, 2.0, false), Some(&[0b0111u64][..]));
+        assert_eq!(ds.le_mask(0, 2.0, true), Some(&[0b0001u64][..]));
+        assert_eq!(ds.le_mask(0, 3.0, false), Some(&[0b0111u64][..]));
+        assert_eq!(ds.le_mask(0, 99.0, false), Some(&[0b1111u64][..]));
+        // A projection shares the already-built index (same allocation).
+        let p = ds.select_features(&[0]);
+        let a = ds.le_mask(0, 2.0, false).unwrap().as_ptr();
+        let b = p.le_mask(0, 2.0, false).unwrap().as_ptr();
+        assert_eq!(a, b, "projections must share the lazily-built masks");
+        // Laziness is observational equality: a clone built before first
+        // use answers identically.
+        assert_eq!(ds.clone().le_mask(0, 2.0, true), ds.le_mask(0, 2.0, true));
+    }
+
+    #[test]
+    fn feature_order_is_value_sorted_and_tie_stable() {
+        let ds = Dataset::from_rows(
+            schema2x2(),
+            &[
+                (vec![3.0, 1.0], 0),
+                (vec![1.0, 1.0], 1),
+                (vec![3.0, 0.0], 0),
+                (vec![2.0, 1.0], 1),
+            ],
+        )
+        .unwrap();
+        // Feature 0: value order 1,2,3,3 — the tied 3s keep row order.
+        assert_eq!(ds.feature_order(0), &[1, 3, 0, 2]);
+        // Feature 1: 0 first, then the tied 1s in ascending row order.
+        assert_eq!(ds.feature_order(1), &[2, 0, 1, 3]);
+        // Projection keeps the selected features' orders.
+        let p = ds.select_features(&[1]);
+        assert_eq!(p.feature_order(0), ds.feature_order(1));
     }
 
     #[test]

@@ -8,9 +8,10 @@
 //! * [`Dataset`] — an immutable, columnar labelled dataset ([`Column::Bool`]
 //!   or [`Column::Real`] features, integer class labels described by a
 //!   [`Schema`]);
-//! * [`Subset`] — a cheap sorted-index view into a dataset with cached
-//!   per-class counts. Both the concrete learner `DTrace` and the abstract
-//!   training sets `⟨T,n⟩` are built on `Subset`;
+//! * [`Subset`] — a cheap word-packed row-bitset view into a dataset with
+//!   cached per-class counts and word-parallel set algebra. Both the
+//!   concrete learner `DTrace` and the abstract training sets `⟨T,n⟩` are
+//!   built on `Subset`;
 //! * [`synth`] — deterministic synthetic generators for the five benchmark
 //!   datasets of the paper's evaluation (§6.1, Table 1), plus the paper's
 //!   Figure 2 running example and generic blob generators;
@@ -44,7 +45,7 @@ pub use dataset::{Column, Dataset, DatasetBuilder, FeatureKind, Schema};
 pub use error::DataError;
 pub use split::train_test_split;
 pub use stats::DatasetStats;
-pub use subset::Subset;
+pub use subset::{Subset, ThresholdCmp};
 
 /// Row index into a [`Dataset`]. `u32` keeps index vectors compact; datasets
 /// above `u32::MAX` rows are rejected at construction time.

@@ -1,33 +1,137 @@
-//! Sorted-index views into a [`Dataset`].
+//! Word-packed row-set views into a [`Dataset`].
 //!
 //! Every training-set fragment in the pipeline — the shrinking set held by
 //! the concrete learner `DTrace`, the base set `T` of an abstract element
 //! `⟨T,n⟩`, each disjunct of the disjunctive domain — is a [`Subset`]: a
-//! strictly increasing vector of row ids plus cached per-class counts.
+//! bitset over row ids packed into `u64` words, plus cached per-class
+//! counts.
 //!
-//! Keeping indices sorted makes the set algebra the abstract domain needs
-//! (`|T₁ \ T₂|` for joins, `∩` for meets, `∪` for joins) a linear merge, and
-//! caching class counts makes `cprob`/`ent` (and their abstract versions)
-//! O(k) instead of O(|T|).
+//! The packed representation makes the set algebra the abstract domain
+//! needs word-parallel: `|T₁ \ T₂|` (joins and the partial order), `∩`
+//! (meets), `∪` (joins), and `⊆` are a handful of AND/OR/ANDNOT + popcount
+//! passes over `ceil(|dataset| / 64)` words instead of linear merges over
+//! index vectors. Per-class counts are recomputed by AND-popcount against
+//! the dataset's per-class row bitmasks ([`Dataset::class_mask`]), keeping
+//! `cprob`/`ent` (and their abstract versions) O(k).
+//!
+//! Iteration order is unchanged from the historical sorted-`Vec`
+//! representation: [`Subset::iter`] yields row ids in strictly increasing
+//! order, so trace recording, counterexample minimality, and every
+//! deterministic fold downstream are bit-identical to the old backend
+//! (pinned by `crates/data/tests/subset_equiv.rs`).
+//!
+//! The word vector is kept *canonical* — no trailing zero words — so
+//! structural equality (`PartialEq`) coincides with set equality no matter
+//! which operations produced the two sides.
 
 use crate::{ClassId, Dataset, RowId};
 
-/// A subset of a dataset's rows: sorted unique row ids + per-class counts.
+/// A threshold comparison against one feature, for
+/// [`Subset::filter_cmp`]'s word-parallel restriction fast path.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum ThresholdCmp {
+    /// `value ≤ τ`.
+    Le,
+    /// `value < τ`.
+    Lt,
+    /// `value > τ` (complement of [`ThresholdCmp::Le`]).
+    Gt,
+    /// `value ≥ τ` (complement of [`ThresholdCmp::Lt`]).
+    Ge,
+}
+
+impl ThresholdCmp {
+    /// Whether `v` satisfies the comparison against `tau`.
+    #[inline]
+    fn eval(self, v: f64, tau: f64) -> bool {
+        match self {
+            ThresholdCmp::Le => v <= tau,
+            ThresholdCmp::Lt => v < tau,
+            ThresholdCmp::Gt => v > tau,
+            ThresholdCmp::Ge => v >= tau,
+        }
+    }
+
+    /// `(strict, invert)` decomposition against the dataset's prefix
+    /// masks: `Lt`/`Ge` query the strict (`<`) mask, and the two upper
+    /// comparisons (`Gt`/`Ge`) take the complement of their lower dual.
+    #[inline]
+    fn mask_form(self) -> (bool, bool) {
+        match self {
+            ThresholdCmp::Le => (false, false),
+            ThresholdCmp::Lt => (true, false),
+            ThresholdCmp::Gt => (false, true),
+            ThresholdCmp::Ge => (true, true),
+        }
+    }
+}
+
+/// A subset of a dataset's rows: a packed row bitset + per-class counts.
 ///
 /// A `Subset` does not borrow the [`Dataset`]; callers pass the dataset to
-/// operations that need values or labels. All subsets flowing through one
-/// prover run refer to the same dataset.
+/// operations that need values, labels, or class masks. All subsets flowing
+/// through one prover run refer to the same dataset.
 #[derive(Debug, Clone, PartialEq, Eq)]
 pub struct Subset {
-    indices: Vec<RowId>,
+    /// Row bitset, 64 rows per word, canonical (no trailing zero words).
+    words: Vec<u64>,
+    /// Cached `Σ class_counts` (= total popcount of `words`).
+    len: u32,
     class_counts: Vec<u32>,
+}
+
+/// Strips trailing zero words so equal sets are structurally equal.
+fn trim(words: &mut Vec<u64>) {
+    while words.last() == Some(&0) {
+        words.pop();
+    }
+}
+
+/// Per-class counts of a packed row set, by AND-popcount against the
+/// dataset's class masks.
+fn counts_of_words(ds: &Dataset, words: &[u64]) -> Vec<u32> {
+    (0..ds.n_classes())
+        .map(|c| {
+            ds.class_mask(c as ClassId)
+                .iter()
+                .zip(words)
+                .map(|(&m, &w)| (m & w).count_ones())
+                .sum()
+        })
+        .collect()
+}
+
+/// Iterator over the set bits of one word, ascending.
+struct WordBits {
+    word: u64,
+    base: u32,
+}
+
+impl Iterator for WordBits {
+    type Item = RowId;
+
+    #[inline]
+    fn next(&mut self) -> Option<RowId> {
+        if self.word == 0 {
+            return None;
+        }
+        let tz = self.word.trailing_zeros();
+        self.word &= self.word - 1;
+        Some(self.base + tz)
+    }
 }
 
 impl Subset {
     /// The subset containing every row of `ds`.
     pub fn full(ds: &Dataset) -> Self {
+        let n = ds.len();
+        let mut words = vec![!0u64; n / 64];
+        if !n.is_multiple_of(64) {
+            words.push((1u64 << (n % 64)) - 1);
+        }
         Subset {
-            indices: (0..ds.len() as RowId).collect(),
+            words,
+            len: n as u32,
             class_counts: ds.class_counts(),
         }
     }
@@ -35,28 +139,39 @@ impl Subset {
     /// An empty subset shaped for `n_classes` classes.
     pub fn empty(n_classes: usize) -> Self {
         Subset {
-            indices: Vec::new(),
+            words: Vec::new(),
+            len: 0,
             class_counts: vec![0; n_classes],
         }
     }
 
-    /// Builds a subset from arbitrary row ids (sorted and deduplicated here).
+    /// Builds a subset from arbitrary row ids (duplicates collapse into the
+    /// same bit).
     ///
     /// # Panics
     ///
     /// Panics if any index is out of bounds for `ds`.
-    pub fn from_indices(ds: &Dataset, mut indices: Vec<RowId>) -> Self {
-        indices.sort_unstable();
-        indices.dedup();
-        if let Some(&last) = indices.last() {
-            assert!((last as usize) < ds.len(), "row id {last} out of bounds");
-        }
+    pub fn from_indices(ds: &Dataset, indices: Vec<RowId>) -> Self {
+        let mut words: Vec<u64> = Vec::new();
         let mut class_counts = vec![0u32; ds.n_classes()];
+        let mut len = 0u32;
         for &i in &indices {
-            class_counts[ds.label(i) as usize] += 1;
+            assert!((i as usize) < ds.len(), "row id {i} out of bounds");
+            let w = i as usize / 64;
+            if words.len() <= w {
+                words.resize(w + 1, 0);
+            }
+            let bit = 1u64 << (i % 64);
+            if words[w] & bit == 0 {
+                words[w] |= bit;
+                class_counts[ds.label(i) as usize] += 1;
+                len += 1;
+            }
         }
+        trim(&mut words);
         Subset {
-            indices,
+            words,
+            len,
             class_counts,
         }
     }
@@ -64,19 +179,27 @@ impl Subset {
     /// Number of rows in the subset (`|T|`).
     #[inline]
     pub fn len(&self) -> usize {
-        self.indices.len()
+        self.len as usize
     }
 
     /// Whether the subset is empty.
     #[inline]
     pub fn is_empty(&self) -> bool {
-        self.indices.is_empty()
+        self.len == 0
     }
 
-    /// The sorted row ids.
+    /// The row ids in ascending order, materialised. The packed backend no
+    /// longer stores an index vector; callers that only need to walk the
+    /// rows should prefer [`Subset::iter`].
+    pub fn indices(&self) -> Vec<RowId> {
+        self.iter().collect()
+    }
+
+    /// The packed word representation (64 rows per word, no trailing zero
+    /// words). Cheap identity key for deduplication and differential tests.
     #[inline]
-    pub fn indices(&self) -> &[RowId] {
-        &self.indices
+    pub fn words(&self) -> &[u64] {
+        &self.words
     }
 
     /// Per-class row counts (`cᵢ` in the paper's `cprob#`).
@@ -103,154 +226,215 @@ impl Subset {
         self.class_counts.iter().filter(|&&c| c > 0).count() <= 1
     }
 
-    /// Iterator over the row ids.
+    /// Iterator over the row ids, in strictly increasing order.
     pub fn iter(&self) -> impl Iterator<Item = RowId> + '_ {
-        self.indices.iter().copied()
+        self.words.iter().enumerate().flat_map(|(wi, &w)| WordBits {
+            word: w,
+            base: (wi * 64) as u32,
+        })
     }
 
     /// Whether `row` is in the subset.
+    #[inline]
     pub fn contains(&self, row: RowId) -> bool {
-        self.indices.binary_search(&row).is_ok()
+        self.words
+            .get(row as usize / 64)
+            .is_some_and(|w| w >> (row % 64) & 1 == 1)
     }
 
     /// Splits the subset by a row predicate: rows satisfying `keep` go left,
-    /// the rest go right. This is the concrete `T↓φ / T↓¬φ` split.
+    /// the rest go right. This is the concrete `T↓φ / T↓¬φ` split. `keep` is
+    /// invoked once per member row, in ascending row order.
     pub fn partition<F: FnMut(RowId) -> bool>(
         &self,
         ds: &Dataset,
         mut keep: F,
     ) -> (Subset, Subset) {
         let k = self.n_classes();
-        let mut yes = Subset::empty(k);
-        let mut no = Subset::empty(k);
-        for &i in &self.indices {
-            let target = if keep(i) { &mut yes } else { &mut no };
-            target.indices.push(i);
-            target.class_counts[ds.label(i) as usize] += 1;
+        let mut yes = Subset {
+            words: vec![0; self.words.len()],
+            len: 0,
+            class_counts: vec![0; k],
+        };
+        let mut no = yes.clone();
+        for (wi, &word) in self.words.iter().enumerate() {
+            let mut w = word;
+            while w != 0 {
+                let tz = w.trailing_zeros();
+                w &= w - 1;
+                let row = (wi * 64) as u32 + tz;
+                let target = if keep(row) { &mut yes } else { &mut no };
+                target.words[wi] |= 1u64 << tz;
+                target.class_counts[ds.label(row) as usize] += 1;
+                target.len += 1;
+            }
         }
+        trim(&mut yes.words);
+        trim(&mut no.words);
         (yes, no)
     }
 
     /// Keeps only rows satisfying `keep` (the `T↓φ` half of
     /// [`Subset::partition`]).
-    pub fn filter<F: FnMut(RowId) -> bool>(&self, ds: &Dataset, keep: F) -> Subset {
-        self.partition(ds, keep).0
+    pub fn filter<F: FnMut(RowId) -> bool>(&self, ds: &Dataset, mut keep: F) -> Subset {
+        let k = self.n_classes();
+        let mut out = Subset {
+            words: vec![0; self.words.len()],
+            len: 0,
+            class_counts: vec![0; k],
+        };
+        for (wi, &word) in self.words.iter().enumerate() {
+            let mut w = word;
+            while w != 0 {
+                let tz = w.trailing_zeros();
+                w &= w - 1;
+                let row = (wi * 64) as u32 + tz;
+                if keep(row) {
+                    out.words[wi] |= 1u64 << tz;
+                    out.class_counts[ds.label(row) as usize] += 1;
+                    out.len += 1;
+                }
+            }
+        }
+        trim(&mut out.words);
+        out
+    }
+
+    /// Keeps only rows whose `feature` value satisfies `cmp` against
+    /// `tau` — the threshold restriction `T↓φ` both learners bottom out
+    /// in. Word-parallel when the dataset has a threshold index for the
+    /// feature (one binary search + one AND/ANDNOT pass, with counts by
+    /// mask popcount); falls back to the row-predicate [`Subset::filter`]
+    /// on unindexed high-cardinality columns. Identical results either
+    /// way (pinned in `crates/data/tests/subset_equiv.rs`).
+    pub fn filter_cmp(&self, ds: &Dataset, feature: usize, tau: f64, cmp: ThresholdCmp) -> Subset {
+        let (strict, invert) = cmp.mask_form();
+        match ds.le_mask(feature, tau, strict) {
+            Some(mask) => {
+                let mut words: Vec<u64> = self
+                    .words
+                    .iter()
+                    .enumerate()
+                    .map(|(i, &w)| {
+                        let m = mask.get(i).copied().unwrap_or(0);
+                        w & if invert { !m } else { m }
+                    })
+                    .collect();
+                trim(&mut words);
+                let class_counts = counts_of_words(ds, &words);
+                let len = class_counts.iter().sum();
+                Subset {
+                    words,
+                    len,
+                    class_counts,
+                }
+            }
+            None => self.filter(ds, |r| cmp.eval(ds.value(r, feature), tau)),
+        }
     }
 
     /// Keeps only rows labelled `class` — the set `T'` of the paper's
-    /// `pure(⟨T,n⟩, i)` operation (§4.7).
+    /// `pure(⟨T,n⟩, i)` operation (§4.7). Word-parallel: one AND pass
+    /// against the dataset's class mask.
     pub fn filter_class(&self, ds: &Dataset, class: ClassId) -> Subset {
-        let mut out = Subset::empty(self.n_classes());
-        for &i in &self.indices {
-            if ds.label(i) == class {
-                out.indices.push(i);
-            }
+        let mask = ds.class_mask(class);
+        let mut words: Vec<u64> = self.words.iter().zip(mask).map(|(&w, &m)| w & m).collect();
+        trim(&mut words);
+        let count: u32 = words.iter().map(|w| w.count_ones()).sum();
+        let mut class_counts = vec![0u32; self.n_classes()];
+        class_counts[class as usize] = count;
+        Subset {
+            words,
+            len: count,
+            class_counts,
         }
-        out.class_counts[class as usize] = out.indices.len() as u32;
-        out
     }
 
     /// Removes the rows of `other` from `self` (set difference), used by the
     /// enumeration baseline to materialise elements of `Δn(T)`.
     pub fn difference(&self, ds: &Dataset, other: &Subset) -> Subset {
-        let mut out = Subset::empty(self.n_classes());
-        for &i in &self.indices {
-            if !other.contains(i) {
-                out.indices.push(i);
-                out.class_counts[ds.label(i) as usize] += 1;
-            }
+        let mut words: Vec<u64> = self
+            .words
+            .iter()
+            .enumerate()
+            .map(|(i, &w)| w & !other.words.get(i).copied().unwrap_or(0))
+            .collect();
+        trim(&mut words);
+        let class_counts = counts_of_words(ds, &words);
+        let len = class_counts.iter().sum();
+        Subset {
+            words,
+            len,
+            class_counts,
         }
-        out
     }
 
-    /// `|self \ other|`, computed by a linear merge without allocation. This
-    /// is the `|T₁ \ T₂|` quantity in the abstract join (Definition 4.1) and
+    /// `|self \ other|`, one ANDNOT + popcount pass over the words. This is
+    /// the `|T₁ \ T₂|` quantity in the abstract join (Definition 4.1) and
     /// the partial order (footnote 4).
     pub fn difference_len(&self, other: &Subset) -> usize {
-        let (a, b) = (&self.indices, &other.indices);
-        let (mut i, mut j, mut only_a) = (0usize, 0usize, 0usize);
-        while i < a.len() && j < b.len() {
-            match a[i].cmp(&b[j]) {
-                std::cmp::Ordering::Less => {
-                    only_a += 1;
-                    i += 1;
-                }
-                std::cmp::Ordering::Greater => j += 1,
-                std::cmp::Ordering::Equal => {
-                    i += 1;
-                    j += 1;
-                }
-            }
-        }
-        only_a + (a.len() - i)
+        self.words
+            .iter()
+            .enumerate()
+            .map(|(i, &w)| (w & !other.words.get(i).copied().unwrap_or(0)).count_ones() as usize)
+            .sum()
     }
 
-    /// Whether `self ⊆ other`.
+    /// Whether `self ⊆ other` — O(words) with early exit.
     pub fn is_subset_of(&self, other: &Subset) -> bool {
-        self.difference_len(other) == 0
+        self.words
+            .iter()
+            .enumerate()
+            .all(|(i, &w)| w & !other.words.get(i).copied().unwrap_or(0) == 0)
     }
 
-    /// Set union (`T₁ ∪ T₂` in the abstract join), recomputing counts for
-    /// merged elements via the dataset's labels.
+    /// Set union (`T₁ ∪ T₂` in the abstract join): word-parallel OR with
+    /// counts recomputed against the dataset's class masks.
     pub fn union(&self, ds: &Dataset, other: &Subset) -> Subset {
-        let mut out = Subset::empty(self.n_classes());
-        let (a, b) = (&self.indices, &other.indices);
-        let (mut i, mut j) = (0usize, 0usize);
-        while i < a.len() || j < b.len() {
-            let next = match (a.get(i), b.get(j)) {
-                (Some(&x), Some(&y)) => {
-                    if x == y {
-                        i += 1;
-                        j += 1;
-                        x
-                    } else if x < y {
-                        i += 1;
-                        x
-                    } else {
-                        j += 1;
-                        y
-                    }
-                }
-                (Some(&x), None) => {
-                    i += 1;
-                    x
-                }
-                (None, Some(&y)) => {
-                    j += 1;
-                    y
-                }
-                (None, None) => unreachable!(),
-            };
-            out.indices.push(next);
-            out.class_counts[ds.label(next) as usize] += 1;
+        let (long, short) = if self.words.len() >= other.words.len() {
+            (&self.words, &other.words)
+        } else {
+            (&other.words, &self.words)
+        };
+        let words: Vec<u64> = long
+            .iter()
+            .enumerate()
+            .map(|(i, &w)| w | short.get(i).copied().unwrap_or(0))
+            .collect();
+        // OR of two canonical vectors keeps the longer one's top word
+        // non-zero, so no trim is needed.
+        let class_counts = counts_of_words(ds, &words);
+        let len = class_counts.iter().sum();
+        Subset {
+            words,
+            len,
+            class_counts,
         }
-        out
     }
 
-    /// Set intersection (`T₁ ∩ T₂` in the abstract meet, footnote 4).
+    /// Set intersection (`T₁ ∩ T₂` in the abstract meet, footnote 4):
+    /// word-parallel AND.
     pub fn intersect(&self, ds: &Dataset, other: &Subset) -> Subset {
-        let mut out = Subset::empty(self.n_classes());
-        let (a, b) = (&self.indices, &other.indices);
-        let (mut i, mut j) = (0usize, 0usize);
-        while i < a.len() && j < b.len() {
-            match a[i].cmp(&b[j]) {
-                std::cmp::Ordering::Less => i += 1,
-                std::cmp::Ordering::Greater => j += 1,
-                std::cmp::Ordering::Equal => {
-                    out.indices.push(a[i]);
-                    out.class_counts[ds.label(a[i]) as usize] += 1;
-                    i += 1;
-                    j += 1;
-                }
-            }
+        let mut words: Vec<u64> = self
+            .words
+            .iter()
+            .zip(&other.words)
+            .map(|(&a, &b)| a & b)
+            .collect();
+        trim(&mut words);
+        let class_counts = counts_of_words(ds, &words);
+        let len = class_counts.iter().sum();
+        Subset {
+            words,
+            len,
+            class_counts,
         }
-        out
     }
 
-    /// Approximate in-memory footprint in bytes (index vector + counts),
-    /// used by the harness's memory-proxy accounting.
+    /// Approximate in-memory footprint in bytes (packed words + counts),
+    /// used by the harness's memory-proxy accounting (DESIGN.md §4.1).
     pub fn approx_bytes(&self) -> usize {
-        self.indices.len() * std::mem::size_of::<RowId>()
+        self.words.len() * std::mem::size_of::<u64>()
             + self.class_counts.len() * std::mem::size_of::<u32>()
     }
 }
@@ -342,6 +526,7 @@ mod tests {
         let s = Subset::from_indices(&ds, vec![1, 3, 5]);
         assert!(s.contains(3));
         assert!(!s.contains(2));
+        assert!(!s.contains(1000), "out-of-range probes are simply absent");
         assert_eq!(s.iter().collect::<Vec<_>>(), vec![1, 3, 5]);
     }
 
@@ -355,5 +540,52 @@ mod tests {
         assert!(e.is_subset_of(&f));
         assert_eq!(e.union(&ds, &f), f);
         assert_eq!(e.intersect(&ds, &f), e);
+    }
+
+    #[test]
+    fn representation_is_canonical() {
+        // However a set becomes empty (or loses its top rows), its word
+        // vector is trimmed, so structural equality is set equality.
+        let ds = tiny();
+        let f = Subset::full(&ds);
+        let emptied = f.filter(&ds, |_| false);
+        assert_eq!(emptied, Subset::empty(2));
+        assert!(emptied.words().is_empty());
+        let low = f.filter(&ds, |r| r < 2);
+        assert_eq!(low, Subset::from_indices(&ds, vec![0, 1]));
+        assert_eq!(low.words().len(), 1);
+        let (yes, no) = f.partition(&ds, |_| true);
+        assert_eq!(yes, f);
+        assert_eq!(no, Subset::empty(2));
+        // Differences and intersections trim too.
+        assert_eq!(f.difference(&ds, &f), Subset::empty(2));
+        assert_eq!(f.intersect(&ds, &Subset::empty(2)), Subset::empty(2));
+        assert_eq!(
+            f.filter_class(&ds, 0).filter_class(&ds, 1),
+            Subset::empty(2)
+        );
+    }
+
+    #[test]
+    fn multi_word_sets() {
+        // 130 rows span three words; exercise the word boundaries.
+        let rows: Vec<(Vec<f64>, ClassId)> = (0..130)
+            .map(|i| (vec![i as f64], (i % 2) as ClassId))
+            .collect();
+        let ds = Dataset::from_rows(Schema::real(1, 2), &rows).unwrap();
+        let f = Subset::full(&ds);
+        assert_eq!(f.words().len(), 3);
+        assert_eq!(f.len(), 130);
+        assert_eq!(f.class_counts(), &[65, 65]);
+        let edges = Subset::from_indices(&ds, vec![0, 63, 64, 127, 128, 129]);
+        assert_eq!(edges.indices(), &[0, 63, 64, 127, 128, 129]);
+        assert_eq!(edges.len(), 6);
+        assert!(edges.is_subset_of(&f));
+        assert_eq!(f.difference_len(&edges), 124);
+        let evens = f.filter(&ds, |r| r % 2 == 0);
+        assert_eq!(evens.len(), 65);
+        assert!(evens.is_pure());
+        assert_eq!(evens, f.filter_class(&ds, 0));
+        assert_eq!(evens.union(&ds, &f.filter_class(&ds, 1)), f);
     }
 }

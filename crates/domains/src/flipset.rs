@@ -25,7 +25,7 @@
 //! multiply on polarity (no three-valued predicates are needed).
 
 use crate::interval::Interval;
-use antidote_data::{ClassId, Dataset, Subset};
+use antidote_data::{ClassId, Dataset, Subset, ThresholdCmp};
 use std::fmt;
 
 /// An abstract set of relabelings: the rows of `subset` with up to `n`
@@ -99,6 +99,20 @@ impl FlipSet {
     pub fn restrict_where<F: FnMut(u32) -> bool>(&self, ds: &Dataset, keep: F) -> FlipSet {
         let kept = self.subset.filter(ds, keep);
         FlipSet::new(kept, self.n)
+    }
+
+    /// [`FlipSet::restrict_where`] specialised to a threshold test on one
+    /// feature, routed through the word-parallel [`Subset::filter_cmp`]
+    /// fast path (the flip learner's predicates are all concrete
+    /// thresholds).
+    pub fn restrict_cmp(
+        &self,
+        ds: &Dataset,
+        feature: usize,
+        tau: f64,
+        cmp: ThresholdCmp,
+    ) -> FlipSet {
+        FlipSet::new(self.subset.filter_cmp(ds, feature, tau, cmp), self.n)
     }
 
     /// Per-class probability intervals: `cᵢ` can move by at most `n` in

@@ -11,7 +11,7 @@
 //!   `≈ |T|·n` under poisoning (§5.1).
 
 use crate::trainset::AbstractSet;
-use antidote_data::Dataset;
+use antidote_data::{Dataset, ThresholdCmp};
 use antidote_tree::Predicate;
 use std::cmp::Ordering;
 use std::collections::BTreeSet;
@@ -94,13 +94,17 @@ impl AbsPredicate {
 
     /// `⟨T,n⟩↓#ρ` (Appendix B.1): for a concrete predicate this is
     /// Equation 1; for a symbolic `x_i ≤ [a,b)` it is
-    /// `⟨T,n⟩↓#(x≤a) ⊔ ⟨T,n⟩↓#(x<b)`.
+    /// `⟨T,n⟩↓#(x≤a) ⊔ ⟨T,n⟩↓#(x<b)`. Every restriction is a threshold
+    /// test, so all of them route through the word-parallel
+    /// [`AbstractSet::restrict_cmp`] fast path.
     pub fn restrict(&self, ds: &Dataset, a: &AbstractSet) -> AbstractSet {
         match *self {
-            AbsPredicate::Concrete(p) => a.restrict_where(ds, |r| p.eval_row(ds, r)),
+            AbsPredicate::Concrete(p) => {
+                a.restrict_cmp(ds, p.feature, p.threshold, ThresholdCmp::Le)
+            }
             AbsPredicate::Symbolic { feature, lo, hi } => {
-                let at_a = a.restrict_where(ds, |r| ds.value(r, feature) <= lo);
-                let at_b = a.restrict_where(ds, |r| ds.value(r, feature) < hi);
+                let at_a = a.restrict_cmp(ds, feature, lo, ThresholdCmp::Le);
+                let at_b = a.restrict_cmp(ds, feature, hi, ThresholdCmp::Lt);
                 at_a.join(ds, &at_b)
             }
         }
@@ -110,10 +114,12 @@ impl AbsPredicate {
     /// (`⟨T,n⟩↓#(x>a) ⊔ ⟨T,n⟩↓#(x≥b)` in the symbolic case).
     pub fn restrict_neg(&self, ds: &Dataset, a: &AbstractSet) -> AbstractSet {
         match *self {
-            AbsPredicate::Concrete(p) => a.restrict_where(ds, |r| !p.eval_row(ds, r)),
+            AbsPredicate::Concrete(p) => {
+                a.restrict_cmp(ds, p.feature, p.threshold, ThresholdCmp::Gt)
+            }
             AbsPredicate::Symbolic { feature, lo, hi } => {
-                let gt_a = a.restrict_where(ds, |r| ds.value(r, feature) > lo);
-                let ge_b = a.restrict_where(ds, |r| ds.value(r, feature) >= hi);
+                let gt_a = a.restrict_cmp(ds, feature, lo, ThresholdCmp::Gt);
+                let ge_b = a.restrict_cmp(ds, feature, hi, ThresholdCmp::Ge);
                 gt_a.join(ds, &ge_b)
             }
         }

@@ -7,7 +7,7 @@
 //! `T`'s index vector and the budget `n`.
 
 use crate::interval::Interval;
-use antidote_data::{ClassId, Dataset, Subset};
+use antidote_data::{ClassId, Dataset, Subset, ThresholdCmp};
 use std::fmt;
 
 /// Which `cprob#` transformer to use (§4.4, footnote 6).
@@ -108,10 +108,19 @@ impl AbstractSet {
 
     /// The partial order `⟨T₁,n₁⟩ ⊑ ⟨T₂,n₂⟩` ⇔
     /// `T₁ ⊆ T₂ ∧ n₁ ≤ n₂ − |T₂ \ T₁|` (footnote 4).
+    ///
+    /// O(words): once `T₁ ⊆ T₂` is established, `|T₂ \ T₁| = |T₂| − |T₁|`,
+    /// so no difference needs materialising. Cheap enough that the
+    /// learner's frontier subsumption pruning calls it quadratically.
     pub fn le(&self, other: &AbstractSet) -> bool {
-        self.base.is_subset_of(&other.base)
-            && other.n >= other.base.difference_len(&self.base)
-            && self.n <= other.n - other.base.difference_len(&self.base)
+        if self.n > other.n || self.base.len() > other.base.len() {
+            return false;
+        }
+        if !self.base.is_subset_of(&other.base) {
+            return false;
+        }
+        let gap = other.base.len() - self.base.len();
+        other.n >= gap && self.n <= other.n - gap
     }
 
     /// Join ⊔ (Definition 4.1): `⟨T₁∪T₂, max(|T₁\T₂|+n₂, |T₂\T₁|+n₁)⟩`.
@@ -151,6 +160,21 @@ impl AbstractSet {
     /// arbitrary row predicate.
     pub fn restrict_where<F: FnMut(u32) -> bool>(&self, ds: &Dataset, keep: F) -> AbstractSet {
         let kept = self.base.filter(ds, keep);
+        let n = self.n.min(kept.len());
+        AbstractSet { base: kept, n }
+    }
+
+    /// [`AbstractSet::restrict_where`] specialised to a threshold test on
+    /// one feature — the form every learner predicate takes — routed
+    /// through the word-parallel [`Subset::filter_cmp`] fast path.
+    pub fn restrict_cmp(
+        &self,
+        ds: &Dataset,
+        feature: usize,
+        tau: f64,
+        cmp: ThresholdCmp,
+    ) -> AbstractSet {
+        let kept = self.base.filter_cmp(ds, feature, tau, cmp);
         let n = self.n.min(kept.len());
         AbstractSet { base: kept, n }
     }

@@ -9,7 +9,7 @@
 
 use crate::predicate::Predicate;
 use crate::split::{best_split, cprob};
-use antidote_data::{ClassId, Dataset, Subset};
+use antidote_data::{ClassId, Dataset, Subset, ThresholdCmp};
 
 /// One step of a learned trace: the chosen predicate and whether the input
 /// satisfied it (i.e. which side the filter kept).
@@ -107,8 +107,20 @@ fn dtrace_impl<F: FnMut(&Subset)>(
             break; // φ = ⋄
         };
         let satisfied = choice.predicate.eval(x);
-        // filter(T, φ, x): keep rows that evaluate like x.
-        t = t.filter(ds, |r| choice.predicate.eval_row(ds, r) == satisfied);
+        // filter(T, φ, x): keep rows that evaluate like x — a threshold
+        // test (or its complement), so the word-parallel restriction
+        // fast path applies.
+        let cmp = if satisfied {
+            ThresholdCmp::Le
+        } else {
+            ThresholdCmp::Gt
+        };
+        t = t.filter_cmp(
+            ds,
+            choice.predicate.feature,
+            choice.predicate.threshold,
+            cmp,
+        );
         on_step(&t);
         steps.push(TraceStep {
             predicate: choice.predicate,

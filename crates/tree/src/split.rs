@@ -1,7 +1,7 @@
 //! Gini impurity and the greedy `bestSplit` search (paper Fig. 5, §3.3).
 
 use crate::predicate::{midpoint, Predicate};
-use antidote_data::{ClassId, Dataset, Subset};
+use antidote_data::{Dataset, RowId, Subset};
 
 /// Classification probability vector `cprob(T)` (Fig. 5): the fraction of
 /// rows in each class.
@@ -67,11 +67,20 @@ pub struct SplitChoice {
 
 /// Visits every candidate threshold of one feature in ascending order.
 ///
-/// The subset's rows are sorted by feature value; between each pair of
-/// adjacent *distinct* values the callback receives
-/// `(threshold, left_class_counts, left_len)` where "left" is the `≤` side.
-/// Candidates are non-trivial by construction (both sides non-empty), so
-/// this enumerates the feature's contribution to the paper's `Φ'`.
+/// The subset's rows are visited in ascending feature-value order (ties in
+/// ascending row order); between each pair of adjacent *distinct* values
+/// the callback receives `(threshold, left_class_counts, left_len)` where
+/// "left" is the `≤` side. Candidates are non-trivial by construction
+/// (both sides non-empty), so this enumerates the feature's contribution
+/// to the paper's `Φ'`.
+///
+/// For dense subsets this walks the dataset's precomputed
+/// [`Dataset::feature_order`] filtered by the subset's O(1) bit test —
+/// no per-call gather + sort, the historically hottest loop of both
+/// learners. Sparse fragments (where scanning the whole dataset's order
+/// would dominate) instead gather and stably sort their own rows. The
+/// stable precomputed order restricted to a subset equals a stable sort
+/// of that subset, so both paths produce the identical visit sequence.
 ///
 /// Both the concrete search here and the abstract `bestSplit#` in
 /// `antidote-core` are built on this sweep.
@@ -79,19 +88,42 @@ pub fn sweep_feature<F>(ds: &Dataset, subset: &Subset, feature: usize, mut visit
 where
     F: FnMut(f64, &[u32], usize),
 {
-    let mut rows: Vec<(f64, ClassId)> = subset
-        .iter()
-        .map(|r| (ds.value(r, feature), ds.label(r)))
-        .collect();
-    rows.sort_by(|a, b| a.0.total_cmp(&b.0));
     let mut left_counts = vec![0u32; subset.n_classes()];
-    for i in 0..rows.len() {
-        // `i` rows strictly precede threshold candidate `i`.
-        if i > 0 && rows[i].0 > rows[i - 1].0 {
-            visit(midpoint(rows[i - 1].0, rows[i].0), &left_counts, i);
+    let mut seen = 0usize;
+    let mut prev = f64::NAN;
+    let mut step = |r: RowId, visit: &mut F| {
+        let v = ds.value(r, feature);
+        // `seen` rows strictly precede the threshold candidate.
+        if seen > 0 && v > prev {
+            visit(midpoint(prev, v), &left_counts, seen);
         }
-        left_counts[rows[i].1 as usize] += 1;
+        left_counts[ds.label(r) as usize] += 1;
+        prev = v;
+        seen += 1;
+    };
+    if dense_enough(subset.len(), ds.len()) {
+        for &r in ds.feature_order(feature) {
+            if subset.contains(r) {
+                step(r, &mut visit);
+            }
+        }
+    } else {
+        let mut rows: Vec<RowId> = subset.iter().collect();
+        // Stable on the ascending row ids, matching the precomputed order.
+        rows.sort_by(|&a, &b| ds.value(a, feature).total_cmp(&ds.value(b, feature)));
+        for &r in &rows {
+            step(r, &mut visit);
+        }
     }
+}
+
+/// Cutover between the two [`sweep_feature`] row sources: walking the
+/// full precomputed order costs O(|dataset|) bit tests, the gather +
+/// stable sort O(|S| log |S|); prefer the precomputed order once the
+/// subset holds at least 1/8 of the dataset.
+#[inline]
+pub fn dense_enough(subset_len: usize, dataset_len: usize) -> bool {
+    subset_len * 8 >= dataset_len
 }
 
 /// The greedy `bestSplit(T)` (§3.3): the non-trivial predicate minimising
@@ -276,6 +308,32 @@ mod tests {
         let choice = best_split(&ds, &Subset::full(&ds)).unwrap();
         assert_eq!(choice.predicate.feature, 0);
         assert_eq!(choice.score, 0.0);
+    }
+
+    #[test]
+    fn sweep_feature_sparse_and_dense_paths_agree() {
+        // A 10-row fragment of a 200-row dataset takes the sparse
+        // gather+sort path; the same 10 rows as their own dataset's full
+        // subset take the dense precomputed-order path. Both must emit
+        // the identical (threshold, left counts, left len) sequence.
+        let rows: Vec<(Vec<f64>, u16)> = (0..200)
+            .map(|i| (vec![((i * 7) % 23) as f64], (i % 2) as u16))
+            .collect();
+        let big = antidote_data::Dataset::from_rows(Schema::real(1, 2), &rows).unwrap();
+        let picked: Vec<u32> = (0..10).map(|i| i * 19 + 3).collect();
+        let sparse = Subset::from_indices(&big, picked.clone());
+        assert!(!dense_enough(sparse.len(), big.len()), "sparse path");
+        let small_rows: Vec<(Vec<f64>, u16)> =
+            picked.iter().map(|&r| rows[r as usize].clone()).collect();
+        let small = antidote_data::Dataset::from_rows(Schema::real(1, 2), &small_rows).unwrap();
+        let full = Subset::full(&small);
+        assert!(dense_enough(full.len(), small.len()), "dense path");
+        let mut a = Vec::new();
+        sweep_feature(&big, &sparse, 0, |t, l, n| a.push((t, l.to_vec(), n)));
+        let mut b = Vec::new();
+        sweep_feature(&small, &full, 0, |t, l, n| b.push((t, l.to_vec(), n)));
+        assert!(!a.is_empty());
+        assert_eq!(a, b, "the two row sources must sweep identically");
     }
 
     #[test]

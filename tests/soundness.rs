@@ -77,6 +77,7 @@ fn theorem_4_11_terminal_coverage() {
                 depth,
                 domain,
                 CprobTransformer::Optimal,
+                true,
                 &ExecContext::sequential(),
             );
             assert!(out.aborted.is_none());
