@@ -1,0 +1,46 @@
+//! CI perf-regression gate over `BENCH_sweep.json`.
+//!
+//! ```text
+//! perfgate <baseline.json> <candidate.json>
+//! ```
+//!
+//! Exits non-zero when the candidate's `identical_ladders` is not `true`
+//! or any gated counter (`certify_calls_cached`, `subsumption_pruned`)
+//! drifts from the committed baseline. Counter equality — never
+//! wall-clock — keeps the gate host-independent: a slow CI runner cannot
+//! fail it, but a change that silently disables the certification cache
+//! or the subsumption pass cannot pass it. See DESIGN.md §8.
+
+use antidote_bench::perf::{check_sweep_gate, json_u64, GATED_COUNTERS};
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let [baseline_path, candidate_path] = args.as_slice() else {
+        eprintln!("usage: perfgate <baseline.json> <candidate.json>");
+        std::process::exit(2);
+    };
+    let read = |path: &String| -> String {
+        std::fs::read_to_string(path).unwrap_or_else(|e| {
+            eprintln!("perfgate: cannot read {path}: {e}");
+            std::process::exit(2);
+        })
+    };
+    let baseline = read(baseline_path);
+    let candidate = read(candidate_path);
+    for field in GATED_COUNTERS {
+        println!(
+            "perfgate: {field}: baseline {:?}, candidate {:?}",
+            json_u64(&baseline, field),
+            json_u64(&candidate, field)
+        );
+    }
+    let violations = check_sweep_gate(&baseline, &candidate);
+    if violations.is_empty() {
+        println!("perfgate: OK — ladders identical, gated counters match the baseline");
+        return;
+    }
+    for v in &violations {
+        eprintln!("perfgate: FAIL {}: {}", v.field, v.detail);
+    }
+    std::process::exit(1);
+}

@@ -7,6 +7,15 @@
 //! micro-benchmarks live in `benches/`; `benches/parallel_sweep.rs`
 //! additionally snapshots 1-vs-N-thread sweep wall-clock to
 //! `BENCH_sweep.json` for the performance trajectory.
+//!
+//! Two harness modules back the workload-corpus CI surface (DESIGN.md
+//! §8): [`matrix`] shards the scenario × threat × domain grid of
+//! `antidote-scenarios` and emits `BENCH_<scenario>.json` /
+//! `BENCH_matrix.json`, and [`perf`] implements the perf-regression
+//! gate (`bin/perfgate.rs`) that pins `BENCH_sweep.json`'s counters.
+
+pub mod matrix;
+pub mod perf;
 
 use antidote_core::{sweep, DomainKind, SweepConfig, SweepPoint};
 use antidote_data::{Benchmark, Dataset, Scale};

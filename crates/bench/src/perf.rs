@@ -1,0 +1,179 @@
+//! Minimal field extraction for the flat JSON benchmark artifacts, and
+//! the perf-regression gate logic behind `bin/perfgate.rs`.
+//!
+//! The workspace vendors no JSON crate, and the bench artifacts are
+//! hand-formatted flat documents (`BENCH_sweep.json`, `BENCH_matrix.json`),
+//! so a full parser is not warranted: these helpers find the **first**
+//! occurrence of a quoted key and read the scalar token after the colon.
+//! Keys are matched whole (`"certify_calls"` never matches
+//! `"certify_calls_fresh"`, thanks to the closing quote), and documents
+//! place aggregate fields before any repeated per-cell fields, so
+//! first-match is the aggregate.
+
+/// The raw scalar token following `"key":`, trimmed.
+///
+/// Returns `None` when the key is absent or followed by a non-scalar
+/// (object or array).
+pub fn json_raw<'a>(doc: &'a str, key: &str) -> Option<&'a str> {
+    let needle = format!("\"{key}\"");
+    let at = doc.find(&needle)? + needle.len();
+    let rest = doc[at..].trim_start().strip_prefix(':')?.trim_start();
+    if rest.starts_with('{') || rest.starts_with('[') {
+        return None;
+    }
+    let end = rest.find([',', '}', ']', '\n']).unwrap_or(rest.len());
+    let token = rest[..end].trim();
+    (!token.is_empty()).then_some(token)
+}
+
+/// The first `"key"` value as a `u64`.
+pub fn json_u64(doc: &str, key: &str) -> Option<u64> {
+    json_raw(doc, key)?.parse().ok()
+}
+
+/// The first `"key"` value as a `bool`.
+pub fn json_bool(doc: &str, key: &str) -> Option<bool> {
+    match json_raw(doc, key)? {
+        "true" => Some(true),
+        "false" => Some(false),
+        _ => None,
+    }
+}
+
+/// One perf-gate violation: which field drifted, and how.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct GateViolation {
+    /// The JSON field that failed the gate.
+    pub field: &'static str,
+    /// Human-readable explanation (baseline vs candidate).
+    pub detail: String,
+}
+
+/// The counters the gate holds to exact equality against the committed
+/// baseline. Deliberately *not* wall-clock: certifier-invocation and
+/// pruning counts are host-independent, so the gate is stable on any CI
+/// runner while still catching a regression that silently disables the
+/// cache or the subsumption pass.
+pub const GATED_COUNTERS: [&str; 2] = ["certify_calls_cached", "subsumption_pruned"];
+
+/// Checks a freshly generated `BENCH_sweep.json` (`candidate`) against
+/// the committed baseline document. Violations are returned rather than
+/// printed so the logic is unit-testable; `bin/perfgate.rs` renders and
+/// exits non-zero.
+///
+/// Gated conditions:
+///
+/// * `identical_ladders` must be `true` in the candidate (the bench
+///   itself asserts this, but the gate re-checks the artifact);
+/// * each of [`GATED_COUNTERS`] must be present in both documents and
+///   exactly equal.
+pub fn check_sweep_gate(baseline: &str, candidate: &str) -> Vec<GateViolation> {
+    let mut violations = Vec::new();
+    match json_bool(candidate, "identical_ladders") {
+        Some(true) => {}
+        Some(false) => violations.push(GateViolation {
+            field: "identical_ladders",
+            detail: "candidate reports non-identical ladders".to_string(),
+        }),
+        None => violations.push(GateViolation {
+            field: "identical_ladders",
+            detail: "field missing from candidate".to_string(),
+        }),
+    }
+    for field in GATED_COUNTERS {
+        match (json_u64(baseline, field), json_u64(candidate, field)) {
+            (Some(b), Some(c)) if b == c => {}
+            (Some(b), Some(c)) => violations.push(GateViolation {
+                field,
+                detail: format!("baseline {b} != candidate {c}"),
+            }),
+            (None, _) => violations.push(GateViolation {
+                field,
+                detail: "field missing from baseline".to_string(),
+            }),
+            (_, None) => violations.push(GateViolation {
+                field,
+                detail: "field missing from candidate".to_string(),
+            }),
+        }
+    }
+    violations
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    const DOC: &str = r#"{
+  "bench": "parallel_sweep",
+  "identical_ladders": true,
+  "certify_calls_fresh": 61,
+  "certify_calls_cached": 32,
+  "speedup": null,
+  "cache_hit_rate": 0.475,
+  "subsumption_pruned": 1234,
+  "ladder": [
+    {"n": 1, "attempted": 32, "verified": 30}
+  ]
+}
+"#;
+
+    #[test]
+    fn whole_key_matching() {
+        assert_eq!(json_u64(DOC, "certify_calls_cached"), Some(32));
+        assert_eq!(json_u64(DOC, "certify_calls_fresh"), Some(61));
+        // "certify_calls" is not a key in this document at all: the
+        // closing quote keeps it from matching either long key.
+        assert_eq!(json_u64(DOC, "certify_calls"), None);
+        assert_eq!(json_u64(DOC, "subsumption_pruned"), Some(1234));
+        assert_eq!(json_bool(DOC, "identical_ladders"), Some(true));
+        assert_eq!(json_raw(DOC, "speedup"), Some("null"));
+        assert_eq!(json_raw(DOC, "cache_hit_rate"), Some("0.475"));
+        assert_eq!(json_raw(DOC, "bench"), Some("\"parallel_sweep\""));
+        assert_eq!(json_u64(DOC, "missing"), None);
+        // Non-scalar values are refused, not mangled.
+        assert_eq!(json_raw(DOC, "ladder"), None);
+        // Nested keys resolve to their first occurrence.
+        assert_eq!(json_u64(DOC, "n"), Some(1));
+    }
+
+    #[test]
+    fn gate_passes_on_identical_counters() {
+        assert!(check_sweep_gate(DOC, DOC).is_empty());
+    }
+
+    #[test]
+    fn gate_catches_counter_drift() {
+        let drifted = DOC.replace(
+            "\"certify_calls_cached\": 32",
+            "\"certify_calls_cached\": 61",
+        );
+        let v = check_sweep_gate(DOC, &drifted);
+        assert_eq!(v.len(), 1);
+        assert_eq!(v[0].field, "certify_calls_cached");
+        assert!(v[0].detail.contains("baseline 32 != candidate 61"));
+    }
+
+    #[test]
+    fn gate_catches_broken_ladders_and_missing_fields() {
+        let broken = DOC.replace(
+            "\"identical_ladders\": true",
+            "\"identical_ladders\": false",
+        );
+        let v = check_sweep_gate(DOC, &broken);
+        assert_eq!(v.len(), 1);
+        assert_eq!(v[0].field, "identical_ladders");
+
+        let gutted = DOC.replace("  \"subsumption_pruned\": 1234,\n", "");
+        let v = check_sweep_gate(DOC, &gutted);
+        assert!(v.iter().any(
+            |x| x.field == "subsumption_pruned" && x.detail.contains("missing from candidate")
+        ));
+        let v = check_sweep_gate(&gutted, DOC);
+        assert!(
+            v.iter()
+                .any(|x| x.field == "subsumption_pruned"
+                    && x.detail.contains("missing from baseline"))
+        );
+    }
+}

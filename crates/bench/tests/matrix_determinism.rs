@@ -1,0 +1,126 @@
+//! Matrix-runner determinism: the aggregated `BENCH_matrix.json` cell
+//! verdicts, ladders, and thread-invariant counters must be bit-identical
+//! across `--threads {1, 4}` and across shuffled scenario registration
+//! orders.
+//!
+//! Cells run without per-instance timeouts, so the ladder protocol and
+//! every counter the verdict key includes are deterministic; only
+//! wall-clock (and `parallel_tasks`, which counts engine fan-outs) may
+//! differ between runs. The default suite pins a three-scenario slice of
+//! the grid so `cargo test` stays fast; CI's release step runs the same
+//! binary where the full grid is cheap, and `antidote matrix` exercises
+//! all six families end-to-end.
+
+use antidote_bench::matrix::{run_matrix, MatrixConfig};
+use antidote_scenarios::{builtin_scenarios, ScenarioRegistry};
+
+/// The slice of the grid the determinism differentials run on: one
+/// Gaussian family, the duplicate-heavy family, and the boolean one-hot
+/// family — real-valued, replicated, and categorical feature regimes.
+const SLICE: [&str; 3] = ["blobs", "neardup", "onehot"];
+
+fn cfg(threads: usize) -> MatrixConfig {
+    MatrixConfig {
+        threads,
+        seed: 0,
+        scenarios: Some(SLICE.iter().map(|s| s.to_string()).collect()),
+    }
+}
+
+fn registry() -> ScenarioRegistry {
+    let mut reg = ScenarioRegistry::new();
+    for s in builtin_scenarios() {
+        reg.register(s);
+    }
+    reg
+}
+
+#[test]
+fn cell_results_are_bit_identical_across_thread_counts() {
+    let reg = registry();
+    let seq = run_matrix(&reg, &cfg(1)).unwrap();
+    let par = run_matrix(&reg, &cfg(4)).unwrap();
+    assert_eq!(
+        seq.cells.len(),
+        SLICE.len() * 6,
+        "3 scenarios x 2 threats x 3 domains"
+    );
+    assert_eq!(
+        seq.verdict_key(),
+        par.verdict_key(),
+        "threads-1 and threads-4 cell results diverged"
+    );
+    // The grid actually certifies something (the keys are not vacuous).
+    assert!(seq
+        .cells
+        .iter()
+        .any(|c| c.ladder.iter().any(|p| p.verified > 0)));
+    // Run-wide counter totals are thread-invariant too.
+    assert_eq!(seq.totals.certify_calls, par.totals.certify_calls);
+    assert_eq!(seq.totals.cache_hits, par.totals.cache_hits);
+    assert_eq!(seq.totals.disjuncts_subsumed, par.totals.disjuncts_subsumed);
+}
+
+#[test]
+fn cell_results_are_invariant_under_registration_order() {
+    // Forward, reversed, and rotated registration orders must produce the
+    // same grid, cell for cell — the registry sorts by name, and nothing
+    // downstream may depend on insertion order.
+    let forward = registry();
+    let mut reversed = ScenarioRegistry::new();
+    for s in builtin_scenarios().into_iter().rev() {
+        reversed.register(s);
+    }
+    let mut rotated = ScenarioRegistry::new();
+    let mut all = builtin_scenarios();
+    all.rotate_left(2);
+    for s in all {
+        rotated.register(s);
+    }
+    let base = run_matrix(&forward, &cfg(2)).unwrap();
+    for (label, reg) in [("reversed", &reversed), ("rotated", &rotated)] {
+        let other = run_matrix(reg, &cfg(2)).unwrap();
+        assert_eq!(
+            base.verdict_key(),
+            other.verdict_key(),
+            "{label} registration order changed the matrix"
+        );
+    }
+}
+
+#[test]
+fn matrix_json_is_stable_across_runs_and_thread_counts_modulo_timings() {
+    // The CI artifact-currency gate diffs a fresh --threads 4 run's
+    // BENCH_matrix.json against the committed copy with wall_ms/
+    // peak_bytes lines stripped, so *every other* JSON field — including
+    // cache_misses, disjuncts_processed, and peak_disjuncts — must be
+    // stable across repeated runs AND across thread counts. This test
+    // pins exactly that contract with the same line filter.
+    let reg = registry();
+    let a = run_matrix(&reg, &cfg(1)).unwrap();
+    let b = run_matrix(&reg, &cfg(1)).unwrap();
+    let par = run_matrix(&reg, &cfg(4)).unwrap();
+    assert_eq!(a.verdict_key(), b.verdict_key());
+    let strip = |doc: &str| -> String {
+        doc.lines()
+            .filter(|l| !l.contains("wall_ms") && !l.contains("peak_bytes"))
+            .collect::<Vec<_>>()
+            .join("\n")
+    };
+    assert_eq!(
+        strip(&antidote_bench::matrix::matrix_json(&a)),
+        strip(&antidote_bench::matrix::matrix_json(&b)),
+        "JSON artifacts must differ only in timing fields across runs"
+    );
+    // Thread-count comparison: requested_threads is part of the config
+    // echo, so compare with it normalized the way the CI gate's fresh
+    // run matches the committed one (both use --threads 4; here we pin
+    // the stronger 1-vs-4 invariance for every remaining field).
+    let normalize =
+        |doc: &str| strip(doc).replace("\"requested_threads\": 4", "\"requested_threads\": 1");
+    assert_eq!(
+        strip(&antidote_bench::matrix::matrix_json(&a)),
+        normalize(&antidote_bench::matrix::matrix_json(&par)),
+        "JSON artifacts must differ only in timing fields across thread counts"
+    );
+}

@@ -28,7 +28,7 @@ impl std::error::Error for CliError {}
 
 impl Args {
     /// Boolean flags: present or absent, never followed by a value.
-    const BOOL_FLAGS: &'static [&'static str] = &["no-cache", "no-subsume"];
+    const BOOL_FLAGS: &'static [&'static str] = &["no-cache", "no-subsume", "list"];
 
     /// Parses `argv` (without the program name).
     ///
@@ -118,14 +118,44 @@ impl Args {
         parse_domain(self.get_or("domain", "box"))
     }
 
-    /// The engine worker count named by `--threads` (default 0 = all
+    /// The engine worker count named by `--threads` (flag absent = all
     /// available cores; 1 = strictly sequential).
     ///
     /// # Errors
     ///
-    /// Returns [`CliError`] when the value does not parse.
+    /// Returns [`CliError`] when the value does not parse, or when the
+    /// user explicitly passes `--threads 0`: the engine reads 0 as "all
+    /// cores", but someone *typing* 0 almost certainly expected it to
+    /// mean something ("no parallelism"? an error?), so the ambiguity is
+    /// rejected here rather than silently resolved.
     pub fn threads(&self) -> Result<usize, CliError> {
-        self.get_num("threads", 0usize)
+        let threads = self.get_num("threads", 0usize)?;
+        if threads == 0 && self.options.contains_key("threads") {
+            return Err(CliError(
+                "--threads must be >= 1 (omit the flag to use all available cores)".into(),
+            ));
+        }
+        Ok(threads)
+    }
+
+    /// The comma-separated scenario filter named by `--scenarios`, if
+    /// given (e.g. `--scenarios blobs,onehot`). Surrounding whitespace
+    /// and empty segments are dropped; name validation happens against
+    /// the registry.
+    pub fn scenarios(&self) -> Option<Vec<String>> {
+        self.options.get("scenarios").map(|v| {
+            v.split(',')
+                .map(str::trim)
+                .filter(|s| !s.is_empty())
+                .map(String::from)
+                .collect()
+        })
+    }
+
+    /// Whether `--list` was given (matrix: print the registered
+    /// scenarios instead of running the grid).
+    pub fn list(&self) -> bool {
+        self.options.contains_key("list")
     }
 
     /// Whether `--no-cache` was given: disables the cross-rung
@@ -229,6 +259,60 @@ mod tests {
         assert_eq!(a.threads().unwrap(), 1);
         let a = Args::parse(argv("sweep --threads nope")).unwrap();
         assert!(a.threads().is_err());
+    }
+
+    #[test]
+    fn explicit_threads_zero_is_a_proper_error() {
+        // Regression: `--threads 0` used to fall through to the engine,
+        // which silently reads 0 as "all cores" — the opposite of what a
+        // user typing 0 plausibly meant. An explicit 0 is now rejected
+        // with an actionable message; an absent flag still defaults to 0
+        // (all cores) internally.
+        for cmd in [
+            "sweep --threads 0",
+            "matrix --threads 0",
+            "certify --threads 0",
+        ] {
+            let a = Args::parse(argv(cmd)).unwrap();
+            let err = a.threads().unwrap_err();
+            assert!(
+                err.to_string().contains("--threads must be >= 1"),
+                "{cmd}: {err}"
+            );
+            assert!(err.to_string().contains("omit the flag"), "{cmd}");
+        }
+        assert_eq!(Args::parse(argv("sweep")).unwrap().threads().unwrap(), 0);
+    }
+
+    #[test]
+    fn scenarios_filter_parses() {
+        let a = Args::parse(argv("matrix")).unwrap();
+        assert_eq!(a.scenarios(), None, "absent filter runs everything");
+        let a = Args::parse(argv("matrix --scenarios blobs,onehot")).unwrap();
+        assert_eq!(
+            a.scenarios(),
+            Some(vec!["blobs".to_string(), "onehot".to_string()])
+        );
+        let a = Args::parse(argv("matrix --scenarios blobs")).unwrap();
+        assert_eq!(a.scenarios(), Some(vec!["blobs".to_string()]));
+        // Stray commas and whitespace are tolerated.
+        let a = Args::parse(vec![
+            "matrix".into(),
+            "--scenarios".into(),
+            " blobs, ,moons,".into(),
+        ]);
+        assert_eq!(
+            a.unwrap().scenarios(),
+            Some(vec!["blobs".to_string(), "moons".to_string()])
+        );
+    }
+
+    #[test]
+    fn list_flag_takes_no_value() {
+        let a = Args::parse(argv("matrix --list")).unwrap();
+        assert!(a.list());
+        assert!(!Args::parse(argv("matrix")).unwrap().list());
+        assert!(Args::parse(argv("matrix --list true")).is_err());
     }
 
     #[test]

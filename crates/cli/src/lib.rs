@@ -1,9 +1,12 @@
+#![warn(missing_docs)]
+
 //! `antidote` — command-line front-end for the poisoning-robustness
 //! prover.
 //!
 //! ```text
 //! antidote certify  --dataset wdbc --depth 2 --n 8 --domain disjuncts [--index 0]
 //! antidote sweep    --dataset iris --depth 2 --domain box [--points 30] [--timeout 10]
+//! antidote matrix   [--scenarios blobs,onehot] [--threads 4] [--out-dir bench-out]
 //! antidote accuracy --dataset mnist17-binary [--scale paper]
 //! antidote attack   --dataset mammo --depth 2 --budget 16 [--index 0]
 //! antidote stats    --dataset wdbc
@@ -13,6 +16,11 @@
 //! Datasets may also be CSV files: pass `--csv path` instead of
 //! `--dataset` (the file's last column must be named `label`; an 80/20
 //! split is applied).
+//!
+//! This crate is a library so the workspace root can expose the single
+//! `antidote` binary (`src/bin/antidote.rs` calls [`cli_main`]), keeping
+//! `cargo run --release -- <subcommand>` working from the repository
+//! root.
 
 mod args;
 
@@ -24,7 +32,10 @@ use antidote_tree::learn_tree;
 use args::{Args, CliError};
 use std::time::Duration;
 
-fn main() {
+/// Parses `std::env::args`, dispatches the subcommand, and exits with
+/// status 2 (after printing the usage text) on any CLI error — the whole
+/// `main` of the `antidote` binary.
+pub fn cli_main() {
     let argv: Vec<String> = std::env::args().skip(1).collect();
     match run(argv) {
         Ok(()) => {}
@@ -43,15 +54,19 @@ const USAGE: &str = "usage:
   antidote forest   --dataset <id> --depth <d> --n <n> [--trees t] [--features f] [--index i]
   antidote tree     --dataset <id> --depth <d> [--dot true]
   antidote sweep    --dataset <id> --depth <d> [--domain ...] [--points k] [--timeout secs] [--no-cache] [--no-subsume]
+  antidote matrix   [--scenarios a,b,...] [--out-dir dir] [--seed s] [--list]
   antidote accuracy --dataset <id> [--scale small|paper]
   antidote attack   --dataset <id> --depth <d> --budget <n> [--index i]
   antidote stats    --dataset <id>
   antidote headline [--scale small|paper]
-certify/flip/forest/sweep/attack also accept --threads <k> (default: all
-cores; 1 = sequential); sweep reuses certificates across ladder rungs
-unless --no-cache re-derives every probe from scratch; certify/sweep prune
-subsumed frontier disjuncts unless --no-subsume; datasets: iris, mammo,
-wdbc, mnist17-binary, mnist17-real (or --csv <path>)";
+certify/flip/forest/sweep/attack/matrix also accept --threads <k>, k >= 1
+(default: all cores; 1 = sequential); sweep reuses certificates across
+ladder rungs unless --no-cache re-derives every probe from scratch;
+certify/sweep prune subsumed frontier disjuncts unless --no-subsume;
+matrix runs every registered scenario x {remove,flip} x
+{box,disjuncts,hybrid8} and writes BENCH_<scenario>.json plus
+BENCH_matrix.json to --out-dir (default .); datasets: iris, mammo, wdbc,
+mnist17-binary, mnist17-real (or --csv <path>)";
 
 fn run(argv: Vec<String>) -> Result<(), CliError> {
     let args = Args::parse(argv)?;
@@ -61,6 +76,7 @@ fn run(argv: Vec<String>) -> Result<(), CliError> {
         "forest" => cmd_forest(&args),
         "tree" => cmd_tree(&args),
         "sweep" => cmd_sweep(&args),
+        "matrix" => cmd_matrix(&args),
         "accuracy" => cmd_accuracy(&args),
         "attack" => cmd_attack(&args),
         "stats" => cmd_stats(&args),
@@ -301,6 +317,75 @@ fn cmd_sweep(args: &Args) -> Result<(), CliError> {
     Ok(())
 }
 
+fn cmd_matrix(args: &Args) -> Result<(), CliError> {
+    use antidote_bench::matrix::{run_matrix, write_artifacts, MatrixConfig, DOMAINS};
+    use antidote_scenarios::builtin_registry;
+
+    let registry = builtin_registry();
+    if args.list() {
+        for s in registry.iter() {
+            println!("{:<12} {}", s.name, s.description);
+        }
+        return Ok(());
+    }
+    let cfg = MatrixConfig {
+        threads: args.threads()?,
+        seed: args.get_num("seed", 0u64)?,
+        scenarios: args.scenarios(),
+    };
+    let report = run_matrix(&registry, &cfg).map_err(CliError)?;
+    println!(
+        "# matrix: {} scenario(s) x {} threat(s) x {} domain(s) = {} cells, seed {}",
+        report.scenario_names().len(),
+        antidote_scenarios::ThreatModel::ALL.len(),
+        DOMAINS.len(),
+        report.cells.len(),
+        report.seed,
+    );
+    println!(
+        "{:<32} {:>5} {:>8} {:>7} {:>9} {:>7} {:>9}",
+        "cell", "rungs", "frontier", "certify", "cache_hit", "pruned", "wall_ms"
+    );
+    for c in &report.cells {
+        let frontier = c
+            .ladder
+            .iter()
+            .filter(|p| p.verified > 0)
+            .map(|p| p.n)
+            .max()
+            .unwrap_or(0);
+        println!(
+            "{:<32} {:>5} {:>8} {:>7} {:>9} {:>7} {:>9.2}",
+            c.key(),
+            c.ladder.len(),
+            frontier,
+            c.metrics.certify_calls,
+            c.metrics.cache_hits,
+            c.metrics.disjuncts_subsumed,
+            c.wall.as_secs_f64() * 1e3,
+        );
+    }
+    let (p50, p90, max) = report.wall_ms_percentiles();
+    println!(
+        "# wall: total {:.1} ms, per-cell p50 {p50:.2} / p90 {p90:.2} / max {max:.2} ms",
+        report.wall.as_secs_f64() * 1e3
+    );
+    println!(
+        "# totals: {} certify call(s), {} cache hit(s) ({} short-circuit), {} disjunct(s) pruned",
+        report.totals.certify_calls,
+        report.totals.cache_hits,
+        report.totals.cache_shortcircuits,
+        report.totals.disjuncts_subsumed,
+    );
+    let out_dir = std::path::PathBuf::from(args.get_or("out-dir", "."));
+    let written = write_artifacts(&report, &out_dir)
+        .map_err(|e| CliError(format!("writing artifacts to {}: {e}", out_dir.display())))?;
+    for p in &written {
+        println!("wrote {}", p.display());
+    }
+    Ok(())
+}
+
 fn cmd_accuracy(args: &Args) -> Result<(), CliError> {
     let (train, test) = load(args)?;
     println!(
@@ -450,6 +535,40 @@ mod tests {
     #[test]
     fn accuracy_runs() {
         assert!(run(argv("accuracy --dataset iris")).is_ok());
+    }
+
+    #[test]
+    fn matrix_list_and_single_scenario_run() {
+        assert!(run(argv("matrix --list")).is_ok());
+        let dir = std::env::temp_dir().join("antidote-cli-matrix-test");
+        let _ = std::fs::remove_dir_all(&dir);
+        let cmd = format!(
+            "matrix --scenarios blobs --threads 2 --out-dir {}",
+            dir.display()
+        );
+        assert!(run(argv(&cmd)).is_ok());
+        assert!(dir.join("BENCH_blobs.json").exists());
+        assert!(dir.join("BENCH_matrix.json").exists());
+        assert!(run(argv("matrix --scenarios nope")).is_err());
+    }
+
+    #[test]
+    fn threads_zero_is_rejected_everywhere() {
+        // Regression for the --threads 0 validation: every threaded
+        // subcommand surfaces the args-level error instead of handing 0
+        // to the engine.
+        for cmd in [
+            "certify --dataset iris --depth 1 --n 1 --threads 0",
+            "sweep --dataset iris --depth 1 --points 2 --threads 0",
+            "flip --dataset iris --depth 1 --n 1 --threads 0",
+            "matrix --scenarios blobs --threads 0",
+        ] {
+            let err = run(argv(cmd)).unwrap_err();
+            assert!(
+                err.to_string().contains("--threads must be >= 1"),
+                "{cmd}: {err}"
+            );
+        }
     }
 
     #[test]

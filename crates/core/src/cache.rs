@@ -90,7 +90,7 @@ struct PointEntry {
     verdicts: BTreeMap<usize, Verdict>,
 }
 
-/// Cross-rung certificate cache: one [`PointEntry`] per test point.
+/// Cross-rung certificate cache: one `PointEntry` per test point.
 ///
 /// Entries are independently locked, so the sweep's per-probe fan-out
 /// (each point appears at most once per probe) never contends.

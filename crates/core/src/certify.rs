@@ -22,7 +22,7 @@ pub enum Verdict {
     /// out-of-memory).
     DisjunctBudget,
     /// The run was cooperatively cancelled through its
-    /// [`ExecContext`](crate::engine::ExecContext).
+    /// [`ExecContext`].
     Cancelled,
 }
 

@@ -156,6 +156,90 @@ impl RunMetrics {
             h / (h + m)
         }
     }
+
+    /// A point-in-time copy of every counter and watermark.
+    ///
+    /// The matrix runner gives each grid cell a context with its own
+    /// `RunMetrics` (see [`ExecContext::fresh_metrics`]), snapshots it
+    /// when the cell finishes, and [absorbs](RunMetrics::absorb) the
+    /// snapshot into the run-wide metrics — per-cell attribution without
+    /// losing the aggregate.
+    pub fn snapshot(&self) -> MetricsSnapshot {
+        MetricsSnapshot {
+            peak_disjuncts: self.peak_disjuncts(),
+            peak_bytes: self.peak_bytes(),
+            disjuncts_processed: self.disjuncts_processed(),
+            disjuncts_subsumed: self.disjuncts_subsumed(),
+            parallel_tasks: self.parallel_tasks(),
+            certify_calls: self.certify_calls(),
+            cache_hits: self.cache_hits(),
+            cache_shortcircuits: self.cache_shortcircuits(),
+            cache_misses: self.cache_misses(),
+        }
+    }
+
+    /// Rolls a snapshot up into these metrics: watermarks are raised
+    /// (`max`), counters are added. The inverse of carving a cell off via
+    /// [`ExecContext::fresh_metrics`] — absorbing every cell's snapshot
+    /// reproduces the totals a shared-metrics run would have recorded.
+    pub fn absorb(&self, s: &MetricsSnapshot) {
+        self.peak_disjuncts
+            .fetch_max(s.peak_disjuncts, Ordering::Relaxed);
+        self.peak_bytes.fetch_max(s.peak_bytes, Ordering::Relaxed);
+        self.disjuncts_processed
+            .fetch_add(s.disjuncts_processed, Ordering::Relaxed);
+        self.disjuncts_subsumed
+            .fetch_add(s.disjuncts_subsumed, Ordering::Relaxed);
+        self.parallel_tasks
+            .fetch_add(s.parallel_tasks, Ordering::Relaxed);
+        self.certify_calls
+            .fetch_add(s.certify_calls, Ordering::Relaxed);
+        self.cache_hits.fetch_add(s.cache_hits, Ordering::Relaxed);
+        self.cache_shortcircuits
+            .fetch_add(s.cache_shortcircuits, Ordering::Relaxed);
+        self.cache_misses
+            .fetch_add(s.cache_misses, Ordering::Relaxed);
+    }
+}
+
+/// A plain-data copy of one [`RunMetrics`] at a point in time.
+///
+/// Produced by [`RunMetrics::snapshot`]; `Copy`, comparable, and
+/// serialisable by hand — the per-cell counter block of
+/// `BENCH_matrix.json` is exactly this struct.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct MetricsSnapshot {
+    /// Peak simultaneous disjuncts observed.
+    pub peak_disjuncts: usize,
+    /// Peak memory proxy (bytes) observed.
+    pub peak_bytes: usize,
+    /// Total disjuncts processed.
+    pub disjuncts_processed: u64,
+    /// Disjuncts dropped by frontier subsumption pruning.
+    pub disjuncts_subsumed: u64,
+    /// Items executed through [`ExecContext::par_map`].
+    pub parallel_tasks: u64,
+    /// Full certifier invocations.
+    pub certify_calls: u64,
+    /// Cache hits (incremental + short-circuit).
+    pub cache_hits: u64,
+    /// Certifier-free short-circuits.
+    pub cache_shortcircuits: u64,
+    /// Cache misses.
+    pub cache_misses: u64,
+}
+
+impl MetricsSnapshot {
+    /// `hits / (hits + misses)`, or 0 when the cache saw no probes.
+    pub fn cache_hit_rate(&self) -> f64 {
+        let h = self.cache_hits as f64;
+        let m = self.cache_misses as f64;
+        if h + m == 0.0 {
+            0.0
+        } else {
+            h / (h + m)
+        }
+    }
 }
 
 /// The earlier of two optional deadlines.
@@ -286,6 +370,31 @@ impl ExecContext {
             ancestor_cancels,
             metrics: self.metrics.clone(),
         }
+    }
+
+    /// Detaches this context from the metrics it currently shares,
+    /// giving it (and every context derived from it afterwards) a fresh
+    /// zeroed [`RunMetrics`].
+    ///
+    /// Combined with [`child`](ExecContext::child) this carves an
+    /// isolated metrics scope out of a larger run — the matrix runner's
+    /// per-cell attribution — while cancellation and deadlines still
+    /// chain through the ancestor contexts. Roll the cell's counters
+    /// back into the parent with [`RunMetrics::absorb`]:
+    ///
+    /// ```
+    /// use antidote_core::engine::ExecContext;
+    ///
+    /// let parent = ExecContext::new();
+    /// let cell = parent.child().fresh_metrics();
+    /// cell.metrics().add_certify_call();
+    /// assert_eq!(parent.metrics().certify_calls(), 0); // isolated…
+    /// parent.metrics().absorb(&cell.metrics().snapshot());
+    /// assert_eq!(parent.metrics().certify_calls(), 1); // …then rolled up
+    /// ```
+    pub fn fresh_metrics(mut self) -> Self {
+        self.metrics = Arc::new(RunMetrics::default());
+        self
     }
 
     /// Requests cooperative cancellation of this context and its children.
@@ -626,6 +735,58 @@ mod tests {
         let child = ctx.child();
         child.metrics().add_cache_hit();
         assert_eq!(ctx.metrics().cache_hits(), 4);
+    }
+
+    #[test]
+    fn fresh_metrics_isolates_and_absorb_rolls_up() {
+        let parent = ExecContext::new();
+        parent.metrics().add_certify_call();
+        parent.metrics().record_peak_disjuncts(3);
+        // A detached child starts from zero and leaks nothing upward…
+        let cell = parent.child().fresh_metrics();
+        assert_eq!(cell.metrics().certify_calls(), 0);
+        cell.metrics().add_certify_call();
+        cell.metrics().add_cache_hit();
+        cell.metrics().add_cache_miss();
+        cell.metrics().add_cache_shortcircuit();
+        cell.metrics().add_disjuncts_processed(10);
+        cell.metrics().add_disjuncts_subsumed(2);
+        cell.metrics().record_peak_disjuncts(9);
+        cell.metrics().record_peak_bytes(128);
+        assert_eq!(parent.metrics().certify_calls(), 1);
+        assert_eq!(parent.metrics().peak_disjuncts(), 3);
+        // …its grandchildren share the detached scope, not the parent's…
+        cell.child().metrics().add_cache_hit();
+        assert_eq!(cell.metrics().cache_hits(), 2);
+        assert_eq!(parent.metrics().cache_hits(), 0);
+        // …and cancellation still chains through the ancestor contexts.
+        parent.cancel();
+        assert!(cell.is_cancelled());
+
+        // Rolling the snapshot up: counters add, watermarks max.
+        let snap = cell.metrics().snapshot();
+        assert_eq!(snap.certify_calls, 1);
+        assert_eq!(snap.cache_hits, 2);
+        assert_eq!(snap.disjuncts_processed, 10);
+        assert!((snap.cache_hit_rate() - 2.0 / 3.0).abs() < 1e-12);
+        parent.metrics().absorb(&snap);
+        assert_eq!(parent.metrics().certify_calls(), 2);
+        assert_eq!(parent.metrics().cache_hits(), 2);
+        assert_eq!(parent.metrics().cache_misses(), 1);
+        assert_eq!(parent.metrics().cache_shortcircuits(), 1);
+        assert_eq!(parent.metrics().disjuncts_processed(), 10);
+        assert_eq!(parent.metrics().disjuncts_subsumed(), 2);
+        assert_eq!(parent.metrics().peak_disjuncts(), 9, "watermark raised");
+        assert_eq!(parent.metrics().peak_bytes(), 128);
+        // Absorbing a lower watermark never lowers the parent's.
+        parent.metrics().absorb(&MetricsSnapshot {
+            peak_disjuncts: 1,
+            ..MetricsSnapshot::default()
+        });
+        assert_eq!(parent.metrics().peak_disjuncts(), 9);
+        // Snapshot equality is plain-data equality.
+        assert_eq!(snap, cell.metrics().snapshot());
+        assert_eq!(MetricsSnapshot::default().cache_hit_rate(), 0.0);
     }
 
     #[test]

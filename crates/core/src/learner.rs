@@ -202,7 +202,7 @@ pub(crate) const MIN_PARALLEL_FRONTIER: usize = 4;
 /// `subsume` arms frontier subsumption pruning (DESIGN.md §7): after each
 /// iteration's dedup, disjuncts dominated under the `⟨T,n⟩` partial order
 /// by another frontier element are dropped before the Hybrid merge.
-/// Pruning is sound for every domain (see [`prune_subsumed`]) and is a
+/// Pruning is sound for every domain (see `prune_subsumed`) and is a
 /// no-op for `Box` (a single state cannot dominate itself); `false` is
 /// the `--no-subsume` escape hatch restoring the unpruned frontier.
 #[allow(clippy::too_many_arguments)]

@@ -64,7 +64,7 @@ pub mod verdict;
 
 pub use cache::{CachedTrace, CertCache};
 pub use certify::{Certifier, Outcome, RunStats, Verdict};
-pub use engine::{ExecContext, RunMetrics};
+pub use engine::{ExecContext, MetricsSnapshot, RunMetrics};
 pub use ensemble::{certify_forest, certify_forest_in, EnsembleConfig, EnsembleOutcome};
 pub use flip::certify_label_flips;
 pub use learner::DomainKind;

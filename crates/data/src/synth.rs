@@ -114,6 +114,192 @@ pub fn gaussian_blobs(spec: &BlobSpec, seed: u64) -> Dataset {
     b.finish()
 }
 
+/// Parameters for [`imbalanced_blobs`]: class-conditional Gaussians with
+/// *per-class* row counts, for workloads where one class dominates the
+/// training set (the regime where removal attacks on the minority class
+/// are cheapest and certified budgets collapse fastest).
+#[derive(Debug, Clone)]
+pub struct ImbalanceSpec {
+    /// Per-class cluster means; all must share one dimension.
+    pub means: Vec<Vec<f64>>,
+    /// Per-class, per-feature standard deviations (same shape as `means`).
+    pub stds: Vec<Vec<f64>>,
+    /// Rows generated per class (may differ across classes; zero skips a
+    /// class entirely).
+    pub counts: Vec<usize>,
+    /// Optional quantisation step, as in [`BlobSpec::quantum`].
+    pub quantum: Option<f64>,
+}
+
+/// Class-imbalanced Gaussian generator.
+///
+/// Rows are emitted in a deterministic proportional interleave: each step
+/// picks the class whose emitted fraction of its quota is lowest (ties go
+/// to the lower class id), so any prefix of the dataset preserves the
+/// requested imbalance ratio.
+///
+/// # Panics
+///
+/// Panics if `means`/`stds`/`counts` shapes disagree, are empty, or all
+/// counts are zero.
+pub fn imbalanced_blobs(spec: &ImbalanceSpec, seed: u64) -> Dataset {
+    let k = spec.means.len();
+    assert!(
+        k > 0 && spec.stds.len() == k && spec.counts.len() == k,
+        "means/stds/counts class count mismatch"
+    );
+    let d = spec.means[0].len();
+    assert!(d > 0, "blobs need at least one feature");
+    for (m, s) in spec.means.iter().zip(&spec.stds) {
+        assert!(
+            m.len() == d && s.len() == d,
+            "means/stds feature count mismatch"
+        );
+    }
+    let total: usize = spec.counts.iter().sum();
+    assert!(total > 0, "at least one class must have rows");
+    let mut rng = StdRng::seed_from_u64(seed);
+    let mut b = DatasetBuilder::new(Schema::real(d, k));
+    let mut emitted = vec![0usize; k];
+    for _ in 0..total {
+        // The class furthest behind its quota, proportionally.
+        let c = (0..k)
+            .filter(|&c| emitted[c] < spec.counts[c])
+            .min_by(|&a, &b| {
+                let fa = (emitted[a] + 1) as f64 / spec.counts[a] as f64;
+                let fb = (emitted[b] + 1) as f64 / spec.counts[b] as f64;
+                fa.partial_cmp(&fb).unwrap().then(a.cmp(&b))
+            })
+            .expect("some quota remains");
+        emitted[c] += 1;
+        let row: Vec<f64> = (0..d)
+            .map(|f| {
+                let v = normal_ms(&mut rng, spec.means[c][f], spec.stds[c][f]);
+                match spec.quantum {
+                    Some(q) => (v / q).round() * q,
+                    None => v,
+                }
+            })
+            .collect();
+        b.push_row(&row, c as ClassId)
+            .expect("generated row is valid");
+    }
+    b.finish()
+}
+
+/// Two interleaved half-moons: the classic non-axis-aligned 2-class
+/// benchmark, where no single threshold split separates the classes and
+/// depth-2 trees must combine both features.
+///
+/// Class 0 is the upper arc, class 1 the lower arc shifted into the upper
+/// arc's concavity; both are scaled by 4, perturbed by Gaussian `noise`,
+/// and quantised to 0.05 so repeated feature values occur as in real
+/// data. Rows alternate classes so prefix subsets stay balanced.
+///
+/// # Panics
+///
+/// Panics if `per_class` is zero.
+pub fn two_moons(per_class: usize, noise: f64, seed: u64) -> Dataset {
+    assert!(per_class > 0, "moons need at least one row per class");
+    let mut rng = StdRng::seed_from_u64(seed);
+    let mut b = DatasetBuilder::new(Schema::real(2, 2));
+    let quantise = |v: f64| (v / 0.05).round() * 0.05;
+    for i in 0..2 * per_class {
+        let c = i % 2;
+        let t = std::f64::consts::PI * rng.random::<f64>();
+        let (x, y) = if c == 0 {
+            (t.cos(), t.sin())
+        } else {
+            (1.0 - t.cos(), 0.5 - t.sin())
+        };
+        let row = [
+            quantise(4.0 * x + noise * normal(&mut rng)),
+            quantise(4.0 * y + noise * normal(&mut rng)),
+        ];
+        b.push_row(&row, c as ClassId)
+            .expect("generated row is valid");
+    }
+    b.finish()
+}
+
+/// Near-duplicate expansion of a Gaussian blob base: every base row is
+/// emitted `copies` times, the original plus `copies − 1` jittered
+/// clones (per-feature Gaussian jitter of standard deviation `jitter`,
+/// re-quantised to the base spec's quantum). With `jitter = 0` the clones
+/// are exact duplicates.
+///
+/// This is the regime where threshold predicates pile up on identical
+/// values: subsets shrink in large steps, `bestSplit#` candidate lists
+/// collapse, and an `n`-removal attacker must delete whole duplicate
+/// groups to move a split.
+///
+/// # Panics
+///
+/// Panics if `copies` is zero or the base spec is malformed.
+pub fn near_duplicates(base: &BlobSpec, copies: usize, jitter: f64, seed: u64) -> Dataset {
+    assert!(copies > 0, "each base row needs at least one copy");
+    let base_ds = gaussian_blobs(base, seed);
+    let mut rng = StdRng::seed_from_u64(seed ^ 0xd0_d0);
+    let mut b = DatasetBuilder::new(base_ds.schema().clone());
+    for r in 0..base_ds.len() as u32 {
+        let row = base_ds.row_values(r);
+        let label = base_ds.label(r);
+        b.push_row(&row, label).expect("base row is valid");
+        for _ in 1..copies {
+            let clone: Vec<f64> = row
+                .iter()
+                .map(|&v| {
+                    let j = v + jitter * normal(&mut rng);
+                    match base.quantum {
+                        Some(q) => (j / q).round() * q,
+                        None => j,
+                    }
+                })
+                .collect();
+            b.push_row(&clone, label).expect("jittered row is valid");
+        }
+    }
+    b.finish()
+}
+
+/// Categorical data one-hot encoded into boolean features.
+///
+/// Each row draws one of `n_categories` categories round-robin, sets
+/// exactly that indicator among the first `n_categories` features, and
+/// appends two pure-noise coin-flip features (so `bestSplit#` has
+/// uninformative predicates to reject). The label is membership in the
+/// first two categories — a depth-2 expressible concept over one-hot
+/// splits (`x₀ = 1`, else `x₁ = 1`) — flipped with probability
+/// `label_noise`.
+///
+/// # Panics
+///
+/// Panics if `n_categories` is zero or `rows` is zero.
+pub fn one_hot_categorical(
+    n_categories: usize,
+    rows: usize,
+    label_noise: f64,
+    seed: u64,
+) -> Dataset {
+    assert!(n_categories > 0, "need at least one category");
+    assert!(rows > 0, "need at least one row");
+    let mut rng = StdRng::seed_from_u64(seed);
+    let mut b = DatasetBuilder::new(Schema::boolean(n_categories + 2, 2));
+    for i in 0..rows {
+        let cat = i % n_categories;
+        let mut row = vec![0.0; n_categories + 2];
+        row[cat] = 1.0;
+        row[n_categories] = f64::from(rng.random::<bool>());
+        row[n_categories + 1] = f64::from(rng.random::<bool>());
+        let mut label = ClassId::from(cat < 2.min(n_categories));
+        if rng.random::<f64>() < label_noise {
+            label = 1 - label;
+        }
+        b.push_row(&row, label).expect("generated row is valid");
+    }
+    b.finish()
+}
+
 /// Iris stand-in: 150 rows, 4 real features, 3 classes.
 ///
 /// Class-conditional Gaussians use the published per-class means and
@@ -565,6 +751,142 @@ mod tests {
         // Interleaved classes.
         assert_eq!(ds.label(0), 0);
         assert_eq!(ds.label(1), 1);
+    }
+
+    #[test]
+    fn imbalanced_blobs_ratio_holds_on_prefixes() {
+        let spec = ImbalanceSpec {
+            means: vec![vec![0.0], vec![8.0]],
+            stds: vec![vec![1.0], vec![1.0]],
+            counts: vec![160, 40],
+            quantum: Some(0.1),
+        };
+        let ds = imbalanced_blobs(&spec, 3);
+        assert_eq!(ds.len(), 200);
+        assert_eq!(ds.class_counts(), vec![160, 40]);
+        assert_eq!(ds, imbalanced_blobs(&spec, 3), "deterministic in the seed");
+        assert_ne!(ds, imbalanced_blobs(&spec, 4));
+        // Proportional interleave: every 25% prefix carries ~the 4:1 ratio.
+        for frac in [50usize, 100, 150] {
+            let minority = (0..frac as u32).filter(|&r| ds.label(r) == 1).count();
+            let expected = frac / 5;
+            assert!(
+                minority.abs_diff(expected) <= 1,
+                "prefix {frac}: {minority} minority rows, expected ~{expected}"
+            );
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "counts class count mismatch")]
+    fn imbalanced_blobs_shape_mismatch_panics() {
+        let spec = ImbalanceSpec {
+            means: vec![vec![0.0], vec![8.0]],
+            stds: vec![vec![1.0], vec![1.0]],
+            counts: vec![10],
+            quantum: None,
+        };
+        let _ = imbalanced_blobs(&spec, 0);
+    }
+
+    #[test]
+    fn two_moons_shape_and_interleave() {
+        let ds = two_moons(75, 0.1, 11);
+        assert_eq!(ds.len(), 150);
+        assert_eq!(ds.n_features(), 2);
+        assert_eq!(ds.class_counts(), vec![75, 75]);
+        assert_eq!(ds, two_moons(75, 0.1, 11), "deterministic in the seed");
+        assert_ne!(ds, two_moons(75, 0.1, 12));
+        // Classes alternate.
+        assert_eq!(ds.label(0), 0);
+        assert_eq!(ds.label(1), 1);
+        // Values are 0.05-quantised.
+        for r in 0..ds.len() as u32 {
+            for f in 0..2 {
+                let v = ds.value(r, f) / 0.05;
+                assert!((v - v.round()).abs() < 1e-6, "moons are 0.05-quantised");
+            }
+        }
+        // The arcs interleave vertically: no single horizontal or vertical
+        // threshold separates the classes (that is the point of moons).
+        for f in 0..2 {
+            let max0 = (0..150u32)
+                .filter(|&r| ds.label(r) == 0)
+                .map(|r| ds.value(r, f))
+                .fold(f64::MIN, f64::max);
+            let min1 = (0..150u32)
+                .filter(|&r| ds.label(r) == 1)
+                .map(|r| ds.value(r, f))
+                .fold(f64::MAX, f64::min);
+            assert!(min1 < max0, "feature {f} should not linearly separate");
+        }
+    }
+
+    #[test]
+    fn near_duplicates_replicates_rows() {
+        let base = BlobSpec {
+            means: vec![vec![0.0, 0.0], vec![9.0, 9.0]],
+            stds: vec![vec![1.0, 1.0], vec![1.0, 1.0]],
+            per_class: 20,
+            quantum: Some(0.1),
+        };
+        let ds = near_duplicates(&base, 4, 0.0, 5);
+        assert_eq!(ds.len(), 4 * 40);
+        assert_eq!(ds.class_counts(), vec![80, 80]);
+        assert_eq!(ds, near_duplicates(&base, 4, 0.0, 5));
+        // Zero jitter: each group of 4 consecutive rows is identical.
+        for g in 0..40u32 {
+            let first = ds.row_values(4 * g);
+            for i in 1..4u32 {
+                assert_eq!(ds.row_values(4 * g + i), first, "group {g} copy {i}");
+                assert_eq!(ds.label(4 * g + i), ds.label(4 * g));
+            }
+        }
+        // Small jitter keeps copies near (but not always equal to) the
+        // original, on the same quantisation grid.
+        let jds = near_duplicates(&base, 4, 0.05, 5);
+        assert_eq!(jds.len(), 160);
+        for r in 0..jds.len() as u32 {
+            for f in 0..2 {
+                let v = jds.value(r, f) * 10.0;
+                assert!((v - v.round()).abs() < 1e-6, "jitter stays quantised");
+            }
+        }
+        let moved = (0..40u32)
+            .flat_map(|g| (1..4u32).map(move |i| (g, i)))
+            .filter(|&(g, i)| jds.row_values(4 * g + i) != jds.row_values(4 * g))
+            .count();
+        assert!(moved > 0, "some jittered copy differs from its original");
+    }
+
+    #[test]
+    fn one_hot_categorical_invariants() {
+        let ds = one_hot_categorical(8, 240, 0.05, 7);
+        assert_eq!(ds.len(), 240);
+        assert_eq!(ds.n_features(), 10);
+        assert_eq!(ds, one_hot_categorical(8, 240, 0.05, 7));
+        assert!(ds
+            .schema()
+            .features()
+            .iter()
+            .all(|f| f.kind == FeatureKind::Bool));
+        for r in 0..ds.len() as u32 {
+            let hot: Vec<usize> = (0..8).filter(|&f| ds.value(r, f) == 1.0).collect();
+            assert_eq!(hot.len(), 1, "exactly one category indicator set");
+            // Round-robin categories: row r carries category r mod 8.
+            assert_eq!(hot[0], r as usize % 8);
+        }
+        // ~5% label noise: the category-membership labelling holds for
+        // most rows (label 1 iff category 0 or 1).
+        let clean = (0..240u32)
+            .filter(|&r| ds.label(r) == ClassId::from(r as usize % 8 < 2))
+            .count();
+        assert!((200..240).contains(&clean), "noise flipped {clean}/240");
+        // Noise features are mixed, not constant.
+        for f in [8, 9] {
+            let on = (0..240u32).filter(|&r| ds.value(r, f) == 1.0).count();
+            assert!((60..180).contains(&on), "noise feature {f}: {on} set");
+        }
     }
 
     #[test]

@@ -1,0 +1,396 @@
+//! The scenario descriptor and the order-invariant registry.
+
+use antidote_data::synth::{
+    gaussian_blobs, imbalanced_blobs, near_duplicates, one_hot_categorical, two_moons, BlobSpec,
+    ImbalanceSpec,
+};
+use antidote_data::Dataset;
+use std::collections::BTreeMap;
+
+/// The poisoning threat model a matrix cell certifies against.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub enum ThreatModel {
+    /// The paper's model: an attacker contributed up to `n` training rows
+    /// which are *removed* (swept via `antidote_core::sweep` over
+    /// `AbstractSet`).
+    Remove,
+    /// Label flips: up to `n` training labels are rewritten (swept via
+    /// [`flip_sweep`](crate::flip_sweep()) over `FlipSet`).
+    LabelFlip,
+}
+
+impl ThreatModel {
+    /// Both threat models, in matrix-cell order.
+    pub const ALL: [ThreatModel; 2] = [ThreatModel::Remove, ThreatModel::LabelFlip];
+
+    /// Short identifier used in cell keys and JSON.
+    pub fn id(self) -> &'static str {
+        match self {
+            ThreatModel::Remove => "remove",
+            ThreatModel::LabelFlip => "flip",
+        }
+    }
+}
+
+/// One named workload family: a deterministic generator plus the ladder
+/// parameters the matrix runner uses for its cells.
+///
+/// `generate` is a plain function pointer — scenarios carry no captured
+/// state, so a registry is fully described by its seed and names, and two
+/// registries built in different registration orders are identical.
+#[derive(Debug, Clone)]
+pub struct Scenario {
+    /// Unique registry key (also the `BENCH_<name>.json` artifact stem).
+    pub name: String,
+    /// One-line description for `matrix --list` and the JSON artifacts.
+    pub description: String,
+    /// Trace depth for removal-threat cells.
+    pub depth: usize,
+    /// Trace depth for label-flip cells (the flip learner is inherently
+    /// disjunctive and typically priced one level shallower).
+    pub flip_depth: usize,
+    /// Ladder cap for removal budgets (clamped to the training size).
+    pub max_n: usize,
+    /// Ladder cap for flip budgets.
+    pub flip_max_n: usize,
+    /// Generates the `(train, test_points)` workload for a seed.
+    pub generate: fn(u64) -> (Dataset, Vec<Vec<f64>>),
+}
+
+impl Scenario {
+    /// The `(train, test_points)` workload for `seed`.
+    pub fn workload(&self, seed: u64) -> (Dataset, Vec<Vec<f64>>) {
+        (self.generate)(seed)
+    }
+}
+
+/// A named collection of scenarios with deterministic iteration order.
+///
+/// Scenarios are keyed and iterated by name, so the matrix grid — and
+/// every artifact derived from it — is independent of registration
+/// order (pinned by `tests/registry.rs` and the bench crate's
+/// `matrix_determinism` suite).
+#[derive(Debug, Clone, Default)]
+pub struct ScenarioRegistry {
+    scenarios: BTreeMap<String, Scenario>,
+}
+
+impl ScenarioRegistry {
+    /// An empty registry.
+    pub fn new() -> Self {
+        ScenarioRegistry::default()
+    }
+
+    /// Registers `scenario`, returning the previously registered scenario
+    /// of the same name, if any (last registration wins).
+    pub fn register(&mut self, scenario: Scenario) -> Option<Scenario> {
+        self.scenarios.insert(scenario.name.clone(), scenario)
+    }
+
+    /// The scenario registered under `name`.
+    pub fn get(&self, name: &str) -> Option<&Scenario> {
+        self.scenarios.get(name)
+    }
+
+    /// Registered names, sorted.
+    pub fn names(&self) -> Vec<&str> {
+        self.scenarios.keys().map(String::as_str).collect()
+    }
+
+    /// Number of registered scenarios.
+    pub fn len(&self) -> usize {
+        self.scenarios.len()
+    }
+
+    /// Whether the registry is empty.
+    pub fn is_empty(&self) -> bool {
+        self.scenarios.is_empty()
+    }
+
+    /// Scenarios in name order.
+    pub fn iter(&self) -> impl Iterator<Item = &Scenario> {
+        self.scenarios.values()
+    }
+
+    /// Resolves an optional name filter to scenarios in name order.
+    ///
+    /// # Errors
+    ///
+    /// Returns a message naming the first unknown scenario and listing
+    /// the registered ones.
+    pub fn select(&self, filter: Option<&[String]>) -> Result<Vec<&Scenario>, String> {
+        match filter {
+            None => Ok(self.iter().collect()),
+            Some(names) => {
+                let mut picked: BTreeMap<&str, &Scenario> = BTreeMap::new();
+                for name in names {
+                    let s = self.get(name).ok_or_else(|| {
+                        format!(
+                            "unknown scenario '{name}'; registered: {}",
+                            self.names().join(", ")
+                        )
+                    })?;
+                    picked.insert(&s.name, s);
+                }
+                Ok(picked.into_values().collect())
+            }
+        }
+    }
+}
+
+/// Probe inputs for a scenario: the first `k` rows of a sibling
+/// generation (same family, independent seed), so test points come from
+/// the same distribution but never from the training set itself.
+fn held_out(ds: &Dataset, k: usize) -> Vec<Vec<f64>> {
+    (0..ds.len().min(k) as u32)
+        .map(|r| ds.row_values(r))
+        .collect()
+}
+
+/// Seed for the held-out probe generation (mirrors the benchmark
+/// loaders' `seed ^ 0x7e57` convention).
+fn probe_seed(seed: u64) -> u64 {
+    seed ^ 0x7e57
+}
+
+/// Probe-point count per scenario: small enough that the 36-cell grid
+/// stays CI-priced, large enough that ladders have survivors to narrow.
+const PROBES: usize = 6;
+
+fn blobs_workload(seed: u64) -> (Dataset, Vec<Vec<f64>>) {
+    let spec = BlobSpec {
+        means: vec![vec![0.0, 0.0], vec![9.0, 9.0]],
+        stds: vec![vec![1.2, 1.2], vec![1.2, 1.2]],
+        per_class: 80,
+        quantum: Some(0.1),
+    };
+    let train = gaussian_blobs(&spec, seed);
+    let probes = held_out(&gaussian_blobs(&spec, probe_seed(seed)), PROBES);
+    (train, probes)
+}
+
+fn moons_workload(seed: u64) -> (Dataset, Vec<Vec<f64>>) {
+    let train = two_moons(80, 0.15, seed);
+    let probes = held_out(&two_moons(PROBES, 0.15, probe_seed(seed)), PROBES);
+    (train, probes)
+}
+
+fn imbalanced_workload(seed: u64) -> (Dataset, Vec<Vec<f64>>) {
+    let spec = ImbalanceSpec {
+        means: vec![vec![0.0, 0.0], vec![8.0, 8.0]],
+        stds: vec![vec![1.2, 1.2], vec![1.2, 1.2]],
+        counts: vec![128, 32],
+        quantum: Some(0.1),
+    };
+    let train = imbalanced_blobs(&spec, seed);
+    let probes = held_out(&imbalanced_blobs(&spec, probe_seed(seed)), PROBES);
+    (train, probes)
+}
+
+fn wide_workload(seed: u64) -> (Dataset, Vec<Vec<f64>>) {
+    let d = 24;
+    let spec = BlobSpec {
+        means: vec![vec![0.0; d], vec![6.0; d]],
+        stds: vec![vec![1.2; d], vec![1.2; d]],
+        per_class: 40,
+        quantum: Some(0.5),
+    };
+    let train = gaussian_blobs(&spec, seed);
+    let probes = held_out(&gaussian_blobs(&spec, probe_seed(seed)), PROBES);
+    (train, probes)
+}
+
+fn neardup_workload(seed: u64) -> (Dataset, Vec<Vec<f64>>) {
+    let base = BlobSpec {
+        means: vec![vec![0.0, 0.0], vec![9.0, 9.0]],
+        stds: vec![vec![1.0, 1.0], vec![1.0, 1.0]],
+        per_class: 20,
+        quantum: Some(0.1),
+    };
+    let train = near_duplicates(&base, 4, 0.05, seed);
+    let probes = held_out(&near_duplicates(&base, 1, 0.0, probe_seed(seed)), PROBES);
+    (train, probes)
+}
+
+fn onehot_workload(seed: u64) -> (Dataset, Vec<Vec<f64>>) {
+    let train = one_hot_categorical(8, 192, 0.04, seed);
+    let probes = held_out(
+        &one_hot_categorical(8, PROBES, 0.04, probe_seed(seed)),
+        PROBES,
+    );
+    (train, probes)
+}
+
+/// The six stock scenario families, registered under their canonical
+/// names (`blobs`, `imbalanced`, `moons`, `neardup`, `onehot`, `wide`).
+pub fn builtin_registry() -> ScenarioRegistry {
+    let mut reg = ScenarioRegistry::new();
+    for s in builtin_scenarios() {
+        reg.register(s);
+    }
+    reg
+}
+
+/// The stock scenarios as a plain list (registration order is
+/// irrelevant — the registry sorts by name).
+pub fn builtin_scenarios() -> Vec<Scenario> {
+    let mk = |name: &str,
+              description: &str,
+              depth: usize,
+              flip_depth: usize,
+              generate: fn(u64) -> (Dataset, Vec<Vec<f64>>)| Scenario {
+        name: name.to_string(),
+        description: description.to_string(),
+        depth,
+        flip_depth,
+        max_n: 64,
+        flip_max_n: 32,
+        generate,
+    };
+    vec![
+        mk(
+            "blobs",
+            "two separated 2-D Gaussian clusters, 80 rows per class",
+            2,
+            1,
+            blobs_workload,
+        ),
+        mk(
+            "moons",
+            "two interleaved half-moons (no axis-aligned separator), 80 rows per class",
+            2,
+            1,
+            moons_workload,
+        ),
+        mk(
+            "imbalanced",
+            "4:1 class-imbalanced Gaussian clusters, 128 vs 32 rows",
+            2,
+            1,
+            imbalanced_workload,
+        ),
+        mk(
+            "wide",
+            "wide high-dimensional blobs: 24 features, 40 rows per class",
+            1,
+            1,
+            wide_workload,
+        ),
+        mk(
+            "neardup",
+            "near-duplicate rows: 40 blob rows replicated 4x with jitter 0.05",
+            2,
+            1,
+            neardup_workload,
+        ),
+        mk(
+            "onehot",
+            "categorical one-hot: 8 category indicators + 2 noise bits, 192 rows",
+            2,
+            2,
+            onehot_workload,
+        ),
+    ]
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn builtin_names_are_sorted_and_complete() {
+        let reg = builtin_registry();
+        assert_eq!(
+            reg.names(),
+            vec!["blobs", "imbalanced", "moons", "neardup", "onehot", "wide"]
+        );
+        assert_eq!(reg.len(), 6);
+        assert!(!reg.is_empty());
+        for s in reg.iter() {
+            assert!(!s.description.is_empty());
+            assert!(s.depth >= 1 && s.flip_depth >= 1);
+            assert!(s.max_n >= 1 && s.flip_max_n >= 1);
+        }
+    }
+
+    #[test]
+    fn registration_order_is_irrelevant() {
+        let mut forward = ScenarioRegistry::new();
+        for s in builtin_scenarios() {
+            forward.register(s);
+        }
+        let mut reversed = ScenarioRegistry::new();
+        for s in builtin_scenarios().into_iter().rev() {
+            reversed.register(s);
+        }
+        assert_eq!(forward.names(), reversed.names());
+        let key = |r: &ScenarioRegistry| -> Vec<(String, usize, usize, usize)> {
+            r.iter()
+                .map(|s| (s.name.clone(), s.depth, s.max_n, s.flip_max_n))
+                .collect()
+        };
+        assert_eq!(key(&forward), key(&reversed));
+    }
+
+    #[test]
+    fn last_registration_wins() {
+        let mut reg = builtin_registry();
+        let mut custom = reg.get("blobs").unwrap().clone();
+        custom.depth = 4;
+        let previous = reg.register(custom).expect("blobs was registered");
+        assert_eq!(previous.depth, 2);
+        assert_eq!(reg.get("blobs").unwrap().depth, 4);
+        assert_eq!(reg.len(), 6, "replacement, not addition");
+    }
+
+    #[test]
+    fn workloads_are_deterministic_and_probe_outside_train() {
+        for s in builtin_registry().iter() {
+            let (train_a, xs_a) = s.workload(7);
+            let (train_b, xs_b) = s.workload(7);
+            assert_eq!(train_a, train_b, "{}: train not deterministic", s.name);
+            assert_eq!(xs_a, xs_b, "{}: probes not deterministic", s.name);
+            let (train_c, xs_c) = s.workload(8);
+            assert!(
+                train_a != train_c || xs_a != xs_c,
+                "{}: seed must matter",
+                s.name
+            );
+            assert_eq!(xs_a.len(), PROBES, "{}", s.name);
+            assert!(train_a.len() >= 60, "{}: too small to certify", s.name);
+            for x in &xs_a {
+                assert_eq!(x.len(), train_a.n_features(), "{}", s.name);
+            }
+        }
+    }
+
+    #[test]
+    fn select_filters_and_rejects_unknowns() {
+        let reg = builtin_registry();
+        let all = reg.select(None).unwrap();
+        assert_eq!(all.len(), 6);
+        let some = reg
+            .select(Some(&["onehot".to_string(), "blobs".to_string()]))
+            .unwrap();
+        assert_eq!(
+            some.iter().map(|s| s.name.as_str()).collect::<Vec<_>>(),
+            vec!["blobs", "onehot"],
+            "selection is name-sorted regardless of filter order"
+        );
+        // Duplicates collapse.
+        let dup = reg
+            .select(Some(&["blobs".to_string(), "blobs".to_string()]))
+            .unwrap();
+        assert_eq!(dup.len(), 1);
+        let err = reg.select(Some(&["nope".to_string()])).unwrap_err();
+        assert!(err.contains("unknown scenario 'nope'"));
+        assert!(err.contains("blobs"));
+    }
+
+    #[test]
+    fn threat_model_ids() {
+        assert_eq!(ThreatModel::ALL.len(), 2);
+        assert_eq!(ThreatModel::Remove.id(), "remove");
+        assert_eq!(ThreatModel::LabelFlip.id(), "flip");
+    }
+}

@@ -1,0 +1,6 @@
+//! The `antidote` binary: a thin wrapper so `cargo run --release -- …`
+//! works from the workspace root. All behaviour lives in `antidote-cli`.
+
+fn main() {
+    antidote_cli::cli_main();
+}
