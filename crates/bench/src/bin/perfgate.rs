@@ -5,11 +5,13 @@
 //! ```
 //!
 //! Exits non-zero when the candidate's `identical_ladders` is not `true`
-//! or any gated counter (`certify_calls_cached`, `subsumption_pruned`)
-//! drifts from the committed baseline. Counter equality — never
-//! wall-clock — keeps the gate host-independent: a slow CI runner cannot
-//! fail it, but a change that silently disables the certification cache
-//! or the subsumption pass cannot pass it. See DESIGN.md §8.
+//! or any gated counter (`certify_calls_cached`, `subsumption_pruned`,
+//! `split_memo_hits`, `split_memo_misses`, `interner_hits`) drifts from
+//! the committed baseline. Counter equality — never wall-clock — keeps the gate
+//! host-independent: a slow CI runner cannot fail it, but a change that
+//! silently disables the certification cache, the subsumption pass, the
+//! `bestSplit#` memo, or frontier hash-consing cannot pass it. See
+//! DESIGN.md §8 and §9.4.
 
 use antidote_bench::perf::{check_sweep_gate, json_u64, GATED_COUNTERS};
 

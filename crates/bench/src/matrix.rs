@@ -351,6 +351,9 @@ pub fn matrix_json(report: &MatrixReport) -> String {
     "cache_shortcircuits": {},
     "cache_misses": {},
     "subsumption_pruned": {},
+    "split_memo_hits": {},
+    "split_memo_misses": {},
+    "interner_hits": {},
     "disjuncts_processed": {},
     "peak_disjuncts": {},
     "peak_bytes": {}
@@ -371,6 +374,9 @@ pub fn matrix_json(report: &MatrixReport) -> String {
         t.cache_shortcircuits,
         t.cache_misses,
         t.disjuncts_subsumed,
+        t.split_memo_hits,
+        t.split_memo_misses,
+        t.interner_hits,
         t.disjuncts_processed,
         t.peak_disjuncts,
         t.peak_bytes,
@@ -436,6 +442,9 @@ fn cell_json(c: &MatrixCell, pad: &str) -> String {
 {pad}  "cache_shortcircuits": {},
 {pad}  "cache_misses": {},
 {pad}  "subsumption_pruned": {},
+{pad}  "split_memo_hits": {},
+{pad}  "split_memo_misses": {},
+{pad}  "interner_hits": {},
 {pad}  "disjuncts_processed": {},
 {pad}  "peak_disjuncts": {},
 {pad}  "peak_bytes": {},
@@ -456,6 +465,9 @@ fn cell_json(c: &MatrixCell, pad: &str) -> String {
         m.cache_shortcircuits,
         m.cache_misses,
         m.disjuncts_subsumed,
+        m.split_memo_hits,
+        m.split_memo_misses,
+        m.interner_hits,
         m.disjuncts_processed,
         m.peak_disjuncts,
         m.peak_bytes,

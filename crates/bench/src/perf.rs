@@ -50,11 +50,24 @@ pub struct GateViolation {
 }
 
 /// The counters the gate holds to exact equality against the committed
-/// baseline. Deliberately *not* wall-clock: certifier-invocation and
-/// pruning counts are host-independent, so the gate is stable on any CI
-/// runner while still catching a regression that silently disables the
-/// cache or the subsumption pass.
-pub const GATED_COUNTERS: [&str; 2] = ["certify_calls_cached", "subsumption_pruned"];
+/// baseline. Deliberately *not* wall-clock: certifier-invocation,
+/// pruning, memo, and interner counts are host-independent (the bench
+/// reads them off strictly sequential runs, and the memo's hit/miss
+/// accounting is reconciled to be thread-invariant anyway), so the gate
+/// is stable on any CI runner while still catching a regression that
+/// silently disables the cache, the subsumption pass, the `bestSplit#`
+/// memo, or frontier hash-consing.
+/// `split_memo_misses` is gated alongside `split_memo_hits` because the
+/// stock depth-2 config legitimately pins hits at 0 (recurrence needs
+/// depth ≥ 3, see DESIGN.md §9.2) — misses are what prove the memo is
+/// still being consulted there.
+pub const GATED_COUNTERS: [&str; 5] = [
+    "certify_calls_cached",
+    "subsumption_pruned",
+    "split_memo_hits",
+    "split_memo_misses",
+    "interner_hits",
+];
 
 /// Checks a freshly generated `BENCH_sweep.json` (`candidate`) against
 /// the committed baseline document. Violations are returned rather than
@@ -112,6 +125,10 @@ mod tests {
   "speedup": null,
   "cache_hit_rate": 0.475,
   "subsumption_pruned": 1234,
+  "split_memo_hits": 17,
+  "split_memo_misses": 547,
+  "interner_hits": 870,
+  "pool_reuse_count": 0,
   "ladder": [
     {"n": 1, "attempted": 32, "verified": 30}
   ]
@@ -126,6 +143,10 @@ mod tests {
         // closing quote keeps it from matching either long key.
         assert_eq!(json_u64(DOC, "certify_calls"), None);
         assert_eq!(json_u64(DOC, "subsumption_pruned"), Some(1234));
+        assert_eq!(json_u64(DOC, "split_memo_hits"), Some(17));
+        // "split_memo_hits" must never match inside "split_memo_misses".
+        assert_eq!(json_u64(DOC, "split_memo_misses"), Some(547));
+        assert_eq!(json_u64(DOC, "interner_hits"), Some(870));
         assert_eq!(json_bool(DOC, "identical_ladders"), Some(true));
         assert_eq!(json_raw(DOC, "speedup"), Some("null"));
         assert_eq!(json_raw(DOC, "cache_hit_rate"), Some("0.475"));
@@ -152,6 +173,27 @@ mod tests {
         assert_eq!(v.len(), 1);
         assert_eq!(v[0].field, "certify_calls_cached");
         assert!(v[0].detail.contains("baseline 32 != candidate 61"));
+    }
+
+    #[test]
+    fn gate_catches_memo_and_interner_drift() {
+        // A change that silently disables the bestSplit# memo (hits fall
+        // to 0) or frontier hash-consing must fail the gate.
+        let no_memo = DOC.replace("\"split_memo_hits\": 17", "\"split_memo_hits\": 0");
+        let v = check_sweep_gate(DOC, &no_memo);
+        assert_eq!(v.len(), 1);
+        assert_eq!(v[0].field, "split_memo_hits");
+        // Even with a 0-hit baseline (the stock depth-2 regime), a memo
+        // that stops being consulted drops its miss count and fails.
+        let memo_dead = DOC.replace("\"split_memo_misses\": 547", "\"split_memo_misses\": 0");
+        let v = check_sweep_gate(DOC, &memo_dead);
+        assert_eq!(v.len(), 1);
+        assert_eq!(v[0].field, "split_memo_misses");
+        let no_interner = DOC.replace("\"interner_hits\": 870", "\"interner_hits\": 3");
+        let v = check_sweep_gate(DOC, &no_interner);
+        assert_eq!(v.len(), 1);
+        assert_eq!(v[0].field, "interner_hits");
+        assert!(v[0].detail.contains("baseline 870 != candidate 3"));
     }
 
     #[test]

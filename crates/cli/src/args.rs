@@ -28,7 +28,7 @@ impl std::error::Error for CliError {}
 
 impl Args {
     /// Boolean flags: present or absent, never followed by a value.
-    const BOOL_FLAGS: &'static [&'static str] = &["no-cache", "no-subsume", "list"];
+    const BOOL_FLAGS: &'static [&'static str] = &["no-cache", "no-subsume", "no-memo", "list"];
 
     /// Parses `argv` (without the program name).
     ///
@@ -169,6 +169,14 @@ impl Args {
     /// `--no-cache`).
     pub fn no_subsume(&self) -> bool {
         self.options.contains_key("no-subsume")
+    }
+
+    /// Whether `--no-memo` was given: disables the per-certify-call
+    /// `bestSplit#` memo, re-running the scored-candidates sweep for
+    /// every frontier disjunct (the escape hatch mirroring
+    /// `--no-cache`/`--no-subsume`).
+    pub fn no_memo(&self) -> bool {
+        self.options.contains_key("no-memo")
     }
 }
 
@@ -342,5 +350,18 @@ mod tests {
         assert!(a.no_cache() && a.no_subsume());
         assert_eq!(a.threads().unwrap(), 2);
         assert!(Args::parse(argv("sweep --no-subsume true")).is_err());
+    }
+
+    #[test]
+    fn no_memo_flag_takes_no_value() {
+        let a = Args::parse(argv("sweep")).unwrap();
+        assert!(!a.no_memo(), "the bestSplit# memo is on by default");
+        let a = Args::parse(argv("sweep --no-memo")).unwrap();
+        assert!(a.no_memo());
+        // All three escape hatches compose.
+        let a = Args::parse(argv("sweep --no-cache --no-subsume --no-memo --threads 2")).unwrap();
+        assert!(a.no_cache() && a.no_subsume() && a.no_memo());
+        assert_eq!(a.threads().unwrap(), 2);
+        assert!(Args::parse(argv("sweep --no-memo true")).is_err());
     }
 }

@@ -49,11 +49,11 @@ pub fn cli_main() {
 }
 
 const USAGE: &str = "usage:
-  antidote certify  --dataset <id> --depth <d> --n <n> [--domain box|disjuncts|hybridK] [--index i] [--timeout secs] [--no-subsume]
+  antidote certify  --dataset <id> --depth <d> --n <n> [--domain box|disjuncts|hybridK] [--index i] [--timeout secs] [--no-subsume] [--no-memo]
   antidote flip     --dataset <id> --depth <d> --n <n> [--index i] [--timeout secs]
   antidote forest   --dataset <id> --depth <d> --n <n> [--trees t] [--features f] [--index i]
   antidote tree     --dataset <id> --depth <d> [--dot true]
-  antidote sweep    --dataset <id> --depth <d> [--domain ...] [--points k] [--timeout secs] [--no-cache] [--no-subsume]
+  antidote sweep    --dataset <id> --depth <d> [--domain ...] [--points k] [--timeout secs] [--no-cache] [--no-subsume] [--no-memo]
   antidote matrix   [--scenarios a,b,...] [--out-dir dir] [--seed s] [--list]
   antidote accuracy --dataset <id> [--scale small|paper]
   antidote attack   --dataset <id> --depth <d> --budget <n> [--index i]
@@ -62,7 +62,8 @@ const USAGE: &str = "usage:
 certify/flip/forest/sweep/attack/matrix also accept --threads <k>, k >= 1
 (default: all cores; 1 = sequential); sweep reuses certificates across
 ladder rungs unless --no-cache re-derives every probe from scratch;
-certify/sweep prune subsumed frontier disjuncts unless --no-subsume;
+certify/sweep prune subsumed frontier disjuncts unless --no-subsume and
+memoize bestSplit# per certify call unless --no-memo;
 matrix runs every registered scenario x {remove,flip} x
 {box,disjuncts,hybrid8} and writes BENCH_<scenario>.json plus
 BENCH_matrix.json to --out-dir (default .); datasets: iris, mammo, wdbc,
@@ -119,7 +120,8 @@ fn cmd_certify(args: &Args) -> Result<(), CliError> {
         .depth(depth)
         .domain(args.domain()?)
         .threads(args.threads()?)
-        .subsume(!args.no_subsume());
+        .subsume(!args.no_subsume())
+        .memo(!args.no_memo());
     let timeout = args.get_num("timeout", 0u64)?;
     if timeout > 0 {
         certifier = certifier.timeout(Duration::from_secs(timeout));
@@ -274,6 +276,7 @@ fn cmd_sweep(args: &Args) -> Result<(), CliError> {
         threads: args.threads()?,
         cache: !args.no_cache(),
         subsume: !args.no_subsume(),
+        memo: !args.no_memo(),
         ..SweepConfig::default()
     };
     let xs: Vec<Vec<f64>> = (0..points as u32).map(|r| test.row_values(r)).collect();
@@ -313,6 +316,12 @@ fn cmd_sweep(args: &Args) -> Result<(), CliError> {
         "# {} disjunct(s) subsumption-pruned, frontier peak {}",
         m.disjuncts_subsumed(),
         m.peak_disjuncts()
+    );
+    println!(
+        "# bestSplit# memo: {} hit(s) / {} miss(es); interner: {} hit(s)",
+        m.split_memo_hits(),
+        m.split_memo_misses(),
+        m.interner_hits()
     );
     Ok(())
 }
@@ -520,6 +529,16 @@ mod tests {
         ))
         .is_ok());
         assert!(run(argv("certify --dataset iris --no-cache nope")).is_err());
+    }
+
+    #[test]
+    fn no_memo_flag_reaches_certifier_and_sweep() {
+        assert!(run(argv("certify --dataset iris --depth 1 --n 1 --no-memo")).is_ok());
+        assert!(run(argv(
+            "sweep --dataset iris --depth 1 --points 4 --threads 1 --timeout 0 --no-memo"
+        ))
+        .is_ok());
+        assert!(run(argv("sweep --dataset iris --no-memo nope")).is_err());
     }
 
     #[test]

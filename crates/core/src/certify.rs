@@ -88,6 +88,7 @@ pub struct Certifier<'a> {
     max_live_disjuncts: Option<usize>,
     threads: usize,
     subsume: bool,
+    memo: bool,
 }
 
 impl<'a> Certifier<'a> {
@@ -104,6 +105,7 @@ impl<'a> Certifier<'a> {
             max_live_disjuncts: None,
             threads: 1,
             subsume: true,
+            memo: true,
         }
     }
 
@@ -143,6 +145,17 @@ impl<'a> Certifier<'a> {
     /// pass existed. See DESIGN.md §7 for the soundness argument.
     pub fn subsume(mut self, on: bool) -> Self {
         self.subsume = on;
+        self
+    }
+
+    /// Enables or disables the per-call `bestSplit#` memo (default: on).
+    /// `false` is the `--no-memo` escape hatch mirroring
+    /// `--no-cache`/`--no-subsume`: every frontier disjunct re-runs the
+    /// scored-candidates sweep even when an identical `⟨T, n⟩` state was
+    /// already analysed in this call. Memoized and memo-free runs return
+    /// bit-identical verdicts (see `antidote_core::memo`).
+    pub fn memo(mut self, on: bool) -> Self {
+        self.memo = on;
         self
     }
 
@@ -308,6 +321,7 @@ impl<'a> Certifier<'a> {
             self.domain,
             self.transformer,
             self.subsume,
+            self.memo,
             ctx,
         );
         let stats = RunStats {

@@ -13,13 +13,18 @@
 //! * shared [`RunMetrics`], and
 //! * the **thread count** used by [`ExecContext::par_map`].
 //!
-//! Parallelism is built on `std::thread::scope` — the build environment
-//! vendors no external crates (see `shims/README.md`), so the engine
-//! provides the rayon-like primitive itself: an order-preserving,
-//! chunked, work-stealing `par_map` over a shared atomic cursor.
-//! `threads(1)` is the escape hatch that restores the exact sequential
-//! behavior: `par_map` then runs inline, in index order, on the calling
-//! thread.
+//! Parallelism is built on a **persistent worker pool** (the [`pool`]
+//! module, DESIGN.md §9.3) — the build environment vendors no external
+//! crates (see `shims/README.md`), so the engine provides the rayon-like
+//! primitive itself: an order-preserving, chunked, work-stealing
+//! `par_map` whose batches are drained by long-lived pool workers plus
+//! the calling thread (no per-call thread spawning). `threads(1)` is the
+//! escape hatch that restores the exact sequential behavior: `par_map`
+//! then runs inline, in index order, on the calling thread, and
+//! single-item calls take the same inline fast path without touching the
+//! pool.
+//!
+//! [`pool`]: crate::pool
 //!
 //! # Determinism contract
 //!
@@ -34,6 +39,8 @@ use std::sync::atomic::{AtomicBool, AtomicU64, AtomicUsize, Ordering};
 use std::sync::Arc;
 use std::time::{Duration, Instant};
 
+pub use crate::pool::{pool_stats, PoolStats};
+
 /// Live metrics of one engine run; shared with child contexts' parents
 /// and updated atomically from worker threads.
 #[derive(Debug, Default)]
@@ -47,6 +54,10 @@ pub struct RunMetrics {
     cache_hits: AtomicU64,
     cache_shortcircuits: AtomicU64,
     cache_misses: AtomicU64,
+    split_memo_hits: AtomicU64,
+    split_memo_misses: AtomicU64,
+    interner_hits: AtomicU64,
+    pool_batches: AtomicU64,
 }
 
 impl RunMetrics {
@@ -146,6 +157,59 @@ impl RunMetrics {
         self.cache_misses.load(Ordering::Relaxed)
     }
 
+    /// Counts one `bestSplit#` memo hit: a frontier disjunct whose
+    /// scored-candidate sweep was answered from the per-certify-call memo
+    /// table (DESIGN.md §9.2) instead of re-running.
+    pub fn add_split_memo_hit(&self) {
+        self.split_memo_hits.fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// Counts one `bestSplit#` memo miss: the first time a
+    /// `(base, n)` state is scored within one certify call (always paired
+    /// with an actual candidate sweep).
+    pub fn add_split_memo_miss(&self) {
+        self.split_memo_misses.fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// Adds to the interner-hit counter: frontier base sets whose payload
+    /// was already hash-consed earlier in the same run, so the disjunct
+    /// was rewired to the canonical allocation (DESIGN.md §9.1).
+    pub fn add_interner_hits(&self, v: u64) {
+        self.interner_hits.fetch_add(v, Ordering::Relaxed);
+    }
+
+    /// Counts one `par_map` batch dispatched to the persistent worker
+    /// pool (inline/sequential calls are deliberately not counted — the
+    /// fast-path regression test relies on this staying zero for
+    /// `threads(1)` and single-item calls).
+    fn add_pool_batch(&self) {
+        self.pool_batches.fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// Total `bestSplit#` memo hits.
+    pub fn split_memo_hits(&self) -> u64 {
+        self.split_memo_hits.load(Ordering::Relaxed)
+    }
+
+    /// Total `bestSplit#` memo misses.
+    pub fn split_memo_misses(&self) -> u64 {
+        self.split_memo_misses.load(Ordering::Relaxed)
+    }
+
+    /// Total interner hits (structure-sharing events).
+    pub fn interner_hits(&self) -> u64 {
+        self.interner_hits.load(Ordering::Relaxed)
+    }
+
+    /// Total `par_map` batches this context's runs dispatched to the
+    /// persistent pool (not part of [`MetricsSnapshot`]: whether a call
+    /// takes the pool path can depend on the host's core count via
+    /// `threads(0)`, unlike every snapshot counter, which is
+    /// thread-invariant).
+    pub fn pool_batches(&self) -> u64 {
+        self.pool_batches.load(Ordering::Relaxed)
+    }
+
     /// `hits / (hits + misses)`, or 0 when the cache saw no probes.
     pub fn cache_hit_rate(&self) -> f64 {
         let h = self.cache_hits() as f64;
@@ -175,6 +239,9 @@ impl RunMetrics {
             cache_hits: self.cache_hits(),
             cache_shortcircuits: self.cache_shortcircuits(),
             cache_misses: self.cache_misses(),
+            split_memo_hits: self.split_memo_hits(),
+            split_memo_misses: self.split_memo_misses(),
+            interner_hits: self.interner_hits(),
         }
     }
 
@@ -199,6 +266,12 @@ impl RunMetrics {
             .fetch_add(s.cache_shortcircuits, Ordering::Relaxed);
         self.cache_misses
             .fetch_add(s.cache_misses, Ordering::Relaxed);
+        self.split_memo_hits
+            .fetch_add(s.split_memo_hits, Ordering::Relaxed);
+        self.split_memo_misses
+            .fetch_add(s.split_memo_misses, Ordering::Relaxed);
+        self.interner_hits
+            .fetch_add(s.interner_hits, Ordering::Relaxed);
     }
 }
 
@@ -227,6 +300,13 @@ pub struct MetricsSnapshot {
     pub cache_shortcircuits: u64,
     /// Cache misses.
     pub cache_misses: u64,
+    /// `bestSplit#` memo hits (per-certify-call memo, DESIGN.md §9.2).
+    pub split_memo_hits: u64,
+    /// `bestSplit#` memo misses.
+    pub split_memo_misses: u64,
+    /// Interner hits: frontier payloads rewired to an already hash-consed
+    /// allocation (DESIGN.md §9.1).
+    pub interner_hits: u64,
 }
 
 impl MetricsSnapshot {
@@ -470,10 +550,16 @@ impl ExecContext {
     /// Applies `f` to every item, in parallel across this context's
     /// workers, returning results in **input order**.
     ///
-    /// Work distribution is a chunked atomic cursor (idle workers steal
-    /// the next chunk), so imbalanced items do not serialize the tail.
-    /// With one effective thread (or one item) it runs inline on the
-    /// calling thread, in index order — the `threads(1)` escape hatch.
+    /// Work distribution is a chunked atomic cursor over the persistent
+    /// engine pool (idle workers steal the next chunk, the calling thread
+    /// participates), so imbalanced items do not serialize the tail and
+    /// no OS threads are spawned per call once the pool is warm. Results
+    /// are written into input-indexed slots — no post-hoc reordering.
+    ///
+    /// With one effective thread **or one item** it runs inline on the
+    /// calling thread, in index order, without touching the pool — the
+    /// `threads(1)` escape hatch and the single-item fast path (pinned by
+    /// a regression test against [`RunMetrics::pool_batches`]).
     ///
     /// Cancellation is cooperative: `f` is still invoked for every index
     /// (the result length always equals `items.len()`), so `f` should
@@ -493,42 +579,11 @@ impl ExecContext {
             .parallel_tasks
             .fetch_add(items.len() as u64, Ordering::Relaxed);
         let threads = self.effective_threads().min(items.len());
-        if threads <= 1 {
+        if threads <= 1 || items.len() <= 1 {
             return items.iter().enumerate().map(|(i, t)| f(i, t)).collect();
         }
-        // ~4 chunks per worker balances stealing granularity against
-        // cursor contention.
-        let chunk = (items.len() / (threads * 4)).max(1);
-        let cursor = AtomicUsize::new(0);
-        let mut indexed: Vec<(usize, R)> = Vec::with_capacity(items.len());
-        std::thread::scope(|scope| {
-            let handles: Vec<_> = (0..threads)
-                .map(|_| {
-                    let cursor = &cursor;
-                    let f = &f;
-                    scope.spawn(move || {
-                        let mut out: Vec<(usize, R)> = Vec::new();
-                        loop {
-                            let start = cursor.fetch_add(chunk, Ordering::Relaxed);
-                            if start >= items.len() {
-                                break;
-                            }
-                            let end = (start + chunk).min(items.len());
-                            for (i, item) in items.iter().enumerate().take(end).skip(start) {
-                                out.push((i, f(i, item)));
-                            }
-                        }
-                        out
-                    })
-                })
-                .collect();
-            for h in handles {
-                indexed.extend(h.join().expect("engine worker panicked"));
-            }
-        });
-        indexed.sort_unstable_by_key(|&(i, _)| i);
-        debug_assert_eq!(indexed.len(), items.len());
-        indexed.into_iter().map(|(_, r)| r).collect()
+        self.metrics.add_pool_batch();
+        crate::pool::run_batch(items, f, threads)
     }
 }
 
@@ -574,6 +629,24 @@ mod tests {
         let empty: Vec<u32> = Vec::new();
         assert!(ctx.par_map(&empty, |_, &v| v).is_empty());
         assert_eq!(ctx.par_map(&[9], |_, &v| v), vec![9]);
+    }
+
+    #[test]
+    fn inline_fast_path_never_touches_the_pool() {
+        // Regression: threads(1) calls, single-item calls, and empty
+        // calls must run inline — no pool dispatch, no batch accounting.
+        let ctx = ExecContext::sequential();
+        let items: Vec<u32> = (0..64).collect();
+        let _ = ctx.par_map(&items, |_, &v| v);
+        assert_eq!(ctx.metrics().pool_batches(), 0, "threads(1) stays inline");
+        let ctx = ExecContext::new().threads(4);
+        let _ = ctx.par_map(&[7u32], |_, &v| v);
+        let empty: Vec<u32> = Vec::new();
+        let _ = ctx.par_map(&empty, |_, &v| v);
+        assert_eq!(ctx.metrics().pool_batches(), 0, "tiny calls stay inline");
+        // A real fan-out does dispatch exactly one batch.
+        let _ = ctx.par_map(&items, |_, &v| v);
+        assert_eq!(ctx.metrics().pool_batches(), 1);
     }
 
     #[test]
@@ -787,6 +860,29 @@ mod tests {
         // Snapshot equality is plain-data equality.
         assert_eq!(snap, cell.metrics().snapshot());
         assert_eq!(MetricsSnapshot::default().cache_hit_rate(), 0.0);
+    }
+
+    #[test]
+    fn memo_and_interner_counters_snapshot_and_absorb() {
+        let ctx = ExecContext::new();
+        ctx.metrics().add_split_memo_hit();
+        ctx.metrics().add_split_memo_hit();
+        ctx.metrics().add_split_memo_miss();
+        ctx.metrics().add_interner_hits(5);
+        assert_eq!(ctx.metrics().split_memo_hits(), 2);
+        assert_eq!(ctx.metrics().split_memo_misses(), 1);
+        assert_eq!(ctx.metrics().interner_hits(), 5);
+        let snap = ctx.metrics().snapshot();
+        assert_eq!(snap.split_memo_hits, 2);
+        assert_eq!(snap.split_memo_misses, 1);
+        assert_eq!(snap.interner_hits, 5);
+        // Absorb adds the new counters like every other counter.
+        let parent = ExecContext::new();
+        parent.metrics().absorb(&snap);
+        parent.metrics().absorb(&snap);
+        assert_eq!(parent.metrics().split_memo_hits(), 4);
+        assert_eq!(parent.metrics().split_memo_misses(), 2);
+        assert_eq!(parent.metrics().interner_hits(), 10);
     }
 
     #[test]

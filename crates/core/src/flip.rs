@@ -18,13 +18,13 @@
 use crate::certify::{Outcome, RunStats, Verdict};
 use crate::engine::ExecContext;
 use crate::learner::Abort;
+use crate::memo::FlipSplitMemo;
 use crate::verdict::dominant_class;
-use antidote_data::{ClassId, Dataset, Subset, ThresholdCmp};
+use antidote_data::{ClassId, Dataset, Subset, SubsetInterner, ThresholdCmp};
 use antidote_domains::flipset::{score_interval_flip, FlipSet};
 use antidote_tree::dtrace::dtrace_label;
 use antidote_tree::split::sweep_feature;
 use antidote_tree::Predicate;
-use std::collections::HashSet;
 use std::time::Instant;
 
 /// Slack for score-bound comparisons (inclusive, as in `bestSplit#`).
@@ -100,7 +100,13 @@ enum FlipStepOut {
 }
 
 /// One iteration of the flip learner for a single disjunct.
-fn step_flipset(ds: &Dataset, f: &FlipSet, x: &[f64], ctx: &ExecContext) -> FlipStepOut {
+fn step_flipset(
+    ds: &Dataset,
+    f: &FlipSet,
+    x: &[f64],
+    memo: &FlipSplitMemo,
+    ctx: &ExecContext,
+) -> FlipStepOut {
     if ctx.should_stop() {
         return FlipStepOut::Aborted;
     }
@@ -118,8 +124,11 @@ fn step_flipset(ds: &Dataset, f: &FlipSet, x: &[f64], ctx: &ExecContext) -> Flip
             branches: Vec::new(),
         };
     }
-    // bestSplit# and the ⋄ conditional.
-    let (preds, diamond) = best_split_flip(ds, f);
+    // bestSplit# and the ⋄ conditional, through the per-run memo
+    // (best_split_flip is a pure function of the carrier and budget, so
+    // recurring states reuse the stored analysis bit-identically).
+    let split = memo.best_split(ds, f, ctx.metrics());
+    let (preds, diamond) = (&split.0, split.1);
     if diamond {
         terminals.push(FlipTerminal::Fragment(f.clone()));
         return FlipStepOut::Done {
@@ -130,7 +139,7 @@ fn step_flipset(ds: &Dataset, f: &FlipSet, x: &[f64], ctx: &ExecContext) -> Flip
     // filter#: one branch per kept predicate, on x's side (a `≤` test or
     // its complement, so the word-parallel threshold restriction applies).
     let branches = preds
-        .into_iter()
+        .iter()
         .map(|p| {
             let cmp = if p.eval(x) {
                 ThresholdCmp::Le
@@ -156,7 +165,15 @@ pub fn run_flip(
     depth: usize,
     ctx: &ExecContext,
 ) -> FlipRunOutput {
+    // Per-run bestSplit# memo and carrier interner, mirroring the removal
+    // learner (DESIGN.md §9.1–9.2). The flip memo has no escape hatch:
+    // flip scoring is concrete-thresholded and the memoized result is a
+    // pure function of the (carrier, budget) key, so the memo is as
+    // observationally invisible as frontier dedup itself.
+    let memo = FlipSplitMemo::new();
+    let mut interner = SubsetInterner::new();
     let mut active: Vec<FlipSet> = vec![initial];
+    intern_flip_frontier(&mut active, &mut interner, ctx);
     let mut terminals: Vec<FlipTerminal> = Vec::new();
     let mut peak_disjuncts = 1usize;
     let mut peak_bytes = 0usize;
@@ -169,9 +186,12 @@ pub fn run_flip(
         let stepped: Vec<FlipStepOut> = if active.len() >= crate::learner::MIN_PARALLEL_FRONTIER
             && ctx.effective_threads() > 1
         {
-            ctx.par_map(&active, |_, f| step_flipset(ds, f, x, ctx))
+            ctx.par_map(&active, |_, f| step_flipset(ds, f, x, &memo, ctx))
         } else {
-            active.iter().map(|f| step_flipset(ds, f, x, ctx)).collect()
+            active
+                .iter()
+                .map(|f| step_flipset(ds, f, x, &memo, ctx))
+                .collect()
         };
         let processed = stepped
             .iter()
@@ -204,6 +224,7 @@ pub fn run_flip(
             }
         }
         dedup_flipsets(&mut next);
+        intern_flip_frontier(&mut next, &mut interner, ctx);
         active = next;
         let live = active.len() + terminals.len();
         peak_disjuncts = peak_disjuncts.max(live);
@@ -237,12 +258,21 @@ pub fn run_flip(
     }
 }
 
+/// Removes exact duplicate flip states (the shared
+/// [`learner::dedup_states`](crate::learner) pass keyed on the carrier).
 fn dedup_flipsets(sets: &mut Vec<FlipSet>) {
-    if sets.len() < 2 {
-        return;
+    crate::learner::dedup_states(sets, |s| (s.n(), s.subset().clone()));
+}
+
+/// The flip-frontier interning pass (the shared
+/// [`SubsetInterner::intern_all`] keyed on the carrier): payloads already
+/// hash-consed in this run are rewired to the canonical allocation, with
+/// hits counted on the run metrics.
+fn intern_flip_frontier(sets: &mut [FlipSet], interner: &mut SubsetInterner, ctx: &ExecContext) {
+    let hits = interner.intern_all(sets, FlipSet::subset, |s, c| FlipSet::new(c, s.n()));
+    if hits > 0 {
+        ctx.metrics().add_interner_hits(hits);
     }
-    let mut seen: HashSet<(usize, Vec<u64>)> = HashSet::with_capacity(sets.len());
-    sets.retain(|s| seen.insert((s.n(), s.subset().words().to_vec())));
 }
 
 /// Attempts to prove that `x`'s prediction is robust to up to `n` label

@@ -29,11 +29,13 @@
 //! same iteration (Fig. 4 reassigns φ before reading it), so disjuncts
 //! store only their abstract training set.
 
-use antidote_data::{ClassId, Dataset};
+use antidote_data::{ClassId, Dataset, Subset, SubsetInterner};
 use antidote_domains::{AbstractSet, CprobTransformer, Truth};
 use std::collections::HashSet;
+use std::sync::Arc;
 
 use crate::engine::ExecContext;
+use crate::memo::SplitMemo;
 use crate::score::best_split_abs;
 
 /// Which abstract state domain `DTrace#` runs in.
@@ -114,6 +116,7 @@ fn step_disjunct(
     x: &[f64],
     domain: DomainKind,
     transformer: CprobTransformer,
+    memo: Option<&SplitMemo>,
     ctx: &ExecContext,
 ) -> StepOut {
     if ctx.should_stop() {
@@ -147,7 +150,10 @@ fn step_disjunct(
     }
 
     // --- φ ← bestSplit#(⟨T,n⟩) and the φ = ⋄ conditional ---
-    let bs = best_split_abs(ds, a, transformer);
+    let bs = match memo {
+        Some(memo) => memo.best_split(ds, a, ctx.metrics()),
+        None => Arc::new(best_split_abs(ds, a, transformer)),
+    };
     if bs.diamond {
         terminals.push(a.clone());
     }
@@ -184,8 +190,10 @@ fn step_disjunct(
     }
 }
 
-/// Frontiers below this size are stepped inline: scoped-thread spawn
-/// costs more than a couple of `bestSplit#` calls on small sets.
+/// Frontiers below this size are stepped inline: even with the
+/// persistent pool, dispatching a batch (injector lock, worker wake-up,
+/// completion wait) costs more than a couple of `bestSplit#` calls on
+/// small sets.
 pub(crate) const MIN_PARALLEL_FRONTIER: usize = 4;
 
 /// Runs `DTrace#(⟨T, n⟩, x)` to depth `depth` under `ctx`.
@@ -205,6 +213,15 @@ pub(crate) const MIN_PARALLEL_FRONTIER: usize = 4;
 /// Pruning is sound for every domain (see `prune_subsumed`) and is a
 /// no-op for `Box` (a single state cannot dominate itself); `false` is
 /// the `--no-subsume` escape hatch restoring the unpruned frontier.
+///
+/// `memo` arms the per-call `bestSplit#` memo (DESIGN.md §9.2): recurring
+/// `(base, n)` frontier states across depth iterations reuse the stored
+/// candidate analysis instead of re-sweeping. Memoized runs are
+/// bit-identical to memo-free ones (`best_split_abs` is a pure function
+/// of the key); `false` is the `--no-memo` escape hatch. Independent of
+/// the flag, the run hash-conses frontier base payloads through a
+/// [`SubsetInterner`] (DESIGN.md §9.1), counting structure sharing on
+/// [`RunMetrics::interner_hits`](crate::engine::RunMetrics::interner_hits).
 #[allow(clippy::too_many_arguments)]
 pub fn run_abstract(
     ds: &Dataset,
@@ -214,9 +231,14 @@ pub fn run_abstract(
     domain: DomainKind,
     transformer: CprobTransformer,
     subsume: bool,
+    memo: bool,
     ctx: &ExecContext,
 ) -> RunOutput {
+    let memo = memo.then(|| SplitMemo::new(transformer));
+    let memo = memo.as_ref();
+    let mut interner = SubsetInterner::new();
     let mut active: Vec<AbstractSet> = vec![initial];
+    intern_frontier(&mut active, &mut interner, ctx);
     let mut terminals: Vec<AbstractSet> = Vec::new();
     let mut peak_disjuncts = 1usize;
     let mut peak_bytes = 0usize;
@@ -242,12 +264,12 @@ pub fn run_abstract(
         let use_par = active.len() >= MIN_PARALLEL_FRONTIER && ctx.effective_threads() > 1;
         let stepped: Vec<StepOut> = if use_par {
             ctx.par_map(&active, |_, a| {
-                step_disjunct(ds, a, x, domain, transformer, ctx)
+                step_disjunct(ds, a, x, domain, transformer, memo, ctx)
             })
         } else {
             active
                 .iter()
-                .map(|a| step_disjunct(ds, a, x, domain, transformer, ctx))
+                .map(|a| step_disjunct(ds, a, x, domain, transformer, memo, ctx))
                 .collect()
         };
         let processed = stepped
@@ -287,6 +309,12 @@ pub fn run_abstract(
         // induce the same restriction (common for binary features); the
         // disjunctive join is set union, so deduplication is exact.
         dedup_disjuncts(&mut next);
+        // Hash-cons the surviving bases: payloads seen in an earlier
+        // iteration (or under a different budget) are rewired to their
+        // canonical allocation, making later equality checks and memo
+        // probes pointer-fast. Runs in the sequential fold, so the hit
+        // count is thread-invariant.
+        intern_frontier(&mut next, &mut interner, ctx);
         if subsume && domain != DomainKind::Box {
             let pruned = prune_subsumed(&mut next);
             if pruned > 0 {
@@ -333,15 +361,41 @@ pub fn run_abstract(
     }
 }
 
-/// Removes exact duplicate disjuncts (same base set and budget), keyed by
-/// the base's packed word representation (canonical, so word equality is
-/// set equality).
-fn dedup_disjuncts(disjuncts: &mut Vec<AbstractSet>) {
-    if disjuncts.len() < 2 {
+/// Removes exact duplicate learner states (same `(budget, subset)` key,
+/// projected by `key`). Shared by both abstract learners; the
+/// hash-consed `Subset` key makes each probe O(1): cloning is a refcount
+/// bump and hashing writes the precomputed content hash — no word-vector
+/// copies or re-walks (the pre-interning backend copied every state's
+/// words into the seen-set here).
+pub(crate) fn dedup_states<D>(items: &mut Vec<D>, key: impl Fn(&D) -> (usize, Subset)) {
+    if items.len() < 2 {
         return;
     }
-    let mut seen: HashSet<(usize, Vec<u64>)> = HashSet::with_capacity(disjuncts.len());
-    disjuncts.retain(|d| seen.insert((d.n(), d.base().words().to_vec())));
+    let mut seen: HashSet<(usize, Subset)> = HashSet::with_capacity(items.len());
+    items.retain(|d| seen.insert(key(d)));
+}
+
+/// Removes exact duplicate disjuncts (same base set and budget).
+fn dedup_disjuncts(disjuncts: &mut Vec<AbstractSet>) {
+    dedup_states(disjuncts, |d| (d.n(), d.base().clone()));
+}
+
+/// Rewires every disjunct whose base payload is already interned to the
+/// canonical allocation, interning first-seen payloads. Interner hits
+/// (re-encountered payloads) land on the run metrics; rewiring preserves
+/// value equality exactly (`AbstractSet::new` re-clamps against an equal
+/// base, a no-op), so this pass is observationally invisible.
+fn intern_frontier(
+    disjuncts: &mut [AbstractSet],
+    interner: &mut SubsetInterner,
+    ctx: &ExecContext,
+) {
+    let hits = interner.intern_all(disjuncts, AbstractSet::base, |d, s| {
+        AbstractSet::new(s, d.n())
+    });
+    if hits > 0 {
+        ctx.metrics().add_interner_hits(hits);
+    }
 }
 
 /// Drops every disjunct *subsumed* by another: `a ⊑ b` (footnote 4's
@@ -354,23 +408,107 @@ fn dedup_disjuncts(disjuncts: &mut Vec<AbstractSet>) {
 /// domination chain ends in a kept ⊑-maximal element, so dropping exactly
 /// the elements dominated by *some* other is well-defined. Returns the
 /// number pruned.
+///
+/// The dominated-by predicate is evaluated through an **inverted row
+/// bitset** instead of an all-pairs `⊑` scan (the previous quadratic
+/// pass dominated whole-sweep wall time on wide frontiers, pruning a
+/// handful of disjuncts for tens of milliseconds of scanning).
+///
+/// Rewriting footnote 4's budget inequality with the *minimum surviving
+/// size* `κ(⟨T,n⟩) = |T| − n` collapses the order to
+///
+/// ```text
+/// a ⊑ b  ⟺  T_a ⊆ T_b  ∧  κ(b) ≤ κ(a)
+/// ```
+///
+/// so processing elements in (κ ascending, |T| descending) order makes
+/// *every* already-processed element a budget-valid dominator — the only
+/// remaining question is containment. Per-row bitsets record which
+/// processed elements contain each row; `T_a ⊆ T_b` candidates are the
+/// AND of the bitsets of `a`'s rows (seeded at `a`'s rarest row, early
+/// exit once empty — usually after two or three rows), and a non-empty
+/// AND after all rows means *dominated*, no per-candidate arithmetic at
+/// all. The kept set is exactly the all-pairs one (the order is a
+/// linearisation of ⊑, see the proof notes inline), so ladders,
+/// verdicts, and prune counts stay bit-identical (pinned by the
+/// `--no-subsume` differential in `tests/determinism.rs`).
 fn prune_subsumed(disjuncts: &mut Vec<AbstractSet>) -> usize {
     if disjuncts.len() < 2 {
         return 0;
     }
     let before = disjuncts.len();
-    // A dominator of `d` never has a smaller base or budget, so after
-    // ranking by (|T|, n) descending each disjunct only needs to test the
-    // elements ranked before it — the kept set (elements dominated by
-    // nothing) is order-independent, and `retain` below preserves the
-    // frontier's original positions.
-    let mut ranked: Vec<usize> = (0..disjuncts.len()).collect();
-    ranked.sort_by_key(|&i| std::cmp::Reverse((disjuncts[i].len(), disjuncts[i].n())));
-    let mut keep = vec![true; disjuncts.len()];
+    // (κ asc, |T| desc) linearises strict domination: a ⊑ b (a ≠ b)
+    // needs κ(b) ≤ κ(a), and within equal κ needs |T_b| > |T_a|
+    // (|T_b| = |T_a| with containment means equal sets, whose budgets —
+    // hence κ — would differ; exact duplicates were already deduped). So
+    // every dominator is processed strictly before its dominatee, and
+    // everything processed before `a` that contains `T_a` dominates it.
+    let mut ranked: Vec<u32> = (0..before as u32).collect();
+    ranked.sort_by_key(|&i| {
+        let d = &disjuncts[i as usize];
+        (d.len() - d.n(), std::cmp::Reverse(d.len()))
+    });
+    // row_bits[row * stride ..][..]: bitset over processing positions,
+    // bit p set iff the (kept) element at position p contains `row`.
+    let stride = before.div_ceil(64);
+    let n_rows = disjuncts
+        .iter()
+        .map(|d| d.base().words().len() * 64)
+        .max()
+        .unwrap_or(0);
+    let mut row_bits = vec![0u64; n_rows * stride];
+    // How many indexed elements contain each row; seeding the AND from
+    // the rarest member row refutes containment for most elements
+    // without touching any other bitset.
+    let mut row_freq = vec![0u32; n_rows];
+    let mut acc: Vec<u64> = vec![0; stride];
+    let mut live_words: Vec<u32> = Vec::with_capacity(stride);
+    let mut keep = vec![true; before];
     for (pos, &i) in ranked.iter().enumerate() {
-        keep[i] = !ranked[..pos]
+        let d = &disjuncts[i as usize];
+        // An empty base has no rows (filter# never emits one) and is
+        // conservatively kept; a base whose rarest row is in no indexed
+        // element cannot be contained in one.
+        let rarest = d
+            .base()
             .iter()
-            .any(|&j| disjuncts[i].le(&disjuncts[j]));
+            .min_by_key(|&r| row_freq[r as usize])
+            .filter(|&r| row_freq[r as usize] > 0);
+        if let Some(first) = rarest {
+            let first_bits = &row_bits[first as usize * stride..][..stride];
+            acc.copy_from_slice(first_bits);
+            // Track only the words still holding candidates: the rarest
+            // seed is sparse, so each further row ANDs a handful of
+            // words, not the whole stride.
+            live_words.clear();
+            live_words.extend((0..stride as u32).filter(|&w| acc[w as usize] != 0));
+            for row in d.base().iter() {
+                if row == first {
+                    continue;
+                }
+                if live_words.is_empty() {
+                    break;
+                }
+                let bits = &row_bits[row as usize * stride..][..stride];
+                live_words.retain(|&w| {
+                    acc[w as usize] &= bits[w as usize];
+                    acc[w as usize] != 0
+                });
+            }
+            // Containment survived every row: some processed element
+            // contains T_d, and processing order makes it a dominator.
+            keep[i as usize] = live_words.is_empty();
+        }
+        if keep[i as usize] {
+            // Only kept elements enter the index: a dominated element's
+            // dominators include a kept ⊑-maximal one by transitivity
+            // (chains ascend the processing order), so
+            // transitively-dominated elements are still caught.
+            for row in disjuncts[i as usize].base().iter() {
+                row_bits[row as usize * stride + pos / 64] |= 1u64 << (pos % 64);
+                row_freq[row as usize] += 1;
+            }
+        }
     }
     let mut it = keep.iter();
     disjuncts.retain(|_| *it.next().expect("keep mask covers every disjunct"));
@@ -403,6 +541,7 @@ mod tests {
             depth,
             domain,
             CprobTransformer::Optimal,
+            true,
             true,
             &ExecContext::sequential(),
         )
@@ -478,6 +617,7 @@ mod tests {
             DomainKind::Disjuncts,
             CprobTransformer::Optimal,
             true,
+            true,
             &ExecContext::sequential().timeout(std::time::Duration::ZERO),
         );
         assert_eq!(out.aborted, Some(Abort::Timeout));
@@ -493,6 +633,7 @@ mod tests {
             4,
             DomainKind::Disjuncts,
             CprobTransformer::Optimal,
+            true,
             true,
             &ExecContext::sequential().disjunct_budget(2),
         );
@@ -510,6 +651,7 @@ mod tests {
             3,
             DomainKind::Hybrid { max_disjuncts: cap },
             CprobTransformer::Optimal,
+            true,
             true,
             &ExecContext::sequential(),
         );
@@ -548,6 +690,7 @@ mod tests {
             3,
             DomainKind::Disjuncts,
             CprobTransformer::Optimal,
+            true,
             true,
             &ExecContext::sequential(),
         );
@@ -601,6 +744,7 @@ mod tests {
                 DomainKind::Disjuncts,
                 CprobTransformer::Optimal,
                 subsume,
+                true,
                 ctx,
             )
         };
@@ -615,6 +759,48 @@ mod tests {
         );
         assert_eq!(ctx_off.metrics().disjuncts_subsumed(), 0);
         assert!(on.peak_disjuncts <= off.peak_disjuncts);
+    }
+
+    #[test]
+    fn memoized_run_is_bit_identical_and_hits_at_depth_three() {
+        // Same-feature threshold restrictions compose, so depth-3 runs
+        // revisit ⟨T,n⟩ states from earlier iterations; the memo must
+        // answer them with the exact result a recompute would produce.
+        let ds = synth::iris_like(0);
+        let run = |memo: bool, ctx: &ExecContext| {
+            run_abstract(
+                &ds,
+                AbstractSet::full(&ds, 6),
+                &ds.row_values(3),
+                3,
+                DomainKind::Disjuncts,
+                CprobTransformer::Optimal,
+                true,
+                memo,
+                ctx,
+            )
+        };
+        let memo_ctx = ExecContext::sequential();
+        let memoized = run(true, &memo_ctx);
+        let plain_ctx = ExecContext::sequential();
+        let plain = run(false, &plain_ctx);
+        assert_eq!(memoized.terminals, plain.terminals);
+        assert_eq!(memoized.aborted, plain.aborted);
+        assert_eq!(memoized.peak_disjuncts, plain.peak_disjuncts);
+        assert_eq!(memoized.peak_bytes, plain.peak_bytes);
+        assert_eq!(memoized.iterations_completed, plain.iterations_completed);
+        assert!(
+            memo_ctx.metrics().split_memo_hits() > 0,
+            "sanity: this configuration must revisit frontier states"
+        );
+        assert_eq!(plain_ctx.metrics().split_memo_hits(), 0);
+        assert_eq!(plain_ctx.metrics().split_memo_misses(), 0);
+        // Hash-consing runs regardless of the memo flag and fires here.
+        assert!(memo_ctx.metrics().interner_hits() > 0);
+        assert_eq!(
+            memo_ctx.metrics().interner_hits(),
+            plain_ctx.metrics().interner_hits()
+        );
     }
 
     #[test]

@@ -17,6 +17,10 @@
 //! * [`cache`](mod@cache) — the incremental certification cache:
 //!   memoized concrete traces, monotone verdict intervals, and validated
 //!   counterexample witnesses reused across sweep rungs;
+//! * [`memo`](mod@memo) — the per-certify-call `bestSplit#` memo:
+//!   recurring `⟨T, n⟩` frontier states across depth iterations reuse the
+//!   stored candidate analysis (hash-consed keys, `--no-memo` escape
+//!   hatch);
 //! * [`score`] — `score#` intervals and `bestSplit#` with the Φ∀/Φ∃
 //!   trivial-split analysis and minimal-interval selection (§4.6), using
 //!   symbolic real-valued predicates (§5.1, Appendix B);
@@ -57,6 +61,8 @@ pub mod engine;
 pub mod ensemble;
 pub mod flip;
 pub mod learner;
+pub mod memo;
+pub mod pool;
 pub mod report;
 pub mod score;
 pub mod sweep;
@@ -64,10 +70,11 @@ pub mod verdict;
 
 pub use cache::{CachedTrace, CertCache};
 pub use certify::{Certifier, Outcome, RunStats, Verdict};
-pub use engine::{ExecContext, MetricsSnapshot, RunMetrics};
+pub use engine::{pool_stats, ExecContext, MetricsSnapshot, PoolStats, RunMetrics};
 pub use ensemble::{certify_forest, certify_forest_in, EnsembleConfig, EnsembleOutcome};
 pub use flip::certify_label_flips;
 pub use learner::DomainKind;
+pub use memo::{FlipSplitMemo, SplitMemo};
 pub use report::{explain, Explanation};
 pub use score::{best_split_abs, AbsSplitResult};
 pub use sweep::{sweep, sweep_in, SweepConfig, SweepPoint};

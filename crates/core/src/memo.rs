@@ -1,0 +1,240 @@
+//! Per-certify-call memoization of `bestSplit#` (DESIGN.md §9.2).
+//!
+//! The abstract learner's dominant cost is the per-feature
+//! scored-candidates sweep behind [`best_split_abs`], re-run for every
+//! live disjunct at every depth iteration. Frontier deduplication removes
+//! exact duplicates *within* one iteration, but identical `⟨T, n⟩` states
+//! recur **across** iterations — same-feature threshold restrictions
+//! compose (`T↓x≤a↓x≤b = T↓x≤min(a,b)`), budget clamping collapses deep
+//! fragments onto the same `n`, and Hybrid joins can reproduce earlier
+//! states. [`SplitMemo`] caches the full `bestSplit#` result per
+//! `(base, n)` within one certification run, so recurring states skip the
+//! sweep entirely.
+//!
+//! # Keying and soundness
+//!
+//! A table is built per certify call with the call's `cprob#` transformer
+//! fixed, so the effective key is `(interned base payload, n,
+//! transformer)`. `best_split_abs` is a *pure, deterministic* function of
+//! exactly that key (the test input `x` only enters `filter#`, after the
+//! split set is chosen), so a memo hit returns the bit-identical
+//! [`AbsSplitResult`] — same candidate order, same predicates, same ⋄
+//! flag — that a recompute would produce. Memoized and memo-free runs
+//! therefore produce identical ladders and verdicts (pinned by the
+//! memo-on/off rows of `crates/core/tests/determinism.rs`); `--no-memo`
+//! is the escape hatch mirroring `--no-cache`/`--no-subsume`. The one
+//! caveat is shared with every accelerator in this codebase: under a
+//! binding wall-clock timeout, a faster memoized run can finish where a
+//! memo-free run times out.
+//!
+//! Keys are hash-consed [`Subset`]s (clone = refcount bump, `Hash` =
+//! precomputed content hash), so a probe costs O(1) plus one short lock.
+//!
+//! # Deterministic hit/miss accounting
+//!
+//! Within one run, all frontier disjuncts of one iteration are distinct
+//! after dedup, so concurrent workers never race on the *same* key — but
+//! Hybrid joins can occasionally reintroduce a duplicate into one batch.
+//! The table reconciles at insert time: a computed value that finds the
+//! key already present is counted as a **hit** (and the stored value
+//! returned), keeping the invariant *misses = distinct keys, hits =
+//! probes − distinct keys* at every thread count, which the perf gate
+//! relies on.
+
+use crate::engine::RunMetrics;
+use crate::score::{best_split_abs, AbsSplitResult};
+use antidote_data::{Dataset, Subset};
+use antidote_domains::{AbstractSet, CprobTransformer};
+use antidote_tree::Predicate;
+use std::collections::hash_map::Entry;
+use std::collections::HashMap;
+use std::sync::{Arc, Mutex};
+
+/// A deterministic `(base, n) → value` table with reconciled hit/miss
+/// accounting (see the module docs). The value type is the memoized
+/// learner-step result; both learners instantiate it.
+#[derive(Debug)]
+struct KeyedMemo<V> {
+    table: Mutex<HashMap<(Subset, usize), Arc<V>>>,
+}
+
+impl<V> Default for KeyedMemo<V> {
+    fn default() -> Self {
+        KeyedMemo {
+            table: Mutex::new(HashMap::new()),
+        }
+    }
+}
+
+impl<V> KeyedMemo<V> {
+    /// Returns the memoized value for `key`, computing it with `compute`
+    /// on the first probe. Hits and misses land on `metrics`
+    /// deterministically (insert-time reconciliation).
+    fn get_or_compute<F: FnOnce() -> V>(
+        &self,
+        key: (Subset, usize),
+        compute: F,
+        metrics: &RunMetrics,
+    ) -> Arc<V> {
+        if let Some(hit) = self.table.lock().expect("memo lock poisoned").get(&key) {
+            metrics.add_split_memo_hit();
+            return hit.clone();
+        }
+        let value = Arc::new(compute());
+        match self.table.lock().expect("memo lock poisoned").entry(key) {
+            Entry::Occupied(e) => {
+                // A concurrent worker computed the same key first. Both
+                // values are bit-identical (pure function of the key);
+                // count the probe as the hit it would have been
+                // sequentially and return the stored value.
+                metrics.add_split_memo_hit();
+                e.get().clone()
+            }
+            Entry::Vacant(e) => {
+                metrics.add_split_memo_miss();
+                e.insert(value).clone()
+            }
+        }
+    }
+
+    /// Number of distinct keys memoized (= total misses recorded).
+    fn len(&self) -> usize {
+        self.table.lock().expect("memo lock poisoned").len()
+    }
+}
+
+/// The removal-model `bestSplit#` memo: one table per certify call, with
+/// the call's transformer fixed at construction.
+#[derive(Debug)]
+pub struct SplitMemo {
+    transformer: CprobTransformer,
+    inner: KeyedMemo<AbsSplitResult>,
+}
+
+impl SplitMemo {
+    /// An empty memo for one certify call under `transformer`.
+    pub fn new(transformer: CprobTransformer) -> Self {
+        SplitMemo {
+            transformer,
+            inner: KeyedMemo::default(),
+        }
+    }
+
+    /// `bestSplit#(a)` through the memo: the first probe per `(base, n)`
+    /// runs the scored-candidates sweep, every later probe returns the
+    /// stored result.
+    pub fn best_split(
+        &self,
+        ds: &Dataset,
+        a: &AbstractSet,
+        metrics: &RunMetrics,
+    ) -> Arc<AbsSplitResult> {
+        self.inner.get_or_compute(
+            (a.base().clone(), a.n()),
+            || best_split_abs(ds, a, self.transformer),
+            metrics,
+        )
+    }
+
+    /// Number of distinct `(base, n)` states memoized so far.
+    pub fn len(&self) -> usize {
+        self.inner.len()
+    }
+
+    /// Whether no state has been memoized yet.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+}
+
+/// The flip-model analogue: memoizes `best_split_flip`'s
+/// `(kept predicates, diamond)` per `(carrier, flip budget)`. The flip
+/// score depends on nothing else, so the same purity argument applies.
+#[derive(Debug, Default)]
+pub struct FlipSplitMemo {
+    inner: KeyedMemo<(Vec<Predicate>, bool)>,
+}
+
+impl FlipSplitMemo {
+    /// An empty memo for one flip-certification call.
+    pub fn new() -> Self {
+        FlipSplitMemo::default()
+    }
+
+    /// `best_split_flip` through the memo (see [`SplitMemo::best_split`]).
+    pub fn best_split(
+        &self,
+        ds: &Dataset,
+        f: &antidote_domains::flipset::FlipSet,
+        metrics: &RunMetrics,
+    ) -> Arc<(Vec<Predicate>, bool)> {
+        self.inner.get_or_compute(
+            (f.subset().clone(), f.n()),
+            || crate::flip::best_split_flip(ds, f),
+            metrics,
+        )
+    }
+
+    /// Number of distinct `(carrier, n)` states memoized so far.
+    pub fn len(&self) -> usize {
+        self.inner.len()
+    }
+
+    /// Whether no state has been memoized yet.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use antidote_data::synth;
+
+    #[test]
+    fn memo_returns_bit_identical_results_and_counts_probes() {
+        let ds = synth::figure2();
+        let memo = SplitMemo::new(CprobTransformer::Optimal);
+        let metrics = RunMetrics::default();
+        let a = AbstractSet::full(&ds, 2);
+        let first = memo.best_split(&ds, &a, &metrics);
+        let direct = best_split_abs(&ds, &a, CprobTransformer::Optimal);
+        assert_eq!(*first, direct, "memoized result equals the direct sweep");
+        assert_eq!(metrics.split_memo_misses(), 1);
+        assert_eq!(metrics.split_memo_hits(), 0);
+        // A re-probe (same base payload, same n) hits and shares the Arc.
+        let again = memo.best_split(&ds, &a.clone(), &metrics);
+        assert!(Arc::ptr_eq(&first, &again));
+        assert_eq!(metrics.split_memo_hits(), 1);
+        // An equal-but-distinct allocation still hits (content keying)...
+        let rebuilt = AbstractSet::full(&ds, 2);
+        let third = memo.best_split(&ds, &rebuilt, &metrics);
+        assert!(Arc::ptr_eq(&first, &third));
+        assert_eq!(metrics.split_memo_hits(), 2);
+        // ...while a different budget is a distinct key.
+        let wide = a.with_budget(3);
+        let other = memo.best_split(&ds, &wide, &metrics);
+        assert!(!Arc::ptr_eq(&first, &other));
+        assert_eq!(memo.len(), 2);
+        assert_eq!(metrics.split_memo_misses(), 2);
+        assert!(!memo.is_empty());
+    }
+
+    #[test]
+    fn flip_memo_matches_direct_best_split() {
+        use antidote_domains::flipset::FlipSet;
+        let ds = synth::figure2();
+        let memo = FlipSplitMemo::new();
+        let metrics = RunMetrics::default();
+        assert!(memo.is_empty());
+        let f = FlipSet::full(&ds, 2);
+        let memoized = memo.best_split(&ds, &f, &metrics);
+        let direct = crate::flip::best_split_flip(&ds, &f);
+        assert_eq!(*memoized, direct);
+        let again = memo.best_split(&ds, &f, &metrics);
+        assert!(Arc::ptr_eq(&memoized, &again));
+        assert_eq!(memo.len(), 1);
+        assert_eq!(metrics.split_memo_hits(), 1);
+        assert_eq!(metrics.split_memo_misses(), 1);
+    }
+}

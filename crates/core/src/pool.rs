@@ -1,0 +1,454 @@
+//! The persistent engine worker pool behind [`ExecContext::par_map`]
+//! (DESIGN.md §9.3).
+//!
+//! The engine used to spawn fresh OS threads via `std::thread::scope` on
+//! *every* `par_map` call — once per sweep point, per frontier iteration,
+//! per matrix cell. This module replaces that churn with one process-wide
+//! pool of long-lived workers that park between batches:
+//!
+//! * **Dispatch** — a `par_map` call publishes one *batch*: a
+//!   type-erased run function, a raw pointer to the caller's borrowed
+//!   items/closure/output buffer, and a chunked atomic cursor. Batches go
+//!   into a shared injector list; parked workers wake and steal chunks
+//!   from any batch whose helper cap is not yet saturated.
+//! * **Caller participation** — the dispatching thread always drains its
+//!   own batch too, so a batch completes even if every pool worker is
+//!   busy elsewhere (nested `par_map` calls can never deadlock), and
+//!   `threads(k)` means at most `k` concurrent executors (the caller plus
+//!   `k − 1` pool helpers).
+//! * **Determinism** — workers write each result into its input-indexed
+//!   slot of the caller's output buffer; no post-hoc sort, identical
+//!   output order at every thread count.
+//! * **Lifetime safety** — the batch payload borrows the caller's stack.
+//!   The caller blocks until every item is accounted for (`completed ==
+//!   len`); after that point the cursor is exhausted, so a late worker
+//!   that still holds the batch handle can observe the atomics but never
+//!   dereferences the payload again.
+//! * **Panics** — a panicking chunk is caught, its payload stashed on the
+//!   batch, the remaining items still drain (matching the old scoped
+//!   behavior where sibling workers finished), and the caller re-raises
+//!   after completion.
+//!
+//! [`ExecContext::par_map`]: crate::engine::ExecContext::par_map
+
+use std::any::Any;
+use std::mem::MaybeUninit;
+use std::panic::{catch_unwind, resume_unwind, AssertUnwindSafe};
+use std::sync::atomic::{AtomicU64, AtomicUsize, Ordering};
+use std::sync::{Arc, Condvar, Mutex, OnceLock};
+
+/// Hard cap on pool workers: `par_map` batches request `threads − 1`
+/// helpers, so this bounds runaway `threads` values without limiting any
+/// realistic configuration (the old scoped engine spawned unboundedly).
+const MAX_WORKERS: usize = 256;
+
+/// Point-in-time statistics of the process-wide pool, for thread-churn
+/// regression tracking (`pool_reuse_count` in `BENCH_sweep.json`).
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct PoolStats {
+    /// Workers ever spawned (monotone; workers never exit).
+    pub workers_spawned: u64,
+    /// Batches dispatched to the pool (inline `par_map` calls excluded).
+    pub batches_dispatched: u64,
+    /// Batches that reused already-running workers without spawning.
+    pub batches_reusing_workers: u64,
+}
+
+/// Statistics of the process-wide pool.
+pub fn pool_stats() -> PoolStats {
+    let pool = Pool::global();
+    PoolStats {
+        workers_spawned: pool.workers_spawned.load(Ordering::Relaxed),
+        batches_dispatched: pool.batches_dispatched.load(Ordering::Relaxed),
+        batches_reusing_workers: pool.batches_reused.load(Ordering::Relaxed),
+    }
+}
+
+type PanicPayload = Box<dyn Any + Send + 'static>;
+
+/// Completion state of one batch, guarded by the batch mutex.
+struct BatchDone {
+    /// Items executed (or abandoned by a panicking chunk). The caller's
+    /// wait releases at `completed == len`.
+    completed: usize,
+    /// First panic payload observed, re-raised by the caller.
+    panic: Option<PanicPayload>,
+    /// Index ranges whose chunks ran to completion (a handful of entries
+    /// per batch). Consulted only on the panic path: the caller drops
+    /// exactly these result slots before re-raising, so successfully
+    /// computed results are not leaked — the old scoped engine joined
+    /// every worker and dropped them too. Items a panicking chunk wrote
+    /// before its panic point are the only leak, bounded by one chunk.
+    completed_ranges: Vec<(usize, usize)>,
+}
+
+/// One published `par_map` call: type-erased payload + work distribution.
+struct Batch {
+    /// Executes item `i` against the payload. Monomorphised per
+    /// `(T, R, F)` by [`run_batch`]; safe to call only while the caller
+    /// is still blocked in [`run_batch`] (guaranteed by the cursor).
+    run: unsafe fn(*const (), usize),
+    /// Borrowed caller payload (`&Job<T, R, F>`), valid until completion.
+    data: *const (),
+    len: usize,
+    chunk: usize,
+    /// Next unclaimed item index; grab-points beyond `len` mean "done".
+    cursor: AtomicUsize,
+    /// Helpers currently draining this batch; bounded by `helper_cap` so
+    /// `threads(k)` never runs on more than `k` executors.
+    helpers: AtomicUsize,
+    helper_cap: usize,
+    done: Mutex<BatchDone>,
+    cv: Condvar,
+}
+
+// The raw payload pointer is only dereferenced between dispatch and
+// completion, while the owning caller is parked inside `run_batch`; the
+// generic bounds on `run_batch` (`T: Sync`, `R: Send`, `F: Sync`) make
+// that access sound across threads.
+unsafe impl Send for Batch {}
+unsafe impl Sync for Batch {}
+
+impl Batch {
+    /// Claims and executes chunks until the cursor is exhausted.
+    fn drain(&self) {
+        loop {
+            let start = self.cursor.fetch_add(self.chunk, Ordering::Relaxed);
+            if start >= self.len {
+                return;
+            }
+            let end = (start + self.chunk).min(self.len);
+            let outcome = catch_unwind(AssertUnwindSafe(|| {
+                for i in start..end {
+                    // SAFETY: the cursor hands out each index exactly
+                    // once, and the payload outlives the batch (the
+                    // caller waits for `completed == len`).
+                    unsafe { (self.run)(self.data, i) };
+                }
+            }));
+            let mut done = self.done.lock().expect("batch lock poisoned");
+            // A panicking chunk still accounts for all its items so the
+            // caller's completion wait can release.
+            done.completed += end - start;
+            match outcome {
+                Ok(()) => done.completed_ranges.push((start, end)),
+                Err(p) => {
+                    done.panic.get_or_insert(p);
+                }
+            }
+            let finished = done.completed >= self.len;
+            drop(done);
+            if finished {
+                self.cv.notify_all();
+            }
+        }
+    }
+
+    /// Whether every item has been claimed (not necessarily completed).
+    fn exhausted(&self) -> bool {
+        self.cursor.load(Ordering::Relaxed) >= self.len
+    }
+
+    /// Blocks until every item is executed, then returns the panic
+    /// payload (if any chunk panicked) together with the index ranges
+    /// that completed and therefore hold initialised results.
+    fn wait_complete(&self) -> Option<(PanicPayload, Vec<(usize, usize)>)> {
+        let mut done = self.done.lock().expect("batch lock poisoned");
+        while done.completed < self.len {
+            done = self.cv.wait(done).expect("batch lock poisoned");
+        }
+        let payload = done.panic.take()?;
+        Some((payload, std::mem::take(&mut done.completed_ranges)))
+    }
+}
+
+/// Injector shared by the caller side and the workers.
+struct PoolInner {
+    /// Active batches, dispatch order. Purged lazily once exhausted.
+    batches: Vec<Arc<Batch>>,
+    /// Live workers (monotone: workers never exit).
+    workers: usize,
+}
+
+/// The process-wide persistent pool.
+struct Pool {
+    inner: Mutex<PoolInner>,
+    cv: Condvar,
+    workers_spawned: AtomicU64,
+    batches_dispatched: AtomicU64,
+    batches_reused: AtomicU64,
+}
+
+impl Pool {
+    fn global() -> &'static Pool {
+        static POOL: OnceLock<Pool> = OnceLock::new();
+        POOL.get_or_init(|| Pool {
+            inner: Mutex::new(PoolInner {
+                batches: Vec::new(),
+                workers: 0,
+            }),
+            cv: Condvar::new(),
+            workers_spawned: AtomicU64::new(0),
+            batches_dispatched: AtomicU64::new(0),
+            batches_reused: AtomicU64::new(0),
+        })
+    }
+
+    /// Publishes `batch` and makes sure at least `helpers` workers exist
+    /// (capped at [`MAX_WORKERS`]); parked workers are woken.
+    fn dispatch(&'static self, batch: Arc<Batch>, helpers: usize) {
+        let mut inner = self.inner.lock().expect("pool lock poisoned");
+        inner.batches.retain(|b| !b.exhausted());
+        inner.batches.push(batch);
+        let target = helpers.min(MAX_WORKERS);
+        let mut spawned = 0u64;
+        while inner.workers < target {
+            let built = std::thread::Builder::new()
+                .name("antidote-engine-worker".into())
+                .spawn(|| worker_loop(Pool::global()));
+            match built {
+                Ok(_) => {
+                    inner.workers += 1;
+                    spawned += 1;
+                }
+                // Thread exhaustion is not fatal: the caller still drains
+                // its own batch, just with fewer helpers.
+                Err(_) => break,
+            }
+        }
+        drop(inner);
+        self.workers_spawned.fetch_add(spawned, Ordering::Relaxed);
+        self.batches_dispatched.fetch_add(1, Ordering::Relaxed);
+        if spawned == 0 {
+            self.batches_reused.fetch_add(1, Ordering::Relaxed);
+        }
+        self.cv.notify_all();
+    }
+}
+
+/// The body of every pool worker: park until a batch with spare helper
+/// capacity has unclaimed work, attach, drain, detach, repeat. Workers
+/// live for the rest of the process.
+fn worker_loop(pool: &'static Pool) {
+    loop {
+        let batch = {
+            let mut inner = pool.inner.lock().expect("pool lock poisoned");
+            loop {
+                inner.batches.retain(|b| !b.exhausted());
+                let found = inner
+                    .batches
+                    .iter()
+                    .find(|b| !b.exhausted() && b.helpers.load(Ordering::Relaxed) < b.helper_cap);
+                if let Some(b) = found {
+                    b.helpers.fetch_add(1, Ordering::Relaxed);
+                    break b.clone();
+                }
+                inner = pool.cv.wait(inner).expect("pool lock poisoned");
+            }
+        };
+        batch.drain();
+        batch.helpers.fetch_sub(1, Ordering::Relaxed);
+    }
+}
+
+/// Caller-side payload for one batch, monomorphised per `(T, R, F)`.
+struct Job<'a, T, R, F> {
+    items: &'a [T],
+    f: &'a F,
+    /// Output buffer; slot `i` is written exactly once, by whichever
+    /// executor claims item `i`.
+    out: *mut MaybeUninit<R>,
+}
+
+/// Type-erased executor for item `i` of a [`Job`].
+///
+/// # Safety
+///
+/// `data` must point at a live `Job<T, R, F>` and `i` must be in bounds
+/// and claimed exactly once (the batch cursor guarantees both).
+unsafe fn run_one<T, R, F: Fn(usize, &T) -> R>(data: *const (), i: usize) {
+    let job = unsafe { &*data.cast::<Job<'_, T, R, F>>() };
+    let value = (job.f)(i, &job.items[i]);
+    unsafe { job.out.add(i).write(MaybeUninit::new(value)) };
+}
+
+/// Runs `f` over `items` on the persistent pool with up to `threads`
+/// concurrent executors (the caller plus `threads − 1` pool helpers),
+/// returning results in input order. `threads` must be ≥ 2 and
+/// `items.len()` ≥ 2 (smaller calls take the engine's inline path and
+/// never touch the pool).
+///
+/// # Panics
+///
+/// Propagates the first panic raised by `f` (results computed by other
+/// executors are leaked, as under the old scoped engine's unwind).
+pub(crate) fn run_batch<T, R, F>(items: &[T], f: F, threads: usize) -> Vec<R>
+where
+    T: Sync,
+    R: Send,
+    F: Fn(usize, &T) -> R + Sync,
+{
+    debug_assert!(threads >= 2 && items.len() >= 2, "inline path bypassed");
+    let len = items.len();
+    // ~4 chunks per executor balances stealing granularity against
+    // cursor contention (unchanged from the scoped engine).
+    let chunk = (len / (threads * 4)).max(1);
+    let mut results: Vec<MaybeUninit<R>> = Vec::with_capacity(len);
+    results.resize_with(len, MaybeUninit::uninit);
+    let job = Job {
+        items,
+        f: &f,
+        out: results.as_mut_ptr(),
+    };
+    let batch = Arc::new(Batch {
+        run: run_one::<T, R, F>,
+        data: (&job as *const Job<'_, T, R, F>).cast(),
+        len,
+        chunk,
+        cursor: AtomicUsize::new(0),
+        helpers: AtomicUsize::new(0),
+        helper_cap: threads - 1,
+        done: Mutex::new(BatchDone {
+            completed: 0,
+            panic: None,
+            completed_ranges: Vec::new(),
+        }),
+        cv: Condvar::new(),
+    });
+    Pool::global().dispatch(batch.clone(), threads - 1);
+    batch.drain();
+    if let Some((payload, completed_ranges)) = batch.wait_complete() {
+        // Drop the results the non-panicking chunks produced (the old
+        // scoped engine joined every worker and dropped them too); only
+        // the panicked chunk's partial writes are unaccounted for and
+        // leak. The MaybeUninit buffer then frees its storage without
+        // touching the remaining (uninitialised) slots.
+        for (start, end) in completed_ranges {
+            for slot in &mut results[start..end] {
+                // SAFETY: the chunk covering this range ran to
+                // completion, so every slot in it holds an initialised
+                // `R` written exactly once.
+                unsafe { slot.assume_init_drop() };
+            }
+        }
+        drop(results);
+        resume_unwind(payload);
+    }
+    // SAFETY: completion means every index 0..len was claimed and
+    // executed without panicking, so each slot holds an initialised `R`.
+    unsafe {
+        let ptr = results.as_mut_ptr().cast::<R>();
+        let cap = results.capacity();
+        std::mem::forget(results);
+        Vec::from_raw_parts(ptr, len, cap)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn batch_results_land_in_input_slots() {
+        let items: Vec<usize> = (0..1000).collect();
+        let out = run_batch(
+            &items,
+            |i, &v| {
+                assert_eq!(i, v);
+                v * 3
+            },
+            4,
+        );
+        assert_eq!(out, (0..1000).map(|v| v * 3).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn pool_persists_across_batches() {
+        // Warm the pool up to this test's helper demand, then check that
+        // further batches reuse workers instead of spawning. (Stats are
+        // process-global and monotone, so concurrent tests can only add
+        // reuse, never spawns, once the high-water mark is reached.)
+        let items: Vec<u64> = (0..256).collect();
+        let square = |_: usize, &v: &u64| v * v;
+        let _ = run_batch(&items, square, 8);
+        let before = pool_stats();
+        for _ in 0..20 {
+            let out = run_batch(&items, square, 8);
+            assert_eq!(out[..4], [0, 1, 4, 9]);
+        }
+        let after = pool_stats();
+        assert_eq!(
+            after.workers_spawned, before.workers_spawned,
+            "a warmed pool must not spawn for repeat batches"
+        );
+        assert!(after.batches_dispatched >= before.batches_dispatched + 20);
+        assert!(after.batches_reusing_workers >= before.batches_reusing_workers + 20);
+    }
+
+    #[test]
+    fn panics_propagate_to_the_caller() {
+        let items: Vec<u32> = (0..64).collect();
+        let result = catch_unwind(AssertUnwindSafe(|| {
+            run_batch(
+                &items,
+                |_, &v| {
+                    assert!(v != 17, "engineered failure");
+                    v
+                },
+                4,
+            )
+        }));
+        assert!(result.is_err(), "the worker panic must reach the caller");
+    }
+
+    #[test]
+    fn panic_path_drops_completed_results() {
+        use std::sync::atomic::AtomicUsize;
+        static DROPS: AtomicUsize = AtomicUsize::new(0);
+        struct Tracked;
+        impl Drop for Tracked {
+            fn drop(&mut self) {
+                DROPS.fetch_add(1, Ordering::Relaxed);
+            }
+        }
+        // 64 items at 4 executors → chunk 4; index 17 panics, so the
+        // chunk [16, 20) is abandoned (item 16's result is the bounded
+        // leak, 18–19 are never computed) and the 60 results of the 15
+        // completed chunks must be dropped by the cleanup, not leaked.
+        let items: Vec<u32> = (0..64).collect();
+        let result = catch_unwind(AssertUnwindSafe(|| {
+            run_batch(
+                &items,
+                |_, &v| {
+                    assert!(v != 17, "engineered failure");
+                    Tracked
+                },
+                4,
+            )
+        }));
+        assert!(result.is_err());
+        assert_eq!(
+            DROPS.load(Ordering::Relaxed),
+            60,
+            "completed chunks' results must be reclaimed on the panic path"
+        );
+    }
+
+    #[test]
+    fn nested_batches_complete_without_deadlock() {
+        // Inner batches dispatched from within an outer batch's closure
+        // complete even when every pool worker is busy: the dispatching
+        // executor drains its own batch.
+        let outer: Vec<usize> = (0..16).collect();
+        let out = run_batch(
+            &outer,
+            |_, &v| {
+                let inner: Vec<usize> = (0..32).collect();
+                run_batch(&inner, |_, &w| w + v, 3).iter().sum::<usize>()
+            },
+            4,
+        );
+        assert_eq!(out[0], (0..32).sum::<usize>());
+        assert_eq!(out[1], (0..32).sum::<usize>() + 32);
+    }
+}

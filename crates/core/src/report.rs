@@ -98,6 +98,7 @@ pub fn explain(
         domain,
         transformer,
         subsume,
+        true,
         &ExecContext::sequential(),
     );
     let terminals: Vec<TerminalReport> = out

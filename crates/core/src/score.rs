@@ -57,6 +57,28 @@ pub struct ScoredCandidate {
     pub forall: bool,
 }
 
+/// Reusable per-thread scratch for the candidate sweep: the class-count
+/// accumulators and the sparse-path row gather buffer. `scored_candidates`
+/// runs once per feature per live disjunct — the hottest loop of the
+/// abstract learner — so these buffers are hoisted out of the call
+/// entirely instead of being reallocated per disjunct.
+struct SweepScratch {
+    left: Vec<u32>,
+    right: Vec<u32>,
+    sparse_rows: Vec<u32>,
+}
+
+thread_local! {
+    static SWEEP_SCRATCH: std::cell::RefCell<SweepScratch> =
+        const {
+            std::cell::RefCell::new(SweepScratch {
+                left: Vec::new(),
+                right: Vec::new(),
+                sparse_rows: Vec::new(),
+            })
+        };
+}
+
 /// Scores every candidate predicate of `a` (all features), in deterministic
 /// order.
 pub fn scored_candidates(
@@ -64,16 +86,34 @@ pub fn scored_candidates(
     a: &AbstractSet,
     transformer: CprobTransformer,
 ) -> Vec<ScoredCandidate> {
+    SWEEP_SCRATCH
+        .with(|scratch| scored_candidates_with(ds, a, transformer, &mut scratch.borrow_mut()))
+}
+
+fn scored_candidates_with(
+    ds: &Dataset,
+    a: &AbstractSet,
+    transformer: CprobTransformer,
+    scratch: &mut SweepScratch,
+) -> Vec<ScoredCandidate> {
     let n = a.n();
     let base = a.base();
     let total_counts = base.class_counts();
     let total_len = a.len();
     let k = total_counts.len();
-    let mut out = Vec::new();
-    let mut left = vec![0u32; k];
-    let mut right = vec![0u32; k];
+    // Pre-size for the common shape: one candidate per adjacent value
+    // pair of the first feature, amortised growth for the rest.
+    let mut out = Vec::with_capacity(base.len().max(8));
+    let SweepScratch {
+        left,
+        right,
+        sparse_rows,
+    } = scratch;
+    left.clear();
+    left.resize(k, 0);
+    right.clear();
+    right.resize(k, 0);
     let dense = dense_enough(base.len(), ds.len());
-    let mut sparse_rows: Vec<u32> = Vec::new();
     for (feature, feat) in ds.schema().features().iter().enumerate() {
         // Dense base sets walk the dataset's precomputed value order
         // restricted by the O(1) bit test — no per-disjunct gather + sort
@@ -90,11 +130,17 @@ pub fn scored_candidates(
             // `left_len` rows strictly precede the threshold candidate.
             if left_len > 0 && v > prev {
                 let right_len = total_len - left_len;
-                for (r, (&t, &l)) in right.iter_mut().zip(total_counts.iter().zip(&left)) {
+                for (r, (&t, &l)) in right.iter_mut().zip(total_counts.iter().zip(left.iter())) {
                     *r = t - l;
                 }
-                let score =
-                    score_interval_from_sides(&left, left_len, &right, right_len, n, transformer);
+                let score = score_interval_from_sides(
+                    left.as_slice(),
+                    left_len,
+                    right.as_slice(),
+                    right_len,
+                    n,
+                    transformer,
+                );
                 let pred = match feat.kind {
                     FeatureKind::Bool => AbsPredicate::Concrete(Predicate::boolean(feature)),
                     FeatureKind::Real => AbsPredicate::Symbolic {
@@ -123,7 +169,7 @@ pub fn scored_candidates(
             sparse_rows.clear();
             sparse_rows.extend(base.iter());
             sparse_rows.sort_by(|&a, &b| ds.value(a, feature).total_cmp(&ds.value(b, feature)));
-            for &row in &sparse_rows {
+            for &row in sparse_rows.iter() {
                 step(row, &mut out);
             }
         }

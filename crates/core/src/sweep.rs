@@ -67,6 +67,14 @@ pub struct SweepConfig {
     /// stock configurations produces ladders bit-identical to the
     /// unpruned frontier (pinned in `tests/determinism.rs`).
     pub subsume: bool,
+    /// Whether each certify call memoizes `bestSplit#` results across its
+    /// frontier disjuncts and depth iterations (default: on; `false` is
+    /// the `--no-memo` escape hatch mirroring `--no-cache`/`--no-subsume`).
+    /// Memoized and memo-free sweeps produce bit-identical ladders — the
+    /// memoized result is a pure function of its key (see
+    /// `antidote_core::memo`) — with the usual timing caveat under a
+    /// binding wall-clock `timeout`.
+    pub memo: bool,
 }
 
 impl Default for SweepConfig {
@@ -83,6 +91,7 @@ impl Default for SweepConfig {
             threads: 0,
             cache: true,
             subsume: true,
+            memo: true,
         }
     }
 }
@@ -152,7 +161,8 @@ pub fn sweep_in(
         .depth(cfg.depth)
         .domain(cfg.domain)
         .transformer(cfg.transformer)
-        .subsume(cfg.subsume);
+        .subsume(cfg.subsume)
+        .memo(cfg.memo);
     let cache = cfg.cache.then(|| CertCache::new(test_points.len()));
     let max_n = cfg.max_n.unwrap_or(ds.len()).min(ds.len());
     let total_points = test_points.len();

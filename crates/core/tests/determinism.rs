@@ -177,6 +177,109 @@ fn subsumption_pruning_is_observationally_invisible() {
 }
 
 #[test]
+fn memoized_best_split_is_observationally_invisible() {
+    // The per-certify-call bestSplit# memo must change nothing but work
+    // counts: memo-on and --no-memo sweeps produce bit-identical ladders
+    // for every domain × thread count (the memoized result is a pure
+    // function of its (base, n, transformer) key), and the escape hatch
+    // fully disarms the memo.
+    let ds = blobs(60, 7);
+    let xs = test_points(16);
+    for domain in [
+        DomainKind::Box,
+        DomainKind::Disjuncts,
+        DomainKind::Hybrid { max_disjuncts: 8 },
+    ] {
+        for threads in [1usize, 4] {
+            let cfg = |memo: bool| SweepConfig {
+                depth: 3,
+                domain,
+                timeout: None,
+                threads,
+                memo,
+                ..SweepConfig::default()
+            };
+            let memo_ctx = ExecContext::new().threads(threads);
+            let memoized = antidote_core::sweep_in(&ds, &xs, &cfg(true), &memo_ctx);
+            let plain_ctx = ExecContext::new().threads(threads);
+            let plain = antidote_core::sweep_in(&ds, &xs, &cfg(false), &plain_ctx);
+            assert_eq!(
+                key(&memoized),
+                key(&plain),
+                "{domain:?} @ {threads} thread(s): --no-memo ladder diverged"
+            );
+            assert_eq!(
+                plain_ctx.metrics().split_memo_hits() + plain_ctx.metrics().split_memo_misses(),
+                0,
+                "the escape hatch must fully disarm the memo"
+            );
+            if domain == DomainKind::Disjuncts {
+                assert!(
+                    memo_ctx.metrics().split_memo_hits() > 0,
+                    "sanity: recurring depth-3 frontier states must hit the memo"
+                );
+            }
+            // Hit/miss accounting is thread-invariant (deterministic
+            // insert-time reconciliation), which the perf gate relies on.
+            if threads == 1 {
+                continue;
+            }
+            let seq_ctx = ExecContext::new().threads(1);
+            let _ = antidote_core::sweep_in(&ds, &xs, &cfg(true), &seq_ctx);
+            assert_eq!(
+                (
+                    memo_ctx.metrics().split_memo_hits(),
+                    memo_ctx.metrics().split_memo_misses(),
+                    memo_ctx.metrics().interner_hits(),
+                ),
+                (
+                    seq_ctx.metrics().split_memo_hits(),
+                    seq_ctx.metrics().split_memo_misses(),
+                    seq_ctx.metrics().interner_hits(),
+                ),
+                "{domain:?}: memo/interner counters diverged across thread counts"
+            );
+        }
+    }
+}
+
+#[test]
+fn certify_verdicts_invariant_under_memo_toggle() {
+    // Direct certifier differential: identical verdicts, labels, and
+    // terminal counts for every domain × budget × input with and without
+    // the memo, at 1 and 4 threads.
+    let ds = blobs(50, 3);
+    for domain in [
+        DomainKind::Box,
+        DomainKind::Disjuncts,
+        DomainKind::Hybrid { max_disjuncts: 8 },
+    ] {
+        for n in [0usize, 4, 16, 64] {
+            for x in [[0.5], [5.1], [9.5]] {
+                let outcome = |memo: bool, threads: usize| {
+                    Certifier::new(&ds)
+                        .depth(3)
+                        .domain(domain)
+                        .threads(threads)
+                        .memo(memo)
+                        .certify(&x, n)
+                };
+                let base = outcome(false, 1);
+                for (memo, threads) in [(true, 1), (true, 4), (false, 4)] {
+                    let o = outcome(memo, threads);
+                    assert_eq!(
+                        o.verdict, base.verdict,
+                        "{domain:?} x={x:?} n={n} memo={memo} threads={threads}"
+                    );
+                    assert_eq!(o.label, base.label);
+                    assert_eq!(o.stats.terminals, base.stats.terminals);
+                }
+            }
+        }
+    }
+}
+
+#[test]
 fn certify_verdicts_invariant_under_subsume_toggle() {
     // Direct certifier differential (no sweep in the loop): identical
     // verdicts and labels for every domain × budget × input, with and
@@ -264,6 +367,7 @@ fn disjunct_frontier_is_thread_invariant() {
                 3,
                 domain,
                 CprobTransformer::Optimal,
+                true,
                 true,
                 &ExecContext::new().threads(threads),
             )

@@ -45,7 +45,7 @@ pub use dataset::{Column, Dataset, DatasetBuilder, FeatureKind, Schema};
 pub use error::DataError;
 pub use split::train_test_split;
 pub use stats::DatasetStats;
-pub use subset::{Subset, ThresholdCmp};
+pub use subset::{Subset, SubsetInterner, ThresholdCmp};
 
 /// Row index into a [`Dataset`]. `u32` keeps index vectors compact; datasets
 /// above `u32::MAX` rows are rejected at construction time.

@@ -1,4 +1,4 @@
-//! Word-packed row-set views into a [`Dataset`].
+//! Word-packed, hash-consed row-set views into a [`Dataset`].
 //!
 //! Every training-set fragment in the pipeline — the shrinking set held by
 //! the concrete learner `DTrace`, the base set `T` of an abstract element
@@ -14,6 +14,25 @@
 //! the dataset's per-class row bitmasks ([`Dataset::class_mask`]), keeping
 //! `cprob`/`ent` (and their abstract versions) O(k).
 //!
+//! # Hash-consing
+//!
+//! The payload (words + counts) lives behind an `Arc<SubsetRepr>` carrying
+//! a **precomputed 64-bit content hash**, so:
+//!
+//! * `clone` is a reference-count bump — the disjunct frontier, the sweep
+//!   cache's budget-widened re-seeds, and the `bestSplit#` memo keys all
+//!   share one allocation per distinct row set;
+//! * `Hash` writes the precomputed hash (O(1));
+//! * `Eq` short-circuits on pointer identity, then on hash inequality,
+//!   and only falls back to a word compare on a (conjectural) collision —
+//!   frontier deduplication and subsumption pruning stop re-walking and
+//!   re-copying word vectors.
+//!
+//! A [`SubsetInterner`] canonicalises payloads within one certification
+//! run: re-encountered row sets are rewired to the first allocation, which
+//! turns the `Eq` pointer fast path into the common case and lets callers
+//! count structure sharing (`interner_hits` in the engine metrics).
+//!
 //! Iteration order is unchanged from the historical sorted-`Vec`
 //! representation: [`Subset::iter`] yields row ids in strictly increasing
 //! order, so trace recording, counterexample minimality, and every
@@ -25,6 +44,9 @@
 //! which operations produced the two sides.
 
 use crate::{ClassId, Dataset, RowId};
+use std::collections::HashSet;
+use std::hash::{Hash, Hasher};
+use std::sync::Arc;
 
 /// A threshold comparison against one feature, for
 /// [`Subset::filter_cmp`]'s word-parallel restriction fast path.
@@ -66,18 +88,66 @@ impl ThresholdCmp {
     }
 }
 
-/// A subset of a dataset's rows: a packed row bitset + per-class counts.
+/// The shared, immutable payload of a [`Subset`]: canonical words, cached
+/// counts, and the precomputed content hash.
+#[derive(Debug)]
+struct SubsetRepr {
+    /// Row bitset, 64 rows per word, canonical (no trailing zero words).
+    words: Vec<u64>,
+    /// Precomputed content hash over `words` and `class_counts`.
+    hash: u64,
+    /// Cached `Σ class_counts` (= total popcount of `words`).
+    len: u32,
+    class_counts: Vec<u32>,
+}
+
+/// FNV-1a over the words and class counts, with an extra avalanche mix so
+/// single-bit set differences spread across the whole hash.
+fn content_hash(words: &[u64], class_counts: &[u32]) -> u64 {
+    const PRIME: u64 = 0x0000_0100_0000_01b3;
+    let mut h = 0xcbf2_9ce4_8422_2325u64 ^ (words.len() as u64).wrapping_mul(PRIME);
+    for &w in words {
+        h = (h ^ w).wrapping_mul(PRIME);
+        h ^= h >> 29;
+    }
+    for &c in class_counts {
+        h = (h ^ u64::from(c)).wrapping_mul(PRIME);
+    }
+    h ^ (h >> 32)
+}
+
+/// A subset of a dataset's rows: a packed row bitset + per-class counts,
+/// hash-consed behind an [`Arc`] (clone is a refcount bump; see the module
+/// docs for the equality/hash fast paths).
 ///
 /// A `Subset` does not borrow the [`Dataset`]; callers pass the dataset to
 /// operations that need values, labels, or class masks. All subsets flowing
 /// through one prover run refer to the same dataset.
-#[derive(Debug, Clone, PartialEq, Eq)]
+#[derive(Debug, Clone)]
 pub struct Subset {
-    /// Row bitset, 64 rows per word, canonical (no trailing zero words).
-    words: Vec<u64>,
-    /// Cached `Σ class_counts` (= total popcount of `words`).
-    len: u32,
-    class_counts: Vec<u32>,
+    repr: Arc<SubsetRepr>,
+}
+
+impl PartialEq for Subset {
+    fn eq(&self, other: &Self) -> bool {
+        // Pointer identity (interned payloads), then the precomputed hash
+        // as a cheap reject; the word compare only runs on a collision or
+        // a true match between distinct allocations.
+        Arc::ptr_eq(&self.repr, &other.repr)
+            || (self.repr.hash == other.repr.hash
+                && self.repr.len == other.repr.len
+                && self.repr.words == other.repr.words
+                && self.repr.class_counts == other.repr.class_counts)
+    }
+}
+
+impl Eq for Subset {}
+
+impl Hash for Subset {
+    #[inline]
+    fn hash<H: Hasher>(&self, state: &mut H) {
+        state.write_u64(self.repr.hash);
+    }
 }
 
 /// Strips trailing zero words so equal sets are structurally equal.
@@ -122,6 +192,22 @@ impl Iterator for WordBits {
 }
 
 impl Subset {
+    /// Seals a payload: trims to canonical form, computes the content
+    /// hash, and wraps the parts in a fresh shared allocation. Every
+    /// constructor and set operation bottoms out here.
+    fn seal(mut words: Vec<u64>, len: u32, class_counts: Vec<u32>) -> Self {
+        trim(&mut words);
+        let hash = content_hash(&words, &class_counts);
+        Subset {
+            repr: Arc::new(SubsetRepr {
+                words,
+                hash,
+                len,
+                class_counts,
+            }),
+        }
+    }
+
     /// The subset containing every row of `ds`.
     pub fn full(ds: &Dataset) -> Self {
         let n = ds.len();
@@ -129,20 +215,12 @@ impl Subset {
         if !n.is_multiple_of(64) {
             words.push((1u64 << (n % 64)) - 1);
         }
-        Subset {
-            words,
-            len: n as u32,
-            class_counts: ds.class_counts(),
-        }
+        Subset::seal(words, n as u32, ds.class_counts())
     }
 
     /// An empty subset shaped for `n_classes` classes.
     pub fn empty(n_classes: usize) -> Self {
-        Subset {
-            words: Vec::new(),
-            len: 0,
-            class_counts: vec![0; n_classes],
-        }
+        Subset::seal(Vec::new(), 0, vec![0; n_classes])
     }
 
     /// Builds a subset from arbitrary row ids (duplicates collapse into the
@@ -168,24 +246,19 @@ impl Subset {
                 len += 1;
             }
         }
-        trim(&mut words);
-        Subset {
-            words,
-            len,
-            class_counts,
-        }
+        Subset::seal(words, len, class_counts)
     }
 
     /// Number of rows in the subset (`|T|`).
     #[inline]
     pub fn len(&self) -> usize {
-        self.len as usize
+        self.repr.len as usize
     }
 
     /// Whether the subset is empty.
     #[inline]
     pub fn is_empty(&self) -> bool {
-        self.len == 0
+        self.repr.len == 0
     }
 
     /// The row ids in ascending order, materialised. The packed backend no
@@ -199,45 +272,65 @@ impl Subset {
     /// words). Cheap identity key for deduplication and differential tests.
     #[inline]
     pub fn words(&self) -> &[u64] {
-        &self.words
+        &self.repr.words
+    }
+
+    /// The precomputed 64-bit content hash (over words and class counts).
+    /// Equal sets always report equal hashes; the converse holds modulo
+    /// 64-bit collisions, which `Eq` resolves by word compare.
+    #[inline]
+    pub fn content_hash(&self) -> u64 {
+        self.repr.hash
+    }
+
+    /// Whether `self` and `other` share one hash-consed payload
+    /// allocation (the post-interning fast path; implies equality).
+    #[inline]
+    pub fn shares_repr(&self, other: &Subset) -> bool {
+        Arc::ptr_eq(&self.repr, &other.repr)
     }
 
     /// Per-class row counts (`cᵢ` in the paper's `cprob#`).
     #[inline]
     pub fn class_counts(&self) -> &[u32] {
-        &self.class_counts
+        &self.repr.class_counts
     }
 
     /// Count of rows labelled `class`.
     #[inline]
     pub fn count_of(&self, class: ClassId) -> u32 {
-        self.class_counts[class as usize]
+        self.repr.class_counts[class as usize]
     }
 
     /// Number of classes this subset is shaped for.
     #[inline]
     pub fn n_classes(&self) -> usize {
-        self.class_counts.len()
+        self.repr.class_counts.len()
     }
 
     /// Whether every row in the subset has the same label (vacuously true
     /// when empty). This is the concrete `ent(T) = 0` test.
     pub fn is_pure(&self) -> bool {
-        self.class_counts.iter().filter(|&&c| c > 0).count() <= 1
+        self.repr.class_counts.iter().filter(|&&c| c > 0).count() <= 1
     }
 
     /// Iterator over the row ids, in strictly increasing order.
     pub fn iter(&self) -> impl Iterator<Item = RowId> + '_ {
-        self.words.iter().enumerate().flat_map(|(wi, &w)| WordBits {
-            word: w,
-            base: (wi * 64) as u32,
-        })
+        self.repr
+            .words
+            .iter()
+            .enumerate()
+            .flat_map(|(wi, &w)| WordBits {
+                word: w,
+                base: (wi * 64) as u32,
+            })
     }
 
     /// Whether `row` is in the subset.
     #[inline]
     pub fn contains(&self, row: RowId) -> bool {
-        self.words
+        self.repr
+            .words
             .get(row as usize / 64)
             .is_some_and(|w| w >> (row % 64) & 1 == 1)
     }
@@ -251,53 +344,48 @@ impl Subset {
         mut keep: F,
     ) -> (Subset, Subset) {
         let k = self.n_classes();
-        let mut yes = Subset {
-            words: vec![0; self.words.len()],
-            len: 0,
-            class_counts: vec![0; k],
-        };
+        let words = &self.repr.words;
+        let mut yes = (vec![0u64; words.len()], 0u32, vec![0u32; k]);
         let mut no = yes.clone();
-        for (wi, &word) in self.words.iter().enumerate() {
+        for (wi, &word) in words.iter().enumerate() {
             let mut w = word;
             while w != 0 {
                 let tz = w.trailing_zeros();
                 w &= w - 1;
                 let row = (wi * 64) as u32 + tz;
                 let target = if keep(row) { &mut yes } else { &mut no };
-                target.words[wi] |= 1u64 << tz;
-                target.class_counts[ds.label(row) as usize] += 1;
-                target.len += 1;
+                target.0[wi] |= 1u64 << tz;
+                target.2[ds.label(row) as usize] += 1;
+                target.1 += 1;
             }
         }
-        trim(&mut yes.words);
-        trim(&mut no.words);
-        (yes, no)
+        (
+            Subset::seal(yes.0, yes.1, yes.2),
+            Subset::seal(no.0, no.1, no.2),
+        )
     }
 
     /// Keeps only rows satisfying `keep` (the `T↓φ` half of
     /// [`Subset::partition`]).
     pub fn filter<F: FnMut(RowId) -> bool>(&self, ds: &Dataset, mut keep: F) -> Subset {
-        let k = self.n_classes();
-        let mut out = Subset {
-            words: vec![0; self.words.len()],
-            len: 0,
-            class_counts: vec![0; k],
-        };
-        for (wi, &word) in self.words.iter().enumerate() {
+        let src = &self.repr.words;
+        let mut words = vec![0u64; src.len()];
+        let mut len = 0u32;
+        let mut class_counts = vec![0u32; self.n_classes()];
+        for (wi, &word) in src.iter().enumerate() {
             let mut w = word;
             while w != 0 {
                 let tz = w.trailing_zeros();
                 w &= w - 1;
                 let row = (wi * 64) as u32 + tz;
                 if keep(row) {
-                    out.words[wi] |= 1u64 << tz;
-                    out.class_counts[ds.label(row) as usize] += 1;
-                    out.len += 1;
+                    words[wi] |= 1u64 << tz;
+                    class_counts[ds.label(row) as usize] += 1;
+                    len += 1;
                 }
             }
         }
-        trim(&mut out.words);
-        out
+        Subset::seal(words, len, class_counts)
     }
 
     /// Keeps only rows whose `feature` value satisfies `cmp` against
@@ -311,7 +399,8 @@ impl Subset {
         let (strict, invert) = cmp.mask_form();
         match ds.le_mask(feature, tau, strict) {
             Some(mask) => {
-                let mut words: Vec<u64> = self
+                let words: Vec<u64> = self
+                    .repr
                     .words
                     .iter()
                     .enumerate()
@@ -320,14 +409,9 @@ impl Subset {
                         w & if invert { !m } else { m }
                     })
                     .collect();
-                trim(&mut words);
                 let class_counts = counts_of_words(ds, &words);
                 let len = class_counts.iter().sum();
-                Subset {
-                    words,
-                    len,
-                    class_counts,
-                }
+                Subset::seal(words, len, class_counts)
             }
             None => self.filter(ds, |r| cmp.eval(ds.value(r, feature), tau)),
         }
@@ -338,63 +422,70 @@ impl Subset {
     /// against the dataset's class mask.
     pub fn filter_class(&self, ds: &Dataset, class: ClassId) -> Subset {
         let mask = ds.class_mask(class);
-        let mut words: Vec<u64> = self.words.iter().zip(mask).map(|(&w, &m)| w & m).collect();
-        trim(&mut words);
+        let words: Vec<u64> = self
+            .repr
+            .words
+            .iter()
+            .zip(mask)
+            .map(|(&w, &m)| w & m)
+            .collect();
         let count: u32 = words.iter().map(|w| w.count_ones()).sum();
         let mut class_counts = vec![0u32; self.n_classes()];
         class_counts[class as usize] = count;
-        Subset {
-            words,
-            len: count,
-            class_counts,
-        }
+        Subset::seal(words, count, class_counts)
     }
 
     /// Removes the rows of `other` from `self` (set difference), used by the
     /// enumeration baseline to materialise elements of `Δn(T)`.
     pub fn difference(&self, ds: &Dataset, other: &Subset) -> Subset {
-        let mut words: Vec<u64> = self
+        let words: Vec<u64> = self
+            .repr
             .words
             .iter()
             .enumerate()
-            .map(|(i, &w)| w & !other.words.get(i).copied().unwrap_or(0))
+            .map(|(i, &w)| w & !other.repr.words.get(i).copied().unwrap_or(0))
             .collect();
-        trim(&mut words);
         let class_counts = counts_of_words(ds, &words);
         let len = class_counts.iter().sum();
-        Subset {
-            words,
-            len,
-            class_counts,
-        }
+        Subset::seal(words, len, class_counts)
     }
 
     /// `|self \ other|`, one ANDNOT + popcount pass over the words. This is
     /// the `|T₁ \ T₂|` quantity in the abstract join (Definition 4.1) and
     /// the partial order (footnote 4).
     pub fn difference_len(&self, other: &Subset) -> usize {
-        self.words
+        if self.shares_repr(other) {
+            return 0;
+        }
+        self.repr
+            .words
             .iter()
             .enumerate()
-            .map(|(i, &w)| (w & !other.words.get(i).copied().unwrap_or(0)).count_ones() as usize)
+            .map(|(i, &w)| {
+                (w & !other.repr.words.get(i).copied().unwrap_or(0)).count_ones() as usize
+            })
             .sum()
     }
 
-    /// Whether `self ⊆ other` — O(words) with early exit.
+    /// Whether `self ⊆ other` — O(words) with early exit (O(1) when the
+    /// two sides share an interned payload).
     pub fn is_subset_of(&self, other: &Subset) -> bool {
-        self.words
-            .iter()
-            .enumerate()
-            .all(|(i, &w)| w & !other.words.get(i).copied().unwrap_or(0) == 0)
+        self.shares_repr(other)
+            || self
+                .repr
+                .words
+                .iter()
+                .enumerate()
+                .all(|(i, &w)| w & !other.repr.words.get(i).copied().unwrap_or(0) == 0)
     }
 
     /// Set union (`T₁ ∪ T₂` in the abstract join): word-parallel OR with
     /// counts recomputed against the dataset's class masks.
     pub fn union(&self, ds: &Dataset, other: &Subset) -> Subset {
-        let (long, short) = if self.words.len() >= other.words.len() {
-            (&self.words, &other.words)
+        let (long, short) = if self.repr.words.len() >= other.repr.words.len() {
+            (&self.repr.words, &other.repr.words)
         } else {
-            (&other.words, &self.words)
+            (&other.repr.words, &self.repr.words)
         };
         let words: Vec<u64> = long
             .iter()
@@ -402,40 +493,123 @@ impl Subset {
             .map(|(i, &w)| w | short.get(i).copied().unwrap_or(0))
             .collect();
         // OR of two canonical vectors keeps the longer one's top word
-        // non-zero, so no trim is needed.
+        // non-zero, so the seal's trim is a no-op here.
         let class_counts = counts_of_words(ds, &words);
         let len = class_counts.iter().sum();
-        Subset {
-            words,
-            len,
-            class_counts,
-        }
+        Subset::seal(words, len, class_counts)
     }
 
     /// Set intersection (`T₁ ∩ T₂` in the abstract meet, footnote 4):
     /// word-parallel AND.
     pub fn intersect(&self, ds: &Dataset, other: &Subset) -> Subset {
-        let mut words: Vec<u64> = self
+        let words: Vec<u64> = self
+            .repr
             .words
             .iter()
-            .zip(&other.words)
+            .zip(&other.repr.words)
             .map(|(&a, &b)| a & b)
             .collect();
-        trim(&mut words);
         let class_counts = counts_of_words(ds, &words);
         let len = class_counts.iter().sum();
-        Subset {
-            words,
-            len,
-            class_counts,
-        }
+        Subset::seal(words, len, class_counts)
     }
 
     /// Approximate in-memory footprint in bytes (packed words + counts),
     /// used by the harness's memory-proxy accounting (DESIGN.md §4.1).
+    /// Reported per view — interned views sharing one payload each report
+    /// the full payload size, keeping the proxy identical to the
+    /// pre-hash-consing accounting.
     pub fn approx_bytes(&self) -> usize {
-        self.words.len() * std::mem::size_of::<u64>()
-            + self.class_counts.len() * std::mem::size_of::<u32>()
+        self.repr.words.len() * std::mem::size_of::<u64>()
+            + self.repr.class_counts.len() * std::mem::size_of::<u32>()
+    }
+}
+
+/// Hash-conses subset payloads within one certification run.
+///
+/// `intern` maps any [`Subset`] to a *canonical* view of the same row
+/// set: the first view presented for each distinct payload. Later views
+/// are rewired to the canonical allocation (a refcount bump), so
+/// equality checks between interned subsets take the pointer fast path
+/// and duplicated payloads are dropped as soon as their last transient
+/// view goes away.
+///
+/// The table holds one canonical `Subset` per distinct payload and is
+/// scoped to a single certification run (the learner builds one per
+/// `run_abstract` / `run_flip` call), so its footprint is bounded by the
+/// number of distinct frontier states the run visits.
+///
+/// ```
+/// use antidote_data::{synth, Subset, SubsetInterner};
+///
+/// let ds = synth::figure2();
+/// let a = Subset::from_indices(&ds, vec![0, 1, 2]);
+/// let b = Subset::from_indices(&ds, vec![2, 1, 0]); // equal, distinct alloc
+/// let mut interner = SubsetInterner::new();
+/// let (ca, hit_a) = interner.intern(&a);
+/// let (cb, hit_b) = interner.intern(&b);
+/// assert!(!hit_a && hit_b, "first view misses, the re-encounter hits");
+/// assert!(ca.shares_repr(&cb), "both views share one payload");
+/// assert_eq!(cb, b);
+/// ```
+#[derive(Debug, Default)]
+pub struct SubsetInterner {
+    table: HashSet<Subset>,
+}
+
+impl SubsetInterner {
+    /// An empty interner.
+    pub fn new() -> Self {
+        SubsetInterner::default()
+    }
+
+    /// Number of distinct payloads interned so far.
+    pub fn len(&self) -> usize {
+        self.table.len()
+    }
+
+    /// Whether nothing has been interned yet.
+    pub fn is_empty(&self) -> bool {
+        self.table.is_empty()
+    }
+
+    /// Returns the canonical view of `s`'s payload and whether the
+    /// payload had been interned before (`true` = hit). On a miss, `s`
+    /// itself becomes the canonical view.
+    pub fn intern(&mut self, s: &Subset) -> (Subset, bool) {
+        match self.table.get(s) {
+            Some(canonical) => (canonical.clone(), true),
+            None => {
+                self.table.insert(s.clone());
+                (s.clone(), false)
+            }
+        }
+    }
+
+    /// Interns the subset of every element of `items` (projected by
+    /// `get`), rewiring elements whose payload was seen before onto the
+    /// canonical allocation via `rebuild`. Returns the number of hits
+    /// (re-encountered payloads). Rewiring is value-preserving —
+    /// `rebuild` receives a subset equal to the one `get` returned — so
+    /// the pass is observationally invisible; both abstract learners
+    /// share it for their frontier hygiene.
+    pub fn intern_all<D>(
+        &mut self,
+        items: &mut [D],
+        get: impl Fn(&D) -> &Subset,
+        rebuild: impl Fn(&D, Subset) -> D,
+    ) -> u64 {
+        let mut hits = 0u64;
+        for item in items.iter_mut() {
+            let (canonical, hit) = self.intern(get(item));
+            if hit {
+                hits += 1;
+                if !canonical.shares_repr(get(item)) {
+                    *item = rebuild(item, canonical);
+                }
+            }
+        }
+        hits
     }
 }
 
@@ -564,6 +738,57 @@ mod tests {
             f.filter_class(&ds, 0).filter_class(&ds, 1),
             Subset::empty(2)
         );
+    }
+
+    #[test]
+    fn hash_consing_clone_and_equality_fast_paths() {
+        let ds = tiny();
+        let a = Subset::from_indices(&ds, vec![0, 2, 4]);
+        // Clone shares the payload: no new allocation, identical hash.
+        let c = a.clone();
+        assert!(a.shares_repr(&c));
+        assert_eq!(a.content_hash(), c.content_hash());
+        assert_eq!(a, c);
+        // Equal sets built independently: equal value and hash, distinct
+        // allocations until interned.
+        let b = Subset::from_indices(&ds, vec![4, 2, 0]);
+        assert_eq!(a, b);
+        assert_eq!(a.content_hash(), b.content_hash());
+        assert!(!a.shares_repr(&b));
+        // Distinct sets: (virtually always) distinct hashes, never equal.
+        let d = Subset::from_indices(&ds, vec![0, 2, 5]);
+        assert_ne!(a, d);
+        // Hashing through the std machinery writes the precomputed hash.
+        use std::collections::hash_map::DefaultHasher;
+        let h = |s: &Subset| {
+            let mut st = DefaultHasher::new();
+            s.hash(&mut st);
+            st.finish()
+        };
+        assert_eq!(h(&a), h(&b));
+    }
+
+    #[test]
+    fn interner_canonicalises_payloads() {
+        let ds = tiny();
+        let mut interner = SubsetInterner::new();
+        assert!(interner.is_empty());
+        let a = Subset::from_indices(&ds, vec![1, 3]);
+        let (ca, hit) = interner.intern(&a);
+        assert!(!hit, "first view is a miss");
+        assert!(ca.shares_repr(&a), "the first view becomes canonical");
+        // An equal payload from a different construction path is rewired.
+        let b = Subset::full(&ds).filter(&ds, |r| r == 1 || r == 3);
+        assert!(!b.shares_repr(&a));
+        let (cb, hit) = interner.intern(&b);
+        assert!(hit);
+        assert!(cb.shares_repr(&a));
+        assert_eq!(cb, b);
+        // A distinct payload gets its own canonical entry.
+        let (cc, hit) = interner.intern(&Subset::empty(2));
+        assert!(!hit);
+        assert_eq!(cc, Subset::empty(2));
+        assert_eq!(interner.len(), 2);
     }
 
     #[test]

@@ -9,7 +9,7 @@
 //! over a sorted unique index vector; every property drives both
 //! implementations with the same random inputs and demands equal results.
 
-use antidote_data::{ClassId, Dataset, RowId, Schema, Subset, ThresholdCmp};
+use antidote_data::{ClassId, Dataset, RowId, Schema, Subset, SubsetInterner, ThresholdCmp};
 use proptest::prelude::*;
 use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
@@ -202,6 +202,49 @@ proptest! {
             true
         });
         prop_assert_eq!(seen, m.indices);
+    }
+
+    /// Hash-consing differential: interned subsets behave exactly like
+    /// reference (un-interned) ones. Equality/hash agree with the model
+    /// across construction paths, clones share payloads, and rewiring a
+    /// view through the interner changes no observable behavior.
+    #[test]
+    fn interned_subsets_match_reference_behavior(seed in 0u64..1_000_000) {
+        let (ds, a, b) = random_instance(seed);
+        let sa = Subset::from_indices(&ds, a.clone());
+        // The same set built along a different path: filter from full.
+        let keep: std::collections::HashSet<RowId> = a.iter().copied().collect();
+        let sa2 = Subset::full(&ds).filter(&ds, |r| keep.contains(&r));
+        let sb = Subset::from_indices(&ds, b.clone());
+        // Value equality and hash equality follow the model.
+        prop_assert_eq!(&sa, &sa2, "construction path must not matter");
+        prop_assert_eq!(sa.content_hash(), sa2.content_hash());
+        prop_assert!(!sa.shares_repr(&sa2), "distinct allocations pre-interning");
+        if Model::new(a.clone()) != Model::new(b.clone()) {
+            prop_assert!(sa != sb);
+        }
+        // Clones share the hash-consed payload.
+        let cloned = sa.clone();
+        prop_assert!(cloned.shares_repr(&sa));
+        // Interning rewires equal payloads onto one allocation and
+        // reports hits exactly for re-encountered payloads…
+        let mut interner = SubsetInterner::new();
+        let (c1, hit1) = interner.intern(&sa);
+        let (c2, hit2) = interner.intern(&sa2);
+        prop_assert!(!hit1 && hit2);
+        prop_assert!(c1.shares_repr(&sa) && c2.shares_repr(&sa));
+        let (c3, hit3) = interner.intern(&sb);
+        prop_assert_eq!(hit3, sb == sa, "distinct payloads are fresh entries");
+        // …and the canonical views are observationally identical to the
+        // un-interned originals.
+        let m = Model::new(a);
+        assert_equiv(&ds, &c2, &m, "interned view");
+        prop_assert_eq!(c2.content_hash(), sa.content_hash());
+        prop_assert_eq!(c3 == c2, sb == sa);
+        // O(1) containment/difference fast paths on shared payloads agree
+        // with the word-walking general case.
+        prop_assert!(c1.is_subset_of(&c2));
+        prop_assert_eq!(c1.difference_len(&c2), 0);
     }
 
     /// The word-parallel threshold restriction agrees with the model (and

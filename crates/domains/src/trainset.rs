@@ -182,12 +182,17 @@ impl AbstractSet {
     /// The `pure(⟨T,n⟩, i)` operation of §4.7: restricts to concretizations
     /// whose elements all have class `i`. Returns `None` (⊥) when reaching
     /// a pure-`i` set would require removing more than `n` elements.
+    ///
+    /// Feasibility is decided from the cached class counts alone
+    /// (`|T| − cᵢ ≤ n`), so the infeasible case — the common one at small
+    /// budgets, probed `k` times per learner step — allocates nothing;
+    /// the class mask is only materialised for feasible restrictions.
     pub fn pure(&self, ds: &Dataset, class: ClassId) -> Option<AbstractSet> {
-        let t_prime = self.base.filter_class(ds, class);
-        let removed = self.base.len() - t_prime.len();
+        let removed = self.base.len() - self.base.count_of(class) as usize;
         if removed <= self.n {
-            let n = self.n - removed;
-            Some(AbstractSet::new(t_prime, n))
+            let t_prime = self.base.filter_class(ds, class);
+            debug_assert_eq!(self.base.len() - t_prime.len(), removed);
+            Some(AbstractSet::new(t_prime, self.n - removed))
         } else {
             None
         }

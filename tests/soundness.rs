@@ -78,6 +78,7 @@ fn theorem_4_11_terminal_coverage() {
                 domain,
                 CprobTransformer::Optimal,
                 true,
+                true,
                 &ExecContext::sequential(),
             );
             assert!(out.aborted.is_none());
