@@ -129,13 +129,17 @@ fn main() {
                 ctx.metrics().split_memo_hits(),
                 ctx.metrics().split_memo_misses(),
                 ctx.metrics().interner_hits(),
+                ctx.metrics().arena_resets(),
+                ctx.metrics().arena_bytes(),
+                ctx.metrics().simd_lanes(),
             ));
         }
-        let (out, hits, misses, interner) = last.expect("three reps ran");
-        (out, best, hits, misses, interner)
+        let (out, hits, misses, interner, resets, bytes, lanes) = last.expect("three reps ran");
+        (out, best, hits, misses, interner, resets, bytes, lanes)
     };
-    let (memo_out, memo_ms, hits, misses, interner_hits) = certify(true);
-    let (plain_out, no_memo_ms, plain_hits, _, _) = certify(false);
+    let (memo_out, memo_ms, hits, misses, interner_hits, arena_resets, arena_bytes, simd_lanes) =
+        certify(true);
+    let (plain_out, no_memo_ms, plain_hits, ..) = certify(false);
     assert_eq!(
         memo_out.verdict, plain_out.verdict,
         "memo on/off must agree on the verdict"
@@ -164,6 +168,9 @@ fn main() {
   "split_memo_hits": {hits},
   "split_memo_misses": {misses},
   "interner_hits": {interner_hits},
+  "arena_resets": {arena_resets},
+  "arena_bytes": {arena_bytes},
+  "simd_lanes": {simd_lanes},
   "identical_verdicts": true
 }}
 "#,

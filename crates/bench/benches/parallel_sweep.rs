@@ -15,9 +15,11 @@
 //! probed `n`); the benchmark asserts this before reporting the speedup
 //! and the cache hit rate. On a 1-core host the multi-thread rep is
 //! skipped outright — it cannot exhibit a speedup, so timing it only
-//! burned a third of the bench budget — and `threadsN_ms`/`speedup` are
-//! reported as `null`. The JSON snapshot is written to the repository
-//! root (next to `Cargo.toml`'s workspace).
+//! burned a third of the bench budget — and `threadsN_ms`/`speedup`/
+//! `pool_reuse_count` are reported as `null` (the pool is never touched
+//! by the strictly sequential reps, so a literal 0 would be a
+//! measurement that never happened). The JSON snapshot is written to
+//! the repository root (next to `Cargo.toml`'s workspace).
 
 use antidote_core::engine::ExecContext;
 use antidote_core::{sweep_in, DomainKind, SweepConfig, SweepPoint};
@@ -108,6 +110,9 @@ struct ModeStats {
     split_memo_hits: u64,
     split_memo_misses: u64,
     interner_hits: u64,
+    arena_resets: u64,
+    arena_bytes: usize,
+    simd_lanes: usize,
 }
 
 fn run_mode(
@@ -147,6 +152,9 @@ fn run_mode(
             split_memo_hits: m.split_memo_hits(),
             split_memo_misses: m.split_memo_misses(),
             interner_hits: m.interner_hits(),
+            arena_resets: m.arena_resets(),
+            arena_bytes: m.arena_bytes(),
+            simd_lanes: m.simd_lanes(),
         };
     }
     (out, best, stats)
@@ -206,9 +214,15 @@ fn main() {
         "frontier hash-consing must fire on the stock configuration"
     );
     // Thread-churn visibility: batches the persistent pool served without
-    // spawning a worker. Strictly sequential reps never touch the pool,
-    // so this is 0 on 1-core hosts and > 0 once the parallel rep ran.
+    // spawning a worker. Strictly sequential reps never touch the pool, so
+    // on a 1-core host (where the multi-thread rep is skipped) there is no
+    // measurement to report — the JSON says `null`, matching
+    // `threadsN_ms`/`speedup`, rather than a misleading literal 0.
     let pool_reuse_count = antidote_core::pool_stats().batches_reusing_workers;
+    let pool_reuse_json = match tn {
+        None => "null".to_string(),
+        Some(_) => pool_reuse_count.to_string(),
+    };
     let (threads_n_json, speedup_json) = match tn {
         None => ("null".to_string(), "null".to_string()),
         Some(tn) => {
@@ -274,6 +288,9 @@ fn main() {
   "split_memo_hits": {},
   "split_memo_misses": {},
   "interner_hits": {},
+  "arena_resets": {},
+  "arena_bytes": {},
+  "simd_lanes": {},
   "frontier_peak_disjuncts": {},
   "pool_reuse_count": {},
   "ladder": [
@@ -300,8 +317,11 @@ fn main() {
         cached_stats.split_memo_hits,
         cached_stats.split_memo_misses,
         cached_stats.interner_hits,
+        cached_stats.arena_resets,
+        cached_stats.arena_bytes,
+        cached_stats.simd_lanes,
         cached_stats.frontier_peak_disjuncts,
-        pool_reuse_count,
+        pool_reuse_json,
         ladder_json.join(",\n")
     );
     let path = PathBuf::from(env!("CARGO_MANIFEST_DIR")).join("../../BENCH_sweep.json");

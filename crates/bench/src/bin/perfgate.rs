@@ -6,12 +6,14 @@
 //!
 //! Exits non-zero when the candidate's `identical_ladders` is not `true`
 //! or any gated counter (`certify_calls_cached`, `subsumption_pruned`,
-//! `split_memo_hits`, `split_memo_misses`, `interner_hits`) drifts from
-//! the committed baseline. Counter equality — never wall-clock — keeps the gate
-//! host-independent: a slow CI runner cannot fail it, but a change that
-//! silently disables the certification cache, the subsumption pass, the
-//! `bestSplit#` memo, or frontier hash-consing cannot pass it. See
-//! DESIGN.md §8 and §9.4.
+//! `split_memo_hits`, `split_memo_misses`, `interner_hits`,
+//! `arena_resets`) drifts from the committed baseline. Counter equality
+//! — never wall-clock — keeps the gate host-independent: a slow CI
+//! runner cannot fail it, but a change that silently disables the
+//! certification cache, the subsumption pass, the `bestSplit#` memo,
+//! frontier hash-consing, or the learner's word-scratch arena cannot
+//! pass it. `pool_reuse_count` stays ungated: it is `null` on 1-core
+//! hosts. See DESIGN.md §8 and §9.4.
 
 use antidote_bench::perf::{check_sweep_gate, json_u64, GATED_COUNTERS};
 

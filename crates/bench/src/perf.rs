@@ -60,13 +60,20 @@ pub struct GateViolation {
 /// `split_memo_misses` is gated alongside `split_memo_hits` because the
 /// stock depth-2 config legitimately pins hits at 0 (recurrence needs
 /// depth ≥ 3, see DESIGN.md §9.2) — misses are what prove the memo is
-/// still being consulted there.
-pub const GATED_COUNTERS: [&str; 5] = [
+/// still being consulted there. `arena_resets` counts learner runs
+/// through the word-scratch arena (one reset per `run_abstract`), so a
+/// change that routes the learner around the arena — losing its
+/// allocation reuse — fails the gate the same way a disabled cache
+/// would. `pool_reuse_count` is deliberately *not* gated: it is `null`
+/// on 1-core hosts (the multi-thread rep is skipped there), so exact
+/// equality would make the gate host-dependent.
+pub const GATED_COUNTERS: [&str; 6] = [
     "certify_calls_cached",
     "subsumption_pruned",
     "split_memo_hits",
     "split_memo_misses",
     "interner_hits",
+    "arena_resets",
 ];
 
 /// Checks a freshly generated `BENCH_sweep.json` (`candidate`) against
@@ -128,7 +135,10 @@ mod tests {
   "split_memo_hits": 17,
   "split_memo_misses": 547,
   "interner_hits": 870,
-  "pool_reuse_count": 0,
+  "arena_resets": 93,
+  "arena_bytes": 4096,
+  "simd_lanes": 4,
+  "pool_reuse_count": null,
   "ladder": [
     {"n": 1, "attempted": 32, "verified": 30}
   ]
@@ -194,6 +204,25 @@ mod tests {
         assert_eq!(v.len(), 1);
         assert_eq!(v[0].field, "interner_hits");
         assert!(v[0].detail.contains("baseline 870 != candidate 3"));
+    }
+
+    #[test]
+    fn gate_catches_arena_drift_but_not_pool_reuse() {
+        // A learner that stops routing word scratch through the arena
+        // drops its reset count and fails the gate.
+        let no_arena = DOC.replace("\"arena_resets\": 93", "\"arena_resets\": 0");
+        let v = check_sweep_gate(DOC, &no_arena);
+        assert_eq!(v.len(), 1);
+        assert_eq!(v[0].field, "arena_resets");
+        assert!(v[0].detail.contains("baseline 93 != candidate 0"));
+        // `pool_reuse_count` is host-dependent (`null` on a 1-core
+        // runner, a count elsewhere): it parses as a raw token, not a
+        // number, and is not part of the gate.
+        assert_eq!(json_raw(DOC, "pool_reuse_count"), Some("null"));
+        assert_eq!(json_u64(DOC, "pool_reuse_count"), None);
+        let with_count = DOC.replace("\"pool_reuse_count\": null", "\"pool_reuse_count\": 12");
+        assert!(check_sweep_gate(DOC, &with_count).is_empty());
+        assert!(check_sweep_gate(&with_count, DOC).is_empty());
     }
 
     #[test]

@@ -28,7 +28,8 @@ impl std::error::Error for CliError {}
 
 impl Args {
     /// Boolean flags: present or absent, never followed by a value.
-    const BOOL_FLAGS: &'static [&'static str] = &["no-cache", "no-subsume", "no-memo", "list"];
+    const BOOL_FLAGS: &'static [&'static str] =
+        &["no-cache", "no-subsume", "no-memo", "no-simd", "list"];
 
     /// Parses `argv` (without the program name).
     ///
@@ -177,6 +178,14 @@ impl Args {
     /// `--no-cache`/`--no-subsume`).
     pub fn no_memo(&self) -> bool {
         self.options.contains_key("no-memo")
+    }
+
+    /// Whether `--no-simd` was given: disarms the chunked SIMD word
+    /// kernels, routing the subset algebra through the bit-identical
+    /// scalar fallback (the escape hatch mirroring
+    /// `--no-cache`/`--no-subsume`/`--no-memo`).
+    pub fn no_simd(&self) -> bool {
+        self.options.contains_key("no-simd")
     }
 }
 
@@ -363,5 +372,21 @@ mod tests {
         assert!(a.no_cache() && a.no_subsume() && a.no_memo());
         assert_eq!(a.threads().unwrap(), 2);
         assert!(Args::parse(argv("sweep --no-memo true")).is_err());
+    }
+
+    #[test]
+    fn no_simd_flag_takes_no_value() {
+        let a = Args::parse(argv("sweep")).unwrap();
+        assert!(!a.no_simd(), "the SIMD kernels are armed by default");
+        let a = Args::parse(argv("sweep --no-simd")).unwrap();
+        assert!(a.no_simd());
+        // All four escape hatches compose.
+        let a = Args::parse(argv(
+            "sweep --no-cache --no-subsume --no-memo --no-simd --threads 2",
+        ))
+        .unwrap();
+        assert!(a.no_cache() && a.no_subsume() && a.no_memo() && a.no_simd());
+        assert_eq!(a.threads().unwrap(), 2);
+        assert!(Args::parse(argv("sweep --no-simd true")).is_err());
     }
 }

@@ -49,11 +49,11 @@ pub fn cli_main() {
 }
 
 const USAGE: &str = "usage:
-  antidote certify  --dataset <id> --depth <d> --n <n> [--domain box|disjuncts|hybridK] [--index i] [--timeout secs] [--no-subsume] [--no-memo]
+  antidote certify  --dataset <id> --depth <d> --n <n> [--domain box|disjuncts|hybridK] [--index i] [--timeout secs] [--no-subsume] [--no-memo] [--no-simd]
   antidote flip     --dataset <id> --depth <d> --n <n> [--index i] [--timeout secs]
   antidote forest   --dataset <id> --depth <d> --n <n> [--trees t] [--features f] [--index i]
   antidote tree     --dataset <id> --depth <d> [--dot true]
-  antidote sweep    --dataset <id> --depth <d> [--domain ...] [--points k] [--timeout secs] [--no-cache] [--no-subsume] [--no-memo]
+  antidote sweep    --dataset <id> --depth <d> [--domain ...] [--points k] [--timeout secs] [--no-cache] [--no-subsume] [--no-memo] [--no-simd]
   antidote matrix   [--scenarios a,b,...] [--out-dir dir] [--seed s] [--list]
   antidote accuracy --dataset <id> [--scale small|paper]
   antidote attack   --dataset <id> --depth <d> --budget <n> [--index i]
@@ -62,8 +62,10 @@ const USAGE: &str = "usage:
 certify/flip/forest/sweep/attack/matrix also accept --threads <k>, k >= 1
 (default: all cores; 1 = sequential); sweep reuses certificates across
 ladder rungs unless --no-cache re-derives every probe from scratch;
-certify/sweep prune subsumed frontier disjuncts unless --no-subsume and
-memoize bestSplit# per certify call unless --no-memo;
+certify/sweep prune subsumed frontier disjuncts unless --no-subsume,
+memoize bestSplit# per certify call unless --no-memo, and use the
+chunked SIMD word kernels unless --no-simd (scalar fallback,
+bit-identical results);
 matrix runs every registered scenario x {remove,flip} x
 {box,disjuncts,hybrid8} and writes BENCH_<scenario>.json plus
 BENCH_matrix.json to --out-dir (default .); datasets: iris, mammo, wdbc,
@@ -121,7 +123,8 @@ fn cmd_certify(args: &Args) -> Result<(), CliError> {
         .domain(args.domain()?)
         .threads(args.threads()?)
         .subsume(!args.no_subsume())
-        .memo(!args.no_memo());
+        .memo(!args.no_memo())
+        .simd(!args.no_simd());
     let timeout = args.get_num("timeout", 0u64)?;
     if timeout > 0 {
         certifier = certifier.timeout(Duration::from_secs(timeout));
@@ -277,6 +280,7 @@ fn cmd_sweep(args: &Args) -> Result<(), CliError> {
         cache: !args.no_cache(),
         subsume: !args.no_subsume(),
         memo: !args.no_memo(),
+        simd: !args.no_simd(),
         ..SweepConfig::default()
     };
     let xs: Vec<Vec<f64>> = (0..points as u32).map(|r| test.row_values(r)).collect();
@@ -539,6 +543,16 @@ mod tests {
         ))
         .is_ok());
         assert!(run(argv("sweep --dataset iris --no-memo nope")).is_err());
+    }
+
+    #[test]
+    fn no_simd_flag_reaches_certifier_and_sweep() {
+        assert!(run(argv("certify --dataset iris --depth 1 --n 1 --no-simd")).is_ok());
+        assert!(run(argv(
+            "sweep --dataset iris --depth 1 --points 4 --threads 1 --timeout 0 --no-simd"
+        ))
+        .is_ok());
+        assert!(run(argv("sweep --dataset iris --no-simd nope")).is_err());
     }
 
     #[test]

@@ -89,6 +89,7 @@ pub struct Certifier<'a> {
     threads: usize,
     subsume: bool,
     memo: bool,
+    simd: bool,
 }
 
 impl<'a> Certifier<'a> {
@@ -106,6 +107,7 @@ impl<'a> Certifier<'a> {
             threads: 1,
             subsume: true,
             memo: true,
+            simd: true,
         }
     }
 
@@ -156,6 +158,17 @@ impl<'a> Certifier<'a> {
     /// bit-identical verdicts (see `antidote_core::memo`).
     pub fn memo(mut self, on: bool) -> Self {
         self.memo = on;
+        self
+    }
+
+    /// Arms or disarms the chunked SIMD word kernels for the abstract
+    /// run's subset algebra (default: on). `false` is the `--no-simd`
+    /// escape hatch selecting the bit-identical scalar fallback — a pure
+    /// performance switch: verdicts, ladders, and every thread-invariant
+    /// counter are unchanged (see `antidote_data::simd` and
+    /// DESIGN.md §10).
+    pub fn simd(mut self, on: bool) -> Self {
+        self.simd = on;
         self
     }
 
@@ -322,6 +335,7 @@ impl<'a> Certifier<'a> {
             self.transformer,
             self.subsume,
             self.memo,
+            self.simd,
             ctx,
         );
         let stats = RunStats {

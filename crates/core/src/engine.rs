@@ -57,6 +57,9 @@ pub struct RunMetrics {
     split_memo_hits: AtomicU64,
     split_memo_misses: AtomicU64,
     interner_hits: AtomicU64,
+    arena_bytes: AtomicUsize,
+    arena_resets: AtomicU64,
+    simd_lanes: AtomicUsize,
     pool_batches: AtomicU64,
 }
 
@@ -201,6 +204,45 @@ impl RunMetrics {
         self.interner_hits.load(Ordering::Relaxed)
     }
 
+    /// Raises the arena high-water mark (bytes held by the learner's
+    /// per-thread [`WordArena`]s, DESIGN.md §10.2) to at least `v`.
+    ///
+    /// [`WordArena`]: antidote_data::WordArena
+    pub fn record_arena_bytes(&self, v: usize) {
+        self.arena_bytes.fetch_max(v, Ordering::Relaxed);
+    }
+
+    /// Adds to the arena run-boundary counter: one per `run_abstract`
+    /// invocation that resets its thread's scratch arena. Thread-invariant
+    /// (a run resets exactly one arena no matter where it executes), so
+    /// the perf gate pins it.
+    pub fn add_arena_resets(&self, v: u64) {
+        self.arena_resets.fetch_add(v, Ordering::Relaxed);
+    }
+
+    /// Raises the SIMD lane-width watermark: the word-kernel lane count
+    /// the run was configured with (4 when the `simd` feature is compiled
+    /// and armed, 1 under `--no-simd` or the scalar fallback build).
+    pub fn record_simd_lanes(&self, v: usize) {
+        self.simd_lanes.fetch_max(v, Ordering::Relaxed);
+    }
+
+    /// Peak bytes held by the learner's scratch arenas.
+    pub fn arena_bytes(&self) -> usize {
+        self.arena_bytes.load(Ordering::Relaxed)
+    }
+
+    /// Total arena run boundaries (one per abstract-learner run).
+    pub fn arena_resets(&self) -> u64 {
+        self.arena_resets.load(Ordering::Relaxed)
+    }
+
+    /// Widest word-kernel lane count recorded by any run (0 before the
+    /// first run records one).
+    pub fn simd_lanes(&self) -> usize {
+        self.simd_lanes.load(Ordering::Relaxed)
+    }
+
     /// Total `par_map` batches this context's runs dispatched to the
     /// persistent pool (not part of [`MetricsSnapshot`]: whether a call
     /// takes the pool path can depend on the host's core count via
@@ -242,6 +284,9 @@ impl RunMetrics {
             split_memo_hits: self.split_memo_hits(),
             split_memo_misses: self.split_memo_misses(),
             interner_hits: self.interner_hits(),
+            arena_bytes: self.arena_bytes(),
+            arena_resets: self.arena_resets(),
+            simd_lanes: self.simd_lanes(),
         }
     }
 
@@ -272,6 +317,10 @@ impl RunMetrics {
             .fetch_add(s.split_memo_misses, Ordering::Relaxed);
         self.interner_hits
             .fetch_add(s.interner_hits, Ordering::Relaxed);
+        self.arena_bytes.fetch_max(s.arena_bytes, Ordering::Relaxed);
+        self.arena_resets
+            .fetch_add(s.arena_resets, Ordering::Relaxed);
+        self.simd_lanes.fetch_max(s.simd_lanes, Ordering::Relaxed);
     }
 }
 
@@ -307,6 +356,14 @@ pub struct MetricsSnapshot {
     /// Interner hits: frontier payloads rewired to an already hash-consed
     /// allocation (DESIGN.md §9.1).
     pub interner_hits: u64,
+    /// Peak bytes held by the learner's scratch arenas (watermark,
+    /// DESIGN.md §10.2).
+    pub arena_bytes: usize,
+    /// Arena run boundaries: one per abstract-learner run.
+    pub arena_resets: u64,
+    /// Widest word-kernel lane count any run recorded (4 = SIMD armed,
+    /// 1 = scalar fallback, 0 = no runs).
+    pub simd_lanes: usize,
 }
 
 impl MetricsSnapshot {
@@ -869,20 +926,34 @@ mod tests {
         ctx.metrics().add_split_memo_hit();
         ctx.metrics().add_split_memo_miss();
         ctx.metrics().add_interner_hits(5);
+        ctx.metrics().record_arena_bytes(4096);
+        ctx.metrics().record_arena_bytes(1024); // lower: no effect
+        ctx.metrics().add_arena_resets(3);
+        ctx.metrics().record_simd_lanes(4);
+        ctx.metrics().record_simd_lanes(1); // lower: no effect
         assert_eq!(ctx.metrics().split_memo_hits(), 2);
         assert_eq!(ctx.metrics().split_memo_misses(), 1);
         assert_eq!(ctx.metrics().interner_hits(), 5);
+        assert_eq!(ctx.metrics().arena_bytes(), 4096);
+        assert_eq!(ctx.metrics().arena_resets(), 3);
+        assert_eq!(ctx.metrics().simd_lanes(), 4);
         let snap = ctx.metrics().snapshot();
         assert_eq!(snap.split_memo_hits, 2);
         assert_eq!(snap.split_memo_misses, 1);
         assert_eq!(snap.interner_hits, 5);
-        // Absorb adds the new counters like every other counter.
+        assert_eq!(snap.arena_bytes, 4096);
+        assert_eq!(snap.arena_resets, 3);
+        assert_eq!(snap.simd_lanes, 4);
+        // Absorb adds the counters and maxes the watermarks.
         let parent = ExecContext::new();
         parent.metrics().absorb(&snap);
         parent.metrics().absorb(&snap);
         assert_eq!(parent.metrics().split_memo_hits(), 4);
         assert_eq!(parent.metrics().split_memo_misses(), 2);
         assert_eq!(parent.metrics().interner_hits(), 10);
+        assert_eq!(parent.metrics().arena_bytes(), 4096, "watermark maxes");
+        assert_eq!(parent.metrics().arena_resets(), 6, "counter adds");
+        assert_eq!(parent.metrics().simd_lanes(), 4, "watermark maxes");
     }
 
     #[test]

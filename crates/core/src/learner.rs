@@ -29,8 +29,9 @@
 //! same iteration (Fig. 4 reassigns φ before reading it), so disjuncts
 //! store only their abstract training set.
 
-use antidote_data::{ClassId, Dataset, Subset, SubsetInterner};
+use antidote_data::{simd, ClassId, Dataset, Subset, SubsetInterner, WordArena};
 use antidote_domains::{AbstractSet, CprobTransformer, Truth};
+use std::cell::RefCell;
 use std::collections::HashSet;
 use std::sync::Arc;
 
@@ -196,6 +197,15 @@ fn step_disjunct(
 /// small sets.
 pub(crate) const MIN_PARALLEL_FRONTIER: usize = 4;
 
+thread_local! {
+    /// Per-thread scratch arena for the learner's word buffers
+    /// (`prune_subsumed`'s row-containment bitsets and accumulator).
+    /// Frontier lifetime: reset at the start of every [`run_abstract`]
+    /// call on this thread; see `antidote_data::arena` for the lifecycle
+    /// and the interner `Arc` escape hatch (DESIGN.md §10.2).
+    static SCRATCH: RefCell<WordArena> = RefCell::new(WordArena::new());
+}
+
 /// Runs `DTrace#(⟨T, n⟩, x)` to depth `depth` under `ctx`.
 ///
 /// `initial` is usually [`AbstractSet::full`]`(ds, n)` — the precise
@@ -222,6 +232,16 @@ pub(crate) const MIN_PARALLEL_FRONTIER: usize = 4;
 /// the flag, the run hash-conses frontier base payloads through a
 /// [`SubsetInterner`] (DESIGN.md §9.1), counting structure sharing on
 /// [`RunMetrics::interner_hits`](crate::engine::RunMetrics::interner_hits).
+///
+/// `simd` arms the chunked word kernels (`antidote_data::simd`,
+/// DESIGN.md §10.1) for this run's subset algebra; `false` is the
+/// `--no-simd` escape hatch selecting the scalar fallback. Both paths
+/// are bit-identical (the kernels are pure bitwise functions), so the
+/// flag — a process-wide latch — is a pure performance switch:
+/// concurrent runs with different settings still produce identical
+/// ladders and verdicts (pinned in `tests/determinism.rs`). The run
+/// also resets this thread's scratch [`WordArena`] and reports
+/// `arena_resets` / `arena_bytes` / `simd_lanes` on the metrics.
 #[allow(clippy::too_many_arguments)]
 pub fn run_abstract(
     ds: &Dataset,
@@ -232,7 +252,53 @@ pub fn run_abstract(
     transformer: CprobTransformer,
     subsume: bool,
     memo: bool,
+    simd: bool,
     ctx: &ExecContext,
+) -> RunOutput {
+    simd::set_enabled(simd);
+    // Record the lane width from the run's own flag, not the global
+    // latch: concurrent runs toggling the latch must not perturb each
+    // other's metrics.
+    ctx.metrics()
+        .record_simd_lanes(if simd && simd::compiled() {
+            simd::LANES
+        } else {
+            1
+        });
+    SCRATCH.with(|arena| {
+        let mut arena = arena.borrow_mut();
+        arena.reset();
+        ctx.metrics().add_arena_resets(1);
+        let out = run_abstract_in(
+            ds,
+            initial,
+            x,
+            depth,
+            domain,
+            transformer,
+            subsume,
+            memo,
+            ctx,
+            &mut arena,
+        );
+        ctx.metrics().record_arena_bytes(arena.peak_bytes());
+        out
+    })
+}
+
+/// [`run_abstract`] against an explicit scratch arena.
+#[allow(clippy::too_many_arguments)]
+fn run_abstract_in(
+    ds: &Dataset,
+    initial: AbstractSet,
+    x: &[f64],
+    depth: usize,
+    domain: DomainKind,
+    transformer: CprobTransformer,
+    subsume: bool,
+    memo: bool,
+    ctx: &ExecContext,
+    arena: &mut WordArena,
 ) -> RunOutput {
     let memo = memo.then(|| SplitMemo::new(transformer));
     let memo = memo.as_ref();
@@ -316,7 +382,7 @@ pub fn run_abstract(
         // count is thread-invariant.
         intern_frontier(&mut next, &mut interner, ctx);
         if subsume && domain != DomainKind::Box {
-            let pruned = prune_subsumed(&mut next);
+            let pruned = prune_subsumed(&mut next, arena);
             if pruned > 0 {
                 ctx.metrics().add_disjuncts_subsumed(pruned as u64);
             }
@@ -432,7 +498,7 @@ fn intern_frontier(
 /// linearisation of ⊑, see the proof notes inline), so ladders,
 /// verdicts, and prune counts stay bit-identical (pinned by the
 /// `--no-subsume` differential in `tests/determinism.rs`).
-fn prune_subsumed(disjuncts: &mut Vec<AbstractSet>) -> usize {
+fn prune_subsumed(disjuncts: &mut Vec<AbstractSet>, arena: &mut WordArena) -> usize {
     if disjuncts.len() < 2 {
         return 0;
     }
@@ -456,12 +522,15 @@ fn prune_subsumed(disjuncts: &mut Vec<AbstractSet>) -> usize {
         .map(|d| d.base().words().len() * 64)
         .max()
         .unwrap_or(0);
-    let mut row_bits = vec![0u64; n_rows * stride];
+    // The scratch (tens of kilobytes at peak frontiers) comes from the
+    // per-thread arena: zeroed recycled buffers, no allocator round-trip
+    // per frontier iteration.
+    let mut row_bits = arena.alloc(n_rows * stride);
     // How many indexed elements contain each row; seeding the AND from
     // the rarest member row refutes containment for most elements
     // without touching any other bitset.
-    let mut row_freq = vec![0u32; n_rows];
-    let mut acc: Vec<u64> = vec![0; stride];
+    let mut row_freq = arena.alloc(n_rows);
+    let mut acc = arena.alloc(stride);
     let mut live_words: Vec<u32> = Vec::with_capacity(stride);
     let mut keep = vec![true; before];
     for (pos, &i) in ranked.iter().enumerate() {
@@ -490,10 +559,21 @@ fn prune_subsumed(disjuncts: &mut Vec<AbstractSet>) -> usize {
                     break;
                 }
                 let bits = &row_bits[row as usize * stride..][..stride];
-                live_words.retain(|&w| {
-                    acc[w as usize] &= bits[w as usize];
-                    acc[w as usize] != 0
-                });
+                if live_words.len() == stride {
+                    // Every word still live: AND the whole slices through
+                    // the chunked word kernels and rebuild the live list.
+                    // Same result as the sparse retain below (the list is
+                    // ascending either way), vector-wide instead of
+                    // word-at-a-time.
+                    simd::and_in_place(&mut acc, bits);
+                    live_words.clear();
+                    live_words.extend((0..stride as u32).filter(|&w| acc[w as usize] != 0));
+                } else {
+                    live_words.retain(|&w| {
+                        acc[w as usize] &= bits[w as usize];
+                        acc[w as usize] != 0
+                    });
+                }
             }
             // Containment survived every row: some processed element
             // contains T_d, and processing order makes it a dominator.
@@ -510,6 +590,9 @@ fn prune_subsumed(disjuncts: &mut Vec<AbstractSet>) -> usize {
             }
         }
     }
+    arena.recycle(row_bits);
+    arena.recycle(row_freq);
+    arena.recycle(acc);
     let mut it = keep.iter();
     disjuncts.retain(|_| *it.next().expect("keep mask covers every disjunct"));
     before - disjuncts.len()
@@ -541,6 +624,7 @@ mod tests {
             depth,
             domain,
             CprobTransformer::Optimal,
+            true,
             true,
             true,
             &ExecContext::sequential(),
@@ -618,6 +702,7 @@ mod tests {
             CprobTransformer::Optimal,
             true,
             true,
+            true,
             &ExecContext::sequential().timeout(std::time::Duration::ZERO),
         );
         assert_eq!(out.aborted, Some(Abort::Timeout));
@@ -633,6 +718,7 @@ mod tests {
             4,
             DomainKind::Disjuncts,
             CprobTransformer::Optimal,
+            true,
             true,
             true,
             &ExecContext::sequential().disjunct_budget(2),
@@ -651,6 +737,7 @@ mod tests {
             3,
             DomainKind::Hybrid { max_disjuncts: cap },
             CprobTransformer::Optimal,
+            true,
             true,
             true,
             &ExecContext::sequential(),
@@ -692,6 +779,7 @@ mod tests {
             CprobTransformer::Optimal,
             true,
             true,
+            true,
             &ExecContext::sequential(),
         );
         // The only terminal is the pure restriction of the initial state.
@@ -716,14 +804,15 @@ mod tests {
         let unrelated = AbstractSet::new(Subset::from_indices(&ds, vec![5, 6]), 1);
         assert!(dominated.le(&dominator));
         assert!(!unrelated.le(&dominator));
+        let mut arena = WordArena::new();
         let mut v = vec![dominated.clone(), unrelated.clone(), dominator.clone()];
-        assert_eq!(prune_subsumed(&mut v), 1);
+        assert_eq!(prune_subsumed(&mut v, &mut arena), 1);
         // Survivors keep their relative frontier order.
         assert_eq!(v, vec![unrelated.clone(), dominator.clone()]);
         // Chains collapse to the maximal element in one pass.
         let top = AbstractSet::new(Subset::from_indices(&ds, vec![0, 1, 2, 3]), 3);
         let mut chain = vec![dominated, dominator, top.clone(), unrelated.clone()];
-        assert_eq!(prune_subsumed(&mut chain), 2);
+        assert_eq!(prune_subsumed(&mut chain, &mut arena), 2);
         assert_eq!(chain, vec![top, unrelated]);
     }
 
@@ -744,6 +833,7 @@ mod tests {
                 DomainKind::Disjuncts,
                 CprobTransformer::Optimal,
                 subsume,
+                true,
                 true,
                 ctx,
             )
@@ -777,6 +867,7 @@ mod tests {
                 CprobTransformer::Optimal,
                 true,
                 memo,
+                true,
                 ctx,
             )
         };

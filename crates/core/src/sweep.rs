@@ -75,6 +75,12 @@ pub struct SweepConfig {
     /// `antidote_core::memo`) — with the usual timing caveat under a
     /// binding wall-clock `timeout`.
     pub memo: bool,
+    /// Whether the abstract runs use the chunked SIMD word kernels for
+    /// their subset algebra (default: on; `false` is the `--no-simd`
+    /// escape hatch selecting the bit-identical scalar fallback). A pure
+    /// performance switch: ladders and thread-invariant counters are
+    /// unchanged either way (see `antidote_data::simd`, DESIGN.md §10).
+    pub simd: bool,
 }
 
 impl Default for SweepConfig {
@@ -92,6 +98,7 @@ impl Default for SweepConfig {
             cache: true,
             subsume: true,
             memo: true,
+            simd: true,
         }
     }
 }
@@ -162,7 +169,8 @@ pub fn sweep_in(
         .domain(cfg.domain)
         .transformer(cfg.transformer)
         .subsume(cfg.subsume)
-        .memo(cfg.memo);
+        .memo(cfg.memo)
+        .simd(cfg.simd);
     let cache = cfg.cache.then(|| CertCache::new(test_points.len()));
     let max_n = cfg.max_n.unwrap_or(ds.len()).min(ds.len());
     let total_points = test_points.len();

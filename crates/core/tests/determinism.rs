@@ -280,6 +280,110 @@ fn certify_verdicts_invariant_under_memo_toggle() {
 }
 
 #[test]
+fn simd_kernels_are_observationally_invisible() {
+    // The chunked word kernels are a pure perf switch: --no-simd (scalar
+    // fallback) and the vector forms must produce bit-identical sweep
+    // ladders for every domain × thread count. Bitwise ops are exact and
+    // the per-lane popcount sums are associative integer adds, so the
+    // two paths compute literally the same values — this pins it.
+    let ds = blobs(60, 7);
+    let xs = test_points(32);
+    for domain in [
+        DomainKind::Box,
+        DomainKind::Disjuncts,
+        DomainKind::Hybrid { max_disjuncts: 8 },
+    ] {
+        for threads in [1usize, 4] {
+            let cfg = |simd: bool| SweepConfig {
+                depth: 2,
+                domain,
+                timeout: None,
+                threads,
+                simd,
+                ..SweepConfig::default()
+            };
+            let simd_ctx = ExecContext::new().threads(threads);
+            let vectored = antidote_core::sweep_in(&ds, &xs, &cfg(true), &simd_ctx);
+            let scalar_ctx = ExecContext::new().threads(threads);
+            let scalar = antidote_core::sweep_in(&ds, &xs, &cfg(false), &scalar_ctx);
+            assert_eq!(
+                key(&vectored),
+                key(&scalar),
+                "{domain:?} @ {threads} thread(s): --no-simd ladder diverged"
+            );
+            // The recorded lane width reflects each run's own flag: the
+            // escape hatch reports scalar (1) even in a SIMD build.
+            assert_eq!(
+                scalar_ctx.metrics().simd_lanes(),
+                1,
+                "--no-simd must disarm the kernels"
+            );
+            assert_eq!(
+                simd_ctx.metrics().simd_lanes(),
+                if antidote_data::simd::compiled() {
+                    antidote_data::simd::LANES
+                } else {
+                    1
+                }
+            );
+            // Work counters agree exactly: the kernels change how words
+            // are combined, never which states are visited.
+            assert_eq!(
+                (
+                    simd_ctx.metrics().certify_calls(),
+                    simd_ctx.metrics().disjuncts_processed(),
+                    simd_ctx.metrics().disjuncts_subsumed(),
+                    simd_ctx.metrics().interner_hits(),
+                ),
+                (
+                    scalar_ctx.metrics().certify_calls(),
+                    scalar_ctx.metrics().disjuncts_processed(),
+                    scalar_ctx.metrics().disjuncts_subsumed(),
+                    scalar_ctx.metrics().interner_hits(),
+                ),
+                "{domain:?} @ {threads} thread(s): SIMD toggle moved a work counter"
+            );
+        }
+    }
+}
+
+#[test]
+fn certify_verdicts_invariant_under_simd_toggle() {
+    // Direct certifier differential: identical verdicts, labels, and
+    // terminal counts for every domain × budget × input with the vector
+    // kernels on and off, at 1 and 4 threads.
+    let ds = blobs(50, 3);
+    for domain in [
+        DomainKind::Box,
+        DomainKind::Disjuncts,
+        DomainKind::Hybrid { max_disjuncts: 8 },
+    ] {
+        for n in [0usize, 4, 16, 64] {
+            for x in [[0.5], [5.1], [9.5]] {
+                let outcome = |simd: bool, threads: usize| {
+                    Certifier::new(&ds)
+                        .depth(3)
+                        .domain(domain)
+                        .threads(threads)
+                        .simd(simd)
+                        .certify(&x, n)
+                };
+                let base = outcome(false, 1);
+                for (simd, threads) in [(true, 1), (true, 4), (false, 4)] {
+                    let o = outcome(simd, threads);
+                    assert_eq!(
+                        o.verdict, base.verdict,
+                        "{domain:?} x={x:?} n={n} simd={simd} threads={threads}"
+                    );
+                    assert_eq!(o.label, base.label);
+                    assert_eq!(o.stats.terminals, base.stats.terminals);
+                }
+            }
+        }
+    }
+}
+
+#[test]
 fn certify_verdicts_invariant_under_subsume_toggle() {
     // Direct certifier differential (no sweep in the loop): identical
     // verdicts and labels for every domain × budget × input, with and
@@ -367,6 +471,7 @@ fn disjunct_frontier_is_thread_invariant() {
                 3,
                 domain,
                 CprobTransformer::Optimal,
+                true,
                 true,
                 true,
                 &ExecContext::new().threads(threads),

@@ -1,0 +1,147 @@
+//! A frontier-lifetime recycling arena for `u64` word buffers.
+//!
+//! The abstract learner's per-iteration scratch — `prune_subsumed`'s
+//! per-row containment bitsets and its live-word accumulator — used to
+//! hit the global allocator on every frontier iteration (tens of
+//! kilobytes per pass at the peak frontier sizes the benchmarks reach).
+//! A [`WordArena`] keeps those buffers alive across iterations: `alloc`
+//! hands out a zeroed buffer (recycling a returned one when it fits),
+//! `recycle` returns it, and `reset` marks a run boundary.
+//!
+//! # Lifecycle and the interner escape hatch
+//!
+//! One arena lives per engine worker thread (a thread-local in the
+//! learner) and is `reset` at the start of every `run_abstract` call —
+//! "frontier lifetime". The arena only ever owns *scratch* buffers:
+//! any word vector that survives the run — a sealed
+//! `SubsetRepr` payload, interned or not — is moved into its own
+//! `Arc` allocation by `Subset::seal` and therefore outlives every
+//! reset trivially (the hash-consing `Arc` escape hatch; see
+//! DESIGN.md §10.2). Nothing handed out by the arena is ever reachable
+//! from a `Subset`.
+//!
+//! Accounting: [`WordArena::peak_bytes`] is the high-water mark of bytes
+//! held (free and handed out) since construction, and
+//! [`WordArena::resets`] counts run boundaries; the learner reports both
+//! through the engine metrics (`arena_bytes` / `arena_resets`).
+
+/// A recycling pool of zeroed `u64` buffers with byte-level accounting.
+#[derive(Debug, Default)]
+pub struct WordArena {
+    /// Returned buffers, available for reuse.
+    free: Vec<Vec<u64>>,
+    /// Bytes currently held by the arena: capacity of every free buffer
+    /// plus every buffer handed out and not yet recycled.
+    held_bytes: usize,
+    /// High-water mark of `held_bytes`.
+    peak_bytes: usize,
+    /// Run boundaries seen (one `reset` per learner run).
+    resets: u64,
+}
+
+impl WordArena {
+    /// An empty arena.
+    pub fn new() -> Self {
+        WordArena::default()
+    }
+
+    /// A zeroed buffer of exactly `len` words — recycled when a returned
+    /// buffer has enough capacity, freshly allocated otherwise.
+    pub fn alloc(&mut self, len: usize) -> Vec<u64> {
+        match self.free.iter().position(|b| b.capacity() >= len) {
+            Some(i) => {
+                let mut buf = self.free.swap_remove(i);
+                buf.clear();
+                buf.resize(len, 0);
+                buf
+            }
+            None => {
+                let buf = vec![0u64; len];
+                self.held_bytes += buf.capacity() * std::mem::size_of::<u64>();
+                self.peak_bytes = self.peak_bytes.max(self.held_bytes);
+                buf
+            }
+        }
+    }
+
+    /// Returns a buffer to the pool for reuse by a later [`alloc`].
+    /// Buffers that grew while out (never the case for the learner's
+    /// fixed-size scratch) are re-accounted at their new capacity.
+    ///
+    /// [`alloc`]: WordArena::alloc
+    pub fn recycle(&mut self, buf: Vec<u64>) {
+        // The buffer's bytes were charged at alloc time and stay charged
+        // while pooled; only growth beyond the charged capacity is new.
+        self.free.push(buf);
+    }
+
+    /// Marks a run boundary: bumps the reset counter and drops pooled
+    /// buffers beyond a small keep-set so one outlier run cannot pin
+    /// memory forever. Recycled capacity within the keep-set survives —
+    /// that is the point of the arena.
+    pub fn reset(&mut self) {
+        self.resets += 1;
+        const KEEP: usize = 4;
+        while self.free.len() > KEEP {
+            let dropped = self.free.swap_remove(0);
+            self.held_bytes = self
+                .held_bytes
+                .saturating_sub(dropped.capacity() * std::mem::size_of::<u64>());
+        }
+    }
+
+    /// High-water mark of bytes held by the arena since construction.
+    pub fn peak_bytes(&self) -> usize {
+        self.peak_bytes
+    }
+
+    /// Number of run boundaries ([`reset`](WordArena::reset) calls) seen.
+    pub fn resets(&self) -> u64 {
+        self.resets
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn alloc_recycles_and_zeroes() {
+        let mut arena = WordArena::new();
+        let mut a = arena.alloc(10);
+        assert_eq!(a, vec![0u64; 10]);
+        a.iter_mut().for_each(|w| *w = !0);
+        let cap = a.capacity();
+        arena.recycle(a);
+        // Same capacity comes back, zeroed, with no new bytes charged.
+        let peak = arena.peak_bytes();
+        let b = arena.alloc(8);
+        assert_eq!(b, vec![0u64; 8]);
+        assert_eq!(b.capacity(), cap);
+        assert_eq!(arena.peak_bytes(), peak, "recycling charges nothing");
+        // An oversized request allocates fresh and raises the peak.
+        let c = arena.alloc(cap + 1);
+        assert_eq!(c.len(), cap + 1);
+        assert!(arena.peak_bytes() > peak);
+    }
+
+    #[test]
+    fn reset_counts_and_bounds_the_pool() {
+        let mut arena = WordArena::new();
+        assert_eq!(arena.resets(), 0);
+        for _ in 0..8 {
+            let b = arena.alloc(4);
+            arena.recycle(b);
+        }
+        // Recycling reuses one buffer, so the pool never exceeds 1 here;
+        // fill it explicitly to exercise the keep-set bound.
+        for _ in 0..8 {
+            arena.recycle(vec![0u64; 4]);
+        }
+        arena.reset();
+        assert_eq!(arena.resets(), 1);
+        assert!(arena.free.len() <= 4, "reset bounds the pooled buffers");
+        arena.reset();
+        assert_eq!(arena.resets(), 2);
+    }
+}

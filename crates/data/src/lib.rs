@@ -17,7 +17,12 @@
 //!   Figure 2 running example and generic blob generators;
 //! * [`csv`] — a small hand-rolled CSV loader/writer so real UCI/MNIST data
 //!   can be substituted in when available;
-//! * [`split`] — train/test splitting utilities.
+//! * [`split`] — train/test splitting utilities;
+//! * [`simd`] — the chunked (4×`u64`) word kernels the subset algebra
+//!   dispatches through, with a bit-identical scalar fallback behind the
+//!   `--no-simd` escape hatch and the default-on `simd` cargo feature;
+//! * [`arena`] — a frontier-lifetime recycling arena ([`WordArena`]) for
+//!   the learner's word-buffer scratch.
 //!
 //! # Example
 //!
@@ -31,15 +36,18 @@
 //! assert_eq!(all.class_counts(), &[7, 6]);
 //! ```
 
+pub mod arena;
 pub mod benchmark;
 pub mod csv;
 pub mod dataset;
 pub mod error;
+pub mod simd;
 pub mod split;
 pub mod stats;
 pub mod subset;
 pub mod synth;
 
+pub use arena::WordArena;
 pub use benchmark::{Benchmark, Scale};
 pub use dataset::{Column, Dataset, DatasetBuilder, FeatureKind, Schema};
 pub use error::DataError;

@@ -12,7 +12,10 @@
 //! passes over `ceil(|dataset| / 64)` words instead of linear merges over
 //! index vectors. Per-class counts are recomputed by AND-popcount against
 //! the dataset's per-class row bitmasks ([`Dataset::class_mask`]), keeping
-//! `cprob`/`ent` (and their abstract versions) O(k).
+//! `cprob`/`ent` (and their abstract versions) O(k). Every such pass
+//! dispatches through the chunked vector kernels of [`crate::simd`]
+//! (4×`u64` lanes under the default `simd` feature, with a bit-identical
+//! scalar fallback behind the `--no-simd` escape hatch).
 //!
 //! # Hash-consing
 //!
@@ -43,7 +46,7 @@
 //! structural equality (`PartialEq`) coincides with set equality no matter
 //! which operations produced the two sides.
 
-use crate::{ClassId, Dataset, RowId};
+use crate::{simd, ClassId, Dataset, RowId};
 use std::collections::HashSet;
 use std::hash::{Hash, Hasher};
 use std::sync::Arc;
@@ -157,39 +160,57 @@ fn trim(words: &mut Vec<u64>) {
     }
 }
 
-/// Per-class counts of a packed row set, by AND-popcount against the
-/// dataset's class masks.
+/// Per-class counts of a packed row set, by fused AND-popcount against
+/// the dataset's class masks (`simd::and_popcount`).
 fn counts_of_words(ds: &Dataset, words: &[u64]) -> Vec<u32> {
     (0..ds.n_classes())
-        .map(|c| {
-            ds.class_mask(c as ClassId)
-                .iter()
-                .zip(words)
-                .map(|(&m, &w)| (m & w).count_ones())
-                .sum()
-        })
+        .map(|c| simd::and_popcount(&ds.class_mask(c as ClassId)[..words.len()], words))
         .collect()
 }
 
-/// Iterator over the set bits of one word, ascending.
-struct WordBits {
-    word: u64,
-    base: u32,
+/// Counted-ones cursor over a subset's rows, strictly ascending.
+///
+/// The cursor knows the subset's cardinality up front (it is an
+/// [`ExactSizeIterator`], so gathers preallocate exactly), stops the
+/// instant the last set bit has been yielded, and skips runs of dead
+/// (all-zero) words through the chunked first-set kernel instead of
+/// testing them one by one — sparse subsets iterate in time proportional
+/// to their population, not their span.
+#[derive(Debug, Clone)]
+pub struct SubsetIter<'a> {
+    words: &'a [u64],
+    wi: usize,
+    current: u64,
+    remaining: u32,
 }
 
-impl Iterator for WordBits {
+impl Iterator for SubsetIter<'_> {
     type Item = RowId;
 
     #[inline]
     fn next(&mut self) -> Option<RowId> {
-        if self.word == 0 {
+        if self.remaining == 0 {
             return None;
         }
-        let tz = self.word.trailing_zeros();
-        self.word &= self.word - 1;
-        Some(self.base + tz)
+        if self.current == 0 {
+            let wi = simd::first_nonzero_word(self.words, self.wi + 1)
+                .expect("remaining > 0 implies a later non-zero word");
+            self.wi = wi;
+            self.current = self.words[wi];
+        }
+        let tz = self.current.trailing_zeros();
+        self.current &= self.current - 1;
+        self.remaining -= 1;
+        Some((self.wi as u32) * 64 + tz)
+    }
+
+    #[inline]
+    fn size_hint(&self) -> (usize, Option<usize>) {
+        (self.remaining as usize, Some(self.remaining as usize))
     }
 }
+
+impl ExactSizeIterator for SubsetIter<'_> {}
 
 impl Subset {
     /// Seals a payload: trims to canonical form, computes the content
@@ -314,16 +335,16 @@ impl Subset {
         self.repr.class_counts.iter().filter(|&&c| c > 0).count() <= 1
     }
 
-    /// Iterator over the row ids, in strictly increasing order.
-    pub fn iter(&self) -> impl Iterator<Item = RowId> + '_ {
-        self.repr
-            .words
-            .iter()
-            .enumerate()
-            .flat_map(|(wi, &w)| WordBits {
-                word: w,
-                base: (wi * 64) as u32,
-            })
+    /// Iterator over the row ids, in strictly increasing order — a
+    /// counted-ones cursor ([`SubsetIter`]) that yields exactly
+    /// [`len`](Subset::len) rows and skips dead words.
+    pub fn iter(&self) -> SubsetIter<'_> {
+        SubsetIter {
+            words: &self.repr.words,
+            wi: 0,
+            current: self.repr.words.first().copied().unwrap_or(0),
+            remaining: self.repr.len,
+        }
     }
 
     /// Whether `row` is in the subset.
@@ -399,16 +420,8 @@ impl Subset {
         let (strict, invert) = cmp.mask_form();
         match ds.le_mask(feature, tau, strict) {
             Some(mask) => {
-                let words: Vec<u64> = self
-                    .repr
-                    .words
-                    .iter()
-                    .enumerate()
-                    .map(|(i, &w)| {
-                        let m = mask.get(i).copied().unwrap_or(0);
-                        w & if invert { !m } else { m }
-                    })
-                    .collect();
+                let mut words = Vec::new();
+                simd::masked_and(&self.repr.words, mask, invert, &mut words);
                 let class_counts = counts_of_words(ds, &words);
                 let len = class_counts.iter().sum();
                 Subset::seal(words, len, class_counts)
@@ -421,15 +434,9 @@ impl Subset {
     /// `pure(⟨T,n⟩, i)` operation (§4.7). Word-parallel: one AND pass
     /// against the dataset's class mask.
     pub fn filter_class(&self, ds: &Dataset, class: ClassId) -> Subset {
-        let mask = ds.class_mask(class);
-        let words: Vec<u64> = self
-            .repr
-            .words
-            .iter()
-            .zip(mask)
-            .map(|(&w, &m)| w & m)
-            .collect();
-        let count: u32 = words.iter().map(|w| w.count_ones()).sum();
+        let mut words = Vec::new();
+        simd::and_words(&self.repr.words, ds.class_mask(class), &mut words);
+        let count = simd::popcount(&words);
         let mut class_counts = vec![0u32; self.n_classes()];
         class_counts[class as usize] = count;
         Subset::seal(words, count, class_counts)
@@ -438,13 +445,8 @@ impl Subset {
     /// Removes the rows of `other` from `self` (set difference), used by the
     /// enumeration baseline to materialise elements of `Δn(T)`.
     pub fn difference(&self, ds: &Dataset, other: &Subset) -> Subset {
-        let words: Vec<u64> = self
-            .repr
-            .words
-            .iter()
-            .enumerate()
-            .map(|(i, &w)| w & !other.repr.words.get(i).copied().unwrap_or(0))
-            .collect();
+        let mut words = Vec::new();
+        simd::andnot_words(&self.repr.words, &other.repr.words, &mut words);
         let class_counts = counts_of_words(ds, &words);
         let len = class_counts.iter().sum();
         Subset::seal(words, len, class_counts)
@@ -457,43 +459,22 @@ impl Subset {
         if self.shares_repr(other) {
             return 0;
         }
-        self.repr
-            .words
-            .iter()
-            .enumerate()
-            .map(|(i, &w)| {
-                (w & !other.repr.words.get(i).copied().unwrap_or(0)).count_ones() as usize
-            })
-            .sum()
+        simd::andnot_popcount(&self.repr.words, &other.repr.words) as usize
     }
 
     /// Whether `self ⊆ other` — O(words) with early exit (O(1) when the
     /// two sides share an interned payload).
     pub fn is_subset_of(&self, other: &Subset) -> bool {
-        self.shares_repr(other)
-            || self
-                .repr
-                .words
-                .iter()
-                .enumerate()
-                .all(|(i, &w)| w & !other.repr.words.get(i).copied().unwrap_or(0) == 0)
+        self.shares_repr(other) || simd::is_subset(&self.repr.words, &other.repr.words)
     }
 
     /// Set union (`T₁ ∪ T₂` in the abstract join): word-parallel OR with
     /// counts recomputed against the dataset's class masks.
     pub fn union(&self, ds: &Dataset, other: &Subset) -> Subset {
-        let (long, short) = if self.repr.words.len() >= other.repr.words.len() {
-            (&self.repr.words, &other.repr.words)
-        } else {
-            (&other.repr.words, &self.repr.words)
-        };
-        let words: Vec<u64> = long
-            .iter()
-            .enumerate()
-            .map(|(i, &w)| w | short.get(i).copied().unwrap_or(0))
-            .collect();
+        let mut words = Vec::new();
         // OR of two canonical vectors keeps the longer one's top word
         // non-zero, so the seal's trim is a no-op here.
+        simd::or_words(&self.repr.words, &other.repr.words, &mut words);
         let class_counts = counts_of_words(ds, &words);
         let len = class_counts.iter().sum();
         Subset::seal(words, len, class_counts)
@@ -502,13 +483,8 @@ impl Subset {
     /// Set intersection (`T₁ ∩ T₂` in the abstract meet, footnote 4):
     /// word-parallel AND.
     pub fn intersect(&self, ds: &Dataset, other: &Subset) -> Subset {
-        let words: Vec<u64> = self
-            .repr
-            .words
-            .iter()
-            .zip(&other.repr.words)
-            .map(|(&a, &b)| a & b)
-            .collect();
+        let mut words = Vec::new();
+        simd::and_words(&self.repr.words, &other.repr.words, &mut words);
         let class_counts = counts_of_words(ds, &words);
         let len = class_counts.iter().sum();
         Subset::seal(words, len, class_counts)

@@ -247,6 +247,85 @@ proptest! {
         prop_assert_eq!(c1.difference_len(&c2), 0);
     }
 
+    /// SIMD kernel differential: every chunked vector kernel must agree
+    /// with its scalar fallback on arbitrary word vectors — including
+    /// empty slices, lengths that are not a multiple of the lane width,
+    /// unequal lengths (the zero-extension contracts), and canonical
+    /// trailing-zero-trimmed reprs. The learner's bit-identical-ladders
+    /// guarantee under `--no-simd` reduces to exactly this equivalence.
+    #[cfg(feature = "simd")]
+    #[test]
+    fn simd_vector_kernels_match_scalar_fallback(
+        len_a in 0usize..13,
+        len_b in 0usize..13,
+        seed in 0u64..1_000_000,
+        trim in 0u8..2,
+    ) {
+        use antidote_data::simd;
+        let trim = trim == 1;
+        let mut rng = StdRng::seed_from_u64(seed);
+        // Bias toward all-zero and all-one words so the subset and
+        // first-nonzero early-exit branches are exercised, not just the
+        // generic mixed case.
+        let word = |rng: &mut StdRng| -> u64 {
+            match rng.random_range(0..4u8) {
+                0 => 0,
+                1 => u64::MAX,
+                _ => rng.random(),
+            }
+        };
+        let mut a: Vec<u64> = (0..len_a).map(|_| word(&mut rng)).collect();
+        let mut b: Vec<u64> = (0..len_b).map(|_| word(&mut rng)).collect();
+        if trim {
+            // Canonical `SubsetRepr` shape: no trailing zero words.
+            while a.last() == Some(&0) { a.pop(); }
+            while b.last() == Some(&0) { b.pop(); }
+        }
+
+        // Unary and length-tolerant kernels (b zero-extended past its end).
+        prop_assert_eq!(simd::popcount_vector(&a), simd::popcount_scalar(&a));
+        prop_assert_eq!(
+            simd::andnot_popcount_vector(&a, &b),
+            simd::andnot_popcount_scalar(&a, &b)
+        );
+        prop_assert_eq!(simd::is_subset_vector(&a, &b), simd::is_subset_scalar(&a, &b));
+        for from in 0..=a.len() + 1 {
+            prop_assert_eq!(
+                simd::first_nonzero_word_vector(&a, from),
+                simd::first_nonzero_word_scalar(&a, from)
+            );
+        }
+        // a ∩ b ⊆ b must hold through both forms (a true-subset case the
+        // random pairs above rarely produce).
+        let inter: Vec<u64> = a.iter().zip(&b).map(|(&x, &y)| x & y).collect();
+        prop_assert!(simd::is_subset_vector(&inter, &b));
+        prop_assert!(simd::is_subset_scalar(&inter, &b));
+
+        // Equal-length kernels, over the common prefix.
+        let n = a.len().min(b.len());
+        let (pa, pb) = (&a[..n], &b[..n]);
+        prop_assert_eq!(
+            simd::and_popcount_vector(pa, pb),
+            simd::and_popcount_scalar(pa, pb)
+        );
+        let mut out_v = vec![0u64; n];
+        let mut out_s = vec![0u64; n];
+        simd::and_words_vector(pa, pb, &mut out_v);
+        simd::and_words_scalar(pa, pb, &mut out_s);
+        prop_assert_eq!(&out_v, &out_s, "and_words");
+        simd::andnot_words_vector(pa, pb, &mut out_v);
+        simd::andnot_words_scalar(pa, pb, &mut out_s);
+        prop_assert_eq!(&out_v, &out_s, "andnot_words");
+        simd::or_words_vector(pa, pb, &mut out_v);
+        simd::or_words_scalar(pa, pb, &mut out_s);
+        prop_assert_eq!(&out_v, &out_s, "or_words");
+        let mut acc_v = pa.to_vec();
+        let mut acc_s = pa.to_vec();
+        simd::and_in_place_vector(&mut acc_v, pb);
+        simd::and_in_place_scalar(&mut acc_s, pb);
+        prop_assert_eq!(acc_v, acc_s, "and_in_place");
+    }
+
     /// The word-parallel threshold restriction agrees with the model (and
     /// hence with the closure fallback) for every comparison, including
     /// thresholds below, between, at, and above the observed values.

@@ -300,6 +300,57 @@ pub fn ent_interval_from_counts(
     Interval::new(lo, hi)
 }
 
+/// One side's full `score#` contribution, fused:
+/// `[len − n', len] · ent#(counts, n')` with `n' = min(n, len)`, where
+/// `len` is the side's row count (so `Σ counts = len`).
+///
+/// This is the hot path of the candidate sweep — it runs once per side
+/// per candidate per feature per live disjunct — so the Optimal
+/// transformer takes a specialized route that produces **bit-identical**
+/// results to the compositional
+/// `Interval::new(len − n', len) * ent_interval_from_counts(..)` form:
+///
+/// * every Optimal class interval `ι = [max(0, c−n)/m, min(c, m)/m]`
+///   lies in `[0, 1]`, so `ι(1 − ι)`'s interval extremes are exactly the
+///   corner products `lo·(1−hi)` and `hi·(1−lo)` — the same two f64
+///   multiplications the generic four-product min/max fold would select;
+/// * both `size` and `ent` are non-negative, so the outer product's
+///   extremes are again the corner products.
+///
+/// Selecting the same products of the same operands yields the same
+/// bits; only the discarded products and the per-class `Interval`
+/// constructions (with their order/NaN asserts) are elided. The Natural
+/// transformer can leave the unit range (its `1 − ι` may straddle zero),
+/// so it keeps the compositional form.
+pub fn side_score_from_counts(
+    counts: &[u32],
+    len: usize,
+    n: usize,
+    transformer: CprobTransformer,
+) -> Interval {
+    let n = n.min(len);
+    let size_lo = (len - n) as f64;
+    let size_hi = len as f64;
+    if transformer != CprobTransformer::Optimal {
+        return Interval::new(size_lo, size_hi) * ent_interval_from_counts(counts, n, transformer);
+    }
+    let total: usize = counts.iter().map(|&c| c as usize).sum();
+    let n = n.min(total);
+    if n == total {
+        // ent# = [0, 0.25k]; both factors non-negative, corner products.
+        return Interval::new(size_lo * 0.0, size_hi * (0.25 * counts.len() as f64));
+    }
+    let m = (total - n) as f64;
+    let (mut lo, mut hi) = (0.0f64, 0.0f64);
+    for &c in counts {
+        let l = (c as usize).saturating_sub(n) as f64 / m;
+        let h = (c as f64).min(m) / m;
+        lo += l * (1.0 - h);
+        hi += h * (1.0 - l);
+    }
+    Interval::new(size_lo * lo, size_hi * hi)
+}
+
 impl fmt::Display for AbstractSet {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         write!(f, "<|T|={}, n={}>", self.base.len(), self.n)
@@ -520,6 +571,32 @@ mod tests {
         // n = total corner case.
         let corner = ent_interval_from_counts(&[2, 3], 5, CprobTransformer::Optimal);
         assert_eq!(corner, Interval::new(0.0, 0.5));
+    }
+
+    /// The fused sweep hot path must reproduce the compositional
+    /// `[len − n', len] · ent#` **bit-for-bit** — frontier determinism
+    /// (and the pinned bench ladders) depend on exact float equality,
+    /// not approximate agreement.
+    #[test]
+    fn fused_side_score_is_bit_identical() {
+        let mut rng = StdRng::seed_from_u64(0xC0FFEE);
+        for _ in 0..2000 {
+            let k = rng.random_range(1..5usize);
+            let counts: Vec<u32> = (0..k).map(|_| rng.random_range(0..40)).collect();
+            let len: usize = counts.iter().map(|&c| c as usize).sum();
+            let n = rng.random_range(0..=len + 3);
+            for t in [CprobTransformer::Optimal, CprobTransformer::Natural] {
+                let fused = side_score_from_counts(&counts, len, n, t);
+                let n2 = n.min(len);
+                let reference = Interval::new((len - n2) as f64, len as f64)
+                    * ent_interval_from_counts(&counts, n2, t);
+                assert_eq!(
+                    (fused.lb().to_bits(), fused.ub().to_bits()),
+                    (reference.lb().to_bits(), reference.ub().to_bits()),
+                    "fused {fused} != compositional {reference} for counts {counts:?}, n {n}, {t:?}"
+                );
+            }
+        }
     }
 
     #[test]

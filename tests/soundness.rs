@@ -79,6 +79,7 @@ fn theorem_4_11_terminal_coverage() {
                 CprobTransformer::Optimal,
                 true,
                 true,
+                true,
                 &ExecContext::sequential(),
             );
             assert!(out.aborted.is_none());
