@@ -147,7 +147,7 @@ pub fn enumerate_robustness_in(
     let full = Subset::full(ds);
     let reference = dtrace_label(ds, &full, x, depth);
     let models = AtomicU64::new(1); // the unpoisoned model itself
-    let rows: Vec<RowId> = (0..ds.len() as RowId).collect();
+    let rows: Vec<RowId> = ds.rows().collect();
     let subtrees: Vec<usize> = (0..rows.len()).collect();
     for size in 1..=n {
         // Fan out over the first (smallest) removed row; the rest of the
@@ -289,14 +289,18 @@ pub fn enumerate_flip_robustness_in(
     let reference = dtrace_label(ds, &Subset::full(ds), x, depth);
     let base_labels: Vec<ClassId> = ds.labels().to_vec();
     let models = AtomicU64::new(1);
+    // Slot-stable live rows: labels stay indexed by slot id, the DFS
+    // walks positions into this list so dead slots are never flipped.
+    let live_rows: Vec<RowId> = ds.rows().collect();
     // Top-level choices in the sequential DFS's order: first flipped row
-    // ascending, then its replacement label ascending.
-    let roots: Vec<(usize, ClassId)> = (0..ds.len())
-        .flat_map(|row| {
-            let original = base_labels[row];
+    // ascending (as a position into `live_rows`), then its replacement
+    // label ascending.
+    let roots: Vec<(usize, ClassId)> = (0..live_rows.len())
+        .flat_map(|i| {
+            let original = base_labels[live_rows[i] as usize];
             (0..k as ClassId)
                 .filter(move |&c| c != original)
-                .map(move |c| (row, c))
+                .map(move |c| (i, c))
         })
         .collect();
     for size in 1..=n {
@@ -304,20 +308,21 @@ pub fn enumerate_flip_robustness_in(
             ctx,
             &roots,
             &models,
-            |&(row, new_label), local_models, give_up| {
-                if ds.len() - row < size {
-                    return None; // not enough rows after `row` for this size
+            |&(i, new_label), local_models, give_up| {
+                if live_rows.len() - i < size {
+                    return None; // not enough rows after `i` for this size
                 }
                 let mut labels = base_labels.clone();
-                labels[row] = new_label;
+                labels[live_rows[i] as usize] = new_label;
                 search_flips(
                     ds,
                     x,
                     depth,
                     reference,
+                    &live_rows,
                     &mut labels,
                     size - 1,
-                    row + 1,
+                    i + 1,
                     local_models,
                     give_up,
                 )
@@ -338,14 +343,16 @@ pub fn enumerate_flip_robustness_in(
 }
 
 /// Depth-first enumeration of exactly `remaining` more flips starting at
-/// row `from`; `labels` holds the current relabeling. `give_up` is
-/// polled at every node; a `true` abandons the subtree.
+/// position `from` into `live_rows`; `labels` holds the current
+/// relabeling, indexed by slot id. `give_up` is polled at every node; a
+/// `true` abandons the subtree.
 #[allow(clippy::too_many_arguments)]
 fn search_flips(
     ds: &Dataset,
     x: &[f64],
     depth: usize,
     reference: ClassId,
+    live_rows: &[RowId],
     labels: &mut Vec<ClassId>,
     remaining: usize,
     from: usize,
@@ -354,14 +361,17 @@ fn search_flips(
 ) -> Option<EnumVerdict> {
     if remaining == 0 {
         *models += 1;
-        let rows: Vec<(Vec<f64>, ClassId)> = (0..ds.len() as RowId)
-            .map(|r| (ds.row_values(r), labels[r as usize]))
+        let rows: Vec<(Vec<f64>, ClassId)> = live_rows
+            .iter()
+            .map(|&r| (ds.row_values(r), labels[r as usize]))
             .collect();
         let flipped =
             Dataset::from_rows(ds.schema().clone(), &rows).expect("relabeling stays valid");
         let label = dtrace_label(&flipped, &Subset::full(&flipped), x, depth);
         if label != reference {
-            let removed: Vec<RowId> = (0..ds.len() as RowId)
+            let removed: Vec<RowId> = live_rows
+                .iter()
+                .copied()
                 .filter(|&r| labels[r as usize] != ds.label(r))
                 .collect();
             return Some(EnumVerdict::Broken {
@@ -375,7 +385,8 @@ fn search_flips(
     if give_up() {
         return None;
     }
-    for row in from..ds.len() {
+    for i in from..live_rows.len() {
+        let row = live_rows[i] as usize;
         let original = labels[row];
         for new_label in 0..ds.n_classes() as ClassId {
             if new_label == original {
@@ -387,9 +398,10 @@ fn search_flips(
                 x,
                 depth,
                 reference,
+                live_rows,
                 labels,
                 remaining - 1,
-                row + 1,
+                i + 1,
                 models,
                 give_up,
             );

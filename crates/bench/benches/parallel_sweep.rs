@@ -104,6 +104,8 @@ struct ModeStats {
     certify_calls: u64,
     cache_hits: u64,
     cache_shortcircuits: u64,
+    cache_transfers: u64,
+    cache_invalidations: u64,
     cache_hit_rate: f64,
     subsumption_pruned: u64,
     frontier_peak_disjuncts: usize,
@@ -146,6 +148,8 @@ fn run_mode(
             certify_calls: m.certify_calls(),
             cache_hits: m.cache_hits(),
             cache_shortcircuits: m.cache_shortcircuits(),
+            cache_transfers: m.cache_transfers(),
+            cache_invalidations: m.cache_invalidations(),
             cache_hit_rate: m.cache_hit_rate(),
             subsumption_pruned: m.disjuncts_subsumed(),
             frontier_peak_disjuncts: m.peak_disjuncts(),
@@ -283,6 +287,8 @@ fn main() {
   "certify_calls_cached": {},
   "cache_hits": {},
   "cache_shortcircuits": {},
+  "cache_transfers": {},
+  "cache_invalidations": {},
   "cache_hit_rate": {:.3},
   "subsumption_pruned": {},
   "split_memo_hits": {},
@@ -312,6 +318,8 @@ fn main() {
         cached_stats.certify_calls,
         cached_stats.cache_hits,
         cached_stats.cache_shortcircuits,
+        cached_stats.cache_transfers,
+        cached_stats.cache_invalidations,
         cached_stats.cache_hit_rate,
         cached_stats.subsumption_pruned,
         cached_stats.split_memo_hits,

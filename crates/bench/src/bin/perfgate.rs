@@ -7,7 +7,8 @@
 //! Exits non-zero when the candidate's `identical_ladders` is not `true`
 //! or any gated counter (`certify_calls_cached`, `subsumption_pruned`,
 //! `split_memo_hits`, `split_memo_misses`, `interner_hits`,
-//! `arena_resets`) drifts from the committed baseline. Counter equality
+//! `arena_resets`, `cache_transfers`, `cache_invalidations`) drifts
+//! from the committed baseline. Counter equality
 //! — never wall-clock — keeps the gate host-independent: a slow CI
 //! runner cannot fail it, but a change that silently disables the
 //! certification cache, the subsumption pass, the `bestSplit#` memo,

@@ -111,7 +111,9 @@ impl HarnessOptions {
     /// and truncates the test side to `points` rows.
     pub fn load(&self, bench: Benchmark) -> (Dataset, Vec<Vec<f64>>) {
         let (train, test) = bench.load(self.scale(), self.seed);
-        let points: Vec<Vec<f64>> = (0..test.len().min(self.points) as u32)
+        let points: Vec<Vec<f64>> = test
+            .rows()
+            .take(self.points)
             .map(|r| test.row_values(r))
             .collect();
         (train, points)

@@ -350,6 +350,8 @@ pub fn matrix_json(report: &MatrixReport) -> String {
     "cache_hits": {},
     "cache_shortcircuits": {},
     "cache_misses": {},
+    "cache_transfers": {},
+    "cache_invalidations": {},
     "subsumption_pruned": {},
     "split_memo_hits": {},
     "split_memo_misses": {},
@@ -373,6 +375,8 @@ pub fn matrix_json(report: &MatrixReport) -> String {
         t.cache_hits,
         t.cache_shortcircuits,
         t.cache_misses,
+        t.cache_transfers,
+        t.cache_invalidations,
         t.disjuncts_subsumed,
         t.split_memo_hits,
         t.split_memo_misses,
@@ -441,6 +445,8 @@ fn cell_json(c: &MatrixCell, pad: &str) -> String {
 {pad}  "cache_hits": {},
 {pad}  "cache_shortcircuits": {},
 {pad}  "cache_misses": {},
+{pad}  "cache_transfers": {},
+{pad}  "cache_invalidations": {},
 {pad}  "subsumption_pruned": {},
 {pad}  "split_memo_hits": {},
 {pad}  "split_memo_misses": {},
@@ -464,6 +470,8 @@ fn cell_json(c: &MatrixCell, pad: &str) -> String {
         m.cache_hits,
         m.cache_shortcircuits,
         m.cache_misses,
+        m.cache_transfers,
+        m.cache_invalidations,
         m.disjuncts_subsumed,
         m.split_memo_hits,
         m.split_memo_misses,

@@ -67,13 +67,23 @@ pub struct GateViolation {
 /// would. `pool_reuse_count` is deliberately *not* gated: it is `null`
 /// on 1-core hosts (the multi-thread rep is skipped there), so exact
 /// equality would make the gate host-dependent.
-pub const GATED_COUNTERS: [&str; 6] = [
+/// `cache_transfers` / `cache_invalidations` count certificates carried
+/// across (or dropped at) dataset-epoch boundaries: the stock sweep never
+/// mutates its dataset, so the baseline pins both at 0 — a change that
+/// starts transferring (or invalidating) state on the *static* path is
+/// exactly the kind of stale-cache bug the epoch stamps exist to catch,
+/// and fails the gate. The drift path's non-zero counts live in
+/// `BENCH_drift.json`, which CI holds to its committed reference
+/// (timings stripped) the same way it holds `BENCH_split.json`.
+pub const GATED_COUNTERS: [&str; 8] = [
     "certify_calls_cached",
     "subsumption_pruned",
     "split_memo_hits",
     "split_memo_misses",
     "interner_hits",
     "arena_resets",
+    "cache_transfers",
+    "cache_invalidations",
 ];
 
 /// Checks a freshly generated `BENCH_sweep.json` (`candidate`) against
@@ -131,6 +141,8 @@ mod tests {
   "certify_calls_cached": 32,
   "speedup": null,
   "cache_hit_rate": 0.475,
+  "cache_transfers": 0,
+  "cache_invalidations": 0,
   "subsumption_pruned": 1234,
   "split_memo_hits": 17,
   "split_memo_misses": 547,
@@ -223,6 +235,22 @@ mod tests {
         let with_count = DOC.replace("\"pool_reuse_count\": null", "\"pool_reuse_count\": 12");
         assert!(check_sweep_gate(DOC, &with_count).is_empty());
         assert!(check_sweep_gate(&with_count, DOC).is_empty());
+    }
+
+    #[test]
+    fn gate_catches_epoch_counter_drift_on_the_static_path() {
+        // The stock sweep never mutates its dataset: certificates that
+        // start transferring (or getting invalidated) there mean the
+        // static path is crossing epoch boundaries it should never see.
+        let transferring = DOC.replace("\"cache_transfers\": 0", "\"cache_transfers\": 5");
+        let v = check_sweep_gate(DOC, &transferring);
+        assert_eq!(v.len(), 1);
+        assert_eq!(v[0].field, "cache_transfers");
+        assert!(v[0].detail.contains("baseline 0 != candidate 5"));
+        let invalidating = DOC.replace("\"cache_invalidations\": 0", "\"cache_invalidations\": 2");
+        let v = check_sweep_gate(DOC, &invalidating);
+        assert_eq!(v.len(), 1);
+        assert_eq!(v[0].field, "cache_invalidations");
     }
 
     #[test]

@@ -28,8 +28,14 @@ impl std::error::Error for CliError {}
 
 impl Args {
     /// Boolean flags: present or absent, never followed by a value.
-    const BOOL_FLAGS: &'static [&'static str] =
-        &["no-cache", "no-subsume", "no-memo", "no-simd", "list"];
+    const BOOL_FLAGS: &'static [&'static str] = &[
+        "no-cache",
+        "no-subsume",
+        "no-memo",
+        "no-simd",
+        "no-transfer",
+        "list",
+    ];
 
     /// Parses `argv` (without the program name).
     ///
@@ -186,6 +192,14 @@ impl Args {
     /// `--no-cache`/`--no-subsume`/`--no-memo`).
     pub fn no_simd(&self) -> bool {
         self.options.contains_key("no-simd")
+    }
+
+    /// Whether `--no-transfer` was given: disables cross-epoch
+    /// certificate transfer in `antidote drift`, re-certifying every
+    /// epoch from a cold cache (the escape hatch mirroring
+    /// `--no-cache`; verdicts must be bit-identical either way).
+    pub fn no_transfer(&self) -> bool {
+        self.options.contains_key("no-transfer")
     }
 }
 
@@ -388,5 +402,18 @@ mod tests {
         assert!(a.no_cache() && a.no_subsume() && a.no_memo() && a.no_simd());
         assert_eq!(a.threads().unwrap(), 2);
         assert!(Args::parse(argv("sweep --no-simd true")).is_err());
+    }
+
+    #[test]
+    fn no_transfer_flag_takes_no_value() {
+        let a = Args::parse(argv("drift")).unwrap();
+        assert!(!a.no_transfer(), "certificate transfer is on by default");
+        let a = Args::parse(argv("drift --no-transfer")).unwrap();
+        assert!(a.no_transfer());
+        // Composes with the sibling escape hatches and value options.
+        let a = Args::parse(argv("drift --no-transfer --no-memo --threads 2")).unwrap();
+        assert!(a.no_transfer() && a.no_memo());
+        assert_eq!(a.threads().unwrap(), 2);
+        assert!(Args::parse(argv("drift --no-transfer true")).is_err());
     }
 }

@@ -6,6 +6,7 @@
 //! ```text
 //! antidote certify  --dataset wdbc --depth 2 --n 8 --domain disjuncts [--index 0]
 //! antidote sweep    --dataset iris --depth 2 --domain box [--points 30] [--timeout 10]
+//! antidote drift    --dataset iris --depth 2 --steps 3 --mutate 0.01 [--ops removal|mixed] [--no-transfer]
 //! antidote matrix   [--scenarios blobs,onehot] [--threads 4] [--out-dir bench-out]
 //! antidote accuracy --dataset mnist17-binary [--scale paper]
 //! antidote attack   --dataset mammo --depth 2 --budget 16 [--index 0]
@@ -54,6 +55,7 @@ const USAGE: &str = "usage:
   antidote forest   --dataset <id> --depth <d> --n <n> [--trees t] [--features f] [--index i]
   antidote tree     --dataset <id> --depth <d> [--dot true]
   antidote sweep    --dataset <id> --depth <d> [--domain ...] [--points k] [--timeout secs] [--no-cache] [--no-subsume] [--no-memo] [--no-simd]
+  antidote drift    --dataset <id> --depth <d> [--steps k] [--mutate frac] [--ops removal|mixed] [--points k] [--timeout secs] [--no-transfer]
   antidote matrix   [--scenarios a,b,...] [--out-dir dir] [--seed s] [--list]
   antidote accuracy --dataset <id> [--scale small|paper]
   antidote attack   --dataset <id> --depth <d> --budget <n> [--index i]
@@ -66,6 +68,11 @@ certify/sweep prune subsumed frontier disjuncts unless --no-subsume,
 memoize bestSplit# per certify call unless --no-memo, and use the
 chunked SIMD word kernels unless --no-simd (scalar fallback,
 bit-identical results);
+drift replays a seeded mutation script (--steps deltas, each touching
+--mutate of the live rows; --ops removal keeps certificate transfer
+sound, mixed adds flips/appends that invalidate it) and re-runs the
+ladder each epoch, carrying certificates across mutations unless
+--no-transfer (bit-identical verdicts, cold cache per epoch);
 matrix runs every registered scenario x {remove,flip} x
 {box,disjuncts,hybrid8} and writes BENCH_<scenario>.json plus
 BENCH_matrix.json to --out-dir (default .); datasets: iris, mammo, wdbc,
@@ -79,6 +86,7 @@ fn run(argv: Vec<String>) -> Result<(), CliError> {
         "forest" => cmd_forest(&args),
         "tree" => cmd_tree(&args),
         "sweep" => cmd_sweep(&args),
+        "drift" => cmd_drift(&args),
         "matrix" => cmd_matrix(&args),
         "accuracy" => cmd_accuracy(&args),
         "attack" => cmd_attack(&args),
@@ -330,6 +338,98 @@ fn cmd_sweep(args: &Args) -> Result<(), CliError> {
     Ok(())
 }
 
+fn cmd_drift(args: &Args) -> Result<(), CliError> {
+    use antidote_core::{drift_sweep_in, DriftConfig};
+    use antidote_scenarios::MutationScript;
+
+    let (train, test) = load(args)?;
+    let depth = args.get_num("depth", 2usize)?;
+    let points = args.get_num("points", test.len())?.min(test.len());
+    let timeout = args.get_num("timeout", 10u64)?;
+    let steps = args.get_num("steps", 3usize)?;
+    let fraction = args.get_num("mutate", 0.01f64)?;
+    let seed = args.get_num("seed", 0u64)?;
+    let script = match args.get_or("ops", "removal") {
+        "removal" => MutationScript::removal(steps, fraction, seed),
+        "mixed" => MutationScript::mixed(steps, fraction, seed),
+        other => {
+            return Err(CliError(format!(
+                "unknown --ops '{other}'; expected removal|mixed"
+            )))
+        }
+    };
+    let deltas = script.generate(&train);
+    let cfg = DriftConfig {
+        sweep: SweepConfig {
+            depth,
+            domain: args.domain()?,
+            timeout: (timeout > 0).then(|| Duration::from_secs(timeout)),
+            threads: args.threads()?,
+            subsume: !args.no_subsume(),
+            memo: !args.no_memo(),
+            simd: !args.no_simd(),
+            ..SweepConfig::default()
+        },
+        transfer: !args.no_transfer(),
+    };
+    let xs: Vec<Vec<f64>> = (0..points as u32).map(|r| test.row_values(r)).collect();
+    let parent = antidote_core::ExecContext::new().threads(cfg.sweep.threads);
+    println!(
+        "# drift: dataset |T|={}, {} test points, depth {depth}, domain {}, {} mutation epoch(s) \
+         ({} of rows per epoch, {} ops), transfer {}",
+        train.len(),
+        points,
+        cfg.sweep.domain.id(),
+        deltas.len(),
+        fraction,
+        args.get_or("ops", "removal"),
+        if cfg.transfer { "on" } else { "off" }
+    );
+    println!(
+        "{:>6} {:>6} {:>14} {:>8} {:>10} {:>13} {:>13}",
+        "epoch", "|T|", "mutation", "frontier", "transfers", "invalidations", "abstract_runs"
+    );
+    let reports = drift_sweep_in(&train, &xs, &deltas, &cfg, &parent)
+        .map_err(|e| CliError(format!("applying mutation script: {e}")))?;
+    for r in &reports {
+        let mutation = match &r.summary {
+            None => "(cold)".to_string(),
+            Some(s) => format!("+{}/-{}/~{}", s.appended, s.removed.len(), s.flipped.len()),
+        };
+        let frontier = r
+            .ladder
+            .iter()
+            .filter(|p| p.verified > 0)
+            .map(|p| p.n)
+            .max()
+            .unwrap_or(0);
+        // Probes answered by running the abstract learner rather than a
+        // cache short-circuit — the cost the transferred bounds save.
+        let runs = r.metrics.certify_calls + r.metrics.cache_hits - r.metrics.cache_shortcircuits;
+        println!(
+            "{:>6} {:>6} {:>14} {:>8} {:>10} {:>13} {:>13}",
+            r.epoch,
+            r.train_rows,
+            mutation,
+            frontier,
+            r.metrics.cache_transfers,
+            r.metrics.cache_invalidations,
+            runs,
+        );
+    }
+    let m = parent.metrics();
+    println!(
+        "# totals: {} certify call(s), {} cache hit(s) ({} short-circuit), \
+         {} certificate(s) transferred, {} invalidated",
+        m.certify_calls(),
+        m.cache_hits(),
+        m.cache_shortcircuits(),
+        m.cache_transfers(),
+        m.cache_invalidations(),
+    );
+    Ok(())
+}
+
 fn cmd_matrix(args: &Args) -> Result<(), CliError> {
     use antidote_bench::matrix::{run_matrix, write_artifacts, MatrixConfig, DOMAINS};
     use antidote_scenarios::builtin_registry;
@@ -568,6 +668,26 @@ mod tests {
     #[test]
     fn accuracy_runs() {
         assert!(run(argv("accuracy --dataset iris")).is_ok());
+    }
+
+    #[test]
+    fn drift_runs_end_to_end() {
+        assert!(run(argv(
+            "drift --dataset iris --depth 1 --points 3 --steps 2 --threads 1 --timeout 0"
+        ))
+        .is_ok());
+        assert!(run(argv(
+            "drift --dataset iris --depth 1 --points 3 --steps 2 --threads 1 --timeout 0 \
+             --no-transfer"
+        ))
+        .is_ok());
+        assert!(run(argv(
+            "drift --dataset iris --depth 1 --points 2 --steps 1 --ops mixed --mutate 0.05 \
+             --threads 1 --timeout 0"
+        ))
+        .is_ok());
+        assert!(run(argv("drift --dataset iris --ops nope")).is_err());
+        assert!(run(argv("drift --dataset iris --mutate nope")).is_err());
     }
 
     #[test]

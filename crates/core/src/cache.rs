@@ -46,12 +46,26 @@
 //! out). Direct users of `Certifier::certify_cached` get short-circuits
 //! unconditionally: the answers are always *sound*, they just bypass
 //! resource accounting.
+//!
+//! **Epoch stamping (DESIGN.md §11).** Every cache is stamped with the
+//! [`Dataset::epoch`] it answers for, and `certify_cached` returns a hard
+//! [`EpochMismatch`] error — in release builds too — when the stamps
+//! disagree. A mutated dataset therefore can never silently read another
+//! epoch's verdicts. When the dataset *does* drift, [`CertCache::transfer`]
+//! carries what remains sound across the mutation: for a pure-removal
+//! delta `R`, a point certified `Robust(m)` at epoch `e` transfers to
+//! epoch `e+1` as `Robust(m − |R|)` (the removals already spent part of
+//! the budget). Everything else — traces, witnesses, `min_unknown`, exact
+//! memos, and any certificate crossing an append or label flip — is
+//! invalidated and re-proved fresh.
 
 use crate::certify::{Outcome, Verdict};
-use antidote_data::{ClassId, Dataset, RowId, Subset};
+use crate::engine::RunMetrics;
+use antidote_data::{ClassId, Dataset, DeltaSummary, RowId, Subset};
 use antidote_domains::AbstractSet;
 use antidote_tree::dtrace::{dtrace_label, dtrace_recorded, TraceStep};
 use std::collections::BTreeMap;
+use std::fmt;
 use std::sync::{Arc, Mutex};
 
 /// The memoized, budget-independent part of certifying one test point:
@@ -88,7 +102,54 @@ struct PointEntry {
     witness_attempted: bool,
     /// Exact memo of complete verdicts per probed budget.
     verdicts: BTreeMap<usize, Verdict>,
+    /// Reference label carried by [`CertCache::transfer`] — set only on
+    /// entries whose `max_robust` is a transferred (not freshly proved)
+    /// bound, before any trace is derived at the new epoch.
+    transferred_label: Option<ClassId>,
 }
+
+impl PointEntry {
+    /// Whether the entry carries any cached state at all.
+    fn has_state(&self) -> bool {
+        self.trace.is_some()
+            || self.max_robust.is_some()
+            || self.min_unknown.is_some()
+            || self.witness.is_some()
+            || self.witness_attempted
+            || !self.verdicts.is_empty()
+            || self.transferred_label.is_some()
+    }
+}
+
+/// A certificate cache stamped for one dataset epoch was consulted
+/// against a dataset at a different epoch.
+///
+/// This is the hard (release-mode) replacement for the old debug-only
+/// key assertion: reusing cached verdicts across a mutation is unsound,
+/// so the mismatch is an error, never a silent stale answer. Re-key with
+/// [`CertCache::for_dataset`], or carry sound state across the mutation
+/// with [`CertCache::transfer`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct EpochMismatch {
+    /// The epoch the cache was stamped for.
+    pub cache_epoch: u64,
+    /// The epoch of the dataset it was consulted against.
+    pub dataset_epoch: u64,
+}
+
+impl fmt::Display for EpochMismatch {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "certificate cache stamped for dataset epoch {} used against epoch {} — \
+             re-key with CertCache::for_dataset or carry sound state across the \
+             mutation with CertCache::transfer",
+            self.cache_epoch, self.dataset_epoch
+        )
+    }
+}
+
+impl std::error::Error for EpochMismatch {}
 
 /// Cross-rung certificate cache: one `PointEntry` per test point.
 ///
@@ -106,25 +167,47 @@ struct PointEntry {
 ///     quantum: Some(0.1),
 /// }, 7);
 /// let certifier = Certifier::new(&ds).depth(1).domain(DomainKind::Disjuncts);
-/// let cache = CertCache::new(1);
+/// let cache = CertCache::for_dataset(&ds, 1);
 /// let ctx = ExecContext::sequential();
 /// // First probe is a miss (full derivation)…
-/// assert!(certifier.certify_cached(&[0.5], 16, 0, &cache, &ctx).is_robust());
+/// let out = certifier.certify_cached(&[0.5], 16, 0, &cache, &ctx).unwrap();
+/// assert!(out.is_robust());
 /// // …a smaller budget is monotone-implied and certifier-free.
-/// assert!(certifier.certify_cached(&[0.5], 3, 0, &cache, &ctx).is_robust());
+/// let out = certifier.certify_cached(&[0.5], 3, 0, &cache, &ctx).unwrap();
+/// assert!(out.is_robust());
 /// assert_eq!(ctx.metrics().cache_shortcircuits(), 1);
 /// ```
 #[derive(Debug)]
 pub struct CertCache {
     points: Vec<Mutex<PointEntry>>,
+    /// The [`Dataset::epoch`] this cache's state is valid for.
+    epoch: u64,
 }
 
 impl CertCache {
-    /// A cache for `n_points` test points, all entries empty.
+    /// A cache for `n_points` test points, all entries empty, stamped for
+    /// epoch 0. Only valid against a never-mutated dataset — prefer
+    /// [`CertCache::for_dataset`], which reads the stamp off the dataset.
     pub fn new(n_points: usize) -> Self {
+        CertCache::with_epoch(0, n_points)
+    }
+
+    /// An empty cache stamped for `ds`'s current epoch.
+    pub fn for_dataset(ds: &Dataset, n_points: usize) -> Self {
+        CertCache::with_epoch(ds.epoch(), n_points)
+    }
+
+    /// An empty cache stamped for an explicit epoch.
+    pub fn with_epoch(epoch: u64, n_points: usize) -> Self {
         CertCache {
             points: (0..n_points).map(|_| Mutex::default()).collect(),
+            epoch,
         }
+    }
+
+    /// The dataset epoch this cache answers for.
+    pub fn epoch(&self) -> u64 {
+        self.epoch
     }
 
     /// Number of test points this cache covers.
@@ -213,6 +296,79 @@ impl CertCache {
             return Some(Verdict::Unknown);
         }
         None
+    }
+
+    /// Answers budget `n` from a *transferred* `Robust` bound, before any
+    /// trace exists at this epoch: returns the verdict together with the
+    /// carried reference label (sound for the new dataset because the
+    /// transfer rule itself guarantees the label survives the removal —
+    /// see [`CertCache::transfer`]).
+    pub fn transferred_lookup(&self, point: usize, n: usize) -> Option<(Verdict, ClassId)> {
+        let e = self.entry(point);
+        let label = e.transferred_label?;
+        e.max_robust
+            .is_some_and(|r| n <= r)
+            .then_some((Verdict::Robust, label))
+    }
+
+    /// Carries this cache's sound certificates across one dataset
+    /// mutation, returning a fresh cache stamped for `new_ds`'s epoch.
+    ///
+    /// The transfer rule (pinned against the brute-force oracle in
+    /// `tests/soundness.rs`, soundness argument in DESIGN.md §11): for a
+    /// **pure-removal** delta `R`, `Robust(m)` at epoch `e` with `m ≥ |R|`
+    /// becomes `Robust(m − |R|)` at epoch `e+1` — any `(m − |R|)`-removal
+    /// of `L ∖ R` is an at-most-`m`-removal of `L`, and `L ∖ R` itself is
+    /// within the old budget, so the reference label is preserved too.
+    /// Deltas that append or flip labels transfer nothing (an appended or
+    /// relabelled row can change verdicts in either direction), and no
+    /// other state is carried: traces, witnesses, `min_unknown`, and
+    /// exact memos all describe the old training set.
+    ///
+    /// Each carried point counts one `cache_transfers`; each point whose
+    /// state is dropped counts one `cache_invalidations`.
+    ///
+    /// # Panics
+    ///
+    /// Panics when `new_ds` is not exactly one epoch ahead of the cache —
+    /// transfers are per-mutation, chained delta by delta.
+    pub fn transfer(
+        &self,
+        summary: &DeltaSummary,
+        new_ds: &Dataset,
+        metrics: &RunMetrics,
+    ) -> CertCache {
+        assert_eq!(
+            new_ds.epoch(),
+            self.epoch + 1,
+            "CertCache::transfer crosses exactly one mutation: cache at epoch {}, dataset at {}",
+            self.epoch,
+            new_ds.epoch(),
+        );
+        let fresh = CertCache::with_epoch(new_ds.epoch(), self.points.len());
+        let shrink = summary.removed.len();
+        for (point, slot) in self.points.iter().enumerate() {
+            let e = slot.lock().expect("cache entry lock poisoned");
+            let label = e.trace.as_ref().map(|t| t.label).or(e.transferred_label);
+            let carried = match (summary.pure_removal(), label, e.max_robust) {
+                (true, Some(label), Some(m)) if m >= shrink => Some((label, m - shrink)),
+                _ => None,
+            };
+            match carried {
+                Some((label, bound)) => {
+                    let mut ne = fresh.entry(point);
+                    ne.transferred_label = Some(label);
+                    ne.max_robust = Some(bound);
+                    metrics.add_cache_transfer();
+                }
+                None => {
+                    if e.has_state() {
+                        metrics.add_cache_invalidation();
+                    }
+                }
+            }
+        }
+        fresh
     }
 
     /// Records a probe's outcome. Only *complete* verdicts are cached —
@@ -310,9 +466,7 @@ fn removal_flips(ds: &Dataset, x: &[f64], depth: usize, label: ClassId, rows: &[
     if rows.is_empty() || rows.len() >= ds.len() {
         return false;
     }
-    let keep: Vec<RowId> = (0..ds.len() as RowId)
-        .filter(|r| !rows.contains(r))
-        .collect();
+    let keep: Vec<RowId> = ds.rows().filter(|r| !rows.contains(r)).collect();
     if keep.len() + rows.len() != ds.len() {
         return false; // `rows` had duplicates or out-of-range ids
     }
@@ -372,7 +526,7 @@ fn find_removal_witness(
 mod tests {
     use super::*;
     use crate::certify::RunStats;
-    use antidote_data::synth;
+    use antidote_data::{synth, DatasetDelta};
 
     fn outcome(verdict: Verdict, label: ClassId) -> Outcome {
         Outcome {
@@ -494,5 +648,126 @@ mod tests {
         // (bounded cost per sweep); record_witness still accepts directly.
         assert!(!cache.try_find_witness(0, &ds, &[5.0], 0, 13));
         assert!(cache.record_witness(0, &ds, &[5.0], 0, &[1, 2]));
+    }
+
+    #[test]
+    fn epoch_stamps_follow_the_dataset() {
+        let ds = synth::figure2();
+        assert_eq!(CertCache::new(3).epoch(), 0);
+        assert_eq!(CertCache::for_dataset(&ds, 3).epoch(), 0);
+        assert_eq!(CertCache::with_epoch(7, 3).epoch(), 7);
+        let next = ds.apply(DatasetDelta::new().remove(0)).unwrap();
+        assert_eq!(CertCache::for_dataset(&next, 3).epoch(), 1);
+    }
+
+    #[test]
+    fn transfer_carries_pure_removal_robust_bounds() {
+        let ds = synth::figure2();
+        let cache = CertCache::for_dataset(&ds, 3);
+        // Point 0: trace + full verdict interval + witness state.
+        let label = cache.trace(0, &ds, &[5.0], 1).label;
+        cache.record(0, 4, &outcome(Verdict::Robust, label));
+        cache.record(0, 9, &outcome(Verdict::Unknown, label));
+        // Point 1: a bound with no label source (no trace) cannot carry.
+        cache.record(1, 6, &outcome(Verdict::Robust, 0));
+        // Point 2: empty — counts toward neither counter.
+        let (next, summary) = ds
+            .apply_summarized(DatasetDelta::new().remove(1).remove(2))
+            .unwrap();
+        let metrics = RunMetrics::default();
+        let moved = cache.transfer(&summary, &next, &metrics);
+        assert_eq!(moved.epoch(), 1);
+        assert_eq!(metrics.cache_transfers(), 1);
+        assert_eq!(metrics.cache_invalidations(), 1);
+        // Robust(4) across a 2-row removal becomes Robust(2)…
+        assert_eq!(
+            moved.transferred_lookup(0, 2),
+            Some((Verdict::Robust, label))
+        );
+        assert_eq!(moved.lookup(0, 2), Some(Verdict::Robust));
+        // …but not beyond, and nothing else crossed the epoch.
+        assert_eq!(moved.transferred_lookup(0, 3), None);
+        assert_eq!(moved.lookup(0, 9), None, "min_unknown does not transfer");
+        assert!(moved.cached_trace(0).is_none(), "traces do not transfer");
+        assert_eq!(moved.transferred_lookup(1, 1), None);
+        assert_eq!(moved.transferred_lookup(2, 0), None);
+    }
+
+    #[test]
+    fn transfer_invalidates_across_appends_and_flips() {
+        let ds = synth::figure2();
+        for delta in [
+            DatasetDelta::new().append(&[7.0], 0).clone(),
+            DatasetDelta::new().flip_label(0, 0).clone(), // row 0 is black
+        ] {
+            let cache = CertCache::for_dataset(&ds, 2);
+            let label = cache.trace(0, &ds, &[5.0], 1).label;
+            cache.record(0, 5, &outcome(Verdict::Robust, label));
+            let (next, summary) = ds.apply_summarized(&delta).unwrap();
+            assert!(!summary.pure_removal());
+            let metrics = RunMetrics::default();
+            let moved = cache.transfer(&summary, &next, &metrics);
+            assert_eq!(metrics.cache_transfers(), 0);
+            assert_eq!(metrics.cache_invalidations(), 1);
+            assert_eq!(moved.transferred_lookup(0, 0), None);
+            assert_eq!(moved.lookup(0, 1), None);
+        }
+    }
+
+    #[test]
+    fn transfer_drops_bounds_smaller_than_the_removal() {
+        let ds = synth::figure2();
+        let cache = CertCache::for_dataset(&ds, 1);
+        let label = cache.trace(0, &ds, &[5.0], 1).label;
+        cache.record(0, 1, &outcome(Verdict::Robust, label));
+        let (next, summary) = ds
+            .apply_summarized(DatasetDelta::new().remove(0).remove(1))
+            .unwrap();
+        let metrics = RunMetrics::default();
+        let moved = cache.transfer(&summary, &next, &metrics);
+        assert_eq!(metrics.cache_transfers(), 0);
+        assert_eq!(metrics.cache_invalidations(), 1);
+        assert_eq!(moved.transferred_lookup(0, 0), None, "1 < |R| = 2");
+    }
+
+    #[test]
+    fn chained_transfers_keep_shrinking_the_bound() {
+        let ds = synth::figure2();
+        let cache = CertCache::for_dataset(&ds, 1);
+        let label = cache.trace(0, &ds, &[5.0], 1).label;
+        cache.record(0, 3, &outcome(Verdict::Robust, label));
+        let metrics = RunMetrics::default();
+        let (e1, s1) = ds.apply_summarized(DatasetDelta::new().remove(0)).unwrap();
+        let c1 = cache.transfer(&s1, &e1, &metrics);
+        // A transferred bound (label from `transferred_label`, no trace)
+        // itself transfers across the next pure removal.
+        let (e2, s2) = e1.apply_summarized(DatasetDelta::new().remove(1)).unwrap();
+        let c2 = c1.transfer(&s2, &e2, &metrics);
+        assert_eq!(c2.epoch(), 2);
+        assert_eq!(metrics.cache_transfers(), 2);
+        assert_eq!(c2.transferred_lookup(0, 1), Some((Verdict::Robust, label)));
+        assert_eq!(c2.transferred_lookup(0, 2), None);
+    }
+
+    #[test]
+    #[should_panic(expected = "exactly one mutation")]
+    fn transfer_must_cross_exactly_one_epoch() {
+        let ds = synth::figure2();
+        let cache = CertCache::for_dataset(&ds, 1);
+        let (e1, s1) = ds.apply_summarized(DatasetDelta::new().remove(0)).unwrap();
+        let e2 = e1.apply(&DatasetDelta::new()).unwrap();
+        let _ = cache.transfer(&s1, &e2, &RunMetrics::default());
+    }
+
+    #[test]
+    fn epoch_mismatch_error_renders_both_stamps() {
+        let err = EpochMismatch {
+            cache_epoch: 3,
+            dataset_epoch: 5,
+        };
+        let msg = err.to_string();
+        assert!(msg.contains("epoch 3"), "{msg}");
+        assert!(msg.contains("epoch 5"), "{msg}");
+        assert!(msg.contains("CertCache::transfer"), "{msg}");
     }
 }

@@ -1,6 +1,6 @@
 //! The certification front-end: [`Certifier`] and [`Outcome`].
 
-use crate::cache::{CachedTrace, CertCache};
+use crate::cache::{CachedTrace, CertCache, EpochMismatch};
 use crate::engine::ExecContext;
 use crate::learner::{run_abstract, Abort, DomainKind};
 use crate::verdict::all_terminals_dominated_by;
@@ -250,7 +250,18 @@ impl<'a> Certifier<'a> {
     /// cache; transient ones (`Timeout`/`DisjunctBudget`/`Cancelled`) are
     /// not. Absent per-instance timeouts, the answers are bit-identical
     /// to [`certify_in`](Certifier::certify_in) (see `cache` module docs
-    /// for the argument).
+    /// for the argument). A cache carried across a mutation by
+    /// [`CertCache::transfer`] additionally answers budgets inside the
+    /// transferred `Robust` bound as short-circuits before any trace is
+    /// derived at the new epoch.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`EpochMismatch`] — in release builds too — when `cache`
+    /// is stamped for a different [`Dataset::epoch`](antidote_data::Dataset::epoch)
+    /// than this certifier's dataset: cached verdicts describe the
+    /// training set they were proved against, and consulting them across
+    /// a mutation would silently return stale answers.
     ///
     /// # Panics
     ///
@@ -264,29 +275,44 @@ impl<'a> Certifier<'a> {
         point: usize,
         cache: &CertCache,
         ctx: &ExecContext,
-    ) -> Outcome {
+    ) -> Result<Outcome, EpochMismatch> {
+        if cache.epoch() != self.ds.epoch() {
+            return Err(EpochMismatch {
+                cache_epoch: cache.epoch(),
+                dataset_epoch: self.ds.epoch(),
+            });
+        }
         if let Some(trace) = cache.cached_trace(point) {
             cache.debug_check_key(point, x, self.depth);
             if let Some(verdict) = cache.lookup(point, n) {
                 ctx.metrics().add_cache_hit();
                 ctx.metrics().add_cache_shortcircuit();
-                return Outcome {
+                return Ok(Outcome {
                     verdict,
                     label: trace.label,
                     stats: RunStats::default(),
-                };
+                });
             }
             ctx.metrics().add_cache_hit();
             let out = self.certify_inner(x, n, ctx, Some(&trace));
             cache.record(point, n, &out);
-            out
+            Ok(out)
         } else {
+            if let Some((verdict, label)) = cache.transferred_lookup(point, n) {
+                ctx.metrics().add_cache_hit();
+                ctx.metrics().add_cache_shortcircuit();
+                return Ok(Outcome {
+                    verdict,
+                    label,
+                    stats: RunStats::default(),
+                });
+            }
             ctx.metrics().add_cache_miss();
             ctx.metrics().add_certify_call();
             let trace = cache.trace(point, self.ds, x, self.depth);
             let out = self.certify_inner(x, n, ctx, Some(&trace));
             cache.record(point, n, &out);
-            out
+            Ok(out)
         }
     }
 
@@ -526,7 +552,7 @@ mod tests {
         let ctx = ExecContext::sequential();
         // Ladder-order probes: each verdict and label must equal a fresh run.
         for n in [1usize, 2, 4, 8, 16, 32, 200] {
-            let cached = c.certify_cached(&[0.5], n, 0, &cache, &ctx);
+            let cached = c.certify_cached(&[0.5], n, 0, &cache, &ctx).unwrap();
             let fresh = c.certify(&[0.5], n);
             assert_eq!(cached.verdict, fresh.verdict, "n = {n}");
             assert_eq!(cached.label, fresh.label);
@@ -538,9 +564,10 @@ mod tests {
         assert_eq!(ctx.metrics().cache_hits(), 6);
         // Re-probing and monotone-implied budgets are certifier-free.
         let before = ctx.metrics().cache_shortcircuits();
-        assert!(c.certify_cached(&[0.5], 8, 0, &cache, &ctx).is_robust());
-        assert!(c.certify_cached(&[0.5], 3, 0, &cache, &ctx).is_robust());
-        assert!(!c.certify_cached(&[0.5], 250, 0, &cache, &ctx).is_robust());
+        let probe = |n: usize| c.certify_cached(&[0.5], n, 0, &cache, &ctx).unwrap();
+        assert!(probe(8).is_robust());
+        assert!(probe(3).is_robust());
+        assert!(!probe(250).is_robust());
         assert_eq!(ctx.metrics().cache_shortcircuits(), before + 3);
         assert_eq!(ctx.metrics().certify_calls(), 1, "still one derivation");
     }
@@ -552,12 +579,76 @@ mod tests {
         let cache = crate::CertCache::new(1);
         // A timed-out probe must not poison the cache…
         let ctx = ExecContext::sequential().timeout(Duration::ZERO);
-        let out = c.certify_cached(&ds.row_values(0), 16, 0, &cache, &ctx);
+        let out = c
+            .certify_cached(&ds.row_values(0), 16, 0, &cache, &ctx)
+            .unwrap();
         assert_eq!(out.verdict, Verdict::Timeout);
         // …so an unlimited re-probe runs the certifier for real.
         let ctx = ExecContext::sequential();
-        let out = c.certify_cached(&ds.row_values(0), 0, 0, &cache, &ctx);
+        let out = c
+            .certify_cached(&ds.row_values(0), 0, 0, &cache, &ctx)
+            .unwrap();
         assert_eq!(out.verdict, c.certify(&ds.row_values(0), 0).verdict);
+    }
+
+    #[test]
+    fn epoch_mismatch_is_a_hard_error_in_every_build() {
+        // The headline bugfix: before epochs, a cache built against the
+        // old dataset silently answered for the mutated one in release
+        // builds. This test runs with debug assertions off in CI's
+        // release suite, so the guard cannot regress into a debug_assert.
+        let ds = synth::figure2();
+        let cache = crate::CertCache::for_dataset(&ds, 1);
+        let ctx = ExecContext::sequential();
+        let c = Certifier::new(&ds).depth(1);
+        assert!(c.certify_cached(&[5.0], 1, 0, &cache, &ctx).is_ok());
+        let mutated = ds
+            .apply(antidote_data::DatasetDelta::new().remove(0))
+            .unwrap();
+        let c2 = Certifier::new(&mutated).depth(1);
+        let err = c2.certify_cached(&[5.0], 1, 0, &cache, &ctx).unwrap_err();
+        assert_eq!(
+            err,
+            EpochMismatch {
+                cache_epoch: 0,
+                dataset_epoch: 1
+            }
+        );
+        // The fresh-keyed cache works, and the stale one still answers
+        // for its own epoch.
+        let fresh = crate::CertCache::for_dataset(&mutated, 1);
+        assert!(c2.certify_cached(&[5.0], 1, 0, &fresh, &ctx).is_ok());
+        assert!(c.certify_cached(&[5.0], 1, 0, &cache, &ctx).is_ok());
+    }
+
+    #[test]
+    fn transferred_bound_short_circuits_before_any_trace_exists() {
+        let ds = blobs();
+        let c = Certifier::new(&ds).depth(1).domain(DomainKind::Disjuncts);
+        let cache = crate::CertCache::for_dataset(&ds, 1);
+        let ctx = ExecContext::sequential();
+        let out = c.certify_cached(&[0.5], 16, 0, &cache, &ctx).unwrap();
+        assert!(out.is_robust());
+        // Remove 3 rows; the Robust(16) certificate transfers as Robust(13).
+        let mut delta = antidote_data::DatasetDelta::new();
+        for r in [0, 1, 2] {
+            delta.remove(r);
+        }
+        let (mutated, summary) = ds.apply_summarized(&delta).unwrap();
+        let moved = cache.transfer(&summary, &mutated, ctx.metrics());
+        assert_eq!(ctx.metrics().cache_transfers(), 1);
+        let c2 = Certifier::new(&mutated)
+            .depth(1)
+            .domain(DomainKind::Disjuncts);
+        let calls = ctx.metrics().certify_calls();
+        let out = c2.certify_cached(&[0.5], 13, 0, &moved, &ctx).unwrap();
+        assert!(out.is_robust(), "answered from the transferred bound");
+        assert_eq!(out.label, c2.reference_label(&[0.5]));
+        assert_eq!(ctx.metrics().certify_calls(), calls, "no abstract run");
+        // Outside the bound the prover runs fresh against the new epoch.
+        let out = c2.certify_cached(&[0.5], 14, 0, &moved, &ctx).unwrap();
+        assert_eq!(out.verdict, c2.certify(&[0.5], 14).verdict);
+        assert_eq!(ctx.metrics().certify_calls(), calls + 1);
     }
 
     #[test]

@@ -54,6 +54,8 @@ pub struct RunMetrics {
     cache_hits: AtomicU64,
     cache_shortcircuits: AtomicU64,
     cache_misses: AtomicU64,
+    cache_transfers: AtomicU64,
+    cache_invalidations: AtomicU64,
     split_memo_hits: AtomicU64,
     split_memo_misses: AtomicU64,
     interner_hits: AtomicU64,
@@ -158,6 +160,34 @@ impl RunMetrics {
     /// Total cache misses.
     pub fn cache_misses(&self) -> u64 {
         self.cache_misses.load(Ordering::Relaxed)
+    }
+
+    /// Counts one certificate transfer: a per-point verdict bound carried
+    /// from a [`CertCache`] at epoch `e` into its successor at epoch
+    /// `e + 1` under the sound pure-removal transfer rule (budget shrunk
+    /// by the number of removed support rows; see `antidote_core::cache`).
+    ///
+    /// [`CertCache`]: crate::CertCache
+    pub fn add_cache_transfer(&self) {
+        self.cache_transfers.fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// Counts one certificate invalidation: cached per-point state that
+    /// could *not* be carried across an epoch boundary (the delta
+    /// appended or flipped rows, or the removal count exhausted the
+    /// certified budget) and was dropped for fresh re-certification.
+    pub fn add_cache_invalidation(&self) {
+        self.cache_invalidations.fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// Total certificates transferred across epoch boundaries.
+    pub fn cache_transfers(&self) -> u64 {
+        self.cache_transfers.load(Ordering::Relaxed)
+    }
+
+    /// Total certificates invalidated at epoch boundaries.
+    pub fn cache_invalidations(&self) -> u64 {
+        self.cache_invalidations.load(Ordering::Relaxed)
     }
 
     /// Counts one `bestSplit#` memo hit: a frontier disjunct whose
@@ -281,6 +311,8 @@ impl RunMetrics {
             cache_hits: self.cache_hits(),
             cache_shortcircuits: self.cache_shortcircuits(),
             cache_misses: self.cache_misses(),
+            cache_transfers: self.cache_transfers(),
+            cache_invalidations: self.cache_invalidations(),
             split_memo_hits: self.split_memo_hits(),
             split_memo_misses: self.split_memo_misses(),
             interner_hits: self.interner_hits(),
@@ -311,6 +343,10 @@ impl RunMetrics {
             .fetch_add(s.cache_shortcircuits, Ordering::Relaxed);
         self.cache_misses
             .fetch_add(s.cache_misses, Ordering::Relaxed);
+        self.cache_transfers
+            .fetch_add(s.cache_transfers, Ordering::Relaxed);
+        self.cache_invalidations
+            .fetch_add(s.cache_invalidations, Ordering::Relaxed);
         self.split_memo_hits
             .fetch_add(s.split_memo_hits, Ordering::Relaxed);
         self.split_memo_misses
@@ -349,6 +385,11 @@ pub struct MetricsSnapshot {
     pub cache_shortcircuits: u64,
     /// Cache misses.
     pub cache_misses: u64,
+    /// Certificates transferred across an epoch boundary (pure-removal
+    /// transfer rule; see `antidote_core::cache`).
+    pub cache_transfers: u64,
+    /// Certificates invalidated at an epoch boundary (no sound transfer).
+    pub cache_invalidations: u64,
     /// `bestSplit#` memo hits (per-certify-call memo, DESIGN.md §9.2).
     pub split_memo_hits: u64,
     /// `bestSplit#` memo misses.
@@ -865,6 +906,19 @@ mod tests {
         let child = ctx.child();
         child.metrics().add_cache_hit();
         assert_eq!(ctx.metrics().cache_hits(), 4);
+        // Epoch-boundary counters flow through snapshot and absorb too.
+        ctx.metrics().add_cache_transfer();
+        ctx.metrics().add_cache_transfer();
+        ctx.metrics().add_cache_invalidation();
+        assert_eq!(ctx.metrics().cache_transfers(), 2);
+        assert_eq!(ctx.metrics().cache_invalidations(), 1);
+        let snap = ctx.metrics().snapshot();
+        assert_eq!(snap.cache_transfers, 2);
+        assert_eq!(snap.cache_invalidations, 1);
+        let parent = ExecContext::new();
+        parent.metrics().absorb(&snap);
+        assert_eq!(parent.metrics().cache_transfers(), 2);
+        assert_eq!(parent.metrics().cache_invalidations(), 1);
     }
 
     #[test]

@@ -170,7 +170,7 @@ pub fn run_flip(
     // flip scoring is concrete-thresholded and the memoized result is a
     // pure function of the (carrier, budget) key, so the memo is as
     // observationally invisible as frontier dedup itself.
-    let memo = FlipSplitMemo::new();
+    let memo = FlipSplitMemo::new(ds);
     let mut interner = SubsetInterner::new();
     let mut active: Vec<FlipSet> = vec![initial];
     intern_flip_frontier(&mut active, &mut interner, ctx);

@@ -300,7 +300,7 @@ fn run_abstract_in(
     ctx: &ExecContext,
     arena: &mut WordArena,
 ) -> RunOutput {
-    let memo = memo.then(|| SplitMemo::new(transformer));
+    let memo = memo.then(|| SplitMemo::new(ds, transformer));
     let memo = memo.as_ref();
     let mut interner = SubsetInterner::new();
     let mut active: Vec<AbstractSet> = vec![initial];

@@ -31,7 +31,10 @@
 //! * [`verdict`] — interval dominance and the robustness verdict;
 //! * [`certify`] — the [`Certifier`] builder API;
 //! * [`sweep`](mod@sweep) — the evaluation protocol of §6.1 (n-doubling ladder with
-//!   binary-search refinement, timeouts, and resource accounting).
+//!   binary-search refinement, timeouts, and resource accounting);
+//! * [`drift`](mod@drift) — incremental re-certification under dataset
+//!   drift: ladders replayed across epoch-stamped mutations, with sound
+//!   certificate transfer across pure-removal deltas (DESIGN.md §11).
 //!
 //! # Example
 //!
@@ -57,6 +60,7 @@
 
 pub mod cache;
 pub mod certify;
+pub mod drift;
 pub mod engine;
 pub mod ensemble;
 pub mod flip;
@@ -68,8 +72,9 @@ pub mod score;
 pub mod sweep;
 pub mod verdict;
 
-pub use cache::{CachedTrace, CertCache};
+pub use cache::{CachedTrace, CertCache, EpochMismatch};
 pub use certify::{Certifier, Outcome, RunStats, Verdict};
+pub use drift::{drift_sweep, drift_sweep_in, DriftConfig, EpochReport};
 pub use engine::{pool_stats, ExecContext, MetricsSnapshot, PoolStats, RunMetrics};
 pub use ensemble::{certify_forest, certify_forest_in, EnsembleConfig, EnsembleOutcome};
 pub use flip::certify_label_flips;
@@ -77,4 +82,4 @@ pub use learner::DomainKind;
 pub use memo::{FlipSplitMemo, SplitMemo};
 pub use report::{explain, Explanation};
 pub use score::{best_split_abs, AbsSplitResult};
-pub use sweep::{sweep, sweep_in, SweepConfig, SweepPoint};
+pub use sweep::{sweep, sweep_cached, sweep_in, SweepConfig, SweepPoint};

@@ -106,20 +106,31 @@ impl<V> KeyedMemo<V> {
 }
 
 /// The removal-model `bestSplit#` memo: one table per certify call, with
-/// the call's transformer fixed at construction.
+/// the call's transformer fixed at construction and the table stamped
+/// with the dataset epoch it was built against — memoized split results
+/// describe one training set, and consulting them across a mutation
+/// would be unsound (DESIGN.md §11).
 #[derive(Debug)]
 pub struct SplitMemo {
     transformer: CprobTransformer,
+    epoch: u64,
     inner: KeyedMemo<AbsSplitResult>,
 }
 
 impl SplitMemo {
-    /// An empty memo for one certify call under `transformer`.
-    pub fn new(transformer: CprobTransformer) -> Self {
+    /// An empty memo for one certify call over `ds` under `transformer`,
+    /// stamped with `ds`'s current epoch.
+    pub fn new(ds: &Dataset, transformer: CprobTransformer) -> Self {
         SplitMemo {
             transformer,
+            epoch: ds.epoch(),
             inner: KeyedMemo::default(),
         }
+    }
+
+    /// The dataset epoch this memo's entries are valid for.
+    pub fn epoch(&self) -> u64 {
+        self.epoch
     }
 
     /// Admission guard: memoize only bases covering at least a third of
@@ -144,12 +155,23 @@ impl SplitMemo {
     /// `(base, n)` runs the scored-candidates sweep, every later probe
     /// returns the stored result; small-base probes (see
     /// `ADMIT_DIVISOR` above) bypass the table entirely.
+    /// `bestSplit#` results are pure functions of `(base, n)` *on one
+    /// training set*; a memo consulted against a different epoch would
+    /// silently return splits scored on stale data, so the stamp check
+    /// is a hard assert, active in release builds too.
     pub fn best_split(
         &self,
         ds: &Dataset,
         a: &AbstractSet,
         metrics: &RunMetrics,
     ) -> Arc<AbsSplitResult> {
+        assert_eq!(
+            self.epoch,
+            ds.epoch(),
+            "SplitMemo stamped for dataset epoch {} used against epoch {}",
+            self.epoch,
+            ds.epoch(),
+        );
         if a.len() * Self::ADMIT_DIVISOR < ds.len() {
             metrics.add_split_memo_miss();
             return Arc::new(best_split_abs(ds, a, self.transformer));
@@ -174,25 +196,44 @@ impl SplitMemo {
 
 /// The flip-model analogue: memoizes `best_split_flip`'s
 /// `(kept predicates, diamond)` per `(carrier, flip budget)`. The flip
-/// score depends on nothing else, so the same purity argument applies.
-#[derive(Debug, Default)]
+/// score depends on nothing else, so the same purity argument applies —
+/// and the same epoch stamp guards against cross-mutation reuse.
+#[derive(Debug)]
 pub struct FlipSplitMemo {
+    epoch: u64,
     inner: KeyedMemo<(Vec<Predicate>, bool)>,
 }
 
 impl FlipSplitMemo {
-    /// An empty memo for one flip-certification call.
-    pub fn new() -> Self {
-        FlipSplitMemo::default()
+    /// An empty memo for one flip-certification call over `ds`, stamped
+    /// with `ds`'s current epoch.
+    pub fn new(ds: &Dataset) -> Self {
+        FlipSplitMemo {
+            epoch: ds.epoch(),
+            inner: KeyedMemo::default(),
+        }
     }
 
-    /// `best_split_flip` through the memo (see [`SplitMemo::best_split`]).
+    /// The dataset epoch this memo's entries are valid for.
+    pub fn epoch(&self) -> u64 {
+        self.epoch
+    }
+
+    /// `best_split_flip` through the memo (see [`SplitMemo::best_split`],
+    /// including the release-mode epoch check).
     pub fn best_split(
         &self,
         ds: &Dataset,
         f: &antidote_domains::flipset::FlipSet,
         metrics: &RunMetrics,
     ) -> Arc<(Vec<Predicate>, bool)> {
+        assert_eq!(
+            self.epoch,
+            ds.epoch(),
+            "FlipSplitMemo stamped for dataset epoch {} used against epoch {}",
+            self.epoch,
+            ds.epoch(),
+        );
         self.inner.get_or_compute(
             (f.subset().clone(), f.n()),
             || crate::flip::best_split_flip(ds, f),
@@ -219,7 +260,7 @@ mod tests {
     #[test]
     fn memo_returns_bit_identical_results_and_counts_probes() {
         let ds = synth::figure2();
-        let memo = SplitMemo::new(CprobTransformer::Optimal);
+        let memo = SplitMemo::new(&ds, CprobTransformer::Optimal);
         let metrics = RunMetrics::default();
         let a = AbstractSet::full(&ds, 2);
         let first = memo.best_split(&ds, &a, &metrics);
@@ -248,7 +289,7 @@ mod tests {
     #[test]
     fn small_bases_bypass_the_table_but_still_count_misses() {
         let ds = synth::figure2(); // 13 rows: admission needs ≥ 5
-        let memo = SplitMemo::new(CprobTransformer::Optimal);
+        let memo = SplitMemo::new(&ds, CprobTransformer::Optimal);
         let metrics = RunMetrics::default();
         let small = AbstractSet::new(Subset::from_indices(&ds, vec![0, 1, 2]), 1);
         let first = memo.best_split(&ds, &small, &metrics);
@@ -279,7 +320,7 @@ mod tests {
     fn flip_memo_matches_direct_best_split() {
         use antidote_domains::flipset::FlipSet;
         let ds = synth::figure2();
-        let memo = FlipSplitMemo::new();
+        let memo = FlipSplitMemo::new(&ds);
         let metrics = RunMetrics::default();
         assert!(memo.is_empty());
         let f = FlipSet::full(&ds, 2);
@@ -291,5 +332,32 @@ mod tests {
         assert_eq!(memo.len(), 1);
         assert_eq!(metrics.split_memo_hits(), 1);
         assert_eq!(metrics.split_memo_misses(), 1);
+    }
+
+    #[test]
+    #[should_panic(expected = "SplitMemo stamped for dataset epoch 0 used against epoch 1")]
+    fn split_memo_rejects_a_mutated_dataset() {
+        let ds = synth::figure2();
+        let memo = SplitMemo::new(&ds, CprobTransformer::Optimal);
+        assert_eq!(memo.epoch(), 0);
+        let mutated = ds
+            .apply(antidote_data::DatasetDelta::new().remove(0))
+            .unwrap();
+        let a = AbstractSet::full(&mutated, 1);
+        let _ = memo.best_split(&mutated, &a, &RunMetrics::default());
+    }
+
+    #[test]
+    #[should_panic(expected = "FlipSplitMemo stamped for dataset epoch 0 used against epoch 1")]
+    fn flip_memo_rejects_a_mutated_dataset() {
+        use antidote_domains::flipset::FlipSet;
+        let ds = synth::figure2();
+        let memo = FlipSplitMemo::new(&ds);
+        assert_eq!(memo.epoch(), 0);
+        let mutated = ds
+            .apply(antidote_data::DatasetDelta::new().remove(0))
+            .unwrap();
+        let f = FlipSet::full(&mutated, 1);
+        let _ = memo.best_split(&mutated, &f, &RunMetrics::default());
     }
 }

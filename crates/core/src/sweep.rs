@@ -164,6 +164,50 @@ pub fn sweep_in(
     cfg: &SweepConfig,
     parent: &ExecContext,
 ) -> Vec<SweepPoint> {
+    let cache = cfg
+        .cache
+        .then(|| CertCache::for_dataset(ds, test_points.len()));
+    sweep_body(ds, test_points, cfg, parent, cache.as_ref())
+}
+
+/// [`sweep_in`] against a caller-provided [`CertCache`] — the drift
+/// re-certification entry point. The cache outlives the sweep, so a
+/// ladder can warm it and a later ladder (or a cache carried across a
+/// mutation by [`CertCache::transfer`]) can reuse it; `cfg.cache` is
+/// ignored (the supplied cache is always used).
+///
+/// # Panics
+///
+/// Panics when `cache` is not stamped for `ds`'s epoch — the same
+/// mismatch `certify_cached` reports as a hard error, promoted to a
+/// panic here because the caller explicitly paired the two.
+pub fn sweep_cached(
+    ds: &Dataset,
+    test_points: &[Vec<f64>],
+    cfg: &SweepConfig,
+    parent: &ExecContext,
+    cache: &CertCache,
+) -> Vec<SweepPoint> {
+    assert_eq!(
+        cache.epoch(),
+        ds.epoch(),
+        "sweep_cached: cache stamped for dataset epoch {} used against epoch {} — \
+         re-key with CertCache::for_dataset or carry it across the mutation with \
+         CertCache::transfer",
+        cache.epoch(),
+        ds.epoch(),
+    );
+    sweep_body(ds, test_points, cfg, parent, Some(cache))
+}
+
+/// The shared ladder body behind [`sweep_in`] and [`sweep_cached`].
+fn sweep_body(
+    ds: &Dataset,
+    test_points: &[Vec<f64>],
+    cfg: &SweepConfig,
+    parent: &ExecContext,
+    cache: Option<&CertCache>,
+) -> Vec<SweepPoint> {
     let certifier = Certifier::new(ds)
         .depth(cfg.depth)
         .domain(cfg.domain)
@@ -171,7 +215,6 @@ pub fn sweep_in(
         .subsume(cfg.subsume)
         .memo(cfg.memo)
         .simd(cfg.simd);
-    let cache = cfg.cache.then(|| CertCache::new(test_points.len()));
     let max_n = cfg.max_n.unwrap_or(ds.len()).min(ds.len());
     let total_points = test_points.len();
 
@@ -199,7 +242,7 @@ pub fn sweep_in(
             n,
             total_points,
             cfg,
-            cache.as_ref(),
+            cache,
             parent,
         );
         points.push(point);
@@ -220,7 +263,7 @@ pub fn sweep_in(
                     // `DisjunctBudget`, and those rung counts must stay
                     // bit-identical to the `--no-cache` path.
                     let limits = cfg.timeout.is_some() || cfg.max_live_disjuncts.is_some();
-                    if let (Some(c), false) = (cache.as_ref(), limits) {
+                    if let (Some(c), false) = (cache, limits) {
                         for &i in &survivors {
                             c.try_find_witness(i, ds, &test_points[i], cfg.depth, n);
                         }
@@ -240,7 +283,7 @@ pub fn sweep_in(
                             mid,
                             total_points,
                             cfg,
-                            cache.as_ref(),
+                            cache,
                             parent,
                         );
                         points.push(p);
@@ -292,7 +335,11 @@ fn probe(
             .maybe_timeout(cfg.timeout)
             .maybe_disjunct_budget(cfg.max_live_disjuncts);
         match cache {
-            Some(c) => certifier.certify_cached(&test_points[i], n, i, c, &ctx),
+            // The sweep builds (or epoch-checks) its cache against `ds`
+            // itself, so a mismatch here is a sweep bug, not caller input.
+            Some(c) => certifier
+                .certify_cached(&test_points[i], n, i, c, &ctx)
+                .expect("sweep cache is stamped for its own dataset"),
             None => certifier.certify_in(&test_points[i], n, &ctx),
         }
     });

@@ -147,7 +147,7 @@ proptest! {
         let ctx = ExecContext::sequential();
         let c = Certifier::new(&ds).depth(depth).domain(DomainKind::Disjuncts);
         for n in k..=ds.len() {
-            let out = c.certify_cached(&x, n, 0, &cache, &ctx);
+            let out = c.certify_cached(&x, n, 0, &cache, &ctx).unwrap();
             prop_assert_eq!(out.verdict, Verdict::Unknown);
         }
         prop_assert_eq!(ctx.metrics().certify_calls(), 0, "all witness-implied");
@@ -170,7 +170,7 @@ proptest! {
             let cache = CertCache::new(1);
             let ctx = ExecContext::sequential();
             for &n in &budgets {
-                let cached = c.certify_cached(&x, n, 0, &cache, &ctx);
+                let cached = c.certify_cached(&x, n, 0, &cache, &ctx).unwrap();
                 let fresh = c.certify(&x, n);
                 prop_assert_eq!(
                     cached.verdict, fresh.verdict,

@@ -30,10 +30,13 @@
 pub struct WordArena {
     /// Returned buffers, available for reuse.
     free: Vec<Vec<u64>>,
-    /// Bytes currently held by the arena: capacity of every free buffer
-    /// plus every buffer handed out and not yet recycled.
-    held_bytes: usize,
-    /// High-water mark of `held_bytes`.
+    /// Bytes pooled and awaiting reuse (Σ capacity over `free`).
+    free_bytes: usize,
+    /// Bytes handed out by [`WordArena::alloc`] and not yet recycled —
+    /// charged at allocation time, so buffers still outstanding at a
+    /// [`WordArena::reset`] have already counted toward the watermark.
+    live_bytes: usize,
+    /// High-water mark of `free_bytes + live_bytes`.
     peak_bytes: usize,
     /// Run boundaries seen (one `reset` per learner run).
     resets: u64,
@@ -53,41 +56,54 @@ impl WordArena {
                 let mut buf = self.free.swap_remove(i);
                 buf.clear();
                 buf.resize(len, 0);
+                // Moves from the pool to outstanding: total held is
+                // unchanged, so recycling charges nothing new.
+                let bytes = buf.capacity() * std::mem::size_of::<u64>();
+                self.free_bytes = self.free_bytes.saturating_sub(bytes);
+                self.live_bytes += bytes;
                 buf
             }
             None => {
                 let buf = vec![0u64; len];
-                self.held_bytes += buf.capacity() * std::mem::size_of::<u64>();
-                self.peak_bytes = self.peak_bytes.max(self.held_bytes);
+                self.live_bytes += buf.capacity() * std::mem::size_of::<u64>();
+                self.peak_bytes = self.peak_bytes.max(self.free_bytes + self.live_bytes);
                 buf
             }
         }
     }
 
     /// Returns a buffer to the pool for reuse by a later [`alloc`].
-    /// Buffers that grew while out (never the case for the learner's
-    /// fixed-size scratch) are re-accounted at their new capacity.
+    /// Capacity gained while the buffer was out (growth past the size
+    /// charged at alloc time, or a buffer the arena never handed out)
+    /// enters the accounting here, so the watermark is re-checked on
+    /// every recycle as well as every alloc.
     ///
     /// [`alloc`]: WordArena::alloc
     pub fn recycle(&mut self, buf: Vec<u64>) {
-        // The buffer's bytes were charged at alloc time and stay charged
-        // while pooled; only growth beyond the charged capacity is new.
+        let bytes = buf.capacity() * std::mem::size_of::<u64>();
+        self.live_bytes = self.live_bytes.saturating_sub(bytes);
+        self.free_bytes += bytes;
+        self.peak_bytes = self.peak_bytes.max(self.free_bytes + self.live_bytes);
         self.free.push(buf);
     }
 
-    /// Marks a run boundary: bumps the reset counter and drops pooled
+    /// Marks a run boundary: bumps the reset counter, drops pooled
     /// buffers beyond a small keep-set so one outlier run cannot pin
-    /// memory forever. Recycled capacity within the keep-set survives —
-    /// that is the point of the arena.
+    /// memory forever (recycled capacity within the keep-set survives —
+    /// that is the point of the arena), and writes off any buffers still
+    /// outstanding — they were charged at allocation time and have
+    /// already counted toward [`WordArena::peak_bytes`], but they will
+    /// never come back across a run boundary.
     pub fn reset(&mut self) {
         self.resets += 1;
         const KEEP: usize = 4;
         while self.free.len() > KEEP {
             let dropped = self.free.swap_remove(0);
-            self.held_bytes = self
-                .held_bytes
+            self.free_bytes = self
+                .free_bytes
                 .saturating_sub(dropped.capacity() * std::mem::size_of::<u64>());
         }
+        self.live_bytes = 0;
     }
 
     /// High-water mark of bytes held by the arena since construction.
@@ -143,5 +159,42 @@ mod tests {
         assert!(arena.free.len() <= 4, "reset bounds the pooled buffers");
         arena.reset();
         assert_eq!(arena.resets(), 2);
+    }
+
+    #[test]
+    fn peak_counts_growth_while_out_and_buffers_live_at_reset() {
+        // Regression: the watermark used to be updated only when a fresh
+        // buffer was allocated, so capacity gained while a buffer was out
+        // (growth, or a buffer the arena never handed out) silently
+        // vanished from the peak. It is now re-checked on recycle too.
+        let mut arena = WordArena::new();
+        let mut a = arena.alloc(4); // 32 bytes charged at alloc time
+        assert_eq!(arena.peak_bytes(), 32);
+        a.resize(64, 0); // grows while out: capacity >= 512 bytes
+        let grown = a.capacity() * std::mem::size_of::<u64>();
+        arena.recycle(a);
+        assert!(
+            arena.peak_bytes() >= grown,
+            "growth while out must count toward the watermark ({} < {grown})",
+            arena.peak_bytes()
+        );
+        // A buffer still outstanding at reset was charged at alloc time,
+        // so the watermark already covers it; the reset writes it off
+        // without disturbing the recorded peak.
+        let mut arena = WordArena::new();
+        let held = arena.alloc(8); // 64 bytes outstanding
+        assert_eq!(arena.peak_bytes(), 64);
+        arena.reset();
+        assert_eq!(
+            arena.peak_bytes(),
+            64,
+            "buffers live at reset count toward the watermark"
+        );
+        drop(held);
+        // After the boundary the write-off keeps later accounting sane:
+        // the next run's scratch is not stacked on the written-off bytes.
+        let b = arena.alloc(8);
+        assert_eq!(arena.peak_bytes(), 64, "new run restarts from zero live");
+        drop(b);
     }
 }

@@ -47,6 +47,23 @@ pub fn read_csv<R: Read>(reader: R) -> Result<Dataset, DataError> {
             message: format!("last column must be named 'label', got '{label_col}'"),
         });
     }
+    // Header names must be non-empty and unique: an empty name cannot be
+    // referred to in any error message or output, and a duplicate makes
+    // `--feature <name>`-style lookups (and re-written CSVs) ambiguous.
+    for (i, name) in names.iter().enumerate() {
+        if name.is_empty() {
+            return Err(DataError::Csv {
+                line: 1,
+                message: format!("header field {} is empty", i + 1),
+            });
+        }
+        if names[..i].contains(name) {
+            return Err(DataError::Csv {
+                line: 1,
+                message: format!("duplicate header field '{name}'"),
+            });
+        }
+    }
 
     let n_features = names.len();
     let mut rows: Vec<(Vec<f64>, String)> = Vec::new();
@@ -142,7 +159,7 @@ pub fn write_csv<W: Write>(ds: &Dataset, mut writer: W) -> Result<(), DataError>
         .chain(["label"])
         .collect();
     writeln!(writer, "{}", header.join(","))?;
-    for r in 0..ds.len() as u32 {
+    for r in ds.rows() {
         let mut fields: Vec<String> = (0..ds.n_features())
             .map(|f| format_value(ds.value(r, f)))
             .collect();
@@ -248,6 +265,28 @@ mod tests {
         assert!(matches!(err, DataError::Csv { line: 2, .. }));
         // Header only, no rows.
         assert!(read_csv("x0,label\n".as_bytes()).is_err());
+        // Duplicate header field names are ambiguous.
+        let err = read_csv("x0,x0,label\n1,2,a\n".as_bytes()).unwrap_err();
+        assert!(
+            matches!(&err, DataError::Csv { line: 1, message } if message.contains("duplicate")),
+            "duplicate header must fail at line 1, got {err:?}"
+        );
+        // Empty header field names (including whitespace-only) are rejected.
+        for src in [
+            "x0,,label\n1,2,a\n",
+            ",label\n1,a\n",
+            "x0,  ,label\n1,2,a\n",
+        ] {
+            let err = read_csv(src.as_bytes()).unwrap_err();
+            assert!(
+                matches!(&err, DataError::Csv { line: 1, message } if message.contains("empty")),
+                "'{}' must fail with an empty-header error, got {err:?}",
+                src.lines().next().unwrap()
+            );
+        }
+        // A single feature named 'label' is legal (only the *last* column
+        // is the label); the uniqueness check runs on features only.
+        assert!(read_csv("label,label\n1,a\n".as_bytes()).is_ok());
     }
 
     #[test]

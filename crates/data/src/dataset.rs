@@ -5,9 +5,27 @@
 //! contiguous column at a time. Datasets are immutable after construction;
 //! every later stage of the pipeline works with [`crate::Subset`] index
 //! views instead of copying rows.
+//!
+//! # Epochs and deltas
+//!
+//! A dataset is *versioned*: every dataset carries an [`Dataset::epoch`]
+//! stamp, and [`Dataset::apply`] turns a [`DatasetDelta`] (appends, row
+//! removals, label flips) into a **new** dataset at `epoch + 1` without
+//! touching — or rebuilding — the original. Row ids are *stable slots*:
+//! a removed row's id is never reused and never remapped, so certificates,
+//! witnesses, and caches keyed by row id stay meaningful across epochs.
+//! Dead slots keep their storage but are excluded from the live-row mask,
+//! the class masks, and every subset built via [`crate::Subset::full`];
+//! the split sweeps filter the per-feature orders by subset membership, so
+//! dead slots can never contribute a candidate threshold. Unchanged
+//! storage (columns, labels, per-feature orders, built threshold indexes)
+//! is structurally shared between epochs wherever the delta leaves it
+//! valid, and *patched* behind fresh cells where it does not — an old
+//! epoch's clone can never observe a patched index.
 
 use crate::error::DataError;
 use crate::{ClassId, RowId};
+use std::collections::{BTreeMap, BTreeSet};
 use std::sync::{Arc, OnceLock};
 
 /// The kind of values a feature column holds.
@@ -175,36 +193,62 @@ impl Column {
 #[derive(Debug, Clone)]
 pub struct Dataset {
     schema: Schema,
-    columns: Vec<Column>,
-    labels: Vec<ClassId>,
-    /// One row bitmask per class (`masks[c]` has bit `r` set iff
-    /// `labels[r] == c`), each `ceil(len / 64)` words long. Derived from
-    /// `labels` at construction; [`crate::Subset`]'s word-packed algebra
+    /// Column storage over *slots* (live and dead rows alike), shared
+    /// between epochs whenever a delta leaves the values untouched
+    /// (removals and label flips share; appends copy-and-extend).
+    columns: Arc<Vec<Column>>,
+    /// Per-slot labels; shared between epochs unless a flip or append
+    /// rewrites them.
+    labels: Arc<Vec<ClassId>>,
+    /// Mutation generation: 0 for freshly built datasets, bumped by every
+    /// [`Dataset::apply`]. Caches keyed by dataset state carry this stamp
+    /// so consulting them against a different epoch is a hard error.
+    epoch: u64,
+    /// Live-slot bitmask, `ceil(n_slots / 64)` words: bit `r` set iff slot
+    /// `r` holds a live row. All ones at epoch 0; removals clear bits and
+    /// never set them again (dead slots are not reused).
+    live: Vec<u64>,
+    /// Cached popcount of `live` (the number of live rows).
+    n_live: usize,
+    /// One row bitmask per class (`masks[c]` has bit `r` set iff slot `r`
+    /// is **live** and `labels[r] == c`), each `ceil(n_slots / 64)` words
+    /// long. Derived from `labels` at construction and patched word-wise
+    /// by [`Dataset::apply`]; [`crate::Subset`]'s word-packed algebra
     /// recomputes per-class counts by AND-popcount against these masks.
     class_masks: Vec<Vec<u64>>,
-    /// Per feature: every row id, sorted ascending by that feature's value
-    /// (stable — ties stay in ascending row order). Split-candidate sweeps
-    /// walk this order filtered by a subset's O(1) bit test instead of
-    /// gathering and sorting the subset's rows per call, which was the
-    /// hottest loop of both the concrete and the abstract learner.
-    feature_order: Vec<Vec<RowId>>,
+    /// Per feature: every slot id, sorted ascending by that feature's
+    /// value (stable — ties stay in ascending slot order). Split-candidate
+    /// sweeps walk this order filtered by a subset's O(1) bit test instead
+    /// of gathering and sorting the subset's rows per call, which was the
+    /// hottest loop of both the concrete and the abstract learner. Dead
+    /// slots stay in the order (every traversal filters by a live-only
+    /// subset); appends splice new slots in by stable sorted merge.
+    feature_order: Arc<Vec<Vec<RowId>>>,
     /// Per feature: the lazily-built threshold index backing word-parallel
     /// `x ≤ τ` restrictions. Wrapped in `Arc<OnceLock<…>>` so commands
     /// that never restrict (stats, accuracy) pay nothing, clones and
     /// feature projections share the built masks, and the inner `None`
     /// marks very-high-cardinality columns (see
     /// [`MAX_THRESHOLD_INDEX_VALUES`]) where callers fall back to the
-    /// row-predicate filter.
+    /// row-predicate filter. [`Dataset::apply`] shares these cells only
+    /// when the delta leaves them valid (pure label flips); otherwise the
+    /// new epoch gets *fresh* cells (bit-patched copies of already-built
+    /// indexes), so an old epoch's clone can never observe a patched mask.
     threshold_index: Vec<Arc<OnceLock<Option<ThresholdIndex>>>>,
 }
 
-/// Two datasets are equal when their schema, feature values, and labels
-/// are — the bitmask/order/threshold caches are pure functions of those
-/// and deliberately excluded (a lazily-built index must not make a
-/// dataset unequal to its clone).
+/// Two datasets are equal when their schema, feature values, labels, and
+/// live-row masks are — the bitmask/order/threshold caches are pure
+/// functions of those and deliberately excluded (a lazily-built index
+/// must not make a dataset unequal to its clone), and the epoch stamp is
+/// an *identity*, not content (a no-op delta yields an equal dataset at a
+/// later epoch).
 impl PartialEq for Dataset {
     fn eq(&self, other: &Self) -> bool {
-        self.schema == other.schema && self.columns == other.columns && self.labels == other.labels
+        self.schema == other.schema
+            && self.live == other.live
+            && self.columns == other.columns
+            && self.labels == other.labels
     }
 }
 
@@ -227,15 +271,21 @@ struct ThresholdIndex {
     masks: Vec<Vec<u64>>,
 }
 
-/// Builds one feature's [`ThresholdIndex`] from its value-sorted row
-/// order, or `None` when the column has too many distinct values.
-fn build_threshold_index(col: &Column, order: &[RowId]) -> Option<ThresholdIndex> {
+/// Builds one feature's [`ThresholdIndex`] from its value-sorted slot
+/// order, or `None` when the column has too many distinct values. Only
+/// live slots (per `live`) contribute values or mask bits, so a lazily
+/// rebuilt index and a bit-patched one answer [`Dataset::le_mask`]
+/// identically.
+fn build_threshold_index(col: &Column, order: &[RowId], live: &[u64]) -> Option<ThresholdIndex> {
     let n_words = col.len().div_ceil(64);
     let mut values: Vec<f64> = Vec::new();
     let mut masks: Vec<Vec<u64>> = Vec::new();
     let mut running = vec![0u64; n_words];
     let mut prev: Option<f64> = None;
     for &r in order {
+        if live[r as usize / 64] >> (r % 64) & 1 == 0 {
+            continue;
+        }
         let v = col.value(r);
         if let Some(p) = prev {
             if v > p {
@@ -303,14 +353,52 @@ impl Dataset {
         &self.schema
     }
 
-    /// Number of rows.
+    /// Number of **live** rows (dead slots left behind by
+    /// [`Dataset::apply`] removals are not counted).
     pub fn len(&self) -> usize {
+        self.n_live
+    }
+
+    /// Whether the dataset has no live rows.
+    pub fn is_empty(&self) -> bool {
+        self.n_live == 0
+    }
+
+    /// The mutation epoch: 0 for freshly built datasets, bumped by every
+    /// [`Dataset::apply`] (including no-op deltas — the epoch is an
+    /// identity stamp, not a content hash).
+    #[inline]
+    pub fn epoch(&self) -> u64 {
+        self.epoch
+    }
+
+    /// Number of physical row *slots* (live rows plus dead slots). Always
+    /// `>= len()`; equal at epoch 0 and after pure appends/flips.
+    #[inline]
+    pub fn n_slots(&self) -> usize {
         self.labels.len()
     }
 
-    /// Whether the dataset has no rows.
-    pub fn is_empty(&self) -> bool {
-        self.labels.is_empty()
+    /// Whether slot `row` holds a live row. Out-of-range slots are dead.
+    #[inline]
+    pub fn is_live(&self, row: RowId) -> bool {
+        self.live
+            .get(row as usize / 64)
+            .is_some_and(|w| w >> (row % 64) & 1 == 1)
+    }
+
+    /// The live-slot bitmask (`ceil(n_slots / 64)` words; bit `r` set iff
+    /// slot `r` is live). [`crate::Subset::full`] seeds from this.
+    #[inline]
+    pub fn live_words(&self) -> &[u64] {
+        &self.live
+    }
+
+    /// Iterator over the live row ids, strictly ascending. The canonical
+    /// way to visit "every row" — plain `0..len()` ranges are wrong on
+    /// post-removal epochs, where slot ids are not dense.
+    pub fn rows(&self) -> impl Iterator<Item = RowId> + '_ {
+        (0..self.n_slots() as RowId).filter(|&r| self.is_live(r))
     }
 
     /// Number of feature columns.
@@ -323,7 +411,9 @@ impl Dataset {
         self.schema.n_classes()
     }
 
-    /// Feature value of `row` in column `feature`, as `f64`.
+    /// Feature value of `row` in column `feature`, as `f64`. Liveness is
+    /// *not* checked (this is the innermost loop of every sweep); callers
+    /// reach rows through live-only subsets or [`Dataset::rows`].
     ///
     /// # Panics
     ///
@@ -333,7 +423,7 @@ impl Dataset {
         self.columns[feature].value(row)
     }
 
-    /// Class label of `row`.
+    /// Class label of `row` (liveness unchecked, like [`Dataset::value`]).
     ///
     /// # Panics
     ///
@@ -343,7 +433,7 @@ impl Dataset {
         self.labels[row as usize]
     }
 
-    /// All labels, indexed by row.
+    /// All labels, indexed by slot (dead slots keep their last label).
     pub fn labels(&self) -> &[ClassId] {
         &self.labels
     }
@@ -359,13 +449,13 @@ impl Dataset {
         (0..self.n_features()).map(|f| self.value(row, f)).collect()
     }
 
-    /// Per-class row counts for the whole dataset.
+    /// Per-class **live** row counts for the whole dataset. The class
+    /// masks carry live bits only, so a popcount per class suffices.
     pub fn class_counts(&self) -> Vec<u32> {
-        let mut counts = vec![0u32; self.n_classes()];
-        for &l in &self.labels {
-            counts[l as usize] += 1;
-        }
-        counts
+        self.class_masks
+            .iter()
+            .map(|m| m.iter().map(|w| w.count_ones()).sum())
+            .collect()
     }
 
     /// The row bitmask of `class`: bit `r` is set iff row `r` carries that
@@ -405,7 +495,11 @@ impl Dataset {
     pub fn le_mask(&self, feature: usize, tau: f64, strict: bool) -> Option<&[u64]> {
         let idx = self.threshold_index[feature]
             .get_or_init(|| {
-                build_threshold_index(&self.columns[feature], &self.feature_order[feature])
+                build_threshold_index(
+                    &self.columns[feature],
+                    &self.feature_order[feature],
+                    &self.live,
+                )
             })
             .as_ref()?;
         let j = idx
@@ -437,13 +531,18 @@ impl Dataset {
         .expect("projection of a valid schema is valid");
         Dataset {
             schema,
-            columns,
-            labels: self.labels.clone(),
+            columns: Arc::new(columns),
+            labels: Arc::clone(&self.labels),
+            epoch: self.epoch,
+            live: self.live.clone(),
+            n_live: self.n_live,
             class_masks: self.class_masks.clone(),
-            feature_order: features
-                .iter()
-                .map(|&f| self.feature_order[f].clone())
-                .collect(),
+            feature_order: Arc::new(
+                features
+                    .iter()
+                    .map(|&f| self.feature_order[f].clone())
+                    .collect(),
+            ),
             // Arc-shared: a projected column equals its source column, so
             // the (lazily built) threshold index is shared, not recomputed
             // or deep-copied per projection.
@@ -465,7 +564,425 @@ impl Dataset {
                 Column::Real(v) => v.len() * 8,
             })
             .sum();
-        cols + self.labels.len() * 2
+        cols + self.labels.len() * 2 + self.live.len() * 8
+    }
+
+    /// Applies `delta`, producing a new dataset at `epoch() + 1`. The
+    /// receiver is untouched — it keeps answering for its own epoch —
+    /// and unchanged storage is structurally shared rather than copied:
+    ///
+    /// * removals and flips share the column storage (`Arc` bump);
+    /// * removals share the label vector; appends/flips copy it;
+    /// * removals and flips share the per-feature slot orders; appends
+    ///   splice the new slots in by stable sorted merge;
+    /// * pure flips share the built threshold-index cells (thresholds are
+    ///   label-independent); removals/appends give the new epoch fresh
+    ///   cells holding bit-patched copies of any already-built index.
+    ///
+    /// Class masks are patched by word-level set/clear, never rebuilt.
+    ///
+    /// # Errors
+    ///
+    /// [`DataError::InvalidDelta`] when a removal or flip targets a dead
+    /// or out-of-range row, or one delta both removes and flips a row;
+    /// [`DataError::LabelOutOfRange`] for a flip to an undeclared class;
+    /// appended rows are validated exactly like
+    /// [`DatasetBuilder::push_row`].
+    pub fn apply(&self, delta: &DatasetDelta) -> Result<Dataset, DataError> {
+        Ok(self.apply_summarized(delta)?.0)
+    }
+
+    /// [`Dataset::apply`], also returning the [`DeltaSummary`] of what
+    /// effectively changed (the input normalized: duplicate removals
+    /// collapsed, last flip per row kept, flips to the current label
+    /// dropped). The summary is what certificate transfer reasons about.
+    ///
+    /// # Errors
+    ///
+    /// See [`Dataset::apply`].
+    pub fn apply_summarized(
+        &self,
+        delta: &DatasetDelta,
+    ) -> Result<(Dataset, DeltaSummary), DataError> {
+        let old_slots = self.n_slots();
+        // --- Normalize and validate ------------------------------------
+        let mut removed: BTreeSet<RowId> = BTreeSet::new();
+        for &r in &delta.removes {
+            if !self.is_live(r) {
+                return Err(DataError::InvalidDelta {
+                    row: r,
+                    reason: "remove targets a row that is not live",
+                });
+            }
+            removed.insert(r);
+        }
+        let mut flips: BTreeMap<RowId, ClassId> = BTreeMap::new();
+        for &(r, c) in &delta.flips {
+            if !self.is_live(r) {
+                return Err(DataError::InvalidDelta {
+                    row: r,
+                    reason: "flip targets a row that is not live",
+                });
+            }
+            if removed.contains(&r) {
+                return Err(DataError::InvalidDelta {
+                    row: r,
+                    reason: "row is both removed and flipped in one delta",
+                });
+            }
+            if (c as usize) >= self.n_classes() {
+                return Err(DataError::LabelOutOfRange {
+                    row: r as usize,
+                    label: c,
+                    n_classes: self.n_classes(),
+                });
+            }
+            flips.insert(r, c); // last flip per row wins
+        }
+        flips.retain(|&r, &mut c| self.label(r) != c);
+        for (i, (values, label)) in delta.appends.iter().enumerate() {
+            let row = old_slots + i;
+            if values.len() != self.n_features() {
+                return Err(DataError::ArityMismatch {
+                    row,
+                    got: values.len(),
+                    expected: self.n_features(),
+                });
+            }
+            if (*label as usize) >= self.n_classes() {
+                return Err(DataError::LabelOutOfRange {
+                    row,
+                    label: *label,
+                    n_classes: self.n_classes(),
+                });
+            }
+            if row >= u32::MAX as usize {
+                return Err(DataError::TooManyRows);
+            }
+            for (feature, (&v, col)) in values.iter().zip(self.columns.iter()).enumerate() {
+                match col {
+                    Column::Real(_) if !v.is_finite() => {
+                        return Err(DataError::NonFiniteValue { row, feature });
+                    }
+                    Column::Bool(_) if v != 0.0 && v != 1.0 => {
+                        return Err(DataError::NotBoolean {
+                            row,
+                            feature,
+                            value: v,
+                        });
+                    }
+                    _ => {}
+                }
+            }
+        }
+        let appended = delta.appends.len();
+        let new_slots = old_slots + appended;
+        let n_words = new_slots.div_ceil(64);
+
+        // --- Columns: share on remove/flip, copy-and-extend on append --
+        let columns = if appended == 0 {
+            Arc::clone(&self.columns)
+        } else {
+            let mut cols: Vec<Column> = (*self.columns).clone();
+            for (values, _) in &delta.appends {
+                for (&v, col) in values.iter().zip(cols.iter_mut()) {
+                    match col {
+                        Column::Bool(c) => c.push(v == 1.0),
+                        Column::Real(c) => c.push(v),
+                    }
+                }
+            }
+            Arc::new(cols)
+        };
+
+        // --- Labels: share unless flips or appends rewrite them --------
+        let labels = if appended == 0 && flips.is_empty() {
+            Arc::clone(&self.labels)
+        } else {
+            let mut l: Vec<ClassId> = (*self.labels).clone();
+            for (&r, &c) in &flips {
+                l[r as usize] = c;
+            }
+            l.extend(delta.appends.iter().map(|&(_, c)| c));
+            Arc::new(l)
+        };
+
+        // --- Live mask: clear removals, set appended slots -------------
+        let mut live = self.live.clone();
+        live.resize(n_words, 0);
+        for &r in &removed {
+            live[r as usize / 64] &= !(1u64 << (r % 64));
+        }
+        for slot in old_slots..new_slots {
+            live[slot / 64] |= 1u64 << (slot % 64);
+        }
+        let n_live = self.n_live - removed.len() + appended;
+
+        // --- Class masks: word-level set/clear patches -----------------
+        let mut class_masks = self.class_masks.clone();
+        for mask in &mut class_masks {
+            mask.resize(n_words, 0);
+        }
+        for &r in &removed {
+            class_masks[self.label(r) as usize][r as usize / 64] &= !(1u64 << (r % 64));
+        }
+        for (&r, &c) in &flips {
+            class_masks[self.label(r) as usize][r as usize / 64] &= !(1u64 << (r % 64));
+            class_masks[c as usize][r as usize / 64] |= 1u64 << (r % 64);
+        }
+        for (i, &(_, c)) in delta.appends.iter().enumerate() {
+            let slot = old_slots + i;
+            class_masks[c as usize][slot / 64] |= 1u64 << (slot % 64);
+        }
+
+        // --- Feature orders: share, or stable sorted merge of appends --
+        let feature_order = if appended == 0 {
+            Arc::clone(&self.feature_order)
+        } else {
+            Arc::new(
+                (0..self.n_features())
+                    .map(|f| {
+                        let col = &columns[f];
+                        let mut added: Vec<RowId> =
+                            (old_slots as RowId..new_slots as RowId).collect();
+                        // Stable on the ascending slot ids, matching what
+                        // build_feature_order would produce.
+                        added.sort_by(|&a, &b| col.value(a).total_cmp(&col.value(b)));
+                        merge_orders(&self.feature_order[f], &added, col)
+                    })
+                    .collect(),
+            )
+        };
+
+        // --- Threshold indexes: share only when still valid ------------
+        let pure_flip = removed.is_empty() && appended == 0;
+        let threshold_index = (0..self.n_features())
+            .map(|f| {
+                if pure_flip {
+                    // Thresholds and their prefix masks are label-blind:
+                    // the old cells stay exactly right, share them.
+                    return Arc::clone(&self.threshold_index[f]);
+                }
+                // Fresh cell — the old epoch keeps its own (never-patched)
+                // index. If the old cell was already built, patch a copy;
+                // otherwise leave the new cell to lazy construction.
+                let cell = Arc::new(OnceLock::new());
+                match self.threshold_index[f].get() {
+                    None => {}
+                    Some(None) => {
+                        // Over the cardinality cap before the delta; a
+                        // removal can only shrink and an append only grow
+                        // the distinct count, but `None` (fall back to the
+                        // row filter) is always a sound answer — keep it.
+                        let _ = cell.set(None);
+                    }
+                    Some(Some(idx)) => {
+                        let appends: Vec<(usize, f64)> = (0..appended)
+                            .map(|i| {
+                                let slot = old_slots + i;
+                                (slot, columns[f].value(slot as RowId))
+                            })
+                            .collect();
+                        let _ = cell.set(patch_threshold_index(idx, &removed, &appends, n_words));
+                    }
+                }
+                cell
+            })
+            .collect();
+
+        let summary = DeltaSummary {
+            appended,
+            removed: removed.iter().copied().collect(),
+            flipped: flips.keys().copied().collect(),
+        };
+        let ds = Dataset {
+            schema: self.schema.clone(),
+            columns,
+            labels,
+            epoch: self.epoch + 1,
+            live,
+            n_live,
+            class_masks,
+            feature_order,
+            threshold_index,
+        };
+        Ok((ds, summary))
+    }
+}
+
+/// Stable merge of an existing value-sorted slot order with the sorted
+/// freshly appended slots: equal values keep ascending slot order, and
+/// every appended slot id exceeds every existing one, so existing slots
+/// win ties. The result equals what [`build_feature_order`] would produce
+/// over the extended column.
+fn merge_orders(existing: &[RowId], added: &[RowId], col: &Column) -> Vec<RowId> {
+    let mut out = Vec::with_capacity(existing.len() + added.len());
+    let (mut i, mut j) = (0, 0);
+    while i < existing.len() && j < added.len() {
+        if col.value(existing[i]) <= col.value(added[j]) {
+            out.push(existing[i]);
+            i += 1;
+        } else {
+            out.push(added[j]);
+            j += 1;
+        }
+    }
+    out.extend_from_slice(&existing[i..]);
+    out.extend_from_slice(&added[j..]);
+    out
+}
+
+/// Bit-patches a built [`ThresholdIndex`] for a delta: removed slots are
+/// cleared from every prefix mask, value entries no live slot holds any
+/// more are dropped (their prefix mask collapses onto the preceding
+/// entry's, which is how a stale value is detected), and appended
+/// `(slot, value)` pairs extend the masks and splice in any new distinct
+/// values. The result is structurally identical to what a lazy rebuild
+/// at the new epoch would produce. Returns `None` when the patched index
+/// would exceed [`MAX_THRESHOLD_INDEX_VALUES`].
+fn patch_threshold_index(
+    idx: &ThresholdIndex,
+    removed: &BTreeSet<RowId>,
+    appends: &[(usize, f64)],
+    n_words: usize,
+) -> Option<ThresholdIndex> {
+    let mut values = idx.values.clone();
+    let mut masks: Vec<Vec<u64>> = idx
+        .masks
+        .iter()
+        .map(|m| {
+            let mut m = m.clone();
+            m.resize(n_words, 0);
+            m
+        })
+        .collect();
+    if !removed.is_empty() {
+        for &r in removed {
+            let (w, bit) = (r as usize / 64, 1u64 << (r % 64));
+            for m in &mut masks {
+                m[w] &= !bit;
+            }
+        }
+        // A value whose prefix mask now equals its predecessor's has no
+        // live slot left: drop it, matching a from-scratch build.
+        let zeros = vec![0u64; n_words];
+        let mut kept = 0;
+        for i in 0..values.len() {
+            let prev: &[u64] = if kept == 0 { &zeros } else { &masks[kept - 1] };
+            if masks[i] != prev {
+                values.swap(kept, i);
+                masks.swap(kept, i);
+                kept += 1;
+            }
+        }
+        values.truncate(kept);
+        masks.truncate(kept);
+    }
+    for &(slot, v) in appends {
+        let p = values.partition_point(|&x| x < v);
+        if p == values.len() || values[p] != v {
+            if values.len() >= MAX_THRESHOLD_INDEX_VALUES {
+                return None;
+            }
+            let base = if p == 0 {
+                vec![0u64; n_words]
+            } else {
+                masks[p - 1].clone()
+            };
+            values.insert(p, v);
+            masks.insert(p, base);
+        }
+        let (w, bit) = (slot / 64, 1u64 << (slot % 64));
+        for m in &mut masks[p..] {
+            m[w] |= bit;
+        }
+    }
+    Some(ThresholdIndex { values, masks })
+}
+
+/// A batch of dataset mutations: appended rows, removed rows, and label
+/// flips, applied atomically by [`Dataset::apply`] to produce the next
+/// epoch. Building a delta performs no validation — rows are checked
+/// against the dataset the delta is applied to.
+///
+/// ```
+/// use antidote_data::{Dataset, DatasetDelta, Schema};
+///
+/// # fn main() -> Result<(), antidote_data::DataError> {
+/// let ds = Dataset::from_rows(
+///     Schema::real(1, 2),
+///     &[(vec![0.0], 0), (vec![1.0], 1), (vec![2.0], 1)],
+/// )?;
+/// let mut delta = DatasetDelta::new();
+/// delta.remove(1).flip_label(0, 1).append(&[3.0], 0);
+/// let next = ds.apply(&delta)?;
+/// assert_eq!(next.epoch(), 1);
+/// assert_eq!(next.len(), 3);
+/// assert_eq!(ds.len(), 3, "the old epoch is untouched");
+/// assert!(!next.is_live(1));
+/// # Ok(())
+/// # }
+/// ```
+#[derive(Debug, Clone, Default)]
+pub struct DatasetDelta {
+    appends: Vec<(Vec<f64>, ClassId)>,
+    removes: Vec<RowId>,
+    flips: Vec<(RowId, ClassId)>,
+}
+
+impl DatasetDelta {
+    /// An empty delta (applying it still bumps the epoch).
+    pub fn new() -> Self {
+        DatasetDelta::default()
+    }
+
+    /// Queues a row append (validated like [`DatasetBuilder::push_row`]
+    /// at apply time). The row lands in a fresh slot past `n_slots()`.
+    pub fn append(&mut self, values: &[f64], label: ClassId) -> &mut Self {
+        self.appends.push((values.to_vec(), label));
+        self
+    }
+
+    /// Queues a row removal. Duplicate removals of one row collapse.
+    pub fn remove(&mut self, row: RowId) -> &mut Self {
+        self.removes.push(row);
+        self
+    }
+
+    /// Queues a label flip. The last flip per row wins; a flip to the
+    /// row's current label is an effective no-op.
+    pub fn flip_label(&mut self, row: RowId, new_label: ClassId) -> &mut Self {
+        self.flips.push((row, new_label));
+        self
+    }
+
+    /// Whether the delta queues no operations at all.
+    pub fn is_empty(&self) -> bool {
+        self.appends.is_empty() && self.removes.is_empty() && self.flips.is_empty()
+    }
+}
+
+/// What a [`DatasetDelta`] *effectively* changed, after normalization
+/// (duplicate removals collapsed, last flip per row kept, flips to the
+/// current label dropped). Certificate transfer keys off this: a sound
+/// transfer across the epoch exists only for [`DeltaSummary::pure_removal`]
+/// deltas (see `antidote-core`'s cache-transfer docs).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct DeltaSummary {
+    /// Number of rows appended.
+    pub appended: usize,
+    /// Row ids effectively removed, ascending.
+    pub removed: Vec<RowId>,
+    /// Row ids whose label effectively changed, ascending.
+    pub flipped: Vec<RowId>,
+}
+
+impl DeltaSummary {
+    /// Whether the delta only removed rows (the condition under which a
+    /// `Robust(n)` certificate transfers to the next epoch with budget
+    /// `n - removed.len()`).
+    pub fn pure_removal(&self) -> bool {
+        self.appended == 0 && self.flipped.is_empty()
     }
 }
 
@@ -573,8 +1090,9 @@ impl DatasetBuilder {
         self.labels.is_empty()
     }
 
-    /// Finalises the dataset.
+    /// Finalises the dataset (at epoch 0, every row live).
     pub fn finish(self) -> Dataset {
+        let n = self.labels.len();
         let class_masks = build_class_masks(&self.labels, self.schema.n_classes());
         let feature_order = build_feature_order(&self.columns);
         // Threshold indexes are built lazily on first restriction (see
@@ -583,12 +1101,19 @@ impl DatasetBuilder {
         let threshold_index = (0..self.columns.len())
             .map(|_| Arc::new(OnceLock::new()))
             .collect();
+        let mut live = vec![!0u64; n / 64];
+        if !n.is_multiple_of(64) {
+            live.push((1u64 << (n % 64)) - 1);
+        }
         Dataset {
             schema: self.schema,
-            columns: self.columns,
-            labels: self.labels,
+            columns: Arc::new(self.columns),
+            labels: Arc::new(self.labels),
+            epoch: 0,
+            live,
+            n_live: n,
             class_masks,
-            feature_order,
+            feature_order: Arc::new(feature_order),
             threshold_index,
         }
     }
@@ -827,5 +1352,286 @@ mod tests {
         let rows: Vec<_> = (0..100).map(|i| (vec![i as f64, 0.0], 0)).collect();
         let big = Dataset::from_rows(schema2x2(), &rows).unwrap();
         assert!(big.approx_bytes() > small.approx_bytes());
+    }
+
+    // ---- Epoch / delta tests -------------------------------------------
+
+    fn five_rows() -> Dataset {
+        Dataset::from_rows(
+            schema2x2(),
+            &[
+                (vec![1.0, 9.0], 0),
+                (vec![2.0, 8.0], 1),
+                (vec![3.0, 7.0], 0),
+                (vec![4.0, 6.0], 1),
+                (vec![5.0, 5.0], 0),
+            ],
+        )
+        .unwrap()
+    }
+
+    #[test]
+    fn empty_delta_still_bumps_epoch() {
+        let ds = five_rows();
+        assert_eq!(ds.epoch(), 0);
+        let (next, summary) = ds.apply_summarized(&DatasetDelta::new()).unwrap();
+        assert_eq!(next.epoch(), 1);
+        assert_eq!(
+            summary,
+            DeltaSummary {
+                appended: 0,
+                removed: vec![],
+                flipped: vec![],
+            }
+        );
+        assert!(summary.pure_removal());
+        assert_eq!(next, ds, "content-equal; epochs differ");
+    }
+
+    #[test]
+    fn remove_clears_live_and_class_bits_but_shares_storage() {
+        let ds = five_rows();
+        let mut delta = DatasetDelta::new();
+        delta.remove(1).remove(4).remove(1); // duplicate collapses
+        let (next, summary) = ds.apply_summarized(&delta).unwrap();
+        assert_eq!(summary.removed, vec![1, 4]);
+        assert!(summary.pure_removal());
+        assert_eq!(next.epoch(), 1);
+        assert_eq!(next.len(), 3);
+        assert_eq!(next.n_slots(), 5, "slots are stable, never compacted");
+        assert!(!next.is_live(1) && !next.is_live(4));
+        assert_eq!(next.rows().collect::<Vec<_>>(), vec![0, 2, 3]);
+        assert_eq!(next.class_counts(), vec![2, 1]);
+        // Storage the delta did not touch is shared, not copied.
+        assert_eq!(
+            ds.columns().as_ptr(),
+            next.columns().as_ptr(),
+            "removal must share column storage"
+        );
+        assert_eq!(
+            ds.feature_order(0).as_ptr(),
+            next.feature_order(0).as_ptr(),
+            "removal must share slot orders (subsets filter dead slots)"
+        );
+        // The prefix masks reflect the removal: live rows 0/2/3 hold
+        // values 1/3/4, so `<= 2` catches only row 0 and `<= 5` all three.
+        assert_eq!(next.le_mask(0, 2.0, false), Some(&[0b00001u64][..]));
+        assert_eq!(next.le_mask(0, 5.0, false), Some(&[0b01101u64][..]));
+        // Out-of-range liveness queries are false, not panics.
+        assert!(!next.is_live(5));
+    }
+
+    #[test]
+    fn append_extends_columns_and_merges_orders() {
+        let ds = five_rows();
+        let mut delta = DatasetDelta::new();
+        // 2.0 ties an existing value; 0.5 lands in front; ties between the
+        // two appended rows keep append order.
+        delta.append(&[2.0, 4.0], 1).append(&[0.5, 4.0], 0);
+        let next = ds.apply(&delta).unwrap();
+        assert_eq!(next.len(), 7);
+        assert_eq!(next.n_slots(), 7);
+        assert_eq!(next.value(5, 0), 2.0);
+        assert_eq!(next.value(6, 0), 0.5);
+        assert_eq!(next.label(5), 1);
+        assert_eq!(next.class_counts(), vec![4, 3]);
+        // The merged order equals what a from-scratch build produces.
+        let rebuilt = Dataset::from_rows(
+            schema2x2(),
+            &[
+                (vec![1.0, 9.0], 0),
+                (vec![2.0, 8.0], 1),
+                (vec![3.0, 7.0], 0),
+                (vec![4.0, 6.0], 1),
+                (vec![5.0, 5.0], 0),
+                (vec![2.0, 4.0], 1),
+                (vec![0.5, 4.0], 0),
+            ],
+        )
+        .unwrap();
+        for f in 0..2 {
+            assert_eq!(
+                next.feature_order(f),
+                rebuilt.feature_order(f),
+                "feature {f}"
+            );
+        }
+        // The old epoch never sees the appended slots.
+        assert_eq!(ds.len(), 5);
+        assert!(!ds.is_live(5));
+    }
+
+    #[test]
+    fn pure_flip_shares_threshold_cells_and_moves_class_bits() {
+        let ds = five_rows();
+        let before = ds.le_mask(0, 3.0, false).unwrap().as_ptr();
+        let mut delta = DatasetDelta::new();
+        delta.flip_label(0, 1).flip_label(2, 0); // second is a no-op flip
+        let (next, summary) = ds.apply_summarized(&delta).unwrap();
+        assert_eq!(summary.flipped, vec![0], "no-op flips are normalized away");
+        assert!(!summary.pure_removal());
+        assert_eq!(next.label(0), 1);
+        assert_eq!(ds.label(0), 0, "old epoch keeps its label");
+        assert_eq!(next.class_counts(), vec![2, 3]);
+        assert_eq!(
+            next.le_mask(0, 3.0, false).unwrap().as_ptr(),
+            before,
+            "thresholds are label-blind: pure flips share the built cells"
+        );
+        for class in 0..2u16 {
+            for r in next.rows() {
+                let bit = next.class_mask(class)[r as usize / 64] >> (r % 64) & 1;
+                assert_eq!(bit == 1, next.label(r) == class, "class {class} row {r}");
+            }
+        }
+    }
+
+    #[test]
+    fn patched_threshold_index_equals_lazy_rebuild() {
+        // Two independently built copies of the same data: force the index
+        // on one so its post-delta cells are *patched*, leave the other to
+        // rebuild lazily at the new epoch. Both must answer identically.
+        let eager = five_rows();
+        let lazy = five_rows();
+        let _ = eager.le_mask(0, 3.0, false); // build before the delta
+        let _ = eager.le_mask(1, 7.0, false);
+        let mut delta = DatasetDelta::new();
+        delta
+            .remove(2)
+            .append(&[3.5, 6.5], 1)
+            .append(&[1.0, 9.5], 0); // value 1.0 ties slot 0 on feature 0
+        let pe = eager.apply(&delta).unwrap();
+        let pl = lazy.apply(&delta).unwrap();
+        for f in 0..2 {
+            for t in [0.4, 0.5, 1.0, 2.0, 3.0, 3.5, 5.0, 6.5, 7.0, 9.5, 10.0] {
+                for strict in [false, true] {
+                    assert_eq!(
+                        pe.le_mask(f, t, strict),
+                        pl.le_mask(f, t, strict),
+                        "feature {f}, threshold {t}, strict {strict}"
+                    );
+                }
+            }
+            assert_eq!(pe.feature_order(f), pl.feature_order(f));
+        }
+        assert_eq!(pe, pl);
+        // A removal-only patch also matches the lazy rebuild, including
+        // the stale value entry it may retain.
+        let mut rm = DatasetDelta::new();
+        rm.remove(0);
+        let pe = eager.apply(&rm).unwrap();
+        let pl = lazy.apply(&rm).unwrap();
+        for t in [0.5, 1.0, 1.5, 5.0] {
+            assert_eq!(pe.le_mask(0, t, false), pl.le_mask(0, t, false), "{t}");
+        }
+    }
+
+    #[test]
+    fn old_epoch_clone_is_immune_to_parent_mutation() {
+        // The satellite-2 staleness property: a clone taken at epoch e
+        // keeps answering for epoch e after the parent is mutated, even
+        // for indexes built lazily *after* the mutation.
+        let ds = five_rows();
+        let clone = ds.clone();
+        let pristine = five_rows();
+        let mut delta = DatasetDelta::new();
+        delta.remove(1).append(&[2.5, 6.0], 1).flip_label(0, 1);
+        let next = ds.apply(&delta).unwrap();
+        assert_eq!(next.epoch(), 1);
+        // The clone still sees epoch-0 data; its lazily built indexes are
+        // constructed against its own live set, not the parent's.
+        assert_eq!(clone.epoch(), 0);
+        assert_eq!(clone.len(), 5);
+        assert_eq!(clone.class_counts(), pristine.class_counts());
+        for f in 0..2 {
+            assert_eq!(clone.feature_order(f), pristine.feature_order(f));
+            for t in [0.5, 1.0, 2.0, 2.5, 3.0, 5.0, 9.0] {
+                assert_eq!(
+                    clone.le_mask(f, t, false),
+                    pristine.le_mask(f, t, false),
+                    "feature {f}, threshold {t}"
+                );
+            }
+        }
+        assert!(clone.is_live(1));
+        assert_eq!(clone.label(0), 0);
+        assert_eq!(next.label(0), 1);
+    }
+
+    #[test]
+    fn chained_epochs_keep_every_generation_consistent() {
+        let e0 = five_rows();
+        let mut d1 = DatasetDelta::new();
+        d1.remove(3);
+        let e1 = e0.apply(&d1).unwrap();
+        let mut d2 = DatasetDelta::new();
+        d2.append(&[6.0, 4.0], 1).flip_label(4, 1);
+        let e2 = e1.apply(&d2).unwrap();
+        assert_eq!((e0.epoch(), e1.epoch(), e2.epoch()), (0, 1, 2));
+        assert_eq!((e0.len(), e1.len(), e2.len()), (5, 4, 5));
+        assert_eq!(e2.rows().collect::<Vec<_>>(), vec![0, 1, 2, 4, 5]);
+        assert_eq!(e2.class_counts(), vec![2, 3]);
+        assert_eq!(e0.class_counts(), vec![3, 2]);
+        // Removing an already-dead slot at a later epoch is an error.
+        let mut bad = DatasetDelta::new();
+        bad.remove(3);
+        assert!(matches!(
+            e2.apply(&bad),
+            Err(DataError::InvalidDelta { row: 3, .. })
+        ));
+    }
+
+    #[test]
+    fn invalid_deltas_rejected() {
+        let ds = five_rows();
+        let mut d = DatasetDelta::new();
+        d.remove(7);
+        assert!(matches!(
+            ds.apply(&d),
+            Err(DataError::InvalidDelta { row: 7, .. })
+        ));
+        let mut d = DatasetDelta::new();
+        d.flip_label(9, 0);
+        assert!(matches!(
+            ds.apply(&d),
+            Err(DataError::InvalidDelta { row: 9, .. })
+        ));
+        let mut d = DatasetDelta::new();
+        d.remove(2).flip_label(2, 1);
+        assert!(matches!(
+            ds.apply(&d),
+            Err(DataError::InvalidDelta { row: 2, .. })
+        ));
+        let mut d = DatasetDelta::new();
+        d.flip_label(0, 5);
+        assert!(matches!(
+            ds.apply(&d),
+            Err(DataError::LabelOutOfRange { label: 5, .. })
+        ));
+        let mut d = DatasetDelta::new();
+        d.append(&[1.0], 0);
+        assert!(matches!(ds.apply(&d), Err(DataError::ArityMismatch { .. })));
+        let mut d = DatasetDelta::new();
+        d.append(&[1.0, f64::NAN], 0);
+        assert!(matches!(
+            ds.apply(&d),
+            Err(DataError::NonFiniteValue { feature: 1, .. })
+        ));
+        // A failed apply leaves the receiver fully intact.
+        assert_eq!(ds, five_rows());
+        assert_eq!(ds.epoch(), 0);
+    }
+
+    #[test]
+    fn delta_builder_api() {
+        let mut d = DatasetDelta::new();
+        assert!(d.is_empty());
+        d.remove(0);
+        assert!(!d.is_empty());
+        let mut d = DatasetDelta::new();
+        d.flip_label(1, 0).flip_label(1, 1); // last wins
+        let ds = five_rows();
+        let (_, summary) = ds.apply_summarized(&d).unwrap();
+        assert_eq!(summary.flipped, vec![], "1 already has label 1: no-op");
     }
 }

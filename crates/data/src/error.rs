@@ -44,6 +44,15 @@ pub enum DataError {
     TooManyRows,
     /// The schema declares no features or no classes.
     EmptySchema,
+    /// A [`crate::DatasetDelta`] referenced a row it cannot legally touch
+    /// at the epoch it targets (dead, out of range, or both removed and
+    /// flipped within one delta).
+    InvalidDelta {
+        /// The offending row id.
+        row: u32,
+        /// What the delta tried to do with it.
+        reason: &'static str,
+    },
     /// A CSV parse failure.
     Csv {
         /// 1-based line number of the failure.
@@ -87,6 +96,9 @@ impl fmt::Display for DataError {
             DataError::TooManyRows => write!(f, "dataset exceeds u32::MAX rows"),
             DataError::EmptySchema => {
                 write!(f, "schema must declare at least one feature and one class")
+            }
+            DataError::InvalidDelta { row, reason } => {
+                write!(f, "invalid delta: row {row}: {reason}")
             }
             DataError::Csv { line, message } => {
                 write!(f, "csv parse error at line {line}: {message}")
@@ -139,6 +151,10 @@ mod tests {
             DataError::Csv {
                 line: 7,
                 message: "bad field".into(),
+            },
+            DataError::InvalidDelta {
+                row: 4,
+                reason: "remove targets a row that is not live",
             },
         ];
         for e in errs {

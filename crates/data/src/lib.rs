@@ -49,7 +49,9 @@ pub mod synth;
 
 pub use arena::WordArena;
 pub use benchmark::{Benchmark, Scale};
-pub use dataset::{Column, Dataset, DatasetBuilder, FeatureKind, Schema};
+pub use dataset::{
+    Column, Dataset, DatasetBuilder, DatasetDelta, DeltaSummary, FeatureKind, Schema,
+};
 pub use error::DataError;
 pub use split::train_test_split;
 pub use stats::DatasetStats;

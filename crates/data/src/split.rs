@@ -22,7 +22,7 @@ pub fn train_test_split(ds: &Dataset, test_fraction: f64, seed: u64) -> (Dataset
         "test_fraction must be in (0, 1), got {test_fraction}"
     );
     assert!(ds.len() >= 2, "need at least two rows to split");
-    let mut order: Vec<RowId> = (0..ds.len() as RowId).collect();
+    let mut order: Vec<RowId> = ds.rows().collect();
     let mut rng = StdRng::seed_from_u64(seed);
     order.shuffle(&mut rng);
     let n_test = ((ds.len() as f64 * test_fraction) as usize).clamp(1, ds.len() - 1);
@@ -52,9 +52,7 @@ pub fn stratified_split(ds: &Dataset, test_fraction: f64, seed: u64) -> (Dataset
     let mut train_rows: Vec<RowId> = Vec::new();
     let mut test_rows: Vec<RowId> = Vec::new();
     for class in 0..ds.n_classes() as u16 {
-        let mut rows: Vec<RowId> = (0..ds.len() as RowId)
-            .filter(|&r| ds.label(r) == class)
-            .collect();
+        let mut rows: Vec<RowId> = ds.rows().filter(|&r| ds.label(r) == class).collect();
         rows.shuffle(&mut rng);
         let n_test = ((rows.len() as f64 * test_fraction).round() as usize).min(rows.len());
         test_rows.extend(&rows[..n_test]);

@@ -49,7 +49,7 @@ impl DatasetStats {
             if matches!(col, Column::Bool(_)) {
                 boolean_features += 1;
             }
-            let mut values: Vec<f64> = (0..ds.len() as u32).map(|r| ds.value(r, f)).collect();
+            let mut values: Vec<f64> = ds.rows().map(|r| ds.value(r, f)).collect();
             values.sort_by(f64::total_cmp);
             let distinct = count_distinct(&values);
             candidate_predicates += distinct.saturating_sub(1);

@@ -229,14 +229,12 @@ impl Subset {
         }
     }
 
-    /// The subset containing every row of `ds`.
+    /// The subset containing every **live** row of `ds` (a copy of the
+    /// dataset's live-slot mask — on post-removal epochs the row ids are
+    /// not dense, but the subset algebra never assumes they are).
     pub fn full(ds: &Dataset) -> Self {
-        let n = ds.len();
-        let mut words = vec![!0u64; n / 64];
-        if !n.is_multiple_of(64) {
-            words.push((1u64 << (n % 64)) - 1);
-        }
-        Subset::seal(words, n as u32, ds.class_counts())
+        let words = ds.live_words().to_vec();
+        Subset::seal(words, ds.len() as u32, ds.class_counts())
     }
 
     /// An empty subset shaped for `n_classes` classes.
@@ -249,13 +247,13 @@ impl Subset {
     ///
     /// # Panics
     ///
-    /// Panics if any index is out of bounds for `ds`.
+    /// Panics if any index is out of bounds for `ds` or names a dead slot.
     pub fn from_indices(ds: &Dataset, indices: Vec<RowId>) -> Self {
         let mut words: Vec<u64> = Vec::new();
         let mut class_counts = vec![0u32; ds.n_classes()];
         let mut len = 0u32;
         for &i in &indices {
-            assert!((i as usize) < ds.len(), "row id {i} out of bounds");
+            assert!(ds.is_live(i), "row id {i} out of bounds or not live");
             let w = i as usize / 64;
             if words.len() <= w {
                 words.resize(w + 1, 0);

@@ -1,0 +1,230 @@
+//! Deterministic mutation scripts for the drift scenario family.
+//!
+//! A drift workload is an ordinary scenario workload plus a *mutation
+//! script*: a seeded, fully deterministic sequence of [`DatasetDelta`]s
+//! replayed epoch by epoch by `antidote_core::drift`. Scripts are
+//! generated against a simulated live-row view (ids, labels, and values
+//! tracked across epochs), so every delta is valid for the epoch it is
+//! applied to — removals and flips only ever target live rows, flips
+//! always change the label, and appends duplicate a live donor row so
+//! the workload's distribution is preserved.
+//!
+//! Determinism matters doubly here: `BENCH_drift.json` compares a cold
+//! sweep against re-certification after the *same* 1% mutation on every
+//! CI run, and the soundness oracle replays scripts in shuffled orders.
+
+use antidote_data::{ClassId, Dataset, DatasetDelta, RowId};
+
+/// What kinds of operations a script may queue.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum MutationKind {
+    /// Rows are only removed — the regime with a sound certificate
+    /// transfer (`CertCache::transfer`), used by `BENCH_drift.json`.
+    PureRemoval,
+    /// Removals, label flips, and duplicate-row appends in rotation —
+    /// the adversarial regime where every mutation invalidates carried
+    /// state and re-certification runs fresh.
+    Mixed,
+}
+
+/// A seeded generator of per-epoch [`DatasetDelta`]s.
+#[derive(Debug, Clone, Copy)]
+pub struct MutationScript {
+    /// Number of mutation epochs (one delta per epoch).
+    pub steps: usize,
+    /// Fraction of the live rows mutated per epoch (clamped to at least
+    /// one row).
+    pub fraction: f64,
+    /// Operation mix.
+    pub kind: MutationKind,
+    /// Script seed; two scripts with equal fields are identical.
+    pub seed: u64,
+}
+
+impl MutationScript {
+    /// A pure-removal script.
+    pub fn removal(steps: usize, fraction: f64, seed: u64) -> Self {
+        MutationScript {
+            steps,
+            fraction,
+            kind: MutationKind::PureRemoval,
+            seed,
+        }
+    }
+
+    /// A mixed remove/flip/append script.
+    pub fn mixed(steps: usize, fraction: f64, seed: u64) -> Self {
+        MutationScript {
+            steps,
+            fraction,
+            kind: MutationKind::Mixed,
+            seed,
+        }
+    }
+
+    /// Generates the script's deltas against `base`. Each delta is valid
+    /// for the epoch produced by applying all earlier deltas in order.
+    /// The script ends early (possibly empty) once no live rows remain
+    /// to mutate; label flips require at least two declared classes and
+    /// degrade to removals otherwise.
+    pub fn generate(&self, base: &Dataset) -> Vec<DatasetDelta> {
+        let mut live: Vec<SimRow> = base
+            .rows()
+            .map(|r| SimRow {
+                id: r,
+                values: base.row_values(r),
+                label: base.label(r),
+            })
+            .collect();
+        let mut next_slot = base.n_slots() as RowId;
+        let mut state = self.seed ^ 0xd1f7_a54c_9e0b_3312;
+        let mut deltas = Vec::with_capacity(self.steps);
+        for _ in 0..self.steps {
+            if live.is_empty() {
+                break; // nothing left to mutate; the script ends early
+            }
+            let k = ((live.len() as f64 * self.fraction).ceil() as usize).clamp(1, live.len());
+            // Distinct victims via a partial Fisher–Yates shuffle: the
+            // first k entries of `live` become this epoch's targets.
+            for i in 0..k {
+                let j = i + (split_mix64(&mut state) as usize) % (live.len() - i);
+                live.swap(i, j);
+            }
+            let mut delta = DatasetDelta::new();
+            let mut removed: Vec<usize> = Vec::new();
+            for i in 0..k {
+                let op = match self.kind {
+                    MutationKind::PureRemoval => 0,
+                    MutationKind::Mixed => split_mix64(&mut state) % 3,
+                };
+                match op {
+                    // Flip: rotate to a different class (degrades to a
+                    // removal on single-class data, where no different
+                    // label exists).
+                    1 if base.n_classes() > 1 => {
+                        let shift = 1 + split_mix64(&mut state) % (base.n_classes() as u64 - 1);
+                        let new = (u64::from(live[i].label) + shift) % base.n_classes() as u64;
+                        live[i].label = new as ClassId;
+                        delta.flip_label(live[i].id, live[i].label);
+                    }
+                    // Append: duplicate a live donor row (chosen over
+                    // the whole live set, mutated or not).
+                    2 => {
+                        let donor = (split_mix64(&mut state) as usize) % live.len();
+                        let (values, label) = (live[donor].values.clone(), live[donor].label);
+                        delta.append(&values, label);
+                        live.push(SimRow {
+                            id: next_slot,
+                            values,
+                            label,
+                        });
+                        next_slot += 1;
+                    }
+                    _ => {
+                        delta.remove(live[i].id);
+                        removed.push(i);
+                    }
+                }
+            }
+            // Drop removed rows from the simulation, highest index first
+            // so swap_remove never disturbs a pending index.
+            removed.sort_unstable_by(|a, b| b.cmp(a));
+            for i in removed {
+                live.swap_remove(i);
+            }
+            deltas.push(delta);
+        }
+        deltas
+    }
+}
+
+/// One simulated live row: its current-epoch id, values, and label.
+#[derive(Debug, Clone)]
+struct SimRow {
+    id: RowId,
+    values: Vec<f64>,
+    label: ClassId,
+}
+
+/// SplitMix64 — the same tiny deterministic generator the data crate's
+/// synthesizers build on, inlined to keep this crate's dependencies flat.
+fn split_mix64(state: &mut u64) -> u64 {
+    *state = state.wrapping_add(0x9e37_79b9_7f4a_7c15);
+    let mut z = *state;
+    z = (z ^ (z >> 30)).wrapping_mul(0xbf58_476d_1ce4_e5b9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94d0_49bb_1331_11eb);
+    z ^ (z >> 31)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::builtin_registry;
+
+    fn blobs() -> Dataset {
+        builtin_registry().get("blobs").unwrap().workload(7).0
+    }
+
+    #[test]
+    fn scripts_are_deterministic_and_seed_sensitive() {
+        let ds = blobs();
+        let a = MutationScript::mixed(4, 0.02, 9).generate(&ds);
+        let b = MutationScript::mixed(4, 0.02, 9).generate(&ds);
+        assert_eq!(format!("{a:?}"), format!("{b:?}"));
+        let c = MutationScript::mixed(4, 0.02, 10).generate(&ds);
+        assert_ne!(format!("{a:?}"), format!("{c:?}"), "seed must matter");
+    }
+
+    #[test]
+    fn pure_removal_scripts_apply_and_stay_pure() {
+        let ds = blobs();
+        let script = MutationScript::removal(3, 0.01, 7);
+        let deltas = script.generate(&ds);
+        assert_eq!(deltas.len(), 3);
+        let mut cur = ds.clone();
+        let mut removed_total = 0;
+        for delta in &deltas {
+            let (next, summary) = cur.apply_summarized(delta).unwrap();
+            assert!(summary.pure_removal());
+            // 1% of 160 live rows, rounded up.
+            assert_eq!(summary.removed.len(), cur.len().div_ceil(100));
+            removed_total += summary.removed.len();
+            cur = next;
+        }
+        assert_eq!(cur.epoch(), 3);
+        assert_eq!(cur.len(), ds.len() - removed_total);
+    }
+
+    #[test]
+    fn mixed_scripts_apply_cleanly_across_many_epochs() {
+        let ds = blobs();
+        for seed in 0..5u64 {
+            let deltas = MutationScript::mixed(6, 0.05, seed).generate(&ds);
+            let mut cur = ds.clone();
+            for (i, delta) in deltas.iter().enumerate() {
+                cur = cur
+                    .apply(delta)
+                    .unwrap_or_else(|e| panic!("seed {seed}, epoch {i}: {e:?}"));
+            }
+            assert_eq!(cur.epoch(), 6, "seed {seed}");
+            assert!(!cur.is_empty(), "seed {seed}: script drained the dataset");
+        }
+    }
+
+    #[test]
+    fn fraction_clamps_to_at_least_one_row() {
+        let ds = blobs();
+        let deltas = MutationScript::removal(2, 0.0, 1).generate(&ds);
+        let (_, summary) = ds.apply_summarized(&deltas[0]).unwrap();
+        assert_eq!(summary.removed.len(), 1);
+    }
+
+    #[test]
+    fn empty_datasets_yield_empty_scripts() {
+        use antidote_data::{DatasetBuilder, Schema};
+        let empty = DatasetBuilder::new(Schema::real(1, 2)).finish();
+        assert!(MutationScript::removal(3, 0.01, 0)
+            .generate(&empty)
+            .is_empty());
+    }
+}

@@ -16,7 +16,10 @@
 //!   high-dimensional, near-duplicate rows, categorical one-hot);
 //! * [`flip_sweep`](mod@flip_sweep) — the §6.1 n-doubling ladder under
 //!   the **label-flip** threat model (`antidote_core::sweep` covers the
-//!   removal model).
+//!   removal model);
+//! * [`drift`] — seeded, deterministic [`MutationScript`]s of
+//!   `DatasetDelta`s for the drift scenario family, replayed epoch by
+//!   epoch by `antidote_core::drift` (CLI front-end: `antidote drift`).
 //!
 //! The matrix runner that shards the grid lives in `antidote-bench`
 //! (`matrix` module); the CLI front-end is `antidote matrix`.
@@ -32,8 +35,10 @@
 //! assert!(train.len() > 0 && !xs.is_empty());
 //! ```
 
+pub mod drift;
 pub mod flip_sweep;
 pub mod registry;
 
+pub use drift::{MutationKind, MutationScript};
 pub use flip_sweep::flip_sweep;
 pub use registry::{builtin_registry, builtin_scenarios, Scenario, ScenarioRegistry, ThreatModel};

@@ -142,9 +142,7 @@ impl ScenarioRegistry {
 /// generation (same family, independent seed), so test points come from
 /// the same distribution but never from the training set itself.
 fn held_out(ds: &Dataset, k: usize) -> Vec<Vec<f64>> {
-    (0..ds.len().min(k) as u32)
-        .map(|r| ds.row_values(r))
-        .collect()
+    ds.rows().take(k).map(|r| ds.row_values(r)).collect()
 }
 
 /// Seed for the held-out probe generation (mirrors the benchmark

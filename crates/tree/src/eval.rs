@@ -10,7 +10,8 @@ pub fn accuracy(tree: &DecisionTree, test: &Dataset) -> f64 {
     if test.is_empty() {
         return f64::NAN;
     }
-    let hits = (0..test.len() as u32)
+    let hits = test
+        .rows()
         .filter(|&r| tree.predict(&test.row_values(r)) == test.label(r))
         .count();
     hits as f64 / test.len() as f64
@@ -20,7 +21,7 @@ pub fn accuracy(tree: &DecisionTree, test: &Dataset) -> f64 {
 pub fn confusion_matrix(tree: &DecisionTree, test: &Dataset) -> Vec<Vec<u32>> {
     let k = test.n_classes();
     let mut m = vec![vec![0u32; k]; k];
-    for r in 0..test.len() as u32 {
+    for r in test.rows() {
         let pred = tree.predict(&test.row_values(r));
         m[test.label(r) as usize][pred as usize] += 1;
     }

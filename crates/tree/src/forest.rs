@@ -113,7 +113,8 @@ impl Forest {
         if test.is_empty() {
             return f64::NAN;
         }
-        let hits = (0..test.len() as u32)
+        let hits = test
+            .rows()
             .filter(|&r| self.predict(&test.row_values(r)) == test.label(r))
             .count();
         hits as f64 / test.len() as f64
@@ -247,7 +248,8 @@ mod tests {
             .members()
             .iter()
             .map(|m| {
-                let hits = (0..ds.len() as u32)
+                let hits = ds
+                    .rows()
                     .filter(|&r| m.vote(&ds.row_values(r)) == ds.label(r))
                     .count();
                 hits as f64 / ds.len() as f64

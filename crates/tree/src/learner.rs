@@ -270,7 +270,7 @@ mod tests {
         let ds = synth::iris_like(2);
         let tree = learn_tree(&ds, &Subset::full(&ds), 3);
         let traces = tree.traces();
-        for r in 0..ds.len() as u32 {
+        for r in ds.rows() {
             let x = ds.row_values(r);
             let matching = traces
                 .iter()
@@ -304,7 +304,8 @@ mod tests {
         let full = Subset::full(&ds);
         let acc = |d: usize| {
             let tree = learn_tree(&ds, &full, d);
-            let hits = (0..ds.len() as u32)
+            let hits = ds
+                .rows()
                 .filter(|&r| tree.predict(&ds.row_values(r)) == ds.label(r))
                 .count();
             hits as f64 / ds.len() as f64

@@ -243,7 +243,7 @@ fn cached_robust_verdicts_survive_the_brute_force_oracle() {
             let cache = CertCache::new(1);
             let ctx = ExecContext::sequential();
             for &n in &order {
-                let out = certifier.certify_cached(&x, n, 0, &cache, &ctx);
+                let out = certifier.certify_cached(&x, n, 0, &cache, &ctx).unwrap();
                 assert_eq!(
                     out.verdict,
                     certifier.certify(&x, n).verdict,
@@ -347,6 +347,358 @@ fn cached_sweep_rungs_match_fresh_certification() {
             }
         }
     }
+}
+
+/// Every subset of `ds`'s *live* rows whose complement (within the live
+/// set) has size ≤ n, as row-id lists — [`all_concretizations`] for a
+/// mutated dataset, where live rows are no longer contiguous.
+fn live_concretizations(ds: &Dataset, n: usize) -> Vec<Vec<u32>> {
+    let live: Vec<u32> = ds.rows().collect();
+    let mut out = Vec::new();
+    for mask in 0u32..(1 << live.len()) {
+        let kept: Vec<u32> = live
+            .iter()
+            .enumerate()
+            .filter(|(i, _)| mask & (1 << i) != 0)
+            .map(|(_, &r)| r)
+            .collect();
+        if live.len() - kept.len() <= n && !kept.is_empty() {
+            out.push(kept);
+        }
+    }
+    out
+}
+
+/// Brute-force oracle for *transferred* certificates: on tiny datasets,
+/// replay pure-removal mutation scripts (victims removed in shuffled
+/// orders), carrying the cache across each epoch with
+/// [`CertCache::transfer`], and check every `Robust` the cached probe
+/// returns at the final epoch — including answers served straight from a
+/// transferred bound before any trace exists — against exhaustive
+/// enumeration of all ≤ n-row removals with concrete retraining on the
+/// mutated (stable-slot) dataset.
+#[test]
+fn transferred_certificates_survive_the_brute_force_oracle() {
+    use antidote::core::CertCache;
+    use antidote::data::DatasetDelta;
+    use rand::seq::SliceRandom;
+
+    let mut rng = StdRng::seed_from_u64(418);
+    let mut proven = 0usize;
+    let mut transferred_answers = 0u64;
+    for trial in 0..60 {
+        let ds0 = {
+            // ≥ 4 rows so two single-row removals leave a real dataset;
+            // ≤ 8 so the oracle's 2^|T| enumeration stays tiny.
+            let mut ds = random_dataset(&mut rng);
+            while !(4..=8).contains(&ds.len()) {
+                ds = random_dataset(&mut rng);
+            }
+            ds
+        };
+        let depth = rng.random_range(0..=2usize);
+        let x: Vec<f64> = (0..ds0.n_features())
+            .map(|_| rng.random_range(0..5) as f64)
+            .collect();
+        // Two victims, removed one per epoch in a shuffled order.
+        let mut victims: Vec<u32> = (0..ds0.len() as u32).collect();
+        victims.shuffle(&mut rng);
+        victims.truncate(2);
+        for domain in DOMAINS {
+            let ctx = ExecContext::sequential();
+            let mut ds = ds0.clone();
+            let mut cache = CertCache::for_dataset(&ds, 1);
+            // Warm epoch 0 in ladder order, then replay the mutations.
+            let certifier = Certifier::new(&ds).depth(depth).domain(domain);
+            for n in 0..=3.min(ds.len() - 1) {
+                certifier.certify_cached(&x, n, 0, &cache, &ctx).unwrap();
+            }
+            for &victim in &victims {
+                let mut delta = DatasetDelta::new();
+                delta.remove(victim);
+                let (next, summary) = ds.apply_summarized(&delta).unwrap();
+                cache = cache.transfer(&summary, &next, ctx.metrics());
+                ds = next;
+            }
+            let mut budgets: Vec<usize> = (0..=3.min(ds.len() - 1)).collect();
+            budgets.shuffle(&mut rng);
+            if matches!(domain, DomainKind::Hybrid { .. }) {
+                budgets.sort_unstable();
+            }
+            let certifier = Certifier::new(&ds).depth(depth).domain(domain);
+            let reference = dtrace(&ds, &Subset::full(&ds), &x, depth).label;
+            for &n in &budgets {
+                if cache.transferred_lookup(0, n).is_some() {
+                    transferred_answers += 1;
+                }
+                let out = certifier.certify_cached(&x, n, 0, &cache, &ctx).unwrap();
+                assert_eq!(
+                    out.label, reference,
+                    "trial {trial} {domain:?}: reference label drifted after transfer"
+                );
+                if !out.is_robust() {
+                    continue;
+                }
+                proven += 1;
+                for kept in live_concretizations(&ds, n) {
+                    let poisoned = Subset::from_indices(&ds, kept);
+                    let retrained = dtrace(&ds, &poisoned, &x, depth).label;
+                    assert_eq!(
+                        retrained,
+                        reference,
+                        "trial {trial} {domain:?}: transferred Robust at n={n} (epoch {}) \
+                         contradicted by removing {:?} (|T|={}, depth={depth}, victims {victims:?})",
+                        ds.epoch(),
+                        poisoned.indices(),
+                        ds.len(),
+                    );
+                }
+            }
+        }
+    }
+    assert!(
+        proven > 80,
+        "only {proven} robust verdicts; the transfer oracle is vacuous"
+    );
+    // Bounds only survive two removals when epoch 0 proved Robust(m) with
+    // m ≥ 2 + n, so transferred answers are a minority of probes on these
+    // tiny instances — but they must actually occur.
+    assert!(
+        transferred_answers > 15,
+        "only {transferred_answers} probes hit a transferred bound; transfer barely exercised"
+    );
+}
+
+/// Appends and label flips must invalidate carried state: after a mixed
+/// delta the cache holds no transferred answers, and whatever the cached
+/// probes conclude on the mutated dataset is still pinned by the
+/// brute-force oracle.
+#[test]
+fn mixed_deltas_invalidate_and_stay_sound() {
+    use antidote::core::CertCache;
+    use antidote::data::DatasetDelta;
+
+    let mut rng = StdRng::seed_from_u64(420);
+    let mut proven = 0usize;
+    for trial in 0..40 {
+        let ds0 = {
+            let mut ds = random_dataset(&mut rng);
+            while !(4..=7).contains(&ds.len()) {
+                ds = random_dataset(&mut rng);
+            }
+            ds
+        };
+        let depth = rng.random_range(0..=2usize);
+        let x: Vec<f64> = (0..ds0.n_features())
+            .map(|_| rng.random_range(0..5) as f64)
+            .collect();
+        // One delta mixing all three mutation kinds: remove row 0, flip
+        // row 1 to a different class, append a fresh row.
+        let flipped = (ds0.label(1) + 1) % ds0.n_classes() as ClassId;
+        let appended: Vec<f64> = (0..ds0.n_features())
+            .map(|_| rng.random_range(0..5) as f64)
+            .collect();
+        let mut delta = DatasetDelta::new();
+        delta
+            .remove(0)
+            .flip_label(1, flipped)
+            .append(&appended, rng.random_range(0..ds0.n_classes()) as ClassId);
+        let (ds1, summary) = ds0.apply_summarized(&delta).unwrap();
+        assert!(
+            !summary.pure_removal(),
+            "trial {trial}: delta must be mixed"
+        );
+        for domain in DOMAINS {
+            let ctx = ExecContext::sequential();
+            let cache0 = CertCache::for_dataset(&ds0, 1);
+            let certifier0 = Certifier::new(&ds0).depth(depth).domain(domain);
+            for n in 0..=2.min(ds0.len() - 1) {
+                certifier0.certify_cached(&x, n, 0, &cache0, &ctx).unwrap();
+            }
+            let cache1 = cache0.transfer(&summary, &ds1, ctx.metrics());
+            for n in 0..ds1.len() {
+                assert!(
+                    cache1.transferred_lookup(0, n).is_none(),
+                    "trial {trial} {domain:?}: mixed delta left a transferred answer at n={n}"
+                );
+            }
+            let certifier1 = Certifier::new(&ds1).depth(depth).domain(domain);
+            let reference = dtrace(&ds1, &Subset::full(&ds1), &x, depth).label;
+            for n in 0..=2.min(ds1.len() - 1) {
+                let out = certifier1.certify_cached(&x, n, 0, &cache1, &ctx).unwrap();
+                if !out.is_robust() {
+                    continue;
+                }
+                proven += 1;
+                for kept in live_concretizations(&ds1, n) {
+                    let poisoned = Subset::from_indices(&ds1, kept);
+                    assert_eq!(
+                        dtrace(&ds1, &poisoned, &x, depth).label,
+                        reference,
+                        "trial {trial} {domain:?}: post-mutation Robust at n={n} \
+                         contradicted by removing {:?}",
+                        poisoned.indices(),
+                    );
+                }
+            }
+        }
+    }
+    assert!(
+        proven > 30,
+        "only {proven} robust verdicts; test is vacuous"
+    );
+}
+
+/// A deterministic counterexample pinning *why* appends transfer nothing:
+/// five 0-rows and one 1-row are provably `Robust(1)` at depth 0, but
+/// after appending four 1-rows (reference label still 0, five votes to
+/// four) a single removal flips the majority — naively carrying
+/// `Robust(1)` across the append would certify a falsehood. The transfer
+/// drops the bound instead.
+#[test]
+fn naive_append_transfer_would_be_unsound() {
+    use antidote::core::CertCache;
+    use antidote::data::DatasetDelta;
+
+    let rows: Vec<(Vec<f64>, ClassId)> = (0..6)
+        .map(|v| (vec![v as f64], u16::from(v == 5)))
+        .collect();
+    let ds0 = Dataset::from_rows(Schema::real(1, 2), &rows).unwrap();
+    let x = vec![2.0];
+    let certifier = Certifier::new(&ds0).depth(0);
+    let ctx = ExecContext::sequential();
+    let cache0 = CertCache::for_dataset(&ds0, 1);
+    let out = certifier.certify_cached(&x, 1, 0, &cache0, &ctx).unwrap();
+    assert!(out.is_robust(), "5-vs-1 majority is robust to one removal");
+
+    let mut delta = DatasetDelta::new();
+    for v in [6.0, 7.0, 8.0, 9.0] {
+        delta.append(&[v], 1);
+    }
+    let (ds1, summary) = ds0.apply_summarized(&delta).unwrap();
+    let cache1 = cache0.transfer(&summary, &ds1, ctx.metrics());
+    assert!(
+        cache1.transferred_lookup(0, 1).is_none(),
+        "appends must not carry Robust bounds"
+    );
+    // And rightly so: on the appended dataset a single removal breaks
+    // the prediction, so the carried certificate would have been wrong.
+    let truth = enumerate_robustness(&ds1, &x, 0, 1, 1 << 22);
+    assert!(
+        !truth.is_robust(),
+        "ground truth must refute Robust(1) on the appended dataset: {truth:?}"
+    );
+}
+
+/// Transfer-on/off differential: over random tiny instances and
+/// pure-removal scripts, `drift_sweep` must produce bit-identical ladders
+/// (rung identities and verified counts) whether certificates are carried
+/// across epochs or every epoch starts cold — the transfer changes cost,
+/// never verdicts.
+#[test]
+fn drift_transfer_differential_is_bit_identical() {
+    use antidote::core::{drift_sweep, DriftConfig, SweepConfig};
+    use antidote::data::DatasetDelta;
+    use rand::seq::SliceRandom;
+
+    let mut rng = StdRng::seed_from_u64(421);
+    let mut transferred = 0u64;
+    for trial in 0..30 {
+        let ds = {
+            let mut ds = random_dataset(&mut rng);
+            while !(4..=8).contains(&ds.len()) {
+                ds = random_dataset(&mut rng);
+            }
+            ds
+        };
+        let depth = rng.random_range(0..=2usize);
+        let xs: Vec<Vec<f64>> = (0..2)
+            .map(|_| {
+                (0..ds.n_features())
+                    .map(|_| rng.random_range(0..5) as f64)
+                    .collect()
+            })
+            .collect();
+        // Two single-removal epochs over shuffled victims.
+        let mut victims: Vec<u32> = (0..ds.len() as u32).collect();
+        victims.shuffle(&mut rng);
+        let deltas: Vec<DatasetDelta> = victims[..2]
+            .iter()
+            .map(|&v| {
+                let mut d = DatasetDelta::new();
+                d.remove(v);
+                d
+            })
+            .collect();
+        for domain in DOMAINS {
+            let mk = |transfer| DriftConfig {
+                sweep: SweepConfig {
+                    depth,
+                    domain,
+                    timeout: None,
+                    max_live_disjuncts: None,
+                    threads: 1,
+                    max_n: Some(3.min(ds.len() - 2)),
+                    ..SweepConfig::default()
+                },
+                transfer,
+            };
+            let on = drift_sweep(&ds, &xs, &deltas, &mk(true)).unwrap();
+            let off = drift_sweep(&ds, &xs, &deltas, &mk(false)).unwrap();
+            assert_eq!(on.len(), off.len());
+            for (a, b) in on.iter().zip(&off) {
+                assert_eq!(
+                    a.ladder_key(),
+                    b.ladder_key(),
+                    "trial {trial} {domain:?} epoch {}: transfer changed verdicts \
+                     (|T|={}, depth={depth}, victims {victims:?})",
+                    a.epoch,
+                    ds.len(),
+                );
+                assert_eq!(b.metrics.cache_transfers, 0);
+            }
+            transferred += on.iter().map(|r| r.metrics.cache_transfers).sum::<u64>();
+        }
+    }
+    assert!(
+        transferred > 0,
+        "no certificates ever transferred; differential is vacuous"
+    );
+}
+
+/// Using a cache stamped for one epoch against another is a hard error in
+/// *every* build profile — this file runs under `--release` in CI, where
+/// `debug_assert!` is compiled out, so this is the regression test that
+/// the guard survives release codegen.
+#[test]
+fn stale_caches_are_rejected_in_release_builds() {
+    use antidote::core::CertCache;
+    use antidote::data::DatasetDelta;
+
+    let ds = Dataset::from_rows(
+        Schema::real(1, 2),
+        &[
+            (vec![0.0], 0),
+            (vec![1.0], 0),
+            (vec![2.0], 1),
+            (vec![3.0], 1),
+        ],
+    )
+    .unwrap();
+    let cache = CertCache::for_dataset(&ds, 1);
+    let mutated = ds.apply(DatasetDelta::new().remove(0)).unwrap();
+    let err = Certifier::new(&mutated)
+        .depth(1)
+        .certify_cached(&[1.5], 1, 0, &cache, &ExecContext::sequential())
+        .unwrap_err();
+    assert_eq!(err.cache_epoch, 0);
+    assert_eq!(err.dataset_epoch, 1);
+    // Re-keying for the mutated dataset restores service.
+    let fresh = CertCache::for_dataset(&mutated, 1);
+    assert!(Certifier::new(&mutated)
+        .depth(1)
+        .certify_cached(&[1.5], 1, 0, &fresh, &ExecContext::sequential())
+        .is_ok());
 }
 
 /// The reference label reported by the certifier always matches the
