@@ -115,6 +115,8 @@ struct ModeStats {
     arena_resets: u64,
     arena_bytes: usize,
     simd_lanes: usize,
+    requests_served: u64,
+    cross_request_cache_hits: u64,
 }
 
 fn run_mode(
@@ -159,6 +161,8 @@ fn run_mode(
             arena_resets: m.arena_resets(),
             arena_bytes: m.arena_bytes(),
             simd_lanes: m.simd_lanes(),
+            requests_served: m.requests_served(),
+            cross_request_cache_hits: m.cross_request_cache_hits(),
         };
     }
     (out, best, stats)
@@ -217,6 +221,14 @@ fn main() {
         cached_stats.interner_hits > 0,
         "frontier hash-consing must fire on the stock configuration"
     );
+    // The one-shot sweep never routes through a Session: the service
+    // counters must stay at 0 on this path (the serve bench gates their
+    // live values), and the gate holds them there.
+    assert_eq!(
+        cached_stats.requests_served, 0,
+        "static path serves no requests"
+    );
+    assert_eq!(cached_stats.cross_request_cache_hits, 0);
     // Thread-churn visibility: batches the persistent pool served without
     // spawning a worker. Strictly sequential reps never touch the pool, so
     // on a 1-core host (where the multi-thread rep is skipped) there is no
@@ -297,6 +309,8 @@ fn main() {
   "arena_resets": {},
   "arena_bytes": {},
   "simd_lanes": {},
+  "requests_served": {},
+  "cross_request_cache_hits": {},
   "frontier_peak_disjuncts": {},
   "pool_reuse_count": {},
   "ladder": [
@@ -328,6 +342,8 @@ fn main() {
         cached_stats.arena_resets,
         cached_stats.arena_bytes,
         cached_stats.simd_lanes,
+        cached_stats.requests_served,
+        cached_stats.cross_request_cache_hits,
         cached_stats.frontier_peak_disjuncts,
         pool_reuse_json,
         ladder_json.join(",\n")

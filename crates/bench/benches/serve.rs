@@ -1,0 +1,340 @@
+//! Certification-service benchmark: replays a request trace against
+//! long-lived [`Session`]s through the batching [`RequestEngine`] —
+//! repeat points, coalesced duplicates, two datasets interleaved, and a
+//! two-epoch pure-removal drift delta mid-stream — with a
+//! machine-readable `BENCH_serve.json` snapshot for the performance
+//! trajectory.
+//!
+//! Run with:
+//!
+//! ```text
+//! cargo bench -p antidote-bench --bench serve [-- --per-class C]
+//! ```
+//!
+//! The trace is the service's value proposition made measurable: a
+//! one-shot pipeline pays a full abstract run per question, while the
+//! session answers every repeat, monotone-implied budget, coalesced
+//! in-flight twin, and post-drift within-bound question from warm state.
+//! The bench asserts the cross-request cache hit rate beats the
+//! single-sweep cache's 47.5% (`BENCH_sweep.json`'s `cache_hit_rate`),
+//! that the warm batch runs zero abstract derivations, and that
+//! replaying every batch in reverse admission order on fresh sessions
+//! reproduces byte-identical responses. Thread count is pinned to 2
+//! explicitly — `ExecContext` honors explicit counts on any host — so
+//! every counter, including `pool_reuse_count`, is host-independent and
+//! `perfgate` holds all of them (pool reuse included, unlike the sweep
+//! artifact's host-dependent `null`) to exact equality.
+
+use antidote_core::engine::ExecContext;
+use antidote_core::{
+    pool_stats, DomainKind, Request, RequestEngine, Response, Session, SessionConfig, Verdict,
+};
+use antidote_data::synth::{gaussian_blobs, BlobSpec};
+use antidote_data::{Dataset, DatasetDelta, DatasetRegistry, DeltaSummary};
+use std::path::PathBuf;
+use std::sync::Arc;
+use std::time::Instant;
+
+struct Options {
+    per_class: usize,
+}
+
+impl Options {
+    fn parse() -> Options {
+        let mut opts = Options { per_class: 100 };
+        let mut it = std::env::args().skip(1);
+        while let Some(arg) = it.next() {
+            let mut value = |name: &str| {
+                it.next()
+                    .and_then(|v| v.parse::<usize>().ok())
+                    .unwrap_or_else(|| panic!("{name} needs an integer value"))
+            };
+            match arg.as_str() {
+                "--per-class" => opts.per_class = value("--per-class").max(10),
+                "--bench" => {} // passed by `cargo bench`
+                other => panic!("unknown flag '{other}'"),
+            }
+        }
+        opts
+    }
+}
+
+/// Dataset A: the 1-D two-blob config the service tests pin.
+fn blobs_a(per_class: usize) -> Dataset {
+    gaussian_blobs(
+        &BlobSpec {
+            means: vec![vec![0.0], vec![10.0]],
+            stds: vec![vec![1.0], vec![1.0]],
+            per_class,
+            quantum: Some(0.1),
+        },
+        7,
+    )
+}
+
+/// Dataset B: a second tenant with different geometry and seed, so the
+/// mixed-dataset batches exercise per-session state isolation.
+fn blobs_b(per_class: usize) -> Dataset {
+    gaussian_blobs(
+        &BlobSpec {
+            means: vec![vec![2.0], vec![8.0]],
+            stds: vec![vec![1.0], vec![1.0]],
+            per_class,
+            quantum: Some(0.1),
+        },
+        11,
+    )
+}
+
+fn certify(x: f64, n: usize) -> Request {
+    Request::Certify { x: vec![x], n }
+}
+
+fn assert_robust(r: &Response, what: &str) {
+    match r {
+        Response::Certify { verdict, .. } => {
+            assert_eq!(*verdict, Verdict::Robust, "{what} must certify robust")
+        }
+        Response::Sweep { .. } => panic!("{what}: expected a certify response"),
+    }
+}
+
+/// The three batches of the trace. The drift delta is applied between
+/// batches 2 and 3, so a replay reproduces it at the same position.
+fn batches() -> [Vec<(usize, Request)>; 3] {
+    // Requests are (session index, request): 0 = dataset A, 1 = B.
+    [
+        // Cold: five distinct questions across both tenants.
+        vec![
+            (0, certify(0.5, 16)),
+            (0, certify(9.5, 8)),
+            (0, certify(5.1, 1)),
+            (1, certify(2.5, 8)),
+            (1, certify(7.5, 4)),
+        ],
+        // Warm: exact repeats, an in-flight coalesced twin, and
+        // monotone-implied budgets — all answerable without a single
+        // abstract run.
+        vec![
+            (0, certify(0.5, 16)),
+            (0, certify(0.5, 16)), // coalesces with the line above
+            (0, certify(0.5, 7)),  // implied by Robust(16)
+            (0, certify(9.5, 8)),
+            (0, certify(9.5, 3)),
+            (1, certify(2.5, 8)),
+            (1, certify(7.5, 2)),
+        ],
+        // Post-drift (two pure-removal epochs batched into one
+        // transfer): within-bound questions stay warm at the new epoch;
+        // one genuinely new point pays the only cold derivation.
+        vec![
+            (0, certify(0.5, 14)), // Robust(16) − 2 removals
+            (0, certify(0.5, 13)),
+            (0, certify(9.5, 6)), // Robust(8) − 2 removals
+            (0, certify(0.3, 4)), // cold
+            (1, certify(2.5, 8)), // B is untouched by A's drift
+        ],
+    ]
+}
+
+struct Replay {
+    responses: Vec<Vec<Response>>,
+    served: u64,
+    hits: u64,
+    warm_abstract_runs: u64,
+}
+
+/// Runs the full trace — three batches with the drift advance between
+/// batches 2 and 3 — against fresh sessions. `reverse` flips the
+/// admission order inside every batch (responses are un-flipped before
+/// returning), pinning order-independence.
+fn replay(
+    ds_a: &Arc<Dataset>,
+    ds_b: &Arc<Dataset>,
+    next_a: &Arc<Dataset>,
+    summaries: &[DeltaSummary],
+    grand: &ExecContext,
+    reverse: bool,
+) -> Replay {
+    let cfg = SessionConfig {
+        depth: 1,
+        domain: DomainKind::Disjuncts,
+        ..SessionConfig::default()
+    };
+    let sessions = [
+        Arc::new(Session::new(Arc::clone(ds_a), cfg.clone())),
+        Arc::new(Session::new(Arc::clone(ds_b), cfg)),
+    ];
+    let engine = RequestEngine::new();
+    let mut responses = Vec::new();
+    let mut served = 0;
+    let mut hits = 0;
+    let mut warm_abstract_runs = 0;
+    for (i, batch) in batches().into_iter().enumerate() {
+        if i == 2 {
+            sessions[0].advance(Arc::clone(next_a), summaries, grand.metrics());
+        }
+        let mut requests: Vec<(Arc<Session>, Request)> = batch
+            .into_iter()
+            .map(|(s, r)| (Arc::clone(&sessions[s]), r))
+            .collect();
+        if reverse {
+            requests.reverse();
+        }
+        let ctx = ExecContext::new().threads(2);
+        let mut out = engine.submit(&requests, &ctx);
+        if reverse {
+            out.reverse();
+        }
+        let m = ctx.metrics();
+        served += m.requests_served();
+        hits += m.cross_request_cache_hits();
+        if i == 1 {
+            warm_abstract_runs = m.certify_calls() + m.cache_hits() - m.cache_shortcircuits();
+        }
+        grand.metrics().absorb(&m.snapshot());
+        responses.push(out);
+    }
+    Replay {
+        responses,
+        served,
+        hits,
+        warm_abstract_runs,
+    }
+}
+
+fn main() {
+    let opts = Options::parse();
+    let registry = DatasetRegistry::new();
+    let ds_a = registry.load("a", blobs_a(opts.per_class));
+    let ds_b = registry.load("b", blobs_b(opts.per_class));
+
+    // The mid-stream drift: two chained single-row pure removals on
+    // dataset A, applied through the registry and carried into the
+    // session as one batched certificate transfer.
+    let deltas: Vec<DatasetDelta> = [0, 1]
+        .iter()
+        .map(|&row| {
+            let mut d = DatasetDelta::new();
+            d.remove(row);
+            d
+        })
+        .collect();
+    let (next_a, summaries) = registry
+        .apply_delta_many("a", &deltas)
+        .expect("pure removals of live rows");
+    assert_eq!(next_a.epoch(), 2);
+
+    println!(
+        "# serve: |A| = {} -> {}, |B| = {}, depth 1, disjuncts, threads pinned to 2",
+        ds_a.len(),
+        next_a.len(),
+        ds_b.len()
+    );
+
+    let grand = ExecContext::new().threads(2);
+    let t0 = Instant::now();
+    let forward = replay(&ds_a, &ds_b, &next_a, &summaries, &grand, false);
+    let trace_ms = t0.elapsed().as_secs_f64() * 1e3;
+
+    // The anchors the warm path relies on must actually certify.
+    assert_robust(&forward.responses[0][0], "A x=0.5 n=16");
+    assert_robust(&forward.responses[0][1], "A x=9.5 n=8");
+    assert_robust(&forward.responses[1][0], "A x=0.5 n=16 repeat");
+    assert_robust(&forward.responses[2][0], "A x=0.5 n=14 post-drift");
+    for r in &forward.responses[2] {
+        if let Response::Certify { epoch, .. } = r {
+            // Dataset A responses sit at epoch 2, B stays at 0.
+            assert!(*epoch == 2 || *epoch == 0, "unexpected epoch {epoch}");
+        }
+    }
+    assert_eq!(
+        forward.warm_abstract_runs, 0,
+        "the warm batch must be answered entirely from session state"
+    );
+
+    // Replay with every batch reversed on fresh sessions: responses
+    // must be byte-identical regardless of admission order. Its
+    // counters go to a scratch context so the artifact reflects the
+    // primary run alone.
+    let scratch = ExecContext::new().threads(2);
+    let reversed = replay(&ds_a, &ds_b, &next_a, &summaries, &scratch, true);
+    let identical_responses = forward.responses == reversed.responses;
+    assert!(
+        identical_responses,
+        "reversed admission must reproduce identical responses"
+    );
+
+    let hit_rate = forward.hits as f64 / forward.served as f64;
+    // The single-sweep cache hit rate from BENCH_sweep.json: the
+    // service's cross-request rate must dominate it, or owning state
+    // across requests bought nothing.
+    const SWEEP_HIT_RATE: f64 = 0.475;
+    let dominates = hit_rate > SWEEP_HIT_RATE;
+    assert!(
+        dominates,
+        "cross-request hit rate {hit_rate:.3} must beat the single-sweep {SWEEP_HIT_RATE}"
+    );
+    println!(
+        "served {} request(s), {} cross-request hit(s) ({:.1}% vs single-sweep 47.5%)",
+        forward.served,
+        forward.hits,
+        100.0 * hit_rate
+    );
+    println!("identical responses under reversed admission: yes; trace: {trace_ms:.1} ms");
+
+    // Every batch after the first reuses persistent pool workers; with
+    // threads pinned, the count is the same on every host and the gate
+    // holds it exactly.
+    let pool_reuse_count = pool_stats().batches_reusing_workers;
+    let m = grand.metrics();
+    let json = format!(
+        r#"{{
+  "bench": "serve",
+  "dataset_a_rows": {},
+  "dataset_b_rows": {},
+  "depth": 1,
+  "domain": "disjuncts",
+  "threads": 2,
+  "trace_ms": {trace_ms:.3},
+  "identical_responses": {identical_responses},
+  "hit_rate_dominates_sweep": {dominates},
+  "cross_request_hit_rate": {hit_rate:.3},
+  "requests_served": {},
+  "cross_request_cache_hits": {},
+  "warm_batch_abstract_runs": {},
+  "certify_calls_cached": {},
+  "cache_hits": {},
+  "cache_shortcircuits": {},
+  "cache_transfers": {},
+  "cache_invalidations": {},
+  "subsumption_pruned": {},
+  "split_memo_hits": {},
+  "split_memo_misses": {},
+  "interner_hits": {},
+  "arena_resets": {},
+  "pool_reuse_count": {pool_reuse_count}
+}}
+"#,
+        ds_a.len(),
+        ds_b.len(),
+        forward.served,
+        forward.hits,
+        forward.warm_abstract_runs,
+        m.certify_calls(),
+        m.cache_hits(),
+        m.cache_shortcircuits(),
+        m.cache_transfers(),
+        m.cache_invalidations(),
+        m.disjuncts_subsumed(),
+        m.split_memo_hits(),
+        m.split_memo_misses(),
+        m.interner_hits(),
+        m.arena_resets(),
+    );
+    let path = PathBuf::from(env!("CARGO_MANIFEST_DIR")).join("../../BENCH_serve.json");
+    match std::fs::write(&path, &json) {
+        Ok(()) => println!("wrote {}", path.display()),
+        Err(e) => eprintln!("could not write {}: {e}", path.display()),
+    }
+}

@@ -1,47 +1,77 @@
-//! CI perf-regression gate over `BENCH_sweep.json`.
+//! CI perf-regression gate over `BENCH_sweep.json` and (optionally)
+//! `BENCH_serve.json`.
 //!
 //! ```text
-//! perfgate <baseline.json> <candidate.json>
+//! perfgate <sweep_baseline.json> <sweep_candidate.json> \
+//!          [<serve_baseline.json> <serve_candidate.json>]
 //! ```
 //!
-//! Exits non-zero when the candidate's `identical_ladders` is not `true`
-//! or any gated counter (`certify_calls_cached`, `subsumption_pruned`,
-//! `split_memo_hits`, `split_memo_misses`, `interner_hits`,
-//! `arena_resets`, `cache_transfers`, `cache_invalidations`) drifts
-//! from the committed baseline. Counter equality
-//! — never wall-clock — keeps the gate host-independent: a slow CI
-//! runner cannot fail it, but a change that silently disables the
-//! certification cache, the subsumption pass, the `bestSplit#` memo,
-//! frontier hash-consing, or the learner's word-scratch arena cannot
-//! pass it. `pool_reuse_count` stays ungated: it is `null` on 1-core
-//! hosts. See DESIGN.md §8 and §9.4.
+//! Exits non-zero when the sweep candidate's `identical_ladders` is not
+//! `true` or any gated counter (`certify_calls_cached`,
+//! `subsumption_pruned`, `split_memo_hits`, `split_memo_misses`,
+//! `interner_hits`, `arena_resets`, `cache_transfers`,
+//! `cache_invalidations`, `requests_served`,
+//! `cross_request_cache_hits`) drifts from the committed baseline.
+//! Counter equality — never wall-clock — keeps the gate
+//! host-independent: a slow CI runner cannot fail it, but a change that
+//! silently disables the certification cache, the subsumption pass, the
+//! `bestSplit#` memo, frontier hash-consing, or the learner's
+//! word-scratch arena cannot pass it. `pool_reuse_count` stays ungated
+//! on the sweep artifact (it is `null` on 1-core hosts) but is gated
+//! exactly on the serve artifact, whose bench pins an explicit thread
+//! count; the serve gate additionally requires `identical_responses`
+//! and `hit_rate_dominates_sweep` to hold. See DESIGN.md §8, §9.4,
+//! and §12.
 
-use antidote_bench::perf::{check_sweep_gate, json_u64, GATED_COUNTERS};
+use antidote_bench::perf::{check_serve_gate, check_sweep_gate, json_u64, GATED_COUNTERS};
+
+fn read(path: &str) -> String {
+    std::fs::read_to_string(path).unwrap_or_else(|e| {
+        eprintln!("perfgate: cannot read {path}: {e}");
+        std::process::exit(2);
+    })
+}
+
+fn report(label: &str, baseline: &str, candidate: &str) {
+    for field in GATED_COUNTERS {
+        println!(
+            "perfgate[{label}]: {field}: baseline {:?}, candidate {:?}",
+            json_u64(baseline, field),
+            json_u64(candidate, field)
+        );
+    }
+}
 
 fn main() {
     let args: Vec<String> = std::env::args().skip(1).collect();
-    let [baseline_path, candidate_path] = args.as_slice() else {
-        eprintln!("usage: perfgate <baseline.json> <candidate.json>");
-        std::process::exit(2);
-    };
-    let read = |path: &String| -> String {
-        std::fs::read_to_string(path).unwrap_or_else(|e| {
-            eprintln!("perfgate: cannot read {path}: {e}");
+    let (sweep, serve) = match args.as_slice() {
+        [sb, sc] => ((sb, sc), None),
+        [sb, sc, vb, vc] => ((sb, sc), Some((vb, vc))),
+        _ => {
+            eprintln!(
+                "usage: perfgate <sweep_baseline.json> <sweep_candidate.json> \
+                 [<serve_baseline.json> <serve_candidate.json>]"
+            );
             std::process::exit(2);
-        })
+        }
     };
-    let baseline = read(baseline_path);
-    let candidate = read(candidate_path);
-    for field in GATED_COUNTERS {
+    let baseline = read(sweep.0);
+    let candidate = read(sweep.1);
+    report("sweep", &baseline, &candidate);
+    let mut violations = check_sweep_gate(&baseline, &candidate);
+    if let Some((serve_baseline_path, serve_candidate_path)) = serve {
+        let serve_baseline = read(serve_baseline_path);
+        let serve_candidate = read(serve_candidate_path);
+        report("serve", &serve_baseline, &serve_candidate);
         println!(
-            "perfgate: {field}: baseline {:?}, candidate {:?}",
-            json_u64(&baseline, field),
-            json_u64(&candidate, field)
+            "perfgate[serve]: pool_reuse_count: baseline {:?}, candidate {:?}",
+            json_u64(&serve_baseline, "pool_reuse_count"),
+            json_u64(&serve_candidate, "pool_reuse_count")
         );
+        violations.extend(check_serve_gate(&serve_baseline, &serve_candidate));
     }
-    let violations = check_sweep_gate(&baseline, &candidate);
     if violations.is_empty() {
-        println!("perfgate: OK — ladders identical, gated counters match the baseline");
+        println!("perfgate: OK — artifacts consistent, gated counters match the baseline");
         return;
     }
     for v in &violations {

@@ -64,9 +64,17 @@ pub struct GateViolation {
 /// through the word-scratch arena (one reset per `run_abstract`), so a
 /// change that routes the learner around the arena — losing its
 /// allocation reuse — fails the gate the same way a disabled cache
-/// would. `pool_reuse_count` is deliberately *not* gated: it is `null`
-/// on 1-core hosts (the multi-thread rep is skipped there), so exact
-/// equality would make the gate host-dependent.
+/// would. `pool_reuse_count` is deliberately *not* gated here: it is
+/// `null` on 1-core hosts (the multi-thread rep is skipped there), so
+/// exact equality would make the sweep gate host-dependent. The *serve*
+/// gate closes that hole — its bench pins an explicit thread count, so
+/// pool reuse is the same number on every host and
+/// [`check_serve_gate`] holds it to exact equality.
+/// `requests_served` / `cross_request_cache_hits` are the service
+/// layer's counters: the one-shot sweep path never routes through a
+/// `Session`, so the baseline pins both at 0 — a change that starts
+/// attributing service traffic to the static path fails the gate, and
+/// the serve artifact gates their real (non-zero) values.
 /// `cache_transfers` / `cache_invalidations` count certificates carried
 /// across (or dropped at) dataset-epoch boundaries: the stock sweep never
 /// mutates its dataset, so the baseline pins both at 0 — a change that
@@ -75,7 +83,7 @@ pub struct GateViolation {
 /// and fails the gate. The drift path's non-zero counts live in
 /// `BENCH_drift.json`, which CI holds to its committed reference
 /// (timings stripped) the same way it holds `BENCH_split.json`.
-pub const GATED_COUNTERS: [&str; 8] = [
+pub const GATED_COUNTERS: [&str; 10] = [
     "certify_calls_cached",
     "subsumption_pruned",
     "split_memo_hits",
@@ -84,6 +92,8 @@ pub const GATED_COUNTERS: [&str; 8] = [
     "arena_resets",
     "cache_transfers",
     "cache_invalidations",
+    "requests_served",
+    "cross_request_cache_hits",
 ];
 
 /// Checks a freshly generated `BENCH_sweep.json` (`candidate`) against
@@ -110,7 +120,19 @@ pub fn check_sweep_gate(baseline: &str, candidate: &str) -> Vec<GateViolation> {
             detail: "field missing from candidate".to_string(),
         }),
     }
-    for field in GATED_COUNTERS {
+    check_counters(baseline, candidate, &GATED_COUNTERS, &mut violations);
+    violations
+}
+
+/// Exact-equality check of each named `u64` counter across the two
+/// documents, appending a violation per mismatch or missing field.
+fn check_counters(
+    baseline: &str,
+    candidate: &str,
+    fields: &[&'static str],
+    violations: &mut Vec<GateViolation>,
+) {
+    for &field in fields {
         match (json_u64(baseline, field), json_u64(candidate, field)) {
             (Some(b), Some(c)) if b == c => {}
             (Some(b), Some(c)) => violations.push(GateViolation {
@@ -127,6 +149,47 @@ pub fn check_sweep_gate(baseline: &str, candidate: &str) -> Vec<GateViolation> {
             }),
         }
     }
+}
+
+/// A required `true` boolean in the candidate document, appending a
+/// violation when it is `false` or absent.
+fn check_true_flag(candidate: &str, field: &'static str, violations: &mut Vec<GateViolation>) {
+    match json_bool(candidate, field) {
+        Some(true) => {}
+        Some(false) => violations.push(GateViolation {
+            field,
+            detail: format!("candidate reports {field} = false"),
+        }),
+        None => violations.push(GateViolation {
+            field,
+            detail: "field missing from candidate".to_string(),
+        }),
+    }
+}
+
+/// Checks a freshly generated `BENCH_serve.json` (`candidate`) against
+/// the committed baseline document.
+///
+/// Gated conditions:
+///
+/// * `identical_responses` must be `true` in the candidate — the
+///   batched-vs-reversed replay produced byte-identical responses;
+/// * `hit_rate_dominates_sweep` must be `true` — the cross-request
+///   cache hit rate beat the single-sweep baseline rate (0.475);
+/// * each of [`GATED_COUNTERS`] must be exactly equal across the two
+///   documents;
+/// * `pool_reuse_count` must be exactly equal as a *number*. The sweep
+///   gate exempts this counter because the sweep bench only touches the
+///   pool on multi-core hosts; the serve bench pins an explicit thread
+///   count instead, so every batch after the first reuses pool workers
+///   on any host and the count is deterministic — a scheduler change
+///   that silently starts respawning workers per batch fails here.
+pub fn check_serve_gate(baseline: &str, candidate: &str) -> Vec<GateViolation> {
+    let mut violations = Vec::new();
+    check_true_flag(candidate, "identical_responses", &mut violations);
+    check_true_flag(candidate, "hit_rate_dominates_sweep", &mut violations);
+    check_counters(baseline, candidate, &GATED_COUNTERS, &mut violations);
+    check_counters(baseline, candidate, &["pool_reuse_count"], &mut violations);
     violations
 }
 
@@ -150,10 +213,31 @@ mod tests {
   "arena_resets": 93,
   "arena_bytes": 4096,
   "simd_lanes": 4,
+  "requests_served": 0,
+  "cross_request_cache_hits": 0,
   "pool_reuse_count": null,
   "ladder": [
     {"n": 1, "attempted": 32, "verified": 30}
   ]
+}
+"#;
+
+    const SERVE_DOC: &str = r#"{
+  "bench": "serve",
+  "identical_responses": true,
+  "hit_rate_dominates_sweep": true,
+  "cross_request_hit_rate": 0.62,
+  "requests_served": 29,
+  "cross_request_cache_hits": 18,
+  "certify_calls_cached": 11,
+  "cache_transfers": 2,
+  "cache_invalidations": 0,
+  "subsumption_pruned": 640,
+  "split_memo_hits": 0,
+  "split_memo_misses": 310,
+  "interner_hits": 455,
+  "arena_resets": 11,
+  "pool_reuse_count": 8
 }
 "#;
 
@@ -235,6 +319,81 @@ mod tests {
         let with_count = DOC.replace("\"pool_reuse_count\": null", "\"pool_reuse_count\": 12");
         assert!(check_sweep_gate(DOC, &with_count).is_empty());
         assert!(check_sweep_gate(&with_count, DOC).is_empty());
+    }
+
+    #[test]
+    fn gate_catches_service_counter_drift_on_the_static_path() {
+        // The one-shot sweep never routes through a Session: service
+        // traffic appearing on the static path fails the sweep gate.
+        let routed = DOC.replace("\"requests_served\": 0", "\"requests_served\": 4");
+        let v = check_sweep_gate(DOC, &routed);
+        assert_eq!(v.len(), 1);
+        assert_eq!(v[0].field, "requests_served");
+        let hit = DOC.replace(
+            "\"cross_request_cache_hits\": 0",
+            "\"cross_request_cache_hits\": 2",
+        );
+        let v = check_sweep_gate(DOC, &hit);
+        assert_eq!(v.len(), 1);
+        assert_eq!(v[0].field, "cross_request_cache_hits");
+    }
+
+    #[test]
+    fn serve_gate_passes_on_identical_counters() {
+        assert!(check_serve_gate(SERVE_DOC, SERVE_DOC).is_empty());
+    }
+
+    #[test]
+    fn serve_gate_gates_pool_reuse_exactly() {
+        // Unlike the sweep gate (previous test), the serve gate holds
+        // pool reuse to exact numeric equality: the serve bench pins an
+        // explicit thread count, so the count is host-independent.
+        let respawning = SERVE_DOC.replace("\"pool_reuse_count\": 8", "\"pool_reuse_count\": 0");
+        let v = check_serve_gate(SERVE_DOC, &respawning);
+        assert_eq!(v.len(), 1);
+        assert_eq!(v[0].field, "pool_reuse_count");
+        assert!(v[0].detail.contains("baseline 8 != candidate 0"));
+        // A null token (the sweep bench's 1-core sentinel) is a missing
+        // number here, not an exemption.
+        let gone_null = SERVE_DOC.replace("\"pool_reuse_count\": 8", "\"pool_reuse_count\": null");
+        let v = check_serve_gate(SERVE_DOC, &gone_null);
+        assert_eq!(v.len(), 1);
+        assert_eq!(v[0].field, "pool_reuse_count");
+        assert!(v[0].detail.contains("missing from candidate"));
+    }
+
+    #[test]
+    fn serve_gate_catches_broken_responses_and_hit_rate() {
+        let torn = SERVE_DOC.replace(
+            "\"identical_responses\": true",
+            "\"identical_responses\": false",
+        );
+        let v = check_serve_gate(SERVE_DOC, &torn);
+        assert_eq!(v.len(), 1);
+        assert_eq!(v[0].field, "identical_responses");
+        let cold = SERVE_DOC.replace(
+            "\"hit_rate_dominates_sweep\": true",
+            "\"hit_rate_dominates_sweep\": false",
+        );
+        let v = check_serve_gate(SERVE_DOC, &cold);
+        assert_eq!(v.len(), 1);
+        assert_eq!(v[0].field, "hit_rate_dominates_sweep");
+    }
+
+    #[test]
+    fn serve_gate_catches_cross_request_hit_drift() {
+        let fewer = SERVE_DOC.replace(
+            "\"cross_request_cache_hits\": 18",
+            "\"cross_request_cache_hits\": 3",
+        );
+        let v = check_serve_gate(SERVE_DOC, &fewer);
+        assert_eq!(v.len(), 1);
+        assert_eq!(v[0].field, "cross_request_cache_hits");
+        assert!(v[0].detail.contains("baseline 18 != candidate 3"));
+        let unserved = SERVE_DOC.replace("\"requests_served\": 29", "\"requests_served\": 7");
+        let v = check_serve_gate(SERVE_DOC, &unserved);
+        assert_eq!(v.len(), 1);
+        assert_eq!(v[0].field, "requests_served");
     }
 
     #[test]

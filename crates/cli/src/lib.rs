@@ -12,6 +12,8 @@
 //! antidote attack   --dataset mammo --depth 2 --budget 16 [--index 0]
 //! antidote stats    --dataset wdbc
 //! antidote headline [--scale paper]
+//! antidote serve    [--threads 4]
+//! antidote client   --script requests.jsonl
 //! ```
 //!
 //! Datasets may also be CSV files: pass `--csv path` instead of
@@ -24,6 +26,7 @@
 //! root.
 
 mod args;
+mod service;
 
 use antidote_baselines::{greedy_attack, log10_count, EnumVerdict};
 use antidote_core::{Certifier, SweepConfig, Verdict};
@@ -61,6 +64,8 @@ const USAGE: &str = "usage:
   antidote attack   --dataset <id> --depth <d> --budget <n> [--index i]
   antidote stats    --dataset <id>
   antidote headline [--scale small|paper]
+  antidote serve    [--threads k]
+  antidote client   --script <path> [--threads k]
 certify/flip/forest/sweep/attack/matrix also accept --threads <k>, k >= 1
 (default: all cores; 1 = sequential); sweep reuses certificates across
 ladder rungs unless --no-cache re-derives every probe from scratch;
@@ -76,7 +81,12 @@ ladder each epoch, carrying certificates across mutations unless
 matrix runs every registered scenario x {remove,flip} x
 {box,disjuncts,hybrid8} and writes BENCH_<scenario>.json plus
 BENCH_matrix.json to --out-dir (default .); datasets: iris, mammo, wdbc,
-mnist17-binary, mnist17-real (or --csv <path>)";
+mnist17-binary, mnist17-real (or --csv <path>);
+serve runs the certification service: line-delimited JSON requests on
+stdin, one response per line on stdout (ops: load, certify, sweep,
+batch, delta, metrics, shutdown; see DESIGN.md section 12); client
+replays a request script against an in-process service and prints the
+transcript";
 
 fn run(argv: Vec<String>) -> Result<(), CliError> {
     let args = Args::parse(argv)?;
@@ -92,6 +102,8 @@ fn run(argv: Vec<String>) -> Result<(), CliError> {
         "attack" => cmd_attack(&args),
         "stats" => cmd_stats(&args),
         "headline" => cmd_headline(&args),
+        "serve" => service::cmd_serve(&args),
+        "client" => service::cmd_client(&args),
         "help" | "--help" | "-h" => {
             println!("{USAGE}");
             Ok(())

@@ -1,0 +1,916 @@
+//! Service mode: `antidote serve` / `antidote client` (DESIGN.md §12).
+//!
+//! The service speaks line-delimited JSON over stdin/stdout — one
+//! request object per line in, one response object per line out, in
+//! admission order (no request ids; ordering is the correlation). No
+//! network, no external dependencies: the JSON reader/writer below is
+//! hand-rolled.
+//!
+//! Ops: `load` (register a dataset under a handle and open its
+//! session), `certify`, `sweep`, `batch` (admit several certify/sweep
+//! requests through the deduplicating [`RequestEngine`]), `delta`
+//! (apply a chain of mutations, carrying certificates in one batched
+//! transfer), `metrics` (deterministic counter subset), `shutdown`.
+//! Errors answer `{"ok":false,"error":"..."}` and never kill the loop.
+//!
+//! Responses carry no timings, so a canned script's transcript is
+//! byte-stable — CI diffs one against a committed golden file.
+
+use crate::args::{parse_domain, Args, CliError};
+use antidote_core::{
+    ExecContext, LadderRung, Request, RequestEngine, Response, Session, SessionConfig, Verdict,
+};
+use antidote_data::{Benchmark, ClassId, DatasetDelta, DatasetRegistry, RowId, Scale};
+use std::collections::BTreeMap;
+use std::io::{BufRead, Write};
+use std::sync::Arc;
+use std::time::Duration;
+
+// ---------------------------------------------------------------------
+// Minimal JSON value + parser (input side).
+// ---------------------------------------------------------------------
+
+/// A parsed JSON value. Objects keep sorted keys (`BTreeMap`), which is
+/// irrelevant for requests (we only look fields up) — responses are
+/// formatted directly as strings with fixed field order.
+#[derive(Debug, Clone, PartialEq)]
+pub(crate) enum Json {
+    /// `null`
+    Null,
+    /// `true` / `false`
+    Bool(bool),
+    /// Any number (JSON has only doubles).
+    Num(f64),
+    /// A string.
+    Str(String),
+    /// An array.
+    Arr(Vec<Json>),
+    /// An object.
+    Obj(BTreeMap<String, Json>),
+}
+
+impl Json {
+    fn type_name(&self) -> &'static str {
+        match self {
+            Json::Null => "null",
+            Json::Bool(_) => "bool",
+            Json::Num(_) => "number",
+            Json::Str(_) => "string",
+            Json::Arr(_) => "array",
+            Json::Obj(_) => "object",
+        }
+    }
+
+    fn as_obj(&self) -> Result<&BTreeMap<String, Json>, String> {
+        match self {
+            Json::Obj(m) => Ok(m),
+            other => Err(format!("expected an object, got {}", other.type_name())),
+        }
+    }
+}
+
+struct Parser<'a> {
+    s: &'a [u8],
+    i: usize,
+}
+
+/// Parses one JSON document; trailing non-whitespace is an error.
+pub(crate) fn parse_json(s: &str) -> Result<Json, String> {
+    let mut p = Parser {
+        s: s.as_bytes(),
+        i: 0,
+    };
+    let v = p.value()?;
+    p.skip_ws();
+    if p.i != p.s.len() {
+        return Err(format!("trailing input at byte {}", p.i));
+    }
+    Ok(v)
+}
+
+impl Parser<'_> {
+    fn skip_ws(&mut self) {
+        while let Some(&b) = self.s.get(self.i) {
+            if b == b' ' || b == b'\t' || b == b'\n' || b == b'\r' {
+                self.i += 1;
+            } else {
+                break;
+            }
+        }
+    }
+
+    fn peek(&mut self) -> Result<u8, String> {
+        self.skip_ws();
+        self.s
+            .get(self.i)
+            .copied()
+            .ok_or_else(|| "unexpected end of input".to_string())
+    }
+
+    fn eat(&mut self, b: u8) -> Result<(), String> {
+        if self.peek()? == b {
+            self.i += 1;
+            Ok(())
+        } else {
+            Err(format!("expected '{}' at byte {}", char::from(b), self.i))
+        }
+    }
+
+    fn literal(&mut self, word: &str, v: Json) -> Result<Json, String> {
+        if self.s[self.i..].starts_with(word.as_bytes()) {
+            self.i += word.len();
+            Ok(v)
+        } else {
+            Err(format!("invalid literal at byte {}", self.i))
+        }
+    }
+
+    fn value(&mut self) -> Result<Json, String> {
+        match self.peek()? {
+            b'{' => self.object(),
+            b'[' => self.array(),
+            b'"' => Ok(Json::Str(self.string()?)),
+            b't' => self.literal("true", Json::Bool(true)),
+            b'f' => self.literal("false", Json::Bool(false)),
+            b'n' => self.literal("null", Json::Null),
+            b'-' | b'0'..=b'9' => self.number(),
+            other => Err(format!(
+                "unexpected '{}' at byte {}",
+                char::from(other),
+                self.i
+            )),
+        }
+    }
+
+    fn object(&mut self) -> Result<Json, String> {
+        self.eat(b'{')?;
+        let mut map = BTreeMap::new();
+        if self.peek()? == b'}' {
+            self.i += 1;
+            return Ok(Json::Obj(map));
+        }
+        loop {
+            self.skip_ws();
+            let key = self.string()?;
+            self.eat(b':')?;
+            let value = self.value()?;
+            map.insert(key, value);
+            match self.peek()? {
+                b',' => self.i += 1,
+                b'}' => {
+                    self.i += 1;
+                    return Ok(Json::Obj(map));
+                }
+                other => {
+                    return Err(format!(
+                        "expected ',' or '}}', got '{}' at byte {}",
+                        char::from(other),
+                        self.i
+                    ))
+                }
+            }
+        }
+    }
+
+    fn array(&mut self) -> Result<Json, String> {
+        self.eat(b'[')?;
+        let mut items = Vec::new();
+        if self.peek()? == b']' {
+            self.i += 1;
+            return Ok(Json::Arr(items));
+        }
+        loop {
+            items.push(self.value()?);
+            match self.peek()? {
+                b',' => self.i += 1,
+                b']' => {
+                    self.i += 1;
+                    return Ok(Json::Arr(items));
+                }
+                other => {
+                    return Err(format!(
+                        "expected ',' or ']', got '{}' at byte {}",
+                        char::from(other),
+                        self.i
+                    ))
+                }
+            }
+        }
+    }
+
+    fn string(&mut self) -> Result<String, String> {
+        self.eat(b'"')?;
+        let mut out = String::new();
+        loop {
+            let b = *self
+                .s
+                .get(self.i)
+                .ok_or_else(|| "unterminated string".to_string())?;
+            self.i += 1;
+            match b {
+                b'"' => return Ok(out),
+                b'\\' => {
+                    let e = *self
+                        .s
+                        .get(self.i)
+                        .ok_or_else(|| "unterminated escape".to_string())?;
+                    self.i += 1;
+                    match e {
+                        b'"' => out.push('"'),
+                        b'\\' => out.push('\\'),
+                        b'/' => out.push('/'),
+                        b'b' => out.push('\u{0008}'),
+                        b'f' => out.push('\u{000C}'),
+                        b'n' => out.push('\n'),
+                        b'r' => out.push('\r'),
+                        b't' => out.push('\t'),
+                        b'u' => {
+                            let hex = self
+                                .s
+                                .get(self.i..self.i + 4)
+                                .ok_or_else(|| "truncated \\u escape".to_string())?;
+                            let hex = std::str::from_utf8(hex)
+                                .map_err(|_| "non-ascii \\u escape".to_string())?;
+                            let code = u32::from_str_radix(hex, 16)
+                                .map_err(|_| format!("bad \\u escape '{hex}'"))?;
+                            self.i += 4;
+                            out.push(
+                                char::from_u32(code)
+                                    .ok_or_else(|| format!("invalid codepoint \\u{hex}"))?,
+                            );
+                        }
+                        other => return Err(format!("unknown escape '\\{}'", char::from(other))),
+                    }
+                }
+                _ => {
+                    // Continuation bytes of multi-byte UTF-8 sequences
+                    // pass through verbatim (the input is a &str, so the
+                    // sequence is valid).
+                    let start = self.i - 1;
+                    while self.s.get(self.i).is_some_and(|&c| c & 0xC0 == 0x80) {
+                        self.i += 1;
+                    }
+                    out.push_str(
+                        std::str::from_utf8(&self.s[start..self.i])
+                            .map_err(|_| "invalid utf-8 in string".to_string())?,
+                    );
+                }
+            }
+        }
+    }
+
+    fn number(&mut self) -> Result<Json, String> {
+        let start = self.i;
+        if self.s.get(self.i) == Some(&b'-') {
+            self.i += 1;
+        }
+        while self
+            .s
+            .get(self.i)
+            .is_some_and(|b| b.is_ascii_digit() || matches!(b, b'.' | b'e' | b'E' | b'+' | b'-'))
+        {
+            self.i += 1;
+        }
+        let text = std::str::from_utf8(&self.s[start..self.i]).expect("ascii");
+        text.parse::<f64>()
+            .map(Json::Num)
+            .map_err(|_| format!("invalid number '{text}'"))
+    }
+}
+
+// ---------------------------------------------------------------------
+// Field accessors and output formatting.
+// ---------------------------------------------------------------------
+
+fn field<'j>(obj: &'j BTreeMap<String, Json>, key: &str) -> Result<&'j Json, String> {
+    obj.get(key).ok_or_else(|| format!("missing field '{key}'"))
+}
+
+fn str_field<'j>(obj: &'j BTreeMap<String, Json>, key: &str) -> Result<&'j str, String> {
+    match field(obj, key)? {
+        Json::Str(s) => Ok(s),
+        other => Err(format!(
+            "field '{key}' must be a string, got {}",
+            other.type_name()
+        )),
+    }
+}
+
+fn usize_field(obj: &BTreeMap<String, Json>, key: &str) -> Result<usize, String> {
+    match field(obj, key)? {
+        Json::Num(v) if *v >= 0.0 && v.fract() == 0.0 => Ok(*v as usize),
+        other => Err(format!(
+            "field '{key}' must be a non-negative integer, got {}",
+            other.type_name()
+        )),
+    }
+}
+
+fn point_field(obj: &BTreeMap<String, Json>, key: &str) -> Result<Vec<f64>, String> {
+    match field(obj, key)? {
+        Json::Arr(items) => items
+            .iter()
+            .map(|v| match v {
+                Json::Num(x) => Ok(*x),
+                other => Err(format!(
+                    "field '{key}' must contain numbers, got {}",
+                    other.type_name()
+                )),
+            })
+            .collect(),
+        other => Err(format!(
+            "field '{key}' must be an array, got {}",
+            other.type_name()
+        )),
+    }
+}
+
+/// Escapes a string for embedding in a JSON response line.
+fn json_str(s: &str) -> String {
+    let mut out = String::with_capacity(s.len() + 2);
+    out.push('"');
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\r' => out.push_str("\\r"),
+            '\t' => out.push_str("\\t"),
+            c if (c as u32) < 0x20 => out.push_str(&format!("\\u{:04x}", c as u32)),
+            c => out.push(c),
+        }
+    }
+    out.push('"');
+    out
+}
+
+fn verdict_str(v: Verdict) -> &'static str {
+    match v {
+        Verdict::Robust => "robust",
+        Verdict::Unknown => "unknown",
+        Verdict::Timeout => "timeout",
+        Verdict::DisjunctBudget => "disjunct-budget",
+        Verdict::Cancelled => "cancelled",
+    }
+}
+
+fn error_line(message: &str) -> String {
+    format!("{{\"ok\":false,\"error\":{}}}", json_str(message))
+}
+
+fn rungs_json(rungs: &[LadderRung]) -> String {
+    let items: Vec<String> = rungs
+        .iter()
+        .map(|r| {
+            format!(
+                "{{\"n\":{},\"attempted\":{},\"verified\":{},\"timeouts\":{},\"budget_exhausted\":{}}}",
+                r.n, r.attempted, r.verified, r.timeouts, r.budget_exhausted
+            )
+        })
+        .collect();
+    format!("[{}]", items.join(","))
+}
+
+/// Formats one engine response as a self-describing JSON object.
+fn response_json(handle: &str, response: &Response) -> String {
+    match response {
+        Response::Certify {
+            verdict,
+            label,
+            n,
+            epoch,
+        } => format!(
+            "{{\"ok\":true,\"op\":\"certify\",\"handle\":{},\"epoch\":{},\"n\":{},\"verdict\":{},\"label\":{}}}",
+            json_str(handle),
+            epoch,
+            n,
+            json_str(verdict_str(*verdict)),
+            label
+        ),
+        Response::Sweep { epoch, rungs } => format!(
+            "{{\"ok\":true,\"op\":\"sweep\",\"handle\":{},\"epoch\":{},\"rungs\":{}}}",
+            json_str(handle),
+            epoch,
+            rungs_json(rungs)
+        ),
+    }
+}
+
+// ---------------------------------------------------------------------
+// The service.
+// ---------------------------------------------------------------------
+
+/// One running service instance: the dataset registry, one [`Session`]
+/// per handle, the batching request engine, and the admission context
+/// whose metrics every request lands on.
+pub(crate) struct Service {
+    registry: DatasetRegistry,
+    sessions: BTreeMap<String, Arc<Session>>,
+    engine: RequestEngine,
+    ctx: ExecContext,
+}
+
+impl Service {
+    pub(crate) fn new(threads: usize) -> Service {
+        Service {
+            registry: DatasetRegistry::new(),
+            sessions: BTreeMap::new(),
+            engine: RequestEngine::new(),
+            ctx: ExecContext::new().threads(threads),
+        }
+    }
+
+    /// Handles one request line. Returns the response line and whether
+    /// the serve loop should stop (`shutdown`).
+    pub(crate) fn handle_line(&mut self, line: &str) -> (String, bool) {
+        match self.dispatch(line) {
+            Ok((response, stop)) => (response, stop),
+            Err(message) => (error_line(&message), false),
+        }
+    }
+
+    fn dispatch(&mut self, line: &str) -> Result<(String, bool), String> {
+        let value = parse_json(line)?;
+        let obj = value.as_obj()?;
+        match str_field(obj, "op")? {
+            "load" => self.op_load(obj).map(|r| (r, false)),
+            "certify" | "sweep" => {
+                let (handle, request) = self.parse_request(obj)?;
+                let session = self.session(&handle)?;
+                let responses = self.engine.submit(&[(session, request)], &self.ctx);
+                Ok((response_json(&handle, &responses[0]), false))
+            }
+            "batch" => self.op_batch(obj).map(|r| (r, false)),
+            "delta" => self.op_delta(obj).map(|r| (r, false)),
+            "metrics" => Ok((self.op_metrics(), false)),
+            "shutdown" => Ok(("{\"ok\":true,\"op\":\"shutdown\"}".to_string(), true)),
+            other => Err(format!("unknown op '{other}'")),
+        }
+    }
+
+    fn session(&self, handle: &str) -> Result<Arc<Session>, String> {
+        self.sessions
+            .get(handle)
+            .cloned()
+            .ok_or_else(|| format!("no dataset loaded under handle '{handle}'"))
+    }
+
+    /// `load`: registers a benchmark dataset (or CSV file) under a
+    /// handle and opens its session with the given certification
+    /// config. Reloading a handle replaces both.
+    fn op_load(&mut self, obj: &BTreeMap<String, Json>) -> Result<String, String> {
+        let handle = str_field(obj, "handle")?;
+        let seed = if obj.contains_key("seed") {
+            usize_field(obj, "seed")? as u64
+        } else {
+            0
+        };
+        let ds = if let Some(Json::Str(path)) = obj.get("csv") {
+            antidote_data::csv::load_csv(path).map_err(|e| format!("loading {path}: {e}"))?
+        } else {
+            let id = str_field(obj, "dataset")?;
+            let bench = Benchmark::from_id(id).ok_or_else(|| format!("unknown dataset '{id}'"))?;
+            let scale = match obj.get("scale") {
+                Some(Json::Str(s)) if s == "paper" => Scale::Paper,
+                Some(Json::Str(s)) if s == "small" => Scale::Small,
+                Some(other) => return Err(format!("bad scale {other:?}")),
+                None => Scale::Small,
+            };
+            // The train split is what certification reasons about.
+            bench.load(scale, seed).0
+        };
+        let cfg = SessionConfig {
+            depth: if obj.contains_key("depth") {
+                usize_field(obj, "depth")?
+            } else {
+                2
+            },
+            domain: match obj.get("domain") {
+                Some(Json::Str(s)) => parse_domain(s).map_err(|e| e.0)?,
+                Some(other) => return Err(format!("bad domain {other:?}")),
+                None => antidote_core::DomainKind::Box,
+            },
+            timeout: if obj.contains_key("timeout") {
+                Some(Duration::from_secs(usize_field(obj, "timeout")? as u64))
+            } else {
+                None
+            },
+            ..SessionConfig::default()
+        };
+        let rows = ds.len();
+        let stored = self.registry.load(handle, ds);
+        let session = Arc::new(Session::new(Arc::clone(&stored), cfg));
+        self.sessions.insert(handle.to_string(), session);
+        Ok(format!(
+            "{{\"ok\":true,\"op\":\"load\",\"handle\":{},\"epoch\":{},\"rows\":{}}}",
+            json_str(handle),
+            stored.epoch(),
+            rows
+        ))
+    }
+
+    /// Parses one certify/sweep request object into `(handle, Request)`.
+    fn parse_request(&self, obj: &BTreeMap<String, Json>) -> Result<(String, Request), String> {
+        let handle = str_field(obj, "handle")?.to_string();
+        let request = match str_field(obj, "op")? {
+            "certify" => Request::Certify {
+                x: point_field(obj, "x")?,
+                n: usize_field(obj, "n")?,
+            },
+            "sweep" => {
+                let points = match field(obj, "points")? {
+                    Json::Arr(items) => items
+                        .iter()
+                        .map(|p| match p {
+                            Json::Arr(_) => {
+                                point_field(&BTreeMap::from([("p".to_string(), p.clone())]), "p")
+                            }
+                            other => Err(format!(
+                                "'points' must hold arrays, got {}",
+                                other.type_name()
+                            )),
+                        })
+                        .collect::<Result<Vec<_>, _>>()?,
+                    other => {
+                        return Err(format!(
+                            "field 'points' must be an array, got {}",
+                            other.type_name()
+                        ))
+                    }
+                };
+                let max_n = if obj.contains_key("max_n") {
+                    Some(usize_field(obj, "max_n")?)
+                } else {
+                    None
+                };
+                Request::Sweep { points, max_n }
+            }
+            other => {
+                return Err(format!(
+                    "batch entries must be certify|sweep, got '{other}'"
+                ))
+            }
+        };
+        Ok((handle, request))
+    }
+
+    /// `batch`: admits several certify/sweep requests at once through
+    /// the request engine — identical in-flight questions coalesce,
+    /// distinct ones fan out. Responses come back in admission order.
+    fn op_batch(&mut self, obj: &BTreeMap<String, Json>) -> Result<String, String> {
+        let entries = match field(obj, "requests")? {
+            Json::Arr(items) => items,
+            other => {
+                return Err(format!(
+                    "field 'requests' must be an array, got {}",
+                    other.type_name()
+                ))
+            }
+        };
+        let mut batch = Vec::with_capacity(entries.len());
+        let mut handles = Vec::with_capacity(entries.len());
+        for entry in entries {
+            let (handle, request) = self.parse_request(entry.as_obj()?)?;
+            let session = self.session(&handle)?;
+            batch.push((session, request));
+            handles.push(handle);
+        }
+        let responses = self.engine.submit(&batch, &self.ctx);
+        let items: Vec<String> = handles
+            .iter()
+            .zip(&responses)
+            .map(|(handle, response)| response_json(handle, response))
+            .collect();
+        Ok(format!(
+            "{{\"ok\":true,\"op\":\"batch\",\"responses\":[{}]}}",
+            items.join(",")
+        ))
+    }
+
+    /// `delta`: applies a chain of mutations to a handle atomically and
+    /// advances its session in one batched certificate transfer.
+    fn op_delta(&mut self, obj: &BTreeMap<String, Json>) -> Result<String, String> {
+        let handle = str_field(obj, "handle")?;
+        let session = self.session(handle)?;
+        let specs = match field(obj, "deltas")? {
+            Json::Arr(items) => items,
+            other => {
+                return Err(format!(
+                    "field 'deltas' must be an array, got {}",
+                    other.type_name()
+                ))
+            }
+        };
+        let mut deltas = Vec::with_capacity(specs.len());
+        for spec in specs {
+            deltas.push(parse_delta(spec.as_obj()?)?);
+        }
+        if deltas.is_empty() {
+            return Err("'deltas' must name at least one mutation".to_string());
+        }
+        let (ds, summaries) = self
+            .registry
+            .apply_delta_many(handle, &deltas)
+            .map_err(|e| e.to_string())?;
+        session.advance(Arc::clone(&ds), &summaries, self.ctx.metrics());
+        Ok(format!(
+            "{{\"ok\":true,\"op\":\"delta\",\"handle\":{},\"epoch\":{},\"rows\":{}}}",
+            json_str(handle),
+            ds.epoch(),
+            ds.len()
+        ))
+    }
+
+    /// `metrics`: the deterministic counter subset — no watermarks, no
+    /// timings, no host-dependent counts, so transcripts stay
+    /// golden-file stable.
+    fn op_metrics(&self) -> String {
+        let m = self.ctx.metrics();
+        format!(
+            "{{\"ok\":true,\"op\":\"metrics\",\"requests_served\":{},\"cross_request_cache_hits\":{},\"certify_calls\":{},\"cache_hits\":{},\"cache_misses\":{},\"cache_shortcircuits\":{},\"cache_transfers\":{},\"cache_invalidations\":{},\"split_memo_hits\":{},\"split_memo_misses\":{}}}",
+            m.requests_served(),
+            m.cross_request_cache_hits(),
+            m.certify_calls(),
+            m.cache_hits(),
+            m.cache_misses(),
+            m.cache_shortcircuits(),
+            m.cache_transfers(),
+            m.cache_invalidations(),
+            m.split_memo_hits(),
+            m.split_memo_misses(),
+        )
+    }
+}
+
+/// Parses one delta spec: `{"remove":[ids],"append":[{"values":[..],
+/// "label":k}],"flip":[{"row":id,"label":k}]}` — all fields optional.
+fn parse_delta(obj: &BTreeMap<String, Json>) -> Result<DatasetDelta, String> {
+    let mut delta = DatasetDelta::new();
+    if let Some(spec) = obj.get("remove") {
+        match spec {
+            Json::Arr(ids) => {
+                for id in ids {
+                    match id {
+                        Json::Num(v) if *v >= 0.0 && v.fract() == 0.0 => {
+                            delta.remove(*v as RowId);
+                        }
+                        other => {
+                            return Err(format!(
+                                "'remove' ids must be integers, got {}",
+                                other.type_name()
+                            ))
+                        }
+                    }
+                }
+            }
+            other => {
+                return Err(format!(
+                    "'remove' must be an array, got {}",
+                    other.type_name()
+                ))
+            }
+        }
+    }
+    if let Some(spec) = obj.get("append") {
+        match spec {
+            Json::Arr(rows) => {
+                for row in rows {
+                    let row = row.as_obj()?;
+                    let values = point_field(row, "values")?;
+                    let label = usize_field(row, "label")? as ClassId;
+                    delta.append(&values, label);
+                }
+            }
+            other => {
+                return Err(format!(
+                    "'append' must be an array, got {}",
+                    other.type_name()
+                ))
+            }
+        }
+    }
+    if let Some(spec) = obj.get("flip") {
+        match spec {
+            Json::Arr(rows) => {
+                for row in rows {
+                    let row = row.as_obj()?;
+                    delta.flip_label(
+                        usize_field(row, "row")? as RowId,
+                        usize_field(row, "label")? as ClassId,
+                    );
+                }
+            }
+            other => {
+                return Err(format!(
+                    "'flip' must be an array, got {}",
+                    other.type_name()
+                ))
+            }
+        }
+    }
+    if delta.is_empty() {
+        return Err("a delta must name at least one mutation".to_string());
+    }
+    Ok(delta)
+}
+
+// ---------------------------------------------------------------------
+// Subcommands.
+// ---------------------------------------------------------------------
+
+/// Runs the serve loop: requests from `input`, responses to `output`,
+/// one line each, until `shutdown` or EOF. Blank lines and `#` comment
+/// lines are skipped (so canned scripts can be annotated).
+pub(crate) fn serve_loop(
+    service: &mut Service,
+    input: impl BufRead,
+    mut output: impl Write,
+) -> std::io::Result<()> {
+    for line in input.lines() {
+        let line = line?;
+        let line = line.trim();
+        if line.is_empty() || line.starts_with('#') {
+            continue;
+        }
+        let (response, stop) = service.handle_line(line);
+        writeln!(output, "{response}")?;
+        output.flush()?;
+        if stop {
+            break;
+        }
+    }
+    Ok(())
+}
+
+/// `antidote serve [--threads k]` — JSONL over stdin/stdout.
+pub(crate) fn cmd_serve(args: &Args) -> Result<(), CliError> {
+    let mut service = Service::new(args.threads()?);
+    let stdin = std::io::stdin();
+    let stdout = std::io::stdout();
+    serve_loop(&mut service, stdin.lock(), stdout.lock())
+        .map_err(|e| CliError(format!("serve io: {e}")))
+}
+
+/// `antidote client --script <path> [--threads k]` — replays a request
+/// script against an in-process service, printing a `>` / `<`
+/// transcript (the same responses `serve` would write).
+pub(crate) fn cmd_client(args: &Args) -> Result<(), CliError> {
+    let path = args
+        .options
+        .get("script")
+        .ok_or_else(|| CliError("client requires --script <path>".into()))?;
+    let script =
+        std::fs::read_to_string(path).map_err(|e| CliError(format!("reading {path}: {e}")))?;
+    let mut service = Service::new(args.threads()?);
+    for line in script.lines() {
+        let line = line.trim();
+        if line.is_empty() || line.starts_with('#') {
+            continue;
+        }
+        println!("> {line}");
+        let (response, stop) = service.handle_line(line);
+        println!("< {response}");
+        if stop {
+            break;
+        }
+    }
+    Ok(())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn json_parser_roundtrips_the_protocol_shapes() {
+        let v = parse_json(
+            r#"{"op":"certify","handle":"a","x":[0.5,-1.25e2],"n":8,"deep":{"t":true,"f":false,"z":null},"s":"q\"\\\nA"}"#,
+        )
+        .unwrap();
+        let obj = v.as_obj().unwrap();
+        assert_eq!(str_field(obj, "op").unwrap(), "certify");
+        assert_eq!(usize_field(obj, "n").unwrap(), 8);
+        assert_eq!(point_field(obj, "x").unwrap(), vec![0.5, -125.0]);
+        let deep = field(obj, "deep").unwrap().as_obj().unwrap();
+        assert_eq!(deep.get("t"), Some(&Json::Bool(true)));
+        assert_eq!(deep.get("z"), Some(&Json::Null));
+        match field(obj, "s").unwrap() {
+            Json::Str(s) => assert_eq!(s, "q\"\\\nA"),
+            other => panic!("expected string, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn json_parser_rejects_malformed_input() {
+        for bad in [
+            "",
+            "{",
+            "{\"a\":}",
+            "[1,]",
+            "{\"a\":1} trailing",
+            "\"unterminated",
+            "nul",
+            "1.2.3",
+        ] {
+            assert!(parse_json(bad).is_err(), "accepted {bad:?}");
+        }
+    }
+
+    #[test]
+    fn service_certify_load_and_metrics_flow() {
+        let mut svc = Service::new(1);
+        let (r, stop) = svc.handle_line(
+            r#"{"op":"load","handle":"iris","dataset":"iris","depth":1,"domain":"disjuncts"}"#,
+        );
+        assert!(!stop);
+        assert!(r.contains("\"ok\":true"), "{r}");
+        assert!(r.contains("\"epoch\":0"), "{r}");
+
+        // Certify twice: the repeat must be a cross-request hit, and the
+        // response lines must be byte-identical.
+        let rq = r#"{"op":"certify","handle":"iris","x":[5.0,3.4,1.5,0.2],"n":2}"#;
+        let (first, _) = svc.handle_line(rq);
+        assert!(first.contains("\"verdict\""), "{first}");
+        let (second, _) = svc.handle_line(rq);
+        assert_eq!(first, second);
+        let (metrics, _) = svc.handle_line(r#"{"op":"metrics"}"#);
+        assert!(metrics.contains("\"requests_served\":2"), "{metrics}");
+        assert!(
+            metrics.contains("\"cross_request_cache_hits\":1"),
+            "{metrics}"
+        );
+    }
+
+    #[test]
+    fn service_delta_advances_the_epoch_in_one_transfer() {
+        let mut svc = Service::new(1);
+        svc.handle_line(r#"{"op":"load","handle":"d","dataset":"iris","depth":1}"#);
+        let (r, _) = svc.handle_line(
+            r#"{"op":"delta","handle":"d","deltas":[{"remove":[0]},{"remove":[1,2]}]}"#,
+        );
+        assert!(r.contains("\"epoch\":2"), "{r}");
+        // The chain crossed two epochs with one batched transfer; an
+        // untouched cache transfers zero points but the registry swap
+        // must have happened exactly once.
+        let (again, _) =
+            svc.handle_line(r#"{"op":"delta","handle":"d","deltas":[{"remove":[3]}]}"#);
+        assert!(again.contains("\"epoch\":3"), "{again}");
+    }
+
+    #[test]
+    fn service_errors_are_clean_lines() {
+        let mut svc = Service::new(1);
+        for (line, needle) in [
+            ("not json", "invalid literal"),
+            (r#"{"op":"nope"}"#, "unknown op"),
+            (
+                r#"{"op":"certify","handle":"ghost","x":[1],"n":1}"#,
+                "no dataset loaded",
+            ),
+            (
+                r#"{"op":"load","handle":"x","dataset":"ghost"}"#,
+                "unknown dataset",
+            ),
+            (r#"{"op":"certify","handle":"ghost"}"#, "missing field"),
+        ] {
+            let (r, stop) = svc.handle_line(line);
+            assert!(!stop);
+            assert!(r.starts_with("{\"ok\":false"), "{r}");
+            assert!(r.contains(needle), "{r} missing {needle}");
+        }
+    }
+
+    #[test]
+    fn service_batch_coalesces_and_orders_responses() {
+        let mut svc = Service::new(1);
+        svc.handle_line(
+            r#"{"op":"load","handle":"b","dataset":"iris","depth":1,"domain":"disjuncts"}"#,
+        );
+        let (r, _) = svc.handle_line(
+            r#"{"op":"batch","requests":[{"op":"certify","handle":"b","x":[5.0,3.4,1.5,0.2],"n":2},{"op":"certify","handle":"b","x":[5.0,3.4,1.5,0.2],"n":2},{"op":"sweep","handle":"b","points":[[5.0,3.4,1.5,0.2]],"max_n":4}]}"#,
+        );
+        assert!(r.contains("\"op\":\"batch\""), "{r}");
+        assert!(r.contains("\"rungs\""), "{r}");
+        let (metrics, _) = svc.handle_line(r#"{"op":"metrics"}"#);
+        // Three requests served; the duplicate coalesced into a hit.
+        assert!(metrics.contains("\"requests_served\":3"), "{metrics}");
+        assert!(
+            metrics.contains("\"cross_request_cache_hits\":1"),
+            "{metrics}"
+        );
+    }
+
+    #[test]
+    fn serve_loop_stops_on_shutdown_and_skips_comments() {
+        let mut svc = Service::new(1);
+        let script =
+            "# comment\n\n{\"op\":\"metrics\"}\n{\"op\":\"shutdown\"}\n{\"op\":\"metrics\"}\n";
+        let mut out = Vec::new();
+        serve_loop(&mut svc, script.as_bytes(), &mut out).unwrap();
+        let text = String::from_utf8(out).unwrap();
+        let lines: Vec<&str> = text.lines().collect();
+        assert_eq!(lines.len(), 2, "stopped at shutdown: {text}");
+        assert!(lines[0].contains("\"op\":\"metrics\""));
+        assert!(lines[1].contains("\"op\":\"shutdown\""));
+    }
+}

@@ -220,6 +220,17 @@ impl CertCache {
         self.points.is_empty()
     }
 
+    /// Grows the cache to cover at least `n_points` slots (new slots
+    /// empty, existing entries untouched). A one-shot sweep sizes its
+    /// cache up front, but a session serving an open-ended request
+    /// stream discovers new test points over time and grows its cache
+    /// under the session's write lock.
+    pub fn ensure_slots(&mut self, n_points: usize) {
+        while self.points.len() < n_points {
+            self.points.push(Mutex::default());
+        }
+    }
+
     fn entry(&self, point: usize) -> std::sync::MutexGuard<'_, PointEntry> {
         self.points[point]
             .lock()
@@ -345,12 +356,76 @@ impl CertCache {
             self.epoch,
             new_ds.epoch(),
         );
+        self.transfer_impl(
+            summary.pure_removal(),
+            summary.removed.len(),
+            new_ds,
+            metrics,
+        )
+    }
+
+    /// [`CertCache::transfer`] across a *chain* of consecutive epochs in
+    /// one pass: `summaries[i]` describes the mutation into epoch
+    /// `self.epoch + i + 1`, and the result is stamped for the final
+    /// epoch.
+    ///
+    /// For an all-pure-removal chain this is equivalent to chaining
+    /// per-epoch transfers (the batched-vs-chained oracle test pins it):
+    /// a bound `m` survives `k` chained transfers iff `m ≥ Σ|Rᵢ|` —
+    /// partial sums of non-negative counts never exceed the total, so a
+    /// point that clears the combined shrink clears every intermediate
+    /// one — and lands at `m − Σ|Rᵢ|` either way. If *any* epoch in the
+    /// chain appends or flips, nothing can be carried across it, hence
+    /// nothing across the chain (exactly what chaining produces: the
+    /// impure epoch invalidates everything and later pure epochs find
+    /// only empty entries). The batched pass folds the summaries
+    /// ([`DeltaSummary::fold`]) and shrinks **once**, so a carried point
+    /// costs one `cache_transfers` instead of `k` and the entries are
+    /// copied once instead of `k` times.
+    ///
+    /// # Panics
+    ///
+    /// Panics when `summaries` is empty or `new_ds` is not exactly
+    /// `summaries.len()` epochs ahead of the cache.
+    pub fn transfer_batched(
+        &self,
+        summaries: &[DeltaSummary],
+        new_ds: &Dataset,
+        metrics: &RunMetrics,
+    ) -> CertCache {
+        assert!(
+            !summaries.is_empty(),
+            "CertCache::transfer_batched needs at least one epoch"
+        );
+        assert_eq!(
+            new_ds.epoch(),
+            self.epoch + summaries.len() as u64,
+            "CertCache::transfer_batched crosses exactly one epoch per summary: \
+             cache at epoch {}, {} summaries, dataset at {}",
+            self.epoch,
+            summaries.len(),
+            new_ds.epoch(),
+        );
+        let folded = DeltaSummary::fold(summaries);
+        self.transfer_impl(folded.pure_removal(), folded.removed.len(), new_ds, metrics)
+    }
+
+    /// Shared body of [`CertCache::transfer`] and
+    /// [`CertCache::transfer_batched`]: carry every `Robust(m)` bound with
+    /// `m ≥ shrink` (label preserved) when the whole span is pure
+    /// removal, drop everything else.
+    fn transfer_impl(
+        &self,
+        pure_removal: bool,
+        shrink: usize,
+        new_ds: &Dataset,
+        metrics: &RunMetrics,
+    ) -> CertCache {
         let fresh = CertCache::with_epoch(new_ds.epoch(), self.points.len());
-        let shrink = summary.removed.len();
         for (point, slot) in self.points.iter().enumerate() {
             let e = slot.lock().expect("cache entry lock poisoned");
             let label = e.trace.as_ref().map(|t| t.label).or(e.transferred_label);
-            let carried = match (summary.pure_removal(), label, e.max_robust) {
+            let carried = match (pure_removal, label, e.max_robust) {
                 (true, Some(label), Some(m)) if m >= shrink => Some((label, m - shrink)),
                 _ => None,
             };
@@ -747,6 +822,108 @@ mod tests {
         assert_eq!(metrics.cache_transfers(), 2);
         assert_eq!(c2.transferred_lookup(0, 1), Some((Verdict::Robust, label)));
         assert_eq!(c2.transferred_lookup(0, 2), None);
+    }
+
+    #[test]
+    fn batched_transfer_matches_the_chained_path() {
+        // Oracle: one batched pure-removal transfer across k epochs must
+        // leave the same transferable state as k chained per-epoch
+        // transfers — same carried labels, same bounds, at every budget.
+        let ds = synth::figure2();
+        let cache = CertCache::for_dataset(&ds, 2);
+        let l0 = cache.trace(0, &ds, &[5.0], 1).label;
+        let l1 = cache.trace(1, &ds, &[0.5], 1).label;
+        cache.record(0, 4, &outcome(Verdict::Robust, l0));
+        cache.record(1, 2, &outcome(Verdict::Robust, l1)); // dies mid-chain
+        let (e1, s1) = ds.apply_summarized(DatasetDelta::new().remove(0)).unwrap();
+        let (e2, s2) = e1
+            .apply_summarized(DatasetDelta::new().remove(1).remove(2))
+            .unwrap();
+        let chained_m = RunMetrics::default();
+        let chained = cache
+            .transfer(&s1, &e1, &chained_m)
+            .transfer(&s2, &e2, &chained_m);
+        let batched_m = RunMetrics::default();
+        let batched = cache.transfer_batched(&[s1.clone(), s2.clone()], &e2, &batched_m);
+        assert_eq!(batched.epoch(), 2);
+        assert_eq!(batched.epoch(), chained.epoch());
+        for point in 0..2 {
+            for n in 0..6 {
+                assert_eq!(
+                    batched.transferred_lookup(point, n),
+                    chained.transferred_lookup(point, n),
+                    "point {point} at n = {n}"
+                );
+            }
+        }
+        // Point 0: Robust(4) − 3 removals = Robust(1); point 1's bound 2
+        // is exhausted by the combined shrink either way.
+        assert_eq!(
+            batched.transferred_lookup(0, 1),
+            Some((Verdict::Robust, l0))
+        );
+        assert_eq!(batched.transferred_lookup(0, 2), None);
+        assert_eq!(batched.transferred_lookup(1, 0), None);
+        // Cost model differs by design: the chained path pays one
+        // transfer per epoch a point *enters* with a live bound (point 0
+        // twice, point 1 once before dying), the batched path one per
+        // point carried across the whole span.
+        assert_eq!(batched_m.cache_transfers(), 1);
+        assert_eq!(batched_m.cache_invalidations(), 1);
+        assert_eq!(chained_m.cache_transfers(), 3, "per-epoch charging");
+        assert_eq!(chained_m.cache_invalidations(), 1);
+    }
+
+    #[test]
+    fn batched_transfer_with_an_impure_epoch_carries_nothing() {
+        // Chaining across {pure removal, append} invalidates everything
+        // at the impure epoch; the batched fold must agree even though
+        // its first epoch was pure.
+        let ds = synth::figure2();
+        let cache = CertCache::for_dataset(&ds, 1);
+        let label = cache.trace(0, &ds, &[5.0], 1).label;
+        cache.record(0, 5, &outcome(Verdict::Robust, label));
+        let (e1, s1) = ds.apply_summarized(DatasetDelta::new().remove(0)).unwrap();
+        let (e2, s2) = e1
+            .apply_summarized(DatasetDelta::new().append(&[0.3], 0))
+            .unwrap();
+        let chained_m = RunMetrics::default();
+        let chained = cache
+            .transfer(&s1, &e1, &chained_m)
+            .transfer(&s2, &e2, &chained_m);
+        let batched_m = RunMetrics::default();
+        let batched = cache.transfer_batched(&[s1, s2], &e2, &batched_m);
+        for n in 0..6 {
+            assert_eq!(batched.transferred_lookup(0, n), None);
+            assert_eq!(chained.transferred_lookup(0, n), None);
+        }
+        assert_eq!(batched_m.cache_transfers(), 0);
+        assert_eq!(batched_m.cache_invalidations(), 1);
+    }
+
+    #[test]
+    #[should_panic(expected = "one epoch per summary")]
+    fn batched_transfer_must_cover_the_whole_span() {
+        let ds = synth::figure2();
+        let cache = CertCache::for_dataset(&ds, 1);
+        let (e1, s1) = ds.apply_summarized(DatasetDelta::new().remove(0)).unwrap();
+        let e2 = e1.apply(&DatasetDelta::new()).unwrap();
+        // One summary, two epochs crossed: rejected.
+        let _ = cache.transfer_batched(&[s1], &e2, &RunMetrics::default());
+    }
+
+    #[test]
+    fn ensure_slots_grows_without_touching_existing_entries() {
+        let ds = synth::figure2();
+        let mut cache = CertCache::for_dataset(&ds, 1);
+        let label = cache.trace(0, &ds, &[5.0], 1).label;
+        cache.record(0, 2, &outcome(Verdict::Robust, label));
+        cache.ensure_slots(3);
+        assert_eq!(cache.len(), 3);
+        assert_eq!(cache.lookup(0, 2), Some(Verdict::Robust));
+        assert_eq!(cache.lookup(2, 1), None, "new slots start empty");
+        cache.ensure_slots(2);
+        assert_eq!(cache.len(), 3, "never shrinks");
     }
 
     #[test]

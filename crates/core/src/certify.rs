@@ -2,7 +2,8 @@
 
 use crate::cache::{CachedTrace, CertCache, EpochMismatch};
 use crate::engine::ExecContext;
-use crate::learner::{run_abstract, Abort, DomainKind};
+use crate::learner::{run_abstract_shared, Abort, DomainKind};
+use crate::memo::SharedLearner;
 use crate::verdict::all_terminals_dominated_by;
 use antidote_data::{ClassId, Dataset, Subset};
 use antidote_domains::{AbstractSet, CprobTransformer};
@@ -90,6 +91,7 @@ pub struct Certifier<'a> {
     subsume: bool,
     memo: bool,
     simd: bool,
+    shared: Option<&'a SharedLearner>,
 }
 
 impl<'a> Certifier<'a> {
@@ -108,6 +110,7 @@ impl<'a> Certifier<'a> {
             subsume: true,
             memo: true,
             simd: true,
+            shared: None,
         }
     }
 
@@ -169,6 +172,24 @@ impl<'a> Certifier<'a> {
     /// DESIGN.md §10).
     pub fn simd(mut self, on: bool) -> Self {
         self.simd = on;
+        self
+    }
+
+    /// Borrows session-owned learner state: the abstract run probes the
+    /// given [`SharedLearner`]'s persistent `bestSplit#` memo and
+    /// hash-conses frontier bases through its long-lived interner
+    /// instead of building per-run instances, so structure discovered by
+    /// one request accelerates every later request on the same
+    /// `(dataset, config)`. The [`memo`](Certifier::memo) flag is
+    /// ignored while shared state is attached (whether memoization is
+    /// armed was decided when the shared state was built); verdicts are
+    /// bit-identical either way.
+    ///
+    /// The shared state's epoch must match this certifier's dataset —
+    /// `certify` panics otherwise (same hard stamp the memo itself
+    /// enforces).
+    pub fn shared_state(mut self, shared: &'a SharedLearner) -> Self {
+        self.shared = Some(shared);
         self
     }
 
@@ -352,7 +373,7 @@ impl<'a> Certifier<'a> {
         let label = cached.map_or_else(|| self.reference_label(x), |t| t.label);
         let initial =
             cached.map_or_else(|| AbstractSet::full(self.ds, n), |t| t.root.with_budget(n));
-        let out = run_abstract(
+        let out = run_abstract_shared(
             self.ds,
             initial,
             x,
@@ -362,6 +383,7 @@ impl<'a> Certifier<'a> {
             self.subsume,
             self.memo,
             self.simd,
+            self.shared,
             ctx,
         );
         let stats = RunStats {

@@ -62,6 +62,8 @@ pub struct RunMetrics {
     arena_bytes: AtomicUsize,
     arena_resets: AtomicU64,
     simd_lanes: AtomicUsize,
+    requests_served: AtomicU64,
+    cross_request_cache_hits: AtomicU64,
     pool_batches: AtomicU64,
 }
 
@@ -273,6 +275,34 @@ impl RunMetrics {
         self.simd_lanes.load(Ordering::Relaxed)
     }
 
+    /// Counts one admitted service request (certify or sweep), including
+    /// requests the request engine coalesced onto an identical in-flight
+    /// twin — every admitted request is served exactly once.
+    pub fn add_request_served(&self) {
+        self.requests_served.fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// Counts one certify request answered entirely from session state —
+    /// a cached-interval short-circuit, a transferred bound, or a
+    /// coalesced duplicate — without executing a single abstract run.
+    /// This is the service's warm-path counter: `cross_request_cache_hits
+    /// / requests_served` is the cross-request hit rate `BENCH_serve.json`
+    /// reports.
+    pub fn add_cross_request_cache_hit(&self) {
+        self.cross_request_cache_hits
+            .fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// Total admitted service requests.
+    pub fn requests_served(&self) -> u64 {
+        self.requests_served.load(Ordering::Relaxed)
+    }
+
+    /// Total certify requests answered without any abstract run.
+    pub fn cross_request_cache_hits(&self) -> u64 {
+        self.cross_request_cache_hits.load(Ordering::Relaxed)
+    }
+
     /// Total `par_map` batches this context's runs dispatched to the
     /// persistent pool (not part of [`MetricsSnapshot`]: whether a call
     /// takes the pool path can depend on the host's core count via
@@ -319,6 +349,8 @@ impl RunMetrics {
             arena_bytes: self.arena_bytes(),
             arena_resets: self.arena_resets(),
             simd_lanes: self.simd_lanes(),
+            requests_served: self.requests_served(),
+            cross_request_cache_hits: self.cross_request_cache_hits(),
         }
     }
 
@@ -357,6 +389,10 @@ impl RunMetrics {
         self.arena_resets
             .fetch_add(s.arena_resets, Ordering::Relaxed);
         self.simd_lanes.fetch_max(s.simd_lanes, Ordering::Relaxed);
+        self.requests_served
+            .fetch_add(s.requests_served, Ordering::Relaxed);
+        self.cross_request_cache_hits
+            .fetch_add(s.cross_request_cache_hits, Ordering::Relaxed);
     }
 }
 
@@ -405,6 +441,12 @@ pub struct MetricsSnapshot {
     /// Widest word-kernel lane count any run recorded (4 = SIMD armed,
     /// 1 = scalar fallback, 0 = no runs).
     pub simd_lanes: usize,
+    /// Admitted service requests (certify + sweep), coalesced duplicates
+    /// included.
+    pub requests_served: u64,
+    /// Certify requests answered from session state without any abstract
+    /// run (the service's warm path).
+    pub cross_request_cache_hits: u64,
 }
 
 impl MetricsSnapshot {
@@ -1008,6 +1050,24 @@ mod tests {
         assert_eq!(parent.metrics().arena_bytes(), 4096, "watermark maxes");
         assert_eq!(parent.metrics().arena_resets(), 6, "counter adds");
         assert_eq!(parent.metrics().simd_lanes(), 4, "watermark maxes");
+    }
+
+    #[test]
+    fn service_counters_snapshot_and_absorb() {
+        let ctx = ExecContext::new();
+        ctx.metrics().add_request_served();
+        ctx.metrics().add_request_served();
+        ctx.metrics().add_cross_request_cache_hit();
+        assert_eq!(ctx.metrics().requests_served(), 2);
+        assert_eq!(ctx.metrics().cross_request_cache_hits(), 1);
+        let snap = ctx.metrics().snapshot();
+        assert_eq!(snap.requests_served, 2);
+        assert_eq!(snap.cross_request_cache_hits, 1);
+        let parent = ExecContext::new();
+        parent.metrics().absorb(&snap);
+        parent.metrics().absorb(&snap);
+        assert_eq!(parent.metrics().requests_served(), 4);
+        assert_eq!(parent.metrics().cross_request_cache_hits(), 2);
     }
 
     #[test]

@@ -36,7 +36,7 @@ use std::collections::HashSet;
 use std::sync::Arc;
 
 use crate::engine::ExecContext;
-use crate::memo::SplitMemo;
+use crate::memo::{SharedLearner, SplitMemo};
 use crate::score::best_split_abs;
 
 /// Which abstract state domain `DTrace#` runs in.
@@ -255,6 +255,57 @@ pub fn run_abstract(
     simd: bool,
     ctx: &ExecContext,
 ) -> RunOutput {
+    run_abstract_shared(
+        ds,
+        initial,
+        x,
+        depth,
+        domain,
+        transformer,
+        subsume,
+        memo,
+        simd,
+        None,
+        ctx,
+    )
+}
+
+/// [`run_abstract`] against session-owned learner state.
+///
+/// When `shared` is `Some`, the run probes the session's persistent
+/// [`SplitMemo`] and hash-conses frontier bases through the session's
+/// [`SubsetInterner`] instead of building per-run instances, so
+/// structure discovered by one request accelerates every later request
+/// on the same `(dataset, config)`. The `memo` flag is then ignored —
+/// whether memoization is armed was decided when the [`SharedLearner`]
+/// was built. Verdicts are unaffected either way: `bestSplit#` is a pure
+/// function of `(base, n, transformer)` and interner rewiring preserves
+/// value equality exactly, so shared and per-run state produce
+/// bit-identical `RunOutput`s (pinned in `tests/determinism.rs` and the
+/// session differential).
+#[allow(clippy::too_many_arguments)]
+pub fn run_abstract_shared(
+    ds: &Dataset,
+    initial: AbstractSet,
+    x: &[f64],
+    depth: usize,
+    domain: DomainKind,
+    transformer: CprobTransformer,
+    subsume: bool,
+    memo: bool,
+    simd: bool,
+    shared: Option<&SharedLearner>,
+    ctx: &ExecContext,
+) -> RunOutput {
+    if let Some(s) = shared {
+        assert_eq!(
+            s.epoch(),
+            ds.epoch(),
+            "shared learner state from epoch {} paired with dataset epoch {}",
+            s.epoch(),
+            ds.epoch()
+        );
+    }
     simd::set_enabled(simd);
     // Record the lane width from the run's own flag, not the global
     // latch: concurrent runs toggling the latch must not perturb each
@@ -278,6 +329,7 @@ pub fn run_abstract(
             transformer,
             subsume,
             memo,
+            shared,
             ctx,
             &mut arena,
         );
@@ -297,14 +349,26 @@ fn run_abstract_in(
     transformer: CprobTransformer,
     subsume: bool,
     memo: bool,
+    shared: Option<&SharedLearner>,
     ctx: &ExecContext,
     arena: &mut WordArena,
 ) -> RunOutput {
-    let memo = memo.then(|| SplitMemo::new(ds, transformer));
-    let memo = memo.as_ref();
-    let mut interner = SubsetInterner::new();
+    // Per-run learner state only when no session supplies shared state;
+    // the effective memo is whichever of the two exists.
+    let local_memo = match shared {
+        None => memo.then(|| SplitMemo::new(ds, transformer)),
+        Some(_) => None,
+    };
+    let memo = match shared {
+        Some(s) => s.memo(),
+        None => local_memo.as_ref(),
+    };
+    let mut interner = match shared {
+        Some(s) => RunInterner::Shared(s),
+        None => RunInterner::Local(SubsetInterner::new()),
+    };
     let mut active: Vec<AbstractSet> = vec![initial];
-    intern_frontier(&mut active, &mut interner, ctx);
+    interner.intern_frontier(&mut active, ctx);
     let mut terminals: Vec<AbstractSet> = Vec::new();
     let mut peak_disjuncts = 1usize;
     let mut peak_bytes = 0usize;
@@ -380,7 +444,7 @@ fn run_abstract_in(
         // canonical allocation, making later equality checks and memo
         // probes pointer-fast. Runs in the sequential fold, so the hit
         // count is thread-invariant.
-        intern_frontier(&mut next, &mut interner, ctx);
+        interner.intern_frontier(&mut next, ctx);
         if subsume && domain != DomainKind::Box {
             let pruned = prune_subsumed(&mut next, arena);
             if pruned > 0 {
@@ -444,6 +508,32 @@ pub(crate) fn dedup_states<D>(items: &mut Vec<D>, key: impl Fn(&D) -> (usize, Su
 /// Removes exact duplicate disjuncts (same base set and budget).
 fn dedup_disjuncts(disjuncts: &mut Vec<AbstractSet>) {
     dedup_states(disjuncts, |d| (d.n(), d.base().clone()));
+}
+
+/// Where a run hash-conses its frontier: a per-run [`SubsetInterner`]
+/// (the one-shot path) or a session's long-lived interner behind its
+/// lock (the service path). Rewiring is observationally invisible either
+/// way; only *which* allocation becomes canonical differs. With shared
+/// state a payload first interned by an earlier request counts as a hit
+/// here — that cross-request structure sharing is precisely what the
+/// service counters measure, and in aggregate the count stays
+/// order-invariant (total payloads interned − distinct payloads).
+enum RunInterner<'a> {
+    /// Run-local interner, dropped with the run.
+    Local(SubsetInterner),
+    /// Session-owned interner shared across requests.
+    Shared(&'a SharedLearner),
+}
+
+impl RunInterner<'_> {
+    fn intern_frontier(&mut self, disjuncts: &mut [AbstractSet], ctx: &ExecContext) {
+        match self {
+            RunInterner::Local(interner) => intern_frontier(disjuncts, interner, ctx),
+            RunInterner::Shared(s) => s.with_interner(|interner| {
+                intern_frontier(disjuncts, interner, ctx);
+            }),
+        }
+    }
 }
 
 /// Rewires every disjunct whose base payload is already interned to the

@@ -34,7 +34,11 @@
 //!   binary-search refinement, timeouts, and resource accounting);
 //! * [`drift`](mod@drift) — incremental re-certification under dataset
 //!   drift: ladders replayed across epoch-stamped mutations, with sound
-//!   certificate transfer across pure-removal deltas (DESIGN.md §11).
+//!   certificate transfer across pure-removal deltas (DESIGN.md §11);
+//! * [`session`](mod@session) — the certification service layer:
+//!   long-lived [`Session`]s owning per-`(dataset, config)` caches that
+//!   requests borrow, and the deduplicating, batching [`RequestEngine`]
+//!   (DESIGN.md §12).
 //!
 //! # Example
 //!
@@ -69,17 +73,19 @@ pub mod memo;
 pub mod pool;
 pub mod report;
 pub mod score;
+pub mod session;
 pub mod sweep;
 pub mod verdict;
 
 pub use cache::{CachedTrace, CertCache, EpochMismatch};
 pub use certify::{Certifier, Outcome, RunStats, Verdict};
-pub use drift::{drift_sweep, drift_sweep_in, DriftConfig, EpochReport};
+pub use drift::{drift_sweep, drift_sweep_in, drift_sweep_with, DriftConfig, EpochReport};
 pub use engine::{pool_stats, ExecContext, MetricsSnapshot, PoolStats, RunMetrics};
 pub use ensemble::{certify_forest, certify_forest_in, EnsembleConfig, EnsembleOutcome};
 pub use flip::certify_label_flips;
 pub use learner::DomainKind;
-pub use memo::{FlipSplitMemo, SplitMemo};
+pub use memo::{FlipSplitMemo, SharedLearner, SplitMemo};
 pub use report::{explain, Explanation};
 pub use score::{best_split_abs, AbsSplitResult};
+pub use session::{LadderRung, Request, RequestEngine, Response, Session, SessionConfig};
 pub use sweep::{sweep, sweep_cached, sweep_in, SweepConfig, SweepPoint};

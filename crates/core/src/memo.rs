@@ -194,6 +194,73 @@ impl SplitMemo {
     }
 }
 
+/// Session-owned learner acceleration state shared **across** certify
+/// calls (DESIGN.md §12): one `bestSplit#` memo plus one frontier
+/// interner, both stamped for a single dataset epoch.
+///
+/// A one-shot run builds a [`SplitMemo`] and a
+/// [`SubsetInterner`](antidote_data::SubsetInterner) inside
+/// `run_abstract` and drops them on return, so recurring `⟨T, n⟩` states
+/// across *requests* re-run the candidate sweep from scratch. A
+/// [`crate::session::Session`] instead owns one `SharedLearner` per
+/// (dataset epoch, config) and lends it to every certify call via
+/// `Certifier::shared_state`, so the memo and the hash-cons table warm up
+/// over the whole request stream.
+///
+/// Sharing is sound and deterministic:
+///
+/// * `bestSplit#` is a pure function of `(base, n, transformer)` on one
+///   training set — the test input `x` never enters it — so entries
+///   written by one request's run are bit-identical to what any other
+///   request would compute ([`SplitMemo`] docs).
+/// * The epoch stamp is enforced by [`SplitMemo::best_split`]'s hard
+///   assert; sessions rebuild the shared state at every epoch advance.
+/// * Aggregate counters stay admission-order-invariant under concurrency:
+///   the memo reconciles at insert time (hits = probes − distinct keys)
+///   and interner hits are total interned payloads − distinct payloads —
+///   both order-free quantities. Per-*request* attribution of memo
+///   counters is **not** stable (whichever request touches a state first
+///   pays the miss), which is why the service's per-request isolation
+///   guarantees cover the certify/cache counters only.
+#[derive(Debug)]
+pub struct SharedLearner {
+    epoch: u64,
+    memo: Option<SplitMemo>,
+    interner: Mutex<antidote_data::SubsetInterner>,
+}
+
+impl SharedLearner {
+    /// Shared state for `ds`'s current epoch. `memo: false` (the
+    /// `--no-memo` regime) keeps the interner but routes every
+    /// `bestSplit#` probe straight to the sweep.
+    pub fn new(ds: &Dataset, transformer: CprobTransformer, memo: bool) -> Self {
+        SharedLearner {
+            epoch: ds.epoch(),
+            memo: memo.then(|| SplitMemo::new(ds, transformer)),
+            interner: Mutex::new(antidote_data::SubsetInterner::new()),
+        }
+    }
+
+    /// The dataset epoch this state is valid for.
+    pub fn epoch(&self) -> u64 {
+        self.epoch
+    }
+
+    /// The shared `bestSplit#` memo, when memoization is armed.
+    pub fn memo(&self) -> Option<&SplitMemo> {
+        self.memo.as_ref()
+    }
+
+    /// Runs `f` under the shared interner's lock. The learner interns
+    /// each deduplicated frontier in one locked pass (sequential within a
+    /// run, serialized across concurrent runs), preserving the
+    /// order-invariant hit accounting described above.
+    pub fn with_interner<R>(&self, f: impl FnOnce(&mut antidote_data::SubsetInterner) -> R) -> R {
+        let mut interner = self.interner.lock().expect("interner lock poisoned");
+        f(&mut interner)
+    }
+}
+
 /// The flip-model analogue: memoizes `best_split_flip`'s
 /// `(kept predicates, diamond)` per `(carrier, flip budget)`. The flip
 /// score depends on nothing else, so the same purity argument applies —

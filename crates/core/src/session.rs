@@ -1,0 +1,705 @@
+//! The certification service layer: long-lived [`Session`]s and the
+//! batching [`RequestEngine`] (DESIGN.md §12).
+//!
+//! A one-shot pipeline run builds its caches, answers one question, and
+//! drops everything. The service inverts that ownership: a [`Session`]
+//! owns the per-`(dataset, config)` state that is worth keeping warm —
+//! the cross-rung [`CertCache`], the persistent `bestSplit#` memo, and
+//! the frontier interner ([`SharedLearner`]) — and every request
+//! *borrows* that state for the duration of one certification. Repeat
+//! questions are then answered from monotone verdict intervals without
+//! any abstract run, and even novel questions reuse the memoized
+//! concrete traces and split analyses of their predecessors.
+//!
+//! The [`RequestEngine`] sits in front: it admits a batch of
+//! certify/sweep requests (possibly across several sessions),
+//! deduplicates identical in-flight questions so each is computed once,
+//! and fans the distinct work units out across the persistent worker
+//! pool — each under its own child [`ExecContext`] deadline and a
+//! fair share of the engine's disjunct budget.
+//!
+//! # Determinism
+//!
+//! Responses are a pure function of `(session config, request)`:
+//! verdicts never depend on what the caches happen to contain (cached
+//! and fresh certification are bit-identical, see `crate::cache`), the
+//! shared memo is a pure function of its key (see `crate::memo`), and
+//! responses carry no timings. Grouping keeps every same-point request
+//! sequence on one worker in admission order, so batched, reversed, and
+//! one-at-a-time submissions of the same multiset of requests produce
+//! byte-identical responses at every thread count (pinned in
+//! `tests/service.rs`).
+
+use crate::cache::CertCache;
+use crate::certify::{Certifier, Outcome, Verdict};
+use crate::engine::{ExecContext, RunMetrics};
+use crate::learner::DomainKind;
+use crate::memo::SharedLearner;
+use crate::sweep::{sweep_shared, SweepConfig, SweepPoint};
+use antidote_data::{ClassId, Dataset, DeltaSummary};
+use antidote_domains::CprobTransformer;
+use std::collections::BTreeMap;
+use std::sync::{Arc, RwLock};
+use std::time::Duration;
+
+/// The certification configuration a [`Session`] is pinned to. One
+/// session serves one `(dataset, config)` pair; ask a different
+/// question shape, open a different session.
+#[derive(Debug, Clone)]
+pub struct SessionConfig {
+    /// Maximum trace depth `d`.
+    pub depth: usize,
+    /// Abstract state domain.
+    pub domain: DomainKind,
+    /// `cprob#` transformer.
+    pub transformer: CprobTransformer,
+    /// Per-instance timeout (`None` = unlimited; the service default,
+    /// so witness short-circuits stay armed in session sweeps).
+    pub timeout: Option<Duration>,
+    /// Per-instance disjunct budget (out-of-memory stand-in).
+    pub max_live_disjuncts: Option<usize>,
+    /// Frontier subsumption pruning (default on).
+    pub subsume: bool,
+    /// Persistent `bestSplit#` memoization (default on).
+    pub memo: bool,
+    /// Chunked SIMD word kernels (default on).
+    pub simd: bool,
+}
+
+impl Default for SessionConfig {
+    fn default() -> Self {
+        SessionConfig {
+            depth: 2,
+            domain: DomainKind::Box,
+            transformer: CprobTransformer::Optimal,
+            timeout: None,
+            max_live_disjuncts: None,
+            subsume: true,
+            memo: true,
+            simd: true,
+        }
+    }
+}
+
+/// The state a session keeps warm, swapped as one unit under the lock
+/// so a reader always sees a consistent `(dataset, cache, learner)`
+/// triple stamped for the same epoch.
+#[derive(Debug)]
+struct SessionState {
+    ds: Arc<Dataset>,
+    cache: CertCache,
+    /// Point (bit-pattern key) → stable cache slot. Slots only grow;
+    /// [`CertCache::transfer_batched`] preserves slot count, so keys
+    /// stay valid across epochs.
+    slots: BTreeMap<Vec<u64>, usize>,
+    shared: Arc<SharedLearner>,
+}
+
+/// A long-lived certification session: one dataset (at its current
+/// epoch) × one [`SessionConfig`], owning the caches every request
+/// borrows. See the module docs.
+#[derive(Debug)]
+pub struct Session {
+    cfg: SessionConfig,
+    state: RwLock<SessionState>,
+}
+
+/// `x` keyed by exact bit pattern — the same identity
+/// [`CertCache::debug_check_key`] checks, so two requests share a slot
+/// iff the cache may legally answer one with the other's trace.
+fn point_key(x: &[f64]) -> Vec<u64> {
+    x.iter().map(|v| v.to_bits()).collect()
+}
+
+impl Session {
+    /// Opens a session for `ds` under `cfg`. The cache starts empty and
+    /// grows one slot per distinct point asked about.
+    pub fn new(ds: Arc<Dataset>, cfg: SessionConfig) -> Session {
+        let state = SessionState {
+            cache: CertCache::with_epoch(ds.epoch(), 0),
+            slots: BTreeMap::new(),
+            shared: Arc::new(SharedLearner::new(&ds, cfg.transformer, cfg.memo)),
+            ds,
+        };
+        Session {
+            cfg,
+            state: RwLock::new(state),
+        }
+    }
+
+    /// The configuration this session is pinned to.
+    pub fn config(&self) -> &SessionConfig {
+        &self.cfg
+    }
+
+    /// The dataset snapshot this session currently certifies against.
+    pub fn dataset(&self) -> Arc<Dataset> {
+        Arc::clone(&self.state.read().expect("session lock poisoned").ds)
+    }
+
+    /// The epoch of the current snapshot.
+    pub fn epoch(&self) -> u64 {
+        self.state.read().expect("session lock poisoned").ds.epoch()
+    }
+
+    /// Number of distinct points this session has certified (its cache
+    /// slot count).
+    pub fn tracked_points(&self) -> usize {
+        self.state
+            .read()
+            .expect("session lock poisoned")
+            .slots
+            .len()
+    }
+
+    /// The stable cache slot for `x`, allocating one on first sight.
+    fn slot_for(&self, x: &[f64]) -> usize {
+        let key = point_key(x);
+        if let Some(&slot) = self
+            .state
+            .read()
+            .expect("session lock poisoned")
+            .slots
+            .get(&key)
+        {
+            return slot;
+        }
+        let mut st = self.state.write().expect("session lock poisoned");
+        let next = st.slots.len();
+        let slot = *st.slots.entry(key).or_insert(next);
+        let n_slots = st.slots.len();
+        st.cache.ensure_slots(n_slots);
+        slot
+    }
+
+    /// Certifies `x` at poisoning budget `n` against the session's
+    /// current snapshot, borrowing the session cache and shared learner
+    /// state. Returns the outcome and the epoch it was proved against.
+    ///
+    /// Counters land on `ctx`'s metrics: one `requests_served` per
+    /// call, plus one `cross_request_cache_hits` when the answer came
+    /// entirely from session state (no abstract run) — the warm path a
+    /// one-shot pipeline cannot have.
+    pub fn certify(&self, x: &[f64], n: usize, ctx: &ExecContext) -> (Outcome, u64) {
+        ctx.metrics().add_request_served();
+        let slot = self.slot_for(x);
+        let st = self.state.read().expect("session lock poisoned");
+        let mut certifier = Certifier::new(&st.ds)
+            .depth(self.cfg.depth)
+            .domain(self.cfg.domain)
+            .transformer(self.cfg.transformer)
+            .subsume(self.cfg.subsume)
+            .memo(self.cfg.memo)
+            .simd(self.cfg.simd)
+            .shared_state(&st.shared);
+        if let Some(t) = self.cfg.timeout {
+            certifier = certifier.timeout(t);
+        }
+        if let Some(b) = self.cfg.max_live_disjuncts {
+            certifier = certifier.max_live_disjuncts(b);
+        }
+        let rctx = ctx.child().fresh_metrics();
+        let out = certifier
+            .certify_cached(x, n, slot, &st.cache, &rctx)
+            .expect("session state pairs cache and dataset epochs under its lock");
+        let epoch = st.ds.epoch();
+        drop(st);
+        let snap = rctx.metrics().snapshot();
+        // abstract_runs (see `drift`): derivations plus incremental
+        // resumes; zero means session state answered outright.
+        if snap.certify_calls + snap.cache_hits - snap.cache_shortcircuits == 0 {
+            ctx.metrics().add_cross_request_cache_hit();
+        }
+        ctx.metrics().absorb(&snap);
+        (out, epoch)
+    }
+
+    /// Runs the §6.1 ladder over `test_points` against the session's
+    /// current snapshot, through the session cache and shared learner
+    /// state (points already certified enter the ladder warm). Returns
+    /// the ladder and the epoch it ran against.
+    pub fn sweep(
+        &self,
+        test_points: &[Vec<f64>],
+        max_n: Option<usize>,
+        ctx: &ExecContext,
+    ) -> (Vec<SweepPoint>, u64) {
+        ctx.metrics().add_request_served();
+        let slots: Vec<usize> = test_points.iter().map(|x| self.slot_for(x)).collect();
+        let st = self.state.read().expect("session lock poisoned");
+        let cfg = SweepConfig {
+            depth: self.cfg.depth,
+            domain: self.cfg.domain,
+            transformer: self.cfg.transformer,
+            timeout: self.cfg.timeout,
+            max_live_disjuncts: self.cfg.max_live_disjuncts,
+            start_n: 1,
+            max_n,
+            binary_search: true,
+            threads: 0, // unused: the parent context governs fan-out
+            cache: true,
+            subsume: self.cfg.subsume,
+            memo: self.cfg.memo,
+            simd: self.cfg.simd,
+        };
+        let rctx = ctx.child().fresh_metrics();
+        let ladder = sweep_shared(
+            &st.ds,
+            test_points,
+            &slots,
+            &cfg,
+            &rctx,
+            Some(&st.cache),
+            Some(&st.shared),
+        );
+        let epoch = st.ds.epoch();
+        drop(st);
+        ctx.metrics().absorb(&rctx.metrics().snapshot());
+        (ladder, epoch)
+    }
+
+    /// Advances the session to `new_ds`, carrying certificates across
+    /// the mutation chain described by `summaries` (one per epoch
+    /// crossed, as returned by `DatasetRegistry::apply_delta_many`) in a
+    /// single batched [`CertCache::transfer_batched`]. The shared
+    /// learner state is rebuilt — memoized split analyses describe the
+    /// old epoch's subsets and cannot transfer — while point→slot
+    /// assignments survive.
+    ///
+    /// # Panics
+    ///
+    /// Panics when `summaries` is empty or does not span exactly the
+    /// epochs between the session's snapshot and `new_ds` (the
+    /// [`CertCache::transfer_batched`] stamp).
+    pub fn advance(&self, new_ds: Arc<Dataset>, summaries: &[DeltaSummary], metrics: &RunMetrics) {
+        let mut st = self.state.write().expect("session lock poisoned");
+        st.cache = st.cache.transfer_batched(summaries, &new_ds, metrics);
+        st.shared = Arc::new(SharedLearner::new(
+            &new_ds,
+            self.cfg.transformer,
+            self.cfg.memo,
+        ));
+        st.ds = new_ds;
+    }
+}
+
+/// One request admitted by the [`RequestEngine`].
+#[derive(Debug, Clone, PartialEq)]
+pub enum Request {
+    /// Certify one point at one poisoning budget.
+    Certify {
+        /// The test input.
+        x: Vec<f64>,
+        /// The poisoning budget.
+        n: usize,
+    },
+    /// Run a §6.1 ladder over a set of points.
+    Sweep {
+        /// The test inputs.
+        points: Vec<Vec<f64>>,
+        /// Optional ladder cap (defaults to `|T|`).
+        max_n: Option<usize>,
+    },
+}
+
+/// One rung of a sweep response: the verdict-relevant projection of a
+/// [`SweepPoint`] — no timings, so responses are byte-stable across
+/// thread counts and admission orders.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct LadderRung {
+    /// The probed poisoning budget.
+    pub n: usize,
+    /// Instances attempted at this budget.
+    pub attempted: usize,
+    /// Instances proven robust.
+    pub verified: usize,
+    /// Instances that hit the timeout.
+    pub timeouts: usize,
+    /// Instances that exhausted the disjunct budget.
+    pub budget_exhausted: usize,
+}
+
+impl From<&SweepPoint> for LadderRung {
+    fn from(p: &SweepPoint) -> LadderRung {
+        LadderRung {
+            n: p.n,
+            attempted: p.attempted,
+            verified: p.verified,
+            timeouts: p.timeouts,
+            budget_exhausted: p.budget_exhausted,
+        }
+    }
+}
+
+/// The engine's answer to one [`Request`], in admission order.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Response {
+    /// Answer to a [`Request::Certify`].
+    Certify {
+        /// Verdict category.
+        verdict: Verdict,
+        /// The reference label the verdict protects.
+        label: ClassId,
+        /// The budget asked about (echoed for self-describing logs).
+        n: usize,
+        /// Dataset epoch the verdict was proved against.
+        epoch: u64,
+    },
+    /// Answer to a [`Request::Sweep`].
+    Sweep {
+        /// Dataset epoch the ladder ran against.
+        epoch: u64,
+        /// The probed rungs, in increasing-`n` order.
+        rungs: Vec<LadderRung>,
+    },
+}
+
+/// Admits, deduplicates, and batches concurrent requests onto the
+/// persistent worker pool. See the module docs; stateless apart from
+/// its admission limits, so one engine can front any number of
+/// sessions.
+#[derive(Debug, Clone, Default)]
+pub struct RequestEngine {
+    timeout: Option<Duration>,
+    disjunct_budget: Option<usize>,
+}
+
+/// A work unit: all same-point certifies of one batch (computed
+/// sequentially, in admission order, so cache warmth accrues
+/// deterministically), or one sweep.
+enum Group<'r> {
+    Certify {
+        session: &'r Arc<Session>,
+        x: &'r [f64],
+        /// `(request index, n)` in admission order.
+        items: Vec<(usize, usize)>,
+    },
+    Sweep {
+        session: &'r Arc<Session>,
+        points: &'r [Vec<f64>],
+        max_n: Option<usize>,
+        index: usize,
+    },
+}
+
+impl RequestEngine {
+    /// An engine with no admission-level limits (session configs still
+    /// apply per instance).
+    pub fn new() -> RequestEngine {
+        RequestEngine::default()
+    }
+
+    /// Sets a per-request deadline, started when the request's own
+    /// computation starts (a queued request's clock does not run).
+    pub fn timeout(mut self, timeout: Duration) -> Self {
+        self.timeout = Some(timeout);
+        self
+    }
+
+    /// Sets a total disjunct budget for a batch, divided fairly (equal
+    /// integer shares, minimum 1) across its disjoint work units.
+    pub fn disjunct_budget(mut self, budget: usize) -> Self {
+        self.disjunct_budget = Some(budget);
+        self
+    }
+
+    /// Admits `requests` and returns one [`Response`] per request, in
+    /// admission order.
+    ///
+    /// Certify requests for the same `(session, point)` coalesce into
+    /// one work unit and run sequentially in admission order; exact
+    /// duplicates (same budget, in flight in the same batch) are
+    /// computed once and answered to every requester, each counted as a
+    /// served request and a cross-request cache hit on `ctx`'s metrics.
+    /// Distinct work units fan out across `ctx`'s workers; responses
+    /// are identical at every thread count and admission order (see the
+    /// module docs).
+    pub fn submit(&self, requests: &[(Arc<Session>, Request)], ctx: &ExecContext) -> Vec<Response> {
+        let mut groups: Vec<Group<'_>> = Vec::new();
+        // (session identity, point bits) → position in `groups`.
+        let mut by_point: BTreeMap<(usize, Vec<u64>), usize> = BTreeMap::new();
+        for (index, (session, request)) in requests.iter().enumerate() {
+            match request {
+                Request::Certify { x, n } => {
+                    let key = (Arc::as_ptr(session) as usize, point_key(x));
+                    match by_point.get(&key) {
+                        Some(&g) => match &mut groups[g] {
+                            Group::Certify { items, .. } => items.push((index, *n)),
+                            Group::Sweep { .. } => unreachable!("certify key maps to certify"),
+                        },
+                        None => {
+                            by_point.insert(key, groups.len());
+                            groups.push(Group::Certify {
+                                session,
+                                x,
+                                items: vec![(index, *n)],
+                            });
+                        }
+                    }
+                }
+                Request::Sweep { points, max_n } => groups.push(Group::Sweep {
+                    session,
+                    points,
+                    max_n: *max_n,
+                    index,
+                }),
+            }
+        }
+
+        let share = self
+            .disjunct_budget
+            .map(|total| (total / groups.len().max(1)).max(1));
+        let inner = ctx.child_threads_for(groups.len());
+        let done: Vec<(Vec<(usize, Response)>, crate::engine::MetricsSnapshot)> =
+            ctx.par_map(&groups, |_, group| {
+                let gctx = ctx
+                    .child()
+                    .threads(inner)
+                    .fresh_metrics()
+                    .maybe_disjunct_budget(share);
+                let responses = match group {
+                    Group::Certify { session, x, items } => {
+                        let mut responses = Vec::with_capacity(items.len());
+                        let mut computed: BTreeMap<usize, Response> = BTreeMap::new();
+                        for &(index, n) in items {
+                            if let Some(r) = computed.get(&n) {
+                                // Coalesced twin: answered entirely by the
+                                // in-flight computation.
+                                gctx.metrics().add_request_served();
+                                gctx.metrics().add_cross_request_cache_hit();
+                                responses.push((index, r.clone()));
+                                continue;
+                            }
+                            let rq = gctx.child().maybe_timeout(self.timeout);
+                            let (out, epoch) = session.certify(x, n, &rq);
+                            let r = Response::Certify {
+                                verdict: out.verdict,
+                                label: out.label,
+                                n,
+                                epoch,
+                            };
+                            computed.insert(n, r.clone());
+                            responses.push((index, r));
+                        }
+                        responses
+                    }
+                    Group::Sweep {
+                        session,
+                        points,
+                        max_n,
+                        index,
+                    } => {
+                        let rq = gctx.child().maybe_timeout(self.timeout);
+                        let (ladder, epoch) = session.sweep(points, *max_n, &rq);
+                        let rungs = ladder.iter().map(LadderRung::from).collect();
+                        vec![(*index, Response::Sweep { epoch, rungs })]
+                    }
+                };
+                (responses, gctx.metrics().snapshot())
+            });
+
+        let mut out: Vec<Option<Response>> = vec![None; requests.len()];
+        for (responses, snap) in done {
+            ctx.metrics().absorb(&snap);
+            for (index, response) in responses {
+                out[index] = Some(response);
+            }
+        }
+        out.into_iter()
+            .map(|r| r.expect("every request belongs to exactly one group"))
+            .collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use antidote_data::{synth, DatasetDelta};
+
+    fn blobs() -> Dataset {
+        let spec = synth::BlobSpec {
+            means: vec![vec![0.0], vec![10.0]],
+            stds: vec![vec![1.0], vec![1.0]],
+            per_class: 100,
+            quantum: Some(0.1),
+        };
+        synth::gaussian_blobs(&spec, 7)
+    }
+
+    fn session(ds: &Dataset, domain: DomainKind) -> Arc<Session> {
+        Arc::new(Session::new(
+            Arc::new(ds.clone()),
+            SessionConfig {
+                depth: 1,
+                domain,
+                ..SessionConfig::default()
+            },
+        ))
+    }
+
+    #[test]
+    fn session_certify_matches_a_fresh_certifier() {
+        let ds = blobs();
+        let s = session(&ds, DomainKind::Disjuncts);
+        let ctx = ExecContext::sequential();
+        let fresh = Certifier::new(&ds).depth(1).domain(DomainKind::Disjuncts);
+        for (x, n) in [
+            (vec![0.5], 8),
+            (vec![0.5], 16),
+            (vec![9.5], 4),
+            (vec![5.1], 1),
+        ] {
+            let (out, epoch) = s.certify(&x, n, &ctx);
+            let want = fresh.certify(&x, n);
+            assert_eq!(out.verdict, want.verdict, "x = {x:?}, n = {n}");
+            assert_eq!(out.label, want.label);
+            assert_eq!(epoch, 0);
+        }
+        assert_eq!(ctx.metrics().requests_served(), 4);
+        assert_eq!(s.tracked_points(), 3);
+    }
+
+    #[test]
+    fn repeat_requests_hit_the_cross_request_cache() {
+        let ds = blobs();
+        let s = session(&ds, DomainKind::Disjuncts);
+        let ctx = ExecContext::sequential();
+        let (first, _) = s.certify(&[0.5], 16, &ctx);
+        assert!(first.is_robust());
+        assert_eq!(ctx.metrics().cross_request_cache_hits(), 0, "cold");
+        let calls = ctx.metrics().certify_calls();
+        // Exact repeat and monotone-implied budgets are both warm.
+        let (again, _) = s.certify(&[0.5], 16, &ctx);
+        assert_eq!(again.verdict, first.verdict);
+        let (implied, _) = s.certify(&[0.5], 7, &ctx);
+        assert!(implied.is_robust());
+        assert_eq!(ctx.metrics().cross_request_cache_hits(), 2);
+        assert_eq!(ctx.metrics().certify_calls(), calls, "no abstract run");
+        assert_eq!(ctx.metrics().requests_served(), 3);
+    }
+
+    #[test]
+    fn engine_coalesces_identical_inflight_requests() {
+        let ds = blobs();
+        let s = session(&ds, DomainKind::Disjuncts);
+        let engine = RequestEngine::new();
+        let ctx = ExecContext::sequential();
+        let rq = Request::Certify {
+            x: vec![0.5],
+            n: 16,
+        };
+        let batch = vec![
+            (Arc::clone(&s), rq.clone()),
+            (Arc::clone(&s), rq.clone()),
+            (Arc::clone(&s), rq),
+        ];
+        let responses = engine.submit(&batch, &ctx);
+        assert_eq!(responses.len(), 3);
+        assert_eq!(responses[0], responses[1]);
+        assert_eq!(responses[1], responses[2]);
+        assert_eq!(ctx.metrics().requests_served(), 3, "all three answered");
+        assert_eq!(ctx.metrics().certify_calls(), 1, "one computed");
+        assert_eq!(ctx.metrics().cross_request_cache_hits(), 2);
+    }
+
+    #[test]
+    fn engine_responses_are_independent_of_admission_order() {
+        let ds = blobs();
+        let s = session(&ds, DomainKind::Disjuncts);
+        let engine = RequestEngine::new();
+        let requests: Vec<Request> = vec![
+            Request::Certify { x: vec![0.5], n: 8 },
+            Request::Certify { x: vec![9.5], n: 4 },
+            Request::Certify {
+                x: vec![0.5],
+                n: 200,
+            },
+            Request::Sweep {
+                points: vec![vec![0.5], vec![9.5]],
+                max_n: Some(8),
+            },
+            Request::Certify { x: vec![0.5], n: 8 },
+        ];
+        let batch: Vec<_> = requests
+            .iter()
+            .map(|r| (Arc::clone(&s), r.clone()))
+            .collect();
+        let batched = engine.submit(&batch, &ExecContext::new().threads(4));
+
+        // Reversed admission on a fresh session, compared request-wise.
+        let s2 = session(&ds, DomainKind::Disjuncts);
+        let reversed: Vec<_> = requests
+            .iter()
+            .rev()
+            .map(|r| (Arc::clone(&s2), r.clone()))
+            .collect();
+        let mut rev = engine.submit(&reversed, &ExecContext::new().threads(4));
+        rev.reverse();
+        assert_eq!(batched, rev);
+
+        // One-at-a-time on a fresh session.
+        let s3 = session(&ds, DomainKind::Disjuncts);
+        let ctx = ExecContext::sequential();
+        let single: Vec<Response> = requests
+            .iter()
+            .flat_map(|r| engine.submit(&[(Arc::clone(&s3), r.clone())], &ctx))
+            .collect();
+        assert_eq!(batched, single);
+    }
+
+    #[test]
+    fn advance_carries_certificates_and_serves_them_warm() {
+        let ds = blobs();
+        let s = session(&ds, DomainKind::Disjuncts);
+        let ctx = ExecContext::sequential();
+        let (out, _) = s.certify(&[0.5], 16, &ctx);
+        assert!(out.is_robust());
+        // Two chained pure-removal epochs, batched into one transfer.
+        let (mid, sum0) = ds.apply_summarized(DatasetDelta::new().remove(0)).unwrap();
+        let (next, sum1) = mid
+            .apply_summarized(DatasetDelta::new().remove(1).remove(2))
+            .unwrap();
+        s.advance(Arc::new(next.clone()), &[sum0, sum1], ctx.metrics());
+        assert_eq!(s.epoch(), 2);
+        assert_eq!(ctx.metrics().cache_transfers(), 1, "one batched transfer");
+        // Robust(16) minus 3 removed rows lands at Robust(13): inside the
+        // bound the session answers without an abstract run at the new
+        // epoch, and the verdict matches a cold certifier there.
+        let calls = ctx.metrics().certify_calls();
+        let (warm, epoch) = s.certify(&[0.5], 13, &ctx);
+        assert!(warm.is_robust());
+        assert_eq!(epoch, 2);
+        assert_eq!(ctx.metrics().certify_calls(), calls, "no abstract run");
+        assert_eq!(ctx.metrics().cross_request_cache_hits(), 1);
+        let cold = Certifier::new(&next)
+            .depth(1)
+            .domain(DomainKind::Disjuncts)
+            .certify(&[0.5], 13);
+        assert_eq!(warm.verdict, cold.verdict);
+        assert_eq!(warm.label, cold.label);
+    }
+
+    #[test]
+    fn session_sweep_matches_the_oneshot_ladder() {
+        let ds = blobs();
+        let s = session(&ds, DomainKind::Disjuncts);
+        let ctx = ExecContext::sequential();
+        let points = vec![vec![0.5], vec![9.5], vec![5.1]];
+        let (ladder, epoch) = s.sweep(&points, None, &ctx);
+        assert_eq!(epoch, 0);
+        let oneshot = crate::sweep::sweep_in(
+            &ds,
+            &points,
+            &SweepConfig {
+                depth: 1,
+                domain: DomainKind::Disjuncts,
+                timeout: None,
+                max_live_disjuncts: None,
+                ..SweepConfig::default()
+            },
+            &ExecContext::sequential(),
+        );
+        let key = |pts: &[SweepPoint]| pts.iter().map(LadderRung::from).collect::<Vec<_>>();
+        assert_eq!(key(&ladder), key(&oneshot));
+    }
+}

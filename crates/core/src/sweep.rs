@@ -13,6 +13,7 @@ use crate::cache::CertCache;
 use crate::certify::{Certifier, Verdict};
 use crate::engine::ExecContext;
 use crate::learner::DomainKind;
+use crate::memo::SharedLearner;
 use antidote_data::Dataset;
 use antidote_domains::CprobTransformer;
 use std::collections::BTreeSet;
@@ -200,7 +201,8 @@ pub fn sweep_cached(
     sweep_body(ds, test_points, cfg, parent, Some(cache))
 }
 
-/// The shared ladder body behind [`sweep_in`] and [`sweep_cached`].
+/// The shared ladder body behind [`sweep_in`] and [`sweep_cached`]:
+/// [`sweep_shared`] with identity slot addressing and no session state.
 fn sweep_body(
     ds: &Dataset,
     test_points: &[Vec<f64>],
@@ -208,13 +210,51 @@ fn sweep_body(
     parent: &ExecContext,
     cache: Option<&CertCache>,
 ) -> Vec<SweepPoint> {
-    let certifier = Certifier::new(ds)
+    let slots: Vec<usize> = (0..test_points.len()).collect();
+    sweep_shared(ds, test_points, &slots, cfg, parent, cache, None)
+}
+
+/// The fully general ladder body — the service-session entry point.
+///
+/// `slots[i]` is the [`CertCache`] slot addressing test point `i`: a
+/// one-shot sweep owns its cache and uses identity slots, while a
+/// session maps each distinct point to a stable slot in its long-lived
+/// cache so repeat requests land on warm entries. `shared`, when
+/// present, is the session's persistent learner state
+/// ([`Certifier::shared_state`]). Both knobs are observationally
+/// invisible to the ladder itself: the probed budgets and per-rung
+/// verdict counts are bit-identical to [`sweep_in`] (pinned in the
+/// session differential tests).
+///
+/// # Panics
+///
+/// Panics when `slots` is shorter than `test_points`, or when a slot is
+/// out of range for `cache`.
+pub(crate) fn sweep_shared(
+    ds: &Dataset,
+    test_points: &[Vec<f64>],
+    slots: &[usize],
+    cfg: &SweepConfig,
+    parent: &ExecContext,
+    cache: Option<&CertCache>,
+    shared: Option<&SharedLearner>,
+) -> Vec<SweepPoint> {
+    assert!(
+        slots.len() >= test_points.len(),
+        "sweep_shared: {} test points but only {} cache slots",
+        test_points.len(),
+        slots.len(),
+    );
+    let mut certifier = Certifier::new(ds)
         .depth(cfg.depth)
         .domain(cfg.domain)
         .transformer(cfg.transformer)
         .subsume(cfg.subsume)
         .memo(cfg.memo)
         .simd(cfg.simd);
+    if let Some(s) = shared {
+        certifier = certifier.shared_state(s);
+    }
     let max_n = cfg.max_n.unwrap_or(ds.len()).min(ds.len());
     let total_points = test_points.len();
 
@@ -238,6 +278,7 @@ fn sweep_body(
         let (point, verified_idx) = probe(
             &certifier,
             test_points,
+            slots,
             &survivors,
             n,
             total_points,
@@ -265,7 +306,7 @@ fn sweep_body(
                     let limits = cfg.timeout.is_some() || cfg.max_live_disjuncts.is_some();
                     if let (Some(c), false) = (cache, limits) {
                         for &i in &survivors {
-                            c.try_find_witness(i, ds, &test_points[i], cfg.depth, n);
+                            c.try_find_witness(slots[i], ds, &test_points[i], cfg.depth, n);
                         }
                     }
                     let mut lo = lo0;
@@ -279,6 +320,7 @@ fn sweep_body(
                         let (p, v) = probe(
                             &certifier,
                             test_points,
+                            slots,
                             &pool,
                             mid,
                             total_points,
@@ -316,10 +358,12 @@ fn sweep_body(
 /// Runs all `pool` instances at budget `n` — fanned out across the
 /// parent context's workers, each under its own child context — and
 /// returns the aggregate point and the indices that verified.
+/// `slots[i]` addresses test point `i`'s cache entry.
 #[allow(clippy::too_many_arguments)]
 fn probe(
     certifier: &Certifier<'_>,
     test_points: &[Vec<f64>],
+    slots: &[usize],
     pool: &[usize],
     n: usize,
     total_points: usize,
@@ -338,7 +382,7 @@ fn probe(
             // The sweep builds (or epoch-checks) its cache against `ds`
             // itself, so a mismatch here is a sweep bug, not caller input.
             Some(c) => certifier
-                .certify_cached(&test_points[i], n, i, c, &ctx)
+                .certify_cached(&test_points[i], n, slots[i], c, &ctx)
                 .expect("sweep cache is stamped for its own dataset"),
             None => certifier.certify_in(&test_points[i], n, &ctx),
         }
@@ -592,6 +636,7 @@ mod tests {
         let (point, verified) = probe(
             &certifier,
             &blob_points(),
+            &[0, 1, 2],
             &[],
             4,
             3,

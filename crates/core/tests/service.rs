@@ -1,0 +1,225 @@
+//! Service-layer pins (DESIGN.md §12): the batched-vs-sequential
+//! differential, per-request counter isolation under concurrency, and
+//! registry epoch safety under a racing delta.
+//!
+//! The differential is the determinism contract of the request engine:
+//! for the same multiset of requests, responses must be byte-identical
+//! whether they are admitted as one concurrent batch, in reverse order,
+//! or one at a time — in every domain and at every thread count. It
+//! runs in CI's release suite alongside the other determinism pins.
+
+use antidote_core::{
+    DomainKind, ExecContext, Request, RequestEngine, Response, Session, SessionConfig,
+};
+use antidote_data::synth::{self, BlobSpec};
+use antidote_data::{Dataset, DatasetDelta, DatasetRegistry};
+use std::sync::Arc;
+
+fn blobs() -> Dataset {
+    synth::gaussian_blobs(
+        &BlobSpec {
+            means: vec![vec![0.0], vec![10.0]],
+            stds: vec![vec![1.0], vec![1.0]],
+            per_class: 100,
+            quantum: Some(0.1),
+        },
+        7,
+    )
+}
+
+fn session(ds: &Dataset, domain: DomainKind) -> Arc<Session> {
+    Arc::new(Session::new(
+        Arc::new(ds.clone()),
+        SessionConfig {
+            depth: 1,
+            domain,
+            ..SessionConfig::default()
+        },
+    ))
+}
+
+/// A mixed trace: repeat points, monotone-implied budgets, exact
+/// duplicates, an interleaved sweep, and a boundary point.
+fn trace() -> Vec<Request> {
+    vec![
+        Request::Certify { x: vec![0.5], n: 8 },
+        Request::Certify { x: vec![9.5], n: 4 },
+        Request::Certify {
+            x: vec![0.5],
+            n: 16,
+        },
+        Request::Certify { x: vec![5.1], n: 1 },
+        Request::Certify { x: vec![0.5], n: 8 },
+        Request::Sweep {
+            points: vec![vec![0.5], vec![9.5], vec![5.1]],
+            max_n: Some(16),
+        },
+        Request::Certify {
+            x: vec![9.5],
+            n: 200,
+        },
+        Request::Certify { x: vec![0.5], n: 3 },
+        Request::Certify { x: vec![9.5], n: 4 },
+    ]
+}
+
+#[test]
+fn batched_and_sequential_admission_are_byte_identical() {
+    let ds = blobs();
+    let engine = RequestEngine::new();
+    let requests = trace();
+    for domain in [
+        DomainKind::Box,
+        DomainKind::Disjuncts,
+        DomainKind::Hybrid { max_disjuncts: 8 },
+    ] {
+        // Reference: one at a time, strictly sequentially.
+        let s = session(&ds, domain);
+        let ctx = ExecContext::sequential();
+        let reference: Vec<Response> = requests
+            .iter()
+            .flat_map(|r| engine.submit(&[(Arc::clone(&s), r.clone())], &ctx))
+            .collect();
+
+        for threads in [1usize, 4] {
+            // One concurrent batch on a fresh session.
+            let s = session(&ds, domain);
+            let batch: Vec<_> = requests
+                .iter()
+                .map(|r| (Arc::clone(&s), r.clone()))
+                .collect();
+            let batched = engine.submit(&batch, &ExecContext::new().threads(threads));
+            assert_eq!(
+                batched, reference,
+                "{domain:?} batched vs sequential at {threads} threads"
+            );
+
+            // Reverse admission order, compared request-wise.
+            let s = session(&ds, domain);
+            let reversed: Vec<_> = requests
+                .iter()
+                .rev()
+                .map(|r| (Arc::clone(&s), r.clone()))
+                .collect();
+            let mut rev = engine.submit(&reversed, &ExecContext::new().threads(threads));
+            rev.reverse();
+            assert_eq!(
+                rev, reference,
+                "{domain:?} reversed admission at {threads} threads"
+            );
+        }
+    }
+}
+
+#[test]
+fn concurrent_requests_keep_their_counters_isolated() {
+    // Two requests running under one parent: each child context's
+    // fresh-metrics snapshot must describe exactly its own request, and
+    // the parent absorb must be their sum — no cross-talk, no double
+    // counting. The second request repeats the first's point, so its
+    // snapshot shows the warm path while the first shows the cold one.
+    let ds = blobs();
+    let s = session(&ds, DomainKind::Disjuncts);
+    let parent = ExecContext::new().threads(2);
+
+    let work = [(vec![0.5], 16usize), (vec![0.5], 16usize)];
+    // Warm the session with the first request so the concurrent pair
+    // below has a deterministic cold/warm split regardless of order.
+    let warm_ctx = parent.child().fresh_metrics();
+    let _ = s.certify(&work[0].0, work[0].1, &warm_ctx);
+    let warm_snap = warm_ctx.metrics().snapshot();
+    assert_eq!(warm_snap.requests_served, 1);
+    assert_eq!(warm_snap.cross_request_cache_hits, 0, "cold request");
+    assert_eq!(warm_snap.cache_misses, 1);
+    parent.metrics().absorb(&warm_snap);
+
+    // Both concurrent requests now hit warm state; each child snapshot
+    // must count exactly one served request and one cross-request hit.
+    let snaps = parent.par_map(&work, |_, (x, n)| {
+        let ctx = parent.child().fresh_metrics();
+        let (out, _) = s.certify(x, *n, &ctx);
+        assert!(out.is_robust());
+        ctx.metrics().snapshot()
+    });
+    for (i, snap) in snaps.iter().enumerate() {
+        assert_eq!(snap.requests_served, 1, "request {i} counts itself once");
+        assert_eq!(snap.cross_request_cache_hits, 1, "request {i} is warm");
+        assert_eq!(snap.cache_shortcircuits, 1, "request {i}");
+        assert_eq!(snap.certify_calls, 0, "request {i} runs no certifier");
+        parent.metrics().absorb(snap);
+    }
+    assert_eq!(parent.metrics().requests_served(), 3);
+    assert_eq!(parent.metrics().cross_request_cache_hits(), 2);
+    assert_eq!(parent.metrics().certify_calls(), 1, "one cold derivation");
+}
+
+#[test]
+fn certify_racing_a_delta_sees_old_epoch_or_advances_cleanly() {
+    // Registry epoch safety: while one thread streams certifies through
+    // a session, another applies a delta to the registry and advances
+    // the session. Every response must be internally consistent — a
+    // verdict stamped with the epoch it was actually proved against,
+    // matching a cold certifier at that epoch — and never a torn pair.
+    // Runs in CI's release suite, where torn reads would be likeliest.
+    let ds = blobs();
+    let registry = DatasetRegistry::new();
+    registry.load("blobs", ds.clone());
+    let s = session(&ds, DomainKind::Disjuncts);
+
+    let removed: Vec<u32> = (0..3).collect();
+    let results = std::thread::scope(|scope| {
+        let certifier = {
+            let s = Arc::clone(&s);
+            scope.spawn(move || {
+                let ctx = ExecContext::sequential();
+                (0..40)
+                    .map(|_| s.certify(&[0.5], 13, &ctx))
+                    .collect::<Vec<_>>()
+            })
+        };
+        let mutator = {
+            let s = Arc::clone(&s);
+            let registry = &registry;
+            let removed = &removed;
+            scope.spawn(move || {
+                let mut delta = DatasetDelta::new();
+                for &r in removed {
+                    delta.remove(r);
+                }
+                let (next, summary) = registry.apply_delta("blobs", &delta).unwrap();
+                s.advance(next, &[summary], ExecContext::sequential().metrics());
+            })
+        };
+        mutator.join().unwrap();
+        certifier.join().unwrap()
+    });
+
+    // Oracle per epoch: a cold certifier against that epoch's snapshot.
+    let old = antidote_core::Certifier::new(&ds)
+        .depth(1)
+        .domain(DomainKind::Disjuncts)
+        .certify(&[0.5], 13);
+    let new_ds = registry.get("blobs").unwrap();
+    assert_eq!(new_ds.epoch(), 1);
+    let new = antidote_core::Certifier::new(&new_ds)
+        .depth(1)
+        .domain(DomainKind::Disjuncts)
+        .certify(&[0.5], 13);
+
+    let mut seen_epochs = Vec::new();
+    for (out, epoch) in &results {
+        let want = match epoch {
+            0 => &old,
+            1 => &new,
+            other => panic!("impossible epoch {other}"),
+        };
+        assert_eq!(out.verdict, want.verdict, "epoch {epoch}");
+        assert_eq!(out.label, want.label, "epoch {epoch}");
+        seen_epochs.push(*epoch);
+    }
+    // Epochs advance monotonically within the stream: once a request
+    // sees the new snapshot, no later request regresses to the old one.
+    let mut sorted = seen_epochs.clone();
+    sorted.sort_unstable();
+    assert_eq!(seen_epochs, sorted, "epoch regression mid-stream");
+}

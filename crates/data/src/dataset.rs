@@ -508,6 +508,21 @@ impl Dataset {
         Some(if j == 0 { &[] } else { &idx.masks[j - 1] })
     }
 
+    /// Forces construction of every lazily-built index so later reads pay
+    /// no first-touch cost: the per-feature threshold indexes behind
+    /// [`Dataset::le_mask`] are materialized now (class masks and feature
+    /// orders are already built eagerly at construction). A
+    /// [`crate::registry::DatasetRegistry`] calls this once per loaded
+    /// dataset so every request served from the shared `Arc` finds the
+    /// indexes warm.
+    pub fn warm_indexes(&self) {
+        for f in 0..self.n_features() {
+            // Any threshold forces the OnceLock build; the returned mask
+            // (or the high-cardinality `None`) is irrelevant here.
+            let _ = self.le_mask(f, 0.0, false);
+        }
+    }
+
     /// Projects the dataset onto a subset of its feature columns (labels
     /// unchanged). Used by the random-subspace forest learner, where each
     /// tree sees its own feature subset.
@@ -983,6 +998,42 @@ impl DeltaSummary {
     /// `n - removed.len()`).
     pub fn pure_removal(&self) -> bool {
         self.appended == 0 && self.flipped.is_empty()
+    }
+
+    /// Folds a run of consecutive per-epoch summaries into one summary
+    /// describing the whole span, for a single batched certificate
+    /// transfer across several epochs at once.
+    ///
+    /// The fold is **counting-only**: each summary's row ids live in its
+    /// own epoch's id space, so the concatenated `removed`/`flipped`
+    /// vectors are meaningful as *counts* (and that is all the transfer
+    /// rule consumes — the combined shrink is `removed.len()` and
+    /// soundness needs only [`DeltaSummary::pure_removal`]). Removed ids
+    /// never collide across a chain — a removed slot stays dead forever —
+    /// so the concatenation never double-counts a removal.
+    ///
+    /// # Panics
+    ///
+    /// Panics when `summaries` is empty: a zero-epoch fold has no
+    /// well-defined span.
+    pub fn fold(summaries: &[DeltaSummary]) -> DeltaSummary {
+        assert!(
+            !summaries.is_empty(),
+            "DeltaSummary::fold needs at least one epoch"
+        );
+        let mut removed = Vec::new();
+        let mut flipped = Vec::new();
+        let mut appended = 0;
+        for s in summaries {
+            appended += s.appended;
+            removed.extend_from_slice(&s.removed);
+            flipped.extend_from_slice(&s.flipped);
+        }
+        DeltaSummary {
+            appended,
+            removed,
+            flipped,
+        }
     }
 }
 

@@ -53,6 +53,12 @@ pub enum DataError {
         /// What the delta tried to do with it.
         reason: &'static str,
     },
+    /// A [`crate::registry::DatasetRegistry`] operation named a handle
+    /// that is not loaded.
+    UnknownHandle {
+        /// The handle the caller asked for.
+        handle: String,
+    },
     /// A CSV parse failure.
     Csv {
         /// 1-based line number of the failure.
@@ -99,6 +105,9 @@ impl fmt::Display for DataError {
             }
             DataError::InvalidDelta { row, reason } => {
                 write!(f, "invalid delta: row {row}: {reason}")
+            }
+            DataError::UnknownHandle { handle } => {
+                write!(f, "no dataset loaded under handle '{handle}'")
             }
             DataError::Csv { line, message } => {
                 write!(f, "csv parse error at line {line}: {message}")
@@ -155,6 +164,9 @@ mod tests {
             DataError::InvalidDelta {
                 row: 4,
                 reason: "remove targets a row that is not live",
+            },
+            DataError::UnknownHandle {
+                handle: "prod".into(),
             },
         ];
         for e in errs {

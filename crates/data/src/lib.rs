@@ -22,7 +22,10 @@
 //!   dispatches through, with a bit-identical scalar fallback behind the
 //!   `--no-simd` escape hatch and the default-on `simd` cargo feature;
 //! * [`arena`] — a frontier-lifetime recycling arena ([`WordArena`]) for
-//!   the learner's word-buffer scratch.
+//!   the learner's word-buffer scratch;
+//! * [`registry`] — the service-mode [`DatasetRegistry`]: handles →
+//!   epoch-stamped `Arc<Dataset>`s with indexes warmed at load time and
+//!   atomic delta application.
 //!
 //! # Example
 //!
@@ -41,6 +44,7 @@ pub mod benchmark;
 pub mod csv;
 pub mod dataset;
 pub mod error;
+pub mod registry;
 pub mod simd;
 pub mod split;
 pub mod stats;
@@ -53,6 +57,7 @@ pub use dataset::{
     Column, Dataset, DatasetBuilder, DatasetDelta, DeltaSummary, FeatureKind, Schema,
 };
 pub use error::DataError;
+pub use registry::DatasetRegistry;
 pub use split::train_test_split;
 pub use stats::DatasetStats;
 pub use subset::{Subset, SubsetInterner, ThresholdCmp};
