@@ -117,6 +117,9 @@ struct ModeStats {
     simd_lanes: usize,
     requests_served: u64,
     cross_request_cache_hits: u64,
+    probes_scheduled: u64,
+    probes_deferred: u64,
+    deadline_degradations: u64,
 }
 
 fn run_mode(
@@ -163,6 +166,9 @@ fn run_mode(
             simd_lanes: m.simd_lanes(),
             requests_served: m.requests_served(),
             cross_request_cache_hits: m.cross_request_cache_hits(),
+            probes_scheduled: m.probes_scheduled(),
+            probes_deferred: m.probes_deferred(),
+            deadline_degradations: m.deadline_degradations(),
         };
     }
     (out, best, stats)
@@ -311,6 +317,9 @@ fn main() {
   "simd_lanes": {},
   "requests_served": {},
   "cross_request_cache_hits": {},
+  "probes_scheduled": {},
+  "probes_deferred": {},
+  "deadline_degradations": {},
   "frontier_peak_disjuncts": {},
   "pool_reuse_count": {},
   "ladder": [
@@ -344,6 +353,9 @@ fn main() {
         cached_stats.simd_lanes,
         cached_stats.requests_served,
         cached_stats.cross_request_cache_hits,
+        cached_stats.probes_scheduled,
+        cached_stats.probes_deferred,
+        cached_stats.deadline_degradations,
         cached_stats.frontier_peak_disjuncts,
         pool_reuse_json,
         ladder_json.join(",\n")

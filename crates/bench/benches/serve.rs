@@ -311,6 +311,9 @@ fn main() {
   "subsumption_pruned": {},
   "split_memo_hits": {},
   "split_memo_misses": {},
+  "probes_scheduled": {},
+  "probes_deferred": {},
+  "deadline_degradations": {},
   "interner_hits": {},
   "arena_resets": {},
   "pool_reuse_count": {pool_reuse_count}
@@ -329,6 +332,9 @@ fn main() {
         m.disjuncts_subsumed(),
         m.split_memo_hits(),
         m.split_memo_misses(),
+        m.probes_scheduled(),
+        m.probes_deferred(),
+        m.deadline_degradations(),
         m.interner_hits(),
         m.arena_resets(),
     );

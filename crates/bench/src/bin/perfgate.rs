@@ -1,29 +1,47 @@
-//! CI perf-regression gate over `BENCH_sweep.json` and (optionally)
-//! `BENCH_serve.json`.
+//! The CI perf-regression gate: one binary owning all five benchmark
+//! artifacts, with one failure format.
 //!
 //! ```text
-//! perfgate <sweep_baseline.json> <sweep_candidate.json> \
-//!          [<serve_baseline.json> <serve_candidate.json>]
+//! perfgate [--sweep  <baseline> <candidate>]
+//!          [--serve  <baseline> <candidate>]
+//!          [--matrix <baseline> <candidate>]
+//!          [--refs   <baseline> <candidate>]...
 //! ```
 //!
-//! Exits non-zero when the sweep candidate's `identical_ladders` is not
-//! `true` or any gated counter (`certify_calls_cached`,
-//! `subsumption_pruned`, `split_memo_hits`, `split_memo_misses`,
-//! `interner_hits`, `arena_resets`, `cache_transfers`,
-//! `cache_invalidations`, `requests_served`,
-//! `cross_request_cache_hits`) drifts from the committed baseline.
-//! Counter equality — never wall-clock — keeps the gate
-//! host-independent: a slow CI runner cannot fail it, but a change that
-//! silently disables the certification cache, the subsumption pass, the
-//! `bestSplit#` memo, frontier hash-consing, or the learner's
-//! word-scratch arena cannot pass it. `pool_reuse_count` stays ungated
-//! on the sweep artifact (it is `null` on 1-core hosts) but is gated
-//! exactly on the serve artifact, whose bench pins an explicit thread
-//! count; the serve gate additionally requires `identical_responses`
-//! and `hit_rate_dominates_sweep` to hold. See DESIGN.md §8, §9.4,
-//! and §12.
+//! Each flag names a committed baseline and a freshly generated
+//! candidate; at least one pair is required, `--refs` may repeat (CI
+//! passes `BENCH_split.json` and `BENCH_drift.json`):
+//!
+//! * `--sweep` — `BENCH_sweep.json`: `identical_ladders` must hold and
+//!   every [`GATED_COUNTERS`] entry must match exactly;
+//! * `--serve` — `BENCH_serve.json`: `identical_responses` /
+//!   `hit_rate_dominates_sweep` must hold, the gated counters plus
+//!   `pool_reuse_count` must match exactly;
+//! * `--matrix` — `BENCH_matrix.json`: the totals counters
+//!   ([`MATRIX_GATED_TOTALS`], including the scheduler's
+//!   `probes_scheduled` / `probes_deferred` / `deadline_degradations`)
+//!   must match exactly, and the timings-stripped documents must be
+//!   line-identical — every per-cell verdict key is held to the
+//!   baseline;
+//! * `--refs` — reference artifacts: timings-stripped structural
+//!   equality, replacing the old per-artifact `grep|diff` shell steps.
+//!
+//! Counter and structural equality — never wall-clock — keeps every
+//! gate host-independent: a slow CI runner cannot fail it, but a change
+//! that silently disables the certification cache, the subsumption
+//! pass, the `bestSplit#` memo, frontier hash-consing, the word-scratch
+//! arena, or the probe scheduler cannot pass it. See DESIGN.md §8,
+//! §9.4, §12, and §13. Exit codes: 0 all gates pass, 1 violations,
+//! 2 usage or I/O error.
 
-use antidote_bench::perf::{check_serve_gate, check_sweep_gate, json_u64, GATED_COUNTERS};
+use antidote_bench::perf::{
+    check_matrix_gate, check_refs, check_serve_gate, check_sweep_gate, json_u64, GateViolation,
+    GATED_COUNTERS, MATRIX_GATED_TOTALS,
+};
+
+const USAGE: &str = "usage: perfgate [--sweep <baseline> <candidate>] \
+     [--serve <baseline> <candidate>] [--matrix <baseline> <candidate>] \
+     [--refs <baseline> <candidate>]... (at least one pair)";
 
 fn read(path: &str) -> String {
     std::fs::read_to_string(path).unwrap_or_else(|e| {
@@ -32,8 +50,10 @@ fn read(path: &str) -> String {
     })
 }
 
-fn report(label: &str, baseline: &str, candidate: &str) {
-    for field in GATED_COUNTERS {
+/// Prints the gated counters of one artifact pair, so a green run still
+/// documents what it held.
+fn report(label: &str, fields: &[&str], baseline: &str, candidate: &str) {
+    for &field in fields {
         println!(
             "perfgate[{label}]: {field}: baseline {:?}, candidate {:?}",
             json_u64(baseline, field),
@@ -44,38 +64,63 @@ fn report(label: &str, baseline: &str, candidate: &str) {
 
 fn main() {
     let args: Vec<String> = std::env::args().skip(1).collect();
-    let (sweep, serve) = match args.as_slice() {
-        [sb, sc] => ((sb, sc), None),
-        [sb, sc, vb, vc] => ((sb, sc), Some((vb, vc))),
-        _ => {
-            eprintln!(
-                "usage: perfgate <sweep_baseline.json> <sweep_candidate.json> \
-                 [<serve_baseline.json> <serve_candidate.json>]"
-            );
+    let mut pairs: Vec<(String, String, String)> = Vec::new(); // (mode, baseline, candidate)
+    let mut it = args.into_iter();
+    while let Some(flag) = it.next() {
+        let mode = match flag.strip_prefix("--") {
+            Some(m @ ("sweep" | "serve" | "matrix" | "refs")) => m.to_string(),
+            _ => {
+                eprintln!("perfgate: unknown argument '{flag}'\n{USAGE}");
+                std::process::exit(2);
+            }
+        };
+        let (Some(baseline), Some(candidate)) = (it.next(), it.next()) else {
+            eprintln!("perfgate: --{mode} needs <baseline> <candidate>\n{USAGE}");
             std::process::exit(2);
-        }
-    };
-    let baseline = read(sweep.0);
-    let candidate = read(sweep.1);
-    report("sweep", &baseline, &candidate);
-    let mut violations = check_sweep_gate(&baseline, &candidate);
-    if let Some((serve_baseline_path, serve_candidate_path)) = serve {
-        let serve_baseline = read(serve_baseline_path);
-        let serve_candidate = read(serve_candidate_path);
-        report("serve", &serve_baseline, &serve_candidate);
-        println!(
-            "perfgate[serve]: pool_reuse_count: baseline {:?}, candidate {:?}",
-            json_u64(&serve_baseline, "pool_reuse_count"),
-            json_u64(&serve_candidate, "pool_reuse_count")
-        );
-        violations.extend(check_serve_gate(&serve_baseline, &serve_candidate));
+        };
+        pairs.push((mode, baseline, candidate));
+    }
+    if pairs.is_empty() {
+        eprintln!("{USAGE}");
+        std::process::exit(2);
+    }
+
+    let mut violations: Vec<(String, GateViolation)> = Vec::new();
+    for (mode, baseline_path, candidate_path) in &pairs {
+        let baseline = read(baseline_path);
+        let candidate = read(candidate_path);
+        // `--refs` labels by file, so repeated pairs stay attributable.
+        let label = match mode.as_str() {
+            "refs" => format!("refs:{baseline_path}"),
+            m => m.to_string(),
+        };
+        let found = match mode.as_str() {
+            "sweep" => {
+                report(&label, &GATED_COUNTERS, &baseline, &candidate);
+                check_sweep_gate(&baseline, &candidate)
+            }
+            "serve" => {
+                report(&label, &GATED_COUNTERS, &baseline, &candidate);
+                report(&label, &["pool_reuse_count"], &baseline, &candidate);
+                check_serve_gate(&baseline, &candidate)
+            }
+            "matrix" => {
+                report(&label, &MATRIX_GATED_TOTALS, &baseline, &candidate);
+                check_matrix_gate(&baseline, &candidate)
+            }
+            _ => check_refs(&baseline, &candidate),
+        };
+        violations.extend(found.into_iter().map(|v| (label.clone(), v)));
     }
     if violations.is_empty() {
-        println!("perfgate: OK — artifacts consistent, gated counters match the baseline");
+        println!(
+            "perfgate: OK — {} artifact pair(s) consistent, gated counters match the baseline",
+            pairs.len()
+        );
         return;
     }
-    for v in &violations {
-        eprintln!("perfgate: FAIL {}: {}", v.field, v.detail);
+    for (label, v) in &violations {
+        eprintln!("perfgate: FAIL [{label}] {}: {}", v.field, v.detail);
     }
     std::process::exit(1);
 }

@@ -21,6 +21,18 @@ use std::path::{Path, PathBuf};
 use std::sync::Arc;
 use std::time::{Duration, Instant};
 
+/// The ladder-wide probe budget every remove-threat cell runs under: a
+/// deterministic (count-based, never wall-clock) cutoff, so expensive
+/// cells stop doubling once the budget is spent and degrade their
+/// remaining points to sound verdict intervals, while the scheduler's
+/// tightening pass spends whatever cheap cells leave over. Chosen so
+/// the hardest committed cell (`imbalanced/remove/disjuncts`, 35 probes
+/// before scheduling) truncates well below its 218ms peak while every
+/// `blobs` cell still exercises the cache (pinned in the tests below).
+/// Count-based cutoffs keep BENCH_matrix.json bit-stable across runs
+/// and thread counts (`tests/matrix_determinism.rs`).
+pub const CELL_PROBE_BUDGET: u64 = 24;
+
 /// The domain axis of the grid: the paper's Box, the unbounded
 /// disjunctive domain, and the budgeted hybrid.
 pub const DOMAINS: [DomainKind; 3] = [
@@ -77,9 +89,12 @@ impl MatrixCell {
     /// rungs, and the thread-invariant counters — everything that must
     /// be bit-identical across `--threads` and registration order.
     /// (`parallel_tasks` and wall-clock are deliberately excluded: the
-    /// frontier only routes through `par_map` on multi-threaded runs.)
+    /// frontier only routes through `par_map` on multi-threaded runs.
+    /// The scheduler counters are included: the cells run under a
+    /// count-based probe budget, so scheduled/deferred/degraded counts
+    /// are as thread-invariant as the ladder itself.)
     #[allow(clippy::type_complexity)]
-    pub fn verdict_key(&self) -> (String, Vec<(usize, usize, usize, usize, usize)>, [u64; 4]) {
+    pub fn verdict_key(&self) -> (String, Vec<(usize, usize, usize, usize, usize)>, [u64; 7]) {
         (
             self.key(),
             self.ladder
@@ -91,6 +106,9 @@ impl MatrixCell {
                 self.metrics.cache_hits,
                 self.metrics.cache_shortcircuits,
                 self.metrics.disjuncts_subsumed,
+                self.metrics.probes_scheduled,
+                self.metrics.probes_deferred,
+                self.metrics.deadline_degradations,
             ],
         )
     }
@@ -141,7 +159,7 @@ impl MatrixReport {
     /// value the determinism suite compares across thread counts and
     /// registration orders.
     #[allow(clippy::type_complexity)]
-    pub fn verdict_key(&self) -> Vec<(String, Vec<(usize, usize, usize, usize, usize)>, [u64; 4])> {
+    pub fn verdict_key(&self) -> Vec<(String, Vec<(usize, usize, usize, usize, usize)>, [u64; 7])> {
         self.cells.iter().map(MatrixCell::verdict_key).collect()
     }
 
@@ -244,6 +262,7 @@ pub fn run_matrix_in(
                     timeout: None,
                     max_live_disjuncts: None,
                     max_n: Some(spec.max_n),
+                    probe_budget: Some(CELL_PROBE_BUDGET),
                     ..SweepConfig::default()
                 };
                 sweep_in(&spec.train, &spec.xs, &sweep_cfg, &ctx)
@@ -355,6 +374,9 @@ pub fn matrix_json(report: &MatrixReport) -> String {
     "subsumption_pruned": {},
     "split_memo_hits": {},
     "split_memo_misses": {},
+    "probes_scheduled": {},
+    "probes_deferred": {},
+    "deadline_degradations": {},
     "interner_hits": {},
     "disjuncts_processed": {},
     "peak_disjuncts": {},
@@ -380,6 +402,9 @@ pub fn matrix_json(report: &MatrixReport) -> String {
         t.disjuncts_subsumed,
         t.split_memo_hits,
         t.split_memo_misses,
+        t.probes_scheduled,
+        t.probes_deferred,
+        t.deadline_degradations,
         t.interner_hits,
         t.disjuncts_processed,
         t.peak_disjuncts,
@@ -450,6 +475,9 @@ fn cell_json(c: &MatrixCell, pad: &str) -> String {
 {pad}  "subsumption_pruned": {},
 {pad}  "split_memo_hits": {},
 {pad}  "split_memo_misses": {},
+{pad}  "probes_scheduled": {},
+{pad}  "probes_deferred": {},
+{pad}  "deadline_degradations": {},
 {pad}  "interner_hits": {},
 {pad}  "disjuncts_processed": {},
 {pad}  "peak_disjuncts": {},
@@ -475,6 +503,9 @@ fn cell_json(c: &MatrixCell, pad: &str) -> String {
         m.disjuncts_subsumed,
         m.split_memo_hits,
         m.split_memo_misses,
+        m.probes_scheduled,
+        m.probes_deferred,
+        m.deadline_degradations,
         m.interner_hits,
         m.disjuncts_processed,
         m.peak_disjuncts,
@@ -526,6 +557,16 @@ mod tests {
             if c.threat == ThreatModel::Remove {
                 assert!(c.metrics.certify_calls > 0, "{}", c.key());
                 assert!(c.metrics.cache_hits > 0, "{}: cache never hit", c.key());
+                assert!(
+                    c.metrics.probes_scheduled > 0,
+                    "{}: scheduler never engaged",
+                    c.key()
+                );
+                assert!(
+                    c.metrics.probes_scheduled <= CELL_PROBE_BUDGET,
+                    "{}: cell overran its probe budget",
+                    c.key()
+                );
             }
         }
         // Flip cells ignore the domain axis: their ladders are identical

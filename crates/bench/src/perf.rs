@@ -81,9 +81,19 @@ pub struct GateViolation {
 /// starts transferring (or invalidating) state on the *static* path is
 /// exactly the kind of stale-cache bug the epoch stamps exist to catch,
 /// and fails the gate. The drift path's non-zero counts live in
-/// `BENCH_drift.json`, which CI holds to its committed reference
-/// (timings stripped) the same way it holds `BENCH_split.json`.
-pub const GATED_COUNTERS: [&str; 10] = [
+/// `BENCH_drift.json`, which perfgate's `--refs` mode holds to its
+/// committed reference (timings stripped) the same way it holds
+/// `BENCH_split.json`.
+/// `probes_scheduled` / `probes_deferred` / `deadline_degradations` are
+/// the probe scheduler's counters (DESIGN.md §13): neither the sweep nor
+/// the serve bench configures a ladder deadline or probe budget, so the
+/// scheduler issues every probe — `probes_scheduled` equals the ladder's
+/// total probe count (a change that disarms the scheduler, or starts
+/// double-counting, fails the gate) while the baselines pin
+/// `probes_deferred` and `deadline_degradations` at 0 — an unbounded
+/// scheduler that starts deferring work is a determinism bug, not a
+/// tuning choice.
+pub const GATED_COUNTERS: [&str; 13] = [
     "certify_calls_cached",
     "subsumption_pruned",
     "split_memo_hits",
@@ -94,6 +104,31 @@ pub const GATED_COUNTERS: [&str; 10] = [
     "cache_invalidations",
     "requests_served",
     "cross_request_cache_hits",
+    "probes_scheduled",
+    "probes_deferred",
+    "deadline_degradations",
+];
+
+/// The `totals` counters `check_matrix_gate` holds to exact equality.
+/// First-match extraction reads the aggregate: `matrix_json` places the
+/// totals block before any per-cell fields. Wall-clock and `peak_bytes`
+/// are deliberately absent — the same host-dependent set
+/// `tests/matrix_determinism.rs` strips.
+pub const MATRIX_GATED_TOTALS: [&str; 14] = [
+    "certify_calls",
+    "cache_hits",
+    "cache_shortcircuits",
+    "cache_misses",
+    "cache_transfers",
+    "cache_invalidations",
+    "subsumption_pruned",
+    "split_memo_hits",
+    "split_memo_misses",
+    "probes_scheduled",
+    "probes_deferred",
+    "deadline_degradations",
+    "interner_hits",
+    "disjuncts_processed",
 ];
 
 /// Checks a freshly generated `BENCH_sweep.json` (`candidate`) against
@@ -193,6 +228,94 @@ pub fn check_serve_gate(baseline: &str, candidate: &str) -> Vec<GateViolation> {
     violations
 }
 
+/// Whether a line carries a host-dependent measurement: wall-clock
+/// (`*_ms`, `*_us`, the matrix's `wall_ms*` family) or the `peak_bytes`
+/// memory proxy. Everything else in the artifacts is deterministic.
+fn is_timing_line(line: &str) -> bool {
+    line.contains("_ms\"")
+        || line.contains("_us\"")
+        || line.contains("wall_ms")
+        || line.contains("peak_bytes")
+}
+
+/// `doc` with timing lines removed: the structural projection the
+/// matrix and reference-artifact gates compare — the Rust counterpart
+/// of the `grep -vE 'wall_ms|peak_bytes' | diff` shell steps this
+/// module replaced.
+pub fn strip_timings(doc: &str) -> String {
+    doc.lines()
+        .filter(|l| !is_timing_line(l))
+        .collect::<Vec<_>>()
+        .join(
+            "
+",
+        )
+}
+
+/// Line-by-line compare of the two documents' timings-stripped
+/// projections, appending one violation naming the first differing line.
+fn check_structure(
+    field: &'static str,
+    baseline: &str,
+    candidate: &str,
+    violations: &mut Vec<GateViolation>,
+) {
+    let b = strip_timings(baseline);
+    let c = strip_timings(candidate);
+    if b == c {
+        return;
+    }
+    let detail = b
+        .lines()
+        .zip(c.lines())
+        .enumerate()
+        .find(|(_, (lb, lc))| lb != lc)
+        .map(|(i, (lb, lc))| {
+            format!(
+                "first differing stripped line {}: baseline {:?}, candidate {:?}",
+                i + 1,
+                lb.trim(),
+                lc.trim()
+            )
+        })
+        .unwrap_or_else(|| {
+            format!(
+                "stripped line counts differ: baseline {}, candidate {}",
+                b.lines().count(),
+                c.lines().count()
+            )
+        });
+    violations.push(GateViolation { field, detail });
+}
+
+/// Checks a freshly generated `BENCH_matrix.json` (`candidate`) against
+/// the committed baseline document, the same way [`check_sweep_gate`] /
+/// [`check_serve_gate`] own their artifacts.
+///
+/// Gated conditions:
+///
+/// * each of [`MATRIX_GATED_TOTALS`] must be present in both documents
+///   and exactly equal (first match = the aggregate totals block);
+/// * the timings-stripped documents must be line-identical — this holds
+///   every per-cell verdict key (identity, ladder rungs, cell counters)
+///   to the baseline, not just the totals.
+pub fn check_matrix_gate(baseline: &str, candidate: &str) -> Vec<GateViolation> {
+    let mut violations = Vec::new();
+    check_counters(baseline, candidate, &MATRIX_GATED_TOTALS, &mut violations);
+    check_structure("cells", baseline, candidate, &mut violations);
+    violations
+}
+
+/// Checks a freshly regenerated reference artifact (`BENCH_split.json`,
+/// `BENCH_drift.json`) against its committed copy: the timings-stripped
+/// projections must be line-identical. One Rust gate with one failure
+/// format, replacing the per-artifact `grep|diff` CI steps.
+pub fn check_refs(baseline: &str, candidate: &str) -> Vec<GateViolation> {
+    let mut violations = Vec::new();
+    check_structure("structure", baseline, candidate, &mut violations);
+    violations
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -215,6 +338,9 @@ mod tests {
   "simd_lanes": 4,
   "requests_served": 0,
   "cross_request_cache_hits": 0,
+  "probes_scheduled": 61,
+  "probes_deferred": 0,
+  "deadline_degradations": 0,
   "pool_reuse_count": null,
   "ladder": [
     {"n": 1, "attempted": 32, "verified": 30}
@@ -237,6 +363,9 @@ mod tests {
   "split_memo_misses": 310,
   "interner_hits": 455,
   "arena_resets": 11,
+  "probes_scheduled": 44,
+  "probes_deferred": 0,
+  "deadline_degradations": 0,
   "pool_reuse_count": 8
 }
 "#;
@@ -394,6 +523,127 @@ mod tests {
         let v = check_serve_gate(SERVE_DOC, &unserved);
         assert_eq!(v.len(), 1);
         assert_eq!(v[0].field, "requests_served");
+    }
+
+    const MATRIX_DOC: &str = r#"{
+  "bench": "matrix",
+  "seed": 0,
+  "cell_count": 6,
+  "wall_ms_total": 512.250,
+  "wall_ms_p50": 2.584,
+  "wall_ms_max": 218.448,
+  "totals": {
+    "certify_calls": 118,
+    "cache_hits": 260,
+    "cache_shortcircuits": 44,
+    "cache_misses": 118,
+    "cache_transfers": 0,
+    "cache_invalidations": 0,
+    "subsumption_pruned": 900,
+    "split_memo_hits": 12,
+    "split_memo_misses": 340,
+    "probes_scheduled": 310,
+    "probes_deferred": 14,
+    "deadline_degradations": 5,
+    "interner_hits": 777,
+    "disjuncts_processed": 40100,
+    "peak_disjuncts": 96,
+    "peak_bytes": 1048576
+  },
+  "cells": [
+    {
+      "scenario": "blobs",
+      "wall_ms": 109.040,
+      "certify_calls": 21,
+      "peak_bytes": 524288,
+      "ladder": [
+        {"n": 1, "attempted": 6, "verified": 6, "timeouts": 0, "budget_exhausted": 0}
+      ]
+    }
+  ]
+}
+"#;
+
+    #[test]
+    fn gate_catches_scheduler_counter_drift() {
+        // A disarmed scheduler zeroes its issue count; an unbounded one
+        // that starts deferring is a determinism bug. Both fail.
+        let disarmed = DOC.replace("\"probes_scheduled\": 61", "\"probes_scheduled\": 0");
+        let v = check_sweep_gate(DOC, &disarmed);
+        assert_eq!(v.len(), 1);
+        assert_eq!(v[0].field, "probes_scheduled");
+        assert!(v[0].detail.contains("baseline 61 != candidate 0"));
+        let deferring = SERVE_DOC.replace("\"probes_deferred\": 0", "\"probes_deferred\": 9");
+        let v = check_serve_gate(SERVE_DOC, &deferring);
+        assert_eq!(v.len(), 1);
+        assert_eq!(v[0].field, "probes_deferred");
+        let degraded = DOC.replace(
+            "\"deadline_degradations\": 0",
+            "\"deadline_degradations\": 1",
+        );
+        let v = check_sweep_gate(DOC, &degraded);
+        assert_eq!(v.len(), 1);
+        assert_eq!(v[0].field, "deadline_degradations");
+    }
+
+    #[test]
+    fn matrix_gate_passes_on_identical_documents_and_ignores_timings() {
+        assert!(check_matrix_gate(MATRIX_DOC, MATRIX_DOC).is_empty());
+        // Wall-clock and peak_bytes drift — totals or cells — is not a
+        // violation: the gate must hold on any CI runner.
+        let slower = MATRIX_DOC
+            .replace("\"wall_ms_max\": 218.448", "\"wall_ms_max\": 400.123")
+            .replace("\"wall_ms\": 109.040", "\"wall_ms\": 250.000")
+            .replace("\"peak_bytes\": 1048576", "\"peak_bytes\": 9999999")
+            .replace("\"peak_bytes\": 524288", "\"peak_bytes\": 11111");
+        assert!(check_matrix_gate(MATRIX_DOC, &slower).is_empty());
+    }
+
+    #[test]
+    fn matrix_gate_catches_totals_and_cell_drift() {
+        // Totals drift names the exact counter (plus the structural
+        // mismatch, since the totals block is part of the document).
+        let drifted = MATRIX_DOC.replace("\"probes_deferred\": 14", "\"probes_deferred\": 0");
+        let v = check_matrix_gate(MATRIX_DOC, &drifted);
+        assert!(v.iter().any(
+            |x| x.field == "probes_deferred" && x.detail.contains("baseline 14 != candidate 0")
+        ));
+        // A per-cell change (a ladder rung) leaves every total intact but
+        // fails the structural compare.
+        let rung = MATRIX_DOC.replace(
+            "{\"n\": 1, \"attempted\": 6, \"verified\": 6, \"timeouts\": 0, \"budget_exhausted\": 0}",
+            "{\"n\": 1, \"attempted\": 6, \"verified\": 5, \"timeouts\": 0, \"budget_exhausted\": 0}",
+        );
+        let v = check_matrix_gate(MATRIX_DOC, &rung);
+        assert_eq!(v.len(), 1);
+        assert_eq!(v[0].field, "cells");
+        assert!(v[0].detail.contains("first differing stripped line"));
+        assert!(v[0].detail.contains("\\\"verified\\\": 5"));
+    }
+
+    #[test]
+    fn refs_gate_strips_timings_and_catches_structure_drift() {
+        let doc = "{\n  \"bench\": \"drift\",\n  \"cold_ms\": 231.669,\n  \"warm_ms\": 73.053,\n  \"dense_us\": 17.5,\n  \"cache_transfers\": 32,\n  \"identical_ladders\": true\n}\n";
+        assert!(check_refs(doc, doc).is_empty());
+        // Timing lines (any *_ms / *_us key) never gate.
+        let slower = doc
+            .replace("231.669", "999.000")
+            .replace("\"dense_us\": 17.5", "\"dense_us\": 99.9");
+        assert!(check_refs(doc, &slower).is_empty());
+        // A counter or verdict line does.
+        let fewer = doc.replace("\"cache_transfers\": 32", "\"cache_transfers\": 0");
+        let v = check_refs(doc, &fewer);
+        assert_eq!(v.len(), 1);
+        assert_eq!(v[0].field, "structure");
+        assert!(v[0].detail.contains("cache_transfers"));
+        // A gutted document reports the line-count mismatch.
+        let gutted = doc.replace("  \"identical_ladders\": true\n", "");
+        let v = check_refs(doc, &gutted);
+        assert_eq!(v.len(), 1);
+        assert!(
+            v[0].detail.contains("differing stripped line")
+                || v[0].detail.contains("line counts differ")
+        );
     }
 
     #[test]

@@ -33,6 +33,7 @@ impl Args {
         "no-subsume",
         "no-memo",
         "no-simd",
+        "no-schedule",
         "no-transfer",
         "list",
     ];
@@ -192,6 +193,15 @@ impl Args {
     /// `--no-cache`/`--no-subsume`/`--no-memo`).
     pub fn no_simd(&self) -> bool {
         self.options.contains_key("no-simd")
+    }
+
+    /// Whether `--no-schedule` was given: disarms the adaptive probe
+    /// scheduler, restoring the fixed §6.1 rung order with no shared
+    /// ladder deadline/budget and no interval tightening (the escape
+    /// hatch mirroring `--no-cache`; absent a binding deadline, ladders
+    /// are bit-identical either way).
+    pub fn no_schedule(&self) -> bool {
+        self.options.contains_key("no-schedule")
     }
 
     /// Whether `--no-transfer` was given: disables cross-epoch
@@ -402,6 +412,22 @@ mod tests {
         assert!(a.no_cache() && a.no_subsume() && a.no_memo() && a.no_simd());
         assert_eq!(a.threads().unwrap(), 2);
         assert!(Args::parse(argv("sweep --no-simd true")).is_err());
+    }
+
+    #[test]
+    fn no_schedule_flag_takes_no_value() {
+        let a = Args::parse(argv("sweep")).unwrap();
+        assert!(!a.no_schedule(), "the probe scheduler is armed by default");
+        let a = Args::parse(argv("sweep --no-schedule")).unwrap();
+        assert!(a.no_schedule());
+        // All five escape hatches compose.
+        let a = Args::parse(argv(
+            "sweep --no-cache --no-subsume --no-memo --no-simd --no-schedule --threads 2",
+        ))
+        .unwrap();
+        assert!(a.no_cache() && a.no_subsume() && a.no_memo() && a.no_simd() && a.no_schedule());
+        assert_eq!(a.threads().unwrap(), 2);
+        assert!(Args::parse(argv("sweep --no-schedule true")).is_err());
     }
 
     #[test]

@@ -57,7 +57,7 @@ const USAGE: &str = "usage:
   antidote flip     --dataset <id> --depth <d> --n <n> [--index i] [--timeout secs]
   antidote forest   --dataset <id> --depth <d> --n <n> [--trees t] [--features f] [--index i]
   antidote tree     --dataset <id> --depth <d> [--dot true]
-  antidote sweep    --dataset <id> --depth <d> [--domain ...] [--points k] [--timeout secs] [--no-cache] [--no-subsume] [--no-memo] [--no-simd]
+  antidote sweep    --dataset <id> --depth <d> [--domain ...] [--points k] [--timeout secs] [--deadline secs] [--probe-budget k] [--no-cache] [--no-subsume] [--no-memo] [--no-simd] [--no-schedule]
   antidote drift    --dataset <id> --depth <d> [--steps k] [--mutate frac] [--ops removal|mixed] [--points k] [--timeout secs] [--no-transfer]
   antidote matrix   [--scenarios a,b,...] [--out-dir dir] [--seed s] [--list]
   antidote accuracy --dataset <id> [--scale small|paper]
@@ -72,7 +72,11 @@ ladder rungs unless --no-cache re-derives every probe from scratch;
 certify/sweep prune subsumed frontier disjuncts unless --no-subsume,
 memoize bestSplit# per certify call unless --no-memo, and use the
 chunked SIMD word kernels unless --no-simd (scalar fallback,
-bit-identical results);
+bit-identical results); sweep orders probes widest-verdict-interval
+first and shares --deadline (wall-clock, whole ladder) /
+--probe-budget (deterministic probe count) across the ladder unless
+--no-schedule disarms the scheduler (absent a binding deadline or
+budget, ladders are bit-identical either way);
 drift replays a seeded mutation script (--steps deltas, each touching
 --mutate of the live rows; --ops removal keeps certificate transfer
 sound, mixed adds flips/appends that invalidate it) and re-runs the
@@ -301,6 +305,15 @@ fn cmd_sweep(args: &Args) -> Result<(), CliError> {
         subsume: !args.no_subsume(),
         memo: !args.no_memo(),
         simd: !args.no_simd(),
+        schedule: !args.no_schedule(),
+        deadline: {
+            let secs = args.get_num("deadline", 0u64)?;
+            (secs > 0).then(|| Duration::from_secs(secs))
+        },
+        probe_budget: {
+            let k = args.get_num("probe-budget", 0u64)?;
+            (k > 0).then_some(k)
+        },
         ..SweepConfig::default()
     };
     let xs: Vec<Vec<f64>> = (0..points as u32).map(|r| test.row_values(r)).collect();
@@ -380,6 +393,7 @@ fn cmd_drift(args: &Args) -> Result<(), CliError> {
             subsume: !args.no_subsume(),
             memo: !args.no_memo(),
             simd: !args.no_simd(),
+            schedule: !args.no_schedule(),
             ..SweepConfig::default()
         },
         transfer: !args.no_transfer(),
@@ -645,6 +659,22 @@ mod tests {
         ))
         .is_ok());
         assert!(run(argv("certify --dataset iris --no-cache nope")).is_err());
+    }
+
+    #[test]
+    fn no_schedule_flag_reaches_the_sweep() {
+        assert!(run(argv(
+            "sweep --dataset iris --depth 1 --points 4 --threads 1 --timeout 0 --no-schedule"
+        ))
+        .is_ok());
+        // The scheduler's shared ladder bounds parse and compose.
+        assert!(run(argv(
+            "sweep --dataset iris --depth 1 --points 4 --threads 1 --timeout 0 \
+             --deadline 60 --probe-budget 64"
+        ))
+        .is_ok());
+        assert!(run(argv("sweep --dataset iris --probe-budget nope")).is_err());
+        assert!(run(argv("certify --dataset iris --no-schedule nope")).is_err());
     }
 
     #[test]

@@ -627,7 +627,7 @@ impl Service {
     fn op_metrics(&self) -> String {
         let m = self.ctx.metrics();
         format!(
-            "{{\"ok\":true,\"op\":\"metrics\",\"requests_served\":{},\"cross_request_cache_hits\":{},\"certify_calls\":{},\"cache_hits\":{},\"cache_misses\":{},\"cache_shortcircuits\":{},\"cache_transfers\":{},\"cache_invalidations\":{},\"split_memo_hits\":{},\"split_memo_misses\":{}}}",
+            "{{\"ok\":true,\"op\":\"metrics\",\"requests_served\":{},\"cross_request_cache_hits\":{},\"certify_calls\":{},\"cache_hits\":{},\"cache_misses\":{},\"cache_shortcircuits\":{},\"cache_transfers\":{},\"cache_invalidations\":{},\"split_memo_hits\":{},\"split_memo_misses\":{},\"probes_scheduled\":{},\"probes_deferred\":{},\"deadline_degradations\":{}}}",
             m.requests_served(),
             m.cross_request_cache_hits(),
             m.certify_calls(),
@@ -638,6 +638,9 @@ impl Service {
             m.cache_invalidations(),
             m.split_memo_hits(),
             m.split_memo_misses(),
+            m.probes_scheduled(),
+            m.probes_deferred(),
+            m.deadline_degradations(),
         )
     }
 }

@@ -64,6 +64,9 @@ pub struct RunMetrics {
     simd_lanes: AtomicUsize,
     requests_served: AtomicU64,
     cross_request_cache_hits: AtomicU64,
+    probes_scheduled: AtomicU64,
+    probes_deferred: AtomicU64,
+    deadline_degradations: AtomicU64,
     pool_batches: AtomicU64,
 }
 
@@ -303,6 +306,45 @@ impl RunMetrics {
         self.cross_request_cache_hits.load(Ordering::Relaxed)
     }
 
+    /// Adds to the scheduled-probe counter: (point, rung) probes the
+    /// probe scheduler (`antidote_core::sched`, DESIGN.md §13) issued,
+    /// whether as a full rung, a priority-ordered partial rung under a
+    /// binding budget, or an interval-tightening probe.
+    pub fn add_probes_scheduled(&self, v: u64) {
+        self.probes_scheduled.fetch_add(v, Ordering::Relaxed);
+    }
+
+    /// Adds to the deferred-probe counter: (point, rung) probes the
+    /// scheduler declined to issue because the sweep-global deadline or
+    /// probe budget was exhausted.
+    pub fn add_probes_deferred(&self, v: u64) {
+        self.probes_deferred.fetch_add(v, Ordering::Relaxed);
+    }
+
+    /// Counts one deadline degradation: the first time a point's probe is
+    /// deferred by the scheduler, leaving that point at its current —
+    /// still sound — `[max_robust, min_unknown]` interval instead of a
+    /// refined one (at most one per point per sweep).
+    pub fn add_deadline_degradation(&self) {
+        self.deadline_degradations.fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// Total probes issued by the scheduler.
+    pub fn probes_scheduled(&self) -> u64 {
+        self.probes_scheduled.load(Ordering::Relaxed)
+    }
+
+    /// Total probes deferred by the scheduler.
+    pub fn probes_deferred(&self) -> u64 {
+        self.probes_deferred.load(Ordering::Relaxed)
+    }
+
+    /// Total points degraded to their current interval by a binding
+    /// deadline or probe budget.
+    pub fn deadline_degradations(&self) -> u64 {
+        self.deadline_degradations.load(Ordering::Relaxed)
+    }
+
     /// Total `par_map` batches this context's runs dispatched to the
     /// persistent pool (not part of [`MetricsSnapshot`]: whether a call
     /// takes the pool path can depend on the host's core count via
@@ -351,6 +393,9 @@ impl RunMetrics {
             simd_lanes: self.simd_lanes(),
             requests_served: self.requests_served(),
             cross_request_cache_hits: self.cross_request_cache_hits(),
+            probes_scheduled: self.probes_scheduled(),
+            probes_deferred: self.probes_deferred(),
+            deadline_degradations: self.deadline_degradations(),
         }
     }
 
@@ -393,6 +438,12 @@ impl RunMetrics {
             .fetch_add(s.requests_served, Ordering::Relaxed);
         self.cross_request_cache_hits
             .fetch_add(s.cross_request_cache_hits, Ordering::Relaxed);
+        self.probes_scheduled
+            .fetch_add(s.probes_scheduled, Ordering::Relaxed);
+        self.probes_deferred
+            .fetch_add(s.probes_deferred, Ordering::Relaxed);
+        self.deadline_degradations
+            .fetch_add(s.deadline_degradations, Ordering::Relaxed);
     }
 }
 
@@ -447,6 +498,13 @@ pub struct MetricsSnapshot {
     /// Certify requests answered from session state without any abstract
     /// run (the service's warm path).
     pub cross_request_cache_hits: u64,
+    /// Probes issued by the sweep's probe scheduler (DESIGN.md §13).
+    pub probes_scheduled: u64,
+    /// Probes the scheduler deferred under a binding deadline or budget.
+    pub probes_deferred: u64,
+    /// Points degraded to their current sound interval by a binding
+    /// deadline or budget (at most one per point per sweep).
+    pub deadline_degradations: u64,
 }
 
 impl MetricsSnapshot {
@@ -1068,6 +1126,29 @@ mod tests {
         parent.metrics().absorb(&snap);
         assert_eq!(parent.metrics().requests_served(), 4);
         assert_eq!(parent.metrics().cross_request_cache_hits(), 2);
+    }
+
+    #[test]
+    fn scheduler_counters_snapshot_and_absorb() {
+        let ctx = ExecContext::new();
+        ctx.metrics().add_probes_scheduled(5);
+        ctx.metrics().add_probes_deferred(2);
+        ctx.metrics().add_deadline_degradation();
+        assert_eq!(ctx.metrics().probes_scheduled(), 5);
+        assert_eq!(ctx.metrics().probes_deferred(), 2);
+        assert_eq!(ctx.metrics().deadline_degradations(), 1);
+        let snap = ctx.metrics().snapshot();
+        assert_eq!(snap.probes_scheduled, 5);
+        assert_eq!(snap.probes_deferred, 2);
+        assert_eq!(snap.deadline_degradations, 1);
+        // Absorbing adds: the matrix's per-cell scheduler activity rolls
+        // up into the run-wide totals like every other counter.
+        let parent = ExecContext::new();
+        parent.metrics().absorb(&snap);
+        parent.metrics().absorb(&snap);
+        assert_eq!(parent.metrics().probes_scheduled(), 10);
+        assert_eq!(parent.metrics().probes_deferred(), 4);
+        assert_eq!(parent.metrics().deadline_degradations(), 2);
     }
 
     #[test]

@@ -32,6 +32,11 @@
 //! * [`certify`] — the [`Certifier`] builder API;
 //! * [`sweep`](mod@sweep) — the evaluation protocol of §6.1 (n-doubling ladder with
 //!   binary-search refinement, timeouts, and resource accounting);
+//! * [`sched`](mod@sched) — the adaptive probe scheduler behind the
+//!   sweep: verdict-interval priority ordering, one deadline/probe
+//!   budget shared across the whole ladder, and interval tightening with
+//!   whatever budget the ladder saved (DESIGN.md §13, `--no-schedule`
+//!   escape hatch);
 //! * [`drift`](mod@drift) — incremental re-certification under dataset
 //!   drift: ladders replayed across epoch-stamped mutations, with sound
 //!   certificate transfer across pure-removal deltas (DESIGN.md §11);
@@ -72,6 +77,7 @@ pub mod learner;
 pub mod memo;
 pub mod pool;
 pub mod report;
+pub mod sched;
 pub mod score;
 pub mod session;
 pub mod sweep;
@@ -86,6 +92,7 @@ pub use flip::certify_label_flips;
 pub use learner::DomainKind;
 pub use memo::{FlipSplitMemo, SharedLearner, SplitMemo};
 pub use report::{explain, Explanation};
+pub use sched::{ProbeScheduler, RungPlan};
 pub use score::{best_split_abs, AbsSplitResult};
 pub use session::{LadderRung, Request, RequestEngine, Response, Session, SessionConfig};
 pub use sweep::{sweep, sweep_cached, sweep_in, SweepConfig, SweepPoint};

@@ -64,6 +64,12 @@ pub struct SessionConfig {
     pub memo: bool,
     /// Chunked SIMD word kernels (default on).
     pub simd: bool,
+    /// The adaptive probe scheduler for session sweeps (default on; the
+    /// service-side counterpart of `--no-schedule`, see
+    /// `SweepConfig::schedule`). Sessions set no ladder deadline or
+    /// probe budget, so the scheduler only orders rungs and counts
+    /// probes — session ladders stay bit-identical either way.
+    pub schedule: bool,
 }
 
 impl Default for SessionConfig {
@@ -77,6 +83,7 @@ impl Default for SessionConfig {
             subsume: true,
             memo: true,
             simd: true,
+            schedule: true,
         }
     }
 }
@@ -241,6 +248,9 @@ impl Session {
             subsume: self.cfg.subsume,
             memo: self.cfg.memo,
             simd: self.cfg.simd,
+            schedule: self.cfg.schedule,
+            deadline: None,
+            probe_budget: None,
         };
         let rctx = ctx.child().fresh_metrics();
         let ladder = sweep_shared(

@@ -14,6 +14,7 @@ use crate::certify::{Certifier, Verdict};
 use crate::engine::ExecContext;
 use crate::learner::DomainKind;
 use crate::memo::SharedLearner;
+use crate::sched::ProbeScheduler;
 use antidote_data::Dataset;
 use antidote_domains::CprobTransformer;
 use std::collections::BTreeSet;
@@ -82,6 +83,41 @@ pub struct SweepConfig {
     /// performance switch: ladders and thread-invariant counters are
     /// unchanged either way (see `antidote_data::simd`, DESIGN.md §10).
     pub simd: bool,
+    /// Whether the adaptive [`ProbeScheduler`] steers the ladder
+    /// (default: on; `false` is the `--no-schedule` escape hatch
+    /// mirroring `--no-cache`). The scheduler orders each rung's probes
+    /// widest-verdict-interval first (tie-broken by point index), shares
+    /// [`deadline`](SweepConfig::deadline) /
+    /// [`probe_budget`](SweepConfig::probe_budget) across the whole
+    /// ladder, and spends leftover budget tightening the loosest
+    /// surviving intervals. With neither bound configured it never
+    /// defers or tightens, and reordering a rung is observationally
+    /// invisible: ladders and verdict keys are bit-identical to
+    /// `schedule: false` (pinned in `tests/determinism.rs`; DESIGN.md
+    /// §13).
+    pub schedule: bool,
+    /// One wall-clock deadline shared by the *whole* ladder (default:
+    /// none), as opposed to the per-instance
+    /// [`timeout`](SweepConfig::timeout). When it binds, pending probes
+    /// are deferred — the affected points degrade to their current,
+    /// still sound, verdict intervals instead of stalling the sweep —
+    /// and in-flight probes are bounded through the [`ExecContext`]
+    /// ancestor-deadline chain, so the sweep never overruns the deadline
+    /// by more than one cooperative cancellation check. Requires
+    /// `schedule`; like `timeout`, a binding deadline trades the
+    /// bit-for-bit determinism contract for bounded latency (reported
+    /// intervals remain sound either way; pinned in
+    /// `tests/soundness.rs`).
+    pub deadline: Option<Duration>,
+    /// A probe-count budget shared by the whole ladder (default: none):
+    /// the deterministic counterpart of
+    /// [`deadline`](SweepConfig::deadline). At most this many (point,
+    /// rung) probes are issued, highest-priority first; the rest defer
+    /// exactly as under a binding deadline, but the cutoff is a pure
+    /// function of config and cache state — never of timing — so
+    /// truncated ladders stay bit-identical across runs and thread
+    /// counts. Requires `schedule`.
+    pub probe_budget: Option<u64>,
 }
 
 impl Default for SweepConfig {
@@ -100,6 +136,9 @@ impl Default for SweepConfig {
             subsume: true,
             memo: true,
             simd: true,
+            schedule: true,
+            deadline: None,
+            probe_budget: None,
         }
     }
 }
@@ -258,6 +297,27 @@ pub(crate) fn sweep_shared(
     let max_n = cfg.max_n.unwrap_or(ds.len()).min(ds.len());
     let total_points = test_points.len();
 
+    let mut sched = cfg
+        .schedule
+        .then(|| ProbeScheduler::new(cfg.deadline, cfg.probe_budget, max_n));
+    // When the scheduler carries a wall-clock deadline, every probe runs
+    // under one bounded child context: its deadline joins the ancestor
+    // chain of each probe's own per-instance context, so in-flight work
+    // cooperatively stops at the *ladder* deadline — the sweep never
+    // overruns it by more than one cancellation check. Cancelling
+    // `parent` still cancels everything (ancestor chain), and metrics
+    // stay shared. Loop control below deliberately keeps watching
+    // `parent`: deadline expiry is the scheduler's to handle, via
+    // `plan`, which counts the degraded points.
+    let bounded;
+    let exec: &ExecContext = match sched.as_ref().and_then(ProbeScheduler::deadline_at) {
+        Some(at) => {
+            bounded = parent.child().deadline(at);
+            &bounded
+        }
+        None => parent,
+    };
+
     let mut points: Vec<SweepPoint> = Vec::new();
     // Every budget probed so far: each n is probed at most once per sweep
     // (the doubling rungs are strictly increasing and the binary search
@@ -274,19 +334,43 @@ pub(crate) fn sweep_shared(
         if parent.should_stop() {
             break;
         }
+        // The scheduler orders the rung widest-interval-first and, when
+        // the shared deadline or probe budget binds, truncates it to the
+        // highest-priority prefix; deferred points degrade to their
+        // current (sound) intervals. Unbounded, `plan` issues the whole
+        // pool and the reorder is invisible: `par_map` returns results
+        // in input order and every rung aggregate is an order-invariant
+        // sum.
+        let (pool, partial) = match sched.as_mut() {
+            Some(s) => {
+                let plan = s.plan(&survivors, slots, cache, parent.metrics());
+                (plan.issue, !plan.deferred.is_empty())
+            }
+            None => (survivors.clone(), false),
+        };
+        if pool.is_empty() {
+            break; // deadline/budget exhausted: degrade, don't stall
+        }
         probed.insert(n);
         let (point, verified_idx) = probe(
             &certifier,
             test_points,
             slots,
-            &survivors,
+            &pool,
             n,
             total_points,
             cfg,
             cache,
-            parent,
+            exec,
         );
         points.push(point);
+        if partial {
+            // A truncated rung cannot soundly drive the survivor
+            // protocol (a deferred point neither survived nor failed);
+            // stop doubling and let the tightening pass spend whatever
+            // remains.
+            break;
+        }
         if verified_idx.is_empty() {
             // §6.1 step 3: binary search in (n/2, n) for budgets where some
             // survivor still verifies.
@@ -314,21 +398,40 @@ pub(crate) fn sweep_shared(
                     let mut pool = survivors.clone();
                     while hi - lo > 1 && !parent.should_stop() {
                         let mid = lo + (hi - lo) / 2;
-                        if !probed.insert(mid) {
+                        if probed.contains(&mid) {
                             break; // already probed: nothing new to learn
                         }
+                        // Refinement rungs draw on the same shared
+                        // deadline/budget as the doubling rungs.
+                        let (refine, refine_partial) = match sched.as_mut() {
+                            Some(s) => {
+                                let plan = s.plan(&pool, slots, cache, parent.metrics());
+                                (plan.issue, !plan.deferred.is_empty())
+                            }
+                            None => (pool.clone(), false),
+                        };
+                        if refine.is_empty() {
+                            break;
+                        }
+                        probed.insert(mid);
                         let (p, v) = probe(
                             &certifier,
                             test_points,
                             slots,
-                            &pool,
+                            &refine,
                             mid,
                             total_points,
                             cfg,
                             cache,
-                            parent,
+                            exec,
                         );
                         points.push(p);
+                        if refine_partial {
+                            // An empty verdict over a partial pool says
+                            // nothing about the deferred points, so the
+                            // lo/hi update below would be unsound.
+                            break;
+                        }
                         if v.is_empty() {
                             hi = mid;
                         } else {
@@ -347,12 +450,102 @@ pub(crate) fn sweep_shared(
         }
         n = (n * 2).min(max_n);
     }
+    // (c) Spend whatever the truncated ladder saved tightening the
+    // loosest surviving verdict intervals: repeatedly probe the midpoint
+    // of the widest open gap (ties toward the smaller point index) until
+    // every gap is closed, a point stops yielding information, or the
+    // shared deadline/budget runs out. Gated on `bounded()`: with no
+    // deadline and no probe budget the ladder was never truncated, there
+    // is nothing "saved" to spend, and the scheduler must stay
+    // observationally invisible.
+    if let (Some(s), Some(c)) = (sched.as_mut(), cache) {
+        if s.bounded() {
+            // Points whose latest tightening probe left their interval
+            // unchanged (a transient Timeout/Cancelled/DisjunctBudget
+            // verdict, which the cache soundly refuses to record, or a
+            // witness short-circuit): probing the same midpoint again
+            // would loop forever.
+            let mut stuck: BTreeSet<usize> = BTreeSet::new();
+            while !parent.should_stop() {
+                let mut widest: Option<(usize, usize, usize, usize)> = None; // (gap, i, lo, hi)
+                for (i, &slot) in slots.iter().enumerate().take(test_points.len()) {
+                    if stuck.contains(&i) {
+                        continue;
+                    }
+                    let interval = c.verdict_interval(slot);
+                    let lo = interval.0.unwrap_or(0);
+                    let hi = interval.1.unwrap_or(max_n + 1).min(max_n + 1);
+                    let gap = hi.saturating_sub(lo);
+                    // gap == 1 is a closed interval (the frontier is
+                    // localised); iterating i ascending makes the strict
+                    // `>` the deterministic smallest-index tie-break.
+                    if gap > 1 && widest.is_none_or(|(g, ..)| gap > g) {
+                        widest = Some((gap, i, lo, hi));
+                    }
+                }
+                let Some((_, i, lo, hi)) = widest else { break };
+                if !s.try_claim(parent.metrics()) {
+                    break; // deadline/budget exhausted
+                }
+                // gap ≥ 2 ⇒ lo < mid < hi ≤ max_n + 1, so mid is a legal
+                // budget and a recorded verdict strictly shrinks the gap.
+                let mid = lo + (hi - lo) / 2;
+                let before = c.verdict_interval(slots[i]);
+                let (p, _) = probe(
+                    &certifier,
+                    test_points,
+                    slots,
+                    &[i],
+                    mid,
+                    total_points,
+                    cfg,
+                    cache,
+                    exec,
+                );
+                // A tightening probe may revisit a budget the ladder
+                // already reported; fold it into the existing rung to
+                // keep the points-per-n invariant.
+                match points.iter_mut().find(|q| q.n == mid) {
+                    Some(q) => merge_rung(q, &p),
+                    None => {
+                        probed.insert(mid);
+                        points.push(p);
+                    }
+                }
+                if c.verdict_interval(slots[i]) == before {
+                    stuck.insert(i);
+                }
+            }
+        }
+    }
     points.sort_by_key(|p| p.n);
     debug_assert!(
         points.windows(2).all(|w| w[0].n < w[1].n),
         "probe points are deduplicated by construction"
     );
     points
+}
+
+/// Folds an extra probe of the same budget `n` into an existing rung:
+/// counts sum, averages re-weight by attempted instances. Used by the
+/// tightening pass, whose midpoint probes may revisit a budget the
+/// ladder already reported.
+fn merge_rung(existing: &mut SweepPoint, extra: &SweepPoint) {
+    debug_assert_eq!(existing.n, extra.n);
+    let total = existing.attempted + extra.attempted;
+    if total == 0 {
+        return;
+    }
+    let sum_time =
+        existing.avg_time * existing.attempted as u32 + extra.avg_time * extra.attempted as u32;
+    let sum_bytes =
+        existing.avg_peak_bytes * existing.attempted + extra.avg_peak_bytes * extra.attempted;
+    existing.avg_time = sum_time / total as u32;
+    existing.avg_peak_bytes = sum_bytes / total;
+    existing.attempted = total;
+    existing.verified += extra.verified;
+    existing.timeouts += extra.timeouts;
+    existing.budget_exhausted += extra.budget_exhausted;
 }
 
 /// Runs all `pool` instances at budget `n` — fanned out across the

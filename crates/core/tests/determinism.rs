@@ -177,6 +177,106 @@ fn subsumption_pruning_is_observationally_invisible() {
 }
 
 #[test]
+fn probe_scheduler_is_observationally_invisible() {
+    // The full-certifier differential for the probe scheduler:
+    // Box/Disjuncts/Hybrid × schedule on/off × threads {1,4} must
+    // produce bit-identical ladders. Absent a deadline or probe budget
+    // the scheduler is a pure priority reordering of each rung's probe
+    // pool — the parallel fan-out returns results in input order and
+    // rung aggregates are order-invariant sums, so nothing observable
+    // may move (DESIGN.md §13).
+    let ds = blobs(60, 7);
+    let xs = test_points(16);
+    for domain in [
+        DomainKind::Box,
+        DomainKind::Disjuncts,
+        DomainKind::Hybrid { max_disjuncts: 8 },
+    ] {
+        for threads in [1usize, 4] {
+            let cfg = |schedule: bool| SweepConfig {
+                depth: 2,
+                domain,
+                timeout: None,
+                threads,
+                schedule,
+                ..SweepConfig::default()
+            };
+            let sched_ctx = ExecContext::new().threads(threads);
+            let scheduled = antidote_core::sweep_in(&ds, &xs, &cfg(true), &sched_ctx);
+            let plain_ctx = ExecContext::new().threads(threads);
+            let plain = antidote_core::sweep_in(&ds, &xs, &cfg(false), &plain_ctx);
+            assert_eq!(
+                key(&scheduled),
+                key(&plain),
+                "{domain:?} @ {threads} thread(s): --no-schedule ladder diverged"
+            );
+            assert!(
+                sched_ctx.metrics().probes_scheduled() > 0,
+                "sanity: the scheduler must actually route the probes"
+            );
+            assert_eq!(
+                sched_ctx.metrics().probes_deferred(),
+                0,
+                "an unbounded scheduler never defers"
+            );
+            assert_eq!(
+                sched_ctx.metrics().deadline_degradations(),
+                0,
+                "an unbounded scheduler never degrades a point"
+            );
+            let off = plain_ctx.metrics();
+            assert_eq!(
+                (
+                    off.probes_scheduled(),
+                    off.probes_deferred(),
+                    off.deadline_degradations(),
+                ),
+                (0, 0, 0),
+                "the escape hatch must fully disarm the scheduler"
+            );
+        }
+    }
+}
+
+#[test]
+fn probe_budget_cutoff_is_thread_invariant() {
+    // A probe budget — unlike a wall-clock deadline — is a deterministic
+    // cutoff: the scheduler issues probes in a priority order that is a
+    // pure function of the config and cache state, so a budgeted sweep
+    // must stay bit-identical across thread counts and repeated runs
+    // (this is why the scenario matrix can pin per-cell budgets without
+    // destabilizing its committed artifact).
+    let ds = blobs(60, 7);
+    let xs = test_points(16);
+    let cfg = |threads: usize| SweepConfig {
+        depth: 2,
+        domain: DomainKind::Disjuncts,
+        timeout: None,
+        threads,
+        probe_budget: Some(8),
+        ..SweepConfig::default()
+    };
+    let seq_ctx = ExecContext::new().threads(1);
+    let sequential = antidote_core::sweep_in(&ds, &xs, &cfg(1), &seq_ctx);
+    let par_ctx = ExecContext::new().threads(4);
+    let parallel = antidote_core::sweep_in(&ds, &xs, &cfg(4), &par_ctx);
+    assert_eq!(
+        key(&sequential),
+        key(&parallel),
+        "a budgeted ladder must not depend on the thread count"
+    );
+    assert_eq!(
+        seq_ctx.metrics().probes_deferred(),
+        par_ctx.metrics().probes_deferred(),
+        "deferral counts are part of the deterministic contract"
+    );
+    assert!(
+        seq_ctx.metrics().probes_deferred() > 0,
+        "sanity: a budget of 8 over 16 points must actually bind"
+    );
+}
+
+#[test]
 fn memoized_best_split_is_observationally_invisible() {
     // The per-certify-call bestSplit# memo must change nothing but work
     // counts: memo-on and --no-memo sweeps produce bit-identical ladders

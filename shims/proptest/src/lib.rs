@@ -24,7 +24,15 @@ impl ProptestConfig {
 
 impl Default for ProptestConfig {
     fn default() -> Self {
-        ProptestConfig { cases: 256 }
+        // Mirror real proptest: the `PROPTEST_CASES` environment
+        // variable overrides the default case count (the nightly CI job
+        // raises it from 256 to 2048 for the deep differential suites).
+        // Explicit `with_cases` configurations are not affected.
+        let cases = std::env::var("PROPTEST_CASES")
+            .ok()
+            .and_then(|v| v.parse().ok())
+            .unwrap_or(256);
+        ProptestConfig { cases }
     }
 }
 
@@ -338,6 +346,20 @@ mod tests {
             }
             prop_assert!(x < 10);
         }
+    }
+
+    #[test]
+    fn default_cases_honor_the_environment() {
+        // The default is 256; PROPTEST_CASES overrides it (the nightly
+        // CI job sets 2048). Avoid mutating the process environment in a
+        // parallel test run: whatever the harness was launched with must
+        // already be reflected, and an unset/garbage value falls back.
+        let expected = std::env::var("PROPTEST_CASES")
+            .ok()
+            .and_then(|v| v.parse().ok())
+            .unwrap_or(256);
+        assert_eq!(ProptestConfig::default().cases, expected);
+        assert_eq!(ProptestConfig::with_cases(7).cases, 7, "explicit wins");
     }
 
     #[test]

@@ -349,6 +349,166 @@ fn cached_sweep_rungs_match_fresh_certification() {
     }
 }
 
+/// The probe scheduler's degradation contract (DESIGN.md §13): when a
+/// global budget or deadline binds, the sweep may stop early — but every
+/// robustness claim that survives in the cache must still be backed by
+/// the brute-force oracle, and degraded points must degrade to an honest
+/// `Unknown` interval, never to an unearned `Robust`.
+#[test]
+fn binding_budgets_degrade_to_sound_unknowns() {
+    use antidote::core::{sweep_cached, CertCache, SweepConfig};
+
+    let mut rng = StdRng::seed_from_u64(418);
+    let mut proven = 0usize;
+    let mut deferred = 0u64;
+    for trial in 0..60 {
+        let ds = {
+            // Cap at 8 rows so the oracle's 2^|T| enumeration stays tiny.
+            let mut ds = random_dataset(&mut rng);
+            while ds.len() > 8 {
+                ds = random_dataset(&mut rng);
+            }
+            ds
+        };
+        let depth = rng.random_range(0..=2usize);
+        let xs: Vec<Vec<f64>> = (0..4)
+            .map(|_| {
+                (0..ds.n_features())
+                    .map(|_| rng.random_range(0..5) as f64)
+                    .collect()
+            })
+            .collect();
+        for domain in DOMAINS {
+            let cfg = SweepConfig {
+                depth,
+                domain,
+                timeout: None,
+                threads: 1,
+                max_n: Some(3.min(ds.len())),
+                // Tight enough to bind on most trials: the unbounded
+                // ladder issues up to 4 probes per rung.
+                probe_budget: Some(rng.random_range(1..=6)),
+                ..SweepConfig::default()
+            };
+            let cache = CertCache::for_dataset(&ds, xs.len());
+            let ctx = ExecContext::sequential();
+            let ladder = sweep_cached(&ds, &xs, &cfg, &ctx, &cache);
+            deferred += ctx.metrics().probes_deferred();
+            let certifier = Certifier::new(&ds).depth(depth).domain(domain);
+            // Oracle A — point intervals: every `max_robust = r` claim
+            // left in the cache after the truncated sweep must survive
+            // exhaustive retraining over all ≤ r removals. (Unknown is
+            // incompleteness, not a claim, so only the robust side is
+            // oracle-checkable.)
+            for (i, x) in xs.iter().enumerate() {
+                let (max_robust, _) = cache.verdict_interval(i);
+                let Some(r) = max_robust else { continue };
+                proven += 1;
+                let reference = dtrace(&ds, &Subset::full(&ds), x, depth).label;
+                for kept in all_concretizations(ds.len(), r) {
+                    let poisoned = Subset::from_indices(&ds, kept);
+                    let retrained = dtrace(&ds, &poisoned, x, depth).label;
+                    assert_eq!(
+                        retrained,
+                        reference,
+                        "trial {trial} {domain:?}: budgeted sweep claims point {i} robust \
+                         at n={r} but removing {:?} flips it (|T|={}, depth={depth})",
+                        poisoned.indices(),
+                        ds.len(),
+                    );
+                }
+            }
+            // Oracle B — rung aggregates: a truncated rung probes a
+            // priority-ordered sub-pool, so its verified count is
+            // bounded by fresh certification over the whole point set.
+            for p in &ladder {
+                let fresh_all = xs
+                    .iter()
+                    .filter(|x| certifier.certify(x, p.n).is_robust())
+                    .count();
+                assert!(
+                    p.verified <= p.attempted && p.verified <= fresh_all,
+                    "trial {trial} {domain:?} at n={}: truncated rung claims {} \
+                     verified but fresh certification allows at most {fresh_all}",
+                    p.n,
+                    p.verified,
+                );
+            }
+        }
+    }
+    assert!(
+        proven > 80,
+        "only {proven} robust claims survived the budgeted sweeps; oracle is vacuous"
+    );
+    assert!(
+        deferred > 60,
+        "only {deferred} probes deferred; the budgets never actually bound"
+    );
+}
+
+/// A shared wall-clock deadline is honored ladder-wide: the sweep never
+/// overruns it by more than one probe's worth of work, and an
+/// already-expired deadline degrades every point before the first probe
+/// — no robustness claims, `Unknown` intervals across the board.
+#[test]
+fn binding_deadlines_are_honored_ladder_wide() {
+    use antidote::core::{sweep_cached, CertCache, SweepConfig};
+    use std::time::{Duration, Instant};
+
+    let mut rng = StdRng::seed_from_u64(419);
+    let ds = random_dataset(&mut rng);
+    let xs: Vec<Vec<f64>> = (0..16)
+        .map(|_| {
+            (0..ds.n_features())
+                .map(|_| rng.random_range(0..5) as f64)
+                .collect()
+        })
+        .collect();
+    let cfg = |deadline: Duration| SweepConfig {
+        depth: 3,
+        domain: DomainKind::Disjuncts,
+        timeout: None,
+        threads: 1,
+        deadline: Some(deadline),
+        ..SweepConfig::default()
+    };
+
+    // A modest but real deadline: the sweep must come back within it
+    // plus at most one in-flight probe (tiny here — the slack is CI
+    // scheduling noise, not probe time).
+    let started = Instant::now();
+    let cache = CertCache::for_dataset(&ds, xs.len());
+    let ctx = ExecContext::sequential();
+    sweep_cached(&ds, &xs, &cfg(Duration::from_millis(20)), &ctx, &cache);
+    let elapsed = started.elapsed();
+    assert!(
+        elapsed < Duration::from_millis(20) + Duration::from_millis(250),
+        "deadline-bound sweep overran the global deadline: {elapsed:?}"
+    );
+
+    // An already-expired deadline: every point degrades before the
+    // first probe fires, and nothing may claim robustness.
+    let cache = CertCache::for_dataset(&ds, xs.len());
+    let ctx = ExecContext::sequential();
+    let ladder = sweep_cached(&ds, &xs, &cfg(Duration::ZERO), &ctx, &cache);
+    assert!(
+        ladder.iter().all(|p| p.attempted == 0 && p.verified == 0),
+        "an expired deadline must not issue probes: {ladder:?}"
+    );
+    assert_eq!(
+        ctx.metrics().deadline_degradations(),
+        xs.len() as u64,
+        "every point must be counted degraded exactly once"
+    );
+    for i in 0..xs.len() {
+        assert_eq!(
+            cache.verdict_interval(i),
+            (None, None),
+            "point {i}: degradation must leave an honest Unknown interval"
+        );
+    }
+}
+
 /// Every subset of `ds`'s *live* rows whose complement (within the live
 /// set) has size ≤ n, as row-id lists — [`all_concretizations`] for a
 /// mutated dataset, where live rows are no longer contiguous.
