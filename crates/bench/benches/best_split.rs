@@ -109,37 +109,49 @@ fn main() {
     );
 
     // Memo on/off at depth 3, where recurring frontier states exist.
+    // The reps are interleaved (one memo run, then one memo-free run,
+    // five pairs) so clock drift and noisy neighbours hit both sides
+    // equally — the memo/no-memo *ratio* is what the regression assert
+    // below pins, and phase-ordered reps were measured to bias it by
+    // several percent on busy hosts.
     let depth = 3;
     let n = 16;
     let x = [5.0, 5.0];
-    let certify = |memo: bool| {
+    let one_rep = |memo: bool| {
         let certifier = Certifier::new(&ds)
             .depth(depth)
             .domain(DomainKind::Disjuncts)
             .memo(memo);
-        let mut best = f64::MAX;
-        let mut last = None;
-        for _ in 0..3 {
-            let ctx = ExecContext::sequential();
-            let t0 = Instant::now();
-            let out = certifier.certify_in(&x, n, &ctx);
-            best = best.min(t0.elapsed().as_secs_f64() * 1e3);
-            last = Some((
-                out,
-                ctx.metrics().split_memo_hits(),
-                ctx.metrics().split_memo_misses(),
-                ctx.metrics().interner_hits(),
-                ctx.metrics().arena_resets(),
-                ctx.metrics().arena_bytes(),
-                ctx.metrics().simd_lanes(),
-            ));
-        }
-        let (out, hits, misses, interner, resets, bytes, lanes) = last.expect("three reps ran");
-        (out, best, hits, misses, interner, resets, bytes, lanes)
+        let ctx = ExecContext::sequential();
+        let t0 = Instant::now();
+        let out = certifier.certify_in(&x, n, &ctx);
+        let ms = t0.elapsed().as_secs_f64() * 1e3;
+        (
+            ms,
+            out,
+            ctx.metrics().split_memo_hits(),
+            ctx.metrics().split_memo_misses(),
+            ctx.metrics().interner_hits(),
+            ctx.metrics().arena_resets(),
+            ctx.metrics().arena_bytes(),
+            ctx.metrics().simd_lanes(),
+        )
     };
-    let (memo_out, memo_ms, hits, misses, interner_hits, arena_resets, arena_bytes, simd_lanes) =
-        certify(true);
-    let (plain_out, no_memo_ms, plain_hits, ..) = certify(false);
+    let mut memo_ms = f64::MAX;
+    let mut no_memo_ms = f64::MAX;
+    let mut memo_last = None;
+    let mut plain_last = None;
+    for _ in 0..5 {
+        let (ms, out, hits, misses, interner, resets, bytes, lanes) = one_rep(true);
+        memo_ms = memo_ms.min(ms);
+        memo_last = Some((out, hits, misses, interner, resets, bytes, lanes));
+        let (ms, out, hits, ..) = one_rep(false);
+        no_memo_ms = no_memo_ms.min(ms);
+        plain_last = Some((out, hits));
+    }
+    let (memo_out, hits, misses, interner_hits, arena_resets, arena_bytes, simd_lanes) =
+        memo_last.expect("five rep pairs ran");
+    let (plain_out, plain_hits) = plain_last.expect("five rep pairs ran");
     assert_eq!(
         memo_out.verdict, plain_out.verdict,
         "memo on/off must agree on the verdict"
@@ -147,6 +159,15 @@ fn main() {
     assert_eq!(memo_out.label, plain_out.label);
     assert!(hits > 0, "the depth-3 config must exercise memo hits");
     assert_eq!(plain_hits, 0, "--no-memo must fully disarm the memo");
+    // The memo must never cost more than it saves: with insert
+    // admission depth-gated (`SplitMemo::INSERT_DEPTH_LIMIT`), the
+    // per-probe overhead is a table lookup, and a depth-3 run no longer
+    // retains thousands of dead deep entries, so memoized wall time
+    // must stay within noise of the memo-free run.
+    assert!(
+        memo_ms <= no_memo_ms * 1.05,
+        "bestSplit# memo regression: memo {memo_ms:.2}ms vs no-memo {no_memo_ms:.2}ms"
+    );
     println!(
         "certify depth={depth} n={n}: memo {memo_ms:.2}ms ({hits} hit(s) / {misses} miss(es), \
          {interner_hits} interner hit(s)) vs no-memo {no_memo_ms:.2}ms"

@@ -120,6 +120,9 @@ struct ModeStats {
     probes_scheduled: u64,
     probes_deferred: u64,
     deadline_degradations: u64,
+    warm_state_shared_hits: u64,
+    sessions_evicted: u64,
+    parse_overlap_batches: u64,
 }
 
 fn run_mode(
@@ -169,6 +172,9 @@ fn run_mode(
             probes_scheduled: m.probes_scheduled(),
             probes_deferred: m.probes_deferred(),
             deadline_degradations: m.deadline_degradations(),
+            warm_state_shared_hits: m.warm_state_shared_hits(),
+            sessions_evicted: m.sessions_evicted(),
+            parse_overlap_batches: m.parse_overlap_batches(),
         };
     }
     (out, best, stats)
@@ -320,6 +326,9 @@ fn main() {
   "probes_scheduled": {},
   "probes_deferred": {},
   "deadline_degradations": {},
+  "warm_state_shared_hits": {},
+  "sessions_evicted": {},
+  "parse_overlap_batches": {},
   "frontier_peak_disjuncts": {},
   "pool_reuse_count": {},
   "ladder": [
@@ -356,6 +365,9 @@ fn main() {
         cached_stats.probes_scheduled,
         cached_stats.probes_deferred,
         cached_stats.deadline_degradations,
+        cached_stats.warm_state_shared_hits,
+        cached_stats.sessions_evicted,
+        cached_stats.parse_overlap_batches,
         cached_stats.frontier_peak_disjuncts,
         pool_reuse_json,
         ladder_json.join(",\n")

@@ -1,4 +1,5 @@
-//! Service mode: `antidote serve` / `antidote client` (DESIGN.md §12).
+//! Service mode: `antidote serve` / `antidote client` (DESIGN.md §12,
+//! §14).
 //!
 //! The service speaks line-delimited JSON over stdin/stdout — one
 //! request object per line in, one response object per line out, in
@@ -10,8 +11,28 @@
 //! session), `certify`, `sweep`, `batch` (admit several certify/sweep
 //! requests through the deduplicating [`RequestEngine`]), `delta`
 //! (apply a chain of mutations, carrying certificates in one batched
-//! transfer), `metrics` (deterministic counter subset), `shutdown`.
-//! Errors answer `{"ok":false,"error":"..."}` and never kill the loop.
+//! transfer), `evict` (drop a handle's session and warm state),
+//! `metrics` (deterministic counter subset), `shutdown`. Errors answer
+//! `{"ok":false,"error":"..."}` and never kill the loop.
+//!
+//! Sessions opened by `load` share warm state through a process-wide
+//! [`WarmStateIndex`] (two handles on the same snapshot and config
+//! join one warm unit; `--no-share` disarms it), and the service keeps
+//! memory bounded: `--max-sessions` / `--max-session-bytes` evict the
+//! least-recently-used session at load time, counted in
+//! `sessions_evicted`.
+//!
+//! Two serve loops produce byte-identical transcripts:
+//! [`serve_loop`] parses, executes, and writes strictly one line at a
+//! time, while [`serve_loop_pipelined`] (the default) overlaps stdin
+//! parsing (a reader thread parses ahead), request execution
+//! (consecutive certify/sweep lines run as one non-coalescing engine
+//! batch), and response writing (a writer thread drains an ordered
+//! queue). Responses are emitted strictly in admission order, and
+//! coalescing is disabled in pipelined batches so every counter is
+//! independent of how far the reader happened to parse ahead —
+//! `--no-pipeline` is the escape hatch, pinned by CI running the smoke
+//! script through both loops against one golden.
 //!
 //! Responses carry no timings, so a canned script's transcript is
 //! byte-stable — CI diffs one against a committed golden file.
@@ -19,11 +40,12 @@
 use crate::args::{parse_domain, Args, CliError};
 use antidote_core::{
     ExecContext, LadderRung, Request, RequestEngine, Response, Session, SessionConfig, Verdict,
+    WarmStateIndex,
 };
 use antidote_data::{Benchmark, ClassId, DatasetDelta, DatasetRegistry, RowId, Scale};
-use std::collections::BTreeMap;
+use std::collections::{BTreeMap, VecDeque};
 use std::io::{BufRead, Write};
-use std::sync::Arc;
+use std::sync::{Arc, Condvar, Mutex};
 use std::time::Duration;
 
 // ---------------------------------------------------------------------
@@ -401,28 +423,78 @@ fn response_json(handle: &str, response: &Response) -> String {
 // ---------------------------------------------------------------------
 
 /// One running service instance: the dataset registry, one [`Session`]
-/// per handle, the batching request engine, and the admission context
+/// per handle, the batching request engine, the warm-state sharing
+/// index, the LRU eviction bookkeeping, and the admission context
 /// whose metrics every request lands on.
-pub(crate) struct Service {
+pub struct Service {
     registry: DatasetRegistry,
     sessions: BTreeMap<String, Arc<Session>>,
     engine: RequestEngine,
     ctx: ExecContext,
+    /// The process-wide warm-state index `load` opens sessions through
+    /// (`None` = `--no-share`: every handle gets a private warm unit).
+    share: Option<Arc<WarmStateIndex>>,
+    /// Handle → last-used tick, driving LRU eviction order.
+    lru: BTreeMap<String, u64>,
+    tick: u64,
+    /// Evict down to this many sessions after every `load` (`None` =
+    /// unbounded).
+    max_sessions: Option<usize>,
+    /// Evict least-recently-used sessions while the summed warm-state
+    /// byte estimate exceeds this watermark (`None` = unbounded; the
+    /// most recent session always survives).
+    max_session_bytes: Option<usize>,
 }
 
 impl Service {
-    pub(crate) fn new(threads: usize) -> Service {
+    /// A service with `threads` engine workers, warm-state sharing
+    /// armed, and no memory bounds.
+    pub fn new(threads: usize) -> Service {
         Service {
             registry: DatasetRegistry::new(),
             sessions: BTreeMap::new(),
             engine: RequestEngine::new(),
             ctx: ExecContext::new().threads(threads),
+            share: Some(Arc::new(WarmStateIndex::new())),
+            lru: BTreeMap::new(),
+            tick: 0,
+            max_sessions: None,
+            max_session_bytes: None,
         }
+    }
+
+    /// Disarms cross-session warm-state sharing (`--no-share`): every
+    /// loaded handle gets a private warm unit.
+    pub fn no_share(mut self) -> Self {
+        self.share = None;
+        self
+    }
+
+    /// Bounds the number of resident sessions (`--max-sessions`): after
+    /// every `load`, least-recently-used sessions are evicted until at
+    /// most `n` remain.
+    pub fn max_sessions(mut self, n: usize) -> Self {
+        self.max_sessions = Some(n.max(1));
+        self
+    }
+
+    /// Bounds the summed warm-state byte estimate
+    /// (`--max-session-bytes`): after every `load`, least-recently-used
+    /// sessions are evicted until the estimate fits (the most recent
+    /// session always survives, even oversized).
+    pub fn max_session_bytes(mut self, bytes: usize) -> Self {
+        self.max_session_bytes = Some(bytes);
+        self
+    }
+
+    /// The metrics all requests land on (the `metrics` op's source).
+    pub fn metrics(&self) -> &antidote_core::engine::RunMetrics {
+        self.ctx.metrics()
     }
 
     /// Handles one request line. Returns the response line and whether
     /// the serve loop should stop (`shutdown`).
-    pub(crate) fn handle_line(&mut self, line: &str) -> (String, bool) {
+    pub fn handle_line(&mut self, line: &str) -> (String, bool) {
         match self.dispatch(line) {
             Ok((response, stop)) => (response, stop),
             Err(message) => (error_line(&message), false),
@@ -437,11 +509,13 @@ impl Service {
             "certify" | "sweep" => {
                 let (handle, request) = self.parse_request(obj)?;
                 let session = self.session(&handle)?;
+                self.touch(&handle);
                 let responses = self.engine.submit(&[(session, request)], &self.ctx);
                 Ok((response_json(&handle, &responses[0]), false))
             }
             "batch" => self.op_batch(obj).map(|r| (r, false)),
             "delta" => self.op_delta(obj).map(|r| (r, false)),
+            "evict" => self.op_evict(obj).map(|r| (r, false)),
             "metrics" => Ok((self.op_metrics(), false)),
             "shutdown" => Ok(("{\"ok\":true,\"op\":\"shutdown\"}".to_string(), true)),
             other => Err(format!("unknown op '{other}'")),
@@ -453,6 +527,51 @@ impl Service {
             .get(handle)
             .cloned()
             .ok_or_else(|| format!("no dataset loaded under handle '{handle}'"))
+    }
+
+    /// Stamps `handle` as most recently used.
+    fn touch(&mut self, handle: &str) {
+        self.tick += 1;
+        self.lru.insert(handle.to_string(), self.tick);
+    }
+
+    /// Drops the least-recently-used session: handle, warm state, and
+    /// registry entry. The shared warm unit dies with its last tenant
+    /// (the index holds only weak references), so a re-`load` of the
+    /// same snapshot re-certifies from cold — pinned, with verdict
+    /// identity, in `tests/service.rs`.
+    fn evict_lru(&mut self) -> bool {
+        let Some(handle) = self
+            .lru
+            .iter()
+            .min_by_key(|(_, &tick)| tick)
+            .map(|(h, _)| h.clone())
+        else {
+            return false;
+        };
+        self.sessions.remove(&handle);
+        self.lru.remove(&handle);
+        self.registry.evict(&handle);
+        self.ctx.metrics().add_session_evicted();
+        true
+    }
+
+    /// Total warm-state byte estimate across resident sessions.
+    fn resident_bytes(&self) -> usize {
+        self.sessions.values().map(|s| s.approx_bytes()).sum()
+    }
+
+    /// Applies the `--max-sessions` / `--max-session-bytes` watermarks
+    /// after a `load`, evicting LRU-first. The byte watermark never
+    /// evicts the final session: an oversized lone tenant is served,
+    /// not thrashed.
+    fn enforce_memory_bounds(&mut self) {
+        if let Some(max) = self.max_sessions {
+            while self.sessions.len() > max && self.evict_lru() {}
+        }
+        if let Some(max) = self.max_session_bytes {
+            while self.sessions.len() > 1 && self.resident_bytes() > max && self.evict_lru() {}
+        }
     }
 
     /// `load`: registers a benchmark dataset (or CSV file) under a
@@ -499,8 +618,18 @@ impl Service {
         };
         let rows = ds.len();
         let stored = self.registry.load(handle, ds);
-        let session = Arc::new(Session::new(Arc::clone(&stored), cfg));
+        let session = match &self.share {
+            Some(index) => Arc::new(Session::open_shared(
+                index,
+                Arc::clone(&stored),
+                cfg,
+                self.ctx.metrics(),
+            )),
+            None => Arc::new(Session::new(Arc::clone(&stored), cfg)),
+        };
         self.sessions.insert(handle.to_string(), session);
+        self.touch(handle);
+        self.enforce_memory_bounds();
         Ok(format!(
             "{{\"ok\":true,\"op\":\"load\",\"handle\":{},\"epoch\":{},\"rows\":{}}}",
             json_str(handle),
@@ -511,47 +640,47 @@ impl Service {
 
     /// Parses one certify/sweep request object into `(handle, Request)`.
     fn parse_request(&self, obj: &BTreeMap<String, Json>) -> Result<(String, Request), String> {
-        let handle = str_field(obj, "handle")?.to_string();
-        let request = match str_field(obj, "op")? {
-            "certify" => Request::Certify {
-                x: point_field(obj, "x")?,
-                n: usize_field(obj, "n")?,
-            },
-            "sweep" => {
-                let points = match field(obj, "points")? {
-                    Json::Arr(items) => items
-                        .iter()
-                        .map(|p| match p {
-                            Json::Arr(_) => {
-                                point_field(&BTreeMap::from([("p".to_string(), p.clone())]), "p")
-                            }
-                            other => Err(format!(
-                                "'points' must hold arrays, got {}",
-                                other.type_name()
-                            )),
-                        })
-                        .collect::<Result<Vec<_>, _>>()?,
-                    other => {
-                        return Err(format!(
-                            "field 'points' must be an array, got {}",
-                            other.type_name()
-                        ))
+        parse_request(obj)
+    }
+
+    /// Executes one pipelined batch: consecutive certify/sweep lines,
+    /// already parsed by the reader thread, submitted through the
+    /// engine with coalescing disabled — so batch boundaries (a timing
+    /// artifact of how far the reader parsed ahead) leave every counter
+    /// identical to the sequential loop's one-line-at-a-time submits.
+    /// Returns one response line per item, in admission order.
+    fn run_pipelined_batch(&mut self, items: Vec<BatchItem>) -> Vec<String> {
+        let mut out: Vec<Option<String>> = vec![None; items.len()];
+        let mut batch = Vec::new();
+        let mut slots = Vec::new();
+        let mut handles = Vec::new();
+        for (i, item) in items.into_iter().enumerate() {
+            match item {
+                BatchItem::Work { handle, request } => match self.session(&handle) {
+                    Ok(session) => {
+                        self.touch(&handle);
+                        batch.push((session, request));
+                        slots.push(i);
+                        handles.push(handle);
                     }
-                };
-                let max_n = if obj.contains_key("max_n") {
-                    Some(usize_field(obj, "max_n")?)
-                } else {
-                    None
-                };
-                Request::Sweep { points, max_n }
+                    Err(e) => out[i] = Some(error_line(&e)),
+                },
+                BatchItem::Broken(line) => out[i] = Some(line),
             }
-            other => {
-                return Err(format!(
-                    "batch entries must be certify|sweep, got '{other}'"
-                ))
+        }
+        if !batch.is_empty() {
+            if batch.len() >= 2 {
+                self.ctx.metrics().add_parse_overlap_batch();
             }
-        };
-        Ok((handle, request))
+            let engine = self.engine.clone().no_coalesce();
+            let responses = engine.submit(&batch, &self.ctx);
+            for ((&i, handle), response) in slots.iter().zip(&handles).zip(&responses) {
+                out[i] = Some(response_json(handle, response));
+            }
+        }
+        out.into_iter()
+            .map(|r| r.expect("every batch item produced a line"))
+            .collect()
     }
 
     /// `batch`: admits several certify/sweep requests at once through
@@ -572,6 +701,7 @@ impl Service {
         for entry in entries {
             let (handle, request) = self.parse_request(entry.as_obj()?)?;
             let session = self.session(&handle)?;
+            self.touch(&handle);
             batch.push((session, request));
             handles.push(handle);
         }
@@ -592,6 +722,7 @@ impl Service {
     fn op_delta(&mut self, obj: &BTreeMap<String, Json>) -> Result<String, String> {
         let handle = str_field(obj, "handle")?;
         let session = self.session(handle)?;
+        self.touch(handle);
         let specs = match field(obj, "deltas")? {
             Json::Arr(items) => items,
             other => {
@@ -621,15 +752,44 @@ impl Service {
         ))
     }
 
+    /// `evict`: drops a handle's session, warm state, and registry
+    /// entry. A later `load` of the same handle starts cold (the shared
+    /// warm unit dies with its last tenant), re-certifying with
+    /// identical verdicts — response purity, pinned in the tests.
+    fn op_evict(&mut self, obj: &BTreeMap<String, Json>) -> Result<String, String> {
+        let handle = str_field(obj, "handle")?;
+        if self.sessions.remove(handle).is_none() {
+            return Err(format!("no dataset loaded under handle '{handle}'"));
+        }
+        self.lru.remove(handle);
+        self.registry.evict(handle);
+        self.ctx.metrics().add_session_evicted();
+        Ok(format!(
+            "{{\"ok\":true,\"op\":\"evict\",\"handle\":{}}}",
+            json_str(handle)
+        ))
+    }
+
     /// `metrics`: the deterministic counter subset — no watermarks, no
     /// timings, no host-dependent counts, so transcripts stay
-    /// golden-file stable.
+    /// golden-file stable. `parse_overlap_batches` is deliberately
+    /// absent: how far the pipelined reader parsed ahead is a timing
+    /// artifact, and this line must be byte-identical under both serve
+    /// loops. `cross_request_hit_rate` is the derived warm-path share
+    /// of all served requests (0 before the first request).
     fn op_metrics(&self) -> String {
         let m = self.ctx.metrics();
+        let served = m.requests_served();
+        let hit_rate = if served == 0 {
+            0.0
+        } else {
+            m.cross_request_cache_hits() as f64 / served as f64
+        };
         format!(
-            "{{\"ok\":true,\"op\":\"metrics\",\"requests_served\":{},\"cross_request_cache_hits\":{},\"certify_calls\":{},\"cache_hits\":{},\"cache_misses\":{},\"cache_shortcircuits\":{},\"cache_transfers\":{},\"cache_invalidations\":{},\"split_memo_hits\":{},\"split_memo_misses\":{},\"probes_scheduled\":{},\"probes_deferred\":{},\"deadline_degradations\":{}}}",
-            m.requests_served(),
+            "{{\"ok\":true,\"op\":\"metrics\",\"requests_served\":{},\"cross_request_cache_hits\":{},\"cross_request_hit_rate\":{:.3},\"certify_calls\":{},\"cache_hits\":{},\"cache_misses\":{},\"cache_shortcircuits\":{},\"cache_transfers\":{},\"cache_invalidations\":{},\"split_memo_hits\":{},\"split_memo_misses\":{},\"probes_scheduled\":{},\"probes_deferred\":{},\"deadline_degradations\":{},\"warm_state_shared_hits\":{},\"sessions_evicted\":{}}}",
+            served,
             m.cross_request_cache_hits(),
+            hit_rate,
             m.certify_calls(),
             m.cache_hits(),
             m.cache_misses(),
@@ -641,6 +801,8 @@ impl Service {
             m.probes_scheduled(),
             m.probes_deferred(),
             m.deadline_degradations(),
+            m.warm_state_shared_hits(),
+            m.sessions_evicted(),
         )
     }
 }
@@ -717,14 +879,334 @@ fn parse_delta(obj: &BTreeMap<String, Json>) -> Result<DatasetDelta, String> {
     Ok(delta)
 }
 
+/// Parses one certify/sweep request object into `(handle, Request)`.
+/// A free function (not a `Service` method) so the pipelined reader
+/// thread can parse ahead without touching service state.
+fn parse_request(obj: &BTreeMap<String, Json>) -> Result<(String, Request), String> {
+    let handle = str_field(obj, "handle")?.to_string();
+    let request = match str_field(obj, "op")? {
+        "certify" => Request::Certify {
+            x: point_field(obj, "x")?,
+            n: usize_field(obj, "n")?,
+        },
+        "sweep" => {
+            let points = match field(obj, "points")? {
+                Json::Arr(items) => items
+                    .iter()
+                    .map(|p| match p {
+                        Json::Arr(_) => {
+                            point_field(&BTreeMap::from([("p".to_string(), p.clone())]), "p")
+                        }
+                        other => Err(format!(
+                            "'points' must hold arrays, got {}",
+                            other.type_name()
+                        )),
+                    })
+                    .collect::<Result<Vec<_>, _>>()?,
+                other => {
+                    return Err(format!(
+                        "field 'points' must be an array, got {}",
+                        other.type_name()
+                    ))
+                }
+            };
+            let max_n = if obj.contains_key("max_n") {
+                Some(usize_field(obj, "max_n")?)
+            } else {
+                None
+            };
+            Request::Sweep { points, max_n }
+        }
+        other => {
+            return Err(format!(
+                "batch entries must be certify|sweep, got '{other}'"
+            ))
+        }
+    };
+    Ok((handle, request))
+}
+
+// ---------------------------------------------------------------------
+// The pipelined serve loop.
+// ---------------------------------------------------------------------
+
+/// A certify/sweep line the reader already parsed: either ready to
+/// batch through the engine, or a fixed error emitted at its position.
+enum BatchItem {
+    /// A well-formed request bound for the engine.
+    Work {
+        /// Dataset handle the request names (resolved at flush time).
+        handle: String,
+        /// The parsed request.
+        request: Request,
+    },
+    /// A malformed line whose error response is already known. It stays
+    /// in the pending queue (instead of short-circuiting) so responses
+    /// come out strictly in admission order.
+    Broken(String),
+}
+
+/// What the reader hands the executor for one input line.
+enum Admitted {
+    /// Certify/sweep: parsed ahead, batchable.
+    Batchable(BatchItem),
+    /// Any other line (load, delta, batch, evict, metrics, shutdown,
+    /// unknown ops, non-object JSON): mutates service state or reads
+    /// counters, so it must see every earlier response flushed first.
+    Barrier(String),
+}
+
+/// Classifies one trimmed input line for the pipelined loop. Lines that
+/// aren't certify/sweep objects fall through to [`Service::handle_line`]
+/// as barriers, which reproduces the sequential loop's responses (and
+/// error messages) byte-for-byte.
+fn classify(line: &str) -> Admitted {
+    let parsed = match parse_json(line) {
+        Ok(v) => v,
+        Err(e) => return Admitted::Batchable(BatchItem::Broken(error_line(&e))),
+    };
+    let obj = match parsed.as_obj() {
+        Ok(o) => o,
+        Err(e) => return Admitted::Batchable(BatchItem::Broken(error_line(&e))),
+    };
+    match obj.get("op") {
+        Some(Json::Str(op)) if op == "certify" || op == "sweep" => match parse_request(obj) {
+            Ok((handle, request)) => Admitted::Batchable(BatchItem::Work { handle, request }),
+            Err(e) => Admitted::Batchable(BatchItem::Broken(error_line(&e))),
+        },
+        _ => Admitted::Barrier(line.to_string()),
+    }
+}
+
+/// A small bounded MPSC queue (hand-rolled: the service layer takes no
+/// dependencies). `finish` marks the producer done; `close` tears the
+/// queue down so a blocked producer unsticks and gives up.
+struct Pipe<T> {
+    state: Mutex<PipeState<T>>,
+    not_empty: Condvar,
+    not_full: Condvar,
+    cap: usize,
+}
+
+struct PipeState<T> {
+    items: VecDeque<T>,
+    done: bool,
+    closed: bool,
+}
+
+/// Result of a non-blocking pop: an item, a momentarily empty queue
+/// (producer still running), or a drained-and-done queue.
+enum TryPop<T> {
+    Item(T),
+    Empty,
+    Done,
+}
+
+impl<T> Pipe<T> {
+    fn new(cap: usize) -> Pipe<T> {
+        Pipe {
+            state: Mutex::new(PipeState {
+                items: VecDeque::new(),
+                done: false,
+                closed: false,
+            }),
+            not_empty: Condvar::new(),
+            not_full: Condvar::new(),
+            cap,
+        }
+    }
+
+    /// Blocks until there is room; returns false if the queue closed.
+    fn push(&self, item: T) -> bool {
+        let mut st = self.state.lock().unwrap();
+        while st.items.len() >= self.cap && !st.closed {
+            st = self.not_full.wait(st).unwrap();
+        }
+        if st.closed {
+            return false;
+        }
+        st.items.push_back(item);
+        self.not_empty.notify_one();
+        true
+    }
+
+    /// Producer is done: consumers drain what's left, then see `None`.
+    fn finish(&self) {
+        self.state.lock().unwrap().done = true;
+        self.not_empty.notify_all();
+    }
+
+    /// Tears the queue down (pending items dropped, producers unstuck).
+    fn close(&self) {
+        let mut st = self.state.lock().unwrap();
+        st.closed = true;
+        st.done = true;
+        st.items.clear();
+        self.not_full.notify_all();
+        self.not_empty.notify_all();
+    }
+
+    /// Blocks for the next item; `None` once finished and drained.
+    fn pop(&self) -> Option<T> {
+        let mut st = self.state.lock().unwrap();
+        while st.items.is_empty() && !st.done {
+            st = self.not_empty.wait(st).unwrap();
+        }
+        let item = st.items.pop_front();
+        if item.is_some() {
+            self.not_full.notify_one();
+        }
+        item
+    }
+
+    /// Non-blocking pop, distinguishing "empty for now" from "done".
+    fn try_pop(&self) -> TryPop<T> {
+        let mut st = self.state.lock().unwrap();
+        match st.items.pop_front() {
+            Some(item) => {
+                self.not_full.notify_one();
+                TryPop::Item(item)
+            }
+            None if st.done => TryPop::Done,
+            None => TryPop::Empty,
+        }
+    }
+}
+
+/// Runs the pipelined serve loop: a reader thread parses requests ahead
+/// of execution, the calling thread executes, and a writer thread
+/// serializes responses — all three stages overlap, responses emitted
+/// strictly in admission order. Consecutive certify/sweep lines are
+/// submitted to the engine as one batch (with coalescing disabled, so
+/// counters match the sequential loop exactly); every other op is a
+/// barrier that waits for earlier responses to flush. Produces a
+/// byte-identical transcript to [`serve_loop`] for any input.
+pub fn serve_loop_pipelined(
+    service: &mut Service,
+    input: impl BufRead + Send,
+    mut output: impl Write + Send,
+) -> std::io::Result<()> {
+    /// How far the reader may parse ahead of execution.
+    const LINE_CAP: usize = 64;
+    /// Largest engine submission one flush will make.
+    const BATCH_CAP: usize = 32;
+    let lines: Pipe<std::io::Result<Admitted>> = Pipe::new(LINE_CAP);
+    let responses: Pipe<String> = Pipe::new(LINE_CAP);
+    let mut result: std::io::Result<()> = Ok(());
+    std::thread::scope(|scope| {
+        let lines = &lines;
+        let responses = &responses;
+        // Reader: trim, skip comments, parse ahead. Stops at EOF, on an
+        // I/O error (forwarded to the executor), or when the executor
+        // closes the queue after `shutdown`.
+        scope.spawn(move || {
+            for line in input.lines() {
+                let item = match line {
+                    Ok(raw) => {
+                        let trimmed = raw.trim();
+                        if trimmed.is_empty() || trimmed.starts_with('#') {
+                            continue;
+                        }
+                        Ok(classify(trimmed))
+                    }
+                    Err(e) => Err(e),
+                };
+                let was_err = item.is_err();
+                if !lines.push(item) || was_err {
+                    break;
+                }
+            }
+            lines.finish();
+        });
+        // Writer: drain responses in admission order.
+        let writer = scope.spawn(move || -> std::io::Result<()> {
+            while let Some(line) = responses.pop() {
+                writeln!(output, "{line}")?;
+                output.flush()?;
+            }
+            Ok(())
+        });
+        // Executor (this thread): accumulate batchable items, flush
+        // when the reader has nothing ready (keeps latency bounded),
+        // when the batch is full, at a barrier, or at end of input.
+        let mut pending: Vec<BatchItem> = Vec::new();
+        let flush = |service: &mut Service, pending: &mut Vec<BatchItem>| -> bool {
+            if pending.is_empty() {
+                return true;
+            }
+            for line in service.run_pipelined_batch(std::mem::take(pending)) {
+                if !responses.push(line) {
+                    return false;
+                }
+            }
+            true
+        };
+        loop {
+            let next = if pending.is_empty() {
+                match lines.pop() {
+                    Some(item) => item,
+                    None => break,
+                }
+            } else {
+                match lines.try_pop() {
+                    TryPop::Item(item) => item,
+                    TryPop::Empty => {
+                        if !flush(service, &mut pending) {
+                            break;
+                        }
+                        continue;
+                    }
+                    TryPop::Done => {
+                        flush(service, &mut pending);
+                        break;
+                    }
+                }
+            };
+            match next {
+                Ok(Admitted::Batchable(item)) => {
+                    pending.push(item);
+                    if pending.len() >= BATCH_CAP && !flush(service, &mut pending) {
+                        break;
+                    }
+                }
+                Ok(Admitted::Barrier(line)) => {
+                    if !flush(service, &mut pending) {
+                        break;
+                    }
+                    let (response, stop) = service.handle_line(&line);
+                    if !responses.push(response) || stop {
+                        break;
+                    }
+                }
+                Err(e) => {
+                    flush(service, &mut pending);
+                    result = Err(e);
+                    break;
+                }
+            }
+        }
+        // Unstick the reader if we stopped early (shutdown / I/O error);
+        // with piped input it exits at its next push or at EOF.
+        lines.close();
+        responses.finish();
+        let wrote = writer.join().expect("writer thread never panics");
+        if result.is_ok() {
+            result = wrote;
+        }
+    });
+    result
+}
+
 // ---------------------------------------------------------------------
 // Subcommands.
 // ---------------------------------------------------------------------
 
-/// Runs the serve loop: requests from `input`, responses to `output`,
-/// one line each, until `shutdown` or EOF. Blank lines and `#` comment
-/// lines are skipped (so canned scripts can be annotated).
-pub(crate) fn serve_loop(
+/// Runs the sequential serve loop: requests from `input`, responses to
+/// `output`, one line each, until `shutdown` or EOF. Blank lines and
+/// `#` comment lines are skipped (so canned scripts can be annotated).
+/// This is the `--no-pipeline` fallback; [`serve_loop_pipelined`]
+/// produces byte-identical transcripts while overlapping the stages.
+pub fn serve_loop(
     service: &mut Service,
     input: impl BufRead,
     mut output: impl Write,
@@ -745,13 +1227,39 @@ pub(crate) fn serve_loop(
     Ok(())
 }
 
-/// `antidote serve [--threads k]` — JSONL over stdin/stdout.
+/// `antidote serve [--threads k] [--no-pipeline] [--no-share]
+/// [--max-sessions n] [--max-session-bytes b]` — JSONL over
+/// stdin/stdout.
 pub(crate) fn cmd_serve(args: &Args) -> Result<(), CliError> {
     let mut service = Service::new(args.threads()?);
-    let stdin = std::io::stdin();
-    let stdout = std::io::stdout();
-    serve_loop(&mut service, stdin.lock(), stdout.lock())
-        .map_err(|e| CliError(format!("serve io: {e}")))
+    if args.no_share() {
+        service = service.no_share();
+    }
+    if args.options.contains_key("max-sessions") {
+        let n: usize = args.get_num("max-sessions", 0)?;
+        if n == 0 {
+            return Err(CliError("--max-sessions must be >= 1".into()));
+        }
+        service = service.max_sessions(n);
+    }
+    if args.options.contains_key("max-session-bytes") {
+        let bytes: usize = args.get_num("max-session-bytes", 0)?;
+        if bytes == 0 {
+            return Err(CliError("--max-session-bytes must be >= 1".into()));
+        }
+        service = service.max_session_bytes(bytes);
+    }
+    let outcome = if args.no_pipeline() {
+        let stdin = std::io::stdin();
+        let stdout = std::io::stdout();
+        serve_loop(&mut service, stdin.lock(), stdout.lock())
+    } else {
+        // The pipelined loop's reader thread needs `Send` endpoints, so
+        // it takes the handles rather than the locks.
+        let input = std::io::BufReader::new(std::io::stdin());
+        serve_loop_pipelined(&mut service, input, std::io::stdout())
+    };
+    outcome.map_err(|e| CliError(format!("serve io: {e}")))
 }
 
 /// `antidote client --script <path> [--threads k]` — replays a request
@@ -915,5 +1423,159 @@ mod tests {
         assert_eq!(lines.len(), 2, "stopped at shutdown: {text}");
         assert!(lines[0].contains("\"op\":\"metrics\""));
         assert!(lines[1].contains("\"op\":\"shutdown\""));
+    }
+
+    /// A script touching every op plus the pipelined loop's tricky
+    /// spots: malformed lines between batchable requests (ordered
+    /// inline errors), barriers mid-stream, duplicate requests (warm
+    /// hits), and a trailing metrics line after shutdown that must not
+    /// be answered.
+    fn full_protocol_script() -> String {
+        [
+            "# annotated script",
+            r#"{"op":"load","handle":"a","dataset":"iris","depth":1,"domain":"disjuncts"}"#,
+            r#"{"op":"load","handle":"b","dataset":"iris","depth":1,"domain":"disjuncts"}"#,
+            r#"{"op":"certify","handle":"a","x":[5.0,3.4,1.5,0.2],"n":2}"#,
+            "not json",
+            r#"{"op":"certify","handle":"a","x":[5.0,3.4,1.5,0.2],"n":2}"#,
+            r#"{"op":"certify","handle":"ghost","x":[1],"n":1}"#,
+            r#"{"op":"certify","handle":"b","x":[5.0,3.4,1.5,0.2],"n":2}"#,
+            r#"{"op":"sweep","handle":"a","points":[[5.0,3.4,1.5,0.2]],"max_n":4}"#,
+            r#"{"op":"batch","requests":[{"op":"certify","handle":"a","x":[6.1,2.8,4.7,1.2],"n":1},{"op":"certify","handle":"b","x":[6.1,2.8,4.7,1.2],"n":1}]}"#,
+            r#"{"op":"delta","handle":"b","deltas":[{"remove":[0]}]}"#,
+            r#"{"op":"certify","handle":"b","x":[5.0,3.4,1.5,0.2],"n":2}"#,
+            r#"{"op":"nope"}"#,
+            r#"{"op":"evict","handle":"b"}"#,
+            r#"{"op":"certify","handle":"b","x":[5.0,3.4,1.5,0.2],"n":2}"#,
+            r#"{"op":"metrics"}"#,
+            r#"{"op":"shutdown"}"#,
+            r#"{"op":"metrics"}"#,
+        ]
+        .join("\n")
+            + "\n"
+    }
+
+    #[test]
+    fn pipelined_loop_matches_the_sequential_transcript_byte_for_byte() {
+        let script = full_protocol_script();
+        let mut seq_out = Vec::new();
+        serve_loop(&mut Service::new(1), script.as_bytes(), &mut seq_out).unwrap();
+        let mut pipe_out = Vec::new();
+        serve_loop_pipelined(&mut Service::new(1), script.as_bytes(), &mut pipe_out).unwrap();
+        assert_eq!(
+            String::from_utf8(seq_out).unwrap(),
+            String::from_utf8(pipe_out).unwrap(),
+            "loop modes must be observationally identical"
+        );
+    }
+
+    #[test]
+    fn pipelined_loop_preserves_admission_order_under_inline_errors() {
+        let script = full_protocol_script();
+        let mut out = Vec::new();
+        serve_loop_pipelined(&mut Service::new(1), script.as_bytes(), &mut out).unwrap();
+        let text = String::from_utf8(out).unwrap();
+        let lines: Vec<&str> = text.lines().collect();
+        // One response per non-comment line up to and including
+        // shutdown; the trailing metrics line goes unanswered.
+        assert_eq!(lines.len(), 16, "{text}");
+        assert!(lines[3].contains("invalid literal"), "{}", lines[3]);
+        assert!(lines[5].contains("no dataset loaded"), "{}", lines[5]);
+        assert!(lines[13].contains("no dataset loaded"), "{}", lines[13]);
+        assert!(lines[15].contains("\"op\":\"shutdown\""), "{}", lines[15]);
+    }
+
+    #[test]
+    fn evicted_session_reloads_cold_with_identical_verdicts() {
+        let mut svc = Service::new(1);
+        let load = r#"{"op":"load","handle":"e","dataset":"iris","depth":1,"domain":"disjuncts"}"#;
+        let rq = r#"{"op":"certify","handle":"e","x":[5.0,3.4,1.5,0.2],"n":2}"#;
+        svc.handle_line(load);
+        let (warm, _) = svc.handle_line(rq);
+        let (evicted, _) = svc.handle_line(r#"{"op":"evict","handle":"e"}"#);
+        assert!(evicted.contains("\"ok\":true"), "{evicted}");
+        let (gone, _) = svc.handle_line(rq);
+        assert!(gone.contains("no dataset loaded"), "{gone}");
+        svc.handle_line(load);
+        let (cold, _) = svc.handle_line(rq);
+        assert_eq!(
+            warm, cold,
+            "re-certifying from cold must not change verdicts"
+        );
+        let (metrics, _) = svc.handle_line(r#"{"op":"metrics"}"#);
+        assert!(metrics.contains("\"sessions_evicted\":1"), "{metrics}");
+    }
+
+    #[test]
+    fn max_sessions_evicts_the_least_recently_used_handle() {
+        let mut svc = Service::new(1).max_sessions(2);
+        for h in ["a", "b"] {
+            svc.handle_line(&format!(
+                r#"{{"op":"load","handle":"{h}","dataset":"iris","depth":1}}"#
+            ));
+        }
+        // Touch "a" so "b" is the LRU victim when "c" arrives.
+        svc.handle_line(r#"{"op":"certify","handle":"a","x":[5.0,3.4,1.5,0.2],"n":1}"#);
+        svc.handle_line(r#"{"op":"load","handle":"c","dataset":"iris","depth":1}"#);
+        let (b, _) =
+            svc.handle_line(r#"{"op":"certify","handle":"b","x":[5.0,3.4,1.5,0.2],"n":1}"#);
+        assert!(b.contains("no dataset loaded"), "{b}");
+        for h in ["a", "c"] {
+            let (r, _) = svc.handle_line(&format!(
+                r#"{{"op":"certify","handle":"{h}","x":[5.0,3.4,1.5,0.2],"n":1}}"#
+            ));
+            assert!(r.contains("\"verdict\""), "{r}");
+        }
+        let (metrics, _) = svc.handle_line(r#"{"op":"metrics"}"#);
+        assert!(metrics.contains("\"sessions_evicted\":1"), "{metrics}");
+    }
+
+    #[test]
+    fn cotenant_handles_share_one_warm_unit_unless_disarmed() {
+        let load_a =
+            r#"{"op":"load","handle":"a","dataset":"iris","depth":1,"domain":"disjuncts"}"#;
+        let load_b =
+            r#"{"op":"load","handle":"b","dataset":"iris","depth":1,"domain":"disjuncts"}"#;
+        let rq =
+            |h: &str| format!(r#"{{"op":"certify","handle":"{h}","x":[5.0,3.4,1.5,0.2],"n":2}}"#);
+
+        let mut shared = Service::new(1);
+        shared.handle_line(load_a);
+        shared.handle_line(load_b);
+        let (ra, _) = shared.handle_line(&rq("a"));
+        let (rb, _) = shared.handle_line(&rq("b"));
+        assert_eq!(
+            ra.replace("\"handle\":\"a\"", "\"handle\":\"b\""),
+            rb,
+            "co-tenants must answer byte-identically up to the handle"
+        );
+        let (m, _) = shared.handle_line(r#"{"op":"metrics"}"#);
+        assert!(m.contains("\"warm_state_shared_hits\":1"), "{m}");
+        // The second tenant rides the first tenant's warm cache.
+        assert!(m.contains("\"cross_request_cache_hits\":1"), "{m}");
+
+        let mut private = Service::new(1).no_share();
+        private.handle_line(load_a);
+        private.handle_line(load_b);
+        let (pa, _) = private.handle_line(&rq("a"));
+        let (pb, _) = private.handle_line(&rq("b"));
+        assert_eq!(pa, ra, "sharing must not change response bytes");
+        assert_eq!(pb, rb);
+        let (pm, _) = private.handle_line(r#"{"op":"metrics"}"#);
+        assert!(pm.contains("\"warm_state_shared_hits\":0"), "{pm}");
+        assert!(pm.contains("\"cross_request_cache_hits\":0"), "{pm}");
+    }
+
+    #[test]
+    fn metrics_reports_the_derived_hit_rate() {
+        let mut svc = Service::new(1);
+        let (m0, _) = svc.handle_line(r#"{"op":"metrics"}"#);
+        assert!(m0.contains("\"cross_request_hit_rate\":0.000"), "{m0}");
+        svc.handle_line(r#"{"op":"load","handle":"h","dataset":"iris","depth":1}"#);
+        let rq = r#"{"op":"certify","handle":"h","x":[5.0,3.4,1.5,0.2],"n":2}"#;
+        svc.handle_line(rq);
+        svc.handle_line(rq);
+        let (m, _) = svc.handle_line(r#"{"op":"metrics"}"#);
+        assert!(m.contains("\"cross_request_hit_rate\":0.500"), "{m}");
     }
 }

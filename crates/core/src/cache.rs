@@ -220,6 +220,37 @@ impl CertCache {
         self.points.is_empty()
     }
 
+    /// Approximate heap footprint of the cached state, in bytes — the
+    /// measure the service's byte-budget eviction watermark sums. Traces
+    /// and abstract seeds dominate; small per-entry scalars are counted
+    /// at struct size.
+    pub fn approx_bytes(&self) -> usize {
+        self.points
+            .iter()
+            .map(|p| {
+                let e = p.lock().expect("cache entry lock poisoned");
+                let mut bytes = std::mem::size_of::<PointEntry>();
+                if let Some(trace) = &e.trace {
+                    bytes += trace.root.approx_bytes()
+                        + trace
+                            .step_seeds
+                            .iter()
+                            .map(AbstractSet::approx_bytes)
+                            .sum::<usize>()
+                        + trace.steps.len() * std::mem::size_of::<TraceStep>();
+                }
+                if let Some((x, _)) = &e.key {
+                    bytes += x.len() * std::mem::size_of::<f64>();
+                }
+                if let Some(w) = &e.witness {
+                    bytes += w.len() * std::mem::size_of::<RowId>();
+                }
+                bytes += e.verdicts.len() * std::mem::size_of::<(usize, Verdict)>();
+                bytes
+            })
+            .sum()
+    }
+
     /// Grows the cache to cover at least `n_points` slots (new slots
     /// empty, existing entries untouched). A one-shot sweep sizes its
     /// cache up front, but a session serving an open-ended request

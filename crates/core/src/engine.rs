@@ -67,6 +67,9 @@ pub struct RunMetrics {
     probes_scheduled: AtomicU64,
     probes_deferred: AtomicU64,
     deadline_degradations: AtomicU64,
+    warm_state_shared_hits: AtomicU64,
+    sessions_evicted: AtomicU64,
+    parse_overlap_batches: AtomicU64,
     pool_batches: AtomicU64,
 }
 
@@ -345,6 +348,45 @@ impl RunMetrics {
         self.deadline_degradations.load(Ordering::Relaxed)
     }
 
+    /// Counts one warm-state join: a session opened against the
+    /// process-wide `WarmStateIndex` found a live warm unit under the
+    /// same `(dataset fingerprint, epoch, config fingerprint)` key and
+    /// attached to it instead of building cold caches (DESIGN.md §14).
+    pub fn add_warm_state_shared_hit(&self) {
+        self.warm_state_shared_hits.fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// Counts one session eviction: a service session dropped by the LRU
+    /// policy (`--max-sessions` / byte watermark) or an explicit `evict`
+    /// op; a later request under the same handle re-certifies from cold.
+    pub fn add_session_evicted(&self) {
+        self.sessions_evicted.fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// Counts one parse-overlap batch: a group of ≥ 2 admitted requests
+    /// the pipelined serve loop's reader thread parsed ahead and handed
+    /// to the engine as a single submission. Batch boundaries are a pure
+    /// function of the input script and the batch cap (count-based, no
+    /// timing), so the counter is deterministic per trace.
+    pub fn add_parse_overlap_batch(&self) {
+        self.parse_overlap_batches.fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// Total warm-state index joins by newly opened sessions.
+    pub fn warm_state_shared_hits(&self) -> u64 {
+        self.warm_state_shared_hits.load(Ordering::Relaxed)
+    }
+
+    /// Total sessions evicted (LRU policy or explicit `evict` op).
+    pub fn sessions_evicted(&self) -> u64 {
+        self.sessions_evicted.load(Ordering::Relaxed)
+    }
+
+    /// Total multi-request batches formed by the pipelined serve loop.
+    pub fn parse_overlap_batches(&self) -> u64 {
+        self.parse_overlap_batches.load(Ordering::Relaxed)
+    }
+
     /// Total `par_map` batches this context's runs dispatched to the
     /// persistent pool (not part of [`MetricsSnapshot`]: whether a call
     /// takes the pool path can depend on the host's core count via
@@ -396,6 +438,9 @@ impl RunMetrics {
             probes_scheduled: self.probes_scheduled(),
             probes_deferred: self.probes_deferred(),
             deadline_degradations: self.deadline_degradations(),
+            warm_state_shared_hits: self.warm_state_shared_hits(),
+            sessions_evicted: self.sessions_evicted(),
+            parse_overlap_batches: self.parse_overlap_batches(),
         }
     }
 
@@ -444,6 +489,12 @@ impl RunMetrics {
             .fetch_add(s.probes_deferred, Ordering::Relaxed);
         self.deadline_degradations
             .fetch_add(s.deadline_degradations, Ordering::Relaxed);
+        self.warm_state_shared_hits
+            .fetch_add(s.warm_state_shared_hits, Ordering::Relaxed);
+        self.sessions_evicted
+            .fetch_add(s.sessions_evicted, Ordering::Relaxed);
+        self.parse_overlap_batches
+            .fetch_add(s.parse_overlap_batches, Ordering::Relaxed);
     }
 }
 
@@ -505,6 +556,15 @@ pub struct MetricsSnapshot {
     /// Points degraded to their current sound interval by a binding
     /// deadline or budget (at most one per point per sweep).
     pub deadline_degradations: u64,
+    /// Sessions that joined a live warm unit through the process-wide
+    /// `WarmStateIndex` instead of building cold caches (DESIGN.md §14).
+    pub warm_state_shared_hits: u64,
+    /// Service sessions dropped by the LRU eviction policy or an
+    /// explicit `evict` op.
+    pub sessions_evicted: u64,
+    /// Multi-request batches formed by the pipelined serve loop's reader
+    /// thread (deterministic per input trace and batch cap).
+    pub parse_overlap_batches: u64,
 }
 
 impl MetricsSnapshot {

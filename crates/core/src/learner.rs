@@ -111,10 +111,12 @@ enum StepOut {
 
 /// One §4.7 iteration for a single disjunct: the `ent(T) = 0` fork, the
 /// `φ = ⋄` fork after `bestSplit#`, and `filter#`.
+#[allow(clippy::too_many_arguments)]
 fn step_disjunct(
     ds: &Dataset,
     a: &AbstractSet,
     x: &[f64],
+    iter: usize,
     domain: DomainKind,
     transformer: CprobTransformer,
     memo: Option<&SplitMemo>,
@@ -152,7 +154,7 @@ fn step_disjunct(
 
     // --- φ ← bestSplit#(⟨T,n⟩) and the φ = ⋄ conditional ---
     let bs = match memo {
-        Some(memo) => memo.best_split(ds, a, ctx.metrics()),
+        Some(memo) => memo.best_split(ds, a, iter, ctx.metrics()),
         None => Arc::new(best_split_abs(ds, a, transformer)),
     };
     if bs.diamond {
@@ -382,7 +384,7 @@ fn run_abstract_in(
         iterations_completed: iters,
     };
 
-    for _ in 0..depth {
+    for iter in 0..depth {
         if active.is_empty() {
             break;
         }
@@ -394,12 +396,12 @@ fn run_abstract_in(
         let use_par = active.len() >= MIN_PARALLEL_FRONTIER && ctx.effective_threads() > 1;
         let stepped: Vec<StepOut> = if use_par {
             ctx.par_map(&active, |_, a| {
-                step_disjunct(ds, a, x, domain, transformer, memo, ctx)
+                step_disjunct(ds, a, x, iter, domain, transformer, memo, ctx)
             })
         } else {
             active
                 .iter()
-                .map(|a| step_disjunct(ds, a, x, domain, transformer, memo, ctx))
+                .map(|a| step_disjunct(ds, a, x, iter, domain, transformer, memo, ctx))
                 .collect()
         };
         let processed = stepped

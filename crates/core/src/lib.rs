@@ -94,5 +94,7 @@ pub use memo::{FlipSplitMemo, SharedLearner, SplitMemo};
 pub use report::{explain, Explanation};
 pub use sched::{ProbeScheduler, RungPlan};
 pub use score::{best_split_abs, AbsSplitResult};
-pub use session::{LadderRung, Request, RequestEngine, Response, Session, SessionConfig};
+pub use session::{
+    LadderRung, Request, RequestEngine, Response, Session, SessionConfig, WarmStateIndex,
+};
 pub use sweep::{sweep, sweep_cached, sweep_in, SweepConfig, SweepPoint};

@@ -71,16 +71,24 @@ impl<V> Default for KeyedMemo<V> {
 impl<V> KeyedMemo<V> {
     /// Returns the memoized value for `key`, computing it with `compute`
     /// on the first probe. Hits and misses land on `metrics`
-    /// deterministically (insert-time reconciliation).
+    /// deterministically (insert-time reconciliation). With
+    /// `admit_insert: false` the probe still consults the table (a
+    /// present key is a hit) but a miss recomputes without storing —
+    /// the caller has decided this state is not worth retaining.
     fn get_or_compute<F: FnOnce() -> V>(
         &self,
         key: (Subset, usize),
         compute: F,
+        admit_insert: bool,
         metrics: &RunMetrics,
     ) -> Arc<V> {
         if let Some(hit) = self.table.lock().expect("memo lock poisoned").get(&key) {
             metrics.add_split_memo_hit();
             return hit.clone();
+        }
+        if !admit_insert {
+            metrics.add_split_memo_miss();
+            return Arc::new(compute());
         }
         let value = Arc::new(compute());
         match self.table.lock().expect("memo lock poisoned").entry(key) {
@@ -114,16 +122,39 @@ impl<V> KeyedMemo<V> {
 pub struct SplitMemo {
     transformer: CprobTransformer,
     epoch: u64,
+    /// `true` for session-shared memos: entries are inserted at every
+    /// frontier depth (see [`SplitMemo::new_shared`]); `false` for the
+    /// per-certify-call memo, which only retains shallow states.
+    insert_all_depths: bool,
     inner: KeyedMemo<AbsSplitResult>,
 }
 
 impl SplitMemo {
-    /// An empty memo for one certify call over `ds` under `transformer`,
-    /// stamped with `ds`'s current epoch.
+    /// An empty memo for **one** certify call over `ds` under
+    /// `transformer`, stamped with `ds`'s current epoch. Insert
+    /// admission is depth-gated (see [`SplitMemo::best_split`]).
     pub fn new(ds: &Dataset, transformer: CprobTransformer) -> Self {
         SplitMemo {
             transformer,
             epoch: ds.epoch(),
+            insert_all_depths: false,
+            inner: KeyedMemo::default(),
+        }
+    }
+
+    /// An empty memo for a session's [`SharedLearner`], stamped with
+    /// `ds`'s current epoch. Shared memos insert at **every** frontier
+    /// depth: retention pays off across the whole request stream, and —
+    /// more importantly — insert-everywhere is what keeps hit/miss
+    /// accounting order-invariant when *concurrent* certify calls probe
+    /// the same key (both racers insert, the collision reconciles to a
+    /// hit; a depth-gated lookup racing a concurrent insert would count
+    /// hit or miss depending on timing).
+    pub fn new_shared(ds: &Dataset, transformer: CprobTransformer) -> Self {
+        SplitMemo {
+            transformer,
+            epoch: ds.epoch(),
+            insert_all_depths: true,
             inner: KeyedMemo::default(),
         }
     }
@@ -133,36 +164,60 @@ impl SplitMemo {
         self.epoch
     }
 
-    /// Admission guard: memoize only bases covering at least a third of
-    /// the dataset (`base·ADMIT_DIVISOR ≥ |D|`).
+    /// Size guard: probe the table only for bases covering at least a
+    /// third of the dataset (`base·ADMIT_DIVISOR ≥ |D|`).
     ///
     /// Profiling depth-3 disjunctive runs showed memo hits land only on
-    /// large bases — recurring `⟨T, n⟩` states come from same-feature
+    /// sizeable bases — recurring `⟨T, n⟩` states come from same-feature
     /// threshold compositions near the root (every hit in the 200-row
     /// split bench uses a base of ≥ 101 rows; the 150-row iris-like
-    /// learner test's hits bottom out at 51) — while the bulk of misses
-    /// (~44% in that bench at this divisor, 80% at divisor 2) are small
-    /// deep fragments whose sparse-path sweep is cheaper than the key
-    /// clone + two lock rounds + `Arc` insert a memoized miss pays.
-    /// Guarded-out probes run the sweep directly and still count as
-    /// misses, so `misses = probes − hits` holds at every thread count
-    /// and the depth-2 perf-gate counters are untouched (a depth-2
-    /// frontier has no recurring states: every probe is a miss either
-    /// way).
+    /// learner test's hits bottom out at 51 ≈ |D|/3) — while the bulk
+    /// of misses are small deep fragments whose sparse-path sweep is
+    /// cheaper than the key clone + two lock rounds + `Arc` insert a
+    /// memoized miss pays. Guarded-out probes run the sweep directly and
+    /// still count as misses, so `misses = probes − hits` holds at every
+    /// thread count and the depth-2 perf-gate counters are untouched (a
+    /// depth-2 frontier has no recurring states: every probe is a miss
+    /// either way).
     const ADMIT_DIVISOR: usize = 3;
 
-    /// `bestSplit#(a)` through the memo: the first *admitted* probe per
-    /// `(base, n)` runs the scored-candidates sweep, every later probe
-    /// returns the stored result; small-base probes (see
-    /// `ADMIT_DIVISOR` above) bypass the table entirely.
-    /// `bestSplit#` results are pure functions of `(base, n)` *on one
-    /// training set*; a memo consulted against a different epoch would
-    /// silently return splits scored on stale data, so the stamp check
-    /// is a hard assert, active in release builds too.
+    /// Insert guard for per-certify-call memos: retain only states first
+    /// probed at frontier depth < 2 (the root and its direct children).
+    ///
+    /// The recurrences the memo exists for are composition collapses —
+    /// `T↓x≤a↓x≤b = T↓x≤b` re-derives a depth-1 state at depth ≥ 2 — so
+    /// every observed hit re-probes a state already seen by depth 1.
+    /// The original guard admitted *any* large-enough base at any depth,
+    /// and a depth-3 run retained thousands of never-again-probed deep
+    /// `Arc<AbsSplitResult>`s; the split bench measured that retention
+    /// as a net regression (`certify_memo_ms` 395 ms vs 375 ms memo-free
+    /// at 42 hits / 3,885 misses). Depth-gating the *insert* (lookups
+    /// still run at every depth, so collapsed re-derivations still hit)
+    /// bounds the table to the shallow states that actually recur; the
+    /// split bench now asserts
+    /// `certify_memo_ms ≤ certify_no_memo_ms · 1.05`. Determinism: a
+    /// local memo serves one run, iterations are barriers, and frontier
+    /// dedup keeps same-iteration keys distinct, so whether a probe's
+    /// key was inserted is a pure function of the trace — hit/miss
+    /// counts stay thread-invariant. Session-shared memos keep
+    /// insert-everywhere semantics (see [`SplitMemo::new_shared`]).
+    const INSERT_DEPTH_LIMIT: usize = 2;
+
+    /// `bestSplit#(a)` through the memo, probing from a frontier
+    /// disjunct at 0-based iteration `depth`: the first *admitted* probe
+    /// per `(base, n)` runs the scored-candidates sweep, every later
+    /// probe returns the stored result; small-base probes bypass the
+    /// table entirely and deep probes of a per-call memo consult it
+    /// without inserting (see `ADMIT_DIVISOR` / `INSERT_DEPTH_LIMIT`
+    /// above). `bestSplit#` results are pure functions of `(base, n)`
+    /// *on one training set*; a memo consulted against a different epoch
+    /// would silently return splits scored on stale data, so the stamp
+    /// check is a hard assert, active in release builds too.
     pub fn best_split(
         &self,
         ds: &Dataset,
         a: &AbstractSet,
+        depth: usize,
         metrics: &RunMetrics,
     ) -> Arc<AbsSplitResult> {
         assert_eq!(
@@ -176,9 +231,11 @@ impl SplitMemo {
             metrics.add_split_memo_miss();
             return Arc::new(best_split_abs(ds, a, self.transformer));
         }
+        let admit_insert = self.insert_all_depths || depth < Self::INSERT_DEPTH_LIMIT;
         self.inner.get_or_compute(
             (a.base().clone(), a.n()),
             || best_split_abs(ds, a, self.transformer),
+            admit_insert,
             metrics,
         )
     }
@@ -236,7 +293,7 @@ impl SharedLearner {
     pub fn new(ds: &Dataset, transformer: CprobTransformer, memo: bool) -> Self {
         SharedLearner {
             epoch: ds.epoch(),
-            memo: memo.then(|| SplitMemo::new(ds, transformer)),
+            memo: memo.then(|| SplitMemo::new_shared(ds, transformer)),
             interner: Mutex::new(antidote_data::SubsetInterner::new()),
         }
     }
@@ -304,6 +361,7 @@ impl FlipSplitMemo {
         self.inner.get_or_compute(
             (f.subset().clone(), f.n()),
             || crate::flip::best_split_flip(ds, f),
+            true,
             metrics,
         )
     }
@@ -330,23 +388,23 @@ mod tests {
         let memo = SplitMemo::new(&ds, CprobTransformer::Optimal);
         let metrics = RunMetrics::default();
         let a = AbstractSet::full(&ds, 2);
-        let first = memo.best_split(&ds, &a, &metrics);
+        let first = memo.best_split(&ds, &a, 0, &metrics);
         let direct = best_split_abs(&ds, &a, CprobTransformer::Optimal);
         assert_eq!(*first, direct, "memoized result equals the direct sweep");
         assert_eq!(metrics.split_memo_misses(), 1);
         assert_eq!(metrics.split_memo_hits(), 0);
         // A re-probe (same base payload, same n) hits and shares the Arc.
-        let again = memo.best_split(&ds, &a.clone(), &metrics);
+        let again = memo.best_split(&ds, &a.clone(), 0, &metrics);
         assert!(Arc::ptr_eq(&first, &again));
         assert_eq!(metrics.split_memo_hits(), 1);
         // An equal-but-distinct allocation still hits (content keying)...
         let rebuilt = AbstractSet::full(&ds, 2);
-        let third = memo.best_split(&ds, &rebuilt, &metrics);
+        let third = memo.best_split(&ds, &rebuilt, 0, &metrics);
         assert!(Arc::ptr_eq(&first, &third));
         assert_eq!(metrics.split_memo_hits(), 2);
         // ...while a different budget is a distinct key.
         let wide = a.with_budget(3);
-        let other = memo.best_split(&ds, &wide, &metrics);
+        let other = memo.best_split(&ds, &wide, 0, &metrics);
         assert!(!Arc::ptr_eq(&first, &other));
         assert_eq!(memo.len(), 2);
         assert_eq!(metrics.split_memo_misses(), 2);
@@ -354,13 +412,40 @@ mod tests {
     }
 
     #[test]
+    fn deep_probes_consult_but_only_shallow_probes_insert() {
+        let ds = synth::figure2();
+        let metrics = RunMetrics::default();
+        let a = AbstractSet::full(&ds, 2);
+        // Local memo: a depth-2 probe recomputes without retaining...
+        let local = SplitMemo::new(&ds, CprobTransformer::Optimal);
+        let first = local.best_split(&ds, &a, 2, &metrics);
+        assert!(local.is_empty());
+        assert_eq!(metrics.split_memo_misses(), 1);
+        // ...but once a shallow probe inserted the state, deep
+        // re-probes (the composition-collapse recurrences) still hit.
+        let shallow = local.best_split(&ds, &a, 1, &metrics);
+        assert!(!Arc::ptr_eq(&first, &shallow));
+        let deep = local.best_split(&ds, &a, 2, &metrics);
+        assert!(Arc::ptr_eq(&shallow, &deep));
+        assert_eq!(metrics.split_memo_hits(), 1);
+        assert_eq!(metrics.split_memo_misses(), 2);
+        // Session-shared memos insert at every depth (order-invariant
+        // accounting under concurrent certify calls; see new_shared).
+        let shared = SplitMemo::new_shared(&ds, CprobTransformer::Optimal);
+        let s1 = shared.best_split(&ds, &a, 5, &metrics);
+        assert_eq!(shared.len(), 1);
+        let s2 = shared.best_split(&ds, &a, 0, &metrics);
+        assert!(Arc::ptr_eq(&s1, &s2));
+    }
+
+    #[test]
     fn small_bases_bypass_the_table_but_still_count_misses() {
-        let ds = synth::figure2(); // 13 rows: admission needs ≥ 5
+        let ds = synth::figure2(); // 13 rows: the size guard needs ≥ 5
         let memo = SplitMemo::new(&ds, CprobTransformer::Optimal);
         let metrics = RunMetrics::default();
         let small = AbstractSet::new(Subset::from_indices(&ds, vec![0, 1, 2]), 1);
-        let first = memo.best_split(&ds, &small, &metrics);
-        let again = memo.best_split(&ds, &small, &metrics);
+        let first = memo.best_split(&ds, &small, 0, &metrics);
+        let again = memo.best_split(&ds, &small, 0, &metrics);
         // Bypassed probes recompute (no sharing), never hit, and leave
         // the table empty — but each one is charged as a miss.
         assert_eq!(*first, *again);
@@ -375,8 +460,8 @@ mod tests {
         );
         // A half-dataset base is admitted.
         let big = AbstractSet::new(Subset::from_indices(&ds, (0..7).collect()), 1);
-        let b1 = memo.best_split(&ds, &big, &metrics);
-        let b2 = memo.best_split(&ds, &big, &metrics);
+        let b1 = memo.best_split(&ds, &big, 0, &metrics);
+        let b2 = memo.best_split(&ds, &big, 0, &metrics);
         assert!(Arc::ptr_eq(&b1, &b2));
         assert_eq!(memo.len(), 1);
         assert_eq!(metrics.split_memo_hits(), 1);
@@ -411,7 +496,7 @@ mod tests {
             .apply(antidote_data::DatasetDelta::new().remove(0))
             .unwrap();
         let a = AbstractSet::full(&mutated, 1);
-        let _ = memo.best_split(&mutated, &a, &RunMetrics::default());
+        let _ = memo.best_split(&mutated, &a, 0, &RunMetrics::default());
     }
 
     #[test]

@@ -29,6 +29,27 @@
 //! one-at-a-time submissions of the same multiset of requests produce
 //! byte-identical responses at every thread count (pinned in
 //! `tests/service.rs`).
+//!
+//! # Cross-session warm-state sharing
+//!
+//! Two tenants certifying the **same dataset snapshot** under the
+//! **same config** would each warm an identical private cache. A
+//! process-wide [`WarmStateIndex`] deduplicates that state: sessions
+//! opened via [`Session::open_shared`] land on one reference-counted
+//! warm unit per `(dataset content fingerprint, epoch, config
+//! fingerprint)` key, verified by full config/dataset equality before
+//! joining (a hash collision degrades to a private unit, never to
+//! wrong sharing). Response purity makes this invisible: shared and
+//! private sessions answer byte-identically (pinned in
+//! `tests/service.rs`), only the counters reveal the warm start.
+//! Sharing is disarmed for configs with a per-instance timeout — a
+//! warm cache can answer where a cold run times out, so only
+//! timeout-free sessions (where verdicts are total) share state.
+//! Epoch-keying guards staleness: [`Session::advance`] never mutates a
+//! shared unit in place, it builds the successor state into a fresh
+//! unit, re-registers it under the new epoch's key, and swaps this
+//! session's pointer — tenants still certifying the old snapshot keep
+//! it alive via their own `Arc`s (DESIGN.md §14).
 
 use crate::cache::CertCache;
 use crate::certify::{Certifier, Outcome, Verdict};
@@ -39,13 +60,14 @@ use crate::sweep::{sweep_shared, SweepConfig, SweepPoint};
 use antidote_data::{ClassId, Dataset, DeltaSummary};
 use antidote_domains::CprobTransformer;
 use std::collections::BTreeMap;
-use std::sync::{Arc, RwLock};
+use std::collections::HashMap;
+use std::sync::{Arc, Mutex, RwLock, Weak};
 use std::time::Duration;
 
 /// The certification configuration a [`Session`] is pinned to. One
 /// session serves one `(dataset, config)` pair; ask a different
 /// question shape, open a different session.
-#[derive(Debug, Clone)]
+#[derive(Debug, Clone, PartialEq, Eq)]
 pub struct SessionConfig {
     /// Maximum trace depth `d`.
     pub depth: usize,
@@ -88,6 +110,51 @@ impl Default for SessionConfig {
     }
 }
 
+impl SessionConfig {
+    /// FNV-1a hash over a canonical encoding of every semantic field —
+    /// the config axis of the [`WarmStateIndex`] key. Equal configs
+    /// fingerprint equally; the index still verifies full equality
+    /// before sharing, so a collision costs a private unit, not
+    /// correctness.
+    pub fn fingerprint(&self) -> u64 {
+        const FNV_OFFSET: u64 = 0xcbf2_9ce4_8422_2325;
+        const FNV_PRIME: u64 = 0x0000_0100_0000_01b3;
+        let mut h = FNV_OFFSET;
+        let mut mix = |v: u64| {
+            for byte in v.to_le_bytes() {
+                h ^= u64::from(byte);
+                h = h.wrapping_mul(FNV_PRIME);
+            }
+        };
+        mix(self.depth as u64);
+        match self.domain {
+            DomainKind::Box => mix(0),
+            DomainKind::Disjuncts => mix(1),
+            DomainKind::Hybrid { max_disjuncts } => {
+                mix(2);
+                mix(max_disjuncts as u64);
+            }
+        }
+        mix(match self.transformer {
+            CprobTransformer::Natural => 0,
+            CprobTransformer::Optimal => 1,
+        });
+        mix(match self.timeout {
+            None => u64::MAX,
+            Some(t) => t.as_nanos() as u64,
+        });
+        mix(match self.max_live_disjuncts {
+            None => u64::MAX,
+            Some(b) => b as u64,
+        });
+        mix(u64::from(self.subsume)
+            | u64::from(self.memo) << 1
+            | u64::from(self.simd) << 2
+            | u64::from(self.schedule) << 3);
+        h
+    }
+}
+
 /// The state a session keeps warm, swapped as one unit under the lock
 /// so a reader always sees a consistent `(dataset, cache, learner)`
 /// triple stamped for the same epoch.
@@ -102,13 +169,122 @@ struct SessionState {
     shared: Arc<SharedLearner>,
 }
 
+/// One shareable warm unit: the [`SessionState`] plus the config it was
+/// built under (the sharing verification guard). Reference-counted —
+/// every tenant session holds an `Arc`, the [`WarmStateIndex`] holds
+/// only `Weak`s, so a unit lives exactly as long as some session uses
+/// it.
+#[derive(Debug)]
+struct WarmUnit {
+    cfg: SessionConfig,
+    state: RwLock<SessionState>,
+}
+
+impl WarmUnit {
+    fn new(ds: Arc<Dataset>, cfg: SessionConfig) -> WarmUnit {
+        let state = SessionState {
+            cache: CertCache::with_epoch(ds.epoch(), 0),
+            slots: BTreeMap::new(),
+            shared: Arc::new(SharedLearner::new(&ds, cfg.transformer, cfg.memo)),
+            ds,
+        };
+        WarmUnit {
+            cfg,
+            state: RwLock::new(state),
+        }
+    }
+}
+
+/// The key one warm unit is registered under: dataset content
+/// fingerprint, dataset epoch, config fingerprint. Content (not
+/// handle) keyed, so two registries that loaded the same snapshot
+/// independently still share; epoch-keyed, so a post-delta session can
+/// never join a stale unit.
+type WarmKey = (u64, u64, u64);
+
+/// Process-wide index of live warm units, keyed by
+/// `(dataset fingerprint, epoch, config fingerprint)` — the
+/// cross-session sharing tentpole (module docs, DESIGN.md §14). Holds
+/// [`Weak`] references only: dropping the last tenant session frees the
+/// unit, and dead entries are pruned on the next touch of their key.
+/// Buckets are `Vec`s so a fingerprint collision between *different*
+/// configs or datasets degrades to private units (full equality is
+/// verified before joining), never to wrong sharing.
+#[derive(Debug, Default)]
+pub struct WarmStateIndex {
+    map: Mutex<HashMap<WarmKey, Vec<Weak<WarmUnit>>>>,
+}
+
+impl WarmStateIndex {
+    /// An empty index. Typically one per process (the service owns
+    /// one), but tests and benches build private instances freely.
+    pub fn new() -> WarmStateIndex {
+        WarmStateIndex::default()
+    }
+
+    /// Joins a live, equality-verified unit under `key`, or registers
+    /// `fresh` there. Exactly one of the two happens per call, under
+    /// the index lock; returns the unit to use and whether it was
+    /// joined (a warm-state shared hit).
+    fn join_or_register(
+        &self,
+        key: WarmKey,
+        ds: &Dataset,
+        cfg: &SessionConfig,
+        fresh: impl FnOnce() -> Arc<WarmUnit>,
+    ) -> (Arc<WarmUnit>, bool) {
+        let mut map = self.map.lock().expect("warm index lock poisoned");
+        let bucket = map.entry(key).or_default();
+        bucket.retain(|w| w.strong_count() > 0);
+        for weak in bucket.iter() {
+            if let Some(unit) = weak.upgrade() {
+                if unit.cfg == *cfg && *unit.state.read().expect("session lock poisoned").ds == *ds
+                {
+                    return (unit, true);
+                }
+            }
+        }
+        let unit = fresh();
+        bucket.push(Arc::downgrade(&unit));
+        (unit, false)
+    }
+
+    /// Registers an already-built unit (an advanced session's successor
+    /// state) under `key` so later tenants of the new epoch can join it.
+    fn register(&self, key: WarmKey, unit: &Arc<WarmUnit>) {
+        let mut map = self.map.lock().expect("warm index lock poisoned");
+        let bucket = map.entry(key).or_default();
+        bucket.retain(|w| w.strong_count() > 0);
+        bucket.push(Arc::downgrade(unit));
+    }
+
+    /// Number of live units currently indexed (dead entries are
+    /// counted out, not pruned).
+    pub fn live_units(&self) -> usize {
+        self.map
+            .lock()
+            .expect("warm index lock poisoned")
+            .values()
+            .map(|b| b.iter().filter(|w| w.strong_count() > 0).count())
+            .sum()
+    }
+}
+
 /// A long-lived certification session: one dataset (at its current
-/// epoch) × one [`SessionConfig`], owning the caches every request
-/// borrows. See the module docs.
+/// epoch) × one [`SessionConfig`], owning (or sharing, see
+/// [`Session::open_shared`]) the caches every request borrows. See the
+/// module docs.
 #[derive(Debug)]
 pub struct Session {
     cfg: SessionConfig,
-    state: RwLock<SessionState>,
+    /// The current warm unit. Requests clone the `Arc` under a brief
+    /// read lock and certify against that consistent snapshot;
+    /// [`Session::advance`] write-locks only to swap the pointer. Lock
+    /// order is always warm-pointer → unit state, never the reverse.
+    warm: RwLock<Arc<WarmUnit>>,
+    /// The index this session registers its units with, when opened
+    /// via [`Session::open_shared`] with sharing armed.
+    share: Option<Arc<WarmStateIndex>>,
 }
 
 /// `x` keyed by exact bit pattern — the same identity
@@ -119,18 +295,48 @@ fn point_key(x: &[f64]) -> Vec<u64> {
 }
 
 impl Session {
-    /// Opens a session for `ds` under `cfg`. The cache starts empty and
-    /// grows one slot per distinct point asked about.
+    /// Opens a private session for `ds` under `cfg`. The cache starts
+    /// empty and grows one slot per distinct point asked about.
     pub fn new(ds: Arc<Dataset>, cfg: SessionConfig) -> Session {
-        let state = SessionState {
-            cache: CertCache::with_epoch(ds.epoch(), 0),
-            slots: BTreeMap::new(),
-            shared: Arc::new(SharedLearner::new(&ds, cfg.transformer, cfg.memo)),
-            ds,
-        };
+        let unit = Arc::new(WarmUnit::new(ds, cfg.clone()));
         Session {
             cfg,
-            state: RwLock::new(state),
+            warm: RwLock::new(unit),
+            share: None,
+        }
+    }
+
+    /// Opens a session through a [`WarmStateIndex`]: joins a live warm
+    /// unit when one exists for this exact `(dataset content, epoch,
+    /// config)`, else registers a fresh one. Joining counts one
+    /// `warm_state_shared_hits` on `metrics` — the only observable
+    /// difference from a private session, since responses are pure (see
+    /// the module docs).
+    ///
+    /// Configs with a per-instance timeout open private, unregistered
+    /// sessions (sharing disarmed): a warm cache can answer where a
+    /// cold run times out, so sharing could otherwise leak one tenant's
+    /// compute history into another's timeout verdicts.
+    pub fn open_shared(
+        index: &Arc<WarmStateIndex>,
+        ds: Arc<Dataset>,
+        cfg: SessionConfig,
+        metrics: &RunMetrics,
+    ) -> Session {
+        if cfg.timeout.is_some() {
+            return Session::new(ds, cfg);
+        }
+        let key = (ds.content_fingerprint(), ds.epoch(), cfg.fingerprint());
+        let (unit, joined) = index.join_or_register(key, &ds, &cfg, || {
+            Arc::new(WarmUnit::new(Arc::clone(&ds), cfg.clone()))
+        });
+        if joined {
+            metrics.add_warm_state_shared_hit();
+        }
+        Session {
+            cfg,
+            warm: RwLock::new(unit),
+            share: Some(Arc::clone(index)),
         }
     }
 
@@ -139,30 +345,52 @@ impl Session {
         &self.cfg
     }
 
+    /// The warm unit currently backing this session, cloned out from
+    /// under a brief pointer read lock.
+    fn unit(&self) -> Arc<WarmUnit> {
+        Arc::clone(&self.warm.read().expect("session lock poisoned"))
+    }
+
     /// The dataset snapshot this session currently certifies against.
     pub fn dataset(&self) -> Arc<Dataset> {
-        Arc::clone(&self.state.read().expect("session lock poisoned").ds)
+        let unit = self.unit();
+        let ds = Arc::clone(&unit.state.read().expect("session lock poisoned").ds);
+        ds
     }
 
     /// The epoch of the current snapshot.
     pub fn epoch(&self) -> u64 {
-        self.state.read().expect("session lock poisoned").ds.epoch()
+        self.dataset().epoch()
+    }
+
+    /// Approximate bytes of warm state reachable from this session's
+    /// current unit — the measure the service's byte-budget eviction
+    /// watermark sums. Dataset plus certificate cache; the learner
+    /// interner is bounded by the same dataset scale.
+    pub fn approx_bytes(&self) -> usize {
+        let unit = self.unit();
+        let st = unit.state.read().expect("session lock poisoned");
+        st.ds.approx_bytes() + st.cache.approx_bytes()
     }
 
     /// Number of distinct points this session has certified (its cache
     /// slot count).
     pub fn tracked_points(&self) -> usize {
-        self.state
+        let unit = self.unit();
+        let n = unit
+            .state
             .read()
             .expect("session lock poisoned")
             .slots
-            .len()
+            .len();
+        n
     }
 
-    /// The stable cache slot for `x`, allocating one on first sight.
-    fn slot_for(&self, x: &[f64]) -> usize {
+    /// The stable cache slot for `x` in `unit`, allocating one on first
+    /// sight.
+    fn slot_for(&self, unit: &WarmUnit, x: &[f64]) -> usize {
         let key = point_key(x);
-        if let Some(&slot) = self
+        if let Some(&slot) = unit
             .state
             .read()
             .expect("session lock poisoned")
@@ -171,7 +399,7 @@ impl Session {
         {
             return slot;
         }
-        let mut st = self.state.write().expect("session lock poisoned");
+        let mut st = unit.state.write().expect("session lock poisoned");
         let next = st.slots.len();
         let slot = *st.slots.entry(key).or_insert(next);
         let n_slots = st.slots.len();
@@ -189,8 +417,12 @@ impl Session {
     /// one-shot pipeline cannot have.
     pub fn certify(&self, x: &[f64], n: usize, ctx: &ExecContext) -> (Outcome, u64) {
         ctx.metrics().add_request_served();
-        let slot = self.slot_for(x);
-        let st = self.state.read().expect("session lock poisoned");
+        // Resolve the warm unit once: concurrent `advance` swaps the
+        // session pointer, never the unit, so this whole request runs
+        // against one consistent snapshot.
+        let unit = self.unit();
+        let slot = self.slot_for(&unit, x);
+        let st = unit.state.read().expect("session lock poisoned");
         let mut certifier = Certifier::new(&st.ds)
             .depth(self.cfg.depth)
             .domain(self.cfg.domain)
@@ -232,8 +464,12 @@ impl Session {
         ctx: &ExecContext,
     ) -> (Vec<SweepPoint>, u64) {
         ctx.metrics().add_request_served();
-        let slots: Vec<usize> = test_points.iter().map(|x| self.slot_for(x)).collect();
-        let st = self.state.read().expect("session lock poisoned");
+        let unit = self.unit();
+        let slots: Vec<usize> = test_points
+            .iter()
+            .map(|x| self.slot_for(&unit, x))
+            .collect();
+        let st = unit.state.read().expect("session lock poisoned");
         let cfg = SweepConfig {
             depth: self.cfg.depth,
             domain: self.cfg.domain,
@@ -281,15 +517,40 @@ impl Session {
     /// Panics when `summaries` is empty or does not span exactly the
     /// epochs between the session's snapshot and `new_ds` (the
     /// [`CertCache::transfer_batched`] stamp).
+    ///
+    /// A shared unit is never mutated in place: the successor state is
+    /// built into a fresh unit, registered under the new epoch's key
+    /// (when this session shares), and only this session's pointer is
+    /// swapped — co-tenants still certifying the old snapshot keep the
+    /// old unit alive through their own `Arc`s.
     pub fn advance(&self, new_ds: Arc<Dataset>, summaries: &[DeltaSummary], metrics: &RunMetrics) {
-        let mut st = self.state.write().expect("session lock poisoned");
-        st.cache = st.cache.transfer_batched(summaries, &new_ds, metrics);
-        st.shared = Arc::new(SharedLearner::new(
-            &new_ds,
-            self.cfg.transformer,
-            self.cfg.memo,
-        ));
-        st.ds = new_ds;
+        let mut warm = self.warm.write().expect("session lock poisoned");
+        let next = {
+            let st = warm.state.read().expect("session lock poisoned");
+            SessionState {
+                cache: st.cache.transfer_batched(summaries, &new_ds, metrics),
+                slots: st.slots.clone(),
+                shared: Arc::new(SharedLearner::new(
+                    &new_ds,
+                    self.cfg.transformer,
+                    self.cfg.memo,
+                )),
+                ds: Arc::clone(&new_ds),
+            }
+        };
+        let unit = Arc::new(WarmUnit {
+            cfg: self.cfg.clone(),
+            state: RwLock::new(next),
+        });
+        if let Some(index) = &self.share {
+            let key = (
+                new_ds.content_fingerprint(),
+                new_ds.epoch(),
+                self.cfg.fingerprint(),
+            );
+            index.register(key, &unit);
+        }
+        *warm = unit;
     }
 }
 
@@ -368,10 +629,21 @@ pub enum Response {
 /// persistent worker pool. See the module docs; stateless apart from
 /// its admission limits, so one engine can front any number of
 /// sessions.
-#[derive(Debug, Clone, Default)]
+#[derive(Debug, Clone)]
 pub struct RequestEngine {
     timeout: Option<Duration>,
     disjunct_budget: Option<usize>,
+    coalesce: bool,
+}
+
+impl Default for RequestEngine {
+    fn default() -> Self {
+        RequestEngine {
+            timeout: None,
+            disjunct_budget: None,
+            coalesce: true,
+        }
+    }
 }
 
 /// A work unit: all same-point certifies of one batch (computed
@@ -410,6 +682,17 @@ impl RequestEngine {
     /// integer shares, minimum 1) across its disjoint work units.
     pub fn disjunct_budget(mut self, budget: usize) -> Self {
         self.disjunct_budget = Some(budget);
+        self
+    }
+
+    /// Disables in-flight twin coalescing: exact duplicates in one
+    /// batch each run through the session cache individually, exactly
+    /// as they would when submitted one line at a time. The pipelined
+    /// serve loop submits with this so its batch boundaries (a timing
+    /// artifact of how far the reader parsed ahead) leave every
+    /// counter identical to the sequential loop's.
+    pub fn no_coalesce(mut self) -> Self {
+        self.coalesce = false;
         self
     }
 
@@ -488,7 +771,9 @@ impl RequestEngine {
                                 n,
                                 epoch,
                             };
-                            computed.insert(n, r.clone());
+                            if self.coalesce {
+                                computed.insert(n, r.clone());
+                            }
                             responses.push((index, r));
                         }
                         responses
@@ -687,6 +972,151 @@ mod tests {
             .certify(&[0.5], 13);
         assert_eq!(warm.verdict, cold.verdict);
         assert_eq!(warm.label, cold.label);
+    }
+
+    #[test]
+    fn shared_sessions_join_one_warm_unit_and_answer_byte_identically() {
+        let ds = Arc::new(blobs());
+        let cfg = SessionConfig {
+            depth: 1,
+            domain: DomainKind::Disjuncts,
+            ..SessionConfig::default()
+        };
+        let index = Arc::new(WarmStateIndex::new());
+        let ctx = ExecContext::sequential();
+        let a = Session::open_shared(&index, Arc::clone(&ds), cfg.clone(), ctx.metrics());
+        assert_eq!(ctx.metrics().warm_state_shared_hits(), 0, "first is cold");
+        assert_eq!(index.live_units(), 1);
+        // Tenant A warms the unit…
+        let (first, _) = a.certify(&[0.5], 16, &ctx);
+        assert!(first.is_robust());
+        // …and tenant B joins it: same key, full equality verified.
+        let b = Session::open_shared(&index, Arc::clone(&ds), cfg.clone(), ctx.metrics());
+        assert_eq!(ctx.metrics().warm_state_shared_hits(), 1);
+        assert_eq!(index.live_units(), 1, "no second unit registered");
+        assert_eq!(b.tracked_points(), 1, "B sees A's warm slots");
+        let calls = ctx.metrics().certify_calls();
+        let (warm, _) = b.certify(&[0.5], 16, &ctx);
+        assert_eq!(ctx.metrics().certify_calls(), calls, "B answers warm");
+        // Purity: a private session answers byte-identically.
+        let private = session(&ds, DomainKind::Disjuncts);
+        let (cold, _) = private.certify(&[0.5], 16, &ctx);
+        assert_eq!(warm.verdict, cold.verdict);
+        assert_eq!(warm.label, cold.label);
+        // A different config under the same dataset gets its own unit.
+        let other_cfg = SessionConfig {
+            depth: 2,
+            domain: DomainKind::Disjuncts,
+            ..SessionConfig::default()
+        };
+        let _c = Session::open_shared(&index, Arc::clone(&ds), other_cfg, ctx.metrics());
+        assert_eq!(ctx.metrics().warm_state_shared_hits(), 1, "no false join");
+        assert_eq!(index.live_units(), 2);
+    }
+
+    #[test]
+    fn dropping_all_tenants_frees_the_shared_unit() {
+        let ds = Arc::new(blobs());
+        let cfg = SessionConfig {
+            depth: 1,
+            domain: DomainKind::Disjuncts,
+            ..SessionConfig::default()
+        };
+        let index = Arc::new(WarmStateIndex::new());
+        let metrics = RunMetrics::default();
+        let a = Session::open_shared(&index, Arc::clone(&ds), cfg.clone(), &metrics);
+        let b = Session::open_shared(&index, Arc::clone(&ds), cfg.clone(), &metrics);
+        assert_eq!(index.live_units(), 1);
+        drop(a);
+        assert_eq!(index.live_units(), 1, "B keeps the unit alive");
+        drop(b);
+        assert_eq!(index.live_units(), 0, "weak-only index frees it");
+        // A later open re-registers from cold.
+        let _c = Session::open_shared(&index, ds, cfg, &metrics);
+        assert_eq!(metrics.warm_state_shared_hits(), 1, "only B's join counted");
+    }
+
+    #[test]
+    fn timeout_configs_open_private_unregistered_sessions() {
+        let ds = Arc::new(blobs());
+        let cfg = SessionConfig {
+            depth: 1,
+            domain: DomainKind::Disjuncts,
+            timeout: Some(Duration::from_secs(3600)),
+            ..SessionConfig::default()
+        };
+        let index = Arc::new(WarmStateIndex::new());
+        let metrics = RunMetrics::default();
+        let _a = Session::open_shared(&index, Arc::clone(&ds), cfg.clone(), &metrics);
+        let _b = Session::open_shared(&index, ds, cfg, &metrics);
+        assert_eq!(index.live_units(), 0, "sharing disarmed under timeouts");
+        assert_eq!(metrics.warm_state_shared_hits(), 0);
+    }
+
+    #[test]
+    fn advance_swaps_a_fresh_unit_without_disturbing_cotenants() {
+        let ds = Arc::new(blobs());
+        let cfg = SessionConfig {
+            depth: 1,
+            domain: DomainKind::Disjuncts,
+            ..SessionConfig::default()
+        };
+        let index = Arc::new(WarmStateIndex::new());
+        let ctx = ExecContext::sequential();
+        let a = Session::open_shared(&index, Arc::clone(&ds), cfg.clone(), ctx.metrics());
+        let b = Session::open_shared(&index, Arc::clone(&ds), cfg.clone(), ctx.metrics());
+        let (out, _) = a.certify(&[0.5], 16, &ctx);
+        assert!(out.is_robust());
+        // A advances to epoch 1; B must keep certifying epoch 0 state.
+        let (next, sum) = ds.apply_summarized(DatasetDelta::new().remove(0)).unwrap();
+        let next = Arc::new(next);
+        a.advance(Arc::clone(&next), &[sum], ctx.metrics());
+        assert_eq!(a.epoch(), 1);
+        assert_eq!(b.epoch(), 0, "co-tenant pinned to its own snapshot");
+        let (still, epoch) = b.certify(&[0.5], 16, &ctx);
+        assert_eq!(still.verdict, out.verdict);
+        assert_eq!(epoch, 0);
+        // The advanced unit is registered under the new epoch's key, so
+        // a new tenant of epoch 1 joins A's transferred state.
+        let c = Session::open_shared(&index, next, cfg, ctx.metrics());
+        assert_eq!(ctx.metrics().warm_state_shared_hits(), 2, "B and C joined");
+        assert_eq!(c.tracked_points(), 1, "C sees A's carried slots");
+    }
+
+    #[test]
+    fn no_coalesce_twins_match_one_at_a_time_counters() {
+        let ds = blobs();
+        let batch_of = |s: &Arc<Session>| {
+            let rq = Request::Certify {
+                x: vec![0.5],
+                n: 16,
+            };
+            vec![
+                (Arc::clone(s), rq.clone()),
+                (Arc::clone(s), rq.clone()),
+                (Arc::clone(s), rq),
+            ]
+        };
+        // Batched with coalescing off…
+        let s = session(&ds, DomainKind::Disjuncts);
+        let ctx = ExecContext::sequential();
+        let batched = RequestEngine::new()
+            .no_coalesce()
+            .submit(&batch_of(&s), &ctx);
+        // …versus the same requests one at a time on a fresh session.
+        let s2 = session(&ds, DomainKind::Disjuncts);
+        let ctx2 = ExecContext::sequential();
+        let engine = RequestEngine::new();
+        let single: Vec<Response> = batch_of(&s2)
+            .iter()
+            .flat_map(|(sess, r)| engine.submit(&[(Arc::clone(sess), r.clone())], &ctx2))
+            .collect();
+        assert_eq!(batched, single);
+        let (a, b) = (ctx.metrics().snapshot(), ctx2.metrics().snapshot());
+        assert_eq!(a.requests_served, b.requests_served);
+        assert_eq!(a.cross_request_cache_hits, b.cross_request_cache_hits);
+        assert_eq!(a.certify_calls, b.certify_calls);
+        assert_eq!(a.cache_hits, b.cache_hits);
     }
 
     #[test]

@@ -10,6 +10,7 @@
 
 use antidote_core::{
     DomainKind, ExecContext, Request, RequestEngine, Response, Session, SessionConfig,
+    WarmStateIndex,
 };
 use antidote_data::synth::{self, BlobSpec};
 use antidote_data::{Dataset, DatasetDelta, DatasetRegistry};
@@ -107,6 +108,88 @@ fn batched_and_sequential_admission_are_byte_identical() {
                 rev, reference,
                 "{domain:?} reversed admission at {threads} threads"
             );
+        }
+    }
+}
+
+#[test]
+fn shared_and_private_warm_state_are_byte_identical() {
+    // The sharing differential (DESIGN.md §14): two tenants certifying
+    // the same snapshot under the same config answer byte-identically
+    // whether they share one warm unit (opened through a WarmStateIndex)
+    // or own private ones — across admission orders, every domain, and
+    // thread counts 1 and 4. Sharing is a perf lever, never a semantic
+    // one.
+    let ds = Arc::new(blobs());
+    let engine = RequestEngine::new();
+    let requests = trace();
+    for domain in [
+        DomainKind::Box,
+        DomainKind::Disjuncts,
+        DomainKind::Hybrid { max_disjuncts: 8 },
+    ] {
+        let cfg = SessionConfig {
+            depth: 1,
+            domain,
+            ..SessionConfig::default()
+        };
+        // The trace alternates between the two tenants, so in the
+        // shared variant roughly half the questions ride warm state the
+        // *other* tenant paid for.
+        let interleave = |a: &Arc<Session>, b: &Arc<Session>| -> Vec<(Arc<Session>, Request)> {
+            requests
+                .iter()
+                .enumerate()
+                .map(|(i, r)| {
+                    let tenant = if i % 2 == 0 { a } else { b };
+                    (Arc::clone(tenant), r.clone())
+                })
+                .collect()
+        };
+
+        // Reference: private tenants, one request at a time.
+        let pa = Arc::new(Session::new(Arc::clone(&ds), cfg.clone()));
+        let pb = Arc::new(Session::new(Arc::clone(&ds), cfg.clone()));
+        let ctx = ExecContext::sequential();
+        let reference: Vec<Response> = interleave(&pa, &pb)
+            .into_iter()
+            .flat_map(|pair| engine.submit(&[pair], &ctx))
+            .collect();
+
+        for threads in [1usize, 4] {
+            for reverse in [false, true] {
+                let index = Arc::new(WarmStateIndex::new());
+                let ctx = ExecContext::new().threads(threads);
+                let sa = Arc::new(Session::open_shared(
+                    &index,
+                    Arc::clone(&ds),
+                    cfg.clone(),
+                    ctx.metrics(),
+                ));
+                let sb = Arc::new(Session::open_shared(
+                    &index,
+                    Arc::clone(&ds),
+                    cfg.clone(),
+                    ctx.metrics(),
+                ));
+                assert_eq!(
+                    ctx.metrics().warm_state_shared_hits(),
+                    1,
+                    "{domain:?}: the second tenant must join the first's unit"
+                );
+                let mut batch = interleave(&sa, &sb);
+                if reverse {
+                    batch.reverse();
+                }
+                let mut out = engine.submit(&batch, &ctx);
+                if reverse {
+                    out.reverse();
+                }
+                assert_eq!(
+                    out, reference,
+                    "{domain:?} shared vs private at {threads} threads (reverse: {reverse})"
+                );
+            }
         }
     }
 }

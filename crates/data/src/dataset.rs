@@ -379,6 +379,54 @@ impl Dataset {
         self.labels.len()
     }
 
+    /// FNV-1a content hash of exactly what [`PartialEq`] compares:
+    /// schema shape, live-slot mask, feature values (IEEE bit patterns),
+    /// and labels. Equal datasets fingerprint equally regardless of how
+    /// they were built, and the epoch stamp is deliberately excluded —
+    /// the warm-state index (`antidote_core::session`) keys on
+    /// `(fingerprint, epoch, config)` so two registries that loaded the
+    /// same snapshot independently still land on the same warm unit.
+    /// O(slots × features) per call; callers that need it repeatedly
+    /// (session opens) cache the result.
+    pub fn content_fingerprint(&self) -> u64 {
+        const FNV_OFFSET: u64 = 0xcbf2_9ce4_8422_2325;
+        const FNV_PRIME: u64 = 0x0000_0100_0000_01b3;
+        let mut h = FNV_OFFSET;
+        let mut mix = |v: u64| {
+            for byte in v.to_le_bytes() {
+                h ^= u64::from(byte);
+                h = h.wrapping_mul(FNV_PRIME);
+            }
+        };
+        mix(self.schema.n_features() as u64);
+        mix(self.schema.n_classes() as u64);
+        for f in self.schema.features() {
+            mix(matches!(f.kind, FeatureKind::Bool) as u64);
+        }
+        mix(self.n_slots() as u64);
+        for &w in &self.live {
+            mix(w);
+        }
+        for col in self.columns.iter() {
+            match col {
+                Column::Bool(v) => {
+                    for &b in v {
+                        mix(b as u64);
+                    }
+                }
+                Column::Real(v) => {
+                    for &x in v {
+                        mix(x.to_bits());
+                    }
+                }
+            }
+        }
+        for &l in self.labels.iter() {
+            mix(u64::from(l));
+        }
+        h
+    }
+
     /// Whether slot `row` holds a live row. Out-of-range slots are dead.
     #[inline]
     pub fn is_live(&self, row: RowId) -> bool {
@@ -1437,6 +1485,27 @@ mod tests {
         );
         assert!(summary.pure_removal());
         assert_eq!(next, ds, "content-equal; epochs differ");
+    }
+
+    #[test]
+    fn content_fingerprint_tracks_equality_not_epoch() {
+        let ds = five_rows();
+        // Independently built equal datasets fingerprint equally.
+        assert_eq!(ds.content_fingerprint(), five_rows().content_fingerprint());
+        // A no-op delta bumps the epoch but not the fingerprint...
+        let noop = ds.apply(&DatasetDelta::new()).unwrap();
+        assert_eq!(noop.epoch(), 1);
+        assert_eq!(noop.content_fingerprint(), ds.content_fingerprint());
+        // ...while content mutations change it.
+        let mut delta = DatasetDelta::new();
+        delta.remove(1);
+        let removed = ds.apply(&delta).unwrap();
+        assert_ne!(removed.content_fingerprint(), ds.content_fingerprint());
+        let mut delta = DatasetDelta::new();
+        delta.flip_label(0, 1);
+        let flipped = ds.apply(&delta).unwrap();
+        assert_ne!(flipped.content_fingerprint(), ds.content_fingerprint());
+        assert_ne!(flipped.content_fingerprint(), removed.content_fingerprint());
     }
 
     #[test]
